@@ -1,0 +1,15 @@
+"""Benchmark configuration: import path + shared helpers."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def report(result):
+    """Print an experiment result and fail on shape regressions."""
+    print()
+    print(result.render())
+    failures = result.check_shape()
+    assert not failures, f"paper-shape regressions: {failures}"
+    return result

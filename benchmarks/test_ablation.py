@@ -1,0 +1,17 @@
+"""Benchmark: the design-choice ablation (model-checker fixes).
+
+Re-broken variants of ZENITH show their signature pathologies (hidden
+entries, duplicate installs) at runtime, and the specification-level
+ablations are refuted by the checker while the final spec verifies.
+"""
+
+from conftest import report
+
+from repro.experiments.ablation import run
+
+
+def test_ablation(benchmark):
+    """One quick-mode regeneration; prints the ablation table."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

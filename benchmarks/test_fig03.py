@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 3 (tail convergence vs reconciliation period).
+
+Shorter reconciliation periods collide with more DAG installs.
+"""
+
+from conftest import report
+
+from repro.experiments.fig03_reconciliation_period import run
+
+
+def test_fig03(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 4 (reconciliation time vs table size).
+
+Single-switch reads ~9x slower at 8x entries; network cycles grow with table size.
+"""
+
+from conftest import report
+
+from repro.experiments.fig04_reconciliation_cost import run
+
+
+def test_fig04(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 10 (trace replay: ZENITH vs PR).
+
+ZENITH converges ~5x faster on average across the 17-trace library.
+"""
+
+from conftest import report
+
+from repro.experiments.fig10_trace_replay import run
+
+
+def test_fig10(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

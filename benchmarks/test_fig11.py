@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 11 (convergence vs topology size).
+
+ZENITH/NoRec tails flat with size; PR's p99 grows with reconciliation volume.
+"""
+
+from conftest import report
+
+from repro.experiments.fig11_topology_scaling import run
+
+
+def test_fig11(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 12 (random switch failures).
+
+Same medians; ZENITH p99 far lower; PRUp between.
+"""
+
+from conftest import report
+
+from repro.experiments.fig12_switch_failures import run
+
+
+def test_fig12(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 13 (random component failures).
+
+ZENITH components recover from NIB state; PR waits for timeouts/reconciliation.
+"""
+
+from conftest import report
+
+from repro.experiments.fig13_component_failures import run
+
+
+def test_fig13(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

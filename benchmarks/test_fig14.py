@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 14 (TE throughput on B4).
+
+ZENITH restores throughput at DAG install (~t=16); PR waits for reconciliation (~t=26).
+"""
+
+from conftest import report
+
+from repro.experiments.fig14_te_throughput import run
+
+
+def test_fig14(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 15 (planned OFC failover).
+
+ZENITH failover convergence bounded and small; PR's tail set by timeouts.
+"""
+
+from conftest import report
+
+from repro.experiments.fig15_failover import run
+
+
+def test_fig15(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 16 (drain/undrain on a fat-tree).
+
+Hitless drain: throughput stays high, dipping only by the drained capacity.
+"""
+
+from conftest import report
+
+from repro.experiments.fig16_drain import run
+
+
+def test_fig16(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

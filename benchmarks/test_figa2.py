@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. A.2 (ZENITH vs ODL-like controller).
+
+ODL's missing cleanup + status races leave traffic degraded until reconciliation.
+"""
+
+from conftest import report
+
+from repro.experiments.figa2_odl import run
+
+
+def test_figa2(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. A.3 (Henry-Kafura specification complexity).
+
+Sequencer most complex; Monitoring Server rises for complete-transient; DR > NR.
+"""
+
+from conftest import report
+
+from repro.experiments.figa3_complexity import run
+
+
+def test_figa3(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

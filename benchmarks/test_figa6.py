@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. A.6 (counterexample trace lengths).
+
+Violation traces are tens of steps long - the errors are subtle.
+"""
+
+from conftest import report
+
+from repro.experiments.figa6_trace_lengths import run
+
+
+def test_figa6(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

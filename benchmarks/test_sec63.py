@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Sec. 6.3 (decoupled app verification).
+
+Verifying apps against AbstractCore is orders of magnitude cheaper.
+"""
+
+from conftest import report
+
+from repro.experiments.sec63_app_verification import run
+
+
+def test_sec63(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

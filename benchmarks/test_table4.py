@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 4 (model-checking optimization ablation).
+
+None >> Sym >> Sym+Com >> Sym+Com+Part in time, states and diameter.
+"""
+
+from conftest import report
+
+from repro.experiments.table4_model_checking import run
+
+
+def test_table4(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table A.1 (specification sizes).
+
+The ZENITH spec layer is larger than prior industrial TLA+ specs.
+"""
+
+from conftest import report
+
+from repro.experiments.tablea1_spec_size import run
+
+
+def test_tablea1(benchmark):
+    """One quick-mode regeneration; prints the paper-style output."""
+    result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
+                                rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Hitless switch drain (the paper's §E application) on a fat-tree.
+
+Runs the drain application over a k=4 fat-tree carrying three inter-pod
+flows, drains a loaded aggregation switch, verifies no packet was ever
+blackholed during the transition (Listing 6's install-new-before-
+delete-old construction), and undrains it again.
+
+    python examples/drain_switch.py
+"""
+
+from repro import Environment, Network, fat_tree
+from repro.apps import DrainApp, DrainRejected
+from repro.core import ZenithController
+from repro.net import Flow, TrafficMonitor
+from repro.sim import ComponentHost
+
+
+def main() -> None:
+    env = Environment()
+    network = Network(env, fat_tree(4))
+    controller = ZenithController(env, network).start()
+
+    flows = [
+        Flow("f1", "edge-0-0", "edge-2-0", 8.0),
+        Flow("f2", "edge-1-0", "edge-3-0", 8.0),
+        Flow("f3", "edge-0-0", "edge-3-1", 8.0),
+    ]
+    app = DrainApp(env, controller, [(f.src, f.dst) for f in flows])
+    ComponentHost(env, app, auto_restart=False).start()
+    env.run(until=5)
+
+    monitor = TrafficMonitor(env, network, flows, period=0.25)
+
+    # Continuously verify hitlessness: no flow may ever blackhole.
+    drops = []
+
+    def drop_checker():
+        while True:
+            for flow in flows:
+                if not network.trace(flow.src, flow.dst).ok:
+                    drops.append((env.now, flow.name))
+            yield env.timeout(0.01)
+
+    env.process(drop_checker())
+
+    victim = next(hop for hop in network.trace("f1" and "edge-0-0",
+                                               "edge-2-0").hops
+                  if hop.startswith("agg"))
+    print(f"[t={env.now:5.1f}s] draining {victim}")
+    app.request_drain(victim)
+    env.run(until=env.now + 15)
+    assert not drops, f"traffic dropped during drain: {drops[:3]}"
+    assert all(victim not in network.trace(f.src, f.dst).hops
+               for f in flows), "drained switch still carries traffic"
+    print(f"[t={env.now:5.1f}s] drained; no traffic crosses {victim}; "
+          f"zero drops")
+
+    # The §4 app-specific invariant: refusing unsafe drains.
+    try:
+        app._check_invariants("edge-0-0")
+    except DrainRejected as rejection:
+        print(f"  (safety check works: {rejection})")
+
+    print(f"[t={env.now:5.1f}s] undraining {victim}")
+    app.request_undrain(victim)
+    env.run(until=env.now + 15)
+    assert not drops, f"traffic dropped during undrain: {drops[:3]}"
+    print(f"[t={env.now:5.1f}s] undrained; zero drops throughout")
+
+    aggregate = monitor.average_total()
+    print(f"average aggregate throughput: {aggregate:.1f} Gb/s "
+          f"of {sum(f.demand for f in flows):.0f} demanded")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Command-line entry point: ``python -m repro <experiment> [--full]``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    main()

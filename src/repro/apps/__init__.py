@@ -1,0 +1,16 @@
+"""ZENITH-apps: drain/undrain, traffic engineering, planned failover."""
+
+from .base import App, RoutingApp
+from .drain import DrainApp, DrainRejected, DrainRequest
+from .failover import FailoverApp
+from .te import TeApp
+
+__all__ = [
+    "App",
+    "DrainApp",
+    "DrainRejected",
+    "DrainRequest",
+    "FailoverApp",
+    "RoutingApp",
+    "TeApp",
+]

@@ -1,0 +1,215 @@
+"""Application framework: ZENITH-apps run against the controller API.
+
+An application is a component that submits DAGs and reacts to the
+events ZENITH-core guarantees to deliver (§3.6/§4): switch up/down and
+DAG done/removed.  :class:`RoutingApp` is the executable counterpart of
+the paper's *AbstractApp*: it holds a set of demands, and on every
+topology event recomputes shortest paths over the switches the
+controller currently believes healthy, submitting a hitless transition
+DAG (new paths at a higher priority, then deletion of the old ones).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence  # noqa: F401 - public API types
+
+from ..core.controller import ZenithController
+from ..core.types import AppEvent, AppEventKind, Dag, DagStatus, Op, OpType, SwitchHealth
+from ..sim import Component, Environment
+from ..workloads.dags import IdAllocator, multi_path_dag, transition_dag
+
+__all__ = ["App", "TransitioningApp", "RoutingApp"]
+
+
+class App(Component):
+    """Base class for SDN applications using the DAG abstraction."""
+
+    #: Re-submit an INSTALL request if the controller has not registered
+    #: the DAG within this many seconds (an RPC-style retry; a lossy
+    #: controller front-end — e.g. PR's scheduler crashing between
+    #: dequeue and registration — would otherwise drop intent forever).
+    submit_retry_timeout: float = 10.0
+
+    def __init__(self, env: Environment, controller: ZenithController,
+                 name: str):
+        super().__init__(env, name=name)
+        self.controller = controller
+        self.events = controller.register_app(name)
+        self.resubmissions = 0
+
+    def submit_dag(self, dag: Dag) -> None:
+        """Submit a DAG in this app's name (with registration retry)."""
+        self.controller.submit_dag(dag, app=self.name)
+        if self.submit_retry_timeout:
+            self.env.process(self._ensure_registered(dag),
+                             name=f"{self.name}-retry-{dag.dag_id}")
+
+    def _ensure_registered(self, dag: Dag):
+        while True:
+            yield self.env.timeout(self.submit_retry_timeout)
+            if self.controller.state.dag_status_of(dag.dag_id) is not None:
+                return
+            self.resubmissions += 1
+            self.controller.submit_dag(dag, app=self.name)
+
+    def remove_dag(self, dag_id: int, cleanup: bool = True) -> None:
+        """Delete a DAG in this app's name."""
+        self.controller.remove_dag(dag_id, cleanup=cleanup, app=self.name)
+
+    def main(self):
+        raise NotImplementedError
+
+
+class TransitioningApp(App):
+    """Shared machinery for apps that replace a standing DAG hitlessly.
+
+    Correctness subtlety (found by replaying the §G-class traces against
+    this very code): when a transition DAG is itself replaced before its
+    deletion OPs ran, the entries it was responsible for removing may
+    still sit in the dataplane.  The next transition must therefore
+    delete the superseded DAG's installs *plus* any carried-over
+    entries; carried entries are dropped only once a transition DAG is
+    certified DONE (its deletions provably executed).  Without this, the
+    data plane could retain routing state of a deleted DAG — exactly
+    what §3.6 forbids.
+    """
+
+    def __init__(self, env: Environment, controller: ZenithController,
+                 name: str, alloc: Optional[IdAllocator] = None):
+        super().__init__(env, controller, name)
+        self.alloc = alloc if alloc is not None else IdAllocator()
+        self.priority = 0
+        self.current_dag: Optional[Dag] = None
+        self._carried_ops: list[Op] = []
+        #: (switch, entry_id) → the current DAG's DELETE op for it.
+        self._delete_op_for: dict[tuple[str, int], int] = {}
+        #: (time, dag_id) log of every DAG submission, for experiments.
+        self.submissions: list[tuple[float, int]] = []
+
+    def _entry_deleted(self, op: Op) -> bool:
+        """Whether the current DAG already deleted this old entry."""
+        if op.entry is None:
+            return True
+        delete_op = self._delete_op_for.get((op.switch, op.entry.entry_id))
+        if delete_op is None:
+            return False
+        from ..core.types import OpStatus
+
+        return self.controller.state.status_of(delete_op) is OpStatus.DONE
+
+    def _old_install_ops(self) -> list[Op]:
+        """Install OPs possibly present from earlier generations.
+
+        Carried entries are pruned as their deletion OPs complete, so
+        back-to-back transitions do not snowball the carried set.
+        """
+        if self.current_dag is None:
+            return list(self._carried_ops)
+        installs = [op for op in self.current_dag.ops.values()
+                    if op.op_type is OpType.INSTALL]
+        status = self.controller.state.dag_status_of(self.current_dag.dag_id)
+        if status is DagStatus.DONE:
+            # The current DAG's deletions executed: carried entries gone.
+            return installs
+        carried = [op for op in self._carried_ops
+                   if not self._entry_deleted(op)]
+        return installs + carried
+
+    def submit_transition(self, new_paths: Iterable[Sequence[str]]) -> Dag:
+        """Replace the standing DAG with one installing ``new_paths``."""
+        old_ops = self._old_install_ops()
+        self.priority += 1
+        dag = transition_dag(self.alloc, new_paths, old_ops,
+                             priority=self.priority)
+        old_dag, self.current_dag = self.current_dag, dag
+        self._carried_ops = old_ops
+        self._delete_op_for = {
+            (op.switch, op.entry_id): op.op_id
+            for op in dag.ops.values()
+            if op.op_type is OpType.DELETE and op.entry_id is not None
+        }
+        self.submissions.append((self.env.now, dag.dag_id))
+        if old_dag is not None:
+            # The transition embeds the deletions; no core-side cleanup.
+            self.remove_dag(old_dag.dag_id, cleanup=False)
+        self.submit_dag(dag)
+        return dag
+
+    def submit_fresh(self, paths: Iterable[Sequence[str]]) -> Optional[Dag]:
+        """Install an initial DAG (no previous generation to delete)."""
+        paths = list(paths)
+        if not paths:
+            return None
+        dag = multi_path_dag(self.alloc, paths, priority=self.priority)
+        self.current_dag = dag
+        self.submissions.append((self.env.now, dag.dag_id))
+        self.submit_dag(dag)
+        return dag
+
+
+class RoutingApp(TransitioningApp):
+    """Executable AbstractApp: keep demands routed over healthy switches.
+
+    On SWITCH_DOWN/SWITCH_UP the app recomputes shortest paths over the
+    controller's current topology view and replaces the standing DAG
+    with a transition DAG (install-new-then-delete-old, priorities
+    strictly increasing) — exactly the reactive behaviour the paper's
+    AbstractApp models.
+    """
+
+    def __init__(self, env: Environment, controller: ZenithController,
+                 demands: Sequence[tuple[str, str]],
+                 alloc: Optional[IdAllocator] = None,
+                 name: str = "routing-app"):
+        super().__init__(env, controller, name, alloc=alloc)
+        self.demands = list(demands)
+        #: Demands that could not be routed at the last recompute.
+        self.unroutable: list[tuple[str, str]] = []
+
+    # -- path computation ----------------------------------------------------------
+    def _believed_down(self) -> set[str]:
+        topo = self.controller.network.topology
+        return {
+            switch for switch in topo.switches
+            if self.controller.state.health_of(switch) is not SwitchHealth.UP
+        }
+
+    def compute_paths(self) -> list[list[str]]:
+        """Shortest paths for each demand over believed-healthy switches."""
+        topo = self.controller.network.topology
+        down = self._believed_down()
+        paths = []
+        self.unroutable = []
+        for src, dst in self.demands:
+            if src in down or dst in down:
+                self.unroutable.append((src, dst))
+                continue
+            path = topo.shortest_path(src, dst, excluded=down)
+            if path is None:
+                self.unroutable.append((src, dst))
+            else:
+                paths.append(path)
+        return paths
+
+    # -- DAG management -----------------------------------------------------------
+    def install_initial(self) -> Optional[Dag]:
+        """Install the DAG for the initial (healthy) topology."""
+        return self.submit_fresh(self.compute_paths())
+
+    def reroute(self) -> Dag:
+        """Replace the standing DAG with one for the current topology."""
+        return self.submit_transition(self.compute_paths())
+
+    # -- event loop --------------------------------------------------------------------
+    def main(self):
+        if self.current_dag is None:
+            self.install_initial()
+        while True:
+            event = yield self.events.get()
+            if event.kind in (AppEventKind.SWITCH_DOWN,
+                              AppEventKind.SWITCH_UP):
+                self.on_topology_event(event)
+
+    def on_topology_event(self, event: AppEvent) -> None:
+        """Default reaction: recompute and replace the standing DAG."""
+        self.reroute()

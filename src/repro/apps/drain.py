@@ -1,0 +1,153 @@
+"""Hitless drain/undrain application (paper §E, Listings 4–6).
+
+Given a drain request the app: (1) collects the endpoints that must
+stay connected, (2) computes new shortest paths assuming the drained
+node is gone, (3) builds a DAG that installs the new paths at a
+strictly higher priority than anything previously installed and only
+then deletes the old paths' OPs (``ComputeDrainDAG``), and (4) submits
+it.  Undrain reverses the process over the full topology.
+
+The app enforces the §4 app-specific invariant: it refuses to drain a
+switch when doing so would disconnect required endpoints or exceed the
+configured capacity-loss budget (default 25%, after [51, 56]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.controller import ZenithController
+from ..core.types import AppEventKind, Dag
+from ..sim import Environment, FifoQueue
+from ..workloads.dags import IdAllocator
+from .base import TransitioningApp
+
+__all__ = ["DrainApp", "DrainRequest", "DrainRejected"]
+
+
+class DrainRejected(Exception):
+    """Raised when a drain would violate the app's safety invariants."""
+
+
+class DrainRequest:
+    """A request to drain (or undrain) one switch."""
+
+    def __init__(self, node: str, drain: bool = True):
+        self.node = node
+        self.drain = drain
+
+    def __repr__(self) -> str:
+        verb = "drain" if self.drain else "undrain"
+        return f"DrainRequest({verb} {self.node})"
+
+
+class DrainApp(TransitioningApp):
+    """The drainer process of paper Listing 4."""
+
+    #: Maximum fraction of switches that may be drained simultaneously.
+    max_drained_fraction = 0.25
+
+    def __init__(self, env: Environment, controller: ZenithController,
+                 demands: Sequence[tuple[str, str]],
+                 alloc: Optional[IdAllocator] = None,
+                 name: str = "drain-app"):
+        super().__init__(env, controller, name, alloc=alloc)
+        self.demands = list(demands)
+        self.requests = FifoQueue(env, f"{name}.requests")
+        self.drained: set[str] = set()
+        #: (time, node, "drain"/"undrain") log for experiments.
+        self.completed: list[tuple[float, str, str]] = []
+
+    # -- public API ------------------------------------------------------------
+    def request_drain(self, node: str) -> None:
+        """Enqueue a drain request (the DrainRequestQueue of Listing 5)."""
+        self.requests.put(DrainRequest(node, drain=True))
+
+    def request_undrain(self, node: str) -> None:
+        """Enqueue an undrain request."""
+        self.requests.put(DrainRequest(node, drain=False))
+
+    # -- invariants (§4 app-specific) ----------------------------------------------
+    def _check_invariants(self, node: str) -> None:
+        topo = self.controller.network.topology
+        proposed = self.drained | {node}
+        if len(proposed) > self.max_drained_fraction * len(topo):
+            raise DrainRejected(
+                f"draining {node} exceeds the "
+                f"{self.max_drained_fraction:.0%} capacity budget")
+        endpoints = {e for pair in self.demands for e in pair}
+        if node in endpoints:
+            raise DrainRejected(f"{node} is a traffic endpoint")
+        for src, dst in self.demands:
+            if topo.shortest_path(src, dst, excluded=proposed) is None:
+                raise DrainRejected(
+                    f"draining {node} disconnects {src}->{dst}")
+
+    # -- DAG computation (ComputeDrainDAG, Listing 6) -----------------------------------
+    def _paths_excluding(self, excluded: set[str]) -> list[list[str]]:
+        """Shortest paths for all demands, spread across candidates.
+
+        Among the k shortest candidates per demand, pick the one whose
+        links are least loaded by already-placed demands, so that
+        multipath fabrics (fat-trees) are used at their capacity.
+        """
+        topo = self.controller.network.topology
+        load: dict[tuple[str, str], int] = {}
+
+        def link_key(a: str, b: str) -> tuple[str, str]:
+            return (a, b) if a < b else (b, a)
+
+        paths = []
+        for src, dst in self.demands:
+            candidates = topo.k_shortest_paths(src, dst, 4, excluded=excluded)
+            if not candidates:
+                continue
+            shortest = len(candidates[0])
+            candidates = [p for p in candidates if len(p) == shortest]
+
+            def overlap(path):
+                return sum(load.get(link_key(a, b), 0)
+                           for a, b in zip(path, path[1:]))
+
+            best = min(candidates, key=overlap)
+            for a, b in zip(best, best[1:]):
+                key = link_key(a, b)
+                load[key] = load.get(key, 0) + 1
+            paths.append(best)
+        return paths
+
+    def _apply(self, request: DrainRequest) -> Dag:
+        if request.drain:
+            self._check_invariants(request.node)
+            self.drained.add(request.node)
+        else:
+            self.drained.discard(request.node)
+        # Priority bump happens in submit_transition:
+        # HighestPriorityInOPSet(previous) + 1 (Listing 6).
+        return self.submit_transition(self._paths_excluding(set(self.drained)))
+
+    # -- event loop -------------------------------------------------------------------
+    def install_initial(self) -> Optional[Dag]:
+        """Route all demands over the full topology."""
+        return self.submit_fresh(self._paths_excluding(set()))
+
+    def main(self):
+        if self.current_dag is None:
+            self.install_initial()
+        pending: Optional[DrainRequest] = None
+        pending_dag: Optional[int] = None
+        while True:
+            if pending is None:
+                request = yield self.requests.get()
+                try:
+                    dag = self._apply(request)
+                except DrainRejected:
+                    continue
+                pending, pending_dag = request, dag.dag_id
+            else:
+                event = yield self.events.get()
+                if (event.kind is AppEventKind.DAG_DONE
+                        and event.dag_id == pending_dag):
+                    verb = "drain" if pending.drain else "undrain"
+                    self.completed.append((self.env.now, pending.node, verb))
+                    pending, pending_dag = None, None

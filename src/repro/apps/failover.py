@@ -1,0 +1,73 @@
+"""Planned OFC failover application (paper §6.2, Fig. 15).
+
+A planned failover replaces the active OFC instance: its components
+(Worker Pool, Monitoring Server, Topo Event Handler) hand over to a
+fresh instance which re-asserts mastership over every switch with
+ROLE_CHANGE and resumes from NIB state.
+
+In this reproduction the "new instance" is modeled by restarting the
+OFC components with a new instance name: ZENITH's components recover
+cleanly from the NIB (peek/pop queues, recorded worker state), so
+failover barely perturbs convergence; the PR baseline's components lose
+whatever was in flight and fall back to the deadlock timeout /
+reconciliation — the gap Fig. 15 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.controller import ZenithController
+from ..net.messages import MsgKind, SwitchRequest
+from ..sim import Environment, FifoQueue
+from .base import App
+
+__all__ = ["FailoverApp"]
+
+
+class FailoverApp(App):
+    """Executes planned OFC failovers on request."""
+
+    #: Time for the standby instance to take over process-wise.
+    takeover_delay = 0.1
+
+    def __init__(self, env: Environment, controller: ZenithController,
+                 name: str = "failover-app"):
+        super().__init__(env, controller, name)
+        self.requests = FifoQueue(env, f"{name}.requests")
+        #: (start, end, new_instance) per completed failover.
+        self.completed: list[tuple[float, float, str]] = []
+        self._instance_counter = 1
+
+    def request_failover(self) -> str:
+        """Ask for a failover to a fresh OFC instance; returns its name."""
+        self._instance_counter += 1
+        instance = f"ofc-{self._instance_counter}"
+        self.requests.put(instance)
+        return instance
+
+    def main(self):
+        while True:
+            instance = yield self.requests.get()
+            yield from self._failover(instance)
+
+    def _failover(self, instance: str):
+        start = self.env.now
+        controller = self.controller
+        # The old instance's components stop abruptly; in-memory state
+        # is gone (the NIB survives per assumption A2).
+        for component_name in controller.ofc_component_names():
+            controller.hosts[component_name].crash(f"failover:{instance}")
+        yield self.env.timeout(self.takeover_delay)
+        # The new instance takes over: mastership + component restart.
+        controller.config.ofc_instance = instance
+        for component_name in controller.ofc_component_names():
+            host = controller.hosts[component_name]
+            if host.state.name == "DOWN":
+                host.restart()
+        for switch_id in controller.network.topology.switches:
+            controller.state.to_switch_queue(switch_id).put(
+                SwitchRequest(MsgKind.ROLE_CHANGE, switch_id,
+                              xid=controller.state.next_xid(),
+                              sender=instance, role=instance))
+        self.completed.append((start, self.env.now, instance))

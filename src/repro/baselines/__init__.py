@@ -1,0 +1,29 @@
+"""Baseline controllers: PR, PRUp, NoRec and an ODL-like comparator."""
+
+from .odl import OdlController, OdlDagScheduler, OdlTopoEventHandler
+from .pr import (
+    DeadlockSweeper,
+    NoRecController,
+    PrController,
+    PrTopoEventHandler,
+    PrUpController,
+    PrUpTopoEventHandler,
+    PrWorker,
+    Reconciler,
+    fix_switch_against_snapshot,
+)
+
+__all__ = [
+    "DeadlockSweeper",
+    "NoRecController",
+    "OdlController",
+    "OdlDagScheduler",
+    "OdlTopoEventHandler",
+    "PrController",
+    "PrTopoEventHandler",
+    "PrUpController",
+    "PrUpTopoEventHandler",
+    "PrWorker",
+    "Reconciler",
+    "fix_switch_against_snapshot",
+]

@@ -1,0 +1,86 @@
+"""ODL-like baseline: PR plus the incident-report race conditions.
+
+Models the two OpenDaylight behaviours the paper's §1.1 incidents and
+Fig. A.2 experiment exercise:
+
+* **Unordered status-event handling** — switch failure and recovery are
+  handled by separate threads; each event is applied after an
+  independent random processing delay, so a rapid failure→recovery pair
+  can be applied in the wrong order, leaving the controller convinced a
+  healthy switch is down (ODL incident 1).
+* **No stale-state cleanup** — the DE app fails to clean up state when
+  DAGs are replaced: DAG deletion never generates cleanup OPs, so stale
+  entries persist in the dataplane (blackholing traffic) until periodic
+  reconciliation deletes them (Fig. A.2's behaviour).
+"""
+
+from __future__ import annotations
+
+from ..core.scheduler import DagScheduler
+from ..core.types import DagRequest, DagRequestKind
+from ..net.messages import SwitchStatusMsg
+from ..sim import RandomStreams
+from .pr import PrController, PrTopoEventHandler
+
+__all__ = ["OdlTopoEventHandler", "OdlDagScheduler", "OdlController"]
+
+
+class OdlTopoEventHandler(PrTopoEventHandler):
+    """Status events handled by racing threads with random delays."""
+
+    #: Maximum extra processing delay per status event (seconds).
+    event_jitter = 0.4
+
+    def __init__(self, env, state, config):
+        super().__init__(env, state, config)
+        self._streams = RandomStreams(17).child("odl-topo")
+
+    def main(self):
+        while True:
+            event = yield self.queue.read()
+            self.queue.pop()
+            if isinstance(event, SwitchStatusMsg):
+                # Hand the event to an independent "thread": it lands
+                # after a random delay, racing other status events.
+                self.env.process(self._handle_later(event),
+                                 name="odl-status-thread")
+            else:
+                yield self.env.timeout(self.config.topo_event_cost)
+                self._dispatch(event)
+
+    def _handle_later(self, event: SwitchStatusMsg):
+        yield self.env.timeout(
+            self._streams.uniform(0.0, self.event_jitter))
+        self._dispatch(event)
+
+    def _dispatch(self, event) -> None:
+        from ..net.messages import SwitchStatus
+
+        if isinstance(event, SwitchStatusMsg):
+            if event.status is SwitchStatus.DOWN:
+                self._switch_down(event)
+            else:
+                self._switch_up(event)
+        else:
+            from ..core.events import SnapshotEvent
+
+            if isinstance(event, SnapshotEvent):
+                self._directed_reconcile(event)
+
+
+class OdlDagScheduler(DagScheduler):
+    """DAG deletion without cleanup: stale entries linger (Fig. A.2)."""
+
+    def _delete(self, request: DagRequest) -> None:
+        if request.cleanup:
+            request = DagRequest(DagRequestKind.DELETE,
+                                 dag_id=request.dag_id, cleanup=False,
+                                 app=request.app)
+        super()._delete(request)
+
+
+class OdlController(PrController):
+    """The ODL-like comparator used in Fig. 14 / Fig. A.2."""
+
+    topo_handler_cls = OdlTopoEventHandler
+    scheduler_cls = OdlDagScheduler

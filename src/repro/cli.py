@@ -1,0 +1,128 @@
+"""Command-line interface.
+
+``python -m repro list``            — list experiments
+``python -m repro quickstart``      — the sixty-second demo
+``python -m repro fig10``           — run one experiment (quick mode)
+``python -m repro fig11 --full``    — full-scale parameters
+``python -m repro all``             — run every experiment (quick mode)
+``python -m repro check <spec>``    — model-check a named specification
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main"]
+
+_SPECS = {
+    "workerpool-initial": lambda: __import__(
+        "repro.spec.specs", fromlist=["worker_pool_spec"]
+    ).worker_pool_spec(fixed=False),
+    "workerpool-final": lambda: __import__(
+        "repro.spec.specs", fromlist=["worker_pool_spec"]
+    ).worker_pool_spec(fixed=True),
+    "controller": lambda: __import__(
+        "repro.spec.specs", fromlist=["controller_spec"]
+    ).controller_spec(failures=1),
+    "controller-buggy-recovery": lambda: __import__(
+        "repro.spec.specs", fromlist=["controller_spec"]
+    ).controller_spec(num_switches=1, failures=1, recovery_order="buggy",
+                      stale_protection=False, oneshot_sequencer=True),
+    "core-with-app": lambda: __import__(
+        "repro.spec.specs", fromlist=["core_with_app_spec"]
+    ).core_with_app_spec(failures=2),
+    "core-with-app-naive": lambda: __import__(
+        "repro.spec.specs", fromlist=["core_with_app_spec"]
+    ).core_with_app_spec(failures=1, naive_transition=True),
+    "drain-app": lambda: __import__(
+        "repro.spec.specs", fromlist=["drain_app_spec"]
+    ).drain_app_spec("abstract"),
+    "drain-app-full-core": lambda: __import__(
+        "repro.spec.specs", fromlist=["drain_app_spec"]
+    ).drain_app_spec("full"),
+    "te-app": lambda: __import__(
+        "repro.spec.specs", fromlist=["te_app_spec"]).te_app_spec(),
+    "failover-app": lambda: __import__(
+        "repro.spec.specs", fromlist=["failover_app_spec"]
+    ).failover_app_spec(),
+}
+
+
+def _run_experiment(name: str, quick: bool, seed: int) -> int:
+    from .experiments import EXPERIMENTS
+
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try: "
+              f"{', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    result = EXPERIMENTS[name](quick=quick, seed=seed)
+    elapsed = time.perf_counter() - started
+    print(result.render())
+    failures = result.check_shape()
+    if failures:
+        print(f"\nPAPER-SHAPE REGRESSIONS: {failures}", file=sys.stderr)
+        return 1
+    print(f"\nshape checks passed  [{elapsed:.1f}s]")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI dispatcher; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZENITH (SIGCOMM 2025) reproduction toolkit")
+    parser.add_argument("command",
+                        help="experiment id (fig3..figA6, table4, ...), "
+                             "'list', 'all', 'quickstart' or 'check'")
+    parser.add_argument("spec", nargs="?",
+                        help="specification name (for 'check')")
+    parser.add_argument("--full", action="store_true",
+                        help="full-scale parameters (slow)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.command == "quickstart":
+        from . import quickstart
+
+        quickstart()
+        return 0
+
+    if args.command == "list":
+        from .experiments import EXPERIMENTS
+
+        print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+        print("specs:      ", ", ".join(sorted(_SPECS)))
+        return 0
+
+    if args.command == "check":
+        if args.spec not in _SPECS:
+            print(f"unknown spec {args.spec!r}; try: "
+                  f"{', '.join(sorted(_SPECS))}", file=sys.stderr)
+            return 2
+        from .spec import check
+
+        result = check(_SPECS[args.spec]())
+        print(result.summary())
+        for violation in result.violations:
+            print(violation.describe())
+        return 0 if result.ok else 1
+
+    if args.command == "all":
+        from .experiments import EXPERIMENTS
+
+        status = 0
+        for name in sorted(EXPERIMENTS):
+            print(f"\n################ {name} ################")
+            status |= _run_experiment(name, quick=not args.full,
+                                      seed=args.seed)
+        return status
+
+    return _run_experiment(args.command, quick=not args.full,
+                           seed=args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""ZENITH-core: the verified microservice-based controller."""
+
+from .config import ControllerConfig
+from .controller import ZenithController
+from .events import (
+    CleanupAckEvent,
+    OpDoneEvent,
+    OpFailedEvent,
+    OpResetEvent,
+    OpSentEvent,
+    SnapshotEvent,
+)
+from .monitoring import MonitoringServer
+from .nib_handler import NibEventHandler
+from .scheduler import DagScheduler
+from .sequencer import Sequencer
+from .state import ControllerState
+from .topo_handler import TopoEventHandler
+from .types import (
+    AppEvent,
+    AppEventKind,
+    Dag,
+    DagRequest,
+    DagRequestKind,
+    DagStatus,
+    DagValidationError,
+    Op,
+    OpStatus,
+    OpType,
+    SwitchHealth,
+)
+from .watchdog import Watchdog
+from .worker_pool import Worker, translate_op
+
+__all__ = [
+    "AppEvent",
+    "AppEventKind",
+    "CleanupAckEvent",
+    "ControllerConfig",
+    "ControllerState",
+    "Dag",
+    "DagRequest",
+    "DagRequestKind",
+    "DagScheduler",
+    "DagStatus",
+    "DagValidationError",
+    "MonitoringServer",
+    "NibEventHandler",
+    "Op",
+    "OpDoneEvent",
+    "OpFailedEvent",
+    "OpResetEvent",
+    "OpSentEvent",
+    "OpStatus",
+    "OpType",
+    "Sequencer",
+    "SnapshotEvent",
+    "SwitchHealth",
+    "TopoEventHandler",
+    "Watchdog",
+    "Worker",
+    "ZenithController",
+    "translate_op",
+]

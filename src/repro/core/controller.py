@@ -1,0 +1,215 @@
+"""ZENITH-core controller assembly.
+
+Wires the DAG Engine (DAG Scheduler, Sequencer pool, NIB Event Handler),
+the OpenFlow Controller (Worker Pool, Monitoring Server, Topo Event
+Handler) and the Watchdog over a shared NIB and a simulated network —
+the architecture of paper Fig. 6/Table 1.  Two variants:
+
+* **ZENITH-NR** (default): recovery wipes the recovering switch's TCAM
+  through the normal pipeline before rejoining it;
+* **ZENITH-DR** (``ControllerConfig.directed_reconciliation``): recovery
+  reads the switch table and fixes only actual inconsistencies.
+
+This hand-written implementation plays the role of NADIR's generated
+code in the large-scale experiments; :mod:`repro.nadir` demonstrates the
+actual spec→code pipeline on representative components and tests verify
+behavioural equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.dataplane import Network
+from ..nib import Nib
+from ..sim import ComponentHost, Environment, Event, FifoQueue
+from .config import ControllerConfig
+from .monitoring import MonitoringServer
+from .nib_handler import NibEventHandler
+from .scheduler import DagScheduler
+from .sequencer import Sequencer
+from .state import ControllerState
+from .topo_handler import TopoEventHandler
+from .types import (
+    Dag,
+    DagRequest,
+    DagRequestKind,
+    DagStatus,
+    SwitchHealth,
+)
+from .watchdog import Watchdog
+from .worker_pool import Worker
+
+__all__ = ["ZenithController"]
+
+
+class ZenithController:
+    """A fully wired ZENITH-core instance over a simulated network."""
+
+    #: Component classes; baselines override these to swap disciplines.
+    sequencer_cls = Sequencer
+    scheduler_cls = DagScheduler
+    nib_handler_cls = NibEventHandler
+    worker_cls = Worker
+    monitoring_cls = MonitoringServer
+    topo_handler_cls = TopoEventHandler
+
+    def __init__(self, env: Environment, network: Network,
+                 nib: Optional[Nib] = None,
+                 config: Optional[ControllerConfig] = None,
+                 name: str = "zenith"):
+        self.env = env
+        self.network = network
+        self.nib = nib if nib is not None else Nib(env)
+        self.config = config if config is not None else ControllerConfig()
+        self.name = name
+        self.state = ControllerState(self.nib, namespace=name)
+        for switch_id in network.topology.switches:
+            self.state.set_health(switch_id, SwitchHealth.UP)
+
+        # DAG Engine.
+        self.sequencers = [
+            self.sequencer_cls(env, self.state, self.config, i)
+            for i in range(self.config.num_sequencers)
+        ]
+        self.dag_scheduler = self.scheduler_cls(env, self.state, self.config,
+                                                self.sequencers)
+        self.nib_handler = self.nib_handler_cls(env, self.state, self.config)
+
+        # OpenFlow Controller.
+        self.workers = [
+            self.worker_cls(env, self.state, self.config, i)
+            for i in range(self.config.num_workers)
+        ]
+        self.monitoring = self.monitoring_cls(env, self.state, self.config,
+                                              network)
+        self.topo_handler = self.topo_handler_cls(env, self.state, self.config)
+
+        self.watchdog = Watchdog(env, self.config)
+        self._hosts: dict[str, ComponentHost] = {}
+        self._build_hosts()
+        self._started = False
+        self._dag_waiters: dict[int, list[Event]] = {}
+        self.state.dag_status.watch(self._on_dag_status)
+
+    # -- assembly -------------------------------------------------------------------
+    def extra_components(self):
+        """Hook: additional components (e.g. a reconciler) to host."""
+        return []
+
+    def _build_hosts(self) -> None:
+        components = [self.dag_scheduler, self.nib_handler,
+                      self.monitoring, self.topo_handler,
+                      *self.sequencers, *self.workers,
+                      *self.extra_components()]
+        for component in components:
+            self._hosts[component.name] = ComponentHost(
+                self.env, component, auto_restart=False)
+            self.watchdog.watch(self._hosts[component.name])
+        # The watchdog is assumed reliable: it restarts itself.
+        self._hosts[self.watchdog.name] = ComponentHost(
+            self.env, self.watchdog, auto_restart=True)
+
+    def start(self) -> "ZenithController":
+        """Launch every component."""
+        if self._started:
+            raise RuntimeError("controller already started")
+        self._started = True
+        for host in self._hosts.values():
+            host.start()
+        return self
+
+    # -- component access (failure injection) ---------------------------------------
+    @property
+    def hosts(self) -> dict[str, ComponentHost]:
+        """Component hosts by name (for failure injection)."""
+        return dict(self._hosts)
+
+    def crash_component(self, name: str, reason: str = "injected") -> None:
+        """Crash one component by name."""
+        self._hosts[name].crash(reason)
+
+    def de_component_names(self) -> list[str]:
+        """DAG Engine component names."""
+        return (["dag-scheduler", "nib-event-handler"]
+                + [s.name for s in self.sequencers])
+
+    def ofc_component_names(self) -> list[str]:
+        """OpenFlow Controller component names."""
+        return (["monitoring-server", "topo-event-handler"]
+                + [w.name for w in self.workers])
+
+    # -- application API ---------------------------------------------------------------
+    def register_app(self, app: str) -> FifoQueue:
+        """Register an application; returns its event queue."""
+        self.topo_handler.subscribe(app)
+        return self.state.app_event_queue(app)
+
+    def submit_dag(self, dag: Dag, app: str = "") -> None:
+        """Ask the controller to install ``dag``."""
+        self.state.dag_request_queue().put(
+            DagRequest(DagRequestKind.INSTALL, dag=dag, app=app))
+
+    def remove_dag(self, dag_id: int, cleanup: bool = True,
+                   app: str = "") -> None:
+        """Ask the controller to delete DAG ``dag_id``."""
+        self.state.dag_request_queue().put(
+            DagRequest(DagRequestKind.DELETE, dag_id=dag_id,
+                       cleanup=cleanup, app=app))
+
+    # -- convergence certification --------------------------------------------------------
+    def _on_dag_status(self, write) -> None:
+        if write.new is not DagStatus.DONE:
+            return
+        for waiter in self._dag_waiters.pop(write.key, []):
+            if not waiter.triggered:
+                waiter.succeed(self.env.now)
+
+    def wait_for_dag(self, dag_id: int) -> Event:
+        """Event firing (with the time) when the NIB certifies the DAG.
+
+        This is the paper's convergence instant: "the controller
+        certifies in the NIB that the data plane has converged to the
+        state corresponding to the DAG" (§6, Metrics).
+        """
+        event = Event(self.env)
+        if self.state.dag_status_of(dag_id) is DagStatus.DONE:
+            event.succeed(self.env.now)
+        else:
+            self._dag_waiters.setdefault(dag_id, []).append(event)
+        return event
+
+    # -- consistency ground truth -----------------------------------------------------------
+    def view_matches_dataplane(self) -> bool:
+        """CorrectRoutingState check: R_c equals G_d right now.
+
+        Switches that are actually down are excluded: their state is in
+        flux by definition and the ◇□ condition only binds once they
+        recover (or permanently stay down).
+        """
+        actual = self.network.routing_state()
+        believed = self.state.routing_view_snapshot()
+        for switch_id, entries in actual.items():
+            if not self.network[switch_id].is_healthy:
+                continue
+            if believed.get(switch_id, frozenset()) != entries:
+                return False
+        for switch_id, entries in believed.items():
+            if not entries or not self.network[switch_id].is_healthy:
+                continue
+            if actual.get(switch_id, frozenset()) != entries:
+                return False
+        return True
+
+    def hidden_entries(self) -> list[tuple[str, int]]:
+        """Entries installed in the dataplane but absent from R_c.
+
+        Non-empty only transiently for a correct controller; persistent
+        hidden entries are the Fig. 2 pathology.
+        """
+        believed = self.state.routing_view_snapshot()
+        hidden = []
+        for switch_id, entries in self.network.routing_state().items():
+            missing = entries - believed.get(switch_id, frozenset())
+            hidden.extend((switch_id, entry_id) for entry_id in missing)
+        return sorted(hidden)

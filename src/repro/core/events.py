@@ -1,0 +1,63 @@
+"""Internal controller events flowing through NIB queues."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.messages import FlowEntry
+
+__all__ = [
+    "OpSentEvent",
+    "OpDoneEvent",
+    "OpFailedEvent",
+    "OpResetEvent",
+    "CleanupAckEvent",
+    "SnapshotEvent",
+]
+
+
+@dataclass(frozen=True)
+class OpSentEvent:
+    """A worker forwarded the OP to its switch (it is now in flight)."""
+
+    op_id: int
+
+
+@dataclass(frozen=True)
+class OpDoneEvent:
+    """The switch acknowledged the OP (A3: it is installed/applied)."""
+
+    op_id: int
+
+
+@dataclass(frozen=True)
+class OpFailedEvent:
+    """The OP could not be delivered (its switch is recorded DOWN)."""
+
+    op_id: int
+    reason: str = "switch_down"
+
+
+@dataclass(frozen=True)
+class OpResetEvent:
+    """An OP's status was reset to NONE (switch wiped on recovery)."""
+
+    op_id: int
+
+
+@dataclass(frozen=True)
+class CleanupAckEvent:
+    """A CLEAR_TCAM issued during switch recovery was acknowledged."""
+
+    switch: str
+    xid: int
+
+
+@dataclass(frozen=True)
+class SnapshotEvent:
+    """A READ_TABLE response routed to whoever requested it."""
+
+    switch: str
+    xid: int
+    entries: tuple[FlowEntry, ...]

@@ -1,0 +1,119 @@
+"""Monitoring Server: the OFC's interface to switches.
+
+It owns, per switch, a *sender* (drains the per-switch ``ToSW`` queue
+into the switch's control channel) and a *receiver* (classifies switch
+responses).  A separate forwarder moves out-of-band liveness
+notifications onto the Topo Event Handler's queue.
+
+Classification of inbound messages:
+
+* INSTALL/DELETE acks   → ``OpDoneEvent`` on the NIB event queue;
+* CLEAR_TCAM acks       → ``CleanupAckEvent`` on the topo event queue;
+* ROLE_CHANGE acks      → the ``RoleAcks`` queue (planned failover);
+* table snapshots       → routed to whichever component registered the
+  read xid in ``read_waiters`` (directed/periodic reconciliation).
+
+A Monitoring Server crash interrupts all of its children; queued switch
+responses survive in the switches' output queues and in the NIB-resident
+``ToSW`` queues, so a restarted instance picks up where it left off —
+only in-memory progress is lost, as the paper's failure model demands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.dataplane import Network
+from ..net.messages import MsgKind, SwitchAck, SwitchStatusMsg, TableSnapshot
+from ..sim import Component, Environment, Interrupt, Process
+from .config import ControllerConfig
+from .events import CleanupAckEvent, OpDoneEvent, SnapshotEvent
+from .state import ControllerState
+
+__all__ = ["MonitoringServer"]
+
+
+class MonitoringServer(Component):
+    """Pool of per-switch channel handlers (paper Table 1, OFC)."""
+
+    def __init__(self, env: Environment, state: ControllerState,
+                 config: ControllerConfig, network: Network):
+        super().__init__(env, name="monitoring-server")
+        self.state = state
+        self.config = config
+        self.network = network
+        #: Out-of-band liveness messages from switches land here.
+        self.status_inbox = state.nib.fifo(f"{state.ns}.SwitchStatus")
+        for switch in network:
+            switch.add_status_listener(self.status_inbox)
+        self._children: list[Process] = []
+
+    def setup(self):
+        # Kill children from a previous incarnation: a crashed MS loses
+        # its threads; queued data survives in NIB/switch queues.
+        for child in self._children:
+            if child.is_alive:
+                child.interrupt("parent-crashed")
+        self._children = []
+
+    def main(self):
+        for switch_id in self.network.switches:
+            self._children.append(self.env.process(
+                self._sender(switch_id), name=f"ms-send-{switch_id}"))
+            self._children.append(self.env.process(
+                self._receiver(switch_id), name=f"ms-recv-{switch_id}"))
+        self._children.append(self.env.process(
+            self._status_forwarder(), name="ms-status"))
+        # Park forever; a crash interrupts us here (children die in setup).
+        yield self.env.event()
+
+    # -- children ---------------------------------------------------------------
+    def _sender(self, switch_id: str):
+        queue = self.state.to_switch_queue(switch_id)
+        switch = self.network[switch_id]
+        while True:
+            try:
+                request = yield queue.read()
+                switch.send(request)
+                queue.pop()
+            except Interrupt:
+                return
+
+    def _receiver(self, switch_id: str):
+        switch = self.network[switch_id]
+        while True:
+            try:
+                message = yield switch.out_queue.get()
+            except Interrupt:
+                return
+            self._classify(message)
+
+    def _status_forwarder(self):
+        topo_queue = self.state.topo_event_queue()
+        while True:
+            try:
+                message = yield self.status_inbox.get()
+                topo_queue.put(message)
+            except Interrupt:
+                return
+
+    # -- classification ------------------------------------------------------------
+    def _classify(self, message) -> None:
+        if isinstance(message, SwitchAck):
+            if message.kind in (MsgKind.INSTALL, MsgKind.DELETE):
+                self.state.nib_event_queue().put(OpDoneEvent(message.xid))
+            elif message.kind is MsgKind.CLEAR_TCAM:
+                self.state.topo_event_queue().put(
+                    CleanupAckEvent(message.switch, message.xid))
+            elif message.kind is MsgKind.ROLE_CHANGE:
+                self.state.nib.fifo(f"{self.state.ns}.RoleAcks").put(message)
+        elif isinstance(message, TableSnapshot):
+            waiter = self.state.read_waiters.get(message.xid)
+            event = SnapshotEvent(message.switch, message.xid, message.entries)
+            if waiter == "topo":
+                self.state.topo_event_queue().put(event)
+            elif waiter:
+                self.state.snapshot_queue(waiter).put(event)
+            self.state.read_waiters.delete(message.xid)
+        elif isinstance(message, SwitchStatusMsg):  # pragma: no cover
+            self.state.topo_event_queue().put(message)

@@ -1,0 +1,108 @@
+"""NIB Event Handler: apply controller events to NIB state (DE).
+
+Consumes the NIB event queue and drives the OP status state machine:
+
+* ``OpSentEvent``   → SCHEDULED → IN_FLIGHT;
+* ``OpDoneEvent``   → DONE, and updates the routing view (R_c);
+* ``OpFailedEvent`` → FAILED (the Topo Event Handler resets these to
+  NONE once the switch has recovered and been wiped).
+
+Every event is applied under the NIB write lock, which is what couples
+event processing latency with any bulk reconciliation in flight — the
+scaling bottleneck of Fig. 4(b).  After applying an event it notifies
+the Sequencer owning the affected DAG.
+
+State-machine conservatism (§3.9): an ACK arriving for an OP whose
+switch is mid-recovery (health RECOVERING) is *ignored* — "it is better
+to be conservative and assume the OP was not installed" — the cleanup
+wipe will reset it anyway.
+"""
+
+from __future__ import annotations
+
+from ..sim import Component, Environment
+from .config import ControllerConfig
+from .events import OpDoneEvent, OpFailedEvent, OpSentEvent
+from .state import ControllerState
+from .types import OpStatus, OpType, SwitchHealth
+
+__all__ = ["NibEventHandler"]
+
+
+class NibEventHandler(Component):
+    """DE component translating events into NIB state transitions."""
+
+    def __init__(self, env: Environment, state: ControllerState,
+                 config: ControllerConfig):
+        super().__init__(env, name="nib-event-handler")
+        self.state = state
+        self.config = config
+        self.queue = state.nib_event_queue()
+
+    def main(self):
+        while True:
+            event = yield self.queue.read()
+            yield self.state.nib.acquire_write_lock(self.name)
+            try:
+                yield self.env.timeout(self.config.nib_event_cost)
+                self._apply(event)
+            finally:
+                self.state.nib.release_write_lock()
+            self.queue.pop()
+
+    def _apply(self, event) -> None:
+        if isinstance(event, OpSentEvent):
+            if self.state.status_of(event.op_id) is OpStatus.SCHEDULED:
+                self.state.set_op_status(event.op_id, OpStatus.IN_FLIGHT)
+        elif isinstance(event, OpDoneEvent):
+            self._apply_done(event.op_id)
+        elif isinstance(event, OpFailedEvent):
+            op = self.state.op_table.get(event.op_id)
+            if op is not None and self.state.is_switch_usable(op.switch):
+                # Stale failure report: the switch recovered (and its
+                # OPs were reset/re-derived) before this event was
+                # processed.  A fresh dispatch drives the OP now;
+                # marking it FAILED would strand it (model-checker
+                # finding).
+                return
+            if op is not None and op.op_type is OpType.DELETE:
+                # A DELETE to a dead switch is vacuously satisfied: the
+                # recovery wipe (or directed reconciliation) removes the
+                # entry before the switch rejoins, so cleanup DAGs never
+                # deadlock on permanently failed switches.
+                self.state.set_op_status(event.op_id, OpStatus.DONE)
+                if op.entry_id is not None:
+                    self.state.record_removed(op.switch, op.entry_id)
+            else:
+                self.state.set_op_status(event.op_id, OpStatus.FAILED)
+            self._notify_owner(event.op_id)
+
+    def _apply_done(self, op_id: int) -> None:
+        op = self.state.op_table.get(op_id)
+        if op is None:
+            return
+        if self.state.health_of(op.switch) is SwitchHealth.RECOVERING:
+            # Conservative state machine: ambiguous ACK around a
+            # failure/recovery boundary is treated as not installed.
+            return
+        if self.state.status_of(op_id) is not OpStatus.IN_FLIGHT:
+            # Only accept ACKs for OPs deemed in flight: a stale
+            # pre-wipe ACK processed after the recovery reset (which
+            # travels the topo queue, unordered wrt. this one) must not
+            # resurrect a wiped OP to DONE.  Found by model checking
+            # the controller specification.
+            return
+        self.state.set_op_status(op_id, OpStatus.DONE)
+        if op.op_type is OpType.INSTALL and op.entry is not None:
+            self.state.record_installed(op.switch, op.entry.entry_id, op_id)
+        elif op.op_type is OpType.DELETE and op.entry_id is not None:
+            self.state.record_removed(op.switch, op.entry_id)
+        self._notify_owner(op_id)
+
+    def _notify_owner(self, op_id: int) -> None:
+        dag_id = self.state.op_dag.get(op_id)
+        if dag_id is None:
+            return
+        owner = self.state.dag_owner.get(dag_id)
+        if owner is not None:
+            self.state.sequencer_notify_queue(owner).put(("op", op_id))

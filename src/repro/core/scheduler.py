@@ -1,0 +1,115 @@
+"""DAG Scheduler: process application DAG requests (DE front-end).
+
+Schedules new DAGs onto Sequencers (round-robin) and ensures stale
+DAGs are deleted properly (paper Table 1): a DELETE request marks the
+DAG STALE so its Sequencer abandons it, and — when cleanup is requested
+— synthesizes a *cleanup DAG* of DELETE OPs for every entry of the
+stale DAG still present in the controller's routing view.  Because OPs
+are delivered per-switch in order (P4), cleanup OPs land after any
+still-in-flight OPs of the stale DAG, guaranteeing that "the data plane
+will never have a routing state corresponding to a deleted DAG" (§3.6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..sim import Component, Environment
+from .config import ControllerConfig
+from .sequencer import Sequencer
+from .state import ControllerState
+from .types import (
+    AppEvent,
+    AppEventKind,
+    Dag,
+    DagRequest,
+    DagRequestKind,
+    DagStatus,
+    Op,
+    OpType,
+)
+
+__all__ = ["DagScheduler"]
+
+
+class DagScheduler(Component):
+    """The DAG Engine's request dispatcher."""
+
+    def __init__(self, env: Environment, state: ControllerState,
+                 config: ControllerConfig, sequencers: list[Sequencer]):
+        super().__init__(env, name="dag-scheduler")
+        self.state = state
+        self.config = config
+        self.sequencers = sequencers
+        self.requests = state.dag_request_queue()
+        self.dag_app = state.nib.table(f"{state.ns}.dag_app")
+        self._cleanup_ids = itertools.count(9_000_000)
+
+    def main(self):
+        while True:
+            request = yield self.requests.read()
+            yield self.env.timeout(self.config.scheduler_step_time)
+            if request.kind is DagRequestKind.INSTALL:
+                self._install(request)
+            else:
+                self._delete(request)
+            self.requests.pop()
+
+    # -- install --------------------------------------------------------------
+    def _pick_sequencer(self) -> Sequencer:
+        """Round-robin assignment, persisted in the NIB for recovery."""
+        table = self.state.nib.table(f"{self.state.ns}.scheduler")
+        nxt = table.get("next_seq", 0)
+        table.put("next_seq", (nxt + 1) % len(self.sequencers))
+        return self.sequencers[nxt % len(self.sequencers)]
+
+    def _install(self, request: DagRequest) -> None:
+        dag = request.dag
+        assert dag is not None
+        sequencer = self._pick_sequencer()
+        self.state.register_dag(dag, owner=sequencer.index)
+        app = getattr(request, "app", "") or ""
+        if app:
+            self.dag_app.put(dag.dag_id, app)
+        sequencer.submit(dag.dag_id)
+
+    # -- delete ----------------------------------------------------------------
+    def _delete(self, request: DagRequest) -> None:
+        dag_id = request.dag_id
+        assert dag_id is not None
+        dag = self.state.get_dag(dag_id)
+        if dag is None:
+            return
+        status = self.state.dag_status_of(dag_id)
+        if status in (DagStatus.REMOVED,):
+            return
+        self.state.set_dag_status(dag_id, DagStatus.STALE)
+        owner = self.state.dag_owner.get(dag_id)
+        if owner is not None:
+            # Nudge the owner so it notices the STALE mark promptly.
+            self.state.sequencer_notify_queue(owner).put(("dag", dag_id))
+        if request.cleanup:
+            cleanup_dag = self._build_cleanup_dag(dag)
+            if cleanup_dag is not None:
+                sequencer = self._pick_sequencer()
+                self.state.register_dag(cleanup_dag, owner=sequencer.index)
+                sequencer.submit(cleanup_dag.dag_id)
+        app = self.dag_app.get(dag_id)
+        if app:
+            self.state.app_event_queue(app).put(
+                AppEvent(AppEventKind.DAG_REMOVED, dag_id=dag_id,
+                         at=self.env.now))
+
+    def _build_cleanup_dag(self, dag: Dag) -> Optional[Dag]:
+        """DELETE OPs for the stale DAG's entries (flat: no ordering)."""
+        ops = []
+        for op in dag.ops.values():
+            if op.op_type is not OpType.INSTALL or op.entry is None:
+                continue
+            op_id = next(self._cleanup_ids)
+            ops.append(Op(op_id, op.switch, OpType.DELETE,
+                          entry_id=op.entry.entry_id))
+        if not ops:
+            return None
+        return Dag(next(self._cleanup_ids), ops)

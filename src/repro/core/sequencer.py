@@ -1,0 +1,128 @@
+"""Sequencer: enforce DAG ordering when emitting OPs (DE worker pool).
+
+A Sequencer owns one DAG at a time.  It repeatedly computes the set of
+*schedulable* OPs — members of the current DAG whose status is NONE and
+whose predecessors are all DONE (property P2) — marks them SCHEDULED
+and pushes them onto the consistently sharded per-worker OP queues.
+It finishes the DAG once every OP is DONE, and abandons it if the DAG
+Scheduler marks it STALE.
+
+Crash recovery is trivial by design: the inbox uses peek/pop semantics
+and every scheduling decision is derived from NIB state, so a restarted
+Sequencer recomputes where it was.  The paper calls the Sequencer the
+most complex component (Fig. A.3) because it must manage transitions
+between DAGs with in-flight OPs; that logic lives in the STALE path and
+the OP-reset notifications from the Topo Event Handler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import AnyOf, Component, Environment
+from .config import ControllerConfig
+from .state import ControllerState
+from .types import AppEvent, AppEventKind, DagStatus, OpStatus
+
+__all__ = ["Sequencer"]
+
+
+class Sequencer(Component):
+    """One sequencer worker of the DAG Engine."""
+
+    #: Fallback rescan period: notifications are hints, the full state is
+    #: always recomputed from the NIB, so a missed wakeup only costs one
+    #: rescan period rather than a deadlock (supports property P1).
+    rescan_period = 1.0
+
+    def __init__(self, env: Environment, state: ControllerState,
+                 config: ControllerConfig, index: int):
+        super().__init__(env, name=f"sequencer-{index}")
+        self.state = state
+        self.config = config
+        self.index = index
+        self.inbox = state.nib.ack_queue(f"{state.ns}.SeqInbox.{index}")
+        self.notify = state.sequencer_notify_queue(index)
+
+    def submit(self, dag_id: int) -> None:
+        """Assign a DAG to this sequencer (called by the DAG Scheduler)."""
+        self.inbox.put(dag_id)
+
+    # -- scheduling core -----------------------------------------------------------
+    def _schedulable_ops(self, dag) -> list[int]:
+        """OPs with status NONE whose predecessors are all DONE (P2)."""
+        ready = []
+        for op_id in dag.ops:
+            if self.state.status_of(op_id) is not OpStatus.NONE:
+                continue
+            preds = dag.predecessors(op_id)
+            if all(self.state.status_of(p) is OpStatus.DONE for p in preds):
+                ready.append(op_id)
+        return sorted(ready)
+
+    def _dag_finished(self, dag) -> bool:
+        return all(self.state.status_of(op_id) is OpStatus.DONE
+                   for op_id in dag.ops)
+
+    def _dispatch(self, op_id: int) -> None:
+        """Mark SCHEDULED then enqueue for the owning worker."""
+        op = self.state.get_op(op_id)
+        # State first, action second (§3.9 "careful ordering").
+        self.state.set_op_status(op_id, OpStatus.SCHEDULED)
+        worker = self.config.worker_for_switch(op.switch)
+        self.state.op_queue(worker).put(op_id)
+
+    def _wait_for_progress(self):
+        """Block until a notification or the rescan period elapses."""
+        note = self.notify.get()
+        timer = self.env.timeout(self.rescan_period)
+        yield AnyOf(self.env, [note, timer])
+        if not note.triggered:
+            self.notify.cancel(note)
+        # Drain any batched notifications; state is recomputed anyway.
+        while len(self.notify):
+            yield self.notify.get()
+
+    def _announce_done(self, dag_id: int) -> None:
+        self.state.set_dag_status(dag_id, DagStatus.DONE)
+        app = self.state.nib.table(f"{self.state.ns}.dag_app").get(dag_id)
+        if app:
+            self.state.app_event_queue(app).put(
+                AppEvent(AppEventKind.DAG_DONE, dag_id=dag_id,
+                         at=self.env.now))
+
+    # -- component API ------------------------------------------------------------
+    def main(self):
+        while True:
+            dag_id = yield self.inbox.read()
+            self.state.seq_state.put(self.index, dag_id)
+            dag = self.state.get_dag(dag_id)
+            status = self.state.dag_status_of(dag_id)
+            if dag is None or status in (DagStatus.STALE, DagStatus.REMOVED,
+                                         DagStatus.DONE):
+                self._finish_assignment()
+                continue
+            if status is DagStatus.PENDING:
+                self.state.set_dag_status(dag_id, DagStatus.INSTALLING)
+            abandoned = yield from self._drive_dag(dag_id, dag)
+            if not abandoned:
+                self._announce_done(dag_id)
+            self._finish_assignment()
+
+    def _drive_dag(self, dag_id: int, dag):
+        """Schedule the DAG to completion.  Returns True if abandoned."""
+        while True:
+            if self.state.dag_status_of(dag_id) in (DagStatus.STALE,
+                                                    DagStatus.REMOVED):
+                return True
+            for op_id in self._schedulable_ops(dag):
+                yield self.env.timeout(self.config.sequencer_step_time)
+                self._dispatch(op_id)
+            if self._dag_finished(dag):
+                return False
+            yield from self._wait_for_progress()
+
+    def _finish_assignment(self) -> None:
+        self.state.seq_state.put(self.index, None)
+        if len(self.inbox):
+            self.inbox.pop()

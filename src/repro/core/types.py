@@ -1,0 +1,254 @@
+"""Core data model: OPs, DAGs, status state machines, controller events.
+
+An **OP** is a protocol-agnostic flow instruction on one switch (paper
+Table 2).  A **DAG** is a directed acyclic graph of OPs whose edges
+order installations so that updates are hitless (§3.1): an OP may only
+be sent once all of its predecessors are installed and acknowledged.
+
+Status enums implement the state machines of §3.9 ("state machine
+design errors"): OPs move NONE → SCHEDULED → IN_FLIGHT → DONE, with
+FAILED for OPs addressed to dead switches and transitions back to NONE
+when a switch recovers and is wiped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..net.messages import FlowEntry
+
+__all__ = [
+    "OpType",
+    "Op",
+    "Dag",
+    "DagValidationError",
+    "OpStatus",
+    "DagStatus",
+    "SwitchHealth",
+    "DagRequest",
+    "DagRequestKind",
+    "AppEvent",
+    "AppEventKind",
+]
+
+
+class OpType(enum.Enum):
+    """What an OP does to its switch."""
+
+    INSTALL = "install"
+    DELETE = "delete"
+    #: Internal: wipe the switch TCAM (recovery path, Fig. A.5).
+    CLEAR = "clear"
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """A protocol-agnostic flow instruction bound to one switch."""
+
+    op_id: int
+    switch: str
+    op_type: OpType
+    entry: Optional[FlowEntry] = None
+    entry_id: Optional[int] = None
+
+    def __post_init__(self):
+        if self.op_type is OpType.INSTALL and self.entry is None:
+            raise ValueError(f"INSTALL op {self.op_id} needs an entry")
+        if self.op_type is OpType.DELETE and self.entry_id is None:
+            raise ValueError(f"DELETE op {self.op_id} needs an entry_id")
+
+    @property
+    def target_entry_id(self) -> Optional[int]:
+        """The TCAM slot this OP touches (None for CLEAR)."""
+        if self.op_type is OpType.INSTALL:
+            assert self.entry is not None
+            return self.entry.entry_id
+        return self.entry_id
+
+
+class DagValidationError(ValueError):
+    """Raised for cyclic or dangling DAG definitions."""
+
+
+class Dag:
+    """A directed acyclic graph of OPs.
+
+    ``edges`` are (predecessor, successor) OP-id pairs; an OP is
+    *schedulable* once every predecessor is DONE.
+    """
+
+    def __init__(self, dag_id: int, ops: Iterable[Op],
+                 edges: Iterable[tuple[int, int]] = ()):
+        self.dag_id = dag_id
+        self.ops: dict[int, Op] = {}
+        for op in ops:
+            if op.op_id in self.ops:
+                raise DagValidationError(f"duplicate op id {op.op_id}")
+            self.ops[op.op_id] = op
+        self.edges: set[tuple[int, int]] = set()
+        self._preds: dict[int, set[int]] = {op_id: set() for op_id in self.ops}
+        self._succs: dict[int, set[int]] = {op_id: set() for op_id in self.ops}
+        for pred, succ in edges:
+            self._add_edge_unchecked(pred, succ)
+        # Validate acyclicity once, not per edge (transition DAGs attach
+        # every deletion to every install; O(E^2) per-edge checks hurt).
+        if self.edges and self._has_cycle():
+            raise DagValidationError(f"dag {dag_id} contains a cycle")
+
+    def _add_edge_unchecked(self, pred: int, succ: int) -> None:
+        if pred not in self.ops or succ not in self.ops:
+            raise DagValidationError(f"edge ({pred}, {succ}) references unknown op")
+        if pred == succ:
+            raise DagValidationError(f"self edge on op {pred}")
+        self.edges.add((pred, succ))
+        self._preds[succ].add(pred)
+        self._succs[pred].add(succ)
+
+    def add_edge(self, pred: int, succ: int) -> None:
+        """Add an ordering edge, rejecting cycles and unknown ids."""
+        self._add_edge_unchecked(pred, succ)
+        if self._has_cycle():
+            raise DagValidationError(f"edge ({pred}, {succ}) creates a cycle")
+
+    def _has_cycle(self) -> bool:
+        indegree = {op_id: len(self._preds[op_id]) for op_id in self.ops}
+        frontier = [op_id for op_id, d in indegree.items() if d == 0]
+        visited = 0
+        while frontier:
+            node = frontier.pop()
+            visited += 1
+            for succ in self._succs[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        return visited != len(self.ops)
+
+    # -- queries -----------------------------------------------------------------
+    def predecessors(self, op_id: int) -> frozenset[int]:
+        """Ids of OPs that must precede ``op_id``."""
+        return frozenset(self._preds[op_id])
+
+    def successors(self, op_id: int) -> frozenset[int]:
+        """Ids of OPs ordered after ``op_id``."""
+        return frozenset(self._succs[op_id])
+
+    def roots(self) -> list[int]:
+        """Ids with no predecessors (sorted)."""
+        return sorted(op_id for op_id in self.ops if not self._preds[op_id])
+
+    def leaves(self) -> list[int]:
+        """Ids with no successors (sorted)."""
+        return sorted(op_id for op_id in self.ops if not self._succs[op_id])
+
+    def topological_order(self) -> list[int]:
+        """A deterministic topological ordering of op ids."""
+        indegree = {op_id: len(self._preds[op_id]) for op_id in self.ops}
+        frontier = sorted(op_id for op_id, d in indegree.items() if d == 0)
+        order = []
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            ready = []
+            for succ in self._succs[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+            frontier = sorted(frontier + ready)
+        return order
+
+    def switches(self) -> set[str]:
+        """Every switch referenced by the DAG."""
+        return {op.switch for op in self.ops.values()}
+
+    def install_entries(self) -> frozenset[tuple[str, int]]:
+        """(switch, entry_id) pairs that the DAG installs (cached)."""
+        cached = getattr(self, "_install_entries", None)
+        if cached is None:
+            cached = frozenset(
+                (op.switch, op.entry.entry_id)
+                for op in self.ops.values()
+                if op.op_type is OpType.INSTALL and op.entry is not None)
+            self._install_entries = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return f"Dag(id={self.dag_id}, ops={len(self.ops)}, edges={len(self.edges)})"
+
+
+class OpStatus(enum.Enum):
+    """Lifecycle of an OP as recorded in the NIB."""
+
+    NONE = "none"
+    SCHEDULED = "scheduled"
+    IN_FLIGHT = "in_flight"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class DagStatus(enum.Enum):
+    """Lifecycle of a DAG as recorded in the NIB."""
+
+    PENDING = "pending"
+    INSTALLING = "installing"
+    DONE = "done"
+    STALE = "stale"
+    REMOVED = "removed"
+
+
+class SwitchHealth(enum.Enum):
+    """Controller's view of a switch (the T_c topology state)."""
+
+    UP = "up"
+    DOWN = "down"
+    #: Recovery in progress: CLEAR_TCAM issued, awaiting ack (Fig. A.5).
+    RECOVERING = "recovering"
+
+
+class DagRequestKind(enum.Enum):
+    """What an application asks the DAG Scheduler to do."""
+
+    INSTALL = "install"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class DagRequest:
+    """An application request on the DAGEventQueue."""
+
+    kind: DagRequestKind
+    dag: Optional[Dag] = None
+    dag_id: Optional[int] = None
+    #: For DELETE: also remove the DAG's installed entries from switches.
+    cleanup: bool = True
+    #: Submitting application (receives DAG_DONE / DAG_REMOVED events).
+    app: str = ""
+
+    def __post_init__(self):
+        if self.kind is DagRequestKind.INSTALL and self.dag is None:
+            raise ValueError("INSTALL request needs a dag")
+        if self.kind is DagRequestKind.DELETE and self.dag_id is None:
+            raise ValueError("DELETE request needs a dag_id")
+
+
+class AppEventKind(enum.Enum):
+    """Events ZENITH-core delivers to applications."""
+
+    SWITCH_DOWN = "switch_down"
+    SWITCH_UP = "switch_up"
+    DAG_DONE = "dag_done"
+    DAG_REMOVED = "dag_removed"
+
+
+@dataclass(frozen=True)
+class AppEvent:
+    """A notification on an application's event queue."""
+
+    kind: AppEventKind
+    switch: Optional[str] = None
+    dag_id: Optional[int] = None
+    at: float = 0.0

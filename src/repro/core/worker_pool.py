@@ -1,0 +1,103 @@
+"""Worker Pool: translate OPs into switch messages (OFC).
+
+This implements the paper's *final* WorkerPool specification (Listing 3)
+with the three robustness disciplines of §3.9:
+
+* **peek/pop queue discipline** — the OP is read from the head of the
+  queue and only removed after processing, so a crash in between
+  re-processes the same OP instead of losing it;
+* **state recording** — the in-progress OP id is written to the NIB
+  (``worker_state``) before acting, enabling crash diagnosis;
+* **state-before-action ordering** — the NIB learns the OP is being
+  sent (``OpSentEvent`` → IN_FLIGHT) *before* the message is forwarded
+  (property P3).
+
+Each worker owns a fixed shard of switches (``config.worker_for_switch``),
+which preserves per-switch FIFO order across the pool (property P4) and
+satisfies the §B concurrency-violation safety condition: no two workers
+can ever process OPs for the same switch.
+"""
+
+from __future__ import annotations
+
+from ..net.messages import MsgKind, SwitchRequest
+from ..sim import Component, Environment
+from .config import ControllerConfig
+from .events import OpFailedEvent, OpSentEvent
+from .state import ControllerState
+from .types import Op, OpStatus, OpType, SwitchHealth
+
+__all__ = ["Worker", "translate_op"]
+
+
+def translate_op(op: Op, sender: str) -> SwitchRequest:
+    """Convert a protocol-agnostic OP into a switch request."""
+    if op.op_type is OpType.INSTALL:
+        return SwitchRequest(MsgKind.INSTALL, op.switch, xid=op.op_id,
+                             sender=sender, entry=op.entry)
+    if op.op_type is OpType.DELETE:
+        return SwitchRequest(MsgKind.DELETE, op.switch, xid=op.op_id,
+                             sender=sender, entry_id=op.entry_id)
+    if op.op_type is OpType.CLEAR:
+        return SwitchRequest(MsgKind.CLEAR_TCAM, op.switch, xid=op.op_id,
+                             sender=sender)
+    raise ValueError(f"cannot translate op type {op.op_type}")
+
+
+class Worker(Component):
+    """One worker of the OFC Worker Pool (final, verified discipline)."""
+
+    def __init__(self, env: Environment, state: ControllerState,
+                 config: ControllerConfig, index: int):
+        super().__init__(env, name=f"worker-{index}")
+        self.state = state
+        self.config = config
+        self.index = index
+        self.queue = state.op_queue(index)
+        self.nib_events = state.nib_event_queue()
+
+    def recover(self):
+        """State recovery on restart (Listing 3, ``StateRecovery``).
+
+        The peek/pop discipline means the head of the queue is still the
+        OP we were processing; re-processing it is safe because INSTALL
+        and DELETE are idempotent and duplicate sends are explicitly
+        permitted around failures (§B).  We only need to clear the
+        recorded in-progress marker.
+        """
+        self.state.worker_state.put(self.index, None)
+        yield self.env.timeout(0)
+
+    def main(self):
+        while True:
+            op_id = yield self.queue.read()
+            self.state.worker_state.put(self.index, op_id)   # record state
+            op = self.state.get_op(op_id)
+            yield self.env.timeout(self.config.worker_translate_time)
+            self._process(op)
+            self.state.worker_state.put(self.index, None)    # clear state
+            self.queue.pop()
+
+    def _process(self, op: Op) -> None:
+        if op.op_type is OpType.CLEAR:
+            # The CLEAR_TCAM exception of property P7: forwarded even
+            # while the switch is recorded DOWN/RECOVERING.
+            self._forward(op)
+            return
+        if self.state.status_of(op.op_id) is not OpStatus.SCHEDULED:
+            # This queue entry's dispatch was reset by a switch
+            # recovery (or superseded); forwarding it would install
+            # state the NIB no longer tracks.  The fresh dispatch
+            # drives the OP instead (model-checker finding).
+            return
+        if self.state.is_switch_usable(op.switch):
+            # State first (IN_FLIGHT via the NIB event queue), action
+            # second — the ordering fix of Listing 3.
+            self.nib_events.put(OpSentEvent(op.op_id))
+            self._forward(op)
+        else:
+            self.nib_events.put(OpFailedEvent(op.op_id))
+
+    def _forward(self, op: Op) -> None:
+        request = translate_op(op, sender=self.config.ofc_instance)
+        self.state.to_switch_queue(op.switch).put(request)

@@ -1,0 +1,64 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Every module exposes ``run(quick=True, seed=0)`` returning a result
+object with ``render()`` (prints the same rows/series the paper
+reports) and ``check_shape()`` (asserts the paper's qualitative claims,
+returning a list of failures — empty when the shape reproduces).
+``EXPERIMENTS`` maps experiment ids to their run functions.
+"""
+
+from . import (
+    ablation,
+    fig03_reconciliation_period,
+    fig04_reconciliation_cost,
+    fig10_trace_replay,
+    fig11_topology_scaling,
+    fig12_switch_failures,
+    fig13_component_failures,
+    fig14_te_throughput,
+    fig15_failover,
+    fig16_drain,
+    figa2_odl,
+    figa3_complexity,
+    figa6_trace_lengths,
+    sec63_app_verification,
+    table4_model_checking,
+    tablea1_spec_size,
+)
+from .common import (
+    ExperimentTable,
+    build_system,
+    run_failure_workload,
+    run_install_workload,
+    run_trace_replay,
+    wait_for_stability,
+)
+
+EXPERIMENTS = {
+    "fig3": fig03_reconciliation_period.run,
+    "fig4": fig04_reconciliation_cost.run,
+    "fig10": fig10_trace_replay.run,
+    "fig11": fig11_topology_scaling.run,
+    "fig12": fig12_switch_failures.run,
+    "fig13": fig13_component_failures.run,
+    "fig14": fig14_te_throughput.run,
+    "fig15": fig15_failover.run,
+    "fig16": fig16_drain.run,
+    "table4": table4_model_checking.run,
+    "sec6.3": sec63_app_verification.run,
+    "figA2": figa2_odl.run,
+    "figA3": figa3_complexity.run,
+    "figA6": figa6_trace_lengths.run,
+    "tableA1": tablea1_spec_size.run,
+    "ablation": ablation.run,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentTable",
+    "build_system",
+    "run_failure_workload",
+    "run_install_workload",
+    "run_trace_replay",
+    "wait_for_stability",
+]

@@ -1,0 +1,13 @@
+"""Helper: the naive-transition specs for the Fig. A.6 corpus."""
+
+from ..spec.specs.abstract_app import core_with_app_spec
+
+__all__ = ["naive_transition_specs"]
+
+
+def naive_transition_specs():
+    """Fig. 5 ordering-violation variants (refuted by the checker)."""
+    return [
+        core_with_app_spec(failures=1, naive_transition=True),
+        core_with_app_spec(failures=2, naive_transition=True),
+    ]

@@ -1,0 +1,92 @@
+"""Fig. 3 — tail convergence vs reconciliation period.
+
+On a ~200-switch network, sweep the PR controller's reconciliation
+period.  The paper's point: shortening the period does *not* improve
+availability — more frequent reconciliations collide with more network
+updates, so reconciliation itself becomes the dominant source of tail
+latency.  ZENITH (no reconciliation) is the flat reference line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..baselines import PrController
+from ..core.config import ControllerConfig
+from ..core.controller import ZenithController
+from ..metrics.percentiles import percentile
+from ..net.topology import kdl, subgraph
+from .common import run_install_workload
+
+__all__ = ["run", "Fig3Result"]
+
+
+@dataclass
+class Fig3Result:
+    """period → latency samples (plus the ZENITH reference)."""
+
+    periods: list = field(default_factory=list)
+    samples: dict = field(default_factory=dict)   # period -> [latency]
+    zenith_samples: list = field(default_factory=list)
+    size: int = 0
+
+    def tail(self, period: float) -> float:
+        data = [x for x in self.samples[period] if x != float("inf")]
+        return percentile(data, 99) if data else float("inf")
+
+    def collision_fraction(self, period: float) -> float:
+        """Fraction of installs delayed ≥2× the failure-free median."""
+        data = [x for x in self.samples[period] if x != float("inf")]
+        baseline = percentile(self.zenith_samples, 50)
+        return sum(1 for x in data if x > 2 * baseline) / max(len(data), 1)
+
+    def check_shape(self) -> list[str]:
+        failures = []
+        shortest, longest = self.periods[0], self.periods[-1]
+        # More frequent reconciliation → more collisions.
+        if not (self.collision_fraction(shortest)
+                > self.collision_fraction(longest)):
+            failures.append(
+                "collision fraction does not increase as period shrinks")
+        zenith_tail = percentile(self.zenith_samples, 99)
+        if self.tail(shortest) < 2.0 * zenith_tail:
+            failures.append(
+                f"PR tail at period {shortest}s not ≫ ZENITH's")
+        return failures
+
+    def render(self) -> str:
+        lines = [f"== Fig. 3: tail convergence vs reconciliation period "
+                 f"({self.size} switches) =="]
+        for period in self.periods:
+            lines.append(
+                f"  period {period:5.1f}s  p99 {self.tail(period):7.3f}s  "
+                f"impacted {self.collision_fraction(period):6.1%}")
+        zenith_tail = percentile(self.zenith_samples, 99)
+        lines.append(f"  zenith (none)  p99 {zenith_tail:7.3f}s")
+        return "\n".join(lines)
+
+
+def run(quick: bool = True, seed: int = 0,
+        periods: Optional[list[float]] = None) -> Fig3Result:
+    """Regenerate the Fig. 3 sweep."""
+    if periods is None:
+        periods = [5.0, 15.0, 45.0] if quick else [5.0, 10.0, 20.0, 30.0, 60.0]
+    size = 80 if quick else 200
+    duration = 120.0 if quick else 300.0
+    topo = subgraph(kdl(max(size, 200), seed=seed), size, seed=seed)
+    switch_kwargs = {"op_process_time": 0.12, "channel_delay": 0.01}
+    result = Fig3Result()
+    result.periods = sorted(periods)
+    result.size = size
+    result.zenith_samples = run_install_workload(
+        ZenithController, topo, duration=duration, path_length=5, seed=seed,
+        background_entries=10 * size, switch_kwargs=switch_kwargs,
+        per_dag_deadline=90.0)
+    for period in result.periods:
+        config = ControllerConfig(reconciliation_period=period)
+        result.samples[period] = run_install_workload(
+            PrController, topo, duration=duration, path_length=5, seed=seed,
+            config=config, background_entries=10 * size,
+            switch_kwargs=switch_kwargs, per_dag_deadline=90.0)
+    return result

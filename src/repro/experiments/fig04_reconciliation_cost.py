@@ -1,0 +1,94 @@
+"""Fig. 4 — reconciliation time vs flow-table size.
+
+(a) Single switch: time to read an n-entry table, calibrated against
+the paper's Cumulus SN2100 measurement (13 ms @512 → 117 ms @4096, a
+9× increase for 8× the entries).
+
+(b) Network: one full reconciliation cycle (parallel reads + serialized
+NIB updates) over a multi-switch network as entries/switch grows; the
+paper reports 831 ms @100×500 → 8.58 s @100×4000, an order of
+magnitude, dominated by the NIB update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import PrController
+from ..core.config import ControllerConfig
+from ..net.switch import table_read_time
+from ..net.topology import linear
+from .common import build_system
+
+__all__ = ["run", "Fig4Result"]
+
+
+@dataclass
+class Fig4Result:
+    """Series for both panels."""
+
+    #: (entries, seconds) for the single-switch read (panel a).
+    single_switch: list = field(default_factory=list)
+    #: (entries_per_switch, cycle seconds) for the network (panel b).
+    network: list = field(default_factory=list)
+    num_switches: int = 0
+
+    def check_shape(self) -> list[str]:
+        """Assert the paper's qualitative claims; returns failures."""
+        failures = []
+        sizes = dict(self.single_switch)
+        if 512 in sizes and 4096 in sizes:
+            growth = sizes[4096] / sizes[512]
+            if not 7.0 <= growth <= 12.0:
+                failures.append(
+                    f"single-switch growth {growth:.1f}x not ~9x")
+            if not 0.008 <= sizes[512] <= 0.020:
+                failures.append(f"512-entry read {sizes[512]*1e3:.1f}ms "
+                                f"not ~13ms")
+        if len(self.network) >= 2:
+            first, last = self.network[0][1], self.network[-1][1]
+            ratio = (self.network[-1][0] / self.network[0][0])
+            if last <= first:
+                failures.append("network cycle time does not grow")
+            elif last / first < 0.5 * ratio:
+                failures.append(
+                    f"network growth {last/first:.1f}x too sublinear for "
+                    f"{ratio:.0f}x entries")
+        return failures
+
+    def render(self) -> str:
+        lines = ["== Fig. 4(a): single-switch reconciliation time =="]
+        for entries, seconds in self.single_switch:
+            lines.append(f"  {entries:5d} entries  {seconds*1e3:8.1f} ms")
+        lines.append(f"== Fig. 4(b): {self.num_switches}-switch "
+                     "reconciliation cycle ==")
+        for entries, seconds in self.network:
+            lines.append(f"  {entries:5d} entries/switch  {seconds:8.3f} s")
+        return "\n".join(lines)
+
+
+def run(quick: bool = True, seed: int = 0) -> Fig4Result:
+    """Regenerate both panels of Fig. 4."""
+    result = Fig4Result()
+    for entries in (512, 1024, 2048, 4096):
+        result.single_switch.append((entries, table_read_time(entries)))
+
+    num_switches = 10 if quick else 100
+    entry_sweep = (100, 500) if quick else (500, 1000, 2000, 4000)
+    result.num_switches = num_switches
+    for entries in entry_sweep:
+        config = ControllerConfig(reconciliation_period=30.0)
+        system = build_system(PrController, linear(num_switches),
+                              config=config, seed=seed,
+                              background_entries=entries, settle=5.0)
+        reconciler = system.controller.reconciler
+        # Trigger one cycle directly and time it.
+        start = system.env.now
+
+        def one_cycle(reconciler=reconciler):
+            yield from reconciler.reconcile_once()
+
+        done = system.env.process(one_cycle())
+        system.env.run(until=done)
+        result.network.append((entries, system.env.now - start))
+    return result

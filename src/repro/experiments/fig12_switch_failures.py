@@ -1,0 +1,93 @@
+"""Fig. 12 — convergence under random switch failures (300-node KDL).
+
+Single failures (at most one switch down at a time) and concurrent
+failures (inter-arrival shorter than convergence).  Paper claims:
+medians comparable across ZENITH/PR/PRUp for single failures but
+ZENITH's p99 ~4.1× lower; under concurrent failures PR's median/p99 are
+2.5×/2.8× worse and PRUp's 1.5×/1.9× worse than ZENITH's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import PrController, PrUpController
+from ..core.config import ControllerConfig
+from ..core.controller import ZenithController
+from ..metrics.percentiles import percentile
+from ..net.topology import kdl, subgraph
+from .common import ExperimentTable, run_failure_workload
+
+__all__ = ["run", "Fig12Result"]
+
+_SYSTEMS = {
+    "zenith": ZenithController,
+    "pr": PrController,
+    "prup": PrUpController,
+}
+
+
+@dataclass
+class Fig12Result:
+    """(system, regime) → instability-episode durations."""
+
+    samples: dict = field(default_factory=dict)
+    size: int = 0
+
+    def row(self, system: str, regime: str) -> tuple[float, float]:
+        data = [x for x in self.samples[(system, regime)]
+                if x != float("inf")]
+        if not data:
+            return float("inf"), float("inf")
+        return percentile(data, 50), percentile(data, 99)
+
+    def check_shape(self) -> list[str]:
+        failures = []
+        z_single = self.row("zenith", "single")
+        pr_single = self.row("pr", "single")
+        if pr_single[1] < 2.0 * z_single[1]:
+            failures.append(
+                f"single: PR p99 {pr_single[1]:.2f}s not ≫ "
+                f"ZENITH {z_single[1]:.2f}s")
+        z_conc = self.row("zenith", "concurrent")
+        pr_conc = self.row("pr", "concurrent")
+        prup_conc = self.row("prup", "concurrent")
+        if pr_conc[1] < 1.5 * z_conc[1]:
+            failures.append("concurrent: PR p99 not ≫ ZENITH")
+        if prup_conc[1] > pr_conc[1] * 1.5:
+            failures.append("concurrent: PRUp not ≤~ PR at the tail")
+        return failures
+
+    def render(self) -> str:
+        lines = [f"== Fig. 12: random switch failures "
+                 f"({self.size}-node KDL subgraph) =="]
+        for regime in ("single", "concurrent"):
+            lines.append(f"-- {regime} failures --")
+            for system in _SYSTEMS:
+                p50, p99 = self.row(system, regime)
+                n = len(self.samples[(system, regime)])
+                lines.append(f"  {system:8s} p50={p50:7.2f}s "
+                             f"p99={p99:7.2f}s (n={n})")
+        return "\n".join(lines)
+
+
+def run(quick: bool = True, seed: int = 0) -> Fig12Result:
+    """Regenerate the Fig. 12 comparison."""
+    size = 60 if quick else 300
+    duration = 120.0 if quick else 300.0
+    failure_count = 8 if quick else 25
+    seeds = [seed, seed + 1] if quick else [seed + i for i in range(5)]
+    topo = subgraph(kdl(max(size, 300), seed=seed), size, seed=seed)
+    result = Fig12Result()
+    result.size = size
+    for system, controller_cls in _SYSTEMS.items():
+        for regime, concurrent in (("single", False), ("concurrent", True)):
+            episodes: list[float] = []
+            for run_seed in seeds:
+                config = ControllerConfig(reconciliation_period=30.0)
+                episodes.extend(run_failure_workload(
+                    controller_cls, topo, failure_kind="switch",
+                    duration=duration, failure_count=failure_count,
+                    concurrent=concurrent, seed=run_seed, config=config))
+            result.samples[(system, regime)] = episodes
+    return result

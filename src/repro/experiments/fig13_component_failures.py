@@ -1,0 +1,94 @@
+"""Fig. 13 — convergence under random controller-component failures.
+
+Random crashes of DE/OFC components (workers, sequencers, handlers,
+monitoring server) while a routing app keeps demands installed on a
+300-node KDL subgraph.  Paper claims: ZENITH's median is 1.9–2.0× and
+its p99 3.2–3.4× lower than PR's — ZENITH components recover from NIB
+state (peek/pop queues, recorded progress), while PR components lose
+in-flight work and wait for the deadlock timeout or reconciliation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import PrController
+from ..core.config import ControllerConfig
+from ..core.controller import ZenithController
+from ..metrics.percentiles import percentile
+from ..net.topology import kdl, subgraph
+from .common import run_failure_workload
+
+__all__ = ["run", "Fig13Result"]
+
+_SYSTEMS = {"zenith": ZenithController, "pr": PrController}
+
+
+@dataclass
+class Fig13Result:
+    """(system, regime) → instability-episode durations."""
+
+    samples: dict = field(default_factory=dict)
+    size: int = 0
+
+    def row(self, system: str, regime: str) -> tuple[float, float]:
+        data = [x for x in self.samples[(system, regime)]
+                if x != float("inf")]
+        if not data:
+            return float("inf"), float("inf")
+        return percentile(data, 50), percentile(data, 99)
+
+    def check_shape(self) -> list[str]:
+        failures = []
+        for regime in ("single", "concurrent"):
+            zenith = self.row("zenith", regime)
+            pr = self.row("pr", regime)
+            if pr[1] < 1.5 * zenith[1]:
+                failures.append(
+                    f"{regime}: PR p99 {pr[1]:.2f}s not ≫ "
+                    f"ZENITH {zenith[1]:.2f}s")
+        return failures
+
+    def render(self) -> str:
+        lines = [f"== Fig. 13: random component failures "
+                 f"({self.size}-node KDL subgraph) =="]
+        for regime in ("single", "concurrent"):
+            lines.append(f"-- {regime} failures --")
+            for system in _SYSTEMS:
+                p50, p99 = self.row(system, regime)
+                n = len(self.samples[(system, regime)])
+                lines.append(f"  {system:8s} p50={p50:7.2f}s "
+                             f"p99={p99:7.2f}s (n={n})")
+        return "\n".join(lines)
+
+
+def run(quick: bool = True, seed: int = 0) -> Fig13Result:
+    """Regenerate the Fig. 13 comparison."""
+    size = 60 if quick else 300
+    duration = 120.0 if quick else 300.0
+    failure_count = 20 if quick else 50
+    seeds = [seed] if quick else [seed + i for i in range(5)]
+    topo = subgraph(kdl(max(size, 300), seed=seed), size, seed=seed)
+    result = Fig13Result()
+    result.size = size
+    for system, controller_cls in _SYSTEMS.items():
+        for regime, concurrent in (("single", False), ("concurrent", True)):
+            episodes: list[float] = []
+            for run_seed in seeds:
+                # Slower per-stage processing widens the window in which
+                # a crash catches in-flight work (testbed-realistic
+                # software latencies).
+                config = ControllerConfig(
+                    reconciliation_period=30.0,
+                    sequencer_step_time=0.01,
+                    worker_translate_time=0.02,
+                    nib_event_cost=0.005)
+                episodes.extend(run_failure_workload(
+                    controller_cls, topo, failure_kind="component",
+                    duration=duration, failure_count=failure_count,
+                    concurrent=concurrent, seed=run_seed, config=config,
+                    churn_period=2.0,
+                    switch_kwargs={"op_process_time": 0.05,
+                                   "channel_delay": 0.01}))
+            result.samples[(system, regime)] = episodes
+    return result

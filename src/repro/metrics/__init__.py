@@ -1,0 +1,25 @@
+"""Metrics: convergence, percentiles, complexity."""
+
+from .complexity import ComponentFlow, henry_kafura, henry_kafura_total
+from .convergence import (
+    ConvergenceResult,
+    check_dag_order,
+    dag_installed_in_dataplane,
+    measure_convergence,
+    wait_until,
+)
+from .percentiles import Summary, percentile, summarize
+
+__all__ = [
+    "ComponentFlow",
+    "ConvergenceResult",
+    "Summary",
+    "check_dag_order",
+    "dag_installed_in_dataplane",
+    "henry_kafura",
+    "henry_kafura_total",
+    "measure_convergence",
+    "percentile",
+    "summarize",
+    "wait_until",
+]

@@ -1,0 +1,62 @@
+"""Percentile and summary statistics used throughout the evaluation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["percentile", "Summary", "summarize"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def row(self) -> str:
+        """A fixed-width report row."""
+        return (f"n={self.count:<5d} mean={self.mean:8.3f} "
+                f"p50={self.p50:8.3f} p90={self.p90:8.3f} "
+                f"p99={self.p99:8.3f} max={self.maximum:8.3f}")
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summary statistics of ``values``."""
+    data = list(values)
+    if not data:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        p50=percentile(data, 50),
+        p90=percentile(data, 90),
+        p99=percentile(data, 99),
+        minimum=min(data),
+        maximum=max(data),
+    )

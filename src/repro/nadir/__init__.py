@@ -1,0 +1,55 @@
+"""NADIR: generate executable code from annotated specifications."""
+
+from .ast_nodes import (
+    AckPopStmt,
+    AckReadStmt,
+    AwaitStmt,
+    CallStmt,
+    Const,
+    DoneStmt,
+    Expr,
+    FifoGetStmt,
+    FifoPutStmt,
+    Global,
+    GotoStmt,
+    HelperCall,
+    IfStmt,
+    LabeledBlock,
+    LocalVar,
+    Prim,
+    ProcessDef,
+    Program,
+    SetGlobal,
+    SetLocal,
+    SkipStmt,
+    Stmt,
+)
+from .codegen import CodegenError, compile_program, generate_module
+from .interp import program_to_spec
+from .pluscal import render_pluscal
+from .programs import drain_app_program, worker_pool_program
+from .runtime import NADIR_NULL, NadirComponent, NadirRuntime
+from .types import (
+    BOOL,
+    FifoType,
+    INT,
+    NadirType,
+    NullableType,
+    SetType,
+    STRING,
+    StructType,
+    TupleType,
+    type_check,
+)
+
+__all__ = [
+    "AckPopStmt", "AckReadStmt", "AwaitStmt", "BOOL", "CallStmt",
+    "CodegenError", "Const", "DoneStmt", "Expr", "FifoGetStmt",
+    "FifoPutStmt", "FifoType", "Global", "GotoStmt", "HelperCall",
+    "IfStmt", "INT", "LabeledBlock", "LocalVar", "NADIR_NULL",
+    "NadirComponent", "NadirRuntime", "NadirType", "NullableType", "Prim",
+    "ProcessDef", "Program", "SetGlobal", "SetLocal", "SetType",
+    "SkipStmt", "Stmt", "STRING", "StructType", "TupleType",
+    "compile_program", "drain_app_program", "generate_module",
+    "program_to_spec", "render_pluscal", "type_check", "worker_pool_program",
+]

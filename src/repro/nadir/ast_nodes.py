@@ -1,0 +1,274 @@
+"""The NADIR abstract syntax tree (paper §5, Fig. 9).
+
+NADIR parses an annotated PlusCal specification into an AST and then
+generates executable code from it.  Here the AST *is* the specification
+surface: processes are written as labeled blocks of statements over
+expressions.  Two backends consume it:
+
+* :mod:`repro.nadir.interp` turns a program into a
+  :class:`repro.spec.lang.Spec`, so the same artifact is model-checked;
+* :mod:`repro.nadir.codegen` emits Python source targeting the
+  :mod:`repro.nadir.runtime` library, producing the deployable
+  microservice components.
+
+Statement and expression vocabularies cover what the paper's
+specifications use: variable reads/writes, FIFO and peek/pop queue
+macros, awaits, conditionals, gotos and pure helper calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from .types import NadirType
+
+__all__ = [
+    # expressions
+    "Expr", "Const", "Global", "LocalVar", "Prim", "HelperCall",
+    # statements
+    "Stmt", "SetGlobal", "SetLocal", "FifoGetStmt", "FifoPutStmt",
+    "AckReadStmt", "AckPopStmt", "AwaitStmt", "IfStmt", "GotoStmt",
+    "DoneStmt", "SkipStmt", "CallStmt",
+    # structure
+    "LabeledBlock", "ProcessDef", "Program",
+]
+
+
+# -- expressions ----------------------------------------------------------------
+class Expr:
+    """Base expression node."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value (hashable)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Global(Expr):
+    """Read a global (NIB-persistent) variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LocalVar(Expr):
+    """Read a process-local variable."""
+
+    name: str
+
+
+#: Pure primitive operators available in expressions.
+_PRIMS: dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+    "not": lambda a: not a,
+    "in": lambda a, b: a in b,
+    "len": lambda a: len(a),
+    "union": lambda a, b: a | b,
+    "diff": lambda a, b: a - b,
+    "tuple": lambda *items: tuple(items),
+    "append": lambda t, v: t + (v,),
+    "head": lambda t: t[0],
+    "tail": lambda t: t[1:],
+    "field": lambda record, key: record[key],
+    "set_field": lambda record, key, value: {**record, key: value},
+    "record": lambda *kv: {kv[i]: kv[i + 1] for i in range(0, len(kv), 2)},
+    "max": lambda a, b: a if a >= b else b,
+}
+
+
+@dataclass(frozen=True)
+class Prim(Expr):
+    """Apply a primitive operator to argument expressions."""
+
+    op: str
+    args: tuple
+
+    def __init__(self, op: str, *args: Expr):
+        if op not in _PRIMS:
+            raise ValueError(f"unknown primitive {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", tuple(args))
+
+
+@dataclass(frozen=True)
+class HelperCall(Expr):
+    """Call a named pure helper (the paper's Operators, e.g. Listing 7).
+
+    Helpers are defined on the :class:`Program` and must be pure
+    functions of their arguments; code generation emits a call into the
+    generated module where the helper source is reproduced.
+    """
+
+    name: str
+    args: tuple
+
+    def __init__(self, name: str, *args: Expr):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(args))
+
+
+# -- statements --------------------------------------------------------------------
+class Stmt:
+    """Base statement node."""
+
+
+@dataclass(frozen=True)
+class SetGlobal(Stmt):
+    """Assign a global variable."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SetLocal(Stmt):
+    """Assign a process-local variable."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class FifoGetStmt(Stmt):
+    """FIFOGet: block until non-empty, destructively pop into a local."""
+
+    queue: str
+    target: str
+
+
+@dataclass(frozen=True)
+class FifoPutStmt(Stmt):
+    """FIFOPut: append a value to a queue."""
+
+    queue: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class AckReadStmt(Stmt):
+    """AckQueueRead: block until non-empty, peek head into a local."""
+
+    queue: str
+    target: str
+
+
+@dataclass(frozen=True)
+class AckPopStmt(Stmt):
+    """AckQueuePop: remove the previously peeked head."""
+
+    queue: str
+
+
+@dataclass(frozen=True)
+class AwaitStmt(Stmt):
+    """await: abort the step unless the condition holds."""
+
+    condition: Expr
+
+
+@dataclass(frozen=True)
+class IfStmt(Stmt):
+    """Conditional over statement blocks (within one atomic step)."""
+
+    condition: Expr
+    then: tuple
+    orelse: tuple = ()
+
+    def __init__(self, condition: Expr, then: Sequence[Stmt],
+                 orelse: Sequence[Stmt] = ()):
+        object.__setattr__(self, "condition", condition)
+        object.__setattr__(self, "then", tuple(then))
+        object.__setattr__(self, "orelse", tuple(orelse))
+
+
+@dataclass(frozen=True)
+class GotoStmt(Stmt):
+    """Jump to a label after this step."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class DoneStmt(Stmt):
+    """Terminate the process."""
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """Evaluate an expression for its (extern) effect, discarding it."""
+
+    call: Expr
+
+
+@dataclass(frozen=True)
+class SkipStmt(Stmt):
+    """No-op."""
+
+
+# -- structure ------------------------------------------------------------------------
+@dataclass
+class LabeledBlock:
+    """One atomic step: a label and its statements."""
+
+    label: str
+    body: list
+
+    def __init__(self, label: str, body: Sequence[Stmt]):
+        self.label = label
+        self.body = list(body)
+
+
+@dataclass
+class ProcessDef:
+    """A PlusCal process definition."""
+
+    name: str
+    blocks: list
+    locals_: dict = field(default_factory=dict)
+    local_types: dict = field(default_factory=dict)
+    fair: bool = True
+    daemon: bool = True
+
+
+@dataclass
+class Program:
+    """A complete annotated specification."""
+
+    name: str
+    globals_: dict                      # name -> initial value
+    global_types: dict                  # name -> NadirType annotation
+    processes: list
+    #: Named pure helpers: name -> (params, python lambda source, fn).
+    helpers: dict = field(default_factory=dict)
+    #: Queue globals realised as peek/pop queues at runtime.
+    ack_queues: frozenset = frozenset()
+
+    def add_helper(self, name: str, params: Sequence[str],
+                   body_source: str) -> None:
+        """Register a pure helper from a Python expression source."""
+        fn = eval(f"lambda {', '.join(params)}: {body_source}")  # noqa: S307
+        self.helpers[name] = (tuple(params), body_source, fn)
+
+    def validate_types(self) -> list[str]:
+        """TypeOK over the initial values; returns failing names."""
+        from .types import type_check
+
+        failures = type_check(self.global_types, self.globals_)
+        for process in self.processes:
+            failures.extend(
+                f"{process.name}.{name}"
+                for name in type_check(process.local_types, process.locals_))
+        return failures

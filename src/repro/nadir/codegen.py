@@ -1,0 +1,271 @@
+"""Python code generation from NADIR programs (paper §5).
+
+Given an annotated :class:`~repro.nadir.ast_nodes.Program`, emit a
+self-contained Python module whose components run on the
+:mod:`repro.nadir.runtime` library:
+
+* persistent globals → the runtime's NIB table;
+* FIFO/ack-queue globals → NIB-resident queues (discipline chosen by
+  the annotation, exactly as the peek/pop macros demand);
+* labeled blocks → generator methods driven by a pc loop, preserving
+  step atomicity boundaries (each block yields once for its processing
+  cost, then runs its statements without further yields — atomic in
+  the simulation, serialized by the NIB in a real deployment);
+* pure helpers → module-level functions; unknown helpers → externs
+  supplied by the harness.
+
+Use :func:`generate_module` for the source text and
+:func:`compile_program` to exec it and obtain the component factory.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Any, Callable, Optional
+
+from .ast_nodes import (
+    AckPopStmt,
+    AckReadStmt,
+    AwaitStmt,
+    CallStmt,
+    Const,
+    DoneStmt,
+    Expr,
+    FifoGetStmt,
+    FifoPutStmt,
+    Global,
+    GotoStmt,
+    HelperCall,
+    IfStmt,
+    LocalVar,
+    Prim,
+    Program,
+    SetGlobal,
+    SetLocal,
+    SkipStmt,
+    Stmt,
+)
+from .types import FifoType
+
+__all__ = ["generate_module", "compile_program", "CodegenError"]
+
+
+class CodegenError(Exception):
+    """Raised for programs the generator cannot translate."""
+
+
+_BINOPS = {"+": "+", "-": "-", "==": "==", "!=": "!=", "<": "<",
+           "<=": "<=", ">": ">", ">=": ">=", "and": "and", "or": "or",
+           "in": "in", "union": "|", "diff": "-"}
+
+
+class _ExprGen:
+    def __init__(self, program: Program):
+        self.program = program
+        self.queues = self._queue_names()
+
+    def _queue_names(self) -> set[str]:
+        names = set(self.program.ack_queues)
+        for name, annotation in self.program.global_types.items():
+            if isinstance(annotation, FifoType):
+                names.add(name)
+        return names
+
+    def emit(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            if expr.value is None:
+                return "NADIR_NULL"
+            return repr(expr.value)
+        if isinstance(expr, Global):
+            if expr.name in self.queues:
+                raise CodegenError(
+                    f"queue global {expr.name!r} may only be used with "
+                    f"queue macros or len()")
+            return f"self.rt.get({expr.name!r})"
+        if isinstance(expr, LocalVar):
+            return f"self.{expr.name}"
+        if isinstance(expr, Prim):
+            return self._emit_prim(expr)
+        if isinstance(expr, HelperCall):
+            args = ", ".join(self.emit(a) for a in expr.args)
+            if expr.name in self.program.helpers:
+                return f"{expr.name}({args})"
+            return f"self.rt.extern({expr.name!r})({args})"
+        raise CodegenError(f"unknown expression {expr!r}")
+
+    def _emit_prim(self, expr: Prim) -> str:
+        op, args = expr.op, expr.args
+        if op == "len" and isinstance(args[0], Global) \
+                and args[0].name in self.queues:
+            return f"self.rt.queue_length({args[0].name!r})"
+        rendered = [self.emit(a) for a in args]
+        if op in _BINOPS:
+            return f"({rendered[0]} {_BINOPS[op]} {rendered[1]})"
+        if op == "not":
+            return f"(not {rendered[0]})"
+        if op == "len":
+            return f"len({rendered[0]})"
+        if op == "tuple":
+            inner = ", ".join(rendered)
+            trailing = "," if len(rendered) == 1 else ""
+            return f"({inner}{trailing})"
+        if op == "append":
+            return f"({rendered[0]} + ({rendered[1]},))"
+        if op == "head":
+            return f"{rendered[0]}[0]"
+        if op == "tail":
+            return f"{rendered[0]}[1:]"
+        if op == "field":
+            return f"{rendered[0]}[{rendered[1]}]"
+        if op == "set_field":
+            return f"{{**{rendered[0]}, {rendered[1]}: {rendered[2]}}}"
+        if op == "record":
+            pairs = ", ".join(f"{rendered[i]}: {rendered[i + 1]}"
+                              for i in range(0, len(rendered), 2))
+            return f"{{{pairs}}}"
+        if op == "max":
+            return f"max({rendered[0]}, {rendered[1]})"
+        raise CodegenError(f"unsupported primitive {op!r}")
+
+
+class _StmtGen:
+    def __init__(self, exprs: _ExprGen):
+        self.exprs = exprs
+
+    def emit(self, stmt: Stmt, indent: int) -> list[str]:
+        pad = "    " * indent
+        e = self.exprs.emit
+        if isinstance(stmt, SkipStmt):
+            return [f"{pad}pass"]
+        if isinstance(stmt, CallStmt):
+            return [f"{pad}{e(stmt.call)}"]
+        if isinstance(stmt, SetGlobal):
+            if stmt.name in self.exprs.queues:
+                raise CodegenError(
+                    f"cannot assign queue global {stmt.name!r} directly")
+            return [f"{pad}self.rt.set({stmt.name!r}, {e(stmt.value)})"]
+        if isinstance(stmt, SetLocal):
+            return [f"{pad}self.{stmt.name} = {e(stmt.value)}"]
+        if isinstance(stmt, FifoGetStmt):
+            return [f"{pad}self.{stmt.target} = "
+                    f"yield self.rt.fifo_get({stmt.queue!r})"]
+        if isinstance(stmt, FifoPutStmt):
+            return [f"{pad}self.rt.fifo_put({stmt.queue!r}, {e(stmt.value)})"]
+        if isinstance(stmt, AckReadStmt):
+            return [f"{pad}self.{stmt.target} = "
+                    f"yield self.rt.ack_read({stmt.queue!r})"]
+        if isinstance(stmt, AckPopStmt):
+            return [f"{pad}self.rt.ack_pop({stmt.queue!r})"]
+        if isinstance(stmt, AwaitStmt):
+            return [f"{pad}yield from self.rt.wait_until("
+                    f"lambda: {e(stmt.condition)})"]
+        if isinstance(stmt, IfStmt):
+            lines = [f"{pad}if {e(stmt.condition)}:"]
+            then_lines = [line for inner in stmt.then
+                          for line in self.emit(inner, indent + 1)]
+            lines.extend(then_lines or [f"{pad}    pass"])
+            if stmt.orelse:
+                lines.append(f"{pad}else:")
+                lines.extend(line for inner in stmt.orelse
+                             for line in self.emit(inner, indent + 1))
+            return lines
+        if isinstance(stmt, GotoStmt):
+            return [f"{pad}return {stmt.label!r}"]
+        if isinstance(stmt, DoneStmt):
+            return [f"{pad}return None"]
+        raise CodegenError(f"unknown statement {stmt!r}")
+
+
+def generate_module(program: Program) -> str:
+    """Emit the Python source for ``program``."""
+    failures = program.validate_types()
+    if failures:
+        raise CodegenError(f"TypeOK fails for: {', '.join(failures)}")
+    exprs = _ExprGen(program)
+    stmts = _StmtGen(exprs)
+    fifo_names = tuple(sorted(exprs.queues - set(program.ack_queues)))
+    ack_names = tuple(sorted(program.ack_queues))
+    plain_globals = {
+        name: value for name, value in program.globals_.items()
+        if name not in exprs.queues
+    }
+
+    lines = [
+        f'"""Generated by NADIR from specification {program.name!r}.',
+        "",
+        "Do not edit: regenerate from the annotated specification.",
+        '"""',
+        "",
+        "from repro.nadir.runtime import NADIR_NULL, NadirComponent, "
+        "NadirRuntime",
+        "",
+        f"PROGRAM_NAME = {program.name!r}",
+        f"FIFO_QUEUES = {fifo_names!r}",
+        f"ACK_QUEUES = {ack_names!r}",
+        f"INITIAL_GLOBALS = {plain_globals!r}",
+        "",
+    ]
+    for name, (params, body_source, _fn) in sorted(program.helpers.items()):
+        lines.append(f"def {name}({', '.join(params)}):")
+        lines.append(f'    """Pure helper from the specification."""')
+        lines.append(f"    return {body_source}")
+        lines.append("")
+
+    class_names = []
+    for definition in program.processes:
+        class_name = _class_name(definition.name)
+        class_names.append((definition.name, class_name))
+        lines.append(f"class {class_name}(NadirComponent):")
+        lines.append(f'    """Process {definition.name!r} '
+                     f'of {program.name!r}."""')
+        lines.append("")
+        lines.append(f"    name = {definition.name!r}")
+        lines.append(f"    LOCALS = {dict(definition.locals_)!r}")
+        lines.append(f"    START = {definition.blocks[0].label!r}")
+        lines.append("")
+        lines.append("    def run_block(self, pc):")
+        for i, block in enumerate(definition.blocks):
+            keyword = "if" if i == 0 else "elif"
+            lines.append(f"        {keyword} pc == {block.label!r}:")
+            lines.append("            yield self.rt.step_delay()")
+            body = [line for stmt in block.body
+                    for line in stmts.emit(stmt, 3)]
+            lines.extend(body or ["            pass"])
+            next_label = (definition.blocks[i + 1].label
+                          if i + 1 < len(definition.blocks) else None)
+            lines.append(f"            return {next_label!r}")
+        lines.append("        raise ValueError(f'unknown label {pc!r}')")
+        lines.append("")
+
+    lines.append("def build(env, nib, namespace=None, externs=None, "
+                 "step_cost=0.0005, queue_aliases=None):")
+    lines.append('    """Instantiate the runtime and all generated '
+                 'components."""')
+    lines.append("    runtime = NadirRuntime(env, nib, "
+                 "namespace or PROGRAM_NAME, fifo_queues=FIFO_QUEUES, "
+                 "ack_queues=ACK_QUEUES, step_cost=step_cost, "
+                 "queue_aliases=queue_aliases)")
+    lines.append("    runtime.initialize(INITIAL_GLOBALS)")
+    lines.append("    for extern_name, fn in (externs or {}).items():")
+    lines.append("        runtime.register_extern(extern_name, fn)")
+    lines.append("    components = {")
+    for process_name, class_name in class_names:
+        lines.append(f"        {process_name!r}: "
+                     f"{class_name}(env, runtime),")
+    lines.append("    }")
+    lines.append("    return runtime, components")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _class_name(process_name: str) -> str:
+    parts = [p for p in process_name.replace("-", "_").split("_") if p]
+    return "".join(p.capitalize() for p in parts) + "Process"
+
+
+def compile_program(program: Program) -> tuple[str, dict]:
+    """Generate, exec and return (source, module namespace)."""
+    source = generate_module(program)
+    namespace: dict[str, Any] = {}
+    exec(compile(source, f"<nadir:{program.name}>", "exec"), namespace)
+    return source, namespace

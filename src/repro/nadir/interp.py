@@ -1,0 +1,140 @@
+"""Checker backend: interpret a NADIR program as a model-checkable Spec.
+
+The same annotated AST that NADIR compiles to Python (see
+:mod:`repro.nadir.codegen`) is interpreted here into a
+:class:`repro.spec.lang.Spec`, so the artifact that gets verified is
+the artifact that gets deployed — the property underpinning NADIR's
+correctness claim (§5): the implementation preserves the verified
+specification as long as the translation and runtime are correct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..spec.lang import Ctx, Spec, SpecProcess, Step
+from .ast_nodes import (
+    AckPopStmt,
+    AckReadStmt,
+    AwaitStmt,
+    CallStmt,
+    Const,
+    DoneStmt,
+    Expr,
+    FifoGetStmt,
+    FifoPutStmt,
+    Global,
+    GotoStmt,
+    HelperCall,
+    IfStmt,
+    LocalVar,
+    Prim,
+    Program,
+    SetGlobal,
+    SetLocal,
+    SkipStmt,
+    Stmt,
+    _PRIMS,
+)
+
+__all__ = ["program_to_spec", "evaluate"]
+
+
+def evaluate(expr: Expr, ctx: Ctx, program: Program) -> Any:
+    """Evaluate an expression against the current step context."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Global):
+        return ctx.get(expr.name)
+    if isinstance(expr, LocalVar):
+        return ctx.lget(expr.name)
+    if isinstance(expr, Prim):
+        args = [evaluate(a, ctx, program) for a in expr.args]
+        result = _PRIMS[expr.op](*args)
+        if expr.op in ("record", "set_field"):
+            # States must be hashable: structs become frozen records.
+            from ..spec.lang import FrozenRecord
+
+            result = FrozenRecord(result)
+        return result
+    if isinstance(expr, HelperCall):
+        _params, _src, fn = program.helpers[expr.name]
+        return fn(*[evaluate(a, ctx, program) for a in expr.args])
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _execute(stmt: Stmt, ctx: Ctx, program: Program) -> None:
+    if isinstance(stmt, SkipStmt):
+        return
+    if isinstance(stmt, CallStmt):
+        evaluate(stmt.call, ctx, program)
+        return
+    if isinstance(stmt, SetGlobal):
+        ctx.set(stmt.name, evaluate(stmt.value, ctx, program))
+        return
+    if isinstance(stmt, SetLocal):
+        ctx.lset(stmt.name, evaluate(stmt.value, ctx, program))
+        return
+    if isinstance(stmt, FifoGetStmt):
+        queue = ctx.get(stmt.queue)
+        ctx.block_unless(len(queue) > 0)
+        ctx.lset(stmt.target, queue[0])
+        ctx.set(stmt.queue, queue[1:])
+        return
+    if isinstance(stmt, FifoPutStmt):
+        ctx.set(stmt.queue,
+                ctx.get(stmt.queue) + (evaluate(stmt.value, ctx, program),))
+        return
+    if isinstance(stmt, AckReadStmt):
+        queue = ctx.get(stmt.queue)
+        ctx.block_unless(len(queue) > 0)
+        ctx.lset(stmt.target, queue[0])
+        return
+    if isinstance(stmt, AckPopStmt):
+        queue = ctx.get(stmt.queue)
+        if queue:
+            ctx.set(stmt.queue, queue[1:])
+        return
+    if isinstance(stmt, AwaitStmt):
+        ctx.block_unless(bool(evaluate(stmt.condition, ctx, program)))
+        return
+    if isinstance(stmt, IfStmt):
+        branch = (stmt.then if evaluate(stmt.condition, ctx, program)
+                  else stmt.orelse)
+        for inner in branch:
+            _execute(inner, ctx, program)
+        return
+    if isinstance(stmt, GotoStmt):
+        ctx.goto(stmt.label)
+        return
+    if isinstance(stmt, DoneStmt):
+        ctx.done()
+        return
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def program_to_spec(program: Program,
+                    invariants: Optional[dict[str, Callable]] = None,
+                    eventually_always: Optional[dict[str, Callable]] = None,
+                    symmetry=None) -> Spec:
+    """Build a model-checkable Spec from a NADIR program."""
+    failures = program.validate_types()
+    if failures:
+        raise TypeError(f"TypeOK fails for: {', '.join(failures)}")
+    processes = []
+    for definition in program.processes:
+        steps = []
+        for block in definition.blocks:
+            def make_runner(body=tuple(block.body)):
+                def run(ctx: Ctx) -> None:
+                    for stmt in body:
+                        _execute(stmt, ctx, program)
+                return run
+
+            steps.append(Step(block.label, make_runner()))
+        processes.append(SpecProcess(
+            definition.name, steps, locals_=dict(definition.locals_),
+            fair=definition.fair, daemon=definition.daemon))
+    return Spec(program.name, dict(program.globals_), processes,
+                invariants=invariants, eventually_always=eventually_always,
+                symmetry=symmetry)

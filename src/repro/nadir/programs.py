@@ -1,0 +1,202 @@
+"""Annotated NADIR programs: the specifications we generate code from.
+
+Two showcases, mirroring the paper's listings:
+
+* :func:`drain_app_program` — the drain application of Listing 4,
+  specialised (like :mod:`repro.spec.specs.apps`) to the diamond
+  topology: it consumes drain requests, computes the drained DAG via a
+  pure helper (the ``ComputeDrainDAG`` role) and submits it on the
+  ``DAGEventQueue``, bumping priorities as Listing 6 requires.
+* :func:`worker_pool_program` — the final WorkerPool of Listing 3, with
+  environment actions (translate/forward/emit events) bound as runtime
+  externs so the generated component can serve a live
+  :class:`~repro.core.controller.ZenithController` OP-queue shard.
+
+Both are verified through the interpreter backend and compiled with the
+code generator; tests assert the two agree.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AckPopStmt,
+    AckReadStmt,
+    CallStmt,
+    Const,
+    FifoGetStmt,
+    FifoPutStmt,
+    Global,
+    GotoStmt,
+    HelperCall,
+    IfStmt,
+    LabeledBlock,
+    LocalVar,
+    Prim,
+    ProcessDef,
+    Program,
+    SetGlobal,
+    SetLocal,
+)
+from .types import BOOL, FifoType, INT, NullableType, SetType, StructType
+
+__all__ = ["drain_app_program", "worker_pool_program"]
+
+
+def drain_app_program() -> Program:
+    """The drain application (paper Listing 4) as an annotated program.
+
+    Requests are integers: the switch to drain (positive) or undrain
+    (negative).  The submitted DAG object is a struct
+    ``{id, path, priority}`` where ``path`` identifies the diamond path
+    to keep alive (1 = via switch 1, 2 = via switch 2, 0 = none viable).
+    """
+    dag_struct = StructType("StructDAGObject", {
+        "id": INT, "path": INT, "priority": INT,
+    })
+    program = Program(
+        name="nadir-drain-app",
+        globals_={
+            "DrainRequestQueue": (),
+            "DAGEventQueue": (),
+            "drained": frozenset(),
+            "nextDAGID": 1,
+            "nextPriority": 1,
+        },
+        global_types={
+            "DrainRequestQueue": FifoType(INT),
+            "DAGEventQueue": FifoType(dag_struct),
+            "drained": SetType(INT),
+            "nextDAGID": INT,
+            "nextPriority": INT,
+        },
+        processes=[],
+    )
+    # ComputeDrainDAG, specialised to the diamond: pick the lowest
+    # viable middle switch not in the drained set.
+    program.add_helper(
+        "ViablePath", ["drained"],
+        "1 if 1 not in drained else (2 if 2 not in drained else 0)")
+    # The §4 budget invariant: at most one of the two middles drained.
+    program.add_helper(
+        "DrainAllowed", ["drained", "node"],
+        "node in drained or len(drained | {node}) <= 1")
+    program.add_helper(
+        "ApplyRequest", ["drained", "request"],
+        "(drained | {request}) if request > 0 else (drained - {-request})")
+
+    drainer = ProcessDef(
+        name="drainer",
+        locals_={"currentRequest": None, "drainedDAG": None},
+        local_types={"currentRequest": NullableType(INT),
+                     "drainedDAG": NullableType(dag_struct)},
+        blocks=[
+            LabeledBlock("DrainLoop", [
+                FifoGetStmt("DrainRequestQueue", "currentRequest"),
+            ]),
+            LabeledBlock("ComputeDrain", [
+                IfStmt(
+                    Prim("or",
+                         Prim("<", LocalVar("currentRequest"), Const(0)),
+                         HelperCall("DrainAllowed", Global("drained"),
+                                    LocalVar("currentRequest"))),
+                    [
+                        SetGlobal("drained",
+                                  HelperCall("ApplyRequest",
+                                             Global("drained"),
+                                             LocalVar("currentRequest"))),
+                        SetLocal("drainedDAG", Prim(
+                            "record",
+                            Const("id"), Global("nextDAGID"),
+                            Const("path"),
+                            HelperCall("ViablePath", Global("drained")),
+                            Const("priority"), Global("nextPriority"))),
+                        GotoStmt("SubmitDAG"),
+                    ],
+                    [GotoStmt("DrainLoop")],  # request refused (§4)
+                ),
+            ]),
+            LabeledBlock("SubmitDAG", [
+                FifoPutStmt("DAGEventQueue", LocalVar("drainedDAG")),
+                SetGlobal("nextDAGID",
+                          Prim("+", Global("nextDAGID"), Const(1))),
+                SetGlobal("nextPriority",
+                          Prim("+", Global("nextPriority"), Const(1))),
+                SetLocal("drainedDAG", Const(None)),
+                GotoStmt("DrainLoop"),
+            ]),
+        ],
+    )
+    program.processes.append(drainer)
+    return program
+
+
+def worker_pool_program() -> Program:
+    """The final WorkerPool (paper Listing 3) as an annotated program.
+
+    Environment-specific actions are externs the harness registers:
+
+    * ``IsClearOP(op)``       — is this the CLEAR_TCAM instruction?
+    * ``IsScheduled(op)``     — is the OP still SCHEDULED in the NIB?
+    * ``IsSwitchHealthy(op)`` — is the OP's switch recorded UP?
+    * ``EmitSentEvent(op)`` / ``EmitFailEvent(op)`` — NIB event queue;
+    * ``ForwardOP(op)``       — translate and send toward the switch.
+    """
+    program = Program(
+        name="nadir-worker-pool",
+        globals_={
+            "OPQueueNIB": (),
+            "workerPoolState": None,
+        },
+        global_types={
+            "OPQueueNIB": FifoType(INT),
+            "workerPoolState": NullableType(INT),
+        },
+        processes=[],
+        ack_queues=frozenset({"OPQueueNIB"}),
+    )
+    worker = ProcessDef(
+        name="WorkerPool",
+        locals_={"OPToS": None},
+        local_types={"OPToS": NullableType(INT)},
+        blocks=[
+            LabeledBlock("StateRecovery", [
+                # Executed on startup: clear the in-progress marker; the
+                # head of the queue (if any) is re-processed.
+                SetGlobal("workerPoolState", Const(None)),
+            ]),
+            LabeledBlock("ControllerThread", [
+                AckReadStmt("OPQueueNIB", "OPToS"),
+                SetGlobal("workerPoolState", LocalVar("OPToS")),
+            ]),
+            LabeledBlock("ProcessOP", [
+                IfStmt(
+                    HelperCall("IsClearOP", LocalVar("OPToS")),
+                    [CallStmt(HelperCall("ForwardOP", LocalVar("OPToS")))],
+                    [IfStmt(
+                        HelperCall("IsScheduled", LocalVar("OPToS")),
+                        [IfStmt(
+                            HelperCall("IsSwitchHealthy", LocalVar("OPToS")),
+                            [
+                                # State first, action second (§3.9).
+                                CallStmt(HelperCall("EmitSentEvent",
+                                                    LocalVar("OPToS"))),
+                                CallStmt(HelperCall("ForwardOP",
+                                                    LocalVar("OPToS"))),
+                            ],
+                            [CallStmt(HelperCall("EmitFailEvent",
+                                                 LocalVar("OPToS")))],
+                        )],
+                        [],  # dispatch superseded by a recovery reset
+                    )],
+                ),
+            ]),
+            LabeledBlock("RemoveOPFromQueue", [
+                SetGlobal("workerPoolState", Const(None)),
+                AckPopStmt("OPQueueNIB"),
+                SetLocal("OPToS", Const(None)),
+                GotoStmt("ControllerThread"),
+            ]),
+        ],
+    )
+    program.processes.append(worker)
+    return program

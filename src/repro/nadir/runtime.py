@@ -1,0 +1,152 @@
+"""NADIR runtime library (paper §5).
+
+Generated code targets this library: global variables become entries in
+a NIB table (fully persistent across component crashes, per the
+paper's rule that "all persistent state is in the NIB"), queue-typed
+globals become NIB-resident queues with the right discipline, and
+environment-specific actions (sending to switches, emitting controller
+events) are *externs* registered by the harness — the runtime half of
+NADIR's correctness contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..nib import Nib
+from ..sim import Component, Environment, Event
+
+__all__ = ["NADIR_NULL", "NadirRuntime", "NadirComponent"]
+
+#: The runtime value of the reserved NADIR_NULL constant.
+NADIR_NULL = None
+
+
+class NadirRuntime:
+    """Bindings from a generated program to the NIB and environment."""
+
+    #: Polling period for ``wait_until`` conditions (seconds).
+    poll_period = 0.001
+
+    def __init__(self, env: Environment, nib: Nib, namespace: str,
+                 fifo_queues: tuple[str, ...] = (),
+                 ack_queues: tuple[str, ...] = (),
+                 step_cost: float = 0.0005,
+                 queue_aliases: Optional[dict[str, str]] = None):
+        self.env = env
+        self.nib = nib
+        self.namespace = namespace
+        self.table = nib.table(f"nadir.{namespace}")
+        self._fifo_names = set(fifo_queues)
+        self._ack_names = set(ack_queues)
+        self.step_cost = step_cost
+        self._externs: dict[str, Callable] = {}
+        #: Map a queue global onto an existing NIB queue name, letting
+        #: generated components plug into another system's queues (e.g.
+        #: a generated worker serving the controller's OPQueue shard).
+        self._aliases = dict(queue_aliases or {})
+
+    # -- globals -----------------------------------------------------------------
+    def initialize(self, values: dict[str, Any]) -> None:
+        """Set initial values for non-queue globals (idempotent)."""
+        for name, value in values.items():
+            if name in self._fifo_names or name in self._ack_names:
+                continue
+            if name not in self.table:
+                self.table.put(name, value)
+
+    def get(self, name: str) -> Any:
+        """Read a persistent global."""
+        return self.table.get(name)
+
+    def set(self, name: str, value: Any) -> None:
+        """Write a persistent global (atomic per assumption A2)."""
+        self.table.put(name, value)
+
+    # -- queues -------------------------------------------------------------------
+    def _fifo(self, name: str):
+        full = self._aliases.get(name, f"nadir.{self.namespace}.{name}")
+        return self.nib.fifo(full)
+
+    def _ack(self, name: str):
+        full = self._aliases.get(name, f"nadir.{self.namespace}.{name}")
+        return self.nib.ack_queue(full)
+
+    def fifo_put(self, name: str, value: Any) -> None:
+        """FIFOPut."""
+        if name in self._ack_names:
+            self._ack(name).put(value)
+        else:
+            self._fifo(name).put(value)
+
+    def fifo_get(self, name: str) -> Event:
+        """FIFOGet (event firing with the item)."""
+        return self._fifo(name).get()
+
+    def ack_read(self, name: str) -> Event:
+        """AckQueueRead (event firing with the head, kept in place)."""
+        return self._ack(name).read()
+
+    def ack_pop(self, name: str) -> None:
+        """AckQueuePop."""
+        queue = self._ack(name)
+        if len(queue):
+            queue.pop()
+
+    def queue_length(self, name: str) -> int:
+        """Current length of a queue global."""
+        if name in self._ack_names:
+            return len(self._ack(name))
+        return len(self._fifo(name))
+
+    # -- control ------------------------------------------------------------------
+    def step_delay(self) -> Event:
+        """The per-step processing cost of generated code."""
+        return self.env.timeout(self.step_cost)
+
+    def wait_until(self, predicate: Callable[[], bool]):
+        """Generator: poll until the predicate holds (await)."""
+        while not predicate():
+            yield self.env.timeout(self.poll_period)
+
+    # -- externs --------------------------------------------------------------------
+    def register_extern(self, name: str, fn: Callable) -> None:
+        """Bind an environment-specific action callable from the spec."""
+        self._externs[name] = fn
+
+    def extern(self, name: str) -> Callable:
+        """Look up a registered extern."""
+        if name not in self._externs:
+            raise KeyError(f"extern {name!r} not registered with the runtime")
+        return self._externs[name]
+
+
+class NadirComponent(Component):
+    """Base class of generated components.
+
+    Subclasses (emitted by the code generator) define ``LOCALS``, the
+    ``START`` label and a ``run_block(pc)`` generator per label; the
+    default ``main`` drives the pc loop.  Local variables are plain
+    attributes: they vanish on crash, exactly like PlusCal locals.
+    """
+
+    LOCALS: dict[str, Any] = {}
+    START: str = ""
+
+    def __init__(self, env: Environment, runtime: NadirRuntime,
+                 name: Optional[str] = None):
+        super().__init__(env, name=name)
+        self.rt = runtime
+
+    def setup(self):
+        for local, initial in self.LOCALS.items():
+            setattr(self, local, initial)
+
+    def main(self):
+        pc: Optional[str] = self.START
+        while pc is not None:
+            pc = yield from self.run_block(pc)
+
+    def run_block(self, pc: str):
+        """Execute one labeled block; return the next label."""
+        raise NotImplementedError

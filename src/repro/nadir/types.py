@@ -1,0 +1,129 @@
+"""NADIR type annotations (paper §5, Listing 8).
+
+PlusCal does not declare variable types, so NADIR requires developers
+to annotate their specifications before code generation.  The
+annotation vocabulary mirrors the paper's: primitive sets (``Nat``,
+booleans, strings), struct sets (C-like records), FIFOs, sets and
+nullable wrappers (``NadirNullable``).  Annotations serve three roles:
+
+* they drive code generation (queue kinds, struct constructors);
+* they compile into runtime type checks (the ``TypeOK`` invariant);
+* they are checkable against the specification's initial values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["NadirType", "INT", "BOOL", "STRING", "NullableType",
+           "StructType", "FifoType", "SetType", "TupleType", "NULL_VALUE",
+           "type_check"]
+
+#: The runtime value NADIR_NULL maps to.
+NULL_VALUE = None
+
+
+class NadirType:
+    """Base class of all NADIR type annotations."""
+
+    name = "any"
+
+    def check(self, value: Any) -> bool:
+        """Whether ``value`` inhabits this type."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class _Primitive(NadirType):
+    def __init__(self, name: str, python_type: type):
+        self.name = name
+        self.python_type = python_type
+
+    def check(self, value: Any) -> bool:
+        if self.python_type is int:
+            # bool is an int subtype in Python; NADIR keeps them apart.
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, self.python_type)
+
+
+INT = _Primitive("Nat", int)
+BOOL = _Primitive("Bool", bool)
+STRING = _Primitive("String", str)
+
+
+class NullableType(NadirType):
+    """NadirNullable(T): T or NADIR_NULL."""
+
+    def __init__(self, inner: NadirType):
+        self.inner = inner
+        self.name = f"NadirNullable({inner.name})"
+
+    def check(self, value: Any) -> bool:
+        return value is NULL_VALUE or self.inner.check(value)
+
+
+class StructType(NadirType):
+    """A C-like struct: fixed field names with typed values (dicts)."""
+
+    def __init__(self, name: str, fields: dict[str, NadirType]):
+        self.name = name
+        self.fields = dict(fields)
+
+    def check(self, value: Any) -> bool:
+        if not isinstance(value, dict):
+            return False
+        if set(value) != set(self.fields):
+            return False
+        return all(ftype.check(value[fname])
+                   for fname, ftype in self.fields.items())
+
+
+class FifoType(NadirType):
+    """NadirFIFO(T): a queue of T (tuples in the spec, queues at runtime)."""
+
+    def __init__(self, element: NadirType):
+        self.element = element
+        self.name = f"NadirFIFO({element.name})"
+
+    def check(self, value: Any) -> bool:
+        return (isinstance(value, tuple)
+                and all(self.element.check(item) for item in value))
+
+
+class SetType(NadirType):
+    """SUBSET T: a frozenset of T."""
+
+    def __init__(self, element: NadirType):
+        self.element = element
+        self.name = f"SUBSET {element.name}"
+
+    def check(self, value: Any) -> bool:
+        return (isinstance(value, frozenset)
+                and all(self.element.check(item) for item in value))
+
+
+class TupleType(NadirType):
+    """A fixed-arity product type."""
+
+    def __init__(self, *elements: NadirType):
+        self.elements = elements
+        self.name = "(" + " \\X ".join(e.name for e in elements) + ")"
+
+    def check(self, value: Any) -> bool:
+        return (isinstance(value, tuple) and len(value) == len(self.elements)
+                and all(t.check(v) for t, v in zip(self.elements, value)))
+
+
+def type_check(annotations: dict[str, NadirType],
+               values: dict[str, Any]) -> list[str]:
+    """TypeOK: return the names whose values violate their annotation."""
+    failures = []
+    for name, annotation in annotations.items():
+        if name not in values:
+            failures.append(name)
+        elif not annotation.check(values[name]):
+            failures.append(name)
+    return failures

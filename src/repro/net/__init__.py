@@ -1,0 +1,42 @@
+"""Network substrate: topologies, switches, dataplane, traffic."""
+
+from .dataplane import Network, PathResult, PathStatus
+from .messages import (
+    FlowEntry,
+    MsgKind,
+    SwitchAck,
+    SwitchRequest,
+    SwitchStatus,
+    SwitchStatusMsg,
+    TableSnapshot,
+)
+from .switch import FailureMode, SimSwitch, table_read_time
+from .topology import Topology, b4, fat_tree, kdl, linear, ring, subgraph
+from .traffic import Flow, TrafficMonitor, flow_rates, max_min_fair
+
+__all__ = [
+    "FailureMode",
+    "Flow",
+    "FlowEntry",
+    "MsgKind",
+    "Network",
+    "PathResult",
+    "PathStatus",
+    "SimSwitch",
+    "SwitchAck",
+    "SwitchRequest",
+    "SwitchStatus",
+    "SwitchStatusMsg",
+    "TableSnapshot",
+    "Topology",
+    "TrafficMonitor",
+    "b4",
+    "fat_tree",
+    "flow_rates",
+    "kdl",
+    "linear",
+    "max_min_fair",
+    "ring",
+    "subgraph",
+    "table_read_time",
+]

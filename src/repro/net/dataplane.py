@@ -1,0 +1,143 @@
+"""Dataplane: a set of switches over a topology, plus forwarding resolution.
+
+:class:`Network` bundles a :class:`~repro.net.topology.Topology` with one
+:class:`~repro.net.switch.SimSwitch` per node and answers ground-truth
+questions the experiments need: "if a packet for ``dst`` enters at
+``src`` right now, where does it go?" — delivered, blackholed (no
+matching entry or dead next hop), or looping.  This is how we detect the
+paper's *hidden flow entry* pathologies (Fig. 2): a stale higher-priority
+entry steers traffic at a switch even though the controller believes the
+new route is installed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..sim import Environment, RandomStreams
+from .switch import FailureMode, SimSwitch
+from .topology import Topology
+
+__all__ = ["Network", "PathStatus", "PathResult"]
+
+
+class PathStatus(enum.Enum):
+    """Outcome of tracing a packet through the dataplane."""
+
+    DELIVERED = "delivered"
+    BLACKHOLE = "blackhole"       # no matching entry at some hop
+    DEAD_SWITCH = "dead_switch"   # a hop (or the next hop) is down
+    LOOP = "loop"                 # forwarding loop detected
+    BROKEN_LINK = "broken_link"   # next hop is not adjacent
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """The traced path and its outcome."""
+
+    status: PathStatus
+    hops: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the packet reached its destination."""
+        return self.status is PathStatus.DELIVERED
+
+
+class Network:
+    """All switches of a topology plus ground-truth forwarding."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 streams: Optional[RandomStreams] = None,
+                 local_repair: bool = False, **switch_kwargs):
+        self.env = env
+        self.topology = topology
+        self.streams = streams or RandomStreams(0)
+        #: Fast local recovery (paper §6.2, Fig. 14): when enabled, a
+        #: switch whose best entry points at a dead neighbor falls back
+        #: to its next-best matching entry (pre-installed backup paths),
+        #: modeling IPFRR/BFD-style local repair.
+        self.local_repair = local_repair
+        self.switches: dict[str, SimSwitch] = {
+            switch_id: SimSwitch(env, switch_id, streams=self.streams,
+                                 **switch_kwargs)
+            for switch_id in topology.switches
+        }
+
+    def __getitem__(self, switch_id: str) -> SimSwitch:
+        return self.switches[switch_id]
+
+    def __iter__(self):
+        return iter(self.switches.values())
+
+    def __len__(self) -> int:
+        return len(self.switches)
+
+    # -- failure injection ---------------------------------------------------------
+    def fail_switch(self, switch_id: str,
+                    mode: FailureMode = FailureMode.COMPLETE) -> None:
+        """Fail one switch."""
+        self.switches[switch_id].fail(mode)
+
+    def recover_switch(self, switch_id: str) -> None:
+        """Recover one switch."""
+        self.switches[switch_id].recover()
+
+    def healthy_switches(self) -> list[str]:
+        """Ids of currently healthy switches."""
+        return [s for s, sw in self.switches.items() if sw.is_healthy]
+
+    # -- ground truth ------------------------------------------------------------
+    def trace(self, src: str, dst: str, max_hops: int = 64) -> PathResult:
+        """Trace a packet for ``dst`` injected at ``src``."""
+        hops = [src]
+        current = src
+        visited = {src}
+        while current != dst:
+            switch = self.switches[current]
+            if not switch.is_healthy:
+                return PathResult(PathStatus.DEAD_SWITCH, tuple(hops))
+            if self.local_repair:
+                entry = self._repair_lookup(switch, dst)
+                if entry is None:
+                    best = switch.lookup(dst)
+                    status = (PathStatus.BLACKHOLE if best is None
+                              else PathStatus.DEAD_SWITCH)
+                    return PathResult(status, tuple(hops))
+            else:
+                entry = switch.lookup(dst)
+                if entry is None:
+                    return PathResult(PathStatus.BLACKHOLE, tuple(hops))
+            next_hop = entry.next_hop
+            if not self.topology.graph.has_edge(current, next_hop):
+                return PathResult(PathStatus.BROKEN_LINK, tuple(hops))
+            if not self.switches[next_hop].is_healthy:
+                return PathResult(PathStatus.DEAD_SWITCH, tuple(hops))
+            if next_hop in visited or len(hops) > max_hops:
+                return PathResult(PathStatus.LOOP, tuple(hops))
+            hops.append(next_hop)
+            visited.add(next_hop)
+            current = next_hop
+        return PathResult(PathStatus.DELIVERED, tuple(hops))
+
+    def _repair_lookup(self, switch: SimSwitch, dst: str):
+        """Best matching entry whose next hop is alive and adjacent."""
+        for entry in switch.lookup_all(dst):
+            if (self.topology.graph.has_edge(switch.switch_id,
+                                             entry.next_hop)
+                    and self.switches[entry.next_hop].is_healthy):
+                return entry
+        return None
+
+    def routing_state(self) -> dict[str, frozenset[int]]:
+        """Ground-truth installed entry ids per switch (the paper's G_d)."""
+        return {
+            switch_id: frozenset(switch.flow_table.keys())
+            for switch_id, switch in self.switches.items()
+        }
+
+    def entry_counts(self) -> dict[str, int]:
+        """Installed entries per switch."""
+        return {sid: len(sw.flow_table) for sid, sw in self.switches.items()}

@@ -1,0 +1,101 @@
+"""Control-channel messages between the controller and switches.
+
+The switch exports an OpenFlow-like but protocol-agnostic interface
+(paper §3.5): install a rule, delete a rule, return the routing table,
+clear the TCAM, and change the controller role.  Each request carries a
+transaction id (``xid``) that the corresponding ACK echoes, which is how
+the Monitoring Server correlates ACKs with OPs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "FlowEntry",
+    "MsgKind",
+    "SwitchRequest",
+    "SwitchAck",
+    "TableSnapshot",
+    "SwitchStatus",
+    "SwitchStatusMsg",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FlowEntry:
+    """One TCAM entry: route traffic for ``dst`` to ``next_hop``.
+
+    ``entry_id`` identifies the slot a rule occupies; installing an
+    entry with an id already present overwrites it (as flow-mod does).
+    Forwarding uses the highest-priority entry matching the packet's
+    destination.
+    """
+
+    entry_id: int
+    dst: str
+    next_hop: str
+    priority: int = 0
+
+
+class MsgKind(enum.Enum):
+    """Request kinds the switch understands."""
+
+    INSTALL = "install"
+    DELETE = "delete"
+    CLEAR_TCAM = "clear_tcam"
+    READ_TABLE = "read_table"
+    ROLE_CHANGE = "role_change"
+
+
+@dataclass(frozen=True)
+class SwitchRequest:
+    """A controller→switch request."""
+
+    kind: MsgKind
+    switch: str
+    xid: int
+    sender: str = "ofc"
+    entry: Optional[FlowEntry] = None
+    entry_id: Optional[int] = None
+    role: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SwitchAck:
+    """A switch→controller acknowledgement (A3: ack ⇔ completed)."""
+
+    kind: MsgKind
+    switch: str
+    xid: int
+    ok: bool = True
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TableSnapshot:
+    """Response to READ_TABLE: the full flow table at read time."""
+
+    switch: str
+    xid: int
+    entries: tuple[FlowEntry, ...]
+
+
+class SwitchStatus(enum.Enum):
+    """Health states a switch reports."""
+
+    UP = "up"
+    DOWN = "down"
+
+
+@dataclass(frozen=True)
+class SwitchStatusMsg:
+    """Out-of-band liveness notification (keepalive loss / reconnect)."""
+
+    switch: str
+    status: SwitchStatus
+    at: float
+    #: True if the failure wiped the TCAM (complete failure).
+    state_lost: bool = False

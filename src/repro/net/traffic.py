@@ -1,0 +1,164 @@
+"""Fluid traffic model: max-min fair flow throughput over resolved paths.
+
+The throughput experiments (Fig. 14, Fig. 16, Fig. A.2) measure the
+aggregate rate of a set of flows while the control plane reconverges.
+We model traffic as fluid: at any instant a flow either follows the
+path the dataplane currently resolves for it (see
+:meth:`repro.net.dataplane.Network.trace`) or gets zero throughput if
+the path is blackholed/broken; rates of delivered flows are the
+max-min fair allocation over link capacities (progressive filling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..sim import Environment
+from .dataplane import Network, PathStatus
+
+__all__ = ["Flow", "max_min_fair", "flow_rates", "TrafficMonitor"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional demand between two switches (Gb/s)."""
+
+    name: str
+    src: str
+    dst: str
+    demand: float
+
+
+def max_min_fair(paths: dict[str, list[str]],
+                 demands: dict[str, float],
+                 capacity: Callable[[str, str], float]) -> dict[str, float]:
+    """Max-min fair rates for flows pinned to paths (water filling).
+
+    ``paths`` maps flow name → hop list; ``demands`` caps each flow's
+    rate; ``capacity(a, b)`` returns the capacity of a link.  Flows with
+    empty or single-hop paths are granted their full demand (they use no
+    links).
+    """
+    links: dict[tuple[str, str], float] = {}
+    flows_on_link: dict[tuple[str, str], set[str]] = {}
+    active: set[str] = set()
+    rates: dict[str, float] = {}
+
+    def link_key(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a < b else (b, a)
+
+    for name, hops in paths.items():
+        if len(hops) < 2:
+            rates[name] = demands.get(name, 0.0)
+            continue
+        active.add(name)
+        rates[name] = 0.0
+        for a, b in zip(hops, hops[1:]):
+            key = link_key(a, b)
+            links.setdefault(key, capacity(*key))
+            flows_on_link.setdefault(key, set()).add(name)
+
+    remaining_demand = {name: demands.get(name, 0.0) for name in active}
+
+    while active:
+        # Fair share each link could still give its active flows.
+        best_increment = None
+        for key, cap in links.items():
+            users = flows_on_link[key] & active
+            if not users:
+                continue
+            share = cap / len(users)
+            if best_increment is None or share < best_increment:
+                best_increment = share
+        demand_limited = min(
+            (remaining_demand[name] for name in active), default=None)
+        if best_increment is None:
+            increment = demand_limited
+        elif demand_limited is not None:
+            increment = min(best_increment, demand_limited)
+        else:
+            increment = best_increment
+        if increment is None or increment <= 1e-12:
+            increment = 0.0
+
+        frozen: set[str] = set()
+        for name in active:
+            rates[name] += increment
+            remaining_demand[name] -= increment
+            if remaining_demand[name] <= 1e-12:
+                frozen.add(name)
+        for key in links:
+            users = flows_on_link[key] & active
+            if users:
+                links[key] -= increment * len(users)
+                if links[key] <= 1e-12:
+                    frozen |= users
+        if not frozen:
+            # Numerical safety: freeze everything rather than spin.
+            frozen = set(active)
+        active -= frozen
+    return rates
+
+
+def flow_rates(network: Network, flows: Iterable[Flow]) -> dict[str, float]:
+    """Instantaneous per-flow throughput given current dataplane state."""
+    paths: dict[str, list[str]] = {}
+    demands: dict[str, float] = {}
+    zero: dict[str, float] = {}
+    for flow in flows:
+        demands[flow.name] = flow.demand
+        result = network.trace(flow.src, flow.dst)
+        if result.ok:
+            paths[flow.name] = list(result.hops)
+        else:
+            zero[flow.name] = 0.0
+    rates = max_min_fair(paths, demands, network.topology.capacity)
+    rates.update(zero)
+    return rates
+
+
+@dataclass
+class TrafficSample:
+    """One sampling instant of the traffic monitor."""
+
+    time: float
+    per_flow: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        """Aggregate throughput across flows."""
+        return sum(self.per_flow.values())
+
+
+class TrafficMonitor:
+    """Samples flow throughput on a fixed period, building a timeline."""
+
+    def __init__(self, env: Environment, network: Network,
+                 flows: list[Flow], period: float = 0.5):
+        self.env = env
+        self.network = network
+        self.flows = flows
+        self.period = period
+        self.samples: list[TrafficSample] = []
+        self._proc = env.process(self._run(), name="traffic-monitor")
+
+    def _run(self):
+        while True:
+            rates = flow_rates(self.network, self.flows)
+            self.samples.append(TrafficSample(self.env.now, rates))
+            yield self.env.timeout(self.period)
+
+    # -- analysis -------------------------------------------------------------
+    def timeline(self) -> list[tuple[float, float]]:
+        """(time, aggregate throughput) series."""
+        return [(s.time, s.total) for s in self.samples]
+
+    def average_total(self, start: float = 0.0,
+                      end: Optional[float] = None) -> float:
+        """Mean aggregate throughput over [start, end]."""
+        window = [s.total for s in self.samples
+                  if s.time >= start and (end is None or s.time <= end)]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)

@@ -1,0 +1,5 @@
+"""Network Information Base: ZENITH's logically centralized store."""
+
+from .store import Lock, Nib, NibTable, NibWrite
+
+__all__ = ["Lock", "Nib", "NibTable", "NibWrite"]

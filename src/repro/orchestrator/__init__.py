@@ -1,0 +1,59 @@
+"""Failure injection and trace orchestration."""
+
+from .from_counterexample import trace_from_counterexample
+from .failures import (
+    ComponentFailureEvent,
+    ComponentFailureInjector,
+    SwitchFailureEvent,
+    SwitchFailureInjector,
+    random_component_failures,
+    random_switch_failures,
+)
+from .trace import (
+    AwaitOpStatus,
+    AwaitPredicate,
+    Call,
+    CrashComponent,
+    Delay,
+    FailSwitch,
+    RecoverSwitch,
+    Trace,
+    TraceContext,
+    TraceOrchestrator,
+    TraceStep,
+)
+from .tracelib import (
+    dag_op,
+    failover_traces,
+    op_switch,
+    standard_traces,
+    submit_measured_dag,
+    worker_of_op,
+)
+
+__all__ = [
+    "AwaitOpStatus",
+    "AwaitPredicate",
+    "Call",
+    "ComponentFailureEvent",
+    "ComponentFailureInjector",
+    "CrashComponent",
+    "Delay",
+    "FailSwitch",
+    "RecoverSwitch",
+    "SwitchFailureEvent",
+    "SwitchFailureInjector",
+    "Trace",
+    "TraceContext",
+    "TraceOrchestrator",
+    "TraceStep",
+    "dag_op",
+    "failover_traces",
+    "op_switch",
+    "random_component_failures",
+    "random_switch_failures",
+    "standard_traces",
+    "submit_measured_dag",
+    "trace_from_counterexample",
+    "worker_of_op",
+]

@@ -1,0 +1,172 @@
+"""Failure injection: random switch and component failure schedules.
+
+Drives the failure scenarios of paper Table 3 at scale (Figs. 12/13):
+switch failures (complete/partial × transient/permanent) and controller
+component crashes, generated from seeded random streams so experiments
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.controller import ZenithController
+from ..net.dataplane import Network
+from ..net.switch import FailureMode
+from ..sim import Environment, RandomStreams
+
+__all__ = [
+    "SwitchFailureEvent",
+    "ComponentFailureEvent",
+    "random_switch_failures",
+    "random_component_failures",
+    "SwitchFailureInjector",
+    "ComponentFailureInjector",
+]
+
+
+@dataclass(frozen=True)
+class SwitchFailureEvent:
+    """One scheduled switch failure."""
+
+    at: float
+    switch: str
+    mode: FailureMode
+    #: None = permanent; otherwise seconds until recovery.
+    recover_after: Optional[float]
+
+
+@dataclass(frozen=True)
+class ComponentFailureEvent:
+    """One scheduled component crash."""
+
+    at: float
+    component: str
+
+
+def random_switch_failures(switches: Sequence[str], streams: RandomStreams,
+                           window: tuple[float, float], count: int,
+                           mean_downtime: float = 2.0,
+                           complete_fraction: float = 0.5,
+                           permanent_fraction: float = 0.0,
+                           concurrent: bool = False,
+                           protected: Sequence[str] = ()) -> list[SwitchFailureEvent]:
+    """Generate a schedule of random switch failures.
+
+    With ``concurrent=False`` failures are spaced so that at most one
+    switch is down at a time (each next failure starts after the
+    previous recovery); with ``concurrent=True`` inter-arrival times are
+    drawn shorter than downtimes so failures overlap (the Fig. 12(b)
+    regime).
+    """
+    stream = streams.child("switch-failures")
+    start, end = window
+    candidates = [s for s in switches if s not in set(protected)]
+    if not candidates:
+        raise ValueError("no switches eligible for failure")
+    events = []
+    if concurrent:
+        times = sorted(stream.uniform(start, end) for _ in range(count))
+    else:
+        times = []
+        cursor = start
+        for _ in range(count):
+            cursor += stream.expovariate(1.0 / max(
+                (end - start) / max(count, 1), 1e-9))
+            times.append(cursor)
+    for at in times:
+        switch = stream.choice(candidates)
+        complete = stream.random() < complete_fraction
+        mode = FailureMode.COMPLETE if complete else FailureMode.PARTIAL
+        if stream.random() < permanent_fraction:
+            recover_after: Optional[float] = None
+        else:
+            recover_after = stream.expovariate(1.0 / mean_downtime)
+        if not concurrent and recover_after is not None:
+            # Serialise: next failure cannot start before we recover.
+            pass
+        events.append(SwitchFailureEvent(at, switch, mode, recover_after))
+    if not concurrent:
+        # Enforce one-at-a-time: shift overlapping failures.
+        shifted = []
+        cursor = start
+        for event in sorted(events, key=lambda e: e.at):
+            at = max(event.at, cursor)
+            downtime = event.recover_after if event.recover_after else 0.0
+            cursor = at + downtime + 0.5
+            shifted.append(SwitchFailureEvent(at, event.switch, event.mode,
+                                              event.recover_after))
+        events = shifted
+    return sorted(events, key=lambda e: e.at)
+
+
+def random_component_failures(components: Sequence[str],
+                              streams: RandomStreams,
+                              window: tuple[float, float], count: int,
+                              concurrent: bool = False) -> list[ComponentFailureEvent]:
+    """Generate a schedule of random component crashes."""
+    stream = streams.child("component-failures")
+    start, end = window
+    events = []
+    if concurrent:
+        times = sorted(stream.uniform(start, end) for _ in range(count))
+        for at in times:
+            events.append(ComponentFailureEvent(at, stream.choice(components)))
+    else:
+        step = (end - start) / max(count, 1)
+        for i in range(count):
+            at = start + i * step + stream.uniform(0, 0.5 * step)
+            events.append(ComponentFailureEvent(at, stream.choice(components)))
+    return sorted(events, key=lambda e: e.at)
+
+
+class SwitchFailureInjector:
+    """Executes a switch failure schedule against a network."""
+
+    def __init__(self, env: Environment, network: Network,
+                 schedule: Sequence[SwitchFailureEvent]):
+        self.env = env
+        self.network = network
+        self.schedule = sorted(schedule, key=lambda e: e.at)
+        self.executed: list[SwitchFailureEvent] = []
+        self._proc = env.process(self._run(), name="switch-failure-injector")
+
+    def _run(self):
+        for event in self.schedule:
+            delay = event.at - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            switch = self.network[event.switch]
+            if not switch.is_healthy:
+                continue  # already down via an overlapping event
+            switch.fail(event.mode)
+            self.executed.append(event)
+            if event.recover_after is not None:
+                self.env.process(
+                    self._recover_later(event.switch, event.recover_after),
+                    name=f"recover-{event.switch}")
+
+    def _recover_later(self, switch_id: str, delay: float):
+        yield self.env.timeout(delay)
+        self.network.recover_switch(switch_id)
+
+
+class ComponentFailureInjector:
+    """Executes a component crash schedule against a controller."""
+
+    def __init__(self, env: Environment, controller: ZenithController,
+                 schedule: Sequence[ComponentFailureEvent]):
+        self.env = env
+        self.controller = controller
+        self.schedule = sorted(schedule, key=lambda e: e.at)
+        self.executed: list[ComponentFailureEvent] = []
+        self._proc = env.process(self._run(), name="component-failure-injector")
+
+    def _run(self):
+        for event in self.schedule:
+            delay = event.at - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.controller.crash_component(event.component)
+            self.executed.append(event)

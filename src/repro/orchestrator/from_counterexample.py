@@ -1,0 +1,106 @@
+"""Bridge: model-checker counterexamples → replayable runtime traces.
+
+The paper's Fig. 10 methodology runs ZENITH and the baselines "on the
+set of TLA+ traces obtained during the process of developing the
+ZENITH-core specification", enforced by the Trace Orchestrator.  This
+module converts a :class:`~repro.spec.checker.Violation` found on the
+controller specification into a :class:`~repro.orchestrator.trace.Trace`
+that replays the same *adversarial schedule* against the executable
+controller:
+
+* ``swFailure<k>.fail`` / ``swRecovery<k>.recover`` steps become
+  FailSwitch/RecoverSwitch actions against the k-th switch of the
+  measured DAG;
+* the OP progress recorded in the state *preceding* each failure
+  becomes AwaitOpStatus gates, so the failure lands at the same point
+  of the pipeline as in the counterexample;
+* spec OP ids map positionally onto the measured DAG's INSTALL OPs.
+
+The mapping is necessarily abstraction-level (the runtime cannot be
+single-stepped the way the checker steps the spec), but it preserves
+what matters for convergence experiments: *which* failure hits *when*
+relative to OP progress.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..core.types import OpStatus
+from ..net.switch import FailureMode
+from ..spec.checker import Violation
+from ..spec.lang import SpecView
+from .trace import (
+    AwaitOpStatus,
+    Call,
+    Delay,
+    FailSwitch,
+    RecoverSwitch,
+    Trace,
+    TraceStep,
+)
+from .tracelib import dag_op, op_switch, submit_measured_dag
+
+__all__ = ["trace_from_counterexample"]
+
+#: Spec OP status → the runtime statuses that witness "at least as far".
+_STATUS_GATES = {
+    "sched": (OpStatus.SCHEDULED, OpStatus.IN_FLIGHT, OpStatus.DONE),
+    "flight": (OpStatus.IN_FLIGHT, OpStatus.DONE),
+    "done": (OpStatus.DONE,),
+}
+
+_FAIL_ACTION = re.compile(r"^swFailure(\d+)\.")
+_RECOVER_ACTION = re.compile(r"^swRecovery(\d+)\.")
+
+
+def _progress_gates(spec, state, num_ops: int) -> list[TraceStep]:
+    """AwaitOpStatus steps reproducing the spec state's OP progress."""
+    view = SpecView(spec, state)
+    statuses = view["status"]
+    gates: list[TraceStep] = []
+    for op_index in range(num_ops):
+        spec_status = statuses[op_index + 1]  # spec ops are 1-indexed
+        runtime_statuses = _STATUS_GATES.get(spec_status)
+        if runtime_statuses:
+            gates.append(AwaitOpStatus(dag_op(op_index), runtime_statuses,
+                                       timeout=20.0))
+    return gates
+
+
+def trace_from_counterexample(spec, violation: Violation,
+                              name: Optional[str] = None,
+                              recovery_dwell: float = 1.0) -> Trace:
+    """Build a runtime trace replaying the counterexample's schedule.
+
+    ``spec`` must be a controller specification (its states carry the
+    ``status`` vector the OP-progress gates are derived from).
+    """
+    num_ops = len(spec.view(spec.initial_state())["status"]) - 1
+    steps: list[TraceStep] = [Call(submit_measured_dag)]
+    down: set[int] = set()
+    for index, (action, _state) in enumerate(violation.trace):
+        fail = _FAIL_ACTION.match(action)
+        recover = _RECOVER_ACTION.match(action)
+        if fail:
+            shard = int(fail.group(1))
+            # Gate on the OP progress at the step *before* the failure.
+            pre_state = violation.trace[index - 1][1] if index else _state
+            steps.extend(_progress_gates(spec, pre_state, num_ops))
+            steps.append(FailSwitch(op_switch(shard),
+                                    FailureMode.COMPLETE))
+            down.add(shard)
+        elif recover:
+            shard = int(recover.group(1))
+            if shard in down:
+                steps.append(Delay(recovery_dwell))
+                steps.append(RecoverSwitch(op_switch(shard)))
+                down.discard(shard)
+    # Recover anything the counterexample left dead, so convergence is
+    # measurable (permanent failures need app-level DAG changes).
+    for shard in sorted(down):
+        steps.append(Delay(recovery_dwell))
+        steps.append(RecoverSwitch(op_switch(shard)))
+    return Trace(name or f"ce-{spec.name}-{violation.property_name}",
+                 steps, category="counterexample")

@@ -1,0 +1,191 @@
+"""Trace Orchestrator: replay adversarial schedules against a controller.
+
+The paper's Trace Orchestrator (§6) "enforces the execution of a trace
+by blocking modules from proceeding until the trace demands it",
+replaying TLA+ counterexample schedules against the implementation.
+Our orchestrator drives the same class of schedules at the level the
+simulation exposes: steps gate on observed NIB state (e.g. "wait until
+OP k is in flight") and then inject the failure the trace demands at
+exactly that point — reproducing the races (like §G's
+failure-mid-install) that separate ZENITH from PR.
+
+A trace is a list of :class:`TraceStep`s.  References to switches, OPs
+and components may be literals or callables evaluated against a
+:class:`TraceContext` at execution time, so one trace template replays
+against any controller/topology pairing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+from ..core.controller import ZenithController
+from ..core.types import OpStatus
+from ..net.dataplane import Network
+from ..net.switch import FailureMode
+from ..sim import Environment
+
+__all__ = [
+    "TraceContext",
+    "TraceStep",
+    "Delay",
+    "AwaitOpStatus",
+    "AwaitPredicate",
+    "FailSwitch",
+    "RecoverSwitch",
+    "CrashComponent",
+    "Call",
+    "Trace",
+    "TraceOrchestrator",
+]
+
+Ref = Union[str, int, Callable[["TraceContext"], Any]]
+
+
+@dataclass
+class TraceContext:
+    """Everything a trace step may need to resolve references."""
+
+    env: Environment
+    controller: ZenithController
+    network: Network
+    #: Free-form bindings the harness provides (e.g. the app, the DAG).
+    bindings: dict[str, Any] = field(default_factory=dict)
+
+    def resolve(self, ref: Ref) -> Any:
+        """Evaluate a reference: callables get the context."""
+        if callable(ref):
+            return ref(self)
+        return ref
+
+
+class TraceStep:
+    """Base class: one step of a trace schedule."""
+
+    def run(self, ctx: TraceContext):
+        """Generator executing the step."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+@dataclass
+class Delay(TraceStep):
+    """Advance simulated time."""
+
+    seconds: float
+
+    def run(self, ctx: TraceContext):
+        yield ctx.env.timeout(self.seconds)
+
+
+@dataclass
+class AwaitOpStatus(TraceStep):
+    """Block until an OP reaches one of the given statuses."""
+
+    op_ref: Ref
+    statuses: tuple[OpStatus, ...]
+    timeout: float = 30.0
+    poll: float = 0.002
+
+    def run(self, ctx: TraceContext):
+        op_id = ctx.resolve(self.op_ref)
+        deadline = ctx.env.now + self.timeout
+        while ctx.controller.state.status_of(op_id) not in self.statuses:
+            if ctx.env.now >= deadline:
+                return
+            yield ctx.env.timeout(self.poll)
+
+
+@dataclass
+class AwaitPredicate(TraceStep):
+    """Block until a predicate over the context holds."""
+
+    predicate: Callable[[TraceContext], bool]
+    timeout: float = 30.0
+    poll: float = 0.01
+
+    def run(self, ctx: TraceContext):
+        deadline = ctx.env.now + self.timeout
+        while not self.predicate(ctx):
+            if ctx.env.now >= deadline:
+                return
+            yield ctx.env.timeout(self.poll)
+
+
+@dataclass
+class FailSwitch(TraceStep):
+    """Inject a switch failure."""
+
+    switch_ref: Ref
+    mode: FailureMode = FailureMode.COMPLETE
+
+    def run(self, ctx: TraceContext):
+        ctx.network.fail_switch(ctx.resolve(self.switch_ref), self.mode)
+        yield ctx.env.timeout(0)
+
+
+@dataclass
+class RecoverSwitch(TraceStep):
+    """Recover a failed switch."""
+
+    switch_ref: Ref
+
+    def run(self, ctx: TraceContext):
+        ctx.network.recover_switch(ctx.resolve(self.switch_ref))
+        yield ctx.env.timeout(0)
+
+
+@dataclass
+class CrashComponent(TraceStep):
+    """Crash a controller component by (resolved) name."""
+
+    component_ref: Ref
+
+    def run(self, ctx: TraceContext):
+        ctx.controller.crash_component(ctx.resolve(self.component_ref))
+        yield ctx.env.timeout(0)
+
+
+@dataclass
+class Call(TraceStep):
+    """Invoke an arbitrary hook (e.g. submit a DAG, drain a switch)."""
+
+    hook: Callable[[TraceContext], Any]
+
+    def run(self, ctx: TraceContext):
+        self.hook(ctx)
+        yield ctx.env.timeout(0)
+
+
+@dataclass
+class Trace:
+    """A named adversarial schedule."""
+
+    name: str
+    steps: list[TraceStep]
+    #: Which taxonomy bucket (§C) the trace exercises.
+    category: str = ""
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class TraceOrchestrator:
+    """Executes a trace against a live controller."""
+
+    def __init__(self, ctx: TraceContext, trace: Trace):
+        self.ctx = ctx
+        self.trace = trace
+        self.steps_executed = 0
+        self.finished = False
+
+    def start(self):
+        """Launch the orchestration process; returns the sim process."""
+        return self.ctx.env.process(self._run(), name=f"to-{self.trace.name}")
+
+    def _run(self):
+        for step in self.trace.steps:
+            yield from step.run(self.ctx)
+            self.steps_executed += 1
+        self.finished = True

@@ -1,0 +1,271 @@
+"""Trace library: the adversarial schedules used in the evaluation.
+
+Seventeen traces (Fig. 10) drawn from the specification-error taxonomy
+of §C — data-plane transient failures, control-plane component crashes
+and concurrent/management-operation races — plus five planned-failover
+traces (Fig. 15).  Each trace assumes the harness provides bindings:
+
+* ``app``   — a :class:`~repro.apps.base.RoutingApp` with a standing DAG;
+* ``submit``— hook that triggers the *measured* DAG (an app reroute) and
+  stores it under ``dag``.
+
+OP references resolve against the measured DAG in topological order, so
+the same trace adapts to whatever DAG the app computes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.types import OpStatus, OpType
+from ..net.switch import FailureMode
+from .trace import (
+    AwaitOpStatus,
+    AwaitPredicate,
+    Call,
+    CrashComponent,
+    Delay,
+    FailSwitch,
+    RecoverSwitch,
+    Trace,
+    TraceContext,
+)
+
+__all__ = ["standard_traces", "failover_traces", "dag_op", "op_switch",
+           "worker_of_op", "submit_measured_dag"]
+
+
+def submit_measured_dag(ctx: TraceContext) -> None:
+    """Trigger the app's reroute; the new DAG becomes the measured one."""
+    app = ctx.bindings["app"]
+    dag = app.reroute()
+    ctx.bindings["dag"] = dag
+    ctx.bindings.setdefault("measure_from", ctx.env.now)
+
+
+def _install_ops(dag) -> list[int]:
+    return [op_id for op_id in dag.topological_order()
+            if dag.ops[op_id].op_type is OpType.INSTALL]
+
+
+def dag_op(index: int) -> Callable[[TraceContext], int]:
+    """Reference: the index-th INSTALL OP of the measured DAG."""
+
+    def resolve(ctx: TraceContext) -> int:
+        ops = _install_ops(ctx.bindings["dag"])
+        return ops[index % len(ops)]
+
+    return resolve
+
+
+def op_switch(index: int) -> Callable[[TraceContext], str]:
+    """Reference: the switch of the index-th INSTALL OP."""
+
+    def resolve(ctx: TraceContext) -> str:
+        dag = ctx.bindings["dag"]
+        ops = _install_ops(dag)
+        return dag.ops[ops[index % len(ops)]].switch
+
+    return resolve
+
+
+def worker_of_op(index: int) -> Callable[[TraceContext], str]:
+    """Reference: the worker component owning the OP's switch shard."""
+
+    def resolve(ctx: TraceContext) -> str:
+        dag = ctx.bindings["dag"]
+        ops = _install_ops(dag)
+        switch = dag.ops[ops[index % len(ops)]].switch
+        return f"worker-{ctx.controller.config.worker_for_switch(switch)}"
+
+    return resolve
+
+
+def _submit() -> Call:
+    return Call(submit_measured_dag)
+
+
+def standard_traces() -> list[Trace]:
+    """The 17 traces replayed in the Fig. 10 experiment."""
+    traces = [
+        # ---- data plane: transient failures (§C "DP") -------------------
+        Trace("dp-complete-mid-install", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            Delay(1.0),
+            RecoverSwitch(op_switch(0)),
+        ], category="dp-complete-transient"),
+        Trace("dp-complete-blip", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            Delay(0.05),  # shorter than failure detection
+            RecoverSwitch(op_switch(0)),
+        ], category="dp-complete-transient"),
+        Trace("dp-partial-mid-install", [
+            _submit(),
+            AwaitOpStatus(dag_op(1), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            FailSwitch(op_switch(1), FailureMode.PARTIAL),
+            Delay(0.8),
+            RecoverSwitch(op_switch(1)),
+        ], category="dp-partial-transient"),
+        Trace("dp-complete-post-install", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.DONE,)),
+            AwaitOpStatus(dag_op(1), (OpStatus.DONE,)),
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            Delay(1.2),
+            RecoverSwitch(op_switch(0)),
+        ], category="dp-complete-transient"),
+        Trace("dp-partial-ack-race", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT,)),
+            Delay(0.002),  # ack likely in flight back to the controller
+            FailSwitch(op_switch(0), FailureMode.PARTIAL),
+            Delay(0.3),
+            RecoverSwitch(op_switch(0)),
+        ], category="dp-partial-transient"),
+        Trace("dp-two-switches-back-to-back", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            Delay(0.2),
+            FailSwitch(op_switch(1), FailureMode.COMPLETE),
+            Delay(1.0),
+            RecoverSwitch(op_switch(0)),
+            Delay(0.2),
+            RecoverSwitch(op_switch(1)),
+        ], category="dp-concurrent"),
+        # ---- control plane: partial (component) failures (§C "CP") ------
+        Trace("cp-worker-crash-scheduled", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.SCHEDULED, OpStatus.IN_FLIGHT)),
+            CrashComponent(worker_of_op(0)),
+        ], category="cp-partial"),
+        Trace("cp-worker-crash-twice", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.SCHEDULED, OpStatus.IN_FLIGHT)),
+            CrashComponent(worker_of_op(0)),
+            Delay(0.6),
+            CrashComponent(worker_of_op(1)),
+        ], category="cp-partial"),
+        Trace("cp-sequencer-crash-mid-dag", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            Call(lambda ctx: ctx.controller.crash_component(
+                f"sequencer-{ctx.controller.state.dag_owner.get(ctx.bindings['dag'].dag_id, 0)}")),
+        ], category="cp-partial"),
+        Trace("cp-scheduler-crash-at-submit", [
+            Call(lambda ctx: ctx.controller.crash_component("dag-scheduler")),
+            _submit(),
+        ], category="cp-partial"),
+        Trace("cp-nib-handler-crash-acks-pending", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT,)),
+            CrashComponent("nib-event-handler"),
+        ], category="cp-partial"),
+        Trace("cp-monitoring-crash-in-flight", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT,)),
+            CrashComponent("monitoring-server"),
+        ], category="cp-partial"),
+        Trace("cp-topo-crash-during-recovery", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            Delay(0.8),
+            RecoverSwitch(op_switch(0)),
+            Delay(0.6),  # recovery (detection + cleanup) under way
+            CrashComponent("topo-event-handler"),
+        ], category="cp-partial"),
+        # ---- concurrent / management-operation races (§C "MO") ----------
+        Trace("mo-switch-plus-worker", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            CrashComponent(worker_of_op(0)),
+            Delay(1.0),
+            RecoverSwitch(op_switch(0)),
+        ], category="concurrent"),
+        Trace("mo-failure-during-transition", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            # A *second* reroute races the first transition.
+            Call(submit_measured_dag),
+            AwaitOpStatus(dag_op(0), (OpStatus.SCHEDULED, OpStatus.IN_FLIGHT,
+                                      OpStatus.DONE)),
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            Delay(1.0),
+            RecoverSwitch(op_switch(0)),
+        ], category="management"),
+        Trace("mo-partial-plus-nib-crash", [
+            _submit(),
+            AwaitOpStatus(dag_op(1), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            FailSwitch(op_switch(1), FailureMode.PARTIAL),
+            CrashComponent("nib-event-handler"),
+            Delay(0.7),
+            RecoverSwitch(op_switch(1)),
+        ], category="concurrent"),
+        Trace("mo-reroute-then-old-path-dies", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.DONE,)),
+            Call(submit_measured_dag),   # management reroute
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            Delay(1.0),
+            RecoverSwitch(op_switch(0)),
+        ], category="management"),
+    ]
+    assert len(traces) == 17
+    return traces
+
+
+def failover_traces() -> list[Trace]:
+    """Five planned-failover schedules (Fig. 15).
+
+    Bindings additionally require ``failover``: a hook performing the
+    planned OFC failover (the harness wires a FailoverApp).
+    """
+
+    def do_failover(ctx: TraceContext) -> None:
+        ctx.bindings["failover"](ctx)
+
+    return [
+        Trace("fo-idle", [
+            _submit(),
+            AwaitPredicate(lambda ctx: getattr(
+                ctx.controller.state.dag_status_of(
+                    ctx.bindings["dag"].dag_id), "name", "") == "DONE"),
+            Call(do_failover),
+        ], category="failover"),
+        Trace("fo-ops-in-flight", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT,)),
+            Call(do_failover),
+        ], category="failover"),
+        Trace("fo-during-switch-recovery", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            Delay(0.8),
+            RecoverSwitch(op_switch(0)),
+            Delay(0.55),
+            Call(do_failover),
+        ], category="failover"),
+        Trace("fo-concurrent-switch-failure", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.IN_FLIGHT, OpStatus.DONE)),
+            Call(do_failover),
+            FailSwitch(op_switch(0), FailureMode.COMPLETE),
+            Delay(1.0),
+            RecoverSwitch(op_switch(0)),
+        ], category="failover"),
+        Trace("fo-double-failover", [
+            _submit(),
+            AwaitOpStatus(dag_op(0), (OpStatus.SCHEDULED, OpStatus.IN_FLIGHT,
+                                      OpStatus.DONE)),
+            Call(do_failover),
+            Delay(1.0),
+            Call(do_failover),
+        ], category="failover"),
+    ]

@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation kernel.
+
+The substrate on which ZENITH's microservices, switches, baselines and
+workloads execute.  See :mod:`repro.sim.core` for the event loop,
+:mod:`repro.sim.queues` for communication primitives and
+:mod:`repro.sim.component` for crashable component hosting.
+"""
+
+from .component import Component, ComponentHost, Crash, HostState, run_components
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    NORMAL,
+    Process,
+    SimulationError,
+    Timeout,
+    URGENT,
+)
+from .queues import AckQueue, FifoQueue, QueueClosed, Store
+from .randomness import RandomStreams
+
+__all__ = [
+    "AckQueue",
+    "AllOf",
+    "AnyOf",
+    "Component",
+    "ComponentHost",
+    "Crash",
+    "Environment",
+    "Event",
+    "FifoQueue",
+    "HostState",
+    "Interrupt",
+    "NORMAL",
+    "Process",
+    "QueueClosed",
+    "RandomStreams",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "URGENT",
+    "run_components",
+]

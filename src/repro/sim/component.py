@@ -1,0 +1,180 @@
+"""Crashable components.
+
+ZENITH models controller failures at two granularities (§3.5): a single
+component inside a microservice can crash (losing its local state), or a
+whole microservice can fail over.  This module provides the generic
+machinery: a :class:`Component` is an object with a ``main`` generator;
+a :class:`ComponentHost` runs it, turns injected crashes into local
+state loss, and restarts the component (optionally after a watchdog
+detection delay), executing its ``recover`` generator first.
+
+All durable state must live in the NIB; everything stored on the
+component instance is reset by ``setup()`` on every (re)start, which is
+how the "conservatively assume the failed component loses all of its
+state" rule of the paper is enforced.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Iterable, Optional
+
+from .core import Environment, Event, Interrupt, Process
+
+__all__ = ["Crash", "Component", "ComponentHost", "HostState"]
+
+
+class Crash:
+    """Interrupt cause describing an injected component failure."""
+
+    def __init__(self, reason: str = "injected"):
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"Crash({self.reason!r})"
+
+
+class HostState(enum.Enum):
+    """Lifecycle state of a hosted component."""
+
+    RUNNING = "running"
+    DOWN = "down"
+    STOPPED = "stopped"
+
+
+class Component:
+    """Base class for controller components.
+
+    Subclasses override :meth:`setup` (reset local state), :meth:`main`
+    (the component loop) and optionally :meth:`recover` (crash-recovery
+    logic that runs before ``main`` after a restart, reading durable
+    state from the NIB).
+    """
+
+    name: str = "component"
+
+    def __init__(self, env: Environment, name: Optional[str] = None):
+        self.env = env
+        if name is not None:
+            self.name = name
+        self.host: Optional["ComponentHost"] = None
+
+    def setup(self) -> None:
+        """Reset all local (non-durable) state.  Called on every start."""
+
+    def recover(self) -> Optional[Generator]:
+        """Optional recovery generator run after a crash, before main."""
+        return None
+
+    def main(self) -> Generator:
+        """The component's main loop (a simulation generator)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class ComponentHost:
+    """Runs a component, handling crash/restart lifecycle."""
+
+    def __init__(self, env: Environment, component: Component,
+                 restart_delay: float = 0.0, auto_restart: bool = True):
+        self.env = env
+        self.component = component
+        component.host = self
+        self.restart_delay = restart_delay
+        #: If False the component stays DOWN until ``restart()`` is called
+        #: (the Watchdog component drives restarts in that mode).
+        self.auto_restart = auto_restart
+        self.state = HostState.STOPPED
+        self.crash_count = 0
+        self.restart_count = 0
+        self._restart_event: Optional[Event] = None
+        self._process: Optional[Process] = None
+        self._was_crashed = False
+
+    @property
+    def name(self) -> str:
+        """The hosted component's name."""
+        return self.component.name
+
+    def start(self) -> Process:
+        """Begin executing the component."""
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError(f"{self.name} already running")
+        self._process = self.env.process(self._lifecycle(), name=self.name)
+        return self._process
+
+    def crash(self, reason: str = "injected") -> None:
+        """Inject a failure: the component loses its local state."""
+        if self.state is not HostState.RUNNING or self._process is None:
+            return
+        self.crash_count += 1
+        self._process.interrupt(Crash(reason))
+
+    def restart(self) -> None:
+        """Restart a DOWN component (used by the Watchdog)."""
+        if self._restart_event is not None and not self._restart_event.triggered:
+            self._restart_event.succeed()
+
+    def stop(self) -> None:
+        """Permanently stop the component."""
+        self.state = HostState.STOPPED
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt(Crash("stopped"))
+
+    def _lifecycle(self) -> Generator:
+        while True:
+            self.component.setup()
+            self.state = HostState.RUNNING
+            try:
+                if self._was_crashed:
+                    recovery = self.component.recover()
+                    if recovery is not None:
+                        yield from recovery
+                    self._was_crashed = False
+                yield from self.component.main()
+                self.state = HostState.STOPPED
+                return
+            except Interrupt as interrupt:
+                cause = interrupt.cause
+                if isinstance(cause, Crash) and cause.reason == "stopped":
+                    self.state = HostState.STOPPED
+                    return
+                self.state = HostState.DOWN
+                self._was_crashed = True
+                if self.auto_restart:
+                    if self.restart_delay > 0:
+                        restarted = False
+                        while not restarted:
+                            try:
+                                yield self.env.timeout(self.restart_delay)
+                                restarted = True
+                            except Interrupt:
+                                continue
+                    self.restart_count += 1
+                else:
+                    while True:
+                        self._restart_event = self.env.event()
+                        try:
+                            yield self._restart_event
+                            break
+                        except Interrupt as second:
+                            if (isinstance(second.cause, Crash)
+                                    and second.cause.reason == "stopped"):
+                                self.state = HostState.STOPPED
+                                return
+                            continue
+                    self._restart_event = None
+                    self.restart_count += 1
+
+
+def run_components(env: Environment, components: Iterable[Component],
+                   **host_kwargs: Any) -> list[ComponentHost]:
+    """Convenience: host and start several components."""
+    hosts = []
+    for component in components:
+        host = ComponentHost(env, component, **host_kwargs)
+        host.start()
+        hosts.append(host)
+    return hosts

@@ -1,0 +1,380 @@
+"""Discrete-event simulation kernel.
+
+This module provides the execution substrate on which every ZENITH
+microservice, switch and baseline controller runs.  It is a small,
+deterministic, generator-based kernel in the style of SimPy:
+
+* An :class:`Environment` owns the virtual clock and the event heap.
+* A *process* is a Python generator that yields :class:`Event` objects;
+  the kernel resumes the generator when the yielded event fires.
+* Events fire in (time, priority, sequence) order, so two runs with the
+  same seed produce identical schedules.
+
+The kernel supports interrupts (used to model component crashes) and
+condition events (used to wait for any/all of several events).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "AnyOf",
+    "AllOf",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must fire before same-time peers.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload describing why
+    the interrupt happened (for ZENITH this is usually a crash signal).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    Events start *pending*; they become *triggered* once scheduled and
+    *processed* after their callbacks have run.  Processes wait on
+    events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed",
+                 "_scheduled", "_cancel_hook")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._processed = False
+        self._cancel_hook: Optional[Callable[[], None]] = None
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None if still pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The payload the event fired with."""
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Schedule this event to fire successfully with ``value``."""
+        if self._scheduled:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Schedule this event to fire by raising ``exception``."""
+        if self._scheduled:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def _mark_processed(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for callback in callbacks or ():
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 priority: int = NORMAL):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay, priority=priority)
+
+
+class _ConditionValue:
+    """Mapping of events to values for AnyOf/AllOf results."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class Condition(Event):
+    """Composite event that fires when ``evaluate`` says enough fired."""
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 evaluate: Callable[[int, int], bool]):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        if not self._events:
+            self.succeed(_ConditionValue())
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._on_fire(event)
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        if event.ok is False:
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._evaluate(len(self._events), self._count):
+            value = _ConditionValue()
+            value.events = [e for e in self._events if e.processed]
+            self.succeed(value)
+
+
+class AnyOf(Condition):
+    """Fires when the first of ``events`` fires."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda total, done: done >= 1)
+
+
+class AllOf(Condition):
+    """Fires when all of ``events`` have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda total, done: done >= total)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: str = ""):
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        init = Event(env)
+        init._ok = True
+        env._schedule(init, delay=0.0, priority=URGENT)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if not self.is_alive:
+            return
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        self.env._schedule(event, delay=0.0, priority=URGENT)
+        event.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        # Detach from the event we were waiting on (interrupt case).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            # Queue getters register a cancel hook so that an interrupted
+            # waiter does not silently consume a queued item later.
+            if self._target._cancel_hook is not None and not self._target.triggered:
+                self._target._cancel_hook()
+        self._target = None
+        self.env._active_process = self
+        try:
+            if event.ok:
+                next_event = self._generator.send(event.value)
+            else:
+                next_event = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc, priority=URGENT)
+            self.env._record_crash(self, exc)
+            return
+        self.env._active_process = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_event!r}, not an Event")
+        self._target = next_event
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at current time.
+            bounce = Event(self.env)
+            bounce._ok = next_event.ok
+            bounce._value = next_event.value
+            self.env._schedule(bounce, delay=0.0, priority=URGENT)
+            bounce.callbacks.append(self._resume)
+        else:
+            next_event.callbacks.append(self._resume)
+
+
+class Environment:
+    """The simulation clock, event heap and process factory."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+        #: Uncaught process failures, surfaced to ``run`` unless defused.
+        self.crashed: list[tuple[Process, BaseException]] = []
+        #: When True, uncaught process exceptions propagate out of run().
+        self.strict = True
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start running ``generator`` as a process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all of ``events`` fire."""
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        event._scheduled = True
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._counter), event))
+
+    def _record_crash(self, process: Process, exc: BaseException) -> None:
+        self.crashed.append((process, exc))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._mark_processed()
+        if self.strict and self.crashed:
+            process, exc = self.crashed[-1]
+            raise SimulationError(
+                f"process {process.name!r} crashed at t={self._now:.6f}") from exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap drains, ``until`` time passes, or event fires."""
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "event heap empty before completion event fired")
+                self.step()
+            if stop_event.ok is False:
+                raise stop_event.value
+            return stop_event.value
+        limit = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= limit:
+            self.step()
+        if limit != float("inf"):
+            self._now = max(self._now, limit)
+        return None

@@ -1,0 +1,197 @@
+"""Queues and stores used for inter-component communication.
+
+Two disciplines are provided, matching the ones the ZENITH specification
+relies on (§3.9 of the paper):
+
+* :class:`FifoQueue` — classic FIFO with blocking ``get``.  Used where
+  losing an in-flight item on a crash is acceptable or recovered some
+  other way (e.g. switch channels).
+* :class:`AckQueue` — read-then-pop ("peek") discipline: ``read`` returns
+  the head *without* removing it and ``pop`` removes it once processing
+  completed.  A component that crashes between read and pop re-reads the
+  same item after restart, giving at-least-once processing.  This is the
+  queue discipline that fixes the "event lost on crash" class of
+  specification errors (Listing 3 in the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .core import Environment, Event
+
+__all__ = ["FifoQueue", "AckQueue", "Store", "QueueClosed"]
+
+
+class QueueClosed(Exception):
+    """Raised by pending getters when the queue is shut down."""
+
+
+class FifoQueue:
+    """Unbounded FIFO queue with event-based blocking gets."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._closed = False
+        #: Total number of items ever put (for metrics).
+        self.put_count = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (head first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiting getter if any."""
+        if self._closed:
+            raise QueueClosed(self.name)
+        self.put_count += 1
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        elif self._closed:
+            event.fail(QueueClosed(self.name))
+        else:
+            self._getters.append(event)
+            event._cancel_hook = lambda: self.cancel(event)  # type: ignore[attr-defined]
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Forget a pending getter (used when the waiter is interrupted)."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+    def clear(self) -> int:
+        """Drop all queued items, returning how many were dropped."""
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped
+
+    def close(self) -> None:
+        """Fail all pending getters and reject future puts."""
+        self._closed = True
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.fail(QueueClosed(self.name))
+
+
+class AckQueue:
+    """FIFO queue with peek/pop semantics for at-least-once processing.
+
+    ``read()`` blocks until an item is available and returns the head
+    without removing it.  ``pop()`` removes the head.  A consumer that
+    crashes after ``read`` but before ``pop`` will observe the same item
+    again after restarting, which is exactly the recovery discipline of
+    the final WorkerPool specification (paper Listing 3).
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.put_count = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (head first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes all waiting readers (they only peek)."""
+        self.put_count += 1
+        self._items.append(item)
+        getters, self._getters = self._getters, deque()
+        for getter in getters:
+            if not getter.triggered:
+                getter.succeed(self._items[0])
+
+    def read(self) -> Event:
+        """Event firing with the head item, which stays in the queue."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items[0])
+        else:
+            self._getters.append(event)
+            event._cancel_hook = lambda: self.cancel(event)  # type: ignore[attr-defined]
+        return event
+
+    def pop(self) -> Any:
+        """Remove and return the head item."""
+        if not self._items:
+            raise IndexError(f"pop from empty AckQueue {self.name!r}")
+        return self._items.popleft()
+
+    def cancel(self, event: Event) -> None:
+        """Forget a pending reader."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+    def clear(self) -> int:
+        """Drop all queued items, returning how many were dropped."""
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped
+
+
+class Store:
+    """A single-slot store that processes can wait on for a value change."""
+
+    def __init__(self, env: Environment, value: Any = None):
+        self.env = env
+        self._value = value
+        self._waiters: list[tuple[Callable[[Any], bool], Event]] = []
+
+    @property
+    def value(self) -> Any:
+        """The currently stored value."""
+        return self._value
+
+    def set(self, value: Any) -> None:
+        """Store ``value`` and wake any waiter whose predicate matches."""
+        self._value = value
+        still_waiting = []
+        for predicate, event in self._waiters:
+            if event.triggered:
+                continue
+            if predicate(value):
+                event.succeed(value)
+            else:
+                still_waiting.append((predicate, event))
+        self._waiters = still_waiting
+
+    def wait_for(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event firing once the stored value satisfies ``predicate``."""
+        if predicate is None:
+            predicate = lambda _value: True  # noqa: E731 - tiny predicate
+        event = Event(self.env)
+        if predicate(self._value):
+            event.succeed(self._value)
+        else:
+            self._waiters.append((predicate, event))
+        return event

@@ -1,0 +1,70 @@
+"""Seeded random streams.
+
+Every stochastic element of the simulation (latencies, failure times,
+workload arrivals) draws from a named :class:`RandomStreams` child so
+that experiments are reproducible and adding a new consumer of
+randomness does not perturb existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Optional
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A tree of independently seeded ``random.Random`` instances."""
+
+    def __init__(self, seed: int = 0, path: str = "root"):
+        self.seed = seed
+        self.path = path
+        self._children: dict[str, RandomStreams] = {}
+        self.rng = random.Random(self._derive(path))
+
+    def _derive(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def child(self, name: str) -> "RandomStreams":
+        """Return (and memoise) the named child stream."""
+        if name not in self._children:
+            self._children[name] = RandomStreams(self.seed, f"{self.path}/{name}")
+        return self._children[name]
+
+    # -- convenience draws ---------------------------------------------------
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform draw in [low, high]."""
+        return self.rng.uniform(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential draw with the given rate."""
+        return self.rng.expovariate(rate)
+
+    def lognormal(self, median: float, sigma: float = 0.25) -> float:
+        """Log-normal draw parameterised by its median."""
+        import math
+
+        return self.rng.lognormvariate(math.log(median), sigma)
+
+    def choice(self, seq):
+        """Uniform choice from a non-empty sequence."""
+        return self.rng.choice(seq)
+
+    def sample(self, seq, k: int):
+        """Sample ``k`` distinct items."""
+        return self.rng.sample(seq, k)
+
+    def shuffle(self, seq) -> None:
+        """In-place shuffle."""
+        self.rng.shuffle(seq)
+
+    def random(self) -> float:
+        """Uniform draw in [0, 1)."""
+        return self.rng.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer draw in [low, high]."""
+        return self.rng.randint(low, high)

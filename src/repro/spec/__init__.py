@@ -1,0 +1,38 @@
+"""Formal specification framework: a PlusCal-like DSL + model checker."""
+
+from .checker import CheckResult, ModelChecker, Violation, check
+from .lang import (
+    NULL,
+    Blocked,
+    Ctx,
+    NeedChoice,
+    Spec,
+    SpecProcess,
+    SpecView,
+    State,
+    Step,
+    ack_pop,
+    ack_read,
+    fifo_get,
+    fifo_put,
+)
+
+__all__ = [
+    "Blocked",
+    "CheckResult",
+    "Ctx",
+    "ModelChecker",
+    "NULL",
+    "NeedChoice",
+    "Spec",
+    "SpecProcess",
+    "SpecView",
+    "State",
+    "Step",
+    "Violation",
+    "ack_pop",
+    "ack_read",
+    "check",
+    "fifo_get",
+    "fifo_put",
+]

@@ -1,0 +1,322 @@
+"""A PlusCal-like specification language embedded in Python.
+
+The paper specifies ZENITH-core in PlusCal: processes made of *labeled
+atomic steps* over global and process-local variables, explored by the
+TLC model checker under weak fairness.  This module provides the same
+semantic model:
+
+* a :class:`SpecProcess` declares local variables and an ordered list
+  of labeled steps; each step is a Python function over a :class:`Ctx`;
+* steps express **await** via :meth:`Ctx.block_unless`, **goto** via
+  :meth:`Ctx.goto`, and **nondeterministic choice** via
+  :meth:`Ctx.choose` (the checker enumerates every choice);
+* a :class:`Spec` bundles processes, global variables, safety
+  invariants and ◇□ liveness properties.
+
+States are immutable tuples, so the checker can hash, dedupe and
+canonicalize them (symmetry reduction).  Queues are modeled as tuples;
+:func:`fifo_put` / :func:`fifo_get` mirror the paper's FIFOPut/FIFOGet
+macros, and :func:`ack_read` / :func:`ack_pop` the read/pop discipline
+of the final specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "Blocked",
+    "NeedChoice",
+    "Ctx",
+    "Step",
+    "SpecProcess",
+    "Spec",
+    "SpecView",
+    "State",
+    "ack_pop",
+    "ack_read",
+    "fifo_put",
+    "fifo_get",
+    "NULL",
+]
+
+#: The NADIR_NULL placeholder of the paper's specifications.
+NULL = "<null>"
+
+
+class FrozenRecord(dict):
+    """A hashable, immutable record (struct) usable inside states."""
+
+    def __hash__(self):  # type: ignore[override]
+        return hash(frozenset(self.items()))
+
+    def _immutable(self, *args, **kwargs):
+        raise TypeError("FrozenRecord is immutable")
+
+    __setitem__ = _immutable
+    __delitem__ = _immutable
+    clear = _immutable
+    pop = _immutable
+    popitem = _immutable
+    setdefault = _immutable
+    update = _immutable
+
+
+class Blocked(Exception):
+    """Raised by a step whose guard (await) is not satisfied."""
+
+
+class NeedChoice(Exception):
+    """Internal: the choice oracle ran out; the checker must fork."""
+
+    def __init__(self, arity: int):
+        super().__init__(arity)
+        self.arity = arity
+
+
+@dataclass(frozen=True)
+class State:
+    """An immutable global state: global vars + per-process (pc, locals)."""
+
+    globals_: tuple
+    procs: tuple  # tuple of (pc:str|None, locals:tuple)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"State(g={self.globals_}, p={self.procs})"
+
+
+class Ctx:
+    """Mutable view of one state, passed to step functions.
+
+    Reads and writes go through :meth:`get`/:meth:`set` (globals) and
+    :meth:`lget`/:meth:`lset` (locals of the executing process).  The
+    step runs atomically: all mutations appear in the successor state.
+    """
+
+    def __init__(self, spec: "Spec", state: State, proc_index: int,
+                 oracle: Sequence[int]):
+        self.spec = spec
+        self.proc_index = proc_index
+        self._globals = list(state.globals_)
+        pc, locals_ = state.procs[proc_index]
+        self._locals = list(locals_)
+        self._pc = pc
+        self._state = state
+        self._procs = list(state.procs)
+        self._oracle = list(oracle)
+        self._used = 0
+        self._next_pc: Optional[str] = None
+        self._jumped = False
+
+    # -- variables ---------------------------------------------------------------
+    def get(self, name: str) -> Any:
+        """Read a global variable."""
+        return self._globals[self.spec.global_index[name]]
+
+    def set(self, name: str, value: Any) -> None:
+        """Write a global variable."""
+        self._globals[self.spec.global_index[name]] = value
+
+    def lget(self, name: str) -> Any:
+        """Read a local variable of the executing process."""
+        process = self.spec.processes[self.proc_index]
+        return self._locals[process.local_index[name]]
+
+    def lset(self, name: str, value: Any) -> None:
+        """Write a local variable of the executing process."""
+        process = self.spec.processes[self.proc_index]
+        self._locals[process.local_index[name]] = value
+
+    def peer_pc(self, process_name: str) -> Optional[str]:
+        """The pc of another process (for modeling shared knowledge)."""
+        index = self.spec.process_index[process_name]
+        return self._procs[index][0]
+
+    def reset_peer(self, process_name: str, pc: Optional[str] = None) -> None:
+        """Crash another process: wipe its locals, restart at ``pc``.
+
+        Models the paper's component-failure semantics: the failed
+        component loses all of its (local) state and restarts at its
+        recovery label (or its start label when ``pc`` is omitted).
+        """
+        index = self.spec.process_index[process_name]
+        process = self.spec.processes[index]
+        fresh_locals = tuple(process.locals_[k] for k in process.locals_)
+        self._procs[index] = (pc if pc is not None else process.start,
+                              fresh_locals)
+
+    # -- control flow ----------------------------------------------------------------
+    def goto(self, label: str) -> None:
+        """Jump to ``label`` after this step."""
+        self._next_pc = label
+        self._jumped = True
+
+    def done(self) -> None:
+        """Terminate this process."""
+        self._next_pc = None
+        self._jumped = True
+
+    def block_unless(self, condition: bool) -> None:
+        """The PlusCal ``await``: abort the step if not ``condition``."""
+        if not condition:
+            raise Blocked()
+
+    # -- nondeterminism --------------------------------------------------------------
+    def choose(self, arity: int) -> int:
+        """Nondeterministic choice among ``arity`` alternatives.
+
+        The checker re-executes the step once per alternative, so every
+        branch is explored.
+        """
+        if arity <= 0:
+            raise Blocked()
+        if self._used < len(self._oracle):
+            value = self._oracle[self._used]
+            self._used += 1
+            return value
+        raise NeedChoice(arity)
+
+    def choose_from(self, items: Sequence) -> Any:
+        """Choose one element of a non-empty sequence."""
+        return items[self.choose(len(items))]
+
+    def maybe(self) -> bool:
+        """Binary nondeterministic choice."""
+        return self.choose(2) == 1
+
+    # -- result assembly ----------------------------------------------------------------
+    def _successor(self, default_next: Optional[str]) -> State:
+        pc = self._next_pc if self._jumped else default_next
+        procs = list(self._procs)
+        procs[self.proc_index] = (pc, tuple(self._locals))
+        return State(tuple(self._globals), tuple(procs))
+
+
+@dataclass
+class Step:
+    """One labeled atomic step."""
+
+    label: str
+    run: Callable[[Ctx], None]
+    #: Steps touching only the process's own locals commute with every
+    #: step of every other process — the partial-order-reduction hint.
+    local: bool = False
+
+
+class SpecProcess:
+    """A PlusCal process: local variables plus labeled atomic steps."""
+
+    def __init__(self, name: str, steps: Sequence[Step],
+                 locals_: Optional[dict[str, Any]] = None,
+                 fair: bool = True,
+                 daemon: bool = False,
+                 start: Optional[str] = None):
+        if not steps:
+            raise ValueError(f"process {name} has no steps")
+        self.name = name
+        self.steps = list(steps)
+        self.step_by_label = {step.label: step for step in self.steps}
+        if len(self.step_by_label) != len(self.steps):
+            raise ValueError(f"duplicate labels in process {name}")
+        self.locals_ = dict(locals_ or {})
+        self.local_index = {k: i for i, k in enumerate(self.locals_)}
+        self.fair = fair
+        #: Daemon processes may idle forever waiting for input; a state
+        #: where only daemons remain (blocked) is not a deadlock.
+        self.daemon = daemon
+        self.start = start if start is not None else self.steps[0].label
+        self._next_label = {}
+        for i, step in enumerate(self.steps):
+            nxt = self.steps[i + 1].label if i + 1 < len(self.steps) else None
+            self._next_label[step.label] = nxt
+
+    def default_next(self, label: str) -> Optional[str]:
+        """The label following ``label`` in program order."""
+        return self._next_label[label]
+
+
+class Spec:
+    """A complete specification: processes + properties."""
+
+    def __init__(self, name: str,
+                 globals_: dict[str, Any],
+                 processes: Sequence[SpecProcess],
+                 invariants: Optional[dict[str, Callable[["SpecView"], bool]]] = None,
+                 eventually_always: Optional[dict[str, Callable[["SpecView"], bool]]] = None,
+                 symmetry: Optional[Callable[[State], State]] = None):
+        self.name = name
+        self.global_names = list(globals_)
+        self.global_index = {k: i for i, k in enumerate(self.global_names)}
+        self.initial_globals = tuple(globals_[k] for k in self.global_names)
+        self.processes = list(processes)
+        self.process_index = {p.name: i for i, p in enumerate(self.processes)}
+        if len(self.process_index) != len(self.processes):
+            raise ValueError("duplicate process names")
+        #: Safety: must hold in every reachable state.
+        self.invariants = dict(invariants or {})
+        #: Liveness ◇□P: must hold throughout every terminal SCC.
+        self.eventually_always = dict(eventually_always or {})
+        #: Optional state canonicalization (symmetry reduction).
+        self.symmetry = symmetry
+
+    def initial_state(self) -> State:
+        """The unique initial state."""
+        procs = tuple(
+            (process.start, tuple(process.locals_[k] for k in process.locals_))
+            for process in self.processes
+        )
+        return State(self.initial_globals, procs)
+
+    def view(self, state: State) -> "SpecView":
+        """A read-only accessor for property evaluation."""
+        return SpecView(self, state)
+
+
+class SpecView:
+    """Read-only access to a state's variables (for properties)."""
+
+    def __init__(self, spec: Spec, state: State):
+        self.spec = spec
+        self.state = state
+
+    def __getitem__(self, name: str) -> Any:
+        return self.state.globals_[self.spec.global_index[name]]
+
+    def local(self, process: str, name: str) -> Any:
+        """A process-local variable's value."""
+        index = self.spec.process_index[process]
+        proc = self.spec.processes[index]
+        return self.state.procs[index][1][proc.local_index[name]]
+
+    def pc(self, process: str) -> Optional[str]:
+        """A process's program counter (None = terminated)."""
+        return self.state.procs[self.spec.process_index[process]][0]
+
+
+# -- queue helpers (FIFOPut / FIFOGet / peek-pop macros) -----------------------
+def fifo_put(ctx: Ctx, queue: str, item: Any) -> None:
+    """Append ``item`` to the tuple-valued global ``queue``."""
+    ctx.set(queue, ctx.get(queue) + (item,))
+
+
+def fifo_get(ctx: Ctx, queue: str) -> Any:
+    """Destructively dequeue; blocks (awaits) when empty."""
+    value = ctx.get(queue)
+    ctx.block_unless(len(value) > 0)
+    ctx.set(queue, value[1:])
+    return value[0]
+
+
+def ack_read(ctx: Ctx, queue: str) -> Any:
+    """Peek the head without removing it (AckQueueRead of Listing 3)."""
+    value = ctx.get(queue)
+    ctx.block_unless(len(value) > 0)
+    return value[0]
+
+
+def ack_pop(ctx: Ctx, queue: str) -> None:
+    """Remove the head previously peeked (AckQueuePop of Listing 3)."""
+    value = ctx.get(queue)
+    if value:
+        ctx.set(queue, value[1:])

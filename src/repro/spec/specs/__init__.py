@@ -1,0 +1,17 @@
+"""Concrete specifications: the controller, worker pool and apps."""
+
+from .abstract_app import core_with_app_spec
+from .apps import DIAMOND_PATHS, drain_app_spec, failover_app_spec, te_app_spec
+from .controller import CLEAR_OP, controller_spec
+from .workerpool import worker_pool_spec
+
+__all__ = [
+    "CLEAR_OP",
+    "DIAMOND_PATHS",
+    "controller_spec",
+    "core_with_app_spec",
+    "drain_app_spec",
+    "failover_app_spec",
+    "te_app_spec",
+    "worker_pool_spec",
+]

@@ -1,0 +1,193 @@
+"""Core composed with AbstractApp (paper §3.6) and DAG transitions.
+
+The paper verifies ZENITH-core together with an *AbstractApp*: a
+reactive process with pre-defined DAGs — one per topology condition —
+that deletes the current DAG and installs the matching one whenever a
+data-plane event arrives.  The composition establishes the guarantees
+apps later rely on: (a) the data plane never ends up carrying the
+routing state of a deleted DAG, and (b) topology events are eventually
+reflected.
+
+This specification models the composition with the machinery the
+transition needs (install *and* delete instructions through a pipeline
+with channel delays) on a two-switch topology: the *trigger* switch
+fails and recovers (budget-bounded), while the *worked* switch holds
+the routing state; DAG ``A`` is the healthy-topology route, DAG ``B``
+the detour.  The transition is hitless: the new DAG's OP is installed
+before the old DAG's OP is deleted (Fig. 5's ordering); the
+``naive_transition`` knob flips that order and must be refuted by the
+checker (§3.1's "a naive solution might install A:C before C:D").
+
+Properties:
+
+* **NeverUnrouted** (safety) — once a route was installed, the worked
+  switch always has at least one route (hitlessness);
+* **TargetInstalled** (◇□) — the worked switch's table eventually equals
+  exactly the current target DAG's state: the new route present, every
+  deleted DAG's route gone.
+"""
+
+from __future__ import annotations
+
+from ..lang import NULL, Spec, SpecProcess, Step, fifo_get, fifo_put
+
+__all__ = ["core_with_app_spec"]
+
+#: op id per DAG: DAG "A" installs op 1, DAG "B" installs op 2 — both
+#: on the worked switch.
+_OP_OF = {"A": 1, "B": 2}
+
+
+def core_with_app_spec(failures: int = 1,
+                       naive_transition: bool = False) -> Spec:
+    """Build the core+AbstractApp composition."""
+    globals_: dict = {
+        "target": "A",            # the app's current intent
+        "table": frozenset(),     # worked switch's routing state (G_d)
+        "status": ("-", "none", "none"),   # per-op, 1-indexed
+        # Boot: install the healthy-topology DAG ("-" = nothing to
+        # delete yet), then serve the app's transitions.
+        "dag_q": (("-", "A"),),
+        "sw_in": (),              # pipeline → worked switch
+        "sw_out": (),             # worked switch → monitor
+        "app_q": (),              # topology events → app
+        "trigger_up": True,
+        "failure_budget": failures,
+        "ever_routed": False,     # history: a route existed at some point
+    }
+
+    # -- trigger switch: fails/recovers, notifying the app -------------------
+    def trig_fail(ctx):
+        budget = ctx.get("failure_budget")
+        ctx.block_unless(ctx.get("trigger_up") and budget > 0)
+        ctx.set("failure_budget", budget - 1)
+        ctx.set("trigger_up", False)
+        fifo_put(ctx, "app_q", "down")
+        ctx.goto("fail")
+
+    def trig_recover(ctx):
+        ctx.block_unless(not ctx.get("trigger_up"))
+        ctx.set("trigger_up", True)
+        fifo_put(ctx, "app_q", "up")
+        ctx.goto("recover")
+
+    # -- AbstractApp: pre-defined DAG per topology condition ------------------
+    def app(ctx):
+        event = fifo_get(ctx, "app_q")
+        wanted = "B" if event == "down" else "A"
+        if ctx.get("target") != wanted:
+            # Delete the current DAG, install the matching one: one
+            # transition request carries both.
+            old = ctx.get("target")
+            ctx.set("target", wanted)
+            fifo_put(ctx, "dag_q", (old, wanted))
+        ctx.goto("react")
+
+    # -- DE: sequencer driving hitless transitions ------------------------------
+    def seq_idle(ctx):
+        old, new = fifo_get(ctx, "dag_q")
+        ctx.lset("old", old)
+        ctx.lset("new", new)
+        if naive_transition:
+            ctx.goto("emit_delete")   # the §3.1 naive (broken) order
+        else:
+            ctx.goto("emit_install")
+
+    def seq_emit_install(ctx):
+        op = _OP_OF[ctx.lget("new")]
+        statuses = list(ctx.get("status"))
+        if statuses[op] == "none":
+            statuses[op] = "sched"
+            ctx.set("status", tuple(statuses))
+            fifo_put(ctx, "sw_in", ("install", op))
+
+    def seq_await_install(ctx):
+        op = _OP_OF[ctx.lget("new")]
+        ctx.block_unless(ctx.get("status")[op] == "done")
+        if naive_transition:
+            ctx.goto("finish")
+        else:
+            ctx.goto("emit_delete")
+
+    def seq_emit_delete(ctx):
+        op = _OP_OF.get(ctx.lget("old"))
+        if op is not None:
+            statuses = list(ctx.get("status"))
+            if statuses[op] != "none":
+                statuses[op] = "none"
+                ctx.set("status", tuple(statuses))
+                fifo_put(ctx, "sw_in", ("delete", op))
+        if naive_transition:
+            ctx.goto("emit_install")
+        else:
+            ctx.goto("finish")
+
+    def seq_finish(ctx):
+        ctx.lset("old", NULL)
+        ctx.lset("new", NULL)
+        ctx.goto("idle")
+
+    if naive_transition:
+        seq_blocks = [
+            Step("idle", seq_idle),
+            Step("emit_delete", seq_emit_delete),
+            Step("emit_install", seq_emit_install),
+            Step("await_install", seq_await_install),
+            Step("finish", seq_finish),
+        ]
+    else:
+        seq_blocks = [
+            Step("idle", seq_idle),
+            Step("emit_install", seq_emit_install),
+            Step("await_install", seq_await_install),
+            Step("emit_delete", seq_emit_delete),
+            Step("finish", seq_finish),
+        ]
+
+    # -- the worked switch ---------------------------------------------------------
+    def switch(ctx):
+        action, op = fifo_get(ctx, "sw_in")
+        table = ctx.get("table")
+        if action == "install":
+            ctx.set("table", table | {op})
+            ctx.set("ever_routed", True)
+        else:
+            ctx.set("table", table - {op})
+        fifo_put(ctx, "sw_out", (action, op))
+        ctx.goto("main")
+
+    # -- monitor: ACKs → status ------------------------------------------------------
+    def monitor(ctx):
+        action, op = fifo_get(ctx, "sw_out")
+        if action == "install":
+            statuses = list(ctx.get("status"))
+            if statuses[op] == "sched":
+                statuses[op] = "done"
+                ctx.set("status", tuple(statuses))
+        ctx.goto("mon")
+
+    # -- properties ------------------------------------------------------------------
+    def never_unrouted(view) -> bool:
+        return not view["ever_routed"] or len(view["table"]) > 0
+
+    def target_installed(view) -> bool:
+        return view["table"] == frozenset({_OP_OF[view["target"]]})
+
+    return Spec(
+        name=(f"core-with-abstract-app-{failures}f"
+              f"{'-naive' if naive_transition else ''}"),
+        globals_=globals_,
+        processes=[
+            SpecProcess("trigFailure", [Step("fail", trig_fail)],
+                        fair=False, daemon=True),
+            SpecProcess("trigRecovery", [Step("recover", trig_recover)],
+                        fair=False, daemon=True),
+            SpecProcess("abstractApp", [Step("react", app)], daemon=True),
+            SpecProcess("sequencer", seq_blocks,
+                        locals_={"old": NULL, "new": NULL}, daemon=True),
+            SpecProcess("switch", [Step("main", switch)], daemon=True),
+            SpecProcess("monitor", [Step("mon", monitor)], daemon=True),
+        ],
+        invariants={"NeverUnrouted": never_unrouted},
+        eventually_always={"TargetInstalled": target_installed},
+    )

@@ -1,0 +1,372 @@
+"""Application specifications and the AbstractCore (paper §4).
+
+ZENITH-apps are verified against *AbstractCore* instead of the full
+ZENITH-core specification: AbstractCore maintains the list of submitted
+DAGs and delivers arbitrary (checker-generated) network events to the
+app; the app must (1) react safely — its invariants hold in every
+state — and (2) resubmit DAGs consistent with the current topology
+(◇□ DagConsistent).  Because ZENITH-core guarantees submitted DAGs are
+eventually installed and events eventually delivered, verifying against
+AbstractCore suffices for end-to-end correctness — and is orders of
+magnitude cheaper than composing with the full core, which is exactly
+what §6.3 measures.  ``drain_app_spec(core="full")`` builds the full
+composition (the app driving a pipeline of sequencer → worker →
+switches → monitor) for that comparison.
+
+The topology is a diamond — s0 {s1 | s2} s3 — with the single demand
+s0 → s3, so draining either middle switch must reroute via the other,
+and draining both must be refused (the 25% budget and connectivity
+invariants of §4).
+"""
+
+from __future__ import annotations
+
+from ..lang import NULL, Spec, SpecProcess, Step, fifo_get, fifo_put
+
+__all__ = ["drain_app_spec", "te_app_spec", "failover_app_spec", "DIAMOND_PATHS"]
+
+#: The two s0→s3 paths of the diamond topology (middle hop varies).
+DIAMOND_PATHS = {1: (0, 1, 3), 2: (0, 2, 3)}
+_SWITCHES = (0, 1, 2, 3)
+_MIDDLE = (1, 2)
+
+
+def drain_app_spec(core: str = "abstract", events: int = 1,
+                   drains: int = 2) -> Spec:
+    """The drain application (paper §E) against abstract or full core.
+
+    ``events`` bounds checker-generated switch failure/recovery pairs;
+    ``drains`` bounds drain/undrain requests.  Invariants: the drain
+    budget (≤1 of 4 switches, the 25% rule), endpoint connectivity of
+    every submitted DAG, and no-traffic-over-drained-switches; liveness:
+    the standing DAG is eventually always consistent with the topology.
+    """
+    if core not in ("abstract", "full"):
+        raise ValueError(f"unknown core model {core!r}")
+    full = core == "full"
+
+    globals_: dict = {
+        "switch_up": (True,) * 4,
+        "drained": frozenset(),
+        "dag": 1,                 # current submitted path id (0 = none)
+        "event_q": (),            # core → app events
+        "request_q": (),          # operator → app drain requests
+        "event_budget": events,
+        "drain_budget": drains,
+        "rejected": 0,
+    }
+    if full:
+        # The pipeline state of the full composition.
+        globals_.update({
+            "dag_q": (),                      # app → sequencer
+            "op_q": (),                       # sequencer → worker
+            "sw_in": ((),) * 4,               # worker → switches
+            "sw_out": ((),) * 4,              # switches → monitor
+            "installed": (frozenset(),) * 4,  # per-switch path markers
+            "acked": frozenset(),             # path ids fully acked
+        })
+
+    # -- operator: issues nondeterministic drain/undrain requests --------------
+    def operator(ctx):
+        budget = ctx.get("drain_budget")
+        ctx.block_unless(budget > 0)
+        ctx.set("drain_budget", budget - 1)
+        target = ctx.choose_from(_MIDDLE)
+        kind = "drain" if ctx.maybe() else "undrain"
+        fifo_put(ctx, "request_q", (kind, target))
+        ctx.goto("issue")
+
+    operator_proc = SpecProcess("operator", [Step("issue", operator)],
+                                fair=False, daemon=True)
+
+    # -- AbstractCore: flips switches, delivers events --------------------------
+    def core_events(ctx):
+        budget = ctx.get("event_budget")
+        ctx.block_unless(budget > 0)
+        ctx.set("event_budget", budget - 1)
+        target = ctx.choose_from(_MIDDLE)
+        ups = ctx.get("switch_up")
+        updated = list(ups)
+        updated[target] = not updated[target]
+        ctx.set("switch_up", tuple(updated))
+        kind = "down" if not updated[target] else "up"
+        fifo_put(ctx, "event_q", (kind, target))
+        ctx.goto("gen")
+
+    core_proc = SpecProcess("abstractCore", [Step("gen", core_events)],
+                            fair=False, daemon=True)
+
+    # -- the drain application ----------------------------------------------------
+    def app_submit(ctx, new_dag: int) -> None:
+        ctx.set("dag", new_dag)
+        if full:
+            fifo_put(ctx, "dag_q", new_dag)
+
+    def app_step(ctx):
+        requests = ctx.get("request_q")
+        events_pending = ctx.get("event_q")
+        ctx.block_unless(len(requests) > 0 or len(events_pending) > 0)
+        drained = ctx.get("drained")
+        ups = ctx.get("switch_up")
+        if len(requests) > 0:
+            kind, target = fifo_get(ctx, "request_q")
+            if kind == "drain":
+                proposed = drained | {target}
+                other = 1 if target == 2 else 2
+                viable = other not in proposed and ups[other]
+                if len(proposed) > 1 or not viable:
+                    # §4 app invariants: budget (25% of 4 switches = 1)
+                    # and endpoint connectivity — refuse the drain.
+                    ctx.set("rejected", ctx.get("rejected") + 1)
+                    ctx.goto("react")
+                    return
+                ctx.set("drained", proposed)
+                drained = proposed
+            else:
+                ctx.set("drained", drained - {target})
+                drained = drained - {target}
+        else:
+            fifo_get(ctx, "event_q")  # topology changed; recompute below
+        new_dag = 0
+        for pid, path in sorted(DIAMOND_PATHS.items()):
+            middle = path[1]
+            if middle not in drained and ups[middle]:
+                new_dag = pid
+                break
+        app_submit(ctx, new_dag)
+        ctx.goto("react")
+
+    app_proc = SpecProcess("drainApp", [Step("react", app_step)],
+                           daemon=True)
+
+    processes = [operator_proc, core_proc, app_proc]
+
+    # -- the full-core pipeline (only for core="full") --------------------------------
+    if full:
+        def sequencer(ctx):
+            dag = fifo_get(ctx, "dag_q")
+            if dag != 0:
+                for hop in DIAMOND_PATHS[dag]:
+                    fifo_put(ctx, "op_q", (dag, hop))
+            ctx.goto("seq")
+
+        def worker(ctx):
+            dag, hop = fifo_get(ctx, "op_q")
+            inq = ctx.get("sw_in")
+            updated = list(inq)
+            updated[hop] = updated[hop] + ((dag, hop),)
+            ctx.set("sw_in", tuple(updated))
+            ctx.goto("work")
+
+        def make_switch(sid: int) -> SpecProcess:
+            def sw(ctx):
+                inq = ctx.get("sw_in")[sid]
+                ctx.block_unless(len(inq) > 0)
+                dag, hop = inq[0]
+                updated = list(ctx.get("sw_in"))
+                updated[sid] = inq[1:]
+                ctx.set("sw_in", tuple(updated))
+                tables = list(ctx.get("installed"))
+                tables[sid] = tables[sid] | {dag}
+                ctx.set("installed", tuple(tables))
+                outq = list(ctx.get("sw_out"))
+                outq[sid] = outq[sid] + ((dag, hop),)
+                ctx.set("sw_out", tuple(outq))
+                ctx.goto("sw")
+
+            return SpecProcess(f"switch{sid}", [Step("sw", sw)], daemon=True)
+
+        def monitor(ctx):
+            outs = ctx.get("sw_out")
+            ready = [s for s in _SWITCHES if outs[s]]
+            ctx.block_unless(bool(ready))
+            sid = ctx.choose_from(ready)
+            dag, _hop = outs[sid][0]
+            updated = list(outs)
+            updated[sid] = outs[sid][1:]
+            ctx.set("sw_out", tuple(updated))
+            installed = ctx.get("installed")
+            if all(dag in installed[hop] for hop in DIAMOND_PATHS[dag]):
+                ctx.set("acked", ctx.get("acked") | {dag})
+            ctx.goto("mon")
+
+        processes += [
+            SpecProcess("sequencer", [Step("seq", sequencer)], daemon=True),
+            SpecProcess("worker", [Step("work", worker)], daemon=True),
+            *[make_switch(s) for s in _SWITCHES],
+            SpecProcess("monitor", [Step("mon", monitor)], daemon=True),
+        ]
+
+    # -- properties --------------------------------------------------------------------
+    def budget_invariant(view) -> bool:
+        return len(view["drained"]) <= 1
+
+    def dag_avoids_drained(view) -> bool:
+        dag = view["dag"]
+        if dag == 0:
+            return True
+        return all(hop not in view["drained"] for hop in DIAMOND_PATHS[dag])
+
+    def endpoints_connected(view) -> bool:
+        """A submitted DAG must route the demand end to end."""
+        dag = view["dag"]
+        if dag == 0:
+            # No viable path may exist; only acceptable when both
+            # middles are unusable.
+            usable = [m for m in _MIDDLE
+                      if m not in view["drained"] and view["switch_up"][m]]
+            return not usable
+        return True
+
+    def dag_consistent(view) -> bool:
+        """◇□: standing DAG avoids down and drained switches."""
+        dag = view["dag"]
+        if dag == 0:
+            usable = [m for m in _MIDDLE
+                      if m not in view["drained"] and view["switch_up"][m]]
+            return not usable
+        middle = DIAMOND_PATHS[dag][1]
+        return view["switch_up"][middle] and middle not in view["drained"]
+
+    return Spec(
+        name=f"drain-app-{core}-core-{events}ev-{drains}req",
+        globals_=globals_,
+        processes=processes,
+        invariants={
+            "DrainBudget": budget_invariant,
+            "DagAvoidsDrained": dag_avoids_drained,
+            "EndpointsConnected": endpoints_connected,
+        },
+        eventually_always={"DagConsistent": dag_consistent},
+    )
+
+
+def te_app_spec(flows: int = 2) -> Spec:
+    """The TE application against AbstractCore (verified in ~seconds).
+
+    Two unit-demand flows over the diamond's two unit-capacity paths:
+    the app must keep the flows on disjoint paths (no link over
+    capacity) while the checker flips switches.
+    """
+    globals_: dict = {
+        "switch_up": (True,) * 4,
+        "placement": (1, 2),      # path id per flow (0 = unplaced)
+        "event_q": (),
+        "event_budget": 2,
+    }
+
+    def core_events(ctx):
+        budget = ctx.get("event_budget")
+        ctx.block_unless(budget > 0)
+        ctx.set("event_budget", budget - 1)
+        target = ctx.choose_from(_MIDDLE)
+        ups = list(ctx.get("switch_up"))
+        ups[target] = not ups[target]
+        ctx.set("switch_up", tuple(ups))
+        fifo_put(ctx, "event_q", ("toggle", target))
+        ctx.goto("gen")
+
+    def app(ctx):
+        fifo_get(ctx, "event_q")
+        ups = ctx.get("switch_up")
+        usable = [pid for pid, path in sorted(DIAMOND_PATHS.items())
+                  if ups[path[1]]]
+        if len(usable) >= 2:
+            placement = (usable[0], usable[1])
+        elif len(usable) == 1:
+            # Capacity 1: only one flow fits; the other is parked.
+            placement = (usable[0], 0)
+        else:
+            placement = (0, 0)
+        ctx.set("placement", placement)
+        ctx.goto("react")
+
+    def no_overload(view) -> bool:
+        placed = [p for p in view["placement"] if p != 0]
+        return len(placed) == len(set(placed))
+
+    def placed_on_up(view) -> bool:
+        """◇□: flows only ride healthy paths, fully placed if possible."""
+        ups = view["switch_up"]
+        usable = [pid for pid, path in sorted(DIAMOND_PATHS.items())
+                  if ups[path[1]]]
+        placed = [p for p in view["placement"] if p != 0]
+        if any(not ups[DIAMOND_PATHS[p][1]] for p in placed):
+            return False
+        return len(placed) == min(len(usable), 2)
+
+    return Spec(
+        name=f"te-app-abstract-core-{flows}flows",
+        globals_=globals_,
+        processes=[
+            SpecProcess("abstractCore", [Step("gen", core_events)],
+                        fair=False, daemon=True),
+            SpecProcess("teApp", [Step("react", app)], daemon=True),
+        ],
+        invariants={"NoLinkOverload": no_overload},
+        eventually_always={"PlacedOnHealthyPaths": placed_on_up},
+    )
+
+
+def failover_app_spec(failovers: int = 2) -> Spec:
+    """Planned OFC failover against AbstractCore.
+
+    The app moves mastership from the active OFC instance to a fresh
+    one: quiesce → role change → activate.  Invariants: never two
+    active masters (split brain) and ◇□ exactly one active master.
+    """
+    globals_: dict = {
+        "active": (True, False),   # instance i active?
+        "master": 0,               # switches' current master instance
+        "request_q": (),
+        "failover_budget": failovers,
+    }
+
+    def operator(ctx):
+        budget = ctx.get("failover_budget")
+        ctx.block_unless(budget > 0)
+        ctx.set("failover_budget", budget - 1)
+        fifo_put(ctx, "request_q", "failover")
+        ctx.goto("issue")
+
+    def quiesce(ctx):
+        fifo_get(ctx, "request_q")
+        active = ctx.get("active")
+        current = active.index(True)
+        ctx.lset("old", current)
+        ctx.lset("new", 1 - current)
+        # Deactivate the old instance *first* (no dual mastership).
+        ctx.set("active", (False, False))
+
+    def role_change(ctx):
+        ctx.set("master", ctx.lget("new"))
+
+    def activate(ctx):
+        updated = [False, False]
+        updated[ctx.lget("new")] = True
+        ctx.set("active", tuple(updated))
+        ctx.goto("quiesce")
+
+    def no_split_brain(view) -> bool:
+        return sum(view["active"]) <= 1
+
+    def master_is_active(view) -> bool:
+        """◇□: the switches' master is the (only) active instance."""
+        return (sum(view["active"]) == 1
+                and view["active"][view["master"]])
+
+    return Spec(
+        name=f"failover-app-abstract-core-{failovers}fo",
+        globals_=globals_,
+        processes=[
+            SpecProcess("operator", [Step("issue", operator)],
+                        fair=False, daemon=True),
+            SpecProcess("failoverApp", [
+                Step("quiesce", quiesce),
+                Step("role_change", role_change),
+                Step("activate", activate),
+            ], locals_={"old": 0, "new": 0}, daemon=True),
+        ],
+        invariants={"NoSplitBrain": no_split_brain},
+        eventually_always={"MasterIsActive": master_is_active},
+    )

@@ -1,0 +1,704 @@
+"""The ZENITH-core controller specification (decomposed, with failures).
+
+The configuration mirrors §3.4's verification campaign and the Table 4
+ablation setup: a DAG of OPs spanning ``num_switches`` switches, driven
+by a Sequencer through a consistently sharded Worker Pool (switch *s*
+is owned by worker *s* — property P4's sharding), with switches that
+can fail (complete, transient, budget-bounded), a Monitoring Server
+collecting ACKs, a NIB Event Handler applying events, and a Topo Event
+Handler running the Fig. A.5 recovery (wipe → reset OPs → mark UP).
+Per-switch epochs (Orion-style session ids) make stale events
+detectable — a mechanism this model checker forced us to add.
+
+Knobs (the §3.7 scaling-technique ablation of Table 4):
+
+* ``abstract_switch`` — compositional verification: replace each
+  detailed switch (main + failure + recovery processes) by an
+  over-approximating single process that atomically installs-and-ACKs
+  or fails-and-recovers;
+* symmetry — the spec exports a canonicalization that permutes the
+  identical (switch, worker, channel) stacks when the DAG treats them
+  symmetrically (TLC symmetry sets);
+* POR — worker-local bookkeeping steps are declared ``local``.
+
+Properties: CorrectDAGOrder (safety), NoDuplicateWorkerClaims (safety,
+§B), DagInstalled (◇□, CorrectDAGInstalled) and ViewMatches (◇□,
+CorrectRoutingState).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from ..lang import NULL, Spec, SpecProcess, State, Step, fifo_get, fifo_put  # noqa: F401
+
+__all__ = ["controller_spec", "CLEAR_OP"]
+
+#: Reserved OP id for CLEAR_TCAM in the recovery pipeline.
+CLEAR_OP = 0
+
+
+def _set(tup: tuple, index: int, value) -> tuple:
+    updated = list(tup)
+    updated[index] = value
+    return tuple(updated)
+
+
+def controller_spec(num_ops: int = 2,
+                    edges: Optional[Sequence[tuple[int, int]]] = None,
+                    num_switches: int = 2,
+                    failures: int = 1,
+                    abstract_switch: bool = False,
+                    coarse_atomicity: bool = False,
+                    decomposed: bool = True,
+                    recovery_order: str = "atomic",
+                    stale_protection: bool = True,
+                    oneshot_sequencer: bool = False) -> Spec:
+    """Build the controller spec for the given configuration.
+
+    OP ``i`` (1-based) lives on switch ``(i-1) % num_switches``; worker
+    ``s`` exclusively serves switch ``s`` (consistent sharding).  With
+    ``edges=None`` the DAG is a dependency chain op1 → op2 → …; pass
+    ``edges=[]`` for independent OPs (the symmetric workload used for
+    the symmetry-reduction ablation).
+    """
+    ops = list(range(1, num_ops + 1))
+    if edges is None:
+        edges = [(i, i + 1) for i in ops[:-1]]
+    edges = list(edges)
+    preds: dict[int, list[int]] = {op: [] for op in ops}
+    for a, b in edges:
+        preds[b].append(a)
+    switch_of = {op: (op - 1) % num_switches for op in ops}
+    switches = list(range(num_switches))
+
+    globals_: dict = {
+        "status": tuple(["-"] + ["none"] * num_ops),   # 1-indexed
+        "worker_q": ((),) * num_switches,              # per-shard queues
+        "worker_state": (NULL,) * num_switches,
+        "sw_in": ((),) * num_switches,
+        "sw_out": ((),) * num_switches,
+        "sw_table": (frozenset(),) * num_switches,
+        "sw_healthy": (True,) * num_switches,
+        "install_seq": (),            # first-ever installs (history var)
+        "ever_installed": frozenset(),
+        "health_view": ("up",) * num_switches,         # controller's T_c
+        "topo_q": (),
+        "failure_budget": failures,
+        "cleanup_pending": (False,) * num_switches,
+        "epoch": (0,) * num_switches,  # per-switch session ids
+    }
+    if decomposed:
+        globals_["nib_q"] = ()
+
+    # -- DE: Sequencer -----------------------------------------------------------
+    def sequencer(ctx):
+        statuses = ctx.get("status")
+        if oneshot_sequencer and all(statuses[op] == "done" for op in ops):
+            # The §G scenario: the Sequencer stops once the DAG is in
+            # place; nothing restores state reset after that point.
+            ctx.done()
+            return
+        busy = set(ctx.get("worker_state"))
+        for queue in ctx.get("worker_q"):
+            busy.update(op for op, _e in queue)
+        schedulable = [op for op in ops
+                       if statuses[op] == "none"
+                       and op not in busy
+                       and all(statuses[p] == "done" for p in preds[op])]
+        ctx.block_unless(bool(schedulable))
+        op = ctx.choose_from(schedulable)
+        ctx.set("status", _set(statuses, op, "sched"))
+        shard = switch_of[op]
+        queues = ctx.get("worker_q")
+        ctx.set("worker_q",
+                _set(queues, shard, queues[shard] + ((op, None),)))
+        ctx.goto("schedule")
+
+    sequencer_proc = SpecProcess(
+        "sequencer", [Step("schedule", sequencer)], daemon=True)
+
+    # -- OFC: Worker Pool (final Listing 3 discipline, sharded) ----------------------
+    def make_worker(shard: int) -> SpecProcess:
+        def read(ctx):
+            queue = ctx.get("worker_q")[shard]
+            ctx.block_unless(len(queue) > 0)
+            ctx.lset("cur", queue[0][0])
+
+        def record(ctx):
+            ctx.set("worker_state",
+                    _set(ctx.get("worker_state"), shard, ctx.lget("cur")))
+
+        def act(ctx):
+            op = ctx.lget("cur")
+            epoch = ctx.get("epoch")[shard]
+            if op == CLEAR_OP:
+                inq = ctx.get("sw_in")
+                ctx.set("sw_in",
+                        _set(inq, shard, inq[shard] + ((CLEAR_OP, epoch),)))
+            elif ctx.get("status")[op] != "sched":
+                # The dispatch this queue entry belongs to was reset by
+                # a switch recovery; forwarding it would install state
+                # the NIB no longer tracks (model-checker finding).  The
+                # fresh dispatch drives the OP instead.
+                pass
+            elif ctx.get("health_view")[shard] == "up":
+                if decomposed:
+                    fifo_put(ctx, "nib_q", ("sent", op, epoch))
+                else:
+                    statuses = ctx.get("status")
+                    if statuses[op] == "sched":
+                        ctx.set("status", _set(statuses, op, "flight"))
+                inq = ctx.get("sw_in")
+                ctx.set("sw_in",
+                        _set(inq, shard, inq[shard] + ((op, epoch),)))
+            else:
+                if decomposed:
+                    fifo_put(ctx, "nib_q", ("failed", op, epoch))
+                else:
+                    ctx.set("status",
+                            _set(ctx.get("status"), op, "failed"))
+
+        def clear(ctx):
+            ctx.set("worker_state",
+                    _set(ctx.get("worker_state"), shard, NULL))
+            queues = ctx.get("worker_q")
+            if queues[shard]:
+                ctx.set("worker_q",
+                        _set(queues, shard, queues[shard][1:]))
+            ctx.lset("cur", NULL)
+            ctx.goto("read")
+
+        if coarse_atomicity:
+            # The paper's partial-order reduction via "locks and
+            # labels": the worker's four steps only interleave with
+            # other components through their initial read and final
+            # effects, so holding a (conceptual) lock across them and
+            # fusing the labels removes the intermediate interleaving
+            # points without changing the reachable outcomes.
+            def fused(ctx):
+                read(ctx)
+                record(ctx)
+                act(ctx)
+                clear(ctx)
+                ctx.goto("work")
+
+            return SpecProcess(f"worker{shard}", [Step("work", fused)],
+                               locals_={"cur": NULL}, daemon=True)
+        return SpecProcess(f"worker{shard}", [
+            Step("read", read),
+            Step("record", record),
+            Step("act", act),
+            Step("clear", clear),
+        ], locals_={"cur": NULL}, daemon=True)
+
+    workers = [make_worker(s) for s in switches]
+
+    # -- switches --------------------------------------------------------------------
+    def _install(ctx, shard: int, op: int) -> None:
+        tables = ctx.get("sw_table")
+        ever = ctx.get("ever_installed")
+        if op not in ever:
+            # History variable: only the *first-ever* install counts
+            # for CorrectDAGOrder (paper §3.3).
+            ctx.set("install_seq", ctx.get("install_seq") + (op,))
+            ctx.set("ever_installed", ever | frozenset([op]))
+        ctx.set("sw_table", _set(tables, shard, tables[shard] | {op}))
+
+    def _wipe(ctx, shard: int) -> None:
+        ctx.set("sw_table", _set(ctx.get("sw_table"), shard, frozenset()))
+        ctx.set("sw_in", _set(ctx.get("sw_in"), shard, ()))
+        ctx.set("sw_out", _set(ctx.get("sw_out"), shard, ()))
+
+    def full_switch_processes(shard: int) -> list[SpecProcess]:
+        """The Listing-2 switch: OP and ACK as separate labels, an
+        in-flight ``ingressPkt`` local, and failures with a
+        nondeterministic state-loss level (partial keeps the TCAM,
+        complete wipes it; both drop in-flight requests)."""
+
+        def sw_op(ctx):
+            ctx.block_unless(ctx.get("sw_healthy")[shard])
+            inq = ctx.get("sw_in")[shard]
+            ctx.block_unless(len(inq) > 0)
+            ctx.lset("ingress", inq[0])
+            ctx.set("sw_in", _set(ctx.get("sw_in"), shard, inq[1:]))
+            op, _epoch = ctx.lget("ingress")
+            if op == CLEAR_OP:
+                ctx.set("sw_table",
+                        _set(ctx.get("sw_table"), shard, frozenset()))
+            else:
+                _install(ctx, shard, op)
+
+        def sw_ack(ctx):
+            ctx.block_unless(ctx.get("sw_healthy")[shard])
+            packet = ctx.lget("ingress")
+            if packet != NULL:
+                outq = ctx.get("sw_out")
+                ctx.set("sw_out", _set(outq, shard, outq[shard] + (packet,)))
+                ctx.lset("ingress", NULL)
+            ctx.goto("op")
+
+        def sw_failure(ctx):
+            budget = ctx.get("failure_budget")
+            ctx.block_unless(ctx.get("sw_healthy")[shard] and budget > 0)
+            ctx.set("failure_budget", budget - 1)
+            ctx.set("sw_healthy",
+                    _set(ctx.get("sw_healthy"), shard, False))
+            if ctx.maybe():
+                # Complete: TCAM and in-flight state lost.
+                _wipe(ctx, shard)
+            else:
+                # Partial: TCAM survives; buffered requests are lost.
+                ctx.set("sw_in", _set(ctx.get("sw_in"), shard, ()))
+                ctx.set("sw_out", _set(ctx.get("sw_out"), shard, ()))
+            # Either way the in-progress request is abandoned.
+            ctx.reset_peer(f"switch{shard}", "op")
+            fifo_put(ctx, "topo_q", ("down", shard))
+            ctx.goto("fail")
+
+        def sw_recovery(ctx):
+            ctx.block_unless(not ctx.get("sw_healthy")[shard])
+            ctx.set("sw_healthy",
+                    _set(ctx.get("sw_healthy"), shard, True))
+            fifo_put(ctx, "topo_q", ("up", shard))
+            ctx.goto("recover")
+
+        return [
+            SpecProcess(f"switch{shard}",
+                        [Step("op", sw_op), Step("ack", sw_ack)],
+                        locals_={"ingress": NULL}, daemon=True),
+            SpecProcess(f"swFailure{shard}", [Step("fail", sw_failure)],
+                        fair=False, daemon=True),
+            SpecProcess(f"swRecovery{shard}", [Step("recover", sw_recovery)],
+                        fair=False, daemon=True),
+        ]
+
+    def abstract_switch_processes(shard: int) -> list[SpecProcess]:
+        """Compositional over-approximation: one process per switch that
+        atomically either serves the next request or fails-and-recovers
+        (collapsing the failure/recovery interleavings)."""
+
+        def sw_abs(ctx):
+            inq = ctx.get("sw_in")[shard]
+            budget = ctx.get("failure_budget")
+            can_fail = budget > 0
+            ctx.block_unless(len(inq) > 0 or can_fail)
+            if len(inq) > 0 and (not can_fail or not ctx.maybe()):
+                op, epoch = inq[0]
+                ctx.set("sw_in", _set(ctx.get("sw_in"), shard, inq[1:]))
+                if op == CLEAR_OP:
+                    ctx.set("sw_table",
+                            _set(ctx.get("sw_table"), shard, frozenset()))
+                else:
+                    _install(ctx, shard, op)
+                outq = ctx.get("sw_out")
+                ctx.set("sw_out",
+                        _set(outq, shard, outq[shard] + ((op, epoch),)))
+            else:
+                ctx.set("failure_budget", budget - 1)
+                _wipe(ctx, shard)
+                fifo_put(ctx, "topo_q", ("down", shard))
+                fifo_put(ctx, "topo_q", ("up", shard))
+            ctx.goto("abs")
+
+        return [SpecProcess(f"switch{shard}", [Step("abs", sw_abs)],
+                            daemon=True)]
+
+    switch_procs: list[SpecProcess] = []
+    for shard in switches:
+        switch_procs.extend(abstract_switch_processes(shard)
+                            if abstract_switch
+                            else full_switch_processes(shard))
+
+    # -- OFC: Monitoring Server -----------------------------------------------------------
+    def make_monitor(shard: int) -> SpecProcess:
+        def mon(ctx):
+            outq = ctx.get("sw_out")[shard]
+            ctx.block_unless(len(outq) > 0)
+            op, epoch = outq[0]
+            ctx.set("sw_out", _set(ctx.get("sw_out"), shard, outq[1:]))
+            if op == CLEAR_OP:
+                fifo_put(ctx, "topo_q", ("cleanup-ack", shard))
+            elif decomposed:
+                fifo_put(ctx, "nib_q", ("done", op, epoch))
+            else:
+                if not stale_protection or epoch == ctx.get("epoch")[shard]:
+                    ctx.set("status",
+                            _set(ctx.get("status"), op, "done"))
+            ctx.goto("mon")
+
+        return SpecProcess(f"monitor{shard}", [Step("mon", mon)],
+                           daemon=True)
+
+    monitors = [make_monitor(s) for s in switches]
+
+    # -- DE: NIB Event Handler (decomposed only) --------------------------------------------
+    def nib_handler(ctx):
+        kind, op, epoch = fifo_get(ctx, "nib_q")
+        statuses = ctx.get("status")
+        if stale_protection and epoch != ctx.get("epoch")[switch_of[op]]:
+            # Stale event from before a recovery reset (see module doc).
+            ctx.goto("apply")
+            return
+        if kind == "sent":
+            if statuses[op] == "sched":
+                ctx.set("status", _set(statuses, op, "flight"))
+        elif kind == "done":
+            # Conservative state machine (§3.9): accept ACKs only for
+            # OPs deemed in flight.
+            if statuses[op] == "flight":
+                ctx.set("status", _set(statuses, op, "done"))
+        elif kind == "failed":
+            # A failure report is only valid while the switch is still
+            # recorded non-UP: if recovery completed meanwhile, the
+            # recovery reset has already re-derived this OP's state and
+            # a fresh dispatch is (or will be) under way.
+            if (statuses[op] == "sched"
+                    and ctx.get("health_view")[switch_of[op]] == "down"):
+                ctx.set("status", _set(statuses, op, "failed"))
+        ctx.goto("apply")
+
+    nib_proc = SpecProcess("nibHandler", [Step("apply", nib_handler)],
+                           daemon=True)
+
+    # -- OFC: Topo Event Handler (Fig. A.5 recovery) ---------------------------------------------
+    def _reset_ops(ctx, shard: int) -> None:
+        """⑦ reset the recovered switch's OPs — of *every* status.
+
+        The epoch bump happens atomically with the reset: events created
+        before this instant are stale by definition, events created
+        after refer to post-reset scheduling.  Bumping it any earlier
+        re-stamps pre-reset observations as fresh (a bug found here).
+        """
+        epochs = ctx.get("epoch")
+        ctx.set("epoch", _set(epochs, shard, epochs[shard] + 1))
+        statuses = list(ctx.get("status"))
+        for op in ops:
+            if switch_of[op] == shard and statuses[op] != "none":
+                statuses[op] = "none"
+        ctx.set("status", tuple(statuses))
+
+    def _mark_up(ctx, shard: int) -> None:
+        """⑧ flip the topology state."""
+        ctx.set("health_view",
+                _set(ctx.get("health_view"), shard, "up"))
+
+    def topo(ctx):
+        event, shard = fifo_get(ctx, "topo_q")
+        view = ctx.get("health_view")
+        if event == "down":
+            if view[shard] != "down":
+                ctx.set("health_view", _set(view, shard, "down"))
+        elif event == "up":
+            if view[shard] == "down":
+                ctx.set("health_view", _set(view, shard, "recovering"))
+                ctx.set("cleanup_pending",
+                        _set(ctx.get("cleanup_pending"), shard, True))
+                queues = ctx.get("worker_q")
+                ctx.set("worker_q",
+                        _set(queues, shard,
+                             queues[shard] + ((CLEAR_OP, None),)))
+        elif event == "cleanup-ack":
+            if ctx.get("cleanup_pending")[shard]:
+                ctx.set("cleanup_pending",
+                        _set(ctx.get("cleanup_pending"), shard, False))
+                if recovery_order == "atomic":
+                    _reset_ops(ctx, shard)          # ⑦ first …
+                    _mark_up(ctx, shard)            # … ⑧ second
+                else:
+                    ctx.lset("shard", shard)
+                    if recovery_order == "fixed":
+                        ctx.goto("reset_ops")       # ⑦ then ⑧
+                    else:  # "buggy": the §G ordering error
+                        ctx.goto("mark_up")         # ⑧ then ⑦
+                    return
+        ctx.goto("topo")
+
+    def topo_reset_step(ctx):
+        _reset_ops(ctx, ctx.lget("shard"))
+        ctx.goto("mark_up" if recovery_order == "fixed" else "topo")
+
+    def topo_mark_up_step(ctx):
+        _mark_up(ctx, ctx.lget("shard"))
+        ctx.goto("topo" if recovery_order == "fixed" else "reset_ops")
+
+    topo_steps = [Step("topo", topo)]
+    topo_locals: dict = {}
+    if recovery_order != "atomic":
+        topo_steps += [Step("reset_ops", topo_reset_step),
+                       Step("mark_up", topo_mark_up_step)]
+        topo_locals["shard"] = -1
+    topo_proc = SpecProcess("topoHandler", topo_steps, locals_=topo_locals,
+                            daemon=True)
+
+    processes = [sequencer_proc, *workers, *switch_procs, *monitors,
+                 topo_proc]
+    if decomposed:
+        processes.append(nib_proc)
+
+    # -- properties -------------------------------------------------------------------------------
+    def correct_dag_order(view) -> bool:
+        seq = view["install_seq"]
+        position = {op: i for i, op in enumerate(seq)}
+        for a, b in edges:
+            if a in position and b in position and position[a] >= position[b]:
+                return False
+        return True
+
+    def no_duplicate_worker_claims(view) -> bool:
+        claims = [s for s in view["worker_state"] if s not in (NULL, CLEAR_OP)]
+        return len(claims) == len(set(claims))
+
+    def dag_installed(view) -> bool:
+        return all(op in view["sw_table"][switch_of[op]] for op in ops)
+
+    def view_matches(view) -> bool:
+        for op in ops:
+            deemed = view["status"][op] == "done"
+            installed = op in view["sw_table"][switch_of[op]]
+            if deemed != installed:
+                return False
+        return True
+
+    # -- symmetry ------------------------------------------------------------------------------------
+    if recovery_order == "atomic":
+        symmetry = _build_symmetry(num_ops, edges, num_switches, switch_of,
+                                   abstract_switch, decomposed)
+    else:
+        # The split recovery keeps a switch index in the (shared) topo
+        # handler's locals, which the stack permutation does not cover.
+        symmetry = None
+
+    liveness = {"ViewMatches": view_matches}
+    if not oneshot_sequencer:
+        # A one-shot sequencer cannot restore standing intent after a
+        # wipe, so CorrectDAGInstalled is only meaningful (and checked)
+        # for the perpetual-intent configuration.
+        liveness["DagInstalled"] = dag_installed
+    spec = Spec(
+        name=(f"controller-{num_ops}ops-{num_switches}sw-{failures}f"
+              f"{'-abs' if abstract_switch else ''}"
+              f"{'-coarse' if coarse_atomicity else ''}"
+              f"{'-mono' if not decomposed else ''}"
+              f"{'-' + recovery_order if recovery_order != 'atomic' else ''}"
+              f"{'' if stale_protection else '-noepoch'}"
+              f"{'-oneshot' if oneshot_sequencer else ''}"),
+        globals_=globals_,
+        processes=processes,
+        invariants={
+            "CorrectDAGOrder": correct_dag_order,
+            "NoDuplicateWorkerClaims": no_duplicate_worker_claims,
+        },
+        eventually_always=liveness,
+        symmetry=symmetry,
+    )
+    if symmetry is not None:
+        symmetry.spec = spec
+    return spec
+
+
+def _build_symmetry(num_ops, edges, num_switches, switch_of,
+                    abstract_switch, decomposed):
+    """Permutation symmetry over (switch, worker, monitor) stacks.
+
+    Valid only when the workload itself is symmetric: permuting switch
+    indices (and the induced renaming of the OPs pinned to them) must
+    map the DAG edge set onto itself.  Like TLC symmetry sets, the
+    canonical representative is the lexicographic minimum over all
+    valid permutations.
+    """
+    ops = list(range(1, num_ops + 1))
+    edge_set = frozenset(edges)
+    valid_perms = []
+    for perm in itertools.permutations(range(num_switches)):
+        # The induced op renaming: op i on switch s maps to the op of
+        # the same rank on switch perm[s].
+        by_switch: dict[int, list[int]] = {s: [] for s in range(num_switches)}
+        for op in ops:
+            by_switch[switch_of[op]].append(op)
+        op_map: dict[int, int] = {}
+        consistent = True
+        for s in range(num_switches):
+            source, target = by_switch[s], by_switch[perm[s]]
+            if len(source) != len(target):
+                consistent = False
+                break
+            for a, b in zip(source, target):
+                op_map[a] = b
+        if not consistent:
+            continue
+        mapped_edges = frozenset((op_map[a], op_map[b]) for a, b in edge_set)
+        if mapped_edges == edge_set:
+            valid_perms.append((perm, op_map))
+    if len(valid_perms) <= 1:
+        return None
+
+    # Index bookkeeping for applying a permutation to a State.
+    per_switch_globals = ["worker_q", "sw_in", "sw_out", "sw_table",
+                          "sw_healthy", "health_view", "cleanup_pending",
+                          "epoch", "worker_state"]
+
+    def apply(spec_state_pair):
+        spec, state, perm, op_map = spec_state_pair
+
+        def map_op(op):
+            return op_map.get(op, op)
+
+        def map_item(item):
+            if isinstance(item, tuple) and len(item) == 2:
+                return (map_op(item[0]), item[1])
+            return map_op(item)
+
+        new_globals = list(state.globals_)
+        for name in per_switch_globals:
+            index = spec.global_index[name]
+            values = state.globals_[index]
+            permuted = [None] * num_switches
+            for s in range(num_switches):
+                value = values[s]
+                if name in ("worker_q", "sw_in", "sw_out"):
+                    value = tuple(map_item(i) for i in value)
+                elif name == "sw_table":
+                    value = frozenset(map_op(o) for o in value)
+                elif name == "worker_state":
+                    value = map_op(value) if value != NULL else value
+                permuted[perm[s]] = value
+            new_globals[index] = tuple(permuted)
+        # status (op-indexed, 1-based)
+        status_index = spec.global_index["status"]
+        statuses = state.globals_[status_index]
+        new_status = list(statuses)
+        for op in ops:
+            new_status[op_map[op]] = statuses[op]
+        new_globals[status_index] = tuple(new_status)
+        # nib_q events carry op ids
+        if decomposed:
+            nib_index = spec.global_index["nib_q"]
+            new_globals[nib_index] = tuple(
+                (kind, map_op(op), epoch)
+                for kind, op, epoch in state.globals_[nib_index])
+        # topo_q events carry switch ids
+        topo_index = spec.global_index["topo_q"]
+        new_globals[topo_index] = tuple(
+            (kind, perm[s]) for kind, s in state.globals_[topo_index])
+        # ever_installed / install_seq are history vars over ops
+        ever_index = spec.global_index["ever_installed"]
+        new_globals[ever_index] = frozenset(
+            map_op(o) for o in state.globals_[ever_index])
+        seq_index = spec.global_index["install_seq"]
+        new_globals[seq_index] = tuple(
+            map_op(o) for o in state.globals_[seq_index])
+        # processes: permute the per-switch process stacks
+        new_procs = list(state.procs)
+        prefixes = (["worker", "switch", "monitor"]
+                    if abstract_switch
+                    else ["worker", "switch", "swFailure", "swRecovery",
+                          "monitor"])
+        for prefix in prefixes:
+            for s in range(num_switches):
+                src = spec.process_index[f"{prefix}{s}"]
+                dst = spec.process_index[f"{prefix}{perm[s]}"]
+                pc, locals_ = state.procs[src]
+                if prefix == "worker" and locals_:
+                    locals_ = tuple(
+                        map_op(v) if v != NULL else v for v in locals_)
+                elif prefix == "switch" and locals_:
+                    locals_ = tuple(
+                        map_item(v) if v != NULL else v for v in locals_)
+                new_procs[dst] = (pc, locals_)
+        return State(tuple(new_globals), tuple(new_procs))
+
+    perm_by_tuple = {perm: op_map for perm, op_map in valid_perms}
+    ops_by_switch: dict[int, list[int]] = {s: [] for s in range(num_switches)}
+    for op in ops:
+        ops_by_switch[switch_of[op]].append(op)
+    status_code = {"-": 0, "none": 1, "sched": 2, "flight": 3, "done": 4,
+                   "failed": 5}
+    view_code = {"up": 0, "down": 1, "recovering": 2}
+    kind_code = {"sent": 0, "done": 1, "failed": 2, "down": 3, "up": 4,
+                 "cleanup-ack": 5}
+
+    def _item_key(item) -> tuple:
+        op, epoch = item
+        return (op, -1 if epoch is None else epoch)
+
+    def signature(spec: Spec, state: State, shard: int) -> tuple:
+        """A comparable per-stack signature; swap-equivariant."""
+        g = state.globals_
+
+        def gv(name):
+            return g[spec.global_index[name]]
+
+        my_ops = ops_by_switch[shard]
+        statuses = gv("status")
+        seq = gv("install_seq")
+        positions = {op: i for i, op in enumerate(seq)}
+        sig = (
+            tuple(status_code[statuses[op]] for op in my_ops),
+            tuple(_item_key(i) for i in gv("worker_q")[shard]),
+            tuple(_item_key(i) for i in gv("sw_in")[shard]),
+            tuple(_item_key(i) for i in gv("sw_out")[shard]),
+            tuple(sorted(gv("sw_table")[shard])),
+            int(gv("sw_healthy")[shard]),
+            view_code[gv("health_view")[shard]],
+            int(gv("cleanup_pending")[shard]),
+            gv("epoch")[shard],
+            (-1 if gv("worker_state")[shard] == NULL
+             else gv("worker_state")[shard]),
+            tuple(positions.get(op, -1) for op in my_ops),
+            tuple((kind_code[k], op, e) for k, op, e in gv("nib_q")
+                  if switch_of.get(op) == shard) if decomposed else (),
+            tuple(kind_code[k] for k, s in gv("topo_q") if s == shard),
+            tuple(_stack_pcs(spec, state, shard)),
+        )
+        return sig
+
+    pc_code_cache: dict[str, int] = {}
+
+    def _pc_code(pc) -> int:
+        if pc is None:
+            return -1
+        if pc not in pc_code_cache:
+            pc_code_cache[pc] = len(pc_code_cache)
+        return pc_code_cache[pc]
+
+    stack_prefixes = (["worker", "switch", "monitor"]
+                      if abstract_switch
+                      else ["worker", "switch", "swFailure", "swRecovery",
+                            "monitor"])
+
+    def _stack_pcs(spec: Spec, state: State, shard: int):
+        for prefix in stack_prefixes:
+            index = spec.process_index[f"{prefix}{shard}"]
+            pc, locals_ = state.procs[index]
+            yield _pc_code(pc)
+            for value in locals_:
+                if value == NULL:
+                    yield (-1,)
+                elif isinstance(value, tuple):
+                    yield _item_key(value)
+                else:
+                    yield (value,)
+
+    identity = tuple(range(num_switches))
+
+    def symmetry(state: State) -> State:
+        spec = symmetry.spec  # attached after Spec construction
+        sigs = [signature(spec, state, s) for s in range(num_switches)]
+        # Choose the valid permutation that sorts stacks by signature.
+        best_perm, best_key = None, None
+        for perm, op_map in valid_perms:
+            # After applying ``perm`` the stack at position i came from
+            # shard p⁻¹(i); its signature is sigs[p⁻¹(i)].
+            inverse = [0] * num_switches
+            for s in range(num_switches):
+                inverse[perm[s]] = s
+            key = tuple(sigs[inverse[i]] for i in range(num_switches))
+            if best_key is None or key < best_key:
+                best_key, best_perm = key, perm
+        if best_perm == identity or best_perm is None:
+            return state
+        return apply((spec, state, best_perm, perm_by_tuple[best_perm]))
+
+    return symmetry

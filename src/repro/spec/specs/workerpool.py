@@ -1,0 +1,181 @@
+"""Worker Pool specifications: Listing 1 (initial) vs Listing 3 (final).
+
+The initial specification forwards the OP to the switch *before*
+recording it in the NIB and destructively dequeues before processing;
+the final one peeks, records in-progress state, updates the NIB, then
+forwards, and pops only when done.  Model checking with a crash process
+finds the two §3.9 bug classes in the initial spec:
+
+* **hidden install** (safety): an OP is installed on the switch while
+  the NIB still records it as unprocessed and no worker claims it;
+* **lost event** (liveness ◇□): a crash between dequeue and completion
+  drops the OP, so the "eventually every OP is DONE and stays DONE"
+  property fails.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    NULL,
+    Spec,
+    SpecProcess,
+    Step,
+    ack_pop,
+    ack_read,
+    fifo_get,
+    fifo_put,
+)
+
+__all__ = ["worker_pool_spec"]
+
+
+def _status_set(status: tuple, op: int, value: str) -> tuple:
+    updated = list(status)
+    updated[op] = value
+    return tuple(updated)
+
+
+def _switch_process() -> SpecProcess:
+    """AbstractSW fragment: install whatever arrives, then ACK."""
+
+    def proc(ctx):
+        op = fifo_get(ctx, "sw_in")
+        ctx.set("sw_table", ctx.get("sw_table") | frozenset([op]))
+        fifo_put(ctx, "sw_out", op)
+        ctx.goto("proc")
+
+    return SpecProcess("switch", [Step("proc", proc)], daemon=True)
+
+
+def _monitor_process() -> SpecProcess:
+    """Monitoring Server fragment: ACK → NIB DONE."""
+
+    def proc(ctx):
+        op = fifo_get(ctx, "sw_out")
+        ctx.set("nib", _status_set(ctx.get("nib"), op, "done"))
+        ctx.goto("proc")
+
+    return SpecProcess("monitor", [Step("proc", proc)], daemon=True)
+
+
+def _crash_process(recovery_label: str) -> SpecProcess:
+    """Unfair, budgeted crash injector targeting the worker."""
+
+    def crash(ctx):
+        budget = ctx.get("crash_budget")
+        ctx.block_unless(budget > 0)
+        ctx.set("crash_budget", budget - 1)
+        ctx.set("worker_state", NULL)  # in-memory state is lost
+        ctx.reset_peer("worker", recovery_label)
+        ctx.goto("crash")
+
+    return SpecProcess("crasher", [Step("crash", crash)],
+                       fair=False, daemon=True)
+
+
+def _buggy_worker() -> SpecProcess:
+    """Listing 1: FIFOGet, forward, then update the NIB."""
+
+    def get(ctx):
+        op = fifo_get(ctx, "op_queue")   # destructive dequeue
+        ctx.lset("current", op)
+
+    def forward(ctx):
+        fifo_put(ctx, "sw_in", ctx.lget("current"))  # action first …
+
+    def update(ctx):
+        op = ctx.lget("current")
+        nib = ctx.get("nib")
+        if nib[op] == "none":            # … state second
+            ctx.set("nib", _status_set(nib, op, "sent"))
+        ctx.lset("current", NULL)
+        ctx.goto("get")
+
+    return SpecProcess("worker", [
+        Step("get", get),
+        Step("forward", forward),
+        Step("update", update),
+    ], locals_={"current": NULL}, daemon=True)
+
+
+def _fixed_worker() -> SpecProcess:
+    """Listing 3: peek, record state, update NIB, forward, pop."""
+
+    def recover(ctx):
+        # StateRecovery: clear the in-progress marker; the queue head is
+        # still present (pop happens last), so processing restarts.
+        ctx.set("worker_state", NULL)
+        ctx.goto("read")
+
+    def read(ctx):
+        op = ack_read(ctx, "op_queue")   # peek, do not remove
+        ctx.lset("current", op)
+
+    def record(ctx):
+        ctx.set("worker_state", ctx.lget("current"))
+
+    def update(ctx):
+        op = ctx.lget("current")
+        nib = ctx.get("nib")
+        if nib[op] == "none":            # state first …
+            ctx.set("nib", _status_set(nib, op, "sent"))
+
+    def forward(ctx):
+        fifo_put(ctx, "sw_in", ctx.lget("current"))  # … action second
+
+    def clear(ctx):
+        ctx.set("worker_state", NULL)
+        ack_pop(ctx, "op_queue")
+        ctx.lset("current", NULL)
+        ctx.goto("read")
+
+    return SpecProcess("worker", [
+        Step("recover", recover),
+        Step("read", read),
+        Step("record", record),
+        Step("update", update),
+        Step("forward", forward),
+        Step("clear", clear),
+    ], locals_={"current": NULL}, start="read", daemon=True)
+
+
+def worker_pool_spec(num_ops: int = 2, crashes: int = 1,
+                     fixed: bool = True) -> Spec:
+    """Build the worker-pool spec (buggy or fixed) with a crash budget."""
+    nib = tuple(["-"] + ["none"] * num_ops)  # 1-indexed op statuses
+    worker = _fixed_worker() if fixed else _buggy_worker()
+    recovery = "recover" if fixed else "get"
+    processes = [
+        worker,
+        _switch_process(),
+        _monitor_process(),
+        _crash_process(recovery),
+    ]
+    ops = frozenset(range(1, num_ops + 1))
+
+    def no_hidden_install(view) -> bool:
+        """Installed ⇒ NIB knows OR a worker currently claims it."""
+        for op in view["sw_table"]:
+            if view["nib"][op] == "none" and view["worker_state"] != op:
+                return False
+        return True
+
+    def all_ops_done(view) -> bool:
+        return all(view["nib"][op] == "done" for op in ops)
+
+    return Spec(
+        name=("workerpool-final" if fixed else "workerpool-initial")
+             + f"-{num_ops}ops-{crashes}crashes",
+        globals_={
+            "op_queue": tuple(range(1, num_ops + 1)),
+            "nib": nib,
+            "sw_in": (),
+            "sw_out": (),
+            "sw_table": frozenset(),
+            "worker_state": NULL,
+            "crash_budget": crashes,
+        },
+        processes=processes,
+        invariants={"NoHiddenInstall": no_hidden_install},
+        eventually_always={"AllOpsDone": all_ops_done},
+    )

@@ -1,0 +1,112 @@
+"""DAG builders: turn routing intents into hitless OP DAGs.
+
+The canonical construction (paper Fig. 5): to route a flow along a
+path, install entries from the destination backwards, so that at no
+point does a switch forward traffic toward a hop that cannot yet
+continue it.  To *replace* routes hitlessly (drain, TE shifts), install
+the new path's entries at a strictly higher priority first, then delete
+the old entries — the structure Listing 6 computes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..core.types import Dag, Op, OpType
+from ..net.messages import FlowEntry
+
+__all__ = ["IdAllocator", "path_ops", "path_dag", "transition_dag",
+           "multi_path_dag"]
+
+
+class IdAllocator:
+    """Process-wide unique ids for OPs, entries and DAGs."""
+
+    def __init__(self, op_start: int = 1, entry_start: int = 1,
+                 dag_start: int = 1):
+        self._ops = itertools.count(op_start)
+        self._entries = itertools.count(entry_start)
+        self._dags = itertools.count(dag_start)
+
+    def op_id(self) -> int:
+        """Fresh OP id."""
+        return next(self._ops)
+
+    def entry_id(self) -> int:
+        """Fresh TCAM entry id."""
+        return next(self._entries)
+
+    def dag_id(self) -> int:
+        """Fresh DAG id."""
+        return next(self._dags)
+
+
+def path_ops(alloc: IdAllocator, path: Sequence[str], dst: str,
+             priority: int = 0) -> list[Op]:
+    """INSTALL OPs for each hop of ``path`` toward ``dst``.
+
+    Returned in forward order (source first); callers decide ordering
+    edges.  The final hop needs no entry (it *is* the destination).
+    """
+    ops = []
+    for hop, next_hop in zip(path, path[1:]):
+        entry = FlowEntry(alloc.entry_id(), dst, next_hop, priority)
+        ops.append(Op(alloc.op_id(), hop, OpType.INSTALL, entry=entry))
+    return ops
+
+
+def path_dag(alloc: IdAllocator, path: Sequence[str], dst: Optional[str] = None,
+             priority: int = 0) -> Dag:
+    """A DAG installing ``path`` destination-first (hitless order).
+
+    Edges force hop i+1's entry before hop i's: C:D precedes A:C in the
+    paper's Fig. 5 example.
+    """
+    dst = dst if dst is not None else path[-1]
+    ops = path_ops(alloc, path, dst, priority)
+    edges = [(ops[i + 1].op_id, ops[i].op_id) for i in range(len(ops) - 1)]
+    return Dag(alloc.dag_id(), ops, edges)
+
+
+def multi_path_dag(alloc: IdAllocator, paths: Iterable[Sequence[str]],
+                   priority: int = 0) -> Dag:
+    """One DAG installing several independent paths (parallel chains)."""
+    all_ops: list[Op] = []
+    edges: list[tuple[int, int]] = []
+    for path in paths:
+        ops = path_ops(alloc, path, path[-1], priority)
+        edges.extend((ops[i + 1].op_id, ops[i].op_id)
+                     for i in range(len(ops) - 1))
+        all_ops.extend(ops)
+    return Dag(alloc.dag_id(), all_ops, edges)
+
+
+def transition_dag(alloc: IdAllocator, new_paths: Iterable[Sequence[str]],
+                   old_ops: Iterable[Op], priority: int) -> Dag:
+    """Install ``new_paths`` at ``priority``; then delete ``old_ops``.
+
+    The Listing 6 construction: every deletion OP is attached after all
+    the leaves of the installation sub-DAG, so old state is removed only
+    once the new state is fully installed and carrying traffic.
+    """
+    all_ops: list[Op] = []
+    edges: list[tuple[int, int]] = []
+    for path in new_paths:
+        ops = path_ops(alloc, path, path[-1], priority)
+        edges.extend((ops[i + 1].op_id, ops[i].op_id)
+                     for i in range(len(ops) - 1))
+        all_ops.extend(ops)
+    install_ids = [op.op_id for op in all_ops]
+    deletions = []
+    for old in old_ops:
+        if old.op_type is not OpType.INSTALL or old.entry is None:
+            continue
+        deletions.append(Op(alloc.op_id(), old.switch, OpType.DELETE,
+                            entry_id=old.entry.entry_id))
+    for deletion in deletions:
+        all_ops.append(deletion)
+        edges.extend((install_id, deletion.op_id)
+                     for install_id in install_ids)
+    return Dag(alloc.dag_id(), all_ops, edges)

@@ -1,0 +1,148 @@
+"""Integration tests for ZENITH applications."""
+
+import pytest
+
+from repro.apps import DrainApp, DrainRejected, FailoverApp, RoutingApp, TeApp
+from repro.core import ControllerConfig, SwitchHealth, ZenithController
+from repro.net import FailureMode, Flow, Network, b4, fat_tree, ring
+from repro.sim import ComponentHost, Environment
+from repro.workloads.dags import IdAllocator
+
+
+def launch(topo, app_factory, config=None):
+    env = Environment()
+    network = Network(env, topo)
+    controller = ZenithController(env, network, config=config).start()
+    app = app_factory(env, controller)
+    host = ComponentHost(env, app, auto_restart=False)
+    host.start()
+    return env, network, controller, app
+
+
+def test_routing_app_installs_initial_paths():
+    env, network, controller, app = launch(
+        ring(6), lambda e, c: RoutingApp(e, c, [("s0", "s3"), ("s1", "s4")]))
+    env.run(until=5)
+    assert network.trace("s0", "s3").ok
+    assert network.trace("s1", "s4").ok
+
+
+def test_routing_app_reroutes_around_failure():
+    env, network, controller, app = launch(
+        ring(6), lambda e, c: RoutingApp(e, c, [("s0", "s3")]))
+    env.run(until=5)
+    first_path = network.trace("s0", "s3").hops
+    on_path = first_path[1]  # an intermediate hop
+    network.fail_switch(on_path, FailureMode.COMPLETE)
+    env.run(until=env.now + 20)
+    result = network.trace("s0", "s3")
+    assert result.ok
+    assert on_path not in result.hops
+    assert controller.view_matches_dataplane()
+
+
+def test_routing_app_reroutes_back_after_recovery():
+    env, network, controller, app = launch(
+        ring(6), lambda e, c: RoutingApp(e, c, [("s0", "s2")]))
+    env.run(until=5)
+    network.fail_switch("s1", FailureMode.COMPLETE)
+    env.run(until=env.now + 15)
+    long_way = network.trace("s0", "s2")
+    assert long_way.ok and "s1" not in long_way.hops
+    network.recover_switch("s1")
+    env.run(until=env.now + 20)
+    back = network.trace("s0", "s2")
+    assert back.ok
+    assert back.hops == ("s0", "s1", "s2")
+
+
+def test_drain_app_hitless_drain_and_undrain():
+    env, network, controller, app = launch(
+        ring(6), lambda e, c: DrainApp(e, c, [("s0", "s3")]))
+    env.run(until=5)
+    assert network.trace("s0", "s3").ok
+    victim = network.trace("s0", "s3").hops[1]
+
+    drops = []
+
+    def sampler():
+        while True:
+            drops.append(not network.trace("s0", "s3").ok)
+            yield env.timeout(0.002)
+
+    env.process(sampler())
+    app.request_drain(victim)
+    env.run(until=env.now + 15)
+    assert not any(drops), "drain dropped traffic"
+    path = network.trace("s0", "s3")
+    assert path.ok and victim not in path.hops
+    assert (env.now, victim) is not None
+    assert any(node == victim and verb == "drain"
+               for _, node, verb in app.completed)
+
+    app.request_undrain(victim)
+    env.run(until=env.now + 15)
+    assert not any(drops), "undrain dropped traffic"
+    assert network.trace("s0", "s3").ok
+
+
+def test_drain_app_rejects_endpoint_drain():
+    env, network, controller, app = launch(
+        ring(6), lambda e, c: DrainApp(e, c, [("s0", "s3")]))
+    env.run(until=2)
+    with pytest.raises(DrainRejected):
+        app._check_invariants("s0")
+
+
+def test_drain_app_rejects_capacity_budget_violation():
+    env, network, controller, app = launch(
+        ring(8), lambda e, c: DrainApp(e, c, [("s0", "s4")]))
+    env.run(until=2)
+    app.drained = {"s1", "s2"}  # already 25% of 8 switches
+    with pytest.raises(DrainRejected):
+        app._check_invariants("s3")
+
+
+def test_te_app_places_flows_and_reacts_to_failure():
+    flows = [Flow("f1", "b4-1", "b4-12", 6.0), Flow("f2", "b4-2", "b4-9", 6.0)]
+    env, network, controller, app = launch(
+        b4(), lambda e, c: TeApp(e, c, flows))
+    env.run(until=5)
+    for flow in flows:
+        assert network.trace(flow.src, flow.dst).ok
+    # Fail an intermediate switch of f1's path.
+    hop = network.trace("b4-1", "b4-12").hops[1]
+    network.fail_switch(hop, FailureMode.COMPLETE)
+    env.run(until=env.now + 20)
+    result = network.trace("b4-1", "b4-12")
+    assert result.ok and hop not in result.hops
+    assert any("topology" in reason for _, reason in app.reroutes)
+
+
+def test_te_app_resolves_congestion():
+    # Two flows squeezed onto one link (capacity 10 < 2x6) must split.
+    flows = [Flow("f1", "s0", "s2", 6.0), Flow("f2", "s0", "s2", 6.0)]
+    env, network, controller, app = launch(
+        ring(4), lambda e, c: TeApp(e, c, flows))
+    env.run(until=10)
+    paths = {name: network.trace("s0", "s2").hops for name in ("f1", "f2")}
+    placement = app.current_paths
+    assert placement["f1"] != placement["f2"], "flows not spread"
+
+
+def test_failover_app_converges_quickly_for_zenith():
+    env, network, controller, app = launch(
+        ring(6), lambda e, c: FailoverApp(e, c))
+    routing = RoutingApp(env, controller, [("s0", "s3")])
+    ComponentHost(env, routing, auto_restart=False).start()
+    env.run(until=5)
+    assert network.trace("s0", "s3").ok
+    instance = app.request_failover()
+    env.run(until=env.now + 10)
+    assert len(app.completed) == 1
+    # All OFC components back up, mastership moved, dataplane intact.
+    for name in controller.ofc_component_names():
+        assert controller.hosts[name].state.name == "RUNNING"
+    assert network["s0"].master == instance
+    assert network.trace("s0", "s3").ok
+    assert controller.view_matches_dataplane()

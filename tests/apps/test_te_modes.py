@@ -1,0 +1,98 @@
+"""Tests for the TE application's incremental and sticky modes."""
+
+import pytest
+
+from repro.apps import TeApp
+from repro.core import DagStatus, ZenithController
+from repro.net import FailureMode, Flow, Network, b4, ring
+from repro.sim import ComponentHost, Environment
+
+
+def launch(topo, flows, **te_kwargs):
+    env = Environment()
+    network = Network(env, topo, local_repair=te_kwargs.pop(
+        "local_repair", False))
+    controller = ZenithController(env, network).start()
+    app = TeApp(env, controller, flows, **te_kwargs)
+    ComponentHost(env, app, auto_restart=False).start()
+    return env, network, controller, app
+
+
+def test_incremental_mode_per_flow_dags():
+    flows = [Flow("f1", "s0", "s2", 4.0), Flow("f2", "s3", "s5", 4.0)]
+    env, network, controller, app = launch(ring(6), flows, incremental=True)
+    env.run(until=5)
+    assert len(app._flow_dags) == 2
+    assert network.trace("s0", "s2").ok
+    assert network.trace("s3", "s5").ok
+
+
+def test_incremental_reroute_touches_only_affected_flow():
+    flows = [Flow("f1", "s0", "s2", 4.0), Flow("f2", "s3", "s5", 4.0)]
+    env, network, controller, app = launch(ring(6), flows, incremental=True)
+    env.run(until=5)
+    f2_dag_before = app._flow_dags["f2"]
+    # Fail a switch on f1's path only.
+    victim = network.trace("s0", "s2").hops[1]
+    network.fail_switch(victim, FailureMode.COMPLETE)
+    env.run(until=env.now + 15)
+    assert app._flow_dags["f2"] is f2_dag_before  # untouched
+    assert app._flow_dags["f1"] is not None
+    result = network.trace("s0", "s2")
+    assert result.ok and victim not in result.hops
+
+
+def test_sticky_mode_returns_to_primary_without_reinstall():
+    flows = [Flow("f1", "b4-1", "b4-12", 6.0)]
+    env, network, controller, app = launch(b4(), flows,
+                                           sticky_primaries=True)
+    env.run(until=5)
+    primary = list(app._primary_paths["f1"])
+    primary_entries = {
+        (op.switch, op.entry.entry_id)
+        for op in app._flow_dags["f1"].ops.values()}
+
+    victim = primary[1]
+    network.fail_switch(victim, FailureMode.COMPLETE)
+    env.run(until=env.now + 15)
+    detour = app._detour_dags.get("f1")
+    assert detour is not None
+    assert victim not in network.trace("b4-1", "b4-12").hops
+
+    network.recover_switch(victim)
+    env.run(until=env.now + 20)
+    # Back on the primary; detour dag removed.
+    assert app._detour_dags.get("f1") is None
+    assert app.current_paths["f1"] == primary
+    result = network.trace("b4-1", "b4-12")
+    assert result.ok and tuple(primary) == result.hops
+    # ZENITH restored the primary entries itself (standing intent).
+    for switch, entry_id in primary_entries:
+        assert entry_id in network[switch].flow_table
+    assert controller.view_matches_dataplane()
+
+
+def test_sticky_primary_dag_reactivated_by_core_not_app():
+    """The architectural point of Fig. 14: the core restores wiped
+    standing intent; the sticky app never resubmits the primary."""
+    flows = [Flow("f1", "b4-1", "b4-12", 6.0)]
+    env, network, controller, app = launch(b4(), flows,
+                                           sticky_primaries=True)
+    env.run(until=5)
+    primary_dag = app._flow_dags["f1"]
+    submissions_before = len(app.submissions)
+
+    victim = app._primary_paths["f1"][1]
+    network.fail_switch(victim, FailureMode.COMPLETE)
+    env.run(until=env.now + 12)
+    network.recover_switch(victim)
+    env.run(until=env.now + 20)
+
+    # The primary DAG object was never replaced by the app...
+    assert app._flow_dags["f1"] is primary_dag
+    # ...but the core re-certified it after restoring its state.
+    assert controller.state.dag_status_of(primary_dag.dag_id) \
+        is DagStatus.DONE
+    from repro.metrics import dag_installed_in_dataplane
+
+    assert dag_installed_in_dataplane(network, primary_dag)

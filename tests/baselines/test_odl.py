@@ -1,0 +1,85 @@
+"""Tests for the ODL-like baseline's characteristic misbehaviours."""
+
+import pytest
+
+from repro.baselines import OdlController
+from repro.core import ControllerConfig, SwitchHealth, ZenithController
+from repro.net import FailureMode, Network, linear, ring
+from repro.sim import Environment
+from repro.workloads.dags import IdAllocator, path_dag
+
+
+def make(controller_cls, topo, config=None):
+    env = Environment()
+    network = Network(env, topo)
+    controller = controller_cls(env, network, config=config).start()
+    return env, network, controller
+
+
+def test_odl_installs_dags_when_unprovoked():
+    env, network, controller = make(OdlController, linear(4))
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2", "s3"])
+    controller.submit_dag(dag)
+    env.run(until=controller.wait_for_dag(dag.dag_id))
+    assert network.trace("s0", "s3").ok
+
+
+def test_odl_rapid_blip_can_misorder_status_events():
+    """ODL incident 1: with racing status threads, a rapid fail/recover
+    pair can be applied out of order, leaving the controller convinced
+    a healthy switch is down.  We search seeds for at least one
+    occurrence — the race is probabilistic by design."""
+    observed_wrong_view = False
+    for seed in range(12):
+        env = Environment()
+        from repro.sim import RandomStreams
+
+        network = Network(env, linear(3), streams=RandomStreams(seed),
+                          detection_delay=0.05)
+        controller = OdlController(env, network).start()
+        # Perturb the ODL jitter stream per seed.
+        controller.topo_handler._streams = RandomStreams(seed).child("odl")
+        env.run(until=1)
+        network.fail_switch("s1", FailureMode.PARTIAL)
+        env.run(until=env.now + 0.08)
+        network.recover_switch("s1")
+        env.run(until=env.now + 5)
+        if controller.state.health_of("s1") is not SwitchHealth.UP:
+            observed_wrong_view = True
+            assert network["s1"].is_healthy  # ...while actually healthy
+            break
+    assert observed_wrong_view, "status race never manifested in 12 seeds"
+
+
+def test_zenith_never_misorders_the_same_blips():
+    for seed in range(12):
+        env = Environment()
+        from repro.sim import RandomStreams
+
+        network = Network(env, linear(3), streams=RandomStreams(seed),
+                          detection_delay=0.05)
+        controller = ZenithController(env, network).start()
+        env.run(until=1)
+        network.fail_switch("s1", FailureMode.PARTIAL)
+        env.run(until=env.now + 0.08)
+        network.recover_switch("s1")
+        env.run(until=env.now + 10)
+        assert controller.state.health_of("s1") is SwitchHealth.UP
+
+
+def test_odl_leaves_stale_entries_until_reconciliation():
+    """The no-cleanup bug: deleting a DAG leaves its entries installed."""
+    config = ControllerConfig(reconciliation_period=15.0)
+    env, network, controller = make(OdlController, linear(3), config)
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    controller.submit_dag(dag)
+    env.run(until=controller.wait_for_dag(dag.dag_id))
+    controller.remove_dag(dag.dag_id, cleanup=True)  # ODL drops the cleanup
+    env.run(until=env.now + 5)
+    # Entries still present (a ZENITH controller would have removed them).
+    assert any(len(sw.flow_table) for sw in network)
+    # The periodic reconciler eventually deletes the now-alien entries.
+    env.run(until=env.now + 20)
+    assert all(len(sw.flow_table) == 0 for sw in network)

@@ -1,0 +1,167 @@
+"""Tests for the PR baseline: it works, but only thanks to reconciliation."""
+
+import pytest
+
+from repro.baselines import NoRecController, PrController, PrUpController
+from repro.core import ControllerConfig, OpStatus, SwitchHealth
+from repro.net import FailureMode, Network, linear, ring
+from repro.sim import Environment
+from repro.workloads.dags import IdAllocator, path_dag
+
+
+def make(controller_cls, topo, config=None):
+    env = Environment()
+    network = Network(env, topo)
+    controller = controller_cls(env, network, config=config).start()
+    return env, network, controller
+
+
+def test_pr_installs_dag_without_failures():
+    env, network, controller = make(PrController, linear(4))
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2", "s3"])
+    controller.submit_dag(dag)
+    env.run(until=controller.wait_for_dag(dag.dag_id))
+    assert env.now < 5.0
+    assert network.trace("s0", "s3").ok
+
+
+def test_pr_complete_transient_failure_waits_for_reconciliation():
+    """After a wipe PR believes entries installed; only the periodic
+    reconciler restores them — the availability gap of Fig. 2/10."""
+    config = ControllerConfig(reconciliation_period=10.0)
+    env, network, controller = make(PrController, linear(3), config)
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    controller.submit_dag(dag)
+    env.run(until=controller.wait_for_dag(dag.dag_id))
+
+    network.fail_switch("s1", FailureMode.COMPLETE)
+    env.run(until=env.now + 1)
+    network.recover_switch("s1")
+    env.run(until=env.now + 2)
+    # PR marked the switch UP but did not restore the wiped entry:
+    # the controller's view is inconsistent with the dataplane.
+    assert controller.state.health_of("s1") is SwitchHealth.UP
+    assert not network.trace("s0", "s2").ok
+    assert not controller.view_matches_dataplane()
+
+    # The next reconciliation cycle fixes it.
+    env.run(until=env.now + 15)
+    assert network.trace("s0", "s2").ok
+    assert controller.view_matches_dataplane()
+    assert controller.reconciler.fixes_applied > 0
+
+
+def test_zenith_beats_pr_on_same_scenario():
+    """Head-to-head on the wipe scenario: ZENITH converges ~immediately,
+    PR waits for the reconciliation boundary."""
+    from repro.core import ZenithController
+
+    def run(controller_cls):
+        config = ControllerConfig(reconciliation_period=10.0)
+        env, network, controller = make(controller_cls, linear(3), config)
+        alloc = IdAllocator()
+        dag = path_dag(alloc, ["s0", "s1", "s2"])
+        controller.submit_dag(dag)
+        env.run(until=controller.wait_for_dag(dag.dag_id))
+        network.fail_switch("s1", FailureMode.COMPLETE)
+        env.run(until=env.now + 1)
+        network.recover_switch("s1")
+        broken_at = env.now
+        while not (network.trace("s0", "s2").ok
+                   and controller.view_matches_dataplane()):
+            env.run(until=env.now + 0.25)
+            assert env.now < broken_at + 60, "never reconverged"
+        return env.now - broken_at
+
+    zenith_time = run(ZenithController)
+    pr_time = run(PrController)
+    assert zenith_time < 5.0
+    assert pr_time > 2 * zenith_time
+
+
+def test_pr_worker_crash_recovered_by_deadlock_timeout():
+    """Listing-1 worker loses the OP on crash; the sweeper unsticks it."""
+    config = ControllerConfig(num_workers=1, deadlock_timeout=3.0,
+                              reconciliation_period=300.0)
+    env, network, controller = make(PrController, linear(3), config)
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    controller.submit_dag(dag)
+
+    def chaos():
+        # Crash the worker exactly while OPs sit in its queue.
+        yield env.timeout(0.0015)
+        controller.crash_component("worker-0")
+
+    env.process(chaos())
+    done = controller.wait_for_dag(dag.dag_id)
+    env.run(until=done)
+    # Converged, but only after at least one deadlock-timeout sweep.
+    assert env.now < 30.0
+    assert network.trace("s0", "s2").ok
+
+
+def test_norec_has_no_reconciler():
+    env, network, controller = make(NoRecController, linear(3))
+    assert controller.reconciler is None
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    controller.submit_dag(dag)
+    env.run(until=controller.wait_for_dag(dag.dag_id))
+    assert network.trace("s0", "s2").ok
+
+
+def test_norec_never_fixes_wipe_inconsistency():
+    env, network, controller = make(NoRecController, linear(3))
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    controller.submit_dag(dag)
+    env.run(until=controller.wait_for_dag(dag.dag_id))
+    network.fail_switch("s1", FailureMode.COMPLETE)
+    env.run(until=env.now + 1)
+    network.recover_switch("s1")
+    env.run(until=env.now + 60)
+    # Without reconciliation the blackhole persists forever.
+    assert not network.trace("s0", "s2").ok
+
+
+def test_prup_fixes_wipe_faster_than_pr():
+    config = ControllerConfig(reconciliation_period=30.0)
+    env, network, controller = make(PrUpController, linear(3), config)
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    controller.submit_dag(dag)
+    env.run(until=controller.wait_for_dag(dag.dag_id))
+    network.fail_switch("s1", FailureMode.COMPLETE)
+    env.run(until=env.now + 1)
+    network.recover_switch("s1")
+    broken_at = env.now
+    while not network.trace("s0", "s2").ok:
+        env.run(until=env.now + 0.25)
+        assert env.now < broken_at + 60
+    # Up-reconciliation fixes it well before the 30s periodic boundary.
+    assert env.now - broken_at < 10.0
+
+
+def test_pr_reconciler_cycle_duration_scales_with_entries():
+    """Fig. 4(b): more entries per switch → longer reconciliation."""
+    from repro.net import FlowEntry
+
+    def cycle_time(entries_per_switch):
+        config = ControllerConfig(reconciliation_period=30.0)
+        env, network, controller = make(PrController, linear(10), config)
+        for switch in network:
+            for i in range(entries_per_switch):
+                switch.flow_table[10_000 + i] = FlowEntry(
+                    10_000 + i, f"bg{i}", switch.switch_id, 0)
+        env.run(until=45)  # one cycle at t=30
+        log = controller.reconciler.cycle_log
+        assert len(log) >= 1
+        start, end = log[0]
+        return end - start
+
+    small = cycle_time(50)
+    large = cycle_time(500)
+    assert large > 2 * small

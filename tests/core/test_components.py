@@ -1,0 +1,201 @@
+"""Focused component tests: scheduler, sequencer, watchdog, monitoring."""
+
+import pytest
+
+from repro.core import (
+    ControllerConfig,
+    DagStatus,
+    OpStatus,
+    OpType,
+    ZenithController,
+    translate_op,
+)
+from repro.core.types import Op
+from repro.net import FailureMode, FlowEntry, MsgKind, Network, linear, ring
+from repro.sim import Environment, HostState
+from repro.workloads.dags import IdAllocator, path_dag
+
+
+def make(topo, config=None):
+    env = Environment()
+    network = Network(env, topo)
+    controller = ZenithController(env, network, config=config).start()
+    return env, network, controller
+
+
+# -- translate_op ----------------------------------------------------------------
+def test_translate_op_kinds():
+    install = Op(1, "s0", OpType.INSTALL, entry=FlowEntry(9, "d", "s1", 2))
+    request = translate_op(install, sender="ofc-1")
+    assert request.kind is MsgKind.INSTALL and request.xid == 1
+    assert request.entry.priority == 2
+
+    delete = Op(2, "s0", OpType.DELETE, entry_id=9)
+    assert translate_op(delete, "ofc-1").kind is MsgKind.DELETE
+
+    clear = Op(3, "s0", OpType.CLEAR)
+    assert translate_op(clear, "ofc-1").kind is MsgKind.CLEAR_TCAM
+
+
+# -- DAG Scheduler ---------------------------------------------------------------
+def test_scheduler_round_robins_sequencers():
+    config = ControllerConfig(num_sequencers=2)
+    env, network, controller = make(ring(6), config)
+    alloc = IdAllocator()
+    dags = [path_dag(alloc, ["s0", "s1"]), path_dag(alloc, ["s2", "s3"]),
+            path_dag(alloc, ["s4", "s5"])]
+    for dag in dags:
+        controller.submit_dag(dag)
+    env.run(until=5)
+    owners = [controller.state.dag_owner[dag.dag_id] for dag in dags]
+    assert set(owners) == {0, 1}
+
+
+def test_scheduler_delete_unknown_dag_is_noop():
+    env, network, controller = make(linear(3))
+    controller.remove_dag(424242)
+    env.run(until=2)  # must not crash anything
+    assert all(host.state is not HostState.DOWN
+               for host in controller.hosts.values())
+
+
+def test_scheduler_cleanup_dag_has_delete_ops_only():
+    env, network, controller = make(linear(3))
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    controller.submit_dag(dag)
+    env.run(until=controller.wait_for_dag(dag.dag_id))
+    controller.remove_dag(dag.dag_id, cleanup=True)
+    env.run(until=env.now + 5)
+    # A cleanup DAG was registered and completed.
+    cleanup_dags = [d for d, status in controller.state.dag_status.items()
+                    if d != dag.dag_id and status is DagStatus.DONE]
+    assert cleanup_dags
+    cleanup = controller.state.get_dag(cleanup_dags[0])
+    assert all(op.op_type is OpType.DELETE for op in cleanup.ops.values())
+
+
+# -- Sequencer -------------------------------------------------------------------
+def test_sequencer_abandons_stale_dag():
+    config = ControllerConfig(num_sequencers=1)
+    env, network, controller = make(linear(5), config)
+    alloc = IdAllocator()
+    # A DAG stuck on a dead switch, then deleted: the sequencer must
+    # abandon it and move on to the next assignment.
+    network.fail_switch("s2", FailureMode.COMPLETE)
+    env.run(until=2)
+    stuck = path_dag(alloc, ["s0", "s1", "s2", "s3"])
+    controller.submit_dag(stuck)
+    env.run(until=env.now + 3)
+    assert controller.state.dag_status_of(stuck.dag_id) \
+        is DagStatus.INSTALLING
+    controller.remove_dag(stuck.dag_id, cleanup=False)
+    follow_up = path_dag(alloc, ["s0", "s1"])
+    controller.submit_dag(follow_up)
+    env.run(until=controller.wait_for_dag(follow_up.dag_id))
+    assert env.now < 20
+
+
+def test_sequencer_rescan_survives_missed_notification():
+    """Notifications are hints; the 1s rescan prevents lost wakeups."""
+    env, network, controller = make(linear(3))
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    controller.submit_dag(dag)
+    env.run(until=0.001)
+    owner = controller.state.dag_owner[dag.dag_id]
+    # Swallow all pending notifications for the owner.
+    controller.state.sequencer_notify_queue(owner).clear()
+    env.run(until=controller.wait_for_dag(dag.dag_id))
+    assert env.now < 15  # a few rescan periods at most
+
+
+# -- Watchdog --------------------------------------------------------------------
+def test_watchdog_restarts_crashed_components():
+    env, network, controller = make(linear(3))
+    env.run(until=1)
+    controller.crash_component("worker-0")
+    controller.crash_component("sequencer-1")
+    env.run(until=env.now + 2)
+    assert controller.hosts["worker-0"].state is HostState.RUNNING
+    assert controller.hosts["sequencer-1"].state is HostState.RUNNING
+    assert controller.watchdog.restarts_performed >= 2
+
+
+def test_watchdog_restart_latency_bounded_by_config():
+    config = ControllerConfig(watchdog_period=0.1,
+                              component_restart_delay=0.05)
+    env, network, controller = make(linear(3), config)
+    env.run(until=1)
+    controller.crash_component("worker-0")
+    env.run(until=env.now + 0.3)
+    assert controller.hosts["worker-0"].state is HostState.RUNNING
+
+
+# -- Monitoring Server -----------------------------------------------------------
+def test_monitoring_routes_role_acks():
+    env, network, controller = make(linear(2))
+    from repro.net import SwitchRequest
+
+    controller.state.to_switch_queue("s0").put(
+        SwitchRequest(MsgKind.ROLE_CHANGE, "s0", xid=7, role="ofc-9"))
+    env.run(until=1)
+    acks = controller.nib.fifo(f"{controller.state.ns}.RoleAcks").items
+    assert len(acks) == 1 and acks[0].xid == 7
+    assert network["s0"].master == "ofc-9"
+
+
+def test_monitoring_routes_snapshots_to_registered_waiter():
+    env, network, controller = make(linear(2))
+    from repro.net import SwitchRequest
+
+    xid = controller.state.next_xid()
+    controller.state.read_waiters.put(xid, "tester")
+    controller.state.to_switch_queue("s0").put(
+        SwitchRequest(MsgKind.READ_TABLE, "s0", xid=xid))
+    env.run(until=1)
+    snaps = controller.state.snapshot_queue("tester").items
+    assert len(snaps) == 1 and snaps[0].switch == "s0"
+    # The waiter registration is consumed.
+    assert xid not in controller.state.read_waiters
+
+
+# -- NIB lock ----------------------------------------------------------------------
+def test_nib_lock_waiter_cancellation_on_interrupt():
+    from repro.nib import Nib
+    from repro.sim import Interrupt
+
+    env = Environment()
+    nib = Nib(env)
+    order = []
+
+    def holder():
+        yield nib.acquire_write_lock("holder")
+        yield env.timeout(5)
+        nib.release_write_lock()
+        order.append("released")
+
+    def impatient():
+        try:
+            yield nib.acquire_write_lock("impatient")
+        except Interrupt:
+            order.append("interrupted")
+
+    def patient():
+        yield env.timeout(1)
+        yield nib.acquire_write_lock("patient")
+        order.append("patient-acquired")
+        nib.release_write_lock()
+
+    env.process(holder())
+    victim = env.process(impatient())
+    env.process(patient())
+
+    def killer():
+        yield env.timeout(2)
+        victim.interrupt("die")
+
+    env.process(killer())
+    env.run()
+    # The interrupted waiter must not steal the lock from 'patient'.
+    assert order == ["interrupted", "released", "patient-acquired"]

@@ -1,0 +1,100 @@
+"""Unit tests for metrics: percentiles, convergence checks, complexity."""
+
+import pytest
+
+from repro.core import ZenithController
+from repro.metrics import (
+    ComponentFlow,
+    check_dag_order,
+    dag_installed_in_dataplane,
+    henry_kafura,
+    henry_kafura_total,
+    measure_convergence,
+    percentile,
+    summarize,
+)
+from repro.net import FailureMode, Network, linear
+from repro.sim import Environment
+from repro.workloads.dags import IdAllocator, path_dag
+
+
+def test_percentile_exact_values():
+    assert percentile([1, 2, 3, 4, 5], 0) == 1
+    assert percentile([1, 2, 3, 4, 5], 50) == 3
+    assert percentile([1, 2, 3, 4, 5], 100) == 5
+    assert percentile([1, 2], 50) == pytest.approx(1.5)
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_summary_row_renders():
+    summary = summarize([1.0, 2.0, 3.0])
+    row = summary.row()
+    assert "n=3" in row and "p50=" in row
+
+
+def test_henry_kafura_formula():
+    flow = ComponentFlow("seq", length=100, fan_in=3, fan_out=4)
+    assert henry_kafura(flow) == 100 * (3 * 4) ** 2
+    assert henry_kafura_total([flow, flow]) == 2 * henry_kafura(flow)
+
+
+def test_henry_kafura_rejects_negative():
+    with pytest.raises(ValueError):
+        henry_kafura(ComponentFlow("x", -1, 1, 1))
+
+
+def test_check_dag_order_detects_violation():
+    env = Environment()
+    network = Network(env, linear(3))
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    order = dag.topological_order()
+    first, second = order[0], order[1]
+    # Forge install history in the WRONG order.
+    network[dag.ops[second].switch].first_install[
+        dag.ops[second].entry.entry_id] = 1.0
+    network[dag.ops[first].switch].first_install[
+        dag.ops[first].entry.entry_id] = 2.0
+    violations = check_dag_order(network, dag)
+    assert (first, second) in violations
+
+
+def test_check_dag_order_skips_never_installed():
+    env = Environment()
+    network = Network(env, linear(3))
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    # Nothing installed at all: no violations (exempted by §3.3).
+    assert check_dag_order(network, dag) == []
+
+
+def test_dag_installed_ignore_down():
+    env = Environment()
+    network = Network(env, linear(3))
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    for op in dag.ops.values():
+        network[op.switch].flow_table[op.entry.entry_id] = op.entry
+    assert dag_installed_in_dataplane(network, dag)
+    network.fail_switch("s1", FailureMode.COMPLETE)  # wipes s1
+    assert not dag_installed_in_dataplane(network, dag)
+    assert dag_installed_in_dataplane(network, dag, ignore_down=True)
+
+
+def test_measure_convergence_happy_path():
+    env = Environment()
+    network = Network(env, linear(3))
+    controller = ZenithController(env, network).start()
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2"])
+    result = measure_convergence(env, controller, dag, deadline=30.0)
+    assert result.certified_latency is not None
+    assert result.true_latency is not None
+    assert result.true_latency >= result.certified_latency - 1e-9
+    assert result.certified_latency < 5.0

@@ -1,0 +1,122 @@
+"""Unit tests for dataplane tracing and the fluid traffic model."""
+
+import pytest
+
+from repro.net import (
+    FailureMode,
+    Flow,
+    FlowEntry,
+    Network,
+    PathStatus,
+    flow_rates,
+    linear,
+    max_min_fair,
+    ring,
+)
+from repro.sim import Environment
+
+
+def wire_path(network, hops, dst, entry_base=0, priority=0):
+    """Directly install entries forming a path (ground-truth setup)."""
+    for i, hop in enumerate(hops[:-1]):
+        entry = FlowEntry(entry_base + i, dst, hops[i + 1], priority)
+        network[hop].flow_table[entry.entry_id] = entry
+
+
+def test_trace_delivers_along_installed_path():
+    env = Environment()
+    net = Network(env, linear(4))
+    wire_path(net, ["s0", "s1", "s2", "s3"], dst="s3")
+    result = net.trace("s0", "s3")
+    assert result.ok
+    assert result.hops == ("s0", "s1", "s2", "s3")
+
+
+def test_trace_blackhole_when_entry_missing():
+    env = Environment()
+    net = Network(env, linear(4))
+    wire_path(net, ["s0", "s1"], dst="s3")  # incomplete path
+    result = net.trace("s0", "s3")
+    assert result.status is PathStatus.BLACKHOLE
+    assert result.hops == ("s0", "s1")
+
+
+def test_trace_dead_next_hop():
+    env = Environment()
+    net = Network(env, linear(4))
+    wire_path(net, ["s0", "s1", "s2", "s3"], dst="s3")
+    net.fail_switch("s1", FailureMode.PARTIAL)
+    result = net.trace("s0", "s3")
+    assert result.status is PathStatus.DEAD_SWITCH
+
+
+def test_trace_loop_detected():
+    env = Environment()
+    net = Network(env, ring(4))
+    net["s0"].flow_table[1] = FlowEntry(1, "d", "s1")
+    net["s1"].flow_table[2] = FlowEntry(2, "d", "s0")
+    result = net.trace("s0", "d")
+    assert result.status is PathStatus.LOOP
+
+
+def test_trace_hidden_high_priority_entry_blackholes():
+    """The Fig. 2 pathology: a hidden higher-priority entry wins."""
+    env = Environment()
+    net = Network(env, ring(4))  # s0-s1-s2-s3-s0
+    # Intended: s0 -> s3 -> s2 (destination s2), installed at prio 0.
+    wire_path(net, ["s0", "s3", "s2"], dst="s2", entry_base=10, priority=0)
+    assert net.trace("s0", "s2").ok
+    # Hidden stale entry at higher priority points to dead s1.
+    net["s0"].flow_table[99] = FlowEntry(99, "s2", "s1", priority=5)
+    net.fail_switch("s1", FailureMode.COMPLETE)
+    result = net.trace("s0", "s2")
+    assert result.status is PathStatus.DEAD_SWITCH
+
+
+def test_routing_state_ground_truth():
+    env = Environment()
+    net = Network(env, linear(3))
+    net["s0"].flow_table[1] = FlowEntry(1, "d", "s1")
+    state = net.routing_state()
+    assert state["s0"] == frozenset({1})
+    assert state["s1"] == frozenset()
+
+
+def test_max_min_fair_single_bottleneck():
+    paths = {"f1": ["a", "b"], "f2": ["a", "b"]}
+    demands = {"f1": 10.0, "f2": 10.0}
+    rates = max_min_fair(paths, demands, lambda x, y: 10.0)
+    assert rates["f1"] == pytest.approx(5.0)
+    assert rates["f2"] == pytest.approx(5.0)
+
+
+def test_max_min_fair_demand_limited_flow_releases_capacity():
+    paths = {"small": ["a", "b"], "big": ["a", "b"]}
+    demands = {"small": 2.0, "big": 100.0}
+    rates = max_min_fair(paths, demands, lambda x, y: 10.0)
+    assert rates["small"] == pytest.approx(2.0)
+    assert rates["big"] == pytest.approx(8.0)
+
+
+def test_max_min_fair_multi_hop_bottleneck():
+    # f1 crosses both links; f2 only the second: second link is shared.
+    paths = {"f1": ["a", "b", "c"], "f2": ["b", "c"]}
+    demands = {"f1": 10.0, "f2": 10.0}
+    rates = max_min_fair(paths, demands, lambda x, y: 10.0)
+    assert rates["f1"] == pytest.approx(5.0)
+    assert rates["f2"] == pytest.approx(5.0)
+
+
+def test_max_min_fair_empty_path_gets_demand():
+    rates = max_min_fair({"f": ["a"]}, {"f": 3.0}, lambda x, y: 0.0)
+    assert rates["f"] == pytest.approx(3.0)
+
+
+def test_flow_rates_zero_for_blackholed_flow():
+    env = Environment()
+    net = Network(env, linear(3))
+    wire_path(net, ["s0", "s1", "s2"], dst="s2")
+    flows = [Flow("good", "s0", "s2", 5.0), Flow("bad", "s2", "s0", 5.0)]
+    rates = flow_rates(net, flows)
+    assert rates["good"] == pytest.approx(5.0)
+    assert rates["bad"] == 0.0

@@ -1,0 +1,99 @@
+"""Tests for local repair (IPFRR-style fallback) and the traffic monitor."""
+
+import pytest
+
+from repro.net import (
+    FailureMode,
+    Flow,
+    FlowEntry,
+    Network,
+    PathStatus,
+    TrafficMonitor,
+    linear,
+    ring,
+)
+from repro.sim import Environment
+
+
+def wire(network, hops, dst, base, priority):
+    for i, hop in enumerate(hops[:-1]):
+        entry = FlowEntry(base + i, dst, hops[i + 1], priority)
+        network[hop].flow_table[entry.entry_id] = entry
+
+
+def test_local_repair_falls_back_to_lower_priority():
+    env = Environment()
+    net = Network(env, ring(4), local_repair=True)
+    # Primary s0→s1→s2 at prio 1; backup s0→s3→s2 at prio 0.
+    wire(net, ["s0", "s1", "s2"], "s2", 10, priority=1)
+    wire(net, ["s0", "s3", "s2"], "s2", 20, priority=0)
+    assert net.trace("s0", "s2").hops == ("s0", "s1", "s2")
+    net.fail_switch("s1", FailureMode.COMPLETE)
+    result = net.trace("s0", "s2")
+    assert result.ok
+    assert result.hops == ("s0", "s3", "s2")
+
+
+def test_without_local_repair_dead_next_hop_drops():
+    env = Environment()
+    net = Network(env, ring(4), local_repair=False)
+    wire(net, ["s0", "s1", "s2"], "s2", 10, priority=1)
+    wire(net, ["s0", "s3", "s2"], "s2", 20, priority=0)
+    net.fail_switch("s1", FailureMode.COMPLETE)
+    assert net.trace("s0", "s2").status is PathStatus.DEAD_SWITCH
+
+
+def test_local_repair_blackhole_when_no_alternative():
+    env = Environment()
+    net = Network(env, linear(3), local_repair=True)
+    wire(net, ["s0", "s1", "s2"], "s2", 10, priority=1)
+    net.fail_switch("s1", FailureMode.COMPLETE)
+    assert net.trace("s0", "s2").status is PathStatus.DEAD_SWITCH
+    # And a switch with no matching entry at all blackholes.
+    assert net.trace("s2", "s0").status is PathStatus.BLACKHOLE
+
+
+def test_traffic_monitor_samples_and_averages():
+    env = Environment()
+    net = Network(env, linear(3))
+    wire(net, ["s0", "s1", "s2"], "s2", 10, priority=0)
+    flows = [Flow("f", "s0", "s2", 4.0)]
+    monitor = TrafficMonitor(env, net, flows, period=0.5)
+    env.run(until=4.9)
+    assert len(monitor.samples) == 10
+    assert monitor.average_total() == pytest.approx(4.0)
+    timeline = monitor.timeline()
+    assert timeline[0] == (0.0, pytest.approx(4.0))
+
+
+def test_traffic_monitor_sees_failure_window():
+    env = Environment()
+    net = Network(env, linear(3))
+    wire(net, ["s0", "s1", "s2"], "s2", 10, priority=0)
+    flows = [Flow("f", "s0", "s2", 4.0)]
+    monitor = TrafficMonitor(env, net, flows, period=0.5)
+
+    def chaos():
+        yield env.timeout(2.0)
+        net.fail_switch("s1", FailureMode.PARTIAL)
+        yield env.timeout(2.0)
+        net.recover_switch("s1")
+
+    env.process(chaos())
+    env.run(until=8)
+    assert monitor.average_total(0, 1.9) == pytest.approx(4.0)
+    assert monitor.average_total(2.1, 3.9) == pytest.approx(0.0)
+    assert monitor.average_total(4.5, 7.5) == pytest.approx(4.0)
+
+
+def test_duplicate_install_counter():
+    from repro.net import MsgKind, SwitchRequest
+
+    env = Environment()
+    net = Network(env, linear(2))
+    entry = FlowEntry(1, "d", "s1", 0)
+    for xid in (1, 2, 3):
+        net["s0"].send(SwitchRequest(MsgKind.INSTALL, "s0", xid=xid,
+                                     entry=entry))
+    env.run(until=1)
+    assert net["s0"].duplicate_installs == 2

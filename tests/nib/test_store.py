@@ -1,0 +1,161 @@
+"""Unit tests for the NIB store, watchers and write lock."""
+
+import pytest
+
+from repro.nib import Nib
+from repro.sim import Environment
+
+
+def test_table_put_get_delete():
+    env = Environment()
+    nib = Nib(env)
+    table = nib.table("switch_health")
+    table.put("s0", "up")
+    assert table.get("s0") == "up"
+    assert "s0" in table
+    table.delete("s0")
+    assert table.get("s0") is None
+    assert len(table) == 0
+
+
+def test_table_returns_same_instance():
+    env = Environment()
+    nib = Nib(env)
+    assert nib.table("x") is nib.table("x")
+    assert nib.fifo("q") is nib.fifo("q")
+    assert nib.ack_queue("a") is nib.ack_queue("a")
+
+
+def test_watchers_see_writes():
+    env = Environment()
+    nib = Nib(env)
+    table = nib.table("ops")
+    seen = []
+    table.watch(lambda write: seen.append((write.key, write.old, write.new)))
+    table.put("op1", "scheduled")
+    table.put("op1", "done")
+    table.delete("op1")
+    assert seen == [
+        ("op1", None, "scheduled"),
+        ("op1", "scheduled", "done"),
+        ("op1", "done", None),
+    ]
+
+
+def test_unwatch_stops_notifications():
+    env = Environment()
+    nib = Nib(env)
+    table = nib.table("ops")
+    seen = []
+    watcher = lambda write: seen.append(write.key)  # noqa: E731
+    table.watch(watcher)
+    table.put("a", 1)
+    table.unwatch(watcher)
+    table.put("b", 2)
+    assert seen == ["a"]
+
+
+def test_delete_missing_key_is_silent():
+    env = Environment()
+    nib = Nib(env)
+    table = nib.table("t")
+    seen = []
+    table.watch(lambda write: seen.append(write))
+    table.delete("ghost")
+    assert seen == []
+
+
+def test_write_lock_serializes():
+    env = Environment()
+    nib = Nib(env)
+    order = []
+
+    def holder():
+        yield nib.acquire_write_lock("holder")
+        order.append(("acquired", env.now))
+        yield env.timeout(5)
+        nib.release_write_lock()
+
+    def waiter():
+        yield env.timeout(1)
+        yield nib.acquire_write_lock("waiter")
+        order.append(("waiter", env.now))
+        nib.release_write_lock()
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert order == [("acquired", 0.0), ("waiter", 5.0)]
+
+
+def test_release_unheld_lock_raises():
+    env = Environment()
+    nib = Nib(env)
+    with pytest.raises(RuntimeError):
+        nib.release_write_lock()
+
+
+def test_bulk_update_cost_scales_with_entries():
+    env = Environment()
+    nib = Nib(env)
+    nib.bulk_update_cost_per_entry = 0.01
+    finished = []
+
+    def updater():
+        writes = [("routing", f"e{i}", "installed") for i in range(100)]
+        yield from nib.bulk_update(writes, owner="reconciler")
+        finished.append(env.now)
+
+    env.process(updater())
+    env.run()
+    assert finished == [pytest.approx(1.0)]
+    assert nib.table("routing").get("e5") == "installed"
+
+
+def test_bulk_update_blocks_other_writers():
+    """Reconciliation holding the lock delays event processing (Fig. 4b)."""
+    env = Environment()
+    nib = Nib(env)
+    nib.bulk_update_cost_per_entry = 0.001
+    timeline = []
+
+    def reconciler():
+        writes = [("routing", f"e{i}", "x") for i in range(1000)]
+        yield from nib.bulk_update(writes, owner="reconciler")
+        timeline.append(("reconciler-done", env.now))
+
+    def event_handler():
+        yield env.timeout(0.1)
+        yield nib.acquire_write_lock("handler")
+        nib.table("ops").put("op1", "done")
+        nib.release_write_lock()
+        timeline.append(("event-processed", env.now))
+
+    env.process(reconciler())
+    env.process(event_handler())
+    env.run()
+    assert timeline[0][0] == "reconciler-done"
+    assert timeline[1] == ("event-processed", pytest.approx(1.0))
+
+
+def test_bulk_update_none_value_deletes():
+    env = Environment()
+    nib = Nib(env)
+    nib.table("t").put("k", "v")
+
+    def updater():
+        yield from nib.bulk_update([("t", "k", None)])
+
+    env.process(updater())
+    env.run()
+    assert "k" not in nib.table("t")
+
+
+def test_snapshot_is_independent_copy():
+    env = Environment()
+    nib = Nib(env)
+    table = nib.table("t")
+    table.put("a", 1)
+    snap = table.snapshot()
+    table.put("a", 2)
+    assert snap == {"a": 1}

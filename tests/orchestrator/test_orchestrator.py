@@ -1,0 +1,147 @@
+"""Unit tests for failure injection and trace orchestration."""
+
+import pytest
+
+from repro.core import ZenithController
+from repro.net import FailureMode, Network, ring
+from repro.orchestrator import (
+    AwaitOpStatus,
+    ComponentFailureInjector,
+    Delay,
+    FailSwitch,
+    RecoverSwitch,
+    SwitchFailureInjector,
+    Trace,
+    TraceContext,
+    TraceOrchestrator,
+    failover_traces,
+    random_component_failures,
+    random_switch_failures,
+    standard_traces,
+)
+from repro.sim import Environment, RandomStreams
+
+
+def test_random_switch_failures_respect_window_and_protection():
+    streams = RandomStreams(3)
+    switches = [f"s{i}" for i in range(20)]
+    schedule = random_switch_failures(
+        switches, streams, (10.0, 60.0), count=8,
+        protected=["s0", "s1"])
+    assert len(schedule) == 8
+    assert all(event.switch not in ("s0", "s1") for event in schedule)
+    assert all(event.at >= 10.0 for event in schedule)
+    assert schedule == sorted(schedule, key=lambda e: e.at)
+
+
+def test_sequential_schedule_does_not_overlap():
+    streams = RandomStreams(5)
+    switches = [f"s{i}" for i in range(20)]
+    schedule = random_switch_failures(
+        switches, streams, (0.0, 100.0), count=6,
+        mean_downtime=2.0, concurrent=False)
+    cursor = 0.0
+    for event in schedule:
+        assert event.at >= cursor
+        downtime = event.recover_after or 0.0
+        cursor = event.at + downtime
+
+
+def test_random_failures_deterministic_per_seed():
+    def generate(seed):
+        return random_switch_failures(
+            [f"s{i}" for i in range(10)], RandomStreams(seed),
+            (0.0, 50.0), count=5)
+
+    assert generate(1) == generate(1)
+    assert generate(1) != generate(2)
+
+
+def test_switch_injector_executes_and_recovers():
+    env = Environment()
+    network = Network(env, ring(4))
+    streams = RandomStreams(0)
+    schedule = random_switch_failures(
+        ["s1", "s2"], streams, (1.0, 5.0), count=2, mean_downtime=1.0)
+    injector = SwitchFailureInjector(env, network, schedule)
+    env.run(until=30)
+    assert len(injector.executed) >= 1
+    # Everything transient recovered by now.
+    assert all(network[s].is_healthy for s in ("s1", "s2"))
+
+
+def test_component_injector_crashes_components():
+    env = Environment()
+    network = Network(env, ring(4))
+    controller = ZenithController(env, network).start()
+    schedule = random_component_failures(
+        ["worker-0", "sequencer-0"], RandomStreams(1), (1.0, 4.0), count=3)
+    injector = ComponentFailureInjector(env, controller, schedule)
+    env.run(until=10)
+    assert len(injector.executed) == 3
+    total_crashes = sum(host.crash_count
+                        for host in controller.hosts.values())
+    assert total_crashes >= 1  # same component may be down when re-hit
+
+
+def test_trace_steps_execute_in_order():
+    env = Environment()
+    network = Network(env, ring(4))
+    controller = ZenithController(env, network).start()
+    trace = Trace("test", [
+        Delay(1.0),
+        FailSwitch("s1", FailureMode.COMPLETE),
+        Delay(0.5),
+        RecoverSwitch("s1"),
+    ])
+    ctx = TraceContext(env, controller, network)
+    orchestrator = TraceOrchestrator(ctx, trace)
+    done = orchestrator.start()
+    env.run(until=done)
+    assert orchestrator.finished
+    assert orchestrator.steps_executed == 4
+    assert env.now == pytest.approx(1.5)
+    assert network["s1"].is_healthy
+
+
+def test_await_op_status_times_out_gracefully():
+    from repro.core import OpStatus
+
+    env = Environment()
+    network = Network(env, ring(4))
+    controller = ZenithController(env, network).start()
+    trace = Trace("timeout", [
+        AwaitOpStatus(999999, (OpStatus.DONE,), timeout=0.5),
+    ])
+    ctx = TraceContext(env, controller, network)
+    done = TraceOrchestrator(ctx, trace).start()
+    env.run(until=done)
+    assert env.now <= 1.0  # gave up at the timeout
+
+
+def test_standard_trace_library_shape():
+    traces = standard_traces()
+    assert len(traces) == 17
+    names = [trace.name for trace in traces]
+    assert len(set(names)) == 17
+    categories = {trace.category for trace in traces}
+    # The §C taxonomy planes are all represented.
+    assert any(c.startswith("dp-") for c in categories)
+    assert any(c.startswith("cp-") for c in categories)
+    assert {"management", "concurrent"} & categories
+
+
+def test_failover_trace_library_shape():
+    traces = failover_traces()
+    assert len(traces) == 5
+    assert all(trace.category == "failover" for trace in traces)
+
+
+def test_resolve_literal_and_callable_refs():
+    env = Environment()
+    network = Network(env, ring(4))
+    controller = ZenithController(env, network).start()
+    ctx = TraceContext(env, controller, network, bindings={"x": 42})
+    assert ctx.resolve("literal") == "literal"
+    assert ctx.resolve(7) == 7
+    assert ctx.resolve(lambda c: c.bindings["x"]) == 42

@@ -1,0 +1,115 @@
+"""Unit tests for crashable component hosting."""
+
+from repro.sim import Component, ComponentHost, Environment, HostState
+
+
+class Counter(Component):
+    """Increments a shared ledger every time unit; local count is lost
+    on crash, recovered count read from the 'NIB' (a dict here)."""
+
+    name = "counter"
+
+    def __init__(self, env, ledger):
+        super().__init__(env)
+        self.ledger = ledger
+        self.local = None
+
+    def setup(self):
+        self.local = 0
+
+    def recover(self):
+        # Read back durable state.
+        self.local = self.ledger.get("count", 0)
+        self.ledger["recoveries"] = self.ledger.get("recoveries", 0) + 1
+        yield self.env.timeout(0)
+
+    def main(self):
+        while True:
+            yield self.env.timeout(1)
+            self.local += 1
+            self.ledger["count"] = self.local
+
+
+def test_component_runs_and_updates_state():
+    env = Environment()
+    ledger = {}
+    host = ComponentHost(env, Counter(env, ledger))
+    host.start()
+    env.run(until=5.5)
+    assert ledger["count"] == 5
+    assert host.state is HostState.RUNNING
+
+
+def test_crash_loses_local_state_and_recover_restores_it():
+    env = Environment()
+    ledger = {}
+    host = ComponentHost(env, Counter(env, ledger), restart_delay=0.5)
+
+    def injector():
+        yield env.timeout(3.5)
+        host.crash()
+
+    host.start()
+    env.process(injector())
+    env.run(until=10.25)
+    # 3 increments before crash; restart at t=4.0; increments resume from
+    # the recovered value at t=5,...,10 -> 3 + 6 = 9.
+    assert ledger["count"] == 9
+    assert ledger["recoveries"] == 1
+    assert host.crash_count == 1
+    assert host.restart_count == 1
+
+
+def test_manual_restart_mode_waits_for_watchdog():
+    env = Environment()
+    ledger = {}
+    host = ComponentHost(env, Counter(env, ledger), auto_restart=False)
+
+    def injector():
+        yield env.timeout(2.5)
+        host.crash()
+        yield env.timeout(5)
+        assert host.state is HostState.DOWN
+        host.restart()
+
+    host.start()
+    env.process(injector())
+    env.run(until=9.5)
+    assert host.state is HostState.RUNNING
+    # 2 before crash, restart at 7.5, ticks at 8.5, 9.5... run stops at 9.5
+    assert ledger["count"] == 4
+
+
+def test_double_crash_while_down_is_survivable():
+    env = Environment()
+    ledger = {}
+    host = ComponentHost(env, Counter(env, ledger), auto_restart=False)
+
+    def injector():
+        yield env.timeout(1.5)
+        host.crash()
+        yield env.timeout(1)
+        host.crash()  # no-op: already down
+        host.restart()
+
+    host.start()
+    env.process(injector())
+    env.run(until=5)
+    assert host.state is HostState.RUNNING
+    assert host.crash_count == 1
+
+
+def test_stop_is_permanent():
+    env = Environment()
+    ledger = {}
+    host = ComponentHost(env, Counter(env, ledger))
+    host.start()
+
+    def stopper():
+        yield env.timeout(2.5)
+        host.stop()
+
+    env.process(stopper())
+    env.run(until=10)
+    assert host.state is HostState.STOPPED
+    assert ledger["count"] == 2

@@ -1,0 +1,248 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(5)
+        log.append(env.now)
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [5.0, 7.5]
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(100)
+
+    env.process(proc())
+    env.run(until=10)
+    assert env.now == 10.0
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3)
+        return "done"
+
+    result = env.run(until=env.process(proc()))
+    assert result == "done"
+    assert env.now == 3.0
+
+
+def test_events_fire_in_fifo_order_at_same_time():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_waits_on_event():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append((env.now, value))
+
+    def opener():
+        yield env.timeout(4)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert seen == [(4.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_failed_event_raises_in_process():
+    env = Environment()
+    caught = []
+
+    def proc():
+        try:
+            yield bomb
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    bomb = env.event()
+    env.process(proc())
+    bomb.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_interrupt_raises_at_wait_point():
+    env = Environment()
+    observed = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            observed.append((env.now, interrupt.cause))
+
+    proc = env.process(victim())
+
+    def attacker():
+        yield env.timeout(2)
+        proc.interrupt("crash")
+
+    env.process(attacker())
+    env.run()
+    assert observed == [(2.0, "crash")]
+
+
+def test_interrupt_dead_process_is_noop():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(1)
+
+    proc = env.process(victim())
+    env.run()
+    proc.interrupt("late")
+    env.run()
+    assert proc.processed
+
+
+def test_process_crash_propagates_in_strict_mode():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("bug")
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_process_crash_recorded_in_lenient_mode():
+    env = Environment()
+    env.strict = False
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("bug")
+
+    env.process(bad())
+    env.run()
+    assert len(env.crashed) == 1
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def proc():
+        t1 = env.timeout(5, value="slow")
+        t2 = env.timeout(2, value="fast")
+        fired = yield AnyOf(env, [t1, t2])
+        results.append((env.now, [e.value for e in fired.events]))
+
+    env.process(proc())
+    env.run()
+    assert results == [(2.0, ["fast"])]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    results = []
+
+    def proc():
+        t1 = env.timeout(5)
+        t2 = env.timeout(2)
+        fired = yield AllOf(env, [t1, t2])
+        results.append((env.now, len(fired)))
+
+    env.process(proc())
+    env.run()
+    assert results == [(5.0, 2)]
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def proc():
+        yield 42
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_nested_process_wait():
+    env = Environment()
+    trace = []
+
+    def child():
+        yield env.timeout(3)
+        trace.append("child")
+        return 7
+
+    def parent():
+        value = yield env.process(child())
+        trace.append(("parent", value, env.now))
+
+    env.process(parent())
+    env.run()
+    assert trace == ["child", ("parent", 7, 3.0)]
+
+
+def test_determinism_across_runs():
+    def build():
+        env = Environment()
+        order = []
+
+        def proc(tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        for tag in range(10):
+            env.process(proc(tag, (tag * 7) % 3))
+        env.run()
+        return order
+
+    assert build() == build()

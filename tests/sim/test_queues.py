@@ -1,0 +1,192 @@
+"""Unit tests for queue primitives."""
+
+import pytest
+
+from repro.sim import AckQueue, Environment, FifoQueue, Interrupt, Store
+
+
+def test_fifo_put_then_get():
+    env = Environment()
+    queue = FifoQueue(env)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield queue.get()
+            got.append(item)
+
+    queue.put(1)
+    queue.put(2)
+    queue.put(3)
+    env.process(consumer())
+    env.run()
+    assert got == [1, 2, 3]
+
+
+def test_fifo_blocking_get():
+    env = Environment()
+    queue = FifoQueue(env)
+    got = []
+
+    def consumer():
+        item = yield queue.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5)
+        queue.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(5.0, "x")]
+
+
+def test_fifo_interrupted_getter_does_not_eat_items():
+    env = Environment()
+    queue = FifoQueue(env)
+    got = []
+
+    def victim():
+        try:
+            yield queue.get()
+        except Interrupt:
+            return
+
+    def survivor():
+        item = yield queue.get()
+        got.append(item)
+
+    victim_proc = env.process(victim())
+    env.process(survivor())
+
+    def driver():
+        yield env.timeout(1)
+        victim_proc.interrupt("crash")
+        yield env.timeout(1)
+        queue.put("precious")
+
+    env.process(driver())
+    env.run()
+    assert got == ["precious"]
+
+
+def test_fifo_clear_and_len():
+    env = Environment()
+    queue = FifoQueue(env)
+    for i in range(4):
+        queue.put(i)
+    assert len(queue) == 4
+    assert queue.clear() == 4
+    assert len(queue) == 0
+
+
+def test_ack_queue_read_does_not_remove():
+    env = Environment()
+    queue = AckQueue(env)
+    queue.put("a")
+    seen = []
+
+    def consumer():
+        head = yield queue.read()
+        seen.append(head)
+        head_again = yield queue.read()
+        seen.append(head_again)
+        seen.append(queue.pop())
+
+    env.process(consumer())
+    env.run()
+    assert seen == ["a", "a", "a"]
+    assert len(queue) == 0
+
+
+def test_ack_queue_crash_between_read_and_pop_redelivers():
+    """The at-least-once property that fixes the lost-event bug class."""
+    env = Environment()
+    queue = AckQueue(env)
+    queue.put("op1")
+    processed = []
+
+    def first_attempt():
+        yield queue.read()
+        # Crash before pop: the item must remain.
+        raise Interrupt("crash")
+
+    def second_attempt():
+        yield env.timeout(1)
+        head = yield queue.read()
+        processed.append(head)
+        queue.pop()
+
+    def run_first():
+        try:
+            yield from first_attempt()
+        except Interrupt:
+            pass
+
+    env.process(run_first())
+    env.process(second_attempt())
+    env.run()
+    assert processed == ["op1"]
+
+
+def test_ack_queue_pop_empty_raises():
+    env = Environment()
+    queue = AckQueue(env)
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_ack_queue_wakes_all_peekers():
+    env = Environment()
+    queue = AckQueue(env)
+    woken = []
+
+    def peeker(tag):
+        head = yield queue.read()
+        woken.append((tag, head))
+
+    env.process(peeker("a"))
+    env.process(peeker("b"))
+
+    def producer():
+        yield env.timeout(1)
+        queue.put("item")
+
+    env.process(producer())
+    env.run()
+    assert sorted(woken) == [("a", "item"), ("b", "item")]
+
+
+def test_store_wait_for_predicate():
+    env = Environment()
+    store = Store(env, value=0)
+    seen = []
+
+    def waiter():
+        value = yield store.wait_for(lambda v: v >= 3)
+        seen.append((env.now, value))
+
+    def writer():
+        for i in range(1, 5):
+            yield env.timeout(1)
+            store.set(i)
+
+    env.process(waiter())
+    env.process(writer())
+    env.run()
+    assert seen == [(3.0, 3)]
+
+
+def test_store_immediate_satisfaction():
+    env = Environment()
+    store = Store(env, value=10)
+    seen = []
+
+    def waiter():
+        value = yield store.wait_for(lambda v: v >= 3)
+        seen.append(value)
+
+    env.process(waiter())
+    env.run()
+    assert seen == [10]

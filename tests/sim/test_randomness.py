@@ -1,0 +1,42 @@
+"""Tests for seeded random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_draws():
+    a = RandomStreams(42).child("x")
+    b = RandomStreams(42).child("x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_children_independent():
+    root = RandomStreams(42)
+    a = [root.child("a").random() for _ in range(5)]
+    root2 = RandomStreams(42)
+    # Drawing from child "b" first must not perturb child "a".
+    root2.child("b").random()
+    a2 = [root2.child("a").random() for _ in range(5)]
+    assert a == a2
+
+
+def test_child_memoised():
+    root = RandomStreams(1)
+    assert root.child("x") is root.child("x")
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).child("x").random()
+    b = RandomStreams(2).child("x").random()
+    assert a != b
+
+
+def test_draw_helpers_within_ranges():
+    stream = RandomStreams(7).child("draws")
+    for _ in range(50):
+        assert 2.0 <= stream.uniform(2.0, 3.0) <= 3.0
+        assert stream.expovariate(1.0) >= 0
+        assert stream.lognormal(5.0) > 0
+        assert 1 <= stream.randint(1, 6) <= 6
+        assert stream.choice([1, 2, 3]) in (1, 2, 3)
+    sample = stream.sample(list(range(10)), 4)
+    assert len(set(sample)) == 4

@@ -1,0 +1,36 @@
+"""Tests for the §3.6 composition: core verified with AbstractApp."""
+
+from repro.spec import check
+from repro.spec.specs import core_with_app_spec
+
+
+def test_composition_verifies_with_failures():
+    for failures in (0, 1, 2):
+        result = check(core_with_app_spec(failures=failures))
+        assert result.ok, result.violations[0].describe()
+
+
+def test_naive_transition_order_is_refuted():
+    """Fig. 5: installing the new route after deleting the old one
+    leaves a window with no route — the checker must find it."""
+    result = check(core_with_app_spec(failures=1, naive_transition=True))
+    assert not result.ok
+    violation = result.violations[0]
+    assert violation.kind == "invariant"
+    assert violation.property_name == "NeverUnrouted"
+
+
+def test_composition_guarantees_deleted_dag_state_gone():
+    """TargetInstalled ◇□ means no terminal state carries a deleted
+    DAG's route — the §3.6 guarantee apps rely on."""
+    spec = core_with_app_spec(failures=2)
+    result = check(spec)
+    assert result.ok
+    assert "TargetInstalled" in spec.eventually_always
+
+
+def test_composition_state_space_is_modest():
+    """Verifying with AbstractApp stays cheap (the §3.6 selling point)."""
+    result = check(core_with_app_spec(failures=2))
+    assert result.distinct_states < 5000
+    assert result.elapsed < 5.0

@@ -1,0 +1,159 @@
+"""Unit tests for the spec language and model checker."""
+
+import pytest
+
+from repro.spec import (
+    ModelChecker,
+    NULL,
+    Spec,
+    SpecProcess,
+    Step,
+    check,
+    fifo_get,
+    fifo_put,
+)
+
+
+def counter_spec(limit=3, invariant_cap=None):
+    def tick(ctx):
+        value = ctx.get("count")
+        ctx.block_unless(value < limit)
+        ctx.set("count", value + 1)
+        ctx.goto("tick")
+
+    invariants = {}
+    if invariant_cap is not None:
+        invariants["Cap"] = lambda view: view["count"] <= invariant_cap
+    return Spec("counter", {"count": 0},
+                [SpecProcess("ticker", [Step("tick", tick)], daemon=True)],
+                invariants=invariants,
+                eventually_always={"AtLimit": lambda v: v["count"] == limit})
+
+
+def test_explores_all_states():
+    result = check(counter_spec(3))
+    assert result.ok
+    assert result.distinct_states == 4  # counts 0..3
+    assert result.diameter == 3
+
+
+def test_invariant_violation_has_shortest_trace():
+    result = check(counter_spec(3, invariant_cap=1))
+    assert not result.ok
+    violation = result.violations[0]
+    assert violation.kind == "invariant"
+    assert violation.property_name == "Cap"
+    # <init> + 2 ticks reaches count=2 > 1.
+    assert violation.length == 3
+
+
+def test_liveness_passes_when_terminal_scc_satisfies():
+    assert check(counter_spec(3)).ok
+
+
+def test_liveness_violation_detected():
+    # The ticker wraps around, so "eventually always count==3" fails.
+    def tick(ctx):
+        ctx.set("count", (ctx.get("count") + 1) % 4)
+        ctx.goto("tick")
+
+    spec = Spec("wrap", {"count": 0},
+                [SpecProcess("ticker", [Step("tick", tick)], daemon=True)],
+                eventually_always={"Stuck3": lambda v: v["count"] == 3})
+    result = check(spec)
+    assert not result.ok
+    assert result.violations[0].kind == "liveness"
+
+
+def test_deadlock_detected_for_non_daemon():
+    def once(ctx):
+        ctx.block_unless(ctx.get("go"))
+
+    spec = Spec("stuck", {"go": False},
+                [SpecProcess("p", [Step("w", once)])])
+    result = check(spec)
+    assert not result.ok
+    assert result.violations[0].kind == "deadlock"
+
+
+def test_daemon_blocking_is_not_deadlock():
+    def once(ctx):
+        ctx.block_unless(ctx.get("go"))
+
+    spec = Spec("idle", {"go": False},
+                [SpecProcess("p", [Step("w", once)], daemon=True)])
+    assert check(spec).ok
+
+
+def test_nondeterministic_choice_forks():
+    def pick(ctx):
+        ctx.block_unless(ctx.get("picked") is NULL)
+        ctx.set("picked", ctx.choose_from(("a", "b", "c")))
+
+    spec = Spec("choices", {"picked": NULL},
+                [SpecProcess("p", [Step("pick", pick)], daemon=True)])
+    result = check(spec)
+    # init + 3 outcomes.
+    assert result.distinct_states == 4
+
+
+def test_fifo_helpers_roundtrip():
+    log = []
+
+    def producer(ctx):
+        ctx.block_unless(ctx.get("sent") < 2)
+        fifo_put(ctx, "q", ctx.get("sent"))
+        ctx.set("sent", ctx.get("sent") + 1)
+        ctx.goto("put")
+
+    def consumer(ctx):
+        item = fifo_get(ctx, "q")
+        ctx.set("received", ctx.get("received") + (item,))
+        ctx.goto("get")
+
+    spec = Spec("pipe", {"q": (), "sent": 0, "received": ()},
+                [SpecProcess("prod", [Step("put", producer)], daemon=True),
+                 SpecProcess("cons", [Step("get", consumer)], daemon=True)],
+                eventually_always={
+                    "AllReceived": lambda v: v["received"] == (0, 1)})
+    assert check(spec).ok
+
+
+def test_interleavings_explored():
+    # Two writers; final value depends on order — both must be seen.
+    def writer(tag):
+        def step(ctx):
+            ctx.block_unless(ctx.get(f"did_{tag}") is False)
+            ctx.set("last", tag)
+            ctx.set(f"did_{tag}", True)
+
+        return SpecProcess(f"w{tag}", [Step("s", step)], daemon=True)
+
+    spec = Spec("race", {"last": NULL, "did_a": False, "did_b": False},
+                [writer("a"), writer("b")])
+    seen_last = set()
+    checker = ModelChecker(spec)
+    result = checker.run()
+    # Explore manually: enumerate reachable states via a side effect.
+    # Instead assert the state count: init, a-first, b-first, both (x2
+    # orders merge to two states by final 'last' value).
+    assert result.distinct_states == 5
+
+
+def test_max_states_guard():
+    def tick(ctx):
+        ctx.set("count", ctx.get("count") + 1)
+        ctx.goto("tick")
+
+    spec = Spec("unbounded", {"count": 0},
+                [SpecProcess("t", [Step("tick", tick)], daemon=True)])
+    with pytest.raises(MemoryError):
+        ModelChecker(spec, max_states=100).run()
+
+
+def test_trace_actions_name_process_and_label():
+    result = check(counter_spec(2, invariant_cap=0))
+    violation = result.violations[0]
+    actions = [action for action, _ in violation.trace]
+    assert actions[0] == "<init>"
+    assert actions[1] == "ticker.tick"

@@ -1,0 +1,152 @@
+"""Unit tests for the specification language primitives."""
+
+import pytest
+
+from repro.spec import (
+    Blocked,
+    Ctx,
+    NULL,
+    Spec,
+    SpecProcess,
+    Step,
+    ack_pop,
+    ack_read,
+    fifo_get,
+    fifo_put,
+)
+from repro.spec.lang import FrozenRecord
+
+
+def single_step_spec(fn, globals_=None, locals_=None):
+    process = SpecProcess("p", [Step("s", fn)], locals_=locals_ or {},
+                          daemon=True)
+    return Spec("t", globals_ or {}, [process])
+
+
+def run_step(spec, fn=None, oracle=()):
+    state = spec.initial_state()
+    ctx = Ctx(spec, state, 0, list(oracle))
+    spec.processes[0].steps[0].run(ctx)
+    return ctx
+
+
+def test_get_set_globals_and_locals():
+    def step(ctx):
+        ctx.set("x", ctx.get("x") + 1)
+        ctx.lset("y", ctx.lget("y") + "!")
+
+    spec = single_step_spec(step, {"x": 1}, {"y": "a"})
+    ctx = run_step(spec)
+    successor = ctx._successor("s")
+    view = spec.view(successor)
+    assert view["x"] == 2
+    assert view.local("p", "y") == "a!"
+
+
+def test_block_unless_raises_blocked():
+    def step(ctx):
+        ctx.block_unless(False)
+
+    spec = single_step_spec(step)
+    with pytest.raises(Blocked):
+        run_step(spec)
+
+
+def test_goto_and_done_control_pc():
+    def jumper(ctx):
+        ctx.goto("elsewhere")
+
+    spec = Spec("t", {}, [SpecProcess("p", [
+        Step("s", jumper), Step("elsewhere", lambda ctx: ctx.done())],
+        daemon=True)])
+    ctx = run_step(spec)
+    state = ctx._successor("unused")
+    assert spec.view(state).pc("p") == "elsewhere"
+
+
+def test_choose_exhausts_oracle_then_raises():
+    from repro.spec import NeedChoice
+
+    def step(ctx):
+        ctx.lset("a", ctx.choose(3))
+        ctx.lset("b", ctx.choose(2))
+
+    spec = single_step_spec(step, locals_={"a": -1, "b": -1})
+    with pytest.raises(NeedChoice) as info:
+        run_step(spec, oracle=[])
+    assert info.value.arity == 3
+    ctx = run_step(spec, oracle=[2, 1])
+    state = ctx._successor("s")
+    assert spec.view(state).local("p", "a") == 2
+    assert spec.view(state).local("p", "b") == 1
+
+
+def test_reset_peer_wipes_locals_and_restarts():
+    def crash(ctx):
+        ctx.reset_peer("victim")
+
+    victim = SpecProcess("victim", [Step("s", lambda ctx: None)],
+                         locals_={"v": 0}, daemon=True)
+    crasher = SpecProcess("crasher", [Step("c", crash)], daemon=True)
+    spec = Spec("t", {}, [victim, crasher])
+    state = spec.initial_state()
+    # Mutate the victim's pc/locals first.
+    procs = list(state.procs)
+    procs[0] = ("other", (42,))
+    from repro.spec import State
+
+    state = State(state.globals_, tuple(procs))
+    ctx = Ctx(spec, state, 1, [])
+    spec.processes[1].steps[0].run(ctx)
+    successor = ctx._successor("c")
+    assert successor.procs[0] == ("s", (0,))
+
+
+def test_fifo_macros():
+    def producer(ctx):
+        fifo_put(ctx, "q", 1)
+        fifo_put(ctx, "q", 2)
+        ctx.lset("got", fifo_get(ctx, "q"))
+
+    spec = single_step_spec(producer, {"q": ()}, {"got": NULL})
+    ctx = run_step(spec)
+    state = ctx._successor("s")
+    assert spec.view(state)["q"] == (2,)
+    assert spec.view(state).local("p", "got") == 1
+
+
+def test_ack_macros_peek_then_pop():
+    def consumer(ctx):
+        ctx.lset("a", ack_read(ctx, "q"))
+        ctx.lset("b", ack_read(ctx, "q"))
+        ack_pop(ctx, "q")
+
+    spec = single_step_spec(consumer, {"q": (9, 10)}, {"a": NULL, "b": NULL})
+    ctx = run_step(spec)
+    state = ctx._successor("s")
+    assert spec.view(state).local("p", "a") == 9
+    assert spec.view(state).local("p", "b") == 9
+    assert spec.view(state)["q"] == (10,)
+
+
+def test_frozen_record_hashable_and_immutable():
+    record = FrozenRecord({"a": 1, "b": 2})
+    assert hash(record) == hash(FrozenRecord({"b": 2, "a": 1}))
+    assert record["a"] == 1
+    with pytest.raises(TypeError):
+        record["a"] = 5
+    with pytest.raises(TypeError):
+        record.update({"c": 3})
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(ValueError):
+        SpecProcess("p", [Step("x", lambda c: None),
+                          Step("x", lambda c: None)])
+
+
+def test_duplicate_process_names_rejected():
+    process = SpecProcess("p", [Step("s", lambda c: None)], daemon=True)
+    with pytest.raises(ValueError):
+        Spec("t", {}, [process, SpecProcess(
+            "p", [Step("s", lambda c: None)], daemon=True)])

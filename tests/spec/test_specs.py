@@ -1,0 +1,155 @@
+"""Verification results for the concrete specifications.
+
+These tests re-run the paper's verification campaign in miniature: the
+initial (buggy) designs are caught with counterexamples, the final
+designs verify, and the abstractions behave as claimed.
+"""
+
+import pytest
+
+from repro.spec import ModelChecker, check
+from repro.spec.specs import (
+    controller_spec,
+    drain_app_spec,
+    failover_app_spec,
+    te_app_spec,
+    worker_pool_spec,
+)
+
+
+# -- worker pool (Listing 1 vs Listing 3) ------------------------------------
+def test_buggy_worker_pool_violates_hidden_install():
+    result = check(worker_pool_spec(num_ops=1, crashes=0, fixed=False))
+    assert not result.ok
+    assert result.violations[0].property_name == "NoHiddenInstall"
+
+
+def test_buggy_worker_pool_loses_ops_on_crash():
+    spec = worker_pool_spec(num_ops=1, crashes=1, fixed=False)
+    spec.invariants.clear()  # isolate the liveness failure
+    result = check(spec)
+    assert not result.ok
+    assert result.violations[0].kind == "liveness"
+    assert result.violations[0].property_name == "AllOpsDone"
+
+
+def test_fixed_worker_pool_verifies_without_crashes():
+    assert check(worker_pool_spec(num_ops=2, crashes=0, fixed=True)).ok
+
+
+def test_fixed_worker_pool_verifies_with_crashes():
+    assert check(worker_pool_spec(num_ops=2, crashes=2, fixed=True)).ok
+
+
+# -- the controller ------------------------------------------------------------
+def test_controller_failure_free_verifies():
+    result = check(controller_spec(num_ops=2, failures=0))
+    assert result.ok
+
+
+def test_controller_single_failure_verifies():
+    result = check(controller_spec(num_ops=2, num_switches=2, failures=1))
+    assert result.ok
+    assert result.distinct_states > 1000  # a non-trivial state space
+
+
+def test_controller_chain_order_respected():
+    """CorrectDAGOrder holds for a 3-op chain without failures."""
+    result = check(controller_spec(num_ops=3, num_switches=2, failures=0))
+    assert result.ok
+
+
+def test_abstract_switch_is_smaller():
+    full = check(controller_spec(num_ops=2, failures=1))
+    abstract = check(controller_spec(num_ops=2, failures=1,
+                                     abstract_switch=True))
+    assert abstract.ok and full.ok
+    assert abstract.distinct_states < full.distinct_states
+
+
+def test_coarse_atomicity_is_much_smaller():
+    fine = check(controller_spec(num_ops=2, failures=1))
+    coarse = check(controller_spec(num_ops=2, failures=1,
+                                   coarse_atomicity=True))
+    assert coarse.ok
+    assert coarse.distinct_states < fine.distinct_states / 2
+    assert coarse.diameter < fine.diameter
+
+
+def test_symmetry_reduces_states_on_symmetric_workload():
+    spec = controller_spec(num_ops=2, edges=[], num_switches=2, failures=1)
+    assert spec.symmetry is not None
+    plain = ModelChecker(spec, symmetry=False, por=False).run()
+    reduced = ModelChecker(spec, symmetry=True, por=False).run()
+    assert plain.ok and reduced.ok
+    assert reduced.distinct_states < plain.distinct_states
+
+
+def test_symmetry_unavailable_for_asymmetric_dag():
+    spec = controller_spec(num_ops=2, num_switches=2, failures=1)  # chain
+    assert spec.symmetry is None
+
+
+def test_g_trace_buggy_recovery_order_found():
+    """The §G bug: topology updated before OP state reset."""
+    spec = controller_spec(num_ops=2, num_switches=1, failures=1,
+                           recovery_order="buggy", stale_protection=False,
+                           oneshot_sequencer=True)
+    result = check(spec)
+    assert not result.ok
+    violation = result.violations[0]
+    assert violation.kind == "liveness"
+    assert violation.property_name == "ViewMatches"
+    # The paper reports its §G trace at 64 steps on 3 switches; ours is
+    # the same class of multi-tens-of-steps interleaving.
+    assert violation.length > 20
+
+
+def test_g_trace_fixed_recovery_order_verifies():
+    spec = controller_spec(num_ops=2, num_switches=1, failures=1,
+                           recovery_order="fixed", oneshot_sequencer=True)
+    assert check(spec).ok
+
+
+def test_monolithic_variant_verifies():
+    result = check(controller_spec(num_ops=2, failures=1, decomposed=False))
+    assert result.ok
+
+
+def test_monolithic_smaller_than_decomposed():
+    mono = check(controller_spec(num_ops=2, failures=1, decomposed=False))
+    micro = check(controller_spec(num_ops=2, failures=1, decomposed=True))
+    assert mono.distinct_states < micro.distinct_states
+
+
+# -- applications (§4 / §6.3) --------------------------------------------------
+def test_drain_app_verifies_against_abstract_core():
+    result = check(drain_app_spec("abstract"))
+    assert result.ok
+
+
+def test_drain_app_full_core_much_slower():
+    abstract = check(drain_app_spec("abstract"))
+    full = check(drain_app_spec("full"))
+    assert abstract.ok and full.ok
+    # §6.3: decoupling reduces verification cost by orders of magnitude.
+    assert full.distinct_states > 100 * abstract.distinct_states
+
+
+def test_te_app_verifies():
+    assert check(te_app_spec()).ok
+
+
+def test_failover_app_verifies():
+    assert check(failover_app_spec()).ok
+
+
+def test_failover_split_brain_would_be_caught():
+    spec = failover_app_spec()
+    # Sabotage: claim two active masters is fine — the invariant itself
+    # must be the thing failing, so sabotage the *model*: activate both.
+    original = spec.invariants["NoSplitBrain"]
+    spec.invariants["NoSplitBrain"] = lambda view: sum(view["active"]) <= 0
+    result = check(spec)
+    assert not result.ok  # sanity: the checker does evaluate invariants
+    spec.invariants["NoSplitBrain"] = original

@@ -1,0 +1,21 @@
+"""End-to-end: every shipped example must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)], capture_output=True, text=True,
+        timeout=300)
+    assert result.returncode == 0, (
+        f"{example.name} failed:\n{result.stdout[-2000:]}\n"
+        f"{result.stderr[-2000:]}")
+    assert result.stdout.strip(), "examples should narrate their run"

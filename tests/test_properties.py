@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.types import Dag, DagValidationError, Op, OpType
+from repro.metrics.percentiles import percentile, summarize
+from repro.net.messages import FlowEntry
+from repro.net.topology import kdl, subgraph
+from repro.net.traffic import max_min_fair
+from repro.sim import AckQueue, Environment, FifoQueue
+from repro.workloads.dags import IdAllocator, path_dag, transition_dag
+
+# -- DAGs ---------------------------------------------------------------------
+
+
+def _install_op(op_id: int) -> Op:
+    return Op(op_id, f"s{op_id % 5}", OpType.INSTALL,
+              entry=FlowEntry(op_id, "d", "s0", 0))
+
+
+@st.composite
+def dags(draw):
+    """Random DAGs: forward edges over 1..n guarantee acyclicity."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    ops = [_install_op(i) for i in range(1, n + 1)]
+    edges = draw(st.lists(
+        st.tuples(st.integers(1, n), st.integers(1, n)).filter(
+            lambda e: e[0] < e[1]),
+        max_size=3 * n, unique=True))
+    return Dag(draw(st.integers(1, 10**6)), ops, edges)
+
+
+@given(dags())
+def test_topological_order_respects_edges(dag):
+    order = dag.topological_order()
+    assert sorted(order) == sorted(dag.ops)
+    position = {op_id: i for i, op_id in enumerate(order)}
+    for pred, succ in dag.edges:
+        assert position[pred] < position[succ]
+
+
+@given(dags())
+def test_roots_and_leaves_consistent(dag):
+    roots, leaves = set(dag.roots()), set(dag.leaves())
+    for op_id in dag.ops:
+        assert (op_id in roots) == (not dag.predecessors(op_id))
+        assert (op_id in leaves) == (not dag.successors(op_id))
+    assert roots and leaves  # a finite DAG always has both
+
+
+@given(dags())
+def test_predecessors_successors_are_inverse(dag):
+    for pred, succ in dag.edges:
+        assert pred in dag.predecessors(succ)
+        assert succ in dag.successors(pred)
+
+
+@given(st.integers(min_value=2, max_value=8))
+def test_cycles_rejected(n):
+    ops = [_install_op(i) for i in range(1, n + 1)]
+    cycle = [(i, i + 1) for i in range(1, n)] + [(n, 1)]
+    try:
+        Dag(1, ops, cycle)
+        raise AssertionError("cycle accepted")
+    except DagValidationError:
+        pass
+
+
+# -- max-min fairness -------------------------------------------------------------
+@st.composite
+def traffic_instances(draw):
+    num_links = draw(st.integers(1, 5))
+    nodes = [f"n{i}" for i in range(num_links + 1)]
+    capacity = draw(st.floats(1.0, 100.0))
+    num_flows = draw(st.integers(1, 6))
+    paths, demands = {}, {}
+    for f in range(num_flows):
+        start = draw(st.integers(0, num_links - 1))
+        end = draw(st.integers(start + 1, num_links))
+        paths[f"f{f}"] = nodes[start:end + 1]
+        demands[f"f{f}"] = draw(st.floats(0.1, 200.0))
+    return paths, demands, capacity
+
+
+@given(traffic_instances())
+def test_max_min_fair_respects_demands_and_capacities(instance):
+    paths, demands, capacity = instance
+    rates = max_min_fair(paths, demands, lambda a, b: capacity)
+    for name, rate in rates.items():
+        assert rate <= demands[name] + 1e-6
+        assert rate >= -1e-9
+    # No link over capacity.
+    load = {}
+    for name, hops in paths.items():
+        for a, b in zip(hops, hops[1:]):
+            key = tuple(sorted((a, b)))
+            load[key] = load.get(key, 0.0) + rates[name]
+    for key, used in load.items():
+        assert used <= capacity + 1e-6
+
+
+@given(traffic_instances())
+def test_max_min_fair_is_maximal(instance):
+    """No flow can be increased without violating a constraint."""
+    paths, demands, capacity = instance
+    rates = max_min_fair(paths, demands, lambda a, b: capacity)
+    load = {}
+    for name, hops in paths.items():
+        for a, b in zip(hops, hops[1:]):
+            key = tuple(sorted((a, b)))
+            load[key] = load.get(key, 0.0) + rates[name]
+    for name, hops in paths.items():
+        if rates[name] >= demands[name] - 1e-6:
+            continue  # demand-limited
+        # Must be limited by some saturated link on its path.
+        saturated = any(
+            load[tuple(sorted((a, b)))] >= capacity - 1e-6
+            for a, b in zip(hops, hops[1:]))
+        assert saturated, f"{name} could be increased"
+
+
+# -- percentiles --------------------------------------------------------------------
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+       st.floats(0, 100))
+def test_percentile_within_bounds(values, q):
+    result = percentile(values, q)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+def test_percentile_monotone_in_q(values):
+    qs = [0, 25, 50, 75, 99, 100]
+    results = [percentile(values, q) for q in qs]
+    assert all(a <= b + 1e-9 for a, b in zip(results, results[1:]))
+
+
+@given(st.lists(st.floats(0, 1e6, allow_subnormal=False),
+                min_size=1, max_size=50))
+def test_summarize_consistent(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.p50 <= summary.maximum
+    # Floating-point summation may round the mean a hair outside.
+    tolerance = 1e-9 * max(abs(summary.maximum), 1.0)
+    assert summary.minimum - tolerance <= summary.mean \
+        <= summary.maximum + tolerance
+    assert summary.count == len(values)
+
+
+# -- topology generators -----------------------------------------------------------------
+@given(st.integers(5, 120), st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_kdl_always_connected_and_sparse(n, seed):
+    topo = kdl(n, seed=seed)
+    assert len(topo) == n
+    assert topo.is_connected()
+    assert n - 1 <= len(topo.links) <= 2 * n
+
+
+@given(st.integers(10, 60), st.integers(2, 10), st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_subgraph_connected(n, k, seed):
+    base = kdl(n, seed=seed)
+    sub = subgraph(base, min(k, n), seed=seed)
+    assert sub.is_connected()
+    assert len(sub) == min(k, n)
+
+
+# -- workload builders ----------------------------------------------------------------------
+@given(st.integers(2, 10))
+def test_path_dag_orders_destination_first(length):
+    alloc = IdAllocator()
+    path = [f"s{i}" for i in range(length)]
+    dag = path_dag(alloc, path)
+    assert len(dag) == length - 1
+    order = dag.topological_order()
+    # The op closest to the destination must come first.
+    switches_in_order = [dag.ops[op_id].switch for op_id in order]
+    assert switches_in_order == [f"s{i}" for i in
+                                 range(length - 2, -1, -1)]
+
+
+@given(st.integers(2, 6), st.integers(2, 6))
+def test_transition_dag_deletes_after_installs(old_len, new_len):
+    alloc = IdAllocator()
+    old = path_dag(alloc, [f"s{i}" for i in range(old_len)])
+    new = transition_dag(alloc, [[f"s{i}" for i in range(new_len)]],
+                         list(old.ops.values()), priority=1)
+    installs = [op_id for op_id, op in new.ops.items()
+                if op.op_type is OpType.INSTALL]
+    deletes = [op_id for op_id, op in new.ops.items()
+               if op.op_type is OpType.DELETE]
+    assert len(deletes) == old_len - 1
+    order = {op_id: i for i, op_id in enumerate(new.topological_order())}
+    for delete in deletes:
+        assert all(order[install] < order[delete] for install in installs)
+    # Every old entry is covered by a deletion.
+    old_entries = {op.entry.entry_id for op in old.ops.values()}
+    deleted = {new.ops[d].entry_id for d in deletes}
+    assert deleted == old_entries
+
+
+# -- queues ------------------------------------------------------------------------------------
+@given(st.lists(st.integers(), min_size=1, max_size=30))
+@settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_fifo_preserves_order(items):
+    env = Environment()
+    queue = FifoQueue(env)
+    received = []
+
+    def consumer():
+        for _ in items:
+            value = yield queue.get()
+            received.append(value)
+
+    for item in items:
+        queue.put(item)
+    env.process(consumer())
+    env.run()
+    assert received == items
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=30))
+def test_ack_queue_read_pop_preserves_order(items):
+    env = Environment()
+    queue = AckQueue(env)
+    received = []
+
+    def consumer():
+        for _ in items:
+            head = yield queue.read()
+            received.append(head)
+            queue.pop()
+
+    for item in items:
+        queue.put(item)
+    env.process(consumer())
+    env.run()
+    assert received == items
