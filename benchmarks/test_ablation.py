@@ -5,9 +5,10 @@ entries, duplicate installs) at runtime, and the specification-level
 ablations are refuted by the checker while the final spec verifies.
 """
 
+import pytest
 from conftest import report
 
-from repro.experiments.ablation import run
+from repro.experiments.ablation import _STATIC_VARIANTS, run
 
 
 def test_ablation(benchmark):
@@ -15,3 +16,25 @@ def test_ablation(benchmark):
     result = benchmark.pedantic(run, kwargs={"quick": True, "seed": 0},
                                 rounds=1, iterations=1)
     report(result)
+
+
+@pytest.mark.parametrize("variant", sorted(_STATIC_VARIANTS))
+def test_static_and_dynamic_verdicts_agree(variant):
+    """Speclint and the checker agree on every re-broken variant.
+
+    A statically clean variant must verify; a statically flagged one
+    must be dynamically refuted — or, for the forged POR hint, be
+    refused outright by the checker before exploration.
+    """
+    from repro.analysis import analyze_spec
+    from repro.spec.checker import UnsoundPORHintError, check
+
+    factory, expected_clean = _STATIC_VARIANTS[variant]
+    static_clean = not analyze_spec(factory()).findings
+    assert static_clean == expected_clean
+
+    try:
+        dynamic_ok = check(factory()).ok
+    except UnsoundPORHintError:
+        dynamic_ok = False
+    assert dynamic_ok == static_clean

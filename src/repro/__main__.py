@@ -1,6 +1,8 @@
 """Command-line entry point: ``python -m repro <experiment> [--full]``."""
 
+import sys
+
 from .cli import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

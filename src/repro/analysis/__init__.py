@@ -1,0 +1,98 @@
+"""Static analysis ("speclint") for specs and NADIR programs.
+
+The model checker's §3.7 optimizations and the paper's P1/P3 proof
+arguments rest on meta-level assumptions about the artifacts being
+checked: ample-set hints must really be local, ack queues must follow
+the peek-then-pop discipline, and shared state must not be acted on
+across atomic-step boundaries without re-validation (§3.9).  This
+package checks those assumptions *about* the specification rather than
+properties *of* its executions:
+
+* :func:`analyze_spec` — effect inference over a bounded reachable
+  frontier (:mod:`repro.analysis.effects`) feeding the lint pass
+  pipeline (:mod:`repro.analysis.rules`);
+* :func:`analyze_program` — the same rule classes computed purely
+  statically over a NADIR AST (:mod:`repro.analysis.nadir_rules`);
+* :func:`verify_por_hints` — the subset the checker itself calls to
+  reject unsound ``local=True`` hints before exploration.
+"""
+
+from __future__ import annotations
+
+from ..nadir.ast_nodes import Program
+from ..spec.lang import Spec
+from .effects import EffectCtx, EffectReport, StepEffect, infer_effects
+from .nadir_rules import analyze_program
+from .report import (
+    ACK_READ_WITHOUT_POP,
+    ALL_RULES,
+    ATOMICITY_RACE,
+    DESTRUCTIVE_GET_ON_ACK_QUEUE,
+    ERROR,
+    GOTO_UNDEFINED_LABEL,
+    NONDAEMON_NO_TERMINATION,
+    POP_WITHOUT_PEEK,
+    POR_UNSOUND_LOCAL,
+    UNDECLARED_VARIABLE,
+    UNREACHABLE_LABEL,
+    UNUSED_VARIABLE,
+    WARNING,
+    AnalysisResult,
+    Finding,
+    render_json,
+    render_text,
+)
+from .rules import SPEC_PASSES, check_por_soundness, run_spec_passes
+
+__all__ = [
+    "analyze_spec",
+    "analyze_program",
+    "verify_por_hints",
+    "infer_effects",
+    "EffectCtx",
+    "EffectReport",
+    "StepEffect",
+    "AnalysisResult",
+    "Finding",
+    "render_text",
+    "render_json",
+    "ERROR",
+    "WARNING",
+    "ALL_RULES",
+    "POR_UNSOUND_LOCAL",
+    "ACK_READ_WITHOUT_POP",
+    "POP_WITHOUT_PEEK",
+    "DESTRUCTIVE_GET_ON_ACK_QUEUE",
+    "ATOMICITY_RACE",
+    "GOTO_UNDEFINED_LABEL",
+    "UNREACHABLE_LABEL",
+    "NONDAEMON_NO_TERMINATION",
+    "UNDECLARED_VARIABLE",
+    "UNUSED_VARIABLE",
+    "SPEC_PASSES",
+]
+
+
+def analyze_spec(spec: Spec, max_states: int = 4000) -> AnalysisResult:
+    """Infer effects for a spec and run the full lint pass pipeline."""
+    report = infer_effects(spec, max_states=max_states)
+    return AnalysisResult(
+        target=spec.name,
+        findings=run_spec_passes(report),
+        complete=report.complete,
+        states_explored=report.states_explored,
+    )
+
+
+def verify_por_hints(spec: Spec, max_states: int = 4000) -> list:
+    """Findings for unsound ``local=True`` ample-set hints only.
+
+    Called by :class:`repro.spec.checker.ModelChecker` before it trusts
+    the hints: POR with an unsound hint silently drops interleavings,
+    so the hints must be validated against observed effects first.
+    """
+    if not any(step.local for process in spec.processes
+               for step in process.steps):
+        return []
+    report = infer_effects(spec, max_states=max_states)
+    return check_por_soundness(report)

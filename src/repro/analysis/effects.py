@@ -1,0 +1,339 @@
+"""Effect inference for specifications.
+
+Step functions are opaque Python callables, so their effects cannot be
+read off an AST.  Instead they are *observed*: an :class:`EffectCtx`
+(a recording shim over :class:`repro.spec.lang.Ctx`) is driven through
+every labeled step over a bounded frontier of reachable states —
+exactly the checker's successor computation, minus the reductions the
+analyzer is there to validate.  Each (process, label) accumulates a
+:class:`StepEffect`: globals read/written, locals touched, queue
+macro operations (ordered, per queue), choice arities, blocking,
+observed goto targets and successor labels.
+
+Observed effects are *definite*: if a label was ever seen writing a
+global, it writes that global on some reachable execution.  Absence is
+definite only when the exploration completed (``EffectReport.complete``);
+rules that reason from absence must check that flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..spec.lang import (
+    Blocked,
+    Ctx,
+    NeedChoice,
+    QueueDisciplineError,
+    Spec,
+    SpecView,
+    State,
+)
+
+__all__ = ["EffectCtx", "StepEffect", "EffectReport", "infer_effects"]
+
+
+class UndeclaredVariable(Exception):
+    """A step touched a variable the spec does not declare."""
+
+    def __init__(self, scope: str, name: str):
+        super().__init__(f"undeclared {scope} variable {name!r}")
+        self.scope = scope
+        self.name = name
+
+
+@dataclass
+class StepEffect:
+    """Accumulated observations for one (process, label) step."""
+
+    process: str
+    label: str
+    global_reads: set = field(default_factory=set)
+    global_writes: set = field(default_factory=set)
+    local_reads: set = field(default_factory=set)
+    local_writes: set = field(default_factory=set)
+    #: Distinct ordered queue-op sequences observed on completed runs,
+    #: e.g. {(("ack_read", "q"), ("ack_pop", "q"))}.
+    queue_sequences: set = field(default_factory=set)
+    choice_arities: set = field(default_factory=set)
+    resets: set = field(default_factory=set)
+    goto_targets: set = field(default_factory=set)
+    #: Successor labels actually taken (None = process terminated).
+    next_labels: set = field(default_factory=set)
+    blocked: bool = False
+    executed: bool = False
+    undeclared: set = field(default_factory=set)  # (scope, name)
+
+    @property
+    def queue_ops(self) -> set:
+        """Flattened set of (kind, queue) pairs ever observed."""
+        return {op for seq in self.queue_sequences for op in seq}
+
+    def queues(self, *kinds: str) -> set:
+        """Queues touched by any of the given op kinds."""
+        return {queue for kind, queue in self.queue_ops if kind in kinds}
+
+    @property
+    def is_local(self) -> bool:
+        """Does the observed behaviour satisfy the ample-set contract?
+
+        A POR-local step must commute with every step of every other
+        process *and* preserve their enabledness: no global reads or
+        writes (queue macros included), no peer resets, no blocking
+        guard, no nondeterministic choice.
+        """
+        return not (self.global_reads or self.global_writes
+                    or self.queue_ops or self.resets
+                    or self.blocked or self.choice_arities
+                    or self.undeclared)
+
+    def merge_run(self, ctx: "EffectCtx", completed: bool) -> None:
+        """Fold one execution attempt's recording into the aggregate."""
+        self.global_reads |= ctx.rec_global_reads
+        self.global_writes |= ctx.rec_global_writes
+        self.local_reads |= ctx.rec_local_reads
+        self.local_writes |= ctx.rec_local_writes
+        self.choice_arities |= ctx.rec_choices
+        self.resets |= ctx.rec_resets
+        self.goto_targets |= ctx.rec_gotos
+        self.undeclared |= ctx.rec_undeclared
+        if completed:
+            self.executed = True
+            self.queue_sequences.add(tuple(ctx.rec_queue_ops))
+
+
+class EffectCtx(Ctx):
+    """A Ctx that records every observable effect of a step run."""
+
+    def __init__(self, spec: Spec, state: State, proc_index: int, oracle):
+        super().__init__(spec, state, proc_index, oracle)
+        self.rec_global_reads: set = set()
+        self.rec_global_writes: set = set()
+        self.rec_local_reads: set = set()
+        self.rec_local_writes: set = set()
+        self.rec_queue_ops: list = []
+        self.rec_choices: set = set()
+        self.rec_resets: set = set()
+        self.rec_gotos: set = set()
+        self.rec_undeclared: set = set()
+        self.rec_blocked = False
+
+    # -- variables -------------------------------------------------------------
+    def get(self, name):
+        if name not in self.spec.global_index:
+            self.rec_undeclared.add(("global", name))
+            raise UndeclaredVariable("global", name)
+        self.rec_global_reads.add(name)
+        return super().get(name)
+
+    def set(self, name, value):
+        if name not in self.spec.global_index:
+            self.rec_undeclared.add(("global", name))
+            raise UndeclaredVariable("global", name)
+        self.rec_global_writes.add(name)
+        super().set(name, value)
+
+    def lget(self, name):
+        process = self.spec.processes[self.proc_index]
+        if name not in process.local_index:
+            self.rec_undeclared.add(("local", name))
+            raise UndeclaredVariable("local", name)
+        self.rec_local_reads.add(name)
+        return super().lget(name)
+
+    def lset(self, name, value):
+        process = self.spec.processes[self.proc_index]
+        if name not in process.local_index:
+            self.rec_undeclared.add(("local", name))
+            raise UndeclaredVariable("local", name)
+        self.rec_local_writes.add(name)
+        super().lset(name, value)
+
+    def peer_pc(self, process_name):
+        # Another process's pc is shared state for commutation purposes.
+        self.rec_global_reads.add(f"<pc:{process_name}>")
+        return super().peer_pc(process_name)
+
+    def reset_peer(self, process_name, pc=None):
+        index = self.spec.process_index[process_name]
+        target_pc = pc if pc is not None else self.spec.processes[index].start
+        self.rec_resets.add((process_name, target_pc))
+        super().reset_peer(process_name, pc)
+
+    # -- control flow ---------------------------------------------------------------
+    def goto(self, label):
+        self.rec_gotos.add(label)
+        super().goto(label)
+
+    def done(self):
+        self.rec_gotos.add(None)
+        super().done()
+
+    def block_unless(self, condition):
+        if not condition:
+            self.rec_blocked = True
+        super().block_unless(condition)
+
+    # -- nondeterminism ----------------------------------------------------------------
+    def choose(self, arity):
+        self.rec_choices.add(arity)
+        return super().choose(arity)
+
+    # -- queue macros -----------------------------------------------------------------
+    def _on_queue_op(self, kind, queue):
+        self.rec_queue_ops.append((kind, queue))
+
+
+class RecordingView(SpecView):
+    """A SpecView that records which variables a property reads."""
+
+    def __init__(self, spec: Spec, state: State):
+        super().__init__(spec, state)
+        self.rec_global_reads: set = set()
+        self.rec_local_reads: set = set()
+
+    def __getitem__(self, name):
+        self.rec_global_reads.add(name)
+        return super().__getitem__(name)
+
+    def local(self, process, name):
+        self.rec_local_reads.add((process, name))
+        return super().local(process, name)
+
+
+@dataclass
+class EffectReport:
+    """The result of effect inference over one spec."""
+
+    spec: Spec
+    #: (process name, label) -> StepEffect
+    effects: dict
+    #: process name -> {label -> set of successor labels (None = done)}
+    cfg: dict
+    #: process name -> labels observed as a pc in some reachable state
+    reachable_labels: dict
+    #: process name -> True if a reachable state had pc None
+    terminates: dict
+    #: Globals read by any invariant/liveness property over the sample.
+    property_reads: set
+    #: (process, local) pairs read by properties.
+    property_local_reads: set
+    complete: bool
+    states_explored: int
+
+    def effect(self, process: str, label: str) -> StepEffect:
+        return self.effects[(process, label)]
+
+    def process_effects(self, process: str):
+        """All StepEffects of one process, in declaration order."""
+        proc = self.spec.processes[self.spec.process_index[process]]
+        return [self.effects[(process, step.label)] for step in proc.steps]
+
+    def ack_queues(self) -> frozenset:
+        """Declared ack queues plus those observed under ack macros."""
+        observed = set(self.spec.ack_queues)
+        for effect in self.effects.values():
+            observed |= effect.queues("ack_read", "ack_pop")
+        return frozenset(observed)
+
+
+def infer_effects(spec: Spec, max_states: int = 4000,
+                  property_samples: int = 200) -> EffectReport:
+    """Exhaustively execute every step over a bounded reachable frontier.
+
+    Explores the raw interleaving semantics (no symmetry, no POR — the
+    reductions are what the analyzer validates) breadth-first until the
+    space is exhausted or ``max_states`` distinct states were expanded.
+    """
+    effects = {(process.name, step.label): StepEffect(process.name, step.label)
+               for process in spec.processes for step in process.steps}
+    cfg: dict = {process.name: {step.label: set() for step in process.steps}
+                 for process in spec.processes}
+    reachable: dict = {process.name: set() for process in spec.processes}
+    terminates: dict = {process.name: False for process in spec.processes}
+
+    init = spec.initial_state()
+    seen = {init}
+    frontier = [init]
+    states = [init]
+    complete = True
+
+    while frontier:
+        state = frontier.pop()
+        for proc_index, process in enumerate(spec.processes):
+            pc = state.procs[proc_index][0]
+            if pc is None:
+                terminates[process.name] = True
+                continue
+            reachable[process.name].add(pc)
+            step = process.step_by_label.get(pc)
+            if step is None:
+                # A goto jumped to a label the process does not define;
+                # recorded via goto_targets, nothing to execute.
+                continue
+            effect = effects[(process.name, pc)]
+            default_next = process.default_next(pc)
+            stack: list = [[]]
+            while stack:
+                oracle = stack.pop()
+                ctx = EffectCtx(spec, state, proc_index, oracle)
+                try:
+                    step.run(ctx)
+                except Blocked:
+                    # Whether via block_unless or an empty choose, the
+                    # step refused to run — it has a blocking guard.
+                    effect.blocked = True
+                    effect.merge_run(ctx, completed=False)
+                    continue
+                except NeedChoice as need:
+                    effect.merge_run(ctx, completed=False)
+                    for i in range(need.arity):
+                        stack.append(oracle + [i])
+                    continue
+                except UndeclaredVariable:
+                    effect.merge_run(ctx, completed=False)
+                    continue
+                except QueueDisciplineError:
+                    # A strict ack_pop fired at inference time (pop on
+                    # an empty queue): the run dies, but the op trace up
+                    # to the fault is real evidence for the dataflow.
+                    effect.merge_run(ctx, completed=False)
+                    effect.queue_sequences.add(tuple(ctx.rec_queue_ops))
+                    continue
+                effect.merge_run(ctx, completed=True)
+                successor = ctx._successor(default_next)
+                next_pc = successor.procs[proc_index][0]
+                effect.next_labels.add(next_pc)
+                cfg[process.name][pc].add(next_pc)
+                if successor not in seen:
+                    if len(seen) >= max_states:
+                        complete = False
+                        continue
+                    seen.add(successor)
+                    states.append(successor)
+                    frontier.append(successor)
+
+    property_reads: set = set()
+    property_local_reads: set = set()
+    properties = list(spec.invariants.values())
+    properties += list(spec.eventually_always.values())
+    if properties:
+        stride = max(1, len(states) // max(1, property_samples))
+        for state in states[::stride]:
+            for predicate in properties:
+                view = RecordingView(spec, state)
+                try:
+                    predicate(view)
+                except Exception:
+                    # Property evaluation may legitimately fail on
+                    # partially explored states; reads still count.
+                    pass
+                property_reads |= view.rec_global_reads
+                property_local_reads |= view.rec_local_reads
+
+    return EffectReport(spec=spec, effects=effects, cfg=cfg,
+                        reachable_labels=reachable, terminates=terminates,
+                        property_reads=property_reads,
+                        property_local_reads=property_local_reads,
+                        complete=complete, states_explored=len(seen))

@@ -1,0 +1,378 @@
+"""Static analysis of NADIR programs (AST-level "speclint").
+
+NADIR :class:`~repro.nadir.ast_nodes.Program`s are real ASTs, so the
+same rule classes the effect-inference passes apply to opaque Python
+specs can here be computed purely statically — and run *before*
+``codegen`` emits deployable components, vetting the artifact that
+ships.  Block effects (reads, writes, queue-op sequences per path,
+successors) are derived by walking statements; the rule logic mirrors
+:mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..nadir.ast_nodes import (
+    AckPopStmt,
+    AckReadStmt,
+    AwaitStmt,
+    CallStmt,
+    Const,
+    DoneStmt,
+    Expr,
+    FifoGetStmt,
+    FifoPutStmt,
+    Global,
+    GotoStmt,
+    HelperCall,
+    IfStmt,
+    LabeledBlock,
+    LocalVar,
+    Prim,
+    ProcessDef,
+    Program,
+    SetGlobal,
+    SetLocal,
+    SkipStmt,
+)
+from . import report as R
+from .rules import _inevitable, _reachability
+
+__all__ = ["analyze_program", "block_effects"]
+
+#: Sentinel successor for process termination.
+_DONE = None
+
+
+@dataclass
+class BlockEffect:
+    """Statically derived effects of one labeled block."""
+
+    process: str
+    label: str
+    global_reads: set = field(default_factory=set)
+    global_writes: set = field(default_factory=set)
+    local_reads: set = field(default_factory=set)
+    local_writes: set = field(default_factory=set)
+    #: One ordered queue-op tuple per static path through the block.
+    queue_sequences: set = field(default_factory=set)
+    blocking: bool = False
+    goto_targets: set = field(default_factory=set)
+    #: Successor labels: goto targets taken, None for done, or the
+    #: program-order fallthrough for paths without a jump.
+    next_labels: set = field(default_factory=set)
+    has_done: bool = False
+
+    @property
+    def queue_ops(self) -> set:
+        return {op for seq in self.queue_sequences for op in seq}
+
+    def queues(self, *kinds: str) -> set:
+        return {q for kind, q in self.queue_ops if kind in kinds}
+
+
+def _expr_reads(expr: Expr, reads: set, local_reads: set) -> None:
+    if isinstance(expr, Const):
+        return
+    if isinstance(expr, Global):
+        reads.add(expr.name)
+        return
+    if isinstance(expr, LocalVar):
+        local_reads.add(expr.name)
+        return
+    if isinstance(expr, (Prim, HelperCall)):
+        for arg in expr.args:
+            _expr_reads(arg, reads, local_reads)
+        return
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _walk(stmts, effect: BlockEffect, paths: list) -> list:
+    """Fold statements into ``effect``; thread per-path op sequences.
+
+    ``paths`` is a list of (ops, jump) pairs for the statement prefix;
+    a ``jump`` other than the sentinel ``"fall"`` ends the path.
+    """
+    for stmt in stmts:
+        live = [(ops, jump) for ops, jump in paths if jump == "fall"]
+        ended = [(ops, jump) for ops, jump in paths if jump != "fall"]
+        if isinstance(stmt, SkipStmt):
+            continue
+        if isinstance(stmt, (SetGlobal, SetLocal, CallStmt, AwaitStmt,
+                             FifoPutStmt)):
+            if isinstance(stmt, SetGlobal):
+                effect.global_writes.add(stmt.name)
+                _expr_reads(stmt.value, effect.global_reads,
+                            effect.local_reads)
+            elif isinstance(stmt, SetLocal):
+                effect.local_writes.add(stmt.name)
+                _expr_reads(stmt.value, effect.global_reads,
+                            effect.local_reads)
+            elif isinstance(stmt, CallStmt):
+                _expr_reads(stmt.call, effect.global_reads,
+                            effect.local_reads)
+            elif isinstance(stmt, AwaitStmt):
+                effect.blocking = True
+                _expr_reads(stmt.condition, effect.global_reads,
+                            effect.local_reads)
+            else:  # FifoPutStmt
+                effect.global_reads.add(stmt.queue)
+                effect.global_writes.add(stmt.queue)
+                _expr_reads(stmt.value, effect.global_reads,
+                            effect.local_reads)
+                live = [(ops + (("fifo_put", stmt.queue),), jump)
+                        for ops, jump in live]
+            paths = ended + live
+            continue
+        if isinstance(stmt, FifoGetStmt):
+            effect.blocking = True
+            effect.global_reads.add(stmt.queue)
+            effect.global_writes.add(stmt.queue)
+            effect.local_writes.add(stmt.target)
+            paths = ended + [(ops + (("fifo_get", stmt.queue),), jump)
+                             for ops, jump in live]
+            continue
+        if isinstance(stmt, AckReadStmt):
+            effect.blocking = True
+            effect.global_reads.add(stmt.queue)
+            effect.local_writes.add(stmt.target)
+            paths = ended + [(ops + (("ack_read", stmt.queue),), jump)
+                             for ops, jump in live]
+            continue
+        if isinstance(stmt, AckPopStmt):
+            effect.global_reads.add(stmt.queue)
+            effect.global_writes.add(stmt.queue)
+            paths = ended + [(ops + (("ack_pop", stmt.queue),), jump)
+                             for ops, jump in live]
+            continue
+        if isinstance(stmt, GotoStmt):
+            effect.goto_targets.add(stmt.label)
+            paths = ended + [(ops, stmt.label) for ops, _ in live]
+            continue
+        if isinstance(stmt, DoneStmt):
+            effect.has_done = True
+            paths = ended + [(ops, _DONE) for ops, _ in live]
+            continue
+        if isinstance(stmt, IfStmt):
+            _expr_reads(stmt.condition, effect.global_reads,
+                        effect.local_reads)
+            then_paths = _walk(stmt.then, effect, list(live))
+            else_paths = _walk(stmt.orelse, effect, list(live))
+            paths = ended + then_paths + else_paths
+            continue
+        raise TypeError(f"unknown statement {stmt!r}")
+    return paths
+
+
+def block_effects(process: ProcessDef, block: LabeledBlock,
+                  default_next) -> BlockEffect:
+    """Derive one block's static effects."""
+    effect = BlockEffect(process.name, block.label)
+    paths = _walk(block.body, effect, [((), "fall")])
+    for ops, jump in paths:
+        effect.queue_sequences.add(ops)
+        effect.next_labels.add(default_next if jump == "fall" else jump)
+    return effect
+
+
+def _program_cfgs(program: Program):
+    """Per-process: effects by label + successor graph."""
+    per_process = {}
+    for process in program.processes:
+        labels = [block.label for block in process.blocks]
+        effects = {}
+        cfg = {}
+        for index, block in enumerate(process.blocks):
+            default_next = (labels[index + 1]
+                            if index + 1 < len(labels) else _DONE)
+            effect = block_effects(process, block, default_next)
+            effects[block.label] = effect
+            cfg[block.label] = set(effect.next_labels)
+        per_process[process.name] = (process, effects, cfg)
+    return per_process
+
+
+def analyze_program(program: Program) -> R.AnalysisResult:
+    """Run every static rule class over a NADIR program."""
+    result = R.AnalysisResult(target=program.name)
+    findings = result.findings
+    per_process = _program_cfgs(program)
+    ack_queues = frozenset(program.ack_queues)
+
+    global_readers: set = set()
+    writers_of: dict = {}
+    for name, (process, effects, cfg) in per_process.items():
+        for effect in effects.values():
+            global_readers |= effect.global_reads
+            for g in effect.global_writes:
+                writers_of.setdefault(g, set()).add(name)
+
+    for name, (process, effects, cfg) in per_process.items():
+        labels = set(effects)
+        declared_locals = set(process.locals_)
+        reachable = _reachability(cfg)
+        start = process.blocks[0].label
+        live_labels = {start} | reachable.get(start, set())
+
+        for label, effect in effects.items():
+            # POR hints (interp honours ProcessDef.local_labels).
+            if label in process.local_labels and (
+                    effect.global_reads or effect.global_writes
+                    or effect.queue_ops or effect.blocking):
+                findings.append(R.Finding(
+                    R.POR_UNSOUND_LOCAL, R.ERROR, program.name, name,
+                    label,
+                    "hinted local (ample-set) but touches globals "
+                    f"{sorted(effect.global_reads | effect.global_writes)}"
+                    " — the checker would skip real interleavings"))
+            # goto targets.
+            for target in sorted(t for t in effect.goto_targets
+                                 if t not in labels):
+                findings.append(R.Finding(
+                    R.GOTO_UNDEFINED_LABEL, R.ERROR, program.name, name,
+                    label, f"goto targets undefined label {target!r}"))
+            # declarations.
+            for g in sorted(effect.global_reads | effect.global_writes):
+                if g not in program.globals_:
+                    findings.append(R.Finding(
+                        R.UNDECLARED_VARIABLE, R.ERROR, program.name,
+                        name, label,
+                        f"accesses undeclared global {g!r}"))
+            for local in sorted(effect.local_reads | effect.local_writes):
+                if local not in declared_locals:
+                    findings.append(R.Finding(
+                        R.UNDECLARED_VARIABLE, R.ERROR, program.name,
+                        name, label,
+                        f"accesses undeclared local {local!r}"))
+            # queue discipline: destructive get on an ack queue.
+            for queue in sorted(effect.queues("fifo_get") & ack_queues):
+                findings.append(R.Finding(
+                    R.DESTRUCTIVE_GET_ON_ACK_QUEUE, R.ERROR,
+                    program.name, name, label,
+                    f"destructive fifo_get on ack-discipline queue "
+                    f"{queue!r}: a crash after this step loses the item "
+                    "(P1/P3 rely on the head surviving until processing "
+                    "completed)"))
+
+        # unreachable labels.
+        for label in labels - live_labels:
+            findings.append(R.Finding(
+                R.UNREACHABLE_LABEL, R.WARNING, program.name, name,
+                label, "label is never reached from the start label"))
+
+        # termination of non-daemon processes.
+        if not process.daemon:
+            can_stop = any(
+                _DONE in effects[label].next_labels
+                for label in live_labels if label in effects)
+            if not can_stop:
+                findings.append(R.Finding(
+                    R.NONDAEMON_NO_TERMINATION, R.ERROR, program.name,
+                    name, "",
+                    "non-daemon process has no terminating path"))
+
+        # unused locals.
+        for local in sorted(declared_locals):
+            if not any(local in e.local_reads for e in effects.values()):
+                findings.append(R.Finding(
+                    R.UNUSED_VARIABLE, R.WARNING, program.name, name, "",
+                    f"local variable {local!r} is never read"))
+
+        # ack queues: peek/pop balance on this process's CFG.
+        touched = set()
+        for effect in effects.values():
+            touched |= effect.queues("ack_read", "ack_pop") & ack_queues
+        for queue in sorted(touched):
+            # A label discharges the peek obligation only when every
+            # static path through it pops.
+            pop_labels = {
+                label for label, e in effects.items()
+                if e.queue_sequences
+                and all(("ack_pop", queue) in seq
+                        for seq in e.queue_sequences)}
+            read_labels = {label for label, e in effects.items()
+                           if ("ack_read", queue) in e.queue_ops}
+            safe = _inevitable(cfg, pop_labels)
+            for label in sorted(read_labels - safe):
+                findings.append(R.Finding(
+                    R.ACK_READ_WITHOUT_POP, R.ERROR, program.name, name,
+                    label,
+                    f"ack_read on {queue!r} is not followed by ack_pop "
+                    "on every path: the head is never released (or "
+                    "released only on some branches)"))
+            findings.extend(_pop_covered(program, name, effects, cfg,
+                                         start, queue))
+
+        # cross-label atomicity races (multi-process programs only).
+        for g in sorted({g for e in effects.values()
+                         for g in e.global_writes}):
+            if len(writers_of.get(g, ())) < 2:
+                continue
+            read_labels = {label for label, e in effects.items()
+                           if g in e.global_reads}
+            for label, effect in effects.items():
+                if g not in effect.global_writes or g in effect.global_reads:
+                    continue
+                stale = sorted(l for l in read_labels
+                               if l != label and label in reachable[l])
+                if stale:
+                    findings.append(R.Finding(
+                        R.ATOMICITY_RACE, R.ERROR, program.name, name,
+                        label,
+                        f"writes shared global {g!r} without re-reading "
+                        f"it, based on a value read in label "
+                        f"{'/'.join(stale)} — another process can "
+                        "change it between the two atomic steps "
+                        "(§3.9 check-then-act race)"))
+
+    # unused globals.
+    for g in program.globals_:
+        if g not in global_readers and g not in writers_of:
+            findings.append(R.Finding(
+                R.UNUSED_VARIABLE, R.WARNING, program.name, "", "",
+                f"global variable {g!r} is never used"))
+    return result
+
+
+def _pop_covered(program: Program, process_name: str, effects: dict,
+                 cfg: dict, start: str, queue: str) -> list:
+    """pop-without-peek dataflow, mirroring the dynamic pass."""
+    entry = {label: True for label in cfg}
+    entry[start] = False
+    bad_labels = set()
+    changed = True
+    while changed:
+        changed = False
+        for label, effect in effects.items():
+            outs = set()
+            for sequence in (effect.queue_sequences or {()}):
+                fact = entry[label]
+                for kind, q in sequence:
+                    if q != queue:
+                        continue
+                    if kind == "ack_read":
+                        fact = True
+                    elif kind == "ack_pop":
+                        if not fact:
+                            bad_labels.add(label)
+                        fact = False
+                    elif kind == "fifo_get":
+                        fact = False
+                outs.add(fact)
+            out = bool(outs) and all(outs)
+            for successor in cfg[label]:
+                if successor is None or successor not in entry:
+                    continue
+                merged = entry[successor] and out
+                if merged != entry[successor]:
+                    entry[successor] = merged
+                    changed = True
+    return [
+        R.Finding(
+            R.POP_WITHOUT_PEEK, R.ERROR, program.name, process_name,
+            label,
+            f"ack_pop on {queue!r} without a covering ack_read on every "
+            "path: the pop removes a head no peek claimed")
+        for label in sorted(bad_labels)
+    ]

@@ -1,0 +1,141 @@
+"""Findings and reporters for the spec/NADIR static analyzer.
+
+Every lint rule emits :class:`Finding`s; :func:`render_text` and
+:func:`render_json` turn a batch of them into the two CLI output
+formats.  Severities:
+
+* ``error`` — the meta-level property the checker (or the P1/P3 proof
+  argument) depends on is violated; a "verified" verdict over this
+  artifact is untrustworthy.
+* ``warning`` — suspicious but not soundness-breaking (dead labels,
+  unused declarations, incomplete-exploration caveats).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+ERROR = "error"
+WARNING = "warning"
+
+#: Rule identifiers (one per check class).
+POR_UNSOUND_LOCAL = "por-unsound-local"
+ACK_READ_WITHOUT_POP = "ack-read-without-pop"
+POP_WITHOUT_PEEK = "pop-without-peek"
+DESTRUCTIVE_GET_ON_ACK_QUEUE = "destructive-get-on-ack-queue"
+ATOMICITY_RACE = "cross-label-atomicity-race"
+GOTO_UNDEFINED_LABEL = "goto-undefined-label"
+UNREACHABLE_LABEL = "unreachable-label"
+NONDAEMON_NO_TERMINATION = "nondaemon-no-termination"
+UNDECLARED_VARIABLE = "undeclared-variable"
+UNUSED_VARIABLE = "unused-variable"
+
+ALL_RULES = (
+    POR_UNSOUND_LOCAL,
+    ACK_READ_WITHOUT_POP,
+    POP_WITHOUT_PEEK,
+    DESTRUCTIVE_GET_ON_ACK_QUEUE,
+    ATOMICITY_RACE,
+    GOTO_UNDEFINED_LABEL,
+    UNREACHABLE_LABEL,
+    NONDAEMON_NO_TERMINATION,
+    UNDECLARED_VARIABLE,
+    UNUSED_VARIABLE,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, anchored to a (process, label) site."""
+
+    rule: str
+    severity: str
+    target: str          # spec or program name
+    process: str         # "" for spec-wide findings
+    label: str           # "" for process-wide findings
+    message: str
+
+    @property
+    def site(self) -> str:
+        """Human-readable anchor."""
+        if self.process and self.label:
+            return f"{self.process}.{self.label}"
+        return self.process or "<spec>"
+
+    def render(self) -> str:
+        return (f"{self.severity}[{self.rule}] {self.target} "
+                f"{self.site}: {self.message}")
+
+
+@dataclass
+class AnalysisResult:
+    """All findings for one analyzed artifact."""
+
+    target: str
+    findings: list = field(default_factory=list)
+    #: False when effect inference hit its state bound, in which case
+    #: absence-style rules (unreachable/unused/termination) were
+    #: skipped rather than risk false positives.
+    complete: bool = True
+    states_explored: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings."""
+        return not self.errors
+
+    @property
+    def errors(self) -> list:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> list:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def by_rule(self, rule: str) -> list:
+        return [f for f in self.findings if f.rule == rule]
+
+
+def render_text(results) -> str:
+    """Human-readable report over one or more AnalysisResults."""
+    lines = []
+    total_errors = total_warnings = 0
+    for result in results:
+        coverage = ("complete" if result.complete
+                    else "bounded — absence rules skipped")
+        lines.append(f"== {result.target} "
+                     f"({result.states_explored} states, {coverage}) ==")
+        if not result.findings:
+            lines.append("  clean")
+        for finding in result.findings:
+            lines.append("  " + finding.render())
+        total_errors += len(result.errors)
+        total_warnings += len(result.warnings)
+    lines.append(f"{len(list(results))} artifact(s): "
+                 f"{total_errors} error(s), {total_warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(results) -> str:
+    """Machine-readable report (one JSON document)."""
+    payload = []
+    for result in results:
+        payload.append({
+            "target": result.target,
+            "ok": result.ok,
+            "complete": result.complete,
+            "states_explored": result.states_explored,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "process": f.process,
+                    "label": f.label,
+                    "message": f.message,
+                }
+                for f in result.findings
+            ],
+        })
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,377 @@
+"""Lint rules over inferred step effects ("speclint" passes).
+
+Each pass maps an :class:`~repro.analysis.effects.EffectReport` to
+:class:`~repro.analysis.report.Finding`s.  The passes protect the
+meta-level assumptions the model checker and the paper's proof
+arguments rest on:
+
+* :func:`check_por_soundness` — §3.7 partial-order reduction: a
+  ``Step.local=True`` hint makes the checker expand that step alone
+  (an ample set of size one); a hint on a step with global effects
+  silently removes interleavings and can certify buggy specs.
+* :func:`check_queue_discipline` — P1/P3: crash recovery relies on
+  the peek-then-pop discipline (the head survives until processing
+  completed); destructive gets, unbalanced peeks and blind pops all
+  break the argument.
+* :func:`check_atomicity_races` — the §3.9 bug class: state read in
+  one label, acted on in a later label without re-validation, while
+  another process can change it in between.
+* :func:`check_control_flow` — structural sanity: goto targets,
+  reachability, termination, declarations.
+"""
+
+from __future__ import annotations
+
+from ..spec.lang import Spec
+from . import report as R
+from .effects import EffectReport, StepEffect
+
+__all__ = [
+    "check_por_soundness",
+    "check_queue_discipline",
+    "check_atomicity_races",
+    "check_control_flow",
+    "run_spec_passes",
+]
+
+
+def _proc(spec: Spec, name: str):
+    return spec.processes[spec.process_index[name]]
+
+
+# -- POR soundness -----------------------------------------------------------------
+def check_por_soundness(report: EffectReport) -> list:
+    """Reject ``local=True`` hints contradicted by observed effects."""
+    findings = []
+    spec = report.spec
+    for process in spec.processes:
+        for step in process.steps:
+            if not step.local:
+                continue
+            effect = report.effect(process.name, step.label)
+            if effect.is_local:
+                continue
+            reasons = []
+            if effect.global_reads:
+                reasons.append(
+                    f"reads globals {sorted(effect.global_reads)}")
+            if effect.global_writes:
+                reasons.append(
+                    f"writes globals {sorted(effect.global_writes)}")
+            if effect.queue_ops:
+                reasons.append(
+                    "performs queue ops "
+                    f"{sorted(set(effect.queue_ops))}")
+            if effect.resets:
+                reasons.append(f"resets peers {sorted(effect.resets)}")
+            if effect.blocked:
+                reasons.append("has a blocking guard")
+            if effect.choice_arities:
+                reasons.append("makes nondeterministic choices")
+            if effect.undeclared:
+                reasons.append("touches undeclared variables")
+            findings.append(R.Finding(
+                R.POR_UNSOUND_LOCAL, R.ERROR, spec.name,
+                process.name, step.label,
+                "declared local=True (ample-set hint) but "
+                + "; ".join(reasons)
+                + " — the checker would skip real interleavings"))
+    return findings
+
+
+# -- queue discipline --------------------------------------------------------------
+def _inevitable(cfg: dict, good: set) -> set:
+    """Labels from which every path eventually hits a ``good`` label.
+
+    Greatest-fixpoint on the observed control-flow graph: a label
+    qualifies when it is good itself, or when it has successors and
+    every successor qualifies (termination — successor ``None`` — does
+    not qualify: the obligation was dropped).
+    """
+    qualifying = set(good)
+    changed = True
+    while changed:
+        changed = False
+        for label, successors in cfg.items():
+            if label in qualifying or not successors:
+                continue
+            if all(s is not None and s in qualifying for s in successors):
+                qualifying.add(label)
+                changed = True
+    return qualifying
+
+
+def check_queue_discipline(report: EffectReport) -> list:
+    """P1/P3: peek-then-pop on every ack-discipline queue."""
+    findings = []
+    spec = report.spec
+    ack_queues = report.ack_queues()
+    if not ack_queues:
+        return findings
+
+    for process in spec.processes:
+        effects = report.process_effects(process.name)
+        cfg = report.cfg[process.name]
+
+        # 1. Destructive get on an ack-discipline queue.
+        for effect in effects:
+            for queue in sorted(effect.queues("fifo_get") & ack_queues):
+                findings.append(R.Finding(
+                    R.DESTRUCTIVE_GET_ON_ACK_QUEUE, R.ERROR, spec.name,
+                    process.name, effect.label,
+                    f"destructive fifo_get on ack-discipline queue "
+                    f"{queue!r}: a crash after this step loses the "
+                    "item (P1/P3 rely on the head surviving until "
+                    "processing completed)"))
+
+        touched = set()
+        for effect in effects:
+            touched |= effect.queues("ack_read", "ack_pop") & ack_queues
+        for queue in sorted(touched):
+            # 2. Every peek must make the balancing pop inevitable.  A
+            # label discharges the obligation only when *every* path
+            # through it pops (a branch-only pop leaves paths that
+            # loop back with the head still claimed).
+            pop_labels = {
+                e.label for e in effects
+                if e.queue_sequences
+                and all(("ack_pop", queue) in seq
+                        for seq in e.queue_sequences)}
+            read_labels = {e.label for e in effects
+                           if ("ack_read", queue) in e.queue_ops}
+            safe = _inevitable(cfg, pop_labels)
+            for label in sorted(read_labels):
+                if label not in safe:
+                    findings.append(R.Finding(
+                        R.ACK_READ_WITHOUT_POP, R.ERROR, spec.name,
+                        process.name, label,
+                        f"ack_read on {queue!r} is not followed by "
+                        "ack_pop on every path: the head is never "
+                        "released (or released only on some branches)"))
+
+            # 3. No pop without a covering peek: forward dataflow of
+            # the "peeked, not yet popped" fact over the CFG.
+            findings.extend(_check_pop_covered(
+                report, process.name, queue))
+    return findings
+
+
+def _check_pop_covered(report: EffectReport, process: str,
+                       queue: str) -> list:
+    """Flag ack_pops not preceded by an ack_read of the same queue.
+
+    Meet-over-paths dataflow: at entry of the process's start label the
+    queue is unpeeked; within a label the observed op sequences update
+    the fact; at a join the fact must hold on *every* incoming path.
+    """
+    spec = report.spec
+    process_def = _proc(spec, process)
+    cfg = report.cfg[process]
+    effects = {e.label: e for e in report.process_effects(process)}
+
+    def transfer(effect: StepEffect, peeked: bool):
+        """Apply each observed op sequence; returns (out-facts, bad)."""
+        outs, bad = set(), False
+        sequences = effect.queue_sequences or {()}
+        for sequence in sequences:
+            fact = peeked
+            for kind, q in sequence:
+                if q != queue:
+                    continue
+                if kind == "ack_read":
+                    fact = True
+                elif kind == "ack_pop":
+                    if not fact:
+                        bad = True
+                    fact = False
+                elif kind == "fifo_get":
+                    fact = False
+            outs.add(fact)
+        return outs, bad
+
+    # Entry fact per label: True only if *every* observed path into the
+    # label has an outstanding peek. Initialize optimistically (True)
+    # except the entry points, then iterate to the least fixpoint.
+    # Entry points are the start label plus any label another process
+    # resets this one to (crash recovery): both can be entered with no
+    # outstanding peek.
+    entry = {label: True for label in cfg}
+    entry_points = {process_def.start}
+    for (other, _label), other_effect in report.effects.items():
+        if other != process:
+            entry_points.update(
+                pc for target, pc in other_effect.resets
+                if target == process)
+    for label in entry_points & set(entry):
+        entry[label] = False
+    changed = True
+    bad_labels = set()
+    while changed:
+        changed = False
+        for label in cfg:
+            effect = effects[label]
+            if not effect.executed and not effect.queue_sequences:
+                continue  # never ran: no op evidence to propagate
+            outs, bad = transfer(effect, entry[label])
+            if bad:
+                bad_labels.add(label)
+            out = bool(outs) and all(outs)
+            for successor in cfg[label]:
+                if successor is None or successor not in entry:
+                    continue
+                merged = entry[successor] and out
+                if merged != entry[successor]:
+                    entry[successor] = merged
+                    changed = True
+    return [
+        R.Finding(
+            R.POP_WITHOUT_PEEK, R.ERROR, spec.name, process, label,
+            f"ack_pop on {queue!r} without a covering ack_read on every "
+            "path: the pop removes a head no peek claimed")
+        for label in sorted(bad_labels)
+    ]
+
+
+# -- cross-label atomicity races ----------------------------------------------------
+def check_atomicity_races(report: EffectReport) -> list:
+    """The §3.9 bug class: check-then-act split across atomic steps.
+
+    A label M *blindly* writes global ``g`` (no same-label re-read)
+    while an earlier label L of the same process read ``g`` — and some
+    other process also writes ``g``, so the value L observed can be
+    stale by the time M acts on it.  Shipped specs avoid this by
+    read-modify-write within one label or by re-validating guards.
+    """
+    findings = []
+    spec = report.spec
+    writers_of: dict = {}
+    for (process, _label), effect in report.effects.items():
+        for name in effect.global_writes:
+            writers_of.setdefault(name, set()).add(process)
+
+    for process in spec.processes:
+        effects = report.process_effects(process.name)
+        cfg = report.cfg[process.name]
+        reachable_from = _reachability(cfg)
+        for name in sorted({n for e in effects for n in e.global_writes}):
+            if len(writers_of.get(name, ())) < 2:
+                continue  # single-writer globals cannot race this way
+            read_labels = {e.label for e in effects
+                           if name in e.global_reads}
+            blind_writes = [e for e in effects
+                            if name in e.global_writes
+                            and name not in e.global_reads]
+            for effect in blind_writes:
+                stale_sources = sorted(
+                    label for label in read_labels
+                    if label != effect.label
+                    and effect.label in reachable_from[label])
+                if stale_sources:
+                    findings.append(R.Finding(
+                        R.ATOMICITY_RACE, R.ERROR, spec.name,
+                        process.name, effect.label,
+                        f"writes shared global {name!r} without "
+                        "re-reading it, based on a value read in label "
+                        f"{'/'.join(stale_sources)!s} — another process "
+                        "can change it between the two atomic steps "
+                        "(§3.9 check-then-act race)"))
+    return findings
+
+
+def _reachability(cfg: dict) -> dict:
+    """label -> set of labels reachable in one or more steps."""
+    reach = {}
+    for label in cfg:
+        seen: set = set()
+        stack = [s for s in cfg[label] if s is not None]
+        while stack:
+            node = stack.pop()
+            if node in seen or node not in cfg:
+                continue
+            seen.add(node)
+            stack.extend(s for s in cfg[node] if s is not None)
+        reach[label] = seen
+    return reach
+
+
+# -- control flow -------------------------------------------------------------------
+def check_control_flow(report: EffectReport) -> list:
+    """Goto targets, reachability, termination and declarations."""
+    findings = []
+    spec = report.spec
+    for process in spec.processes:
+        labels = set(process.step_by_label)
+        for step in process.steps:
+            effect = report.effect(process.name, step.label)
+            # 1. goto targets must exist.
+            for target in sorted(t for t in effect.goto_targets
+                                 if t is not None and t not in labels):
+                findings.append(R.Finding(
+                    R.GOTO_UNDEFINED_LABEL, R.ERROR, spec.name,
+                    process.name, step.label,
+                    f"goto targets undefined label {target!r}"))
+            # 2. undeclared variable accesses.
+            for scope, name in sorted(effect.undeclared):
+                findings.append(R.Finding(
+                    R.UNDECLARED_VARIABLE, R.ERROR, spec.name,
+                    process.name, step.label,
+                    f"accesses undeclared {scope} variable {name!r}"))
+
+        if not report.complete:
+            continue  # absence-style rules need the full space
+
+        # 3. unreachable labels.
+        for step in process.steps:
+            if step.label not in report.reachable_labels[process.name]:
+                findings.append(R.Finding(
+                    R.UNREACHABLE_LABEL, R.WARNING, spec.name,
+                    process.name, step.label,
+                    "label is never reached from the initial state"))
+
+        # 4. non-daemon processes must be able to terminate.
+        if not process.daemon and not report.terminates[process.name]:
+            findings.append(R.Finding(
+                R.NONDAEMON_NO_TERMINATION, R.ERROR, spec.name,
+                process.name, "",
+                "non-daemon process has no terminating path: every "
+                "final state will be reported as a deadlock"))
+
+        # 5. unused locals (declared, never read anywhere).
+        for local in process.locals_:
+            read = any(local in report.effect(process.name, s.label).local_reads
+                       for s in process.steps)
+            if not read and (process.name, local) not in \
+                    report.property_local_reads:
+                findings.append(R.Finding(
+                    R.UNUSED_VARIABLE, R.WARNING, spec.name,
+                    process.name, "",
+                    f"local variable {local!r} is never read"))
+
+    # 6. unused globals (never read by any step or property).
+    if report.complete:
+        for name in spec.global_names:
+            read = any(name in effect.global_reads
+                       for effect in report.effects.values())
+            if not read and name not in report.property_reads:
+                findings.append(R.Finding(
+                    R.UNUSED_VARIABLE, R.WARNING, spec.name, "", "",
+                    f"global variable {name!r} is never read by any "
+                    "step or property"))
+    return findings
+
+
+#: The default pass pipeline, in reporting order.
+SPEC_PASSES = (
+    check_por_soundness,
+    check_queue_discipline,
+    check_atomicity_races,
+    check_control_flow,
+)
+
+
+def run_spec_passes(report: EffectReport) -> list:
+    """Run every pass; findings in pipeline order."""
+    findings = []
+    for pass_fn in SPEC_PASSES:
+        findings.extend(pass_fn(report))
+    return findings

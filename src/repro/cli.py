@@ -6,6 +6,7 @@
 ``python -m repro fig11 --full``    — full-scale parameters
 ``python -m repro all``             — run every experiment (quick mode)
 ``python -m repro check <spec>``    — model-check a named specification
+``python -m repro lint [target]``   — static analysis of specs/programs
 """
 
 from __future__ import annotations
@@ -50,6 +51,48 @@ _SPECS = {
 }
 
 
+def _nadir_programs() -> dict:
+    from .nadir.programs import drain_app_program, worker_pool_program
+
+    return {
+        "nadir-drain-app": drain_app_program,
+        "nadir-worker-pool": worker_pool_program,
+    }
+
+
+def _run_lint(target, as_json: bool, strict: bool) -> int:
+    """`lint`: run speclint over specs and NADIR programs."""
+    from . import analysis
+    from .nadir.ast_nodes import Program
+
+    targets = dict(_SPECS)
+    targets.update(_nadir_programs())
+    if target is not None:
+        if target not in targets:
+            print(f"unknown lint target {target!r}; try: "
+                  f"{', '.join(sorted(targets))}", file=sys.stderr)
+            return 2
+        targets = {target: targets[target]}
+
+    results = []
+    for _name, factory in targets.items():
+        artifact = factory()
+        if isinstance(artifact, Program):
+            results.append(analysis.analyze_program(artifact))
+        else:
+            results.append(analysis.analyze_spec(artifact))
+
+    if as_json:
+        print(analysis.render_json(results))
+    else:
+        print(analysis.render_text(results))
+    if any(result.errors for result in results):
+        return 1
+    if strict and any(result.findings for result in results):
+        return 1
+    return 0
+
+
 def _run_experiment(name: str, quick: bool, seed: int) -> int:
     from .experiments import EXPERIMENTS
 
@@ -76,12 +119,17 @@ def main(argv=None) -> int:
         description="ZENITH (SIGCOMM 2025) reproduction toolkit")
     parser.add_argument("command",
                         help="experiment id (fig3..figA6, table4, ...), "
-                             "'list', 'all', 'quickstart' or 'check'")
+                             "'list', 'all', 'quickstart', 'check' or "
+                             "'lint'")
     parser.add_argument("spec", nargs="?",
-                        help="specification name (for 'check')")
+                        help="specification name (for 'check'/'lint')")
     parser.add_argument("--full", action="store_true",
                         help="full-scale parameters (slow)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable lint output")
+    parser.add_argument("--strict", action="store_true",
+                        help="lint: fail on warnings too, not just errors")
     args = parser.parse_args(argv)
 
     if args.command == "quickstart":
@@ -95,7 +143,12 @@ def main(argv=None) -> int:
 
         print("experiments:", ", ".join(sorted(EXPERIMENTS)))
         print("specs:      ", ", ".join(sorted(_SPECS)))
+        print("lintable:   ", ", ".join(sorted(
+            list(_SPECS) + list(_nadir_programs()))))
         return 0
+
+    if args.command == "lint":
+        return _run_lint(args.spec, as_json=args.json, strict=args.strict)
 
     if args.command == "check":
         if args.spec not in _SPECS:

@@ -140,6 +140,52 @@ _SPEC_VARIANTS = {
 }
 
 
+def _workerpool_buggy_with_discipline():
+    """Listing 1 with the Listing 3 queue contract declared.
+
+    The shipped Listing 1 spec predates the ack discipline and lints
+    clean; declaring the contract on it turns the destructive FIFOGet
+    into a static violation — the same design bug the checker refutes
+    dynamically (§3.9 lost-event counterexample).
+    """
+    from ..spec.specs import worker_pool_spec
+
+    spec = worker_pool_spec(fixed=False)
+    spec.ack_queues = frozenset({"op_queue"})
+    return spec
+
+
+def _controller_with_unsound_hint():
+    """The final controller with a forged POR ample-set hint.
+
+    Marks a globally-effectful step ``local=True``: static analysis
+    must reject the hint, and the checker must refuse to explore under
+    it — agreement between the two layers.
+    """
+    from ..spec.specs.controller import controller_spec
+
+    spec = controller_spec(num_ops=2, failures=1, num_switches=1,
+                           oneshot_sequencer=True)
+    spec.processes[0].steps[0].local = True
+    return spec
+
+
+#: Static-analysis ablations: name → (spec factory, expected clean?).
+#: Each statically flagged variant is also dynamically refuted (or
+#: rejected) by the checker; `benchmarks/test_ablation.py` asserts the
+#: two verdicts agree.
+_STATIC_VARIANTS = {
+    "static: workerpool final": (
+        lambda: __import__("repro.spec.specs",
+                           fromlist=["worker_pool_spec"]
+                           ).worker_pool_spec(fixed=True), True),
+    "static: workerpool initial + discipline": (
+        _workerpool_buggy_with_discipline, False),
+    "static: controller + unsound POR hint": (
+        _controller_with_unsound_hint, False),
+}
+
+
 @dataclass
 class VariantMetrics:
     """Signature pathologies observed for one variant."""
@@ -157,6 +203,8 @@ class AblationResult:
 
     metrics: dict = field(default_factory=dict)
     spec_verdicts: dict = field(default_factory=dict)
+    #: variant name -> lints clean? (True = zero findings)
+    static_verdicts: dict = field(default_factory=dict)
 
     def check_shape(self) -> list[str]:
         failures = []
@@ -174,6 +222,10 @@ class AblationResult:
             if self.spec_verdicts.get(name) != expected_ok:
                 failures.append(f"{name}: expected "
                                 f"{'OK' if expected_ok else 'VIOLATION'}")
+        for name, (_factory, expected_clean) in _STATIC_VARIANTS.items():
+            if self.static_verdicts.get(name) != expected_clean:
+                failures.append(f"{name}: expected lint "
+                                f"{'clean' if expected_clean else 'findings'}")
         return failures
 
     def render(self) -> str:
@@ -191,6 +243,10 @@ class AblationResult:
         lines.append("-- specification-level verdicts --")
         for name, ok in self.spec_verdicts.items():
             lines.append(f"  {name:36s} {'OK' if ok else 'VIOLATION found'}")
+        lines.append("-- static analysis (speclint) verdicts --")
+        for name, clean in self.static_verdicts.items():
+            lines.append(f"  {name:36s} "
+                         f"{'clean' if clean else 'FINDINGS'}")
         return "\n".join(lines)
 
 
@@ -271,4 +327,8 @@ def run(quick: bool = True, seed: int = 0) -> AblationResult:
     for name, (kwargs, _expected) in _SPEC_VARIANTS.items():
         outcome = check(controller_spec(num_ops=2, failures=1, **kwargs))
         result.spec_verdicts[name] = outcome.ok
+    from ..analysis import analyze_spec
+
+    for name, (factory, _expected) in _STATIC_VARIANTS.items():
+        result.static_verdicts[name] = not analyze_spec(factory()).findings
     return result

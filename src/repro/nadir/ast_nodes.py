@@ -241,6 +241,11 @@ class ProcessDef:
     local_types: dict = field(default_factory=dict)
     fair: bool = True
     daemon: bool = True
+    #: Labels hinted as *local* (touch only this process's own locals):
+    #: the checker's partial-order-reduction ample-set rule.  The
+    #: static analyzer verifies these hints against the blocks' actual
+    #: effects before they are trusted.
+    local_labels: frozenset = frozenset()
 
 
 @dataclass

@@ -12,7 +12,16 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from ..spec.lang import Ctx, Spec, SpecProcess, Step
+from ..spec.lang import (
+    Ctx,
+    Spec,
+    SpecProcess,
+    Step,
+    ack_pop,
+    ack_read,
+    fifo_get,
+    fifo_put,
+)
 from .ast_nodes import (
     AckPopStmt,
     AckReadStmt,
@@ -76,24 +85,16 @@ def _execute(stmt: Stmt, ctx: Ctx, program: Program) -> None:
         ctx.lset(stmt.name, evaluate(stmt.value, ctx, program))
         return
     if isinstance(stmt, FifoGetStmt):
-        queue = ctx.get(stmt.queue)
-        ctx.block_unless(len(queue) > 0)
-        ctx.lset(stmt.target, queue[0])
-        ctx.set(stmt.queue, queue[1:])
+        ctx.lset(stmt.target, fifo_get(ctx, stmt.queue))
         return
     if isinstance(stmt, FifoPutStmt):
-        ctx.set(stmt.queue,
-                ctx.get(stmt.queue) + (evaluate(stmt.value, ctx, program),))
+        fifo_put(ctx, stmt.queue, evaluate(stmt.value, ctx, program))
         return
     if isinstance(stmt, AckReadStmt):
-        queue = ctx.get(stmt.queue)
-        ctx.block_unless(len(queue) > 0)
-        ctx.lset(stmt.target, queue[0])
+        ctx.lset(stmt.target, ack_read(ctx, stmt.queue))
         return
     if isinstance(stmt, AckPopStmt):
-        queue = ctx.get(stmt.queue)
-        if queue:
-            ctx.set(stmt.queue, queue[1:])
+        ack_pop(ctx, stmt.queue)
         return
     if isinstance(stmt, AwaitStmt):
         ctx.block_unless(bool(evaluate(stmt.condition, ctx, program)))
@@ -131,10 +132,11 @@ def program_to_spec(program: Program,
                         _execute(stmt, ctx, program)
                 return run
 
-            steps.append(Step(block.label, make_runner()))
+            steps.append(Step(block.label, make_runner(),
+                              local=block.label in definition.local_labels))
         processes.append(SpecProcess(
             definition.name, steps, locals_=dict(definition.locals_),
             fair=definition.fair, daemon=definition.daemon))
     return Spec(program.name, dict(program.globals_), processes,
                 invariants=invariants, eventually_always=eventually_always,
-                symmetry=symmetry)
+                symmetry=symmetry, ack_queues=program.ack_queues)

@@ -15,6 +15,7 @@ from typing import Any, Callable, Optional
 
 from ..nib import Nib
 from ..sim import Component, Environment, Event
+from ..spec.lang import QueueDisciplineError
 
 __all__ = ["NADIR_NULL", "NadirRuntime", "NadirComponent"]
 
@@ -88,10 +89,17 @@ class NadirRuntime:
         return self._ack(name).read()
 
     def ack_pop(self, name: str) -> None:
-        """AckQueuePop."""
+        """AckQueuePop.
+
+        Mirrors the specification semantics: popping an empty ack queue
+        means no peek claimed the head and is an error, not a no-op.
+        """
         queue = self._ack(name)
-        if len(queue):
-            queue.pop()
+        if not len(queue):
+            raise QueueDisciplineError(
+                f"ack_pop on empty queue {name!r}: no peeked head to "
+                "remove (pop-without-peek)")
+        queue.pop()
 
     def queue_length(self, name: str) -> int:
         """Current length of a queue global."""

@@ -6,6 +6,7 @@ from .lang import (
     Blocked,
     Ctx,
     NeedChoice,
+    QueueDisciplineError,
     Spec,
     SpecProcess,
     SpecView,
@@ -24,6 +25,7 @@ __all__ = [
     "ModelChecker",
     "NULL",
     "NeedChoice",
+    "QueueDisciplineError",
     "Spec",
     "SpecProcess",
     "SpecView",

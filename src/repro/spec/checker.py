@@ -34,7 +34,24 @@ from typing import Optional
 
 from .lang import Blocked, Ctx, NeedChoice, Spec, State
 
-__all__ = ["CheckResult", "Violation", "ModelChecker", "check"]
+__all__ = ["CheckResult", "Violation", "ModelChecker", "check",
+           "UnsoundPORHintError"]
+
+
+class UnsoundPORHintError(Exception):
+    """A ``Step.local=True`` ample-set hint contradicts the step's effects.
+
+    POR with an unsound hint silently removes interleavings and can
+    certify buggy specs, so the checker refuses to explore rather than
+    return an untrustworthy verdict.  Carries the analyzer findings.
+    """
+
+    def __init__(self, findings):
+        self.findings = list(findings)
+        sites = ", ".join(f.site for f in self.findings)
+        super().__init__(
+            f"unsound local=True ample-set hint(s) at {sites}; "
+            "run `zenith-repro lint` for details, or pass por=False")
 
 
 @dataclass
@@ -84,13 +101,15 @@ class ModelChecker:
     def __init__(self, spec: Spec, symmetry: bool = True, por: bool = True,
                  max_states: int = 2_000_000,
                  stop_at_first_violation: bool = True,
-                 check_deadlock: bool = True):
+                 check_deadlock: bool = True,
+                 validate_por_hints: bool = True):
         self.spec = spec
         self.use_symmetry = symmetry and spec.symmetry is not None
         self.use_por = por
         self.max_states = max_states
         self.stop_at_first = stop_at_first_violation
         self.check_deadlock = check_deadlock
+        self.validate_por_hints = validate_por_hints
 
     # -- successor computation ---------------------------------------------------
     def _expand_step(self, state: State, proc_index: int) -> list[tuple[str, State]]:
@@ -145,10 +164,22 @@ class ModelChecker:
         return state
 
     # -- main loop ---------------------------------------------------------------
+    def _reject_unsound_hints(self) -> None:
+        """Validate ample-set hints before trusting them (speclint)."""
+        # Local import: repro.analysis drives Ctx/Spec, so importing it
+        # at module level would be circular.
+        from ..analysis import verify_por_hints
+
+        findings = verify_por_hints(self.spec)
+        if findings:
+            raise UnsoundPORHintError(findings)
+
     def run(self) -> CheckResult:
         """Explore the full reachable state space and check properties."""
         start_time = time.perf_counter()
         spec = self.spec
+        if self.use_por and self.validate_por_hints:
+            self._reject_unsound_hints()
         init = self._canonical(spec.initial_state())
         seen: dict[State, int] = {init: 0}
         #: raw successor → canonical index; avoids re-canonicalizing the

@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 __all__ = [
     "Blocked",
     "NeedChoice",
+    "QueueDisciplineError",
     "Ctx",
     "Step",
     "SpecProcess",
@@ -45,11 +46,41 @@ __all__ = [
 NULL = "<null>"
 
 
+def _freeze(value):
+    """Recursively convert a value into a hashable equivalent."""
+    if isinstance(value, FrozenRecord):
+        return value
+    if isinstance(value, dict):
+        return FrozenRecord(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_freeze(item) for item in value)
+    return value
+
+
 class FrozenRecord(dict):
-    """A hashable, immutable record (struct) usable inside states."""
+    """A hashable, immutable record (struct) usable inside states.
+
+    Nested dicts/lists/sets are frozen recursively at construction so
+    the record is hashable all the way down (states must be hashable
+    for the checker to dedupe them).  Leaves must themselves be
+    hashable; anything else raises a :class:`TypeError` at hash time.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        for key, value in list(dict.items(self)):
+            dict.__setitem__(self, key, _freeze(value))
 
     def __hash__(self):  # type: ignore[override]
-        return hash(frozenset(self.items()))
+        try:
+            return hash(frozenset(self.items()))
+        except TypeError as exc:
+            raise TypeError(
+                "FrozenRecord values must be hashable leaves "
+                f"(dict/list/set values are frozen automatically): {exc}"
+            ) from None
 
     def _immutable(self, *args, **kwargs):
         raise TypeError("FrozenRecord is immutable")
@@ -73,6 +104,11 @@ class NeedChoice(Exception):
     def __init__(self, arity: int):
         super().__init__(arity)
         self.arity = arity
+
+
+class QueueDisciplineError(Exception):
+    """A queue macro was used against its discipline (e.g. popping an
+    empty ack queue, which means no preceding peek claimed the head)."""
 
 
 @dataclass(frozen=True)
@@ -143,8 +179,16 @@ class Ctx:
         index = self.spec.process_index[process_name]
         process = self.spec.processes[index]
         fresh_locals = tuple(process.locals_[k] for k in process.locals_)
-        self._procs[index] = (pc if pc is not None else process.start,
-                              fresh_locals)
+        target_pc = pc if pc is not None else process.start
+        if index == self.proc_index:
+            # Self-crash: the successor rebuilds this process's slot
+            # from ``_locals``/``_next_pc``, so writing ``_procs`` here
+            # would be silently overwritten — reset those directly.
+            self._locals = list(fresh_locals)
+            self._next_pc = target_pc
+            self._jumped = True
+            return
+        self._procs[index] = (target_pc, fresh_locals)
 
     # -- control flow ----------------------------------------------------------------
     def goto(self, label: str) -> None:
@@ -184,6 +228,14 @@ class Ctx:
     def maybe(self) -> bool:
         """Binary nondeterministic choice."""
         return self.choose(2) == 1
+
+    # -- effect hooks ----------------------------------------------------------------
+    def _on_queue_op(self, kind: str, queue: str) -> None:
+        """Hook: a queue macro touched ``queue``.
+
+        No-op here; :class:`repro.analysis.effects.EffectCtx` overrides
+        it to record per-step queue disciplines for the static analyzer.
+        """
 
     # -- result assembly ----------------------------------------------------------------
     def _successor(self, default_next: Optional[str]) -> State:
@@ -244,7 +296,8 @@ class Spec:
                  processes: Sequence[SpecProcess],
                  invariants: Optional[dict[str, Callable[["SpecView"], bool]]] = None,
                  eventually_always: Optional[dict[str, Callable[["SpecView"], bool]]] = None,
-                 symmetry: Optional[Callable[[State], State]] = None):
+                 symmetry: Optional[Callable[[State], State]] = None,
+                 ack_queues: Optional[Iterable[str]] = None):
         self.name = name
         self.global_names = list(globals_)
         self.global_index = {k: i for i, k in enumerate(self.global_names)}
@@ -259,6 +312,11 @@ class Spec:
         self.eventually_always = dict(eventually_always or {})
         #: Optional state canonicalization (symmetry reduction).
         self.symmetry = symmetry
+        #: Queues declared to follow the peek/pop (ack) discipline —
+        #: the contract behind properties P1/P3.  The static analyzer
+        #: enforces it; queues observed under ``ack_read`` are treated
+        #: as ack queues even without a declaration.
+        self.ack_queues = frozenset(ack_queues or ())
 
     def initial_state(self) -> State:
         """The unique initial state."""
@@ -297,11 +355,13 @@ class SpecView:
 # -- queue helpers (FIFOPut / FIFOGet / peek-pop macros) -----------------------
 def fifo_put(ctx: Ctx, queue: str, item: Any) -> None:
     """Append ``item`` to the tuple-valued global ``queue``."""
+    ctx._on_queue_op("fifo_put", queue)
     ctx.set(queue, ctx.get(queue) + (item,))
 
 
 def fifo_get(ctx: Ctx, queue: str) -> Any:
     """Destructively dequeue; blocks (awaits) when empty."""
+    ctx._on_queue_op("fifo_get", queue)
     value = ctx.get(queue)
     ctx.block_unless(len(value) > 0)
     ctx.set(queue, value[1:])
@@ -310,13 +370,24 @@ def fifo_get(ctx: Ctx, queue: str) -> Any:
 
 def ack_read(ctx: Ctx, queue: str) -> Any:
     """Peek the head without removing it (AckQueueRead of Listing 3)."""
+    ctx._on_queue_op("ack_read", queue)
     value = ctx.get(queue)
     ctx.block_unless(len(value) > 0)
     return value[0]
 
 
 def ack_pop(ctx: Ctx, queue: str) -> None:
-    """Remove the head previously peeked (AckQueuePop of Listing 3)."""
+    """Remove the head previously peeked (AckQueuePop of Listing 3).
+
+    Popping an empty queue is a discipline violation — it means no
+    preceding peek claimed the head this pop balances — and raises
+    instead of silently doing nothing (which masked pop-without-peek
+    bugs the static analyzer now also catches).
+    """
+    ctx._on_queue_op("ack_pop", queue)
     value = ctx.get(queue)
-    if value:
-        ctx.set(queue, value[1:])
+    if not value:
+        raise QueueDisciplineError(
+            f"ack_pop on empty queue {queue!r}: no peeked head to remove "
+            "(pop-without-peek)")
+    ctx.set(queue, value[1:])

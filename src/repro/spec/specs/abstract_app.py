@@ -133,7 +133,9 @@ def core_with_app_spec(failures: int = 1,
             Step("emit_delete", seq_emit_delete),
             Step("emit_install", seq_emit_install),
             Step("await_install", seq_await_install),
-            Step("finish", seq_finish),
+            # Only touches the sequencer's own locals: a sound
+            # ample-set (POR) hint, validated by speclint.
+            Step("finish", seq_finish, local=True),
         ]
     else:
         seq_blocks = [
@@ -141,7 +143,7 @@ def core_with_app_spec(failures: int = 1,
             Step("emit_install", seq_emit_install),
             Step("await_install", seq_await_install),
             Step("emit_delete", seq_emit_delete),
-            Step("finish", seq_finish),
+            Step("finish", seq_finish, local=True),
         ]
 
     # -- the worked switch ---------------------------------------------------------

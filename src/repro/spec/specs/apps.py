@@ -333,7 +333,6 @@ def failover_app_spec(failovers: int = 2) -> Spec:
         fifo_get(ctx, "request_q")
         active = ctx.get("active")
         current = active.index(True)
-        ctx.lset("old", current)
         ctx.lset("new", 1 - current)
         # Deactivate the old instance *first* (no dual mastership).
         ctx.set("active", (False, False))
@@ -365,7 +364,7 @@ def failover_app_spec(failovers: int = 2) -> Spec:
                 Step("quiesce", quiesce),
                 Step("role_change", role_change),
                 Step("activate", activate),
-            ], locals_={"old": 0, "new": 0}, daemon=True),
+            ], locals_={"new": 0}, daemon=True),
         ],
         invariants={"NoSplitBrain": no_split_brain},
         eventually_always={"MasterIsActive": master_is_active},

@@ -1,0 +1,337 @@
+"""Planted-violation mini-specs for the speclint test suite.
+
+Each builder returns a small, fully explorable spec that violates
+exactly one rule class (plus, for the §3.9 reproductions, the fixed
+counterpart that must analyze clean).
+"""
+
+from repro.spec import NULL, Spec, SpecProcess, Step
+from repro.spec.lang import ack_pop, ack_read, fifo_get
+
+
+def _budgeted(name, body, budget_var):
+    """A daemon that runs ``body`` once per unit of budget."""
+
+    def step(ctx):
+        budget = ctx.get(budget_var)
+        ctx.block_unless(budget > 0)
+        ctx.set(budget_var, budget - 1)
+        body(ctx)
+        ctx.goto(name)
+
+    return SpecProcess(name, [Step(name, step)], fair=False, daemon=True)
+
+
+# -- clean reference ---------------------------------------------------------------
+def clean_spec() -> Spec:
+    """Ack discipline done right plus a genuinely local hinted step."""
+
+    def read(ctx):
+        ctx.lset("cur", ack_read(ctx, "q"))
+
+    def work(ctx):
+        ctx.lset("cur", ctx.lget("cur") + 10)
+
+    def finish(ctx):
+        ctx.set("out", ctx.get("out") + (ctx.lget("cur"),))
+        ack_pop(ctx, "q")
+        ctx.goto("read")
+
+    worker = SpecProcess("worker", [
+        Step("read", read),
+        Step("work", work, local=True),
+        Step("finish", finish),
+    ], locals_={"cur": NULL}, daemon=True)
+
+    def observe(ctx):
+        ctx.block_unless(len(ctx.get("out")) >= 2)
+        ctx.done()
+
+    observer = SpecProcess("observer", [Step("observe", observe)],
+                           daemon=True)
+
+    def drained(view) -> bool:
+        return len(view["out"]) == 2
+
+    return Spec("clean-fixture",
+                {"q": (1, 2), "out": ()},
+                [worker, observer],
+                ack_queues=frozenset({"q"}),
+                eventually_always={"Drained": drained})
+
+
+# -- one fixture per rule class ------------------------------------------------------
+def por_unsound_spec() -> Spec:
+    """local=True on a step that writes a shared global."""
+
+    def bump(ctx):
+        ctx.set("x", min(ctx.get("x") + 1, 2))
+        ctx.goto("bump")
+
+    def watch(ctx):
+        ctx.block_unless(ctx.get("x") >= 2)
+        ctx.done()
+
+    return Spec("por-unsound-fixture", {"x": 0}, [
+        SpecProcess("bumper", [Step("bump", bump, local=True)],
+                    daemon=True),
+        SpecProcess("watcher", [Step("watch", watch)], daemon=True),
+    ])
+
+
+def ack_read_without_pop_spec() -> Spec:
+    """Peek with no balancing pop on any path: the head never leaves."""
+
+    def read(ctx):
+        ctx.lset("cur", ack_read(ctx, "q"))
+
+    def forward(ctx):
+        ctx.set("out", ctx.lget("cur"))
+        ctx.goto("read")  # loops back without ever popping
+
+    def observe(ctx):
+        ctx.block_unless(ctx.get("out") is not None)
+        ctx.done()
+
+    return Spec("ack-no-pop-fixture", {"q": (1,), "out": NULL}, [
+        SpecProcess("worker", [Step("read", read),
+                               Step("forward", forward)],
+                    locals_={"cur": NULL}, daemon=True),
+        SpecProcess("observer", [Step("observe", observe)], daemon=True),
+    ], ack_queues=frozenset({"q"}))
+
+
+def pop_without_peek_spec() -> Spec:
+    """A pop on the entry path before any read claimed the head."""
+
+    def pop_first(ctx):
+        ack_pop(ctx, "q")
+
+    def read(ctx):
+        ack_read(ctx, "q")
+        ctx.goto("pop")
+
+    return Spec("pop-no-peek-fixture", {"q": (1, 2)}, [
+        SpecProcess("worker", [Step("pop", pop_first),
+                               Step("read", read)], daemon=True),
+    ], ack_queues=frozenset({"q"}))
+
+
+def destructive_get_spec() -> Spec:
+    """fifo_get on a declared ack-discipline queue."""
+
+    def take(ctx):
+        ctx.set("out", fifo_get(ctx, "q"))
+
+    def observe(ctx):
+        ctx.block_unless(ctx.get("out") is not None)
+        ctx.done()
+
+    return Spec("destructive-get-fixture", {"q": (1,), "out": NULL}, [
+        SpecProcess("worker", [Step("take", take)], daemon=True),
+        SpecProcess("observer", [Step("observe", observe)], daemon=True),
+    ], ack_queues=frozenset({"q"}))
+
+
+def goto_undefined_spec() -> Spec:
+    def jump(ctx):
+        ctx.goto("nowhere")
+
+    return Spec("goto-undefined-fixture", {}, [
+        SpecProcess("p", [Step("s", jump)], daemon=True),
+    ])
+
+
+def unreachable_label_spec() -> Spec:
+    def loop(ctx):
+        ctx.goto("loop")
+
+    return Spec("unreachable-fixture", {}, [
+        SpecProcess("p", [Step("loop", loop),
+                          Step("orphan", lambda ctx: None)],
+                    daemon=True),
+    ])
+
+
+def nondaemon_no_termination_spec() -> Spec:
+    def spin(ctx):
+        ctx.goto("spin")
+
+    return Spec("nondaemon-fixture", {}, [
+        SpecProcess("p", [Step("spin", spin)], daemon=False),
+    ])
+
+
+def undeclared_variable_spec() -> Spec:
+    def ghost(ctx):
+        ctx.set("ghost", 1)
+
+    return Spec("undeclared-fixture", {}, [
+        SpecProcess("p", [Step("s", ghost)], daemon=True),
+    ])
+
+
+def unused_variable_spec() -> Spec:
+    def idle(ctx):
+        ctx.lset("scratch", 1)
+        ctx.done()
+
+    return Spec("unused-fixture", {"never_read": 0}, [
+        SpecProcess("p", [Step("s", idle)],
+                    locals_={"scratch": 0}, daemon=True),
+    ])
+
+
+# -- the four §3.9 reproductions -----------------------------------------------------
+def duplicate_claim_spec(fixed: bool) -> Spec:
+    """§3.9 bug 1: duplicate worker claim.
+
+    The dispatcher checks that no worker claims the OP in one label and
+    assigns in a *later* label; a recovery daemon can release the claim
+    in between, so two dispatch rounds both see "none" and the OP is
+    double-claimed.  The fix re-validates and assigns in one atomic
+    step (read-modify-write).
+    """
+
+    def check(ctx):
+        ctx.block_unless(ctx.get("claim") == "none")
+
+    def assign_split(ctx):
+        ctx.set("claim", "w1")   # blind: the check happened a label ago
+        ctx.goto("check")
+
+    def assign_atomic(ctx):
+        if ctx.get("claim") == "none":
+            ctx.set("claim", "w1")
+        ctx.goto("check")
+
+    dispatcher = SpecProcess("dispatcher", [
+        Step("check", check),
+        Step("assign", assign_atomic if fixed else assign_split),
+    ], daemon=True)
+
+    def recovery_claim(ctx):
+        # Recovery re-dispatch hands the OP to w2 (atomically: read and
+        # write in one label, so *this* claim is race-free).
+        ctx.set("claim", "w2")
+        ctx.set("w2_holds", True)
+
+    recovery = _budgeted("recover", recovery_claim, "recover_budget")
+
+    def no_duplicate_claim(view) -> bool:
+        """w1 claiming while w2 still holds = the §3.9 double claim."""
+        holds = view["w2_holds"]
+        return view["claim"] != "w1" or not holds
+
+    return Spec(
+        ("dup-claim-fixed" if fixed else "dup-claim-buggy"),
+        {"claim": "none", "w2_holds": False, "recover_budget": 1},
+        [dispatcher, recovery],
+        invariants={"NoDuplicateClaim": no_duplicate_claim})
+
+
+def stale_event_spec(fixed: bool) -> Spec:
+    """§3.9 bug 2: stale-event resurrection.
+
+    The monitor observes IN_FLIGHT in one label and marks DONE in a
+    later one; a wipe in between resets the OP to NONE, and the stale
+    DONE resurrects it forever.  The fix applies the conservative
+    accept-DONE-only-from-IN_FLIGHT rule at write time.
+    """
+
+    def observe(ctx):
+        ctx.block_unless(ctx.get("status") == "inflight")
+
+    def mark_split(ctx):
+        ctx.set("status", "done")    # stale: wipe may have intervened
+        ctx.goto("observe")
+
+    def mark_checked(ctx):
+        if ctx.get("status") == "inflight":
+            ctx.set("status", "done")
+        ctx.goto("observe")
+
+    monitor = SpecProcess("monitor", [
+        Step("observe", observe),
+        Step("mark", mark_checked if fixed else mark_split),
+    ], daemon=True)
+    wiper = _budgeted("wipe", lambda ctx: ctx.set("status", "none"),
+                      "wipe_budget")
+    return Spec(
+        ("stale-event-fixed" if fixed else "stale-event-buggy"),
+        {"status": "inflight", "wipe_budget": 1},
+        [monitor, wiper])
+
+
+def stale_failed_spec(fixed: bool) -> Spec:
+    """§3.9 bug 3: stale-FAILED strand.
+
+    A failure report generated before a recovery flip marks the freshly
+    re-dispatched OP FAILED, with nothing left to unstick it.  The fix
+    only applies the report while the OP is still recorded in flight.
+    """
+
+    def see_failure(ctx):
+        ctx.block_unless(ctx.get("op_status") == "inflight")
+
+    def mark_split(ctx):
+        ctx.set("op_status", "failed")   # the redispatch may have run
+        ctx.goto("see")
+
+    def mark_guarded(ctx):
+        if ctx.get("op_status") == "inflight":
+            ctx.set("op_status", "failed")
+        ctx.goto("see")
+
+    handler = SpecProcess("failureHandler", [
+        Step("see", see_failure),
+        Step("mark", mark_guarded if fixed else mark_split),
+    ], daemon=True)
+    redispatch = _budgeted(
+        "redispatch", lambda ctx: ctx.set("op_status", "inflight"),
+        "redispatch_budget")
+    return Spec(
+        ("stale-failed-fixed" if fixed else "stale-failed-buggy"),
+        {"op_status": "inflight", "redispatch_budget": 1},
+        [handler, redispatch])
+
+
+def queued_copy_spec(fixed: bool) -> Spec:
+    """§3.9 bug 4: a queued copy survives the wipe.
+
+    The worker reads SCHEDULED in one label and installs in a later
+    one; a wipe in between untracks the OP, and the install writes
+    state the NIB no longer knows.  The fix re-checks SCHEDULED at
+    send time.
+    """
+
+    def pick(ctx):
+        ctx.block_unless(ctx.get("sched") == "sched")
+
+    def send_split(ctx):
+        ctx.set("sched", "installed")   # wipe may have untracked it
+        ctx.goto("pick")
+
+    def send_checked(ctx):
+        if ctx.get("sched") == "sched":
+            ctx.set("sched", "installed")
+        ctx.goto("pick")
+
+    worker = SpecProcess("worker", [
+        Step("pick", pick),
+        Step("send", send_checked if fixed else send_split),
+    ], daemon=True)
+    wiper = _budgeted("wipe", lambda ctx: ctx.set("sched", "wiped"),
+                      "wipe_budget")
+    return Spec(
+        ("queued-copy-fixed" if fixed else "queued-copy-buggy"),
+        {"sched": "sched", "wipe_budget": 1},
+        [worker, wiper])
+
+
+SEC39_FIXTURES = {
+    "duplicate-worker-claim": duplicate_claim_spec,
+    "stale-event-resurrection": stale_event_spec,
+    "stale-failed-strand": stale_failed_spec,
+    "queued-copy-survives-wipe": queued_copy_spec,
+}

@@ -1,0 +1,55 @@
+"""The checker must validate POR ample-set hints before trusting them."""
+
+import pytest
+
+from repro.spec import ModelChecker, check
+from repro.spec.checker import UnsoundPORHintError
+
+from .fixtures import clean_spec, por_unsound_spec
+
+
+def test_unsound_hint_rejected_before_exploration():
+    with pytest.raises(UnsoundPORHintError) as info:
+        check(por_unsound_spec())
+    assert any(f.site == "bumper.bump" for f in info.value.findings)
+
+
+def test_unsound_hint_rejection_precedes_state_enumeration():
+    # max_states=1 would blow up immediately if exploration started;
+    # the hint rejection must come first.
+    checker = ModelChecker(por_unsound_spec(), max_states=1)
+    with pytest.raises(UnsoundPORHintError):
+        checker.run()
+
+
+def test_unsound_hint_tolerated_without_por():
+    # With POR off the hint is never used, so the spec is explorable.
+    result = check(por_unsound_spec(), por=False)
+    assert result.ok
+
+
+def test_validation_can_be_explicitly_disabled():
+    result = ModelChecker(por_unsound_spec(),
+                          validate_por_hints=False).run()
+    # The verdict is untrustworthy by construction, but the escape
+    # hatch must exist (the ablation uses it to measure the damage).
+    assert result.distinct_states > 0
+
+
+def test_sound_hint_explores_and_matches_full_verdict():
+    with_por = check(clean_spec())
+    without_por = check(clean_spec(), por=False)
+    assert with_por.ok and without_por.ok
+    # The reduction may only shrink the state count, never grow it.
+    assert with_por.distinct_states <= without_por.distinct_states
+
+
+def test_specs_without_hints_skip_validation_entirely():
+    # No local=True hints anywhere: verify_por_hints must not pay for
+    # an effect-inference pass (observable as no findings and a normal
+    # check result).
+    from repro.analysis import verify_por_hints
+    from repro.spec.specs import worker_pool_spec
+
+    assert verify_por_hints(worker_pool_spec(fixed=True)) == []
+    assert check(worker_pool_spec(fixed=True)).ok

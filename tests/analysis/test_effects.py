@@ -1,0 +1,160 @@
+"""Unit tests for effect inference (EffectCtx + infer_effects)."""
+
+from repro.analysis import infer_effects
+from repro.spec import NULL, Spec, SpecProcess, Step
+from repro.spec.lang import ack_pop, ack_read, fifo_get, fifo_put
+
+from .fixtures import clean_spec
+
+
+def two_label_spec():
+    def produce(ctx):
+        fifo_put(ctx, "q", ctx.get("seed"))
+
+    def consume(ctx):
+        ctx.lset("got", fifo_get(ctx, "q"))
+        ctx.set("sink", ctx.lget("got"))
+        ctx.done()
+
+    return Spec("two-label", {"q": (), "seed": 7, "sink": NULL}, [
+        SpecProcess("producer", [Step("produce", produce)], daemon=True),
+        SpecProcess("consumer", [Step("consume", consume)], daemon=True,
+                    locals_={"got": NULL}),
+    ])
+
+
+def test_records_reads_writes_and_queue_ops():
+    report = infer_effects(two_label_spec())
+    produce = report.effect("producer", "produce")
+    assert "seed" in produce.global_reads
+    assert {"q"} == produce.queues("fifo_put")
+    consume = report.effect("consumer", "consume")
+    assert "sink" in consume.global_writes
+    assert "got" in consume.local_reads and "got" in consume.local_writes
+    assert (("fifo_get", "q"),) in consume.queue_sequences
+
+
+def test_records_cfg_goto_and_termination():
+    def hop(ctx):
+        ctx.goto("there")
+
+    def there(ctx):
+        ctx.done()
+
+    spec = Spec("cfg", {}, [SpecProcess("p", [
+        Step("hop", hop), Step("there", there)], daemon=True)])
+    report = infer_effects(spec)
+    assert report.cfg["p"]["hop"] == {"there"}
+    assert report.cfg["p"]["there"] == {None}
+    assert report.effect("p", "hop").goto_targets == {"there"}
+    assert report.terminates["p"]
+    assert report.complete
+
+
+def test_records_blocking_and_choice():
+    def gated(ctx):
+        ctx.block_unless(ctx.get("open"))
+        ctx.lset("pick", ctx.choose(2))
+
+    spec = Spec("gate", {"open": True}, [
+        SpecProcess("p", [Step("gate", gated)],
+                    locals_={"pick": NULL}, daemon=True)])
+    report = infer_effects(spec)
+    effect = report.effect("p", "gate")
+    assert effect.blocked is False or effect.executed  # guard passed
+    assert effect.choice_arities == {2}
+    assert not effect.is_local  # choice alone disqualifies locality
+
+
+def test_blocked_guard_is_recorded():
+    def never(ctx):
+        ctx.block_unless(False)
+
+    spec = Spec("blocked", {}, [
+        SpecProcess("p", [Step("never", never)], daemon=True)])
+    report = infer_effects(spec)
+    effect = report.effect("p", "never")
+    assert effect.blocked
+    assert not effect.executed
+
+
+def test_undeclared_access_is_recorded_not_raised():
+    def ghost(ctx):
+        ctx.set("ghost", 1)
+
+    spec = Spec("ghost", {}, [
+        SpecProcess("p", [Step("s", ghost)], daemon=True)])
+    report = infer_effects(spec)
+    assert ("global", "ghost") in report.effect("p", "s").undeclared
+
+
+def test_is_local_requires_pure_local_behaviour():
+    report = infer_effects(clean_spec())
+    assert report.effect("worker", "work").is_local
+    assert not report.effect("worker", "read").is_local
+    assert not report.effect("worker", "finish").is_local
+
+
+def test_bounded_exploration_reports_incomplete():
+    def count(ctx):
+        ctx.set("n", ctx.get("n") + 1)
+        ctx.goto("count")
+
+    spec = Spec("unbounded", {"n": 0}, [
+        SpecProcess("p", [Step("count", count)], daemon=True)])
+    report = infer_effects(spec, max_states=10)
+    assert not report.complete
+    assert report.states_explored == 10
+
+
+def test_property_reads_are_sampled_over_explored_states():
+    # The property short-circuits: "hidden" is read only once "flag"
+    # went up — which never happens in the *initial* state, so only
+    # multi-state sampling can see the dependence.
+    def raise_flag(ctx):
+        ctx.set("flag", True)
+        ctx.done()
+
+    def prop(view):
+        return (not view["flag"]) or view["hidden"] == 0
+
+    spec = Spec("sampled", {"flag": False, "hidden": 0}, [
+        SpecProcess("p", [Step("s", raise_flag)], daemon=True)],
+        invariants={"Prop": prop})
+    report = infer_effects(spec)
+    assert "hidden" in report.property_reads
+
+
+def test_reset_targets_are_resolved():
+    def crash(ctx):
+        budget = ctx.get("budget")
+        ctx.block_unless(budget > 0)
+        ctx.set("budget", budget - 1)
+        ctx.reset_peer("victim", "recover")
+        ctx.goto("crash")
+
+    def spin(ctx):
+        ctx.goto("spin")
+
+    victim = SpecProcess("victim", [
+        Step("recover", lambda ctx: ctx.goto("spin")),
+        Step("spin", spin)], start="spin", daemon=True)
+    spec = Spec("resets", {"budget": 1}, [
+        victim,
+        SpecProcess("crasher", [Step("crash", crash)],
+                    fair=False, daemon=True)])
+    report = infer_effects(spec)
+    assert ("victim", "recover") in report.effect("crasher", "crash").resets
+
+
+def test_ack_queues_union_of_declared_and_observed():
+    def touch(ctx):
+        ack_read(ctx, "observed_q")
+        ack_pop(ctx, "observed_q")
+        ctx.done()
+
+    spec = Spec("acks", {"observed_q": (1,), "declared_q": ()}, [
+        SpecProcess("p", [Step("s", touch)], daemon=True)],
+        ack_queues=frozenset({"declared_q"}))
+    report = infer_effects(spec)
+    assert report.ack_queues() == {"declared_q", "observed_q"}

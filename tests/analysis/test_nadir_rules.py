@@ -1,0 +1,149 @@
+"""Static AST analysis of NADIR programs (analyze_program)."""
+
+from repro import analysis as A
+from repro.nadir.ast_nodes import (
+    AckPopStmt,
+    AckReadStmt,
+    Const,
+    DoneStmt,
+    FifoGetStmt,
+    FifoPutStmt,
+    Global,
+    GotoStmt,
+    IfStmt,
+    LabeledBlock,
+    LocalVar,
+    Prim,
+    ProcessDef,
+    Program,
+    SetGlobal,
+    SetLocal,
+)
+
+
+def _program(name, globals_, processes, ack_queues=frozenset()):
+    return Program(name=name, globals_=globals_, global_types={},
+                   processes=processes, ack_queues=frozenset(ack_queues))
+
+
+def clean_program():
+    worker = ProcessDef("worker", [
+        LabeledBlock("read", [AckReadStmt("q", "cur")]),
+        LabeledBlock("bump", [
+            SetLocal("cur", Prim("+", LocalVar("cur"), Const(1)))]),
+        LabeledBlock("finish", [
+            SetGlobal("out", Prim("append", Global("out"),
+                                  LocalVar("cur"))),
+            AckPopStmt("q"),
+            GotoStmt("read"),
+        ]),
+    ], locals_={"cur": None}, local_labels=frozenset({"bump"}))
+    return _program("clean-prog", {"q": (1, 2), "out": ()}, [worker],
+                    ack_queues={"q"})
+
+
+def test_clean_program_is_clean():
+    result = A.analyze_program(clean_program())
+    assert result.findings == [], [f.render() for f in result.findings]
+
+
+def test_por_hint_validated_against_block_effects():
+    proc = ProcessDef("p", [
+        LabeledBlock("touch", [SetGlobal("g", Const(1)),
+                               GotoStmt("touch")]),
+    ], local_labels=frozenset({"touch"}))
+    result = A.analyze_program(_program("p1", {"g": 0}, [proc]))
+    found = result.by_rule(A.POR_UNSOUND_LOCAL)
+    assert [f.site for f in found] == ["p.touch"]
+
+
+def test_destructive_get_on_declared_ack_queue():
+    proc = ProcessDef("p", [
+        LabeledBlock("take", [FifoGetStmt("q", "cur"),
+                              SetGlobal("out", LocalVar("cur")),
+                              GotoStmt("take")]),
+    ], locals_={"cur": None})
+    observer = ProcessDef("o", [
+        LabeledBlock("watch", [
+            IfStmt(Prim("!=", Global("out"), Const(None)), [DoneStmt()]),
+            GotoStmt("watch")]),
+    ])
+    result = A.analyze_program(
+        _program("p2", {"q": (1,), "out": None}, [proc, observer],
+                 ack_queues={"q"}))
+    found = result.by_rule(A.DESTRUCTIVE_GET_ON_ACK_QUEUE)
+    assert [f.site for f in found] == ["p.take"]
+
+
+def test_ack_read_without_pop_on_a_branch():
+    # The pop happens only on the then-branch: the else path loops
+    # back with the head still claimed.
+    proc = ProcessDef("p", [
+        LabeledBlock("read", [AckReadStmt("q", "cur")]),
+        LabeledBlock("decide", [
+            IfStmt(Prim("==", LocalVar("cur"), Const(1)),
+                   [AckPopStmt("q")],
+                   []),
+            GotoStmt("read"),
+        ]),
+    ], locals_={"cur": None})
+    result = A.analyze_program(
+        _program("p3", {"q": (1, 2)}, [proc], ack_queues={"q"}))
+    found = result.by_rule(A.ACK_READ_WITHOUT_POP)
+    assert [f.site for f in found] == ["p.read"]
+
+
+def test_pop_without_peek_at_entry():
+    proc = ProcessDef("p", [
+        LabeledBlock("pop", [AckPopStmt("q")]),
+        LabeledBlock("read", [AckReadStmt("q", "cur"),
+                              SetLocal("scratch", LocalVar("cur")),
+                              GotoStmt("pop")]),
+    ], locals_={"cur": None, "scratch": None})
+    result = A.analyze_program(
+        _program("p4", {"q": (1, 2)}, [proc], ack_queues={"q"}))
+    found = result.by_rule(A.POP_WITHOUT_PEEK)
+    assert [f.site for f in found] == ["p.pop"]
+    # scratch is written, never read:
+    assert any("scratch" in f.message
+               for f in result.by_rule(A.UNUSED_VARIABLE))
+
+
+def test_atomicity_race_across_blocks():
+    checker_proc = ProcessDef("dispatcher", [
+        LabeledBlock("check", [
+            IfStmt(Prim("!=", Global("claim"), Const("none")),
+                   [GotoStmt("check")])]),
+        LabeledBlock("assign", [SetGlobal("claim", Const("w1")),
+                                GotoStmt("check")]),
+    ])
+    recovery = ProcessDef("recovery", [
+        LabeledBlock("recover", [
+            SetGlobal("claim",
+                      Prim("field",
+                           Prim("record", Const("v"), Const("none")),
+                           Const("v"))),
+            GotoStmt("recover")]),
+    ])
+    result = A.analyze_program(
+        _program("p5", {"claim": "none"}, [checker_proc, recovery]))
+    found = result.by_rule(A.ATOMICITY_RACE)
+    assert [f.site for f in found] == ["dispatcher.assign"]
+    assert "§3.9" in found[0].message
+
+
+def test_control_flow_rules():
+    proc = ProcessDef("p", [
+        LabeledBlock("a", [GotoStmt("missing")]),
+        LabeledBlock("orphan", [SetGlobal("ghost", LocalVar("undexp"))]),
+    ], daemon=False)
+    result = A.analyze_program(_program("p6", {"used": 0}, [proc]))
+    assert result.by_rule(A.GOTO_UNDEFINED_LABEL)
+    assert [f.site for f in result.by_rule(A.UNREACHABLE_LABEL)] \
+        == ["p.orphan"]
+    assert result.by_rule(A.NONDAEMON_NO_TERMINATION)
+    undeclared = {f.message for f in result.by_rule(A.UNDECLARED_VARIABLE)}
+    assert any("ghost" in m for m in undeclared)
+    assert any("undexp" in m for m in undeclared)
+    assert any("used" in f.message
+               for f in result.by_rule(A.UNUSED_VARIABLE))

@@ -1,0 +1,125 @@
+"""Every rule class must fire on its planted fixture and stay silent
+on the clean one."""
+
+from repro import analysis as A
+
+from . import fixtures as F
+
+
+def findings_for(spec, rule):
+    result = A.analyze_spec(spec)
+    return result.by_rule(rule)
+
+
+def test_clean_fixture_is_clean():
+    result = A.analyze_spec(F.clean_spec())
+    assert result.findings == []
+    assert result.ok
+    assert result.complete
+
+
+def test_por_unsound_local_fires():
+    found = findings_for(F.por_unsound_spec(), A.POR_UNSOUND_LOCAL)
+    assert len(found) == 1
+    assert found[0].severity == A.ERROR
+    assert found[0].site == "bumper.bump"
+    assert "writes globals" in found[0].message
+
+
+def test_ack_read_without_pop_fires():
+    found = findings_for(F.ack_read_without_pop_spec(),
+                         A.ACK_READ_WITHOUT_POP)
+    assert [f.site for f in found] == ["worker.read"]
+    assert found[0].severity == A.ERROR
+
+
+def test_pop_without_peek_fires():
+    found = findings_for(F.pop_without_peek_spec(), A.POP_WITHOUT_PEEK)
+    assert [f.site for f in found] == ["worker.pop"]
+    assert found[0].severity == A.ERROR
+
+
+def test_destructive_get_on_ack_queue_fires():
+    found = findings_for(F.destructive_get_spec(),
+                         A.DESTRUCTIVE_GET_ON_ACK_QUEUE)
+    assert [f.site for f in found] == ["worker.take"]
+    assert found[0].severity == A.ERROR
+
+
+def test_goto_undefined_label_fires():
+    found = findings_for(F.goto_undefined_spec(), A.GOTO_UNDEFINED_LABEL)
+    assert len(found) == 1
+    assert "nowhere" in found[0].message
+    assert found[0].severity == A.ERROR
+
+
+def test_unreachable_label_fires():
+    found = findings_for(F.unreachable_label_spec(), A.UNREACHABLE_LABEL)
+    assert [f.site for f in found] == ["p.orphan"]
+    assert found[0].severity == A.WARNING
+
+
+def test_nondaemon_no_termination_fires():
+    found = findings_for(F.nondaemon_no_termination_spec(),
+                         A.NONDAEMON_NO_TERMINATION)
+    assert len(found) == 1
+    assert found[0].process == "p"
+    assert found[0].severity == A.ERROR
+
+
+def test_undeclared_variable_fires():
+    found = findings_for(F.undeclared_variable_spec(),
+                         A.UNDECLARED_VARIABLE)
+    assert len(found) == 1
+    assert "ghost" in found[0].message
+    assert found[0].severity == A.ERROR
+
+
+def test_unused_variable_fires_for_global_and_local():
+    found = findings_for(F.unused_variable_spec(), A.UNUSED_VARIABLE)
+    messages = " | ".join(f.message for f in found)
+    assert "never_read" in messages
+    assert "scratch" in messages
+    assert all(f.severity == A.WARNING for f in found)
+
+
+def test_at_least_six_distinct_rule_classes_fire():
+    specs = [
+        F.por_unsound_spec(),
+        F.ack_read_without_pop_spec(),
+        F.pop_without_peek_spec(),
+        F.destructive_get_spec(),
+        F.goto_undefined_spec(),
+        F.unreachable_label_spec(),
+        F.nondaemon_no_termination_spec(),
+        F.undeclared_variable_spec(),
+        F.unused_variable_spec(),
+        F.duplicate_claim_spec(fixed=False),
+    ]
+    fired = set()
+    for spec in specs:
+        for finding in A.analyze_spec(spec).findings:
+            fired.add(finding.rule)
+    assert len(fired) >= 6
+    assert A.ATOMICITY_RACE in fired
+    assert A.POR_UNSOUND_LOCAL in fired
+
+
+def test_incomplete_exploration_skips_absence_rules():
+    # The unused/unreachable/termination rules reason from absence and
+    # must stay silent when the state bound truncated exploration.
+    result = A.analyze_spec(F.unused_variable_spec(), max_states=1)
+    assert not result.complete
+    assert result.by_rule(A.UNUSED_VARIABLE) == []
+
+
+def test_render_text_and_json_round_trip():
+    import json
+
+    results = [A.analyze_spec(F.clean_spec()),
+               A.analyze_spec(F.goto_undefined_spec())]
+    text = A.render_text(results)
+    assert "clean" in text and "goto-undefined-label" in text
+    payload = json.loads(A.render_json(results))
+    assert payload[0]["ok"] and not payload[1]["ok"]
+    assert payload[1]["findings"][0]["rule"] == A.GOTO_UNDEFINED_LABEL

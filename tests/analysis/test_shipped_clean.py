@@ -1,0 +1,40 @@
+"""Every shipped artifact must lint clean (the acceptance bar the CI
+`zenith-repro lint --strict` gate enforces)."""
+
+import pytest
+
+from repro import analysis as A
+from repro.cli import _SPECS, _run_lint
+from repro.nadir.programs import drain_app_program, worker_pool_program
+
+
+@pytest.mark.parametrize("name", sorted(_SPECS))
+def test_shipped_spec_is_clean(name):
+    result = A.analyze_spec(_SPECS[name]())
+    assert result.findings == [], [f.render() for f in result.findings]
+
+
+@pytest.mark.parametrize("program_factory",
+                         [drain_app_program, worker_pool_program])
+def test_shipped_nadir_program_is_clean(program_factory):
+    result = A.analyze_program(program_factory())
+    assert result.findings == [], [f.render() for f in result.findings]
+
+
+def test_cli_lint_strict_passes(capsys):
+    assert _run_lint(None, as_json=False, strict=True) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_cli_lint_single_target_json(capsys):
+    import json
+
+    assert _run_lint("workerpool-final", as_json=True, strict=True) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    assert payload[0]["ok"]
+
+
+def test_cli_lint_unknown_target(capsys):
+    assert _run_lint("no-such-artifact", as_json=False, strict=False) == 2

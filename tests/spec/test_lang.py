@@ -139,6 +139,64 @@ def test_frozen_record_hashable_and_immutable():
         record.update({"c": 3})
 
 
+def test_reset_peer_self_restarts_own_process():
+    # Regression: a process resetting *itself* (self-crash / restart)
+    # used to be silently discarded — _successor re-applied the running
+    # process's own pc and locals over the reset.
+    def restart(ctx):
+        ctx.lset("v", 99)
+        ctx.reset_peer("p")
+
+    spec = single_step_spec(restart, locals_={"v": 0})
+    ctx = run_step(spec)
+    successor = ctx._successor("s")
+    assert successor.procs[0] == ("s", (0,))
+
+
+def test_reset_peer_self_with_explicit_pc():
+    def restart(ctx):
+        ctx.reset_peer("p", pc="other")
+
+    spec = Spec("t", {}, [SpecProcess("p", [
+        Step("s", restart), Step("other", lambda ctx: None)],
+        locals_={"v": 7}, daemon=True)])
+    ctx = run_step(spec)
+    successor = ctx._successor("s")
+    assert successor.procs[0] == ("other", (7,))
+
+
+def test_ack_pop_empty_queue_raises():
+    from repro.spec import QueueDisciplineError
+
+    def popper(ctx):
+        ack_pop(ctx, "q")
+
+    spec = single_step_spec(popper, {"q": ()})
+    with pytest.raises(QueueDisciplineError):
+        run_step(spec)
+
+
+def test_frozen_record_freezes_nested_values():
+    record = FrozenRecord({"xs": [1, 2], "m": {"k": [3]}, "s": {4, 5}})
+    # Hashable despite mutable-looking nested values …
+    assert isinstance(hash(record), int)
+    assert record["xs"] == (1, 2)
+    assert record["m"]["k"] == (3,)
+    assert record["s"] == frozenset({4, 5})
+    # … and equal to an independently frozen copy.
+    assert record == FrozenRecord({"s": {5, 4}, "m": {"k": [3]},
+                                   "xs": [1, 2]})
+
+
+def test_frozen_record_unhashable_value_has_clear_error():
+    class Opaque:
+        __hash__ = None
+
+    record = FrozenRecord({"x": Opaque()})
+    with pytest.raises(TypeError, match="FrozenRecord"):
+        hash(record)
+
+
 def test_duplicate_labels_rejected():
     with pytest.raises(ValueError):
         SpecProcess("p", [Step("x", lambda c: None),
