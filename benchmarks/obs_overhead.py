@@ -1,0 +1,123 @@
+"""Disabled-tracer overhead check (CI gate for repro.obs).
+
+The telemetry hooks in the simulation hot loops are gated behind
+``env._tracing`` (one cached attribute check) and plain-int counter
+bumps.  This script quantifies what a run pays for those checks when
+tracing is *disabled* by timing the same fig12-style workload twice:
+
+* **instrumented** — the real :class:`repro.sim.Environment` with the
+  default :data:`~repro.obs.NULL_TRACER`;
+* **bare** — an Environment subclass whose ``_schedule``/``step`` are
+  the pre-instrumentation hot loops with every hook removed.
+
+Each variant runs ``--repeat`` times interleaved and the minimum is
+compared (minimum-of-N is the standard noise-robust estimator for
+CPU-bound microbenchmarks).  Exits non-zero when the relative overhead
+exceeds ``--threshold`` (default 5%).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_overhead.py
+    PYTHONPATH=src python benchmarks/obs_overhead.py --repeat 7 --threshold 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import ZenithController  # noqa: E402
+from repro.net import FailureMode, Network, linear  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.sim.core import SimulationError  # noqa: E402
+from repro.workloads.dags import IdAllocator, path_dag  # noqa: E402
+
+
+class BareEnvironment(Environment):
+    """The pre-instrumentation hot loops: no tracer hooks at all."""
+
+    def _schedule(self, event, delay, priority):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        event._scheduled = True
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, priority, next(self._counter), event))
+
+    def _record_crash(self, process, exc):
+        self.crashed.append((process, exc))
+
+    def step(self):
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._mark_processed()
+        if self.strict and self.crashed:
+            raise self._crash_error()
+
+
+def workload(env: Environment) -> None:
+    """A reduced fig12-style run: installs plus a failure/recovery."""
+    size = 12
+    network = Network(env, linear(size))
+    controller = ZenithController(env, network).start()
+    alloc = IdAllocator()
+    switches = [f"s{i}" for i in range(size)]
+    for round_ in range(4):
+        for start in range(size - 4):
+            dag = path_dag(alloc, switches[start:start + 4])
+            controller.submit_dag(dag)
+            env.run(until=controller.wait_for_dag(dag.dag_id))
+        victim = f"s{2 + round_}"
+        network[victim].fail(FailureMode.COMPLETE)
+        env.run(until=env.now + 1.0)
+        network[victim].recover()
+        env.run(until=env.now + 10.0)
+
+
+def best_of(env_factory, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        env = env_factory()
+        started = time.perf_counter()
+        workload(env)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="runs per variant (minimum is compared)")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="maximum tolerated relative overhead")
+    args = parser.parse_args(argv)
+
+    # Interleave to even out thermal/scheduler drift, then take minima.
+    bare_times, instr_times = [], []
+    for _ in range(args.repeat):
+        bare_times.append(best_of(BareEnvironment, 1))
+        instr_times.append(best_of(Environment, 1))
+    bare = min(bare_times)
+    instrumented = min(instr_times)
+    overhead = (instrumented - bare) / bare
+    print(f"bare:         {bare * 1e3:8.2f} ms")
+    print(f"instrumented: {instrumented * 1e3:8.2f} ms")
+    print(f"overhead:     {overhead * 100:+.2f}%  "
+          f"(threshold {args.threshold * 100:.0f}%)")
+    if overhead > args.threshold:
+        print("FAIL: disabled-tracer overhead above threshold",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

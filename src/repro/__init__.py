@@ -10,6 +10,8 @@ Highly-Available Control Plane" (SIGCOMM 2025) as a Python library:
 * :mod:`repro.baselines` — PR/PRUp/NoRec and an ODL-like comparator;
 * :mod:`repro.net`, :mod:`repro.nib`, :mod:`repro.sim` — the simulated
   substrate (switches, topologies, traffic; the NIB; the event kernel);
+* :mod:`repro.obs` — sim-time tracing (Perfetto-loadable OP lifecycle
+  spans) and the metrics registry, zero-overhead when disabled;
 * :mod:`repro.experiments` — harnesses regenerating every evaluation
   figure and table.
 

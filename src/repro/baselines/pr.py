@@ -73,7 +73,15 @@ class PrWorker(Worker):
             op_id = yield self.queue.read()
             self.queue.pop()                 # destructive get (FIFOGet)
             op = self.state.get_op(op_id)
+            started = self.env.now
+            if self.env._tracing:
+                self.env.tracer.op_mark(self.env, op_id, "worker",
+                                        track=self.name)
             yield self.env.timeout(self.config.worker_translate_time)
+            if self.env._tracing:
+                self.env.tracer.complete(
+                    self.env, f"translate op {op_id}", track=self.name,
+                    start=started, duration=self.env.now - started)
             if op.op_type is OpType.CLEAR:
                 self._forward(op)
             elif self.state.is_switch_usable(op.switch):
@@ -259,6 +267,13 @@ class Reconciler(Component):
         self.fixes_applied = 0
         #: (start, end) of every reconciliation cycle, for analysis.
         self.cycle_log: list[tuple[float, float]] = []
+        registry = getattr(env, "metrics", None)
+        if registry is not None:
+            prefix = f"reconciler.{state.ns}"
+            registry.gauge(f"{prefix}.cycles_completed",
+                           lambda: self.cycles_completed)
+            registry.gauge(f"{prefix}.fixes_applied",
+                           lambda: self.fixes_applied)
 
     def main(self):
         while True:
@@ -276,6 +291,12 @@ class Reconciler(Component):
                 self.state, self.config, event, intended=intended)
         self.cycles_completed += 1
         self.cycle_log.append((start, self.env.now))
+        if self.env._tracing:
+            self.env.tracer.complete(
+                self.env, f"reconcile cycle {self.cycles_completed}",
+                track=self.name, start=start,
+                duration=self.env.now - start,
+                switches=len(snapshots))
 
     def _gather_snapshots(self):
         """Issue parallel READ_TABLEs; collect replies until timeout."""

@@ -4,6 +4,9 @@
 ``python -m repro quickstart``      — the sixty-second demo
 ``python -m repro fig10``           — run one experiment (quick mode)
 ``python -m repro fig11 --full``    — full-scale parameters
+``python -m repro run fig12 --trace out.json --metrics``
+                                    — run with telemetry (trace loads in
+                                      https://ui.perfetto.dev)
 ``python -m repro all``             — run every experiment (quick mode)
 ``python -m repro check <spec>``    — model-check a named specification
 ``python -m repro lint [target]``   — static analysis of specs/programs
@@ -93,17 +96,40 @@ def _run_lint(target, as_json: bool, strict: bool) -> int:
     return 0
 
 
-def _run_experiment(name: str, quick: bool, seed: int) -> int:
+def _run_experiment(name: str, quick: bool, seed: int,
+                    trace: str = None, metrics: bool = False) -> int:
     from .experiments import EXPERIMENTS
 
     if name not in EXPERIMENTS:
         print(f"unknown experiment {name!r}; try: "
               f"{', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
+
+    tracer = registry = None
+    if trace or metrics:
+        from . import obs
+
+        tracer = obs.RecordingTracer() if trace else None
+        registry = obs.MetricsRegistry() if metrics else None
+
     started = time.perf_counter()
-    result = EXPERIMENTS[name](quick=quick, seed=seed)
+    if tracer is not None or registry is not None:
+        from . import obs
+
+        with obs.observe(tracer=tracer, metrics=registry):
+            result = EXPERIMENTS[name](quick=quick, seed=seed)
+    else:
+        result = EXPERIMENTS[name](quick=quick, seed=seed)
     elapsed = time.perf_counter() - started
     print(result.render())
+    if tracer is not None:
+        tracer.write(trace)
+        spans = len(tracer.complete_op_ids())
+        print(f"\ntrace: {trace}  ({len(tracer.chrome_events())} events, "
+              f"{spans} complete OP spans) — load in https://ui.perfetto.dev")
+    if registry is not None:
+        print()
+        print(registry.render(limit=40))
     failures = result.check_shape()
     if failures:
         print(f"\nPAPER-SHAPE REGRESSIONS: {failures}", file=sys.stderr)
@@ -119,10 +145,11 @@ def main(argv=None) -> int:
         description="ZENITH (SIGCOMM 2025) reproduction toolkit")
     parser.add_argument("command",
                         help="experiment id (fig3..figA6, table4, ...), "
-                             "'list', 'all', 'quickstart', 'check' or "
-                             "'lint'")
+                             "'run', 'list', 'all', 'quickstart', 'check' "
+                             "or 'lint'")
     parser.add_argument("spec", nargs="?",
-                        help="specification name (for 'check'/'lint')")
+                        help="specification name (for 'check'/'lint') or "
+                             "experiment id (for 'run')")
     parser.add_argument("--full", action="store_true",
                         help="full-scale parameters (slow)")
     parser.add_argument("--seed", type=int, default=0)
@@ -130,6 +157,11 @@ def main(argv=None) -> int:
                         help="machine-readable lint output")
     parser.add_argument("--strict", action="store_true",
                         help="lint: fail on warnings too, not just errors")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a sim-time trace to PATH (Chrome "
+                             "trace-event JSON; .jsonl suffix for JSONL)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect and print the metrics registry")
     args = parser.parse_args(argv)
 
     if args.command == "quickstart":
@@ -170,11 +202,22 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"\n################ {name} ################")
             status |= _run_experiment(name, quick=not args.full,
-                                      seed=args.seed)
+                                      seed=args.seed, trace=args.trace,
+                                      metrics=args.metrics)
         return status
 
+    if args.command == "run":
+        if not args.spec:
+            print("usage: run <experiment> [--trace PATH] [--metrics]",
+                  file=sys.stderr)
+            return 2
+        return _run_experiment(args.spec, quick=not args.full,
+                               seed=args.seed, trace=args.trace,
+                               metrics=args.metrics)
+
     return _run_experiment(args.command, quick=not args.full,
-                           seed=args.seed)
+                           seed=args.seed, trace=args.trace,
+                           metrics=args.metrics)
 
 
 if __name__ == "__main__":

@@ -161,6 +161,9 @@ class ZenithController:
     def _on_dag_status(self, write) -> None:
         if write.new is not DagStatus.DONE:
             return
+        if self.env._tracing:
+            self.env.tracer.instant(self.env, f"dag {write.key} done",
+                                    track=self.name, dag=write.key)
         for waiter in self._dag_waiters.pop(write.key, []):
             if not waiter.triggered:
                 waiter.succeed(self.env.now)

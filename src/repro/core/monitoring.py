@@ -74,6 +74,10 @@ class MonitoringServer(Component):
         while True:
             try:
                 request = yield queue.read()
+                if self.env._tracing:
+                    self.env.tracer.op_mark(self.env, request.xid, "sent",
+                                            track=f"ms-send-{switch_id}",
+                                            switch=switch_id)
                 switch.send(request)
                 queue.pop()
             except Interrupt:
@@ -101,6 +105,11 @@ class MonitoringServer(Component):
     def _classify(self, message) -> None:
         if isinstance(message, SwitchAck):
             if message.kind in (MsgKind.INSTALL, MsgKind.DELETE):
+                if self.env._tracing:
+                    self.env.tracer.op_mark(
+                        self.env, message.xid, "acked",
+                        track=f"ms-recv-{message.switch}",
+                        switch=message.switch)
                 self.state.nib_event_queue().put(OpDoneEvent(message.xid))
             elif message.kind is MsgKind.CLEAR_TCAM:
                 self.state.topo_event_queue().put(
@@ -115,5 +124,8 @@ class MonitoringServer(Component):
             elif waiter:
                 self.state.snapshot_queue(waiter).put(event)
             self.state.read_waiters.delete(message.xid)
-        elif isinstance(message, SwitchStatusMsg):  # pragma: no cover
+        elif isinstance(message, SwitchStatusMsg):
+            # Liveness notification that raced onto the data channel
+            # (e.g. re-registered listener); same destination as the
+            # out-of-band path.
             self.state.topo_event_queue().put(message)

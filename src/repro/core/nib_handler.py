@@ -93,6 +93,9 @@ class NibEventHandler(Component):
             # the controller specification.
             return
         self.state.set_op_status(op_id, OpStatus.DONE)
+        if self.env._tracing:
+            self.env.tracer.op_mark(self.env, op_id, "done",
+                                    track=self.name, switch=op.switch)
         if op.op_type is OpType.INSTALL and op.entry is not None:
             self.state.record_installed(op.switch, op.entry.entry_id, op_id)
         elif op.op_type is OpType.DELETE and op.entry_id is not None:

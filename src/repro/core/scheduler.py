@@ -69,6 +69,10 @@ class DagScheduler(Component):
         assert dag is not None
         sequencer = self._pick_sequencer()
         self.state.register_dag(dag, owner=sequencer.index)
+        if self.env._tracing:
+            for op_id in dag.ops:
+                self.env.tracer.op_mark(self.env, op_id, "scheduler",
+                                        track=self.name, dag=dag.dag_id)
         app = getattr(request, "app", "") or ""
         if app:
             self.dag_app.put(dag.dag_id, app)

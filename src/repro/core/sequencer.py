@@ -70,6 +70,9 @@ class Sequencer(Component):
         # State first, action second (§3.9 "careful ordering").
         self.state.set_op_status(op_id, OpStatus.SCHEDULED)
         worker = self.config.worker_for_switch(op.switch)
+        if self.env._tracing:
+            self.env.tracer.op_mark(self.env, op_id, "sequenced",
+                                    track=self.name, worker=worker)
         self.state.op_queue(worker).put(op_id)
 
     def _wait_for_progress(self):

@@ -75,6 +75,9 @@ class TopoEventHandler(Component):
             return
         # P8-①: record the failure immediately; P7: leave OP states be.
         self.state.set_health(event.switch, SwitchHealth.DOWN)
+        if self.env._tracing:
+            self.env.tracer.instant(self.env, f"switch {event.switch} down",
+                                    track=self.name, switch=event.switch)
         self._notify_apps(AppEventKind.SWITCH_DOWN, event.switch)
 
     # -- recovery ----------------------------------------------------------------
@@ -82,6 +85,9 @@ class TopoEventHandler(Component):
         if self.state.health_of(event.switch) is not SwitchHealth.DOWN:
             return
         self.state.set_health(event.switch, SwitchHealth.RECOVERING)
+        if self.env._tracing:
+            self.env.tracer.instant(self.env, f"switch {event.switch} up",
+                                    track=self.name, switch=event.switch)
         if self.config.directed_reconciliation:
             self._start_directed(event.switch)
         else:

@@ -73,8 +73,16 @@ class Worker(Component):
             op_id = yield self.queue.read()
             self.state.worker_state.put(self.index, op_id)   # record state
             op = self.state.get_op(op_id)
+            started = self.env.now
+            if self.env._tracing:
+                self.env.tracer.op_mark(self.env, op_id, "worker",
+                                        track=self.name)
             yield self.env.timeout(self.config.worker_translate_time)
             self._process(op)
+            if self.env._tracing:
+                self.env.tracer.complete(
+                    self.env, f"translate op {op_id}", track=self.name,
+                    start=started, duration=self.env.now - started)
             self.state.worker_state.put(self.index, None)    # clear state
             self.queue.pop()
 
@@ -100,4 +108,8 @@ class Worker(Component):
 
     def _forward(self, op: Op) -> None:
         request = translate_op(op, sender=self.config.ofc_instance)
+        if self.env._tracing:
+            self.env.tracer.op_mark(self.env, op.op_id, "to-switch",
+                                    track=f"tosw-{op.switch}",
+                                    switch=op.switch)
         self.state.to_switch_queue(op.switch).put(request)

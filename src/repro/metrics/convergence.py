@@ -127,10 +127,16 @@ def measure_convergence(env: Environment, controller: ZenithController,
                                    submitted_at + deadline)
         if ok:
             result.certified_at = env.now
+            if env._tracing:
+                env.tracer.instant(env, f"dag {dag.dag_id} certified",
+                                   track="convergence", dag=dag.dag_id)
         ok = yield from wait_until(env, truly_consistent, poll,
                                    submitted_at + deadline)
         if ok:
             result.truly_consistent_at = env.now
+            if env._tracing:
+                env.tracer.instant(env, f"dag {dag.dag_id} consistent",
+                                   track="convergence", dag=dag.dag_id)
 
     done = env.process(driver())
     env.run(until=done)

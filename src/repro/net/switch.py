@@ -93,10 +93,19 @@ class SimSwitch:
         self.failure_count = 0
         #: Installs that overwrote a live entry (§B duplicate metric).
         self.duplicate_installs = 0
+        #: Telemetry counters (collected by repro.obs.MetricsRegistry).
+        self.install_count = 0
+        self.delete_count = 0
+        self.table_read_count = 0
+        #: Total entries served to table reads (reconciliation volume).
+        self.reconciliation_entries = 0
         # FIFO channel guarantees (paper P4): delivery times are
         # monotone per direction even with jittered per-message delays.
         self._last_inbound_delivery = 0.0
         self._last_outbound_delivery = 0.0
+        registry = getattr(env, "metrics", None)
+        if registry is not None:
+            registry.register_switch(self)
         self._process = env.process(self._main(), name=f"switch-{switch_id}")
 
     # -- health -----------------------------------------------------------------
@@ -187,8 +196,14 @@ class SimSwitch:
             try:
                 yield self.health.wait_for(lambda s: s is SwitchStatus.UP)
                 request = yield self.in_queue.get()
+                started = self.env.now
                 yield self.env.timeout(self.op_process_time)
                 self._perform(request)
+                if self.env._tracing:
+                    self.env.tracer.complete(
+                        self.env, request.kind.name,
+                        track=f"switch-{self.switch_id}", start=started,
+                        duration=self.env.now - started, xid=request.xid)
             except Interrupt:
                 # Failure: abandon whatever was in progress.
                 continue
@@ -206,20 +221,38 @@ class SimSwitch:
             self.flow_table[entry.entry_id] = entry
             self.first_install.setdefault(entry.entry_id, self.env.now)
             self.history.append((self.env.now, "install", entry.entry_id))
+            self.install_count += 1
+            if self.env._tracing:
+                self.env.tracer.op_mark(
+                    self.env, request.xid, "installed",
+                    track=f"switch-{self.switch_id}",
+                    entry=entry.entry_id)
             self._reply(SwitchAck(MsgKind.INSTALL, self.switch_id, request.xid))
         elif request.kind is MsgKind.DELETE:
             assert request.entry_id is not None
             self.flow_table.pop(request.entry_id, None)
             self.history.append((self.env.now, "delete", request.entry_id))
+            self.delete_count += 1
+            if self.env._tracing:
+                self.env.tracer.op_mark(
+                    self.env, request.xid, "installed",
+                    track=f"switch-{self.switch_id}",
+                    entry=request.entry_id, kind="delete")
             self._reply(SwitchAck(MsgKind.DELETE, self.switch_id, request.xid))
         elif request.kind is MsgKind.CLEAR_TCAM:
             self.flow_table.clear()
             self.history.append((self.env.now, "wipe", -1))
+            if self.env._tracing:
+                self.env.tracer.op_mark(
+                    self.env, request.xid, "installed",
+                    track=f"switch-{self.switch_id}", kind="clear")
             self._reply(SwitchAck(MsgKind.CLEAR_TCAM, self.switch_id, request.xid))
         elif request.kind is MsgKind.READ_TABLE:
             # READ_TABLE replies after the Fig. 4(a)-calibrated latency.
             entries = tuple(sorted(self.flow_table.values(),
                                    key=lambda e: e.entry_id))
+            self.table_read_count += 1
+            self.reconciliation_entries += len(entries)
             read_cost = table_read_time(len(entries))
 
             def respond(snapshot=entries, cost=read_cost, xid=request.xid):

@@ -1,0 +1,56 @@
+"""repro.obs — sim-time tracing, OP lifecycle spans, metrics registry.
+
+A zero-overhead-when-disabled telemetry subsystem threaded through the
+simulation kernel and the controller:
+
+* :class:`Tracer` / :class:`NullTracer` / :class:`RecordingTracer` —
+  the kernel hook protocol and its recording implementation
+  (:mod:`repro.obs.tracer`); traces export as Chrome trace-event JSON
+  (Perfetto / ``chrome://tracing``) or JSONL;
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` (:mod:`repro.obs.metrics`);
+* :func:`observe` / :func:`install` — process-wide telemetry defaults
+  picked up by every new :class:`~repro.sim.Environment`
+  (:mod:`repro.obs.context`);
+* :mod:`repro.obs.validate` — Chrome-trace schema validation (CI gate).
+
+Typical use::
+
+    from repro import obs
+
+    tracer = obs.RecordingTracer()
+    registry = obs.MetricsRegistry()
+    with obs.observe(tracer=tracer, metrics=registry):
+        result = run_experiment()
+    tracer.write("trace.json")          # open in https://ui.perfetto.dev
+    print(registry.render())
+"""
+
+from .context import default_metrics, default_tracer, install, observe, uninstall
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    OP_STAGES,
+    RecordingTracer,
+    Tracer,
+)
+from .validate import validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "OP_STAGES",
+    "RecordingTracer",
+    "Tracer",
+    "default_metrics",
+    "default_tracer",
+    "install",
+    "observe",
+    "uninstall",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,62 @@
+"""Process-wide telemetry defaults.
+
+Experiments construct their :class:`~repro.sim.Environment` instances
+internally, so the CLI (and tests) cannot pass a tracer or metrics
+registry down every call chain.  Instead, :func:`install` (or the
+:func:`observe` context manager) sets process-wide defaults that
+``Environment.__init__`` picks up for every environment created while
+they are active.  Explicit ``Environment(tracer=..., metrics=...)``
+arguments always win over the installed defaults.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = ["install", "uninstall", "observe",
+           "default_tracer", "default_metrics"]
+
+_TRACER = None
+_METRICS = None
+
+
+def install(tracer=None, metrics=None) -> None:
+    """Set the default tracer and/or metrics registry for new environments."""
+    global _TRACER, _METRICS
+    if tracer is not None:
+        _TRACER = tracer
+    if metrics is not None:
+        _METRICS = metrics
+
+
+def uninstall() -> None:
+    """Clear both defaults."""
+    global _TRACER, _METRICS
+    _TRACER = None
+    _METRICS = None
+
+
+def default_tracer():
+    """The installed default tracer (None when not observing)."""
+    return _TRACER
+
+
+def default_metrics():
+    """The installed default metrics registry (None when not observing)."""
+    return _METRICS
+
+
+@contextmanager
+def observe(tracer=None, metrics=None):
+    """Install telemetry defaults for the duration of a ``with`` block."""
+    global _TRACER, _METRICS
+    saved = (_TRACER, _METRICS)
+    if tracer is not None:
+        _TRACER = tracer
+    if metrics is not None:
+        _METRICS = metrics
+    try:
+        yield
+    finally:
+        _TRACER, _METRICS = saved

@@ -1,0 +1,216 @@
+"""The metrics registry: counters, gauges, histograms.
+
+The registry is pull-heavy by design, which is how the "zero overhead
+when disabled" promise is kept:
+
+* queues, component hosts and switches always maintain *cheap* plain-int
+  counters (``put_count``, ``depth_hwm``, ``crash_count``, ...) — a few
+  integer bumps per operation, paid unconditionally;
+* the registry turns those into gauges only at :meth:`snapshot` time, by
+  walking the objects that registered themselves on creation;
+* the only push-style instrumentation — per-item queue *wait-time*
+  histograms — is installed by :meth:`register_queue` and guarded in the
+  queue hot path by a single ``is None`` check.
+
+Objects self-register when their :class:`~repro.sim.Environment` carries
+a registry (``env.metrics``), so ZENITH and every baseline controller
+report the exact same gauge names and the experiments can compare them
+directly.  Percentiles come from :mod:`repro.metrics.percentiles`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, set directly or pulled via a callback."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], Any]] = None):
+        self.name = name
+        self._value: Any = 0
+        self._fn = fn
+
+    def set(self, value: Any) -> None:
+        """Set the gauge to ``value``."""
+        self._value = value
+
+    @property
+    def value(self) -> Any:
+        """The current value (calls the pull callback if one is set)."""
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+class Histogram:
+    """A sample distribution summarized as p50/p95/p99."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(value)
+
+    def summary(self) -> dict:
+        """count/mean/p50/p95/p99/max of the recorded samples."""
+        from ..metrics.percentiles import percentile
+
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": len(self.values),
+            "mean": sum(self.values) / len(self.values),
+            "p50": percentile(self.values, 50),
+            "p95": percentile(self.values, 95),
+            "p99": percentile(self.values, 99),
+            "max": max(self.values),
+        }
+
+
+class MetricsRegistry:
+    """Names and collects every metric of a run (all systems, all envs).
+
+    Multiple environments (e.g. the ZENITH / PR / PRUp systems of one
+    comparison experiment) share one registry; their metrics are
+    namespaced ``env<N>.`` in first-created order, which is
+    deterministic under a fixed seed.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._envs: dict[int, int] = {}
+        self._queues: list[tuple[str, Any]] = []
+        self._hosts: list[tuple[str, Any]] = []
+        self._switches: list[tuple[str, Any]] = []
+
+    # -- metric factories ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], Any]] = None) -> Gauge:
+        """Get or create the named gauge (optionally pull-based)."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name, fn)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the named histogram."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    # -- object registration -------------------------------------------------
+    def _env_prefix(self, env) -> str:
+        key = id(env)
+        if key not in self._envs:
+            self._envs[key] = len(self._envs)
+        return f"env{self._envs[key]}"
+
+    def register_queue(self, queue) -> None:
+        """Track a queue: depth/counter gauges + a wait-time histogram.
+
+        Installs the push-style wait-time observer on the queue (the
+        ``_obs``/``_wait_ts`` pair its hot path checks with one ``is
+        None`` test).
+        """
+        prefix = f"{self._env_prefix(queue.env)}.queue.{queue.name}"
+        queue._obs = self.histogram(f"{prefix}.wait_s")
+        self._queues.append((prefix, queue))
+
+    def register_host(self, host) -> None:
+        """Track a component host's crash/restart counters."""
+        prefix = (f"{self._env_prefix(host.env)}"
+                  f".component.{host.component.name}")
+        self._hosts.append((prefix, host))
+
+    def register_switch(self, switch) -> None:
+        """Track a switch's install/delete/read/failure counters."""
+        prefix = f"{self._env_prefix(switch.env)}.switch.{switch.switch_id}"
+        self._switches.append((prefix, switch))
+
+    # -- collection -----------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """One flat name → value mapping over everything registered.
+
+        Histograms contribute their summary fields as dotted sub-keys
+        (``<name>.p99`` etc.); registered objects contribute pull gauges.
+        """
+        out: dict[str, Any] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for prefix, queue in self._queues:
+            out[f"{prefix}.depth"] = len(queue)
+            out[f"{prefix}.depth_hwm"] = queue.depth_hwm
+            out[f"{prefix}.put_count"] = queue.put_count
+            out[f"{prefix}.get_count"] = queue.get_count
+        for prefix, host in self._hosts:
+            out[f"{prefix}.crashes"] = host.crash_count
+            out[f"{prefix}.restarts"] = host.restart_count
+        for prefix, switch in self._switches:
+            out[f"{prefix}.installs"] = switch.install_count
+            out[f"{prefix}.deletes"] = switch.delete_count
+            out[f"{prefix}.table_reads"] = switch.table_read_count
+            out[f"{prefix}.reconciliation_entries"] = \
+                switch.reconciliation_entries
+            out[f"{prefix}.failures"] = switch.failure_count
+            out[f"{prefix}.duplicate_installs"] = switch.duplicate_installs
+        for name, histogram in self._histograms.items():
+            for field, value in histogram.summary().items():
+                out[f"{name}.{field}"] = value
+        return dict(sorted(out.items()))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot as JSON."""
+        import json
+
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self, limit: Optional[int] = None,
+               nonzero_only: bool = True) -> str:
+        """A readable report, largest values first within each family."""
+        snap = self.snapshot()
+        if nonzero_only:
+            snap = {k: v for k, v in snap.items() if v not in (0, 0.0)}
+        lines = ["== metrics =="]
+        shown = 0
+        for name, value in snap.items():
+            if limit is not None and shown >= limit:
+                lines.append(f"... ({len(snap) - shown} more)")
+                break
+            if isinstance(value, float):
+                lines.append(f"{name:<60s} {value:.6g}")
+            else:
+                lines.append(f"{name:<60s} {value}")
+            shown += 1
+        return "\n".join(lines)

@@ -1,0 +1,308 @@
+"""Sim-time tracing: kernel hooks, OP lifecycle spans, trace export.
+
+The simulation kernel (:class:`repro.sim.Environment`) carries a
+:class:`Tracer`.  By default it is the shared :data:`NULL_TRACER`, whose
+``enabled`` flag is False: hot loops pay a single attribute check and
+never call into the tracer.  Installing a :class:`RecordingTracer`
+(directly or via :func:`repro.obs.observe`) turns on:
+
+* **kernel events** — event scheduled/fired, clock advance, process
+  started/finished/crashed (opt-in via ``kernel_events=True``; these are
+  voluminous and mostly useful to debug the kernel itself);
+* **OP lifecycle spans** — components mark the stages an OP passes
+  through (``scheduler → sequenced → worker → to-switch → sent →
+  installed → acked → done``); the exporter assembles the marks into one
+  async span per OP, so Perfetto shows a single bar from scheduling to
+  NIB certification with an instant per stage;
+* **component slices and counters** — explicit begin/end or complete
+  slices (worker translate time, switch processing, reconciliation
+  cycles) and counter series (per-queue depth).
+
+Everything is recorded with *simulated* timestamps, so traces are
+deterministic: two runs with the same seed produce byte-identical
+traces, and tracing never perturbs the schedule (no events are created,
+no randomness consumed).
+
+Export targets:
+
+* **Chrome trace-event format** (``{"traceEvents": [...]}``) — loads in
+  Perfetto / ``chrome://tracing``; one track (thread) per component or
+  switch, one process per :class:`~repro.sim.Environment`;
+* **JSONL** — the same events, one JSON object per line, for ad-hoc
+  ``jq``-style analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "OP_STAGES",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+]
+
+#: Canonical OP lifecycle stages, in pipeline order (paper Fig. 6):
+#: DAG Scheduler registration → Sequencer dispatch → Worker Pool read →
+#: ``ToSW`` enqueue → Monitoring Server send → switch install → ack
+#: classification → NIB ``OpDone`` applied.
+OP_STAGES = (
+    "scheduler",
+    "sequenced",
+    "worker",
+    "to-switch",
+    "sent",
+    "installed",
+    "acked",
+    "done",
+)
+
+#: Sim seconds → Chrome trace microseconds.
+_US = 1e6
+
+
+class Tracer:
+    """Hook protocol the kernel and components call into.
+
+    Subclasses override whichever hooks they care about; the base class
+    is entirely no-op, so a tracer only pays for what it records.  The
+    ``enabled`` flag is what hot loops check (``env._tracing`` caches
+    it), so a disabled tracer costs one attribute read per hook site.
+    """
+
+    #: Hot-path gate: when False the kernel never calls the hooks.
+    enabled = True
+
+    # -- kernel hooks ------------------------------------------------------
+    def event_scheduled(self, env, event, when: float, priority: int) -> None:
+        """An event was pushed onto the heap to fire at ``when``."""
+
+    def event_fired(self, env, event) -> None:
+        """An event was popped and its callbacks are about to run."""
+
+    def clock_advanced(self, env, old: float, new: float) -> None:
+        """The virtual clock moved forward."""
+
+    def process_started(self, env, process) -> None:
+        """A process generator was registered with the kernel."""
+
+    def process_finished(self, env, process) -> None:
+        """A process generator ran to completion."""
+
+    def process_crashed(self, env, process, exc: BaseException) -> None:
+        """A process generator raised an uncaught exception."""
+
+    # -- structured telemetry ----------------------------------------------
+    def instant(self, env, name: str, track: str = "sim",
+                ts: Optional[float] = None, **args: Any) -> None:
+        """A point-in-time annotation on ``track``."""
+
+    def complete(self, env, name: str, track: str, start: float,
+                 duration: float, **args: Any) -> None:
+        """A closed slice on ``track`` (e.g. one unit of component work)."""
+
+    def counter(self, env, name: str, values: dict,
+                ts: Optional[float] = None) -> None:
+        """A sample of one or more counter series (e.g. queue depth)."""
+
+    def op_mark(self, env, op_id: int, stage: str, track: str,
+                ts: Optional[float] = None, **args: Any) -> None:
+        """OP ``op_id`` reached lifecycle ``stage`` on ``track``."""
+
+
+class NullTracer(Tracer):
+    """The default no-op tracer; ``enabled`` is False so hooks are skipped."""
+
+    enabled = False
+
+
+#: Shared default instance; ``Environment`` uses it when no tracer is given.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Records telemetry into memory for Chrome-trace / JSONL export."""
+
+    enabled = True
+
+    def __init__(self, kernel_events: bool = False):
+        #: When True, kernel-level hooks are logged to :attr:`kernel_log`.
+        self.kernel_events = kernel_events
+        #: Raw kernel hook log: (kind, pid, payload...) tuples.
+        self.kernel_log: list[tuple] = []
+        self._events: list[dict] = []
+        # (pid, op_id) → [(ts_us, stage, track, args), ...]
+        self._op_marks: dict[tuple[int, int], list[tuple]] = {}
+        # Environments and tracks get small deterministic integer ids in
+        # first-seen order (never raw id()s, which would break run-to-run
+        # trace equality).
+        self._envs: dict[int, int] = {}
+        self._tracks: dict[tuple[int, str], int] = {}
+
+    # -- id assignment ------------------------------------------------------
+    def _pid(self, env) -> int:
+        key = id(env)
+        if key not in self._envs:
+            self._envs[key] = len(self._envs)
+        return self._envs[key]
+
+    def _tid(self, pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in self._tracks:
+            self._tracks[key] = len(self._tracks) + 1
+        return self._tracks[key]
+
+    # -- kernel hooks -------------------------------------------------------
+    def event_scheduled(self, env, event, when, priority):
+        if self.kernel_events:
+            self.kernel_log.append(
+                ("scheduled", self._pid(env), type(event).__name__,
+                 when, priority))
+
+    def event_fired(self, env, event):
+        if self.kernel_events:
+            self.kernel_log.append(
+                ("fired", self._pid(env), type(event).__name__, env.now))
+
+    def clock_advanced(self, env, old, new):
+        if self.kernel_events:
+            self.kernel_log.append(("clock", self._pid(env), old, new))
+
+    def process_started(self, env, process):
+        if self.kernel_events:
+            self.kernel_log.append(("start", self._pid(env), process.name))
+
+    def process_finished(self, env, process):
+        if self.kernel_events:
+            self.kernel_log.append(("finish", self._pid(env), process.name))
+
+    def process_crashed(self, env, process, exc):
+        # Crashes are always recorded (they are rare and load-bearing).
+        pid = self._pid(env)
+        self.kernel_log.append(
+            ("crash", pid, process.name, type(exc).__name__))
+        self._append("i", f"crash {process.name}", "crashes", pid,
+                     env.now * _US,
+                     args={"process": process.name,
+                           "exception": type(exc).__name__})
+
+    # -- structured telemetry -----------------------------------------------
+    def _append(self, ph: str, name: str, track: str, pid: int,
+                ts_us: float, args: Optional[dict] = None,
+                **extra: Any) -> None:
+        event = {
+            "name": name,
+            "cat": "sim",
+            "ph": ph,
+            "ts": round(ts_us, 3),
+            "pid": pid,
+            "tid": self._tid(pid, track),
+        }
+        if args:
+            event["args"] = args
+        event.update(extra)
+        self._events.append(event)
+
+    def instant(self, env, name, track="sim", ts=None, **args):
+        when = env.now if ts is None else ts
+        self._append("i", name, track, self._pid(env), when * _US,
+                     args=args or None, s="t")
+
+    def complete(self, env, name, track, start, duration, **args):
+        self._append("X", name, track, self._pid(env), start * _US,
+                     args=args or None, dur=round(duration * _US, 3))
+
+    def counter(self, env, name, values, ts=None):
+        when = env.now if ts is None else ts
+        pid = self._pid(env)
+        self._events.append({
+            "name": name,
+            "cat": "counter",
+            "ph": "C",
+            "ts": round(when * _US, 3),
+            "pid": pid,
+            "tid": 0,
+            "args": dict(values),
+        })
+
+    def op_mark(self, env, op_id, stage, track, ts=None, **args):
+        when = env.now if ts is None else ts
+        pid = self._pid(env)
+        self._op_marks.setdefault((pid, op_id), []).append(
+            (round(when * _US, 3), stage, track, dict(args)))
+
+    # -- analysis accessors ---------------------------------------------------
+    def op_stages(self) -> dict[tuple[int, int], list[tuple[str, float, str]]]:
+        """(pid, op_id) → [(stage, sim_time_s, track), ...] in time order."""
+        result = {}
+        for key, marks in self._op_marks.items():
+            result[key] = [(stage, ts_us / _US, track)
+                           for ts_us, stage, track, _args in marks]
+        return result
+
+    def complete_op_ids(self, first: str = "scheduler",
+                        last: str = "acked") -> list[tuple[int, int]]:
+        """(pid, op_id) pairs whose span covers ``first`` → ``last``."""
+        complete = []
+        for key, marks in self._op_marks.items():
+            stages = {stage for _ts, stage, _track, _args in marks}
+            if first in stages and last in stages:
+                complete.append(key)
+        return sorted(complete)
+
+    # -- export ----------------------------------------------------------------
+    def chrome_events(self) -> list[dict]:
+        """All trace events, including synthesized OP spans and metadata."""
+        events = list(self._events)
+        for (pid, op_id), marks in sorted(self._op_marks.items()):
+            first_ts = marks[0][0]
+            last_ts = marks[-1][0]
+            tid = self._tid(pid, marks[0][2])
+            common = {"cat": "op", "id": str(op_id), "pid": pid, "tid": tid}
+            events.append({"name": "op", "ph": "b", "ts": first_ts,
+                           "args": {"op_id": op_id}, **common})
+            for ts_us, stage, track, args in marks:
+                events.append({"name": stage, "ph": "n", "ts": ts_us,
+                               "args": {"track": track, **args}, **common})
+            events.append({"name": "op", "ph": "e", "ts": last_ts, **common})
+        for key, pid in sorted(self._envs.items(), key=lambda kv: kv[1]):
+            events.append({"name": "process_name", "ph": "M", "ts": 0,
+                           "pid": pid, "tid": 0, "cat": "__metadata",
+                           "args": {"name": f"sim-{pid}"}})
+        for (pid, track), tid in sorted(self._tracks.items(),
+                                        key=lambda kv: kv[1]):
+            events.append({"name": "thread_name", "ph": "M", "ts": 0,
+                           "pid": pid, "tid": tid, "cat": "__metadata",
+                           "args": {"name": track}})
+        return events
+
+    def to_chrome_trace(self) -> dict:
+        """The Chrome trace-event document (loads in Perfetto)."""
+        return {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs", "clock": "sim-time"},
+        }
+
+    def to_chrome_json(self, indent: Optional[int] = None) -> str:
+        """Serialized Chrome trace (deterministic key order)."""
+        return json.dumps(self.to_chrome_trace(), indent=indent,
+                          sort_keys=True)
+
+    def jsonl_lines(self) -> Iterable[str]:
+        """The same events as newline-delimited JSON."""
+        for event in self.chrome_events():
+            yield json.dumps(event, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        """Write the trace; ``.jsonl`` suffix selects JSONL, else Chrome."""
+        with open(path, "w", encoding="utf-8") as handle:
+            if str(path).endswith(".jsonl"):
+                for line in self.jsonl_lines():
+                    handle.write(line + "\n")
+            else:
+                handle.write(self.to_chrome_json())
+                handle.write("\n")

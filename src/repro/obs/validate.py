@@ -1,0 +1,142 @@
+"""Chrome trace-event schema validation (CI smoke gate).
+
+``python -m repro.obs.validate trace.json --require-op-span`` checks
+that a trace written by :class:`repro.obs.RecordingTracer` is
+well-formed Chrome trace-event JSON (the subset Perfetto and
+``chrome://tracing`` consume) and, optionally, that it contains at least
+one *complete* OP lifecycle span and per-queue depth counters — the
+acceptance gates of the observability subsystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+__all__ = ["validate_chrome_trace", "main"]
+
+_KNOWN_PHASES = {"B", "E", "X", "i", "I", "C", "b", "n", "e", "M", "s",
+                 "t", "f"}
+_ASYNC_PHASES = {"b", "n", "e"}
+
+
+def validate_chrome_trace(doc: Any,
+                          require_op_span: bool = False,
+                          require_counters: bool = False) -> list[str]:
+    """Return a list of schema problems (empty when the trace is valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing/invalid 'traceEvents' array"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+
+    async_groups: dict[tuple, list] = {}
+    counter_names: set[str] = set()
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown ph {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing/non-string 'name'")
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: missing/non-numeric 'ts'")
+        elif event["ts"] < 0:
+            problems.append(f"{where}: negative ts {event['ts']}")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: missing/non-int 'pid'")
+        if not isinstance(event.get("tid"), int):
+            problems.append(f"{where}: missing/non-int 'tid'")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"{where}: 'X' event without numeric 'dur'")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: 'C' event without args series")
+            else:
+                counter_names.add(event.get("name", ""))
+        if phase in _ASYNC_PHASES:
+            if "id" not in event:
+                problems.append(f"{where}: async event without 'id'")
+            else:
+                key = (event.get("cat"), event.get("pid"), str(event["id"]))
+                async_groups.setdefault(key, []).append(event)
+
+    # Async groups must open with 'b' and close with 'e'.
+    for key, group in async_groups.items():
+        phases = [e["ph"] for e in group]
+        if phases.count("b") != 1 or phases.count("e") != 1:
+            problems.append(
+                f"async group {key}: expected exactly one 'b' and one 'e', "
+                f"got {phases}")
+            continue
+        begin = next(e for e in group if e["ph"] == "b")
+        end = next(e for e in group if e["ph"] == "e")
+        if end["ts"] < begin["ts"]:
+            problems.append(f"async group {key}: 'e' before 'b'")
+
+    if require_op_span:
+        complete = _complete_op_spans(async_groups)
+        if not complete:
+            problems.append(
+                "no complete OP span (async 'op' group whose stage marks "
+                "include 'scheduler' and 'acked')")
+    if require_counters:
+        if not any(name.startswith("queue ") for name in counter_names):
+            problems.append("no per-queue depth counter events found")
+    return problems
+
+
+def _complete_op_spans(async_groups: dict) -> list[tuple]:
+    complete = []
+    for key, group in async_groups.items():
+        cat = key[0]
+        if cat != "op":
+            continue
+        stages = {e["name"] for e in group if e["ph"] == "n"}
+        if "scheduler" in stages and "acked" in stages:
+            complete.append(key)
+    return complete
+
+
+def main(argv=None) -> int:
+    """Validate a trace file; exit 0 when clean, 1 otherwise."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate a Chrome trace-event JSON file")
+    parser.add_argument("trace", help="trace file (.json or .jsonl)")
+    parser.add_argument("--require-op-span", action="store_true",
+                        help="require one complete scheduler→acked OP span")
+    parser.add_argument("--require-counters", action="store_true",
+                        help="require per-queue depth counter events")
+    args = parser.parse_args(argv)
+
+    with open(args.trace, encoding="utf-8") as handle:
+        if args.trace.endswith(".jsonl"):
+            doc = {"traceEvents": [json.loads(line) for line in handle
+                                   if line.strip()]}
+        else:
+            doc = json.load(handle)
+    problems = validate_chrome_trace(
+        doc, require_op_span=args.require_op_span,
+        require_counters=args.require_counters)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    events = doc["traceEvents"]
+    print(f"OK: {args.trace} ({len(events)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,9 @@ class ComponentHost:
         self._restart_event: Optional[Event] = None
         self._process: Optional[Process] = None
         self._was_crashed = False
+        registry = getattr(env, "metrics", None)
+        if registry is not None:
+            registry.register_host(self)
 
     @property
     def name(self) -> str:
@@ -110,6 +113,9 @@ class ComponentHost:
         if self.state is not HostState.RUNNING or self._process is None:
             return
         self.crash_count += 1
+        if self.env._tracing:
+            self.env.tracer.instant(self.env, f"crash {self.name}",
+                                    track=self.name, reason=reason)
         self._process.interrupt(Crash(reason))
 
     def restart(self) -> None:
@@ -122,6 +128,12 @@ class ComponentHost:
         self.state = HostState.STOPPED
         if self._process is not None and self._process.is_alive:
             self._process.interrupt(Crash("stopped"))
+
+    def _mark_restarted(self) -> None:
+        self.restart_count += 1
+        if self.env._tracing:
+            self.env.tracer.instant(self.env, f"restart {self.name}",
+                                    track=self.name)
 
     def _lifecycle(self) -> Generator:
         while True:
@@ -152,7 +164,7 @@ class ComponentHost:
                                 restarted = True
                             except Interrupt:
                                 continue
-                    self.restart_count += 1
+                    self._mark_restarted()
                 else:
                     while True:
                         self._restart_event = self.env.event()
@@ -166,7 +178,7 @@ class ComponentHost:
                                 return
                             continue
                     self._restart_event = None
-                    self.restart_count += 1
+                    self._mark_restarted()
 
 
 def run_components(env: Environment, components: Iterable[Component],

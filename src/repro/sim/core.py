@@ -12,13 +12,24 @@ deterministic, generator-based kernel in the style of SimPy:
 
 The kernel supports interrupts (used to model component crashes) and
 condition events (used to wait for any/all of several events).
+
+Telemetry: every environment carries a :class:`repro.obs.Tracer`
+(default: the no-op :data:`repro.obs.NULL_TRACER`) and optionally a
+:class:`repro.obs.MetricsRegistry`.  The tracer's ``enabled`` flag is
+cached as ``_tracing`` so the hot loops — scheduling and stepping — pay
+one attribute check when tracing is off, and tracing never perturbs the
+schedule (hooks observe, they do not create events).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import traceback
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..obs import context as _obs_context
+from ..obs.tracer import NULL_TRACER
 
 __all__ = [
     "Environment",
@@ -221,6 +232,8 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        if env._tracing:
+            env.tracer.process_started(env, self)
         init = Event(env)
         init._ok = True
         env._schedule(init, delay=0.0, priority=URGENT)
@@ -264,6 +277,8 @@ class Process(Event):
                 next_event = self._generator.throw(event.value)
         except StopIteration as stop:
             self.env._active_process = None
+            if self.env._tracing:
+                self.env.tracer.process_finished(self.env, self)
             self.succeed(stop.value, priority=URGENT)
             return
         except BaseException as exc:
@@ -292,7 +307,7 @@ class Process(Event):
 class Environment:
     """The simulation clock, event heap and process factory."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, tracer=None, metrics=None):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
@@ -301,6 +316,23 @@ class Environment:
         self.crashed: list[tuple[Process, BaseException]] = []
         #: When True, uncaught process exceptions propagate out of run().
         self.strict = True
+        # Telemetry: explicit arguments win; otherwise pick up whatever
+        # repro.obs.observe()/install() made the process-wide default.
+        if tracer is None:
+            tracer = _obs_context.default_tracer()
+        if metrics is None:
+            metrics = _obs_context.default_metrics()
+        #: The tracer receiving kernel and component telemetry hooks.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Hot-path cache of ``tracer.enabled``.
+        self._tracing = self.tracer.enabled
+        #: Metrics registry that queues/hosts/switches self-register with.
+        self.metrics = metrics
+
+    def set_tracer(self, tracer) -> None:
+        """Swap the tracer (None restores the no-op default)."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
 
     @property
     def now(self) -> float:
@@ -338,11 +370,16 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         event._scheduled = True
+        when = self._now + delay
+        if self._tracing:
+            self.tracer.event_scheduled(self, event, when, priority)
         heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._counter), event))
+            self._heap, (when, priority, next(self._counter), event))
 
     def _record_crash(self, process: Process, exc: BaseException) -> None:
         self.crashed.append((process, exc))
+        if self._tracing:
+            self.tracer.process_crashed(self, process, exc)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -353,12 +390,42 @@ class Environment:
         if not self._heap:
             raise SimulationError("no scheduled events")
         when, _priority, _seq, event = heapq.heappop(self._heap)
-        self._now = when
+        if self._tracing:
+            if when != self._now:
+                self.tracer.clock_advanced(self, self._now, when)
+            self._now = when
+            self.tracer.event_fired(self, event)
+        else:
+            self._now = when
         event._mark_processed()
         if self.strict and self.crashed:
-            process, exc = self.crashed[-1]
-            raise SimulationError(
-                f"process {process.name!r} crashed at t={self._now:.6f}") from exc
+            raise self._crash_error()
+
+    def _crash_error(self) -> SimulationError:
+        """Build a SimulationError covering *every* crashed process.
+
+        One event firing can resume — and crash — several waiting
+        processes, so the report must name all of them, not just the
+        last.  The first (original) crash is chained as ``__cause__`` so
+        its full traceback survives; further crashes are attached as
+        exception notes (Python ≥ 3.11) and all are available on the
+        ``crashes`` attribute.
+        """
+        crashes = list(self.crashed)
+        detail = "; ".join(
+            f"{process.name!r} ({type(exc).__name__}: {exc})"
+            for process, exc in crashes)
+        error = SimulationError(
+            f"{len(crashes)} process(es) crashed by t={self._now:.6f}: "
+            f"{detail}")
+        error.crashes = crashes
+        error.__cause__ = crashes[0][1]
+        if hasattr(error, "add_note"):
+            for process, exc in crashes[1:]:
+                trace = "".join(traceback.format_exception(
+                    type(exc), exc, exc.__traceback__)).rstrip()
+                error.add_note(f"also crashed: {process.name!r}\n{trace}")
+        return error
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the heap drains, ``until`` time passes, or event fires."""

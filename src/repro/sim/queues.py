@@ -12,6 +12,13 @@ relies on (§3.9 of the paper):
   same item after restart, giving at-least-once processing.  This is the
   queue discipline that fixes the "event lost on crash" class of
   specification errors (Listing 3 in the paper).
+
+Bookkeeping: all three primitives share one counter surface —
+``put_count`` / ``get_count`` (plus ``depth_hwm`` for the two real
+queues).  These are unconditional plain-int bumps; the expensive
+telemetry (per-item wait-time histograms, queue-depth trace counters) is
+gated behind ``_obs``/``env._tracing`` checks installed by
+:mod:`repro.obs`, so a queue without observers pays almost nothing.
 """
 
 from __future__ import annotations
@@ -28,6 +35,13 @@ class QueueClosed(Exception):
     """Raised by pending getters when the queue is shut down."""
 
 
+def _trace_depth(queue) -> None:
+    """Emit the queue's depth as a Chrome-trace counter sample."""
+    queue.env.tracer.counter(
+        queue.env, f"queue {queue.name} depth",
+        {"depth": len(queue._items)})
+
+
 class FifoQueue:
     """Unbounded FIFO queue with event-based blocking gets."""
 
@@ -37,8 +51,18 @@ class FifoQueue:
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
         self._closed = False
-        #: Total number of items ever put (for metrics).
+        #: Total number of items ever put.
         self.put_count = 0
+        #: Total number of items ever handed to a consumer.
+        self.get_count = 0
+        #: High-water mark of the queued depth.
+        self.depth_hwm = 0
+        # Wait-time histogram installed by MetricsRegistry.register_queue.
+        self._obs = None
+        self._wait_ts: deque[float] = deque()
+        registry = getattr(env, "metrics", None)
+        if registry is not None:
+            registry.register_queue(self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -58,14 +82,28 @@ class FifoQueue:
             if getter.triggered:
                 continue
             getter.succeed(item)
+            self.get_count += 1
+            if self._obs is not None:
+                self._obs.observe(0.0)
             return
         self._items.append(item)
+        if len(self._items) > self.depth_hwm:
+            self.depth_hwm = len(self._items)
+        if self._obs is not None:
+            self._wait_ts.append(self.env.now)
+        if self.env._tracing:
+            _trace_depth(self)
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
         event = Event(self.env)
         if self._items:
             event.succeed(self._items.popleft())
+            self.get_count += 1
+            if self._obs is not None:
+                self._obs.observe(self.env.now - self._wait_ts.popleft())
+            if self.env._tracing:
+                _trace_depth(self)
         elif self._closed:
             event.fail(QueueClosed(self.name))
         else:
@@ -84,6 +122,9 @@ class FifoQueue:
         """Drop all queued items, returning how many were dropped."""
         dropped = len(self._items)
         self._items.clear()
+        self._wait_ts.clear()
+        if dropped and self.env._tracing:
+            _trace_depth(self)
         return dropped
 
     def close(self) -> None:
@@ -110,7 +151,17 @@ class AckQueue:
         self.name = name
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
+        #: Total number of items ever put.
         self.put_count = 0
+        #: Total number of items ever popped.
+        self.get_count = 0
+        #: High-water mark of the queued depth.
+        self.depth_hwm = 0
+        self._obs = None
+        self._wait_ts: deque[float] = deque()
+        registry = getattr(env, "metrics", None)
+        if registry is not None:
+            registry.register_queue(self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -124,6 +175,12 @@ class AckQueue:
         """Enqueue ``item``; wakes all waiting readers (they only peek)."""
         self.put_count += 1
         self._items.append(item)
+        if len(self._items) > self.depth_hwm:
+            self.depth_hwm = len(self._items)
+        if self._obs is not None:
+            self._wait_ts.append(self.env.now)
+        if self.env._tracing:
+            _trace_depth(self)
         getters, self._getters = self._getters, deque()
         for getter in getters:
             if not getter.triggered:
@@ -143,7 +200,13 @@ class AckQueue:
         """Remove and return the head item."""
         if not self._items:
             raise IndexError(f"pop from empty AckQueue {self.name!r}")
-        return self._items.popleft()
+        item = self._items.popleft()
+        self.get_count += 1
+        if self._obs is not None:
+            self._obs.observe(self.env.now - self._wait_ts.popleft())
+        if self.env._tracing:
+            _trace_depth(self)
+        return item
 
     def cancel(self, event: Event) -> None:
         """Forget a pending reader."""
@@ -156,6 +219,9 @@ class AckQueue:
         """Drop all queued items, returning how many were dropped."""
         dropped = len(self._items)
         self._items.clear()
+        self._wait_ts.clear()
+        if dropped and self.env._tracing:
+            _trace_depth(self)
         return dropped
 
 
@@ -166,6 +232,10 @@ class Store:
         self.env = env
         self._value = value
         self._waiters: list[tuple[Callable[[Any], bool], Event]] = []
+        #: Number of ``set`` calls (same counter surface as the queues).
+        self.put_count = 0
+        #: Number of satisfied waits.
+        self.get_count = 0
 
     @property
     def value(self) -> Any:
@@ -175,12 +245,14 @@ class Store:
     def set(self, value: Any) -> None:
         """Store ``value`` and wake any waiter whose predicate matches."""
         self._value = value
+        self.put_count += 1
         still_waiting = []
         for predicate, event in self._waiters:
             if event.triggered:
                 continue
             if predicate(value):
                 event.succeed(value)
+                self.get_count += 1
             else:
                 still_waiting.append((predicate, event))
         self._waiters = still_waiting
@@ -192,6 +264,7 @@ class Store:
         event = Event(self.env)
         if predicate(self._value):
             event.succeed(self._value)
+            self.get_count += 1
         else:
             self._waiters.append((predicate, event))
         return event

@@ -1,0 +1,75 @@
+"""MonitoringServer classification: status messages and role acks."""
+
+from repro.core import ZenithController
+from repro.net import Network, linear
+from repro.net.messages import (
+    MsgKind,
+    SwitchAck,
+    SwitchRequest,
+    SwitchStatus,
+    SwitchStatusMsg,
+)
+from repro.sim import Environment
+
+
+def make_controller():
+    env = Environment()
+    network = Network(env, linear(2))
+    controller = ZenithController(env, network).start()
+    return env, network, controller
+
+
+def test_classify_routes_status_message_to_topo_queue():
+    """An in-band SwitchStatusMsg lands on the topo event queue."""
+    env, network, controller = make_controller()
+    env.run(until=0.01)
+    before = len(controller.state.topo_event_queue())
+    message = SwitchStatusMsg(switch="s0", status=SwitchStatus.DOWN,
+                              at=env.now, state_lost=True)
+    controller.monitoring._classify(message)
+    queue = controller.state.topo_event_queue()
+    assert len(queue) == before + 1
+    assert queue.items[-1] is message
+
+
+def test_in_band_status_message_drives_recovery():
+    """A DOWN/UP pair via the data channel flips NIB health state."""
+    from repro.core import SwitchHealth
+
+    env, network, controller = make_controller()
+    env.run(until=0.01)
+    down = SwitchStatusMsg(switch="s1", status=SwitchStatus.DOWN,
+                           at=env.now, state_lost=True)
+    controller.monitoring._classify(down)
+    env.run(until=env.now + 1.0)
+    assert controller.state.health_of("s1") is SwitchHealth.DOWN
+    up = SwitchStatusMsg(switch="s1", status=SwitchStatus.UP, at=env.now)
+    controller.monitoring._classify(up)
+    env.run(until=env.now + 5.0)
+    assert controller.state.health_of("s1") is SwitchHealth.UP
+
+
+def test_classify_routes_role_ack_to_role_acks_queue():
+    env, network, controller = make_controller()
+    env.run(until=0.01)
+    ack = SwitchAck(MsgKind.ROLE_CHANGE, "s0", xid=99)
+    controller.monitoring._classify(ack)
+    role_acks = controller.nib.fifo(f"{controller.name}.RoleAcks")
+    assert role_acks.items == (ack,)
+
+
+def test_role_change_round_trip_through_switch():
+    """ROLE_CHANGE sent via ToSW comes back as an ack in RoleAcks."""
+    env, network, controller = make_controller()
+    env.run(until=0.01)
+    request = SwitchRequest(MsgKind.ROLE_CHANGE, "s0",
+                            xid=controller.state.next_xid(),
+                            sender="ofc-2", role="ofc-2")
+    controller.state.to_switch_queue("s0").put(request)
+    env.run(until=env.now + 1.0)
+    role_acks = controller.nib.fifo(f"{controller.name}.RoleAcks")
+    assert len(role_acks) == 1
+    ack = role_acks.items[0]
+    assert ack.kind is MsgKind.ROLE_CHANGE
+    assert ack.xid == request.xid
+    assert network["s0"].master == "ofc-2"

@@ -1,0 +1,57 @@
+"""Tracing must not perturb the simulation (satellite: determinism).
+
+Two properties:
+
+* recording a trace leaves the simulation *bit-identical* to an
+  untraced run with the same seed (the tracer creates no events and
+  consumes no randomness);
+* tracing itself is deterministic: two traced runs of the same scenario
+  produce byte-identical Chrome-trace JSON.
+"""
+
+from repro.core import ZenithController
+from repro.metrics.convergence import measure_convergence
+from repro.net import FailureMode, Network, linear
+from repro.obs import MetricsRegistry, RecordingTracer, observe
+from repro.sim import Environment
+from repro.workloads.dags import IdAllocator, path_dag
+
+
+def run_scenario(tracer=None, metrics=None):
+    """A small fig12-style run: install, fail a switch, recover."""
+    with observe(tracer=tracer, metrics=metrics):
+        env = Environment()
+        network = Network(env, linear(4))
+        controller = ZenithController(env, network).start()
+        dag = path_dag(IdAllocator(), ["s0", "s1", "s2", "s3"])
+        result = measure_convergence(env, controller, dag)
+
+        network["s2"].fail(FailureMode.COMPLETE)
+        env.run(until=env.now + 1.0)
+        network["s2"].recover()
+        done = controller.wait_for_dag(dag.dag_id)
+        env.run(until=done)
+        env.run(until=env.now + 2.0)
+    return {
+        "certified_at": result.certified_at,
+        "consistent_at": result.truly_consistent_at,
+        "end": env.now,
+        "routing": {sw: sorted(entries) for sw, entries
+                    in network.routing_state().items()},
+        "history": {sw.switch_id: tuple(sw.history) for sw in network},
+    }
+
+
+def test_recording_tracer_does_not_perturb_results():
+    baseline = run_scenario()                       # NullTracer
+    traced = run_scenario(tracer=RecordingTracer(),
+                          metrics=MetricsRegistry())
+    assert traced == baseline
+
+
+def test_two_traced_runs_produce_identical_traces():
+    tracer_a, tracer_b = RecordingTracer(), RecordingTracer()
+    result_a = run_scenario(tracer=tracer_a)
+    result_b = run_scenario(tracer=tracer_b)
+    assert result_a == result_b
+    assert tracer_a.to_chrome_json() == tracer_b.to_chrome_json()

@@ -1,0 +1,103 @@
+"""End-to-end telemetry: OP spans and metrics from a real controller run."""
+
+from repro.core import ZenithController
+from repro.metrics.convergence import measure_convergence
+from repro.net import Network, linear
+from repro.obs import MetricsRegistry, RecordingTracer, observe
+from repro.obs.validate import validate_chrome_trace
+from repro.sim import Environment
+from repro.workloads.dags import IdAllocator, path_dag
+
+
+def run_traced_install():
+    tracer = RecordingTracer()
+    registry = MetricsRegistry()
+    with observe(tracer=tracer, metrics=registry):
+        env = Environment()
+        network = Network(env, linear(4))
+        controller = ZenithController(env, network).start()
+        dag = path_dag(IdAllocator(), ["s0", "s1", "s2", "s3"])
+        result = measure_convergence(env, controller, dag)
+    return tracer, registry, dag, result
+
+
+def test_context_installs_defaults():
+    tracer = RecordingTracer()
+    with observe(tracer=tracer):
+        env = Environment()
+        assert env.tracer is tracer
+        assert env._tracing is True
+    outside = Environment()
+    assert outside._tracing is False
+
+
+def test_full_op_lifecycle_spans():
+    tracer, _registry, dag, result = run_traced_install()
+    assert result.certified_at is not None
+    complete = tracer.complete_op_ids(first="scheduler", last="acked")
+    assert len(complete) >= len(dag.ops)
+    stages = tracer.op_stages()
+    for key in complete:
+        seen = [stage for stage, _ts, _track in stages[key]]
+        # Pipeline order: scheduler before worker before installed/acked.
+        assert seen.index("scheduler") < seen.index("worker")
+        assert seen.index("worker") < seen.index("installed")
+        assert seen.index("installed") < seen.index("acked")
+        times = [ts for _stage, ts, _track in stages[key]]
+        assert times == sorted(times)
+
+
+def test_trace_document_validates_with_requirements():
+    tracer, _registry, _dag, _result = run_traced_install()
+    doc = tracer.to_chrome_trace()
+    errors = validate_chrome_trace(doc, require_op_span=True,
+                                   require_counters=True)
+    assert errors == []
+
+
+def test_queue_depth_counters_emitted():
+    tracer, _registry, _dag, _result = run_traced_install()
+    counters = {e["name"] for e in tracer.chrome_events() if e["ph"] == "C"}
+    assert any(name.startswith("queue ") and name.endswith(" depth")
+               for name in counters)
+
+
+def test_convergence_instants_annotated():
+    tracer, _registry, dag, result = run_traced_install()
+    assert result.truly_consistent_at is not None
+    instants = {e["name"] for e in tracer.chrome_events() if e["ph"] == "i"}
+    assert f"dag {dag.dag_id} certified" in instants
+    assert f"dag {dag.dag_id} consistent" in instants
+    assert f"dag {dag.dag_id} done" in instants
+
+
+def test_metrics_reflect_installs_and_queue_traffic():
+    _tracer, registry, dag, _result = run_traced_install()
+    snap = registry.snapshot()
+    installs = sum(value for name, value in snap.items()
+                   if name.endswith(".installs"))
+    assert installs == len(dag.ops)
+    assert any(name.endswith(".wait_s.count") and value > 0
+               for name, value in snap.items())
+    assert registry.to_json().startswith("{")
+
+
+def test_crash_and_restart_metrics():
+    registry = MetricsRegistry()
+    tracer = RecordingTracer()
+    with observe(tracer=tracer, metrics=registry):
+        env = Environment()
+        network = Network(env, linear(3))
+        controller = ZenithController(env, network).start()
+        dag = path_dag(IdAllocator(), ["s0", "s1", "s2"])
+        controller.submit_dag(dag)
+        env.run(until=0.01)
+        controller.crash_component("worker-0")
+        env.run(until=controller.wait_for_dag(dag.dag_id))
+        env.run(until=env.now + 1.0)  # let the watchdog restart it
+    snap = registry.snapshot()
+    assert snap["env0.component.worker-0.crashes"] == 1
+    assert snap["env0.component.worker-0.restarts"] == 1
+    instants = {e["name"] for e in tracer.chrome_events() if e["ph"] == "i"}
+    assert "crash worker-0" in instants
+    assert "restart worker-0" in instants

@@ -1,0 +1,126 @@
+"""Unit tests for the metrics registry and queue/host/switch gauges."""
+
+from repro.net import Network, linear
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim import AckQueue, Environment, FifoQueue, Store
+
+
+def test_counter_gauge_histogram_basics():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    gauge = Gauge("g")
+    gauge.set(3.5)
+    assert gauge.value == 3.5
+    pulled = Gauge("p", fn=lambda: 11)
+    assert pulled.value == 11
+    histogram = Histogram("h")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 4
+    assert summary["mean"] == 2.5
+    assert summary["max"] == 4.0
+    assert summary["p50"] <= summary["p95"] <= summary["p99"]
+    assert Histogram("empty").summary() == {"count": 0}
+
+
+def test_factories_get_or_create():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+
+
+def test_queue_counters_without_registry():
+    """Bookkeeping works (cheaply) even with no registry installed."""
+    env = Environment()
+    queue = FifoQueue(env, "plain")
+    assert queue._obs is None
+    queue.put(1)
+    queue.put(2)
+    env.run(until=queue.get())
+    assert (queue.put_count, queue.get_count, queue.depth_hwm) == (2, 1, 2)
+
+
+def test_fifo_queue_wait_histogram_and_snapshot():
+    registry = MetricsRegistry()
+    env = Environment(metrics=registry)
+    queue = FifoQueue(env, "jobs")
+
+    def producer():
+        queue.put("a")
+        yield env.timeout(2.0)
+        queue.put("b")
+
+    def consumer():
+        yield env.timeout(1.0)
+        yield queue.get()       # waited 1s in queue
+        yield queue.get()       # handed over directly: zero wait
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    snap = registry.snapshot()
+    assert snap["env0.queue.jobs.put_count"] == 2
+    assert snap["env0.queue.jobs.get_count"] == 2
+    assert snap["env0.queue.jobs.depth"] == 0
+    assert snap["env0.queue.jobs.depth_hwm"] == 1
+    assert snap["env0.queue.jobs.wait_s.count"] == 2
+    assert abs(snap["env0.queue.jobs.wait_s.max"] - 1.0) < 1e-9
+
+
+def test_ack_queue_counts_pops_not_reads():
+    registry = MetricsRegistry()
+    env = Environment(metrics=registry)
+    queue = AckQueue(env, "inbox")
+    queue.put("x")
+    env.run(until=queue.read())
+    assert queue.get_count == 0     # read is a peek
+    queue.pop()
+    assert queue.get_count == 1
+    snap = registry.snapshot()
+    assert snap["env0.queue.inbox.get_count"] == 1
+
+
+def test_store_shares_counter_surface():
+    env = Environment()
+    store = Store(env, 0)
+    store.set(1)
+    store.set(2)
+    assert store.put_count == 2
+    env.run(until=store.wait_for(lambda v: v == 2))  # already satisfied
+    assert store.get_count == 1
+
+
+def test_multiple_envs_namespaced_in_creation_order():
+    registry = MetricsRegistry()
+    env_a = Environment(metrics=registry)
+    env_b = Environment(metrics=registry)
+    FifoQueue(env_a, "q")
+    FifoQueue(env_b, "q")
+    snap = registry.snapshot()
+    assert "env0.queue.q.depth" in snap
+    assert "env1.queue.q.depth" in snap
+
+
+def test_switch_gauges_in_snapshot():
+    registry = MetricsRegistry()
+    env = Environment(metrics=registry)
+    network = Network(env, linear(2))
+    env.run(until=1.0)
+    snap = registry.snapshot()
+    for switch_id in network.topology.switches:
+        assert snap[f"env0.switch.{switch_id}.installs"] == 0
+        assert snap[f"env0.switch.{switch_id}.failures"] == 0
+        assert f"env0.switch.{switch_id}.reconciliation_entries" in snap
+
+
+def test_render_filters_zeros():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc(3)
+    registry.counter("misses")
+    text = registry.render()
+    assert "hits" in text
+    assert "misses" not in text

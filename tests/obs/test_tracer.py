@@ -1,0 +1,143 @@
+"""Unit tests for the tracer protocol and Chrome-trace export."""
+
+import json
+
+from repro.obs import NULL_TRACER, NullTracer, RecordingTracer, OP_STAGES
+from repro.obs.validate import validate_chrome_trace
+from repro.sim import Environment
+
+
+def test_null_tracer_is_default_and_disabled():
+    env = Environment()
+    assert env.tracer is NULL_TRACER
+    assert env._tracing is False
+    assert NullTracer().enabled is False
+
+
+def test_set_tracer_updates_hot_path_cache():
+    env = Environment()
+    tracer = RecordingTracer()
+    env.set_tracer(tracer)
+    assert env._tracing is True
+    env.set_tracer(None)
+    assert env.tracer is NULL_TRACER
+    assert env._tracing is False
+
+
+def test_kernel_hooks_record_when_enabled():
+    tracer = RecordingTracer(kernel_events=True)
+    env = Environment(tracer=tracer)
+
+    def worker():
+        yield env.timeout(1.0)
+
+    env.process(worker(), name="w")
+    env.run()
+    kinds = {entry[0] for entry in tracer.kernel_log}
+    assert {"start", "scheduled", "fired", "clock", "finish"} <= kinds
+
+
+def test_kernel_hooks_silent_by_default():
+    tracer = RecordingTracer()  # kernel_events=False
+    env = Environment(tracer=tracer)
+
+    def worker():
+        yield env.timeout(1.0)
+
+    env.process(worker(), name="w")
+    env.run()
+    assert tracer.kernel_log == []
+
+
+def test_process_crash_always_recorded():
+    tracer = RecordingTracer()
+    env = Environment(tracer=tracer)
+    env.strict = False
+
+    def boom():
+        yield env.timeout(0.5)
+        raise ValueError("bad")
+
+    env.process(boom(), name="doomed")
+    env.run()
+    assert ("crash", 0, "doomed", "ValueError") in tracer.kernel_log
+    crashes = [e for e in tracer.chrome_events()
+               if e["ph"] == "i" and e["name"] == "crash doomed"]
+    assert len(crashes) == 1
+    assert crashes[0]["args"]["exception"] == "ValueError"
+
+
+def test_instant_complete_counter_event_shapes():
+    tracer = RecordingTracer()
+    env = Environment(tracer=tracer)
+    tracer.instant(env, "mark", track="t1", detail=7)
+    tracer.complete(env, "slice", track="t1", start=0.5, duration=0.25)
+    tracer.counter(env, "queue q depth", {"depth": 3})
+    events = tracer.chrome_events()
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["s"] == "t" and instant["args"] == {"detail": 7}
+    sl = next(e for e in events if e["ph"] == "X")
+    assert sl["ts"] == 0.5e6 and sl["dur"] == 0.25e6
+    counter = next(e for e in events if e["ph"] == "C")
+    assert counter["args"] == {"depth": 3}
+    assert validate_chrome_trace(tracer.to_chrome_trace()) == []
+
+
+def test_op_marks_become_async_spans():
+    tracer = RecordingTracer()
+    env = Environment(tracer=tracer)
+    for stage in OP_STAGES:
+        tracer.op_mark(env, 42, stage, track="pipeline")
+    assert tracer.complete_op_ids() == [(0, 42)]
+    stages = tracer.op_stages()[(0, 42)]
+    assert [s for s, _ts, _track in stages] == list(OP_STAGES)
+    events = tracer.chrome_events()
+    span = [e for e in events if e.get("cat") == "op" and e.get("id") == "42"]
+    phs = [e["ph"] for e in span]
+    assert phs.count("b") == 1 and phs.count("e") == 1
+    assert phs.count("n") == len(OP_STAGES)
+    assert validate_chrome_trace(tracer.to_chrome_trace(),
+                                 require_op_span=True) == []
+
+
+def test_incomplete_span_not_counted_complete():
+    tracer = RecordingTracer()
+    env = Environment(tracer=tracer)
+    tracer.op_mark(env, 7, "scheduler", track="p")
+    tracer.op_mark(env, 7, "worker", track="p")
+    assert tracer.complete_op_ids() == []
+
+
+def test_pid_tid_assignment_is_first_seen_not_id():
+    tracer = RecordingTracer()
+    env_a = Environment(tracer=tracer)
+    env_b = Environment(tracer=tracer)
+    tracer.instant(env_a, "a", track="x")
+    tracer.instant(env_b, "b", track="x")
+    events = tracer.chrome_events()
+    pids = {e["pid"] for e in events if e["ph"] == "i"}
+    assert pids == {0, 1}
+
+
+def test_metadata_names_tracks_and_processes():
+    tracer = RecordingTracer()
+    env = Environment(tracer=tracer)
+    tracer.instant(env, "x", track="worker-0")
+    meta = [e for e in tracer.chrome_events() if e["ph"] == "M"]
+    names = {(e["name"], e["args"]["name"]) for e in meta}
+    assert ("process_name", "sim-0") in names
+    assert ("thread_name", "worker-0") in names
+
+
+def test_write_chrome_and_jsonl(tmp_path):
+    tracer = RecordingTracer()
+    env = Environment(tracer=tracer)
+    tracer.instant(env, "x", track="t")
+    chrome = tmp_path / "trace.json"
+    lines = tmp_path / "trace.jsonl"
+    tracer.write(str(chrome))
+    tracer.write(str(lines))
+    doc = json.loads(chrome.read_text())
+    assert "traceEvents" in doc and doc["displayTimeUnit"] == "ms"
+    parsed = [json.loads(line) for line in lines.read_text().splitlines()]
+    assert len(parsed) == len(tracer.chrome_events())

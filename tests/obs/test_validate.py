@@ -1,0 +1,83 @@
+"""Tests for the Chrome-trace schema validator (the CI gate)."""
+
+import json
+
+from repro.obs.validate import main, validate_chrome_trace
+
+
+def good_doc():
+    return {"traceEvents": [
+        {"name": "s", "ph": "X", "ts": 0, "dur": 5, "pid": 0, "tid": 1},
+        {"name": "queue q depth", "ph": "C", "ts": 1, "pid": 0, "tid": 0,
+         "args": {"depth": 2}},
+        {"name": "op", "ph": "b", "cat": "op", "id": "7", "ts": 0,
+         "pid": 0, "tid": 1},
+        {"name": "scheduler", "ph": "n", "cat": "op", "id": "7", "ts": 1,
+         "pid": 0, "tid": 1},
+        {"name": "acked", "ph": "n", "cat": "op", "id": "7", "ts": 2,
+         "pid": 0, "tid": 1},
+        {"name": "op", "ph": "e", "cat": "op", "id": "7", "ts": 3,
+         "pid": 0, "tid": 1},
+    ]}
+
+
+def test_good_doc_passes_all_requirements():
+    assert validate_chrome_trace(good_doc(), require_op_span=True,
+                                 require_counters=True) == []
+
+
+def test_not_a_dict_rejected():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"noTraceEvents": 1}) != []
+
+
+def test_complete_event_requires_dur():
+    doc = {"traceEvents": [
+        {"name": "s", "ph": "X", "ts": 0, "pid": 0, "tid": 1}]}
+    assert any("dur" in error for error in validate_chrome_trace(doc))
+
+
+def test_counter_requires_args():
+    doc = {"traceEvents": [
+        {"name": "c", "ph": "C", "ts": 0, "pid": 0, "tid": 0}]}
+    assert any("args" in error for error in validate_chrome_trace(doc))
+
+
+def test_unbalanced_async_span_rejected():
+    doc = {"traceEvents": [
+        {"name": "op", "ph": "b", "cat": "op", "id": "1", "ts": 0,
+         "pid": 0, "tid": 1}]}
+    assert validate_chrome_trace(doc) != []
+
+
+def test_async_end_before_begin_rejected():
+    doc = {"traceEvents": [
+        {"name": "op", "ph": "b", "cat": "op", "id": "1", "ts": 5,
+         "pid": 0, "tid": 1},
+        {"name": "op", "ph": "e", "cat": "op", "id": "1", "ts": 1,
+         "pid": 0, "tid": 1}]}
+    assert validate_chrome_trace(doc) != []
+
+
+def test_missing_op_span_detected_when_required():
+    doc = {"traceEvents": [
+        {"name": "s", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 1}]}
+    assert validate_chrome_trace(doc) == []
+    assert validate_chrome_trace(doc, require_op_span=True) != []
+    assert validate_chrome_trace(doc, require_counters=True) != []
+
+
+def test_cli_on_chrome_and_jsonl_files(tmp_path, capsys):
+    chrome = tmp_path / "trace.json"
+    chrome.write_text(json.dumps(good_doc()))
+    assert main([str(chrome), "--require-op-span",
+                 "--require-counters"]) == 0
+    lines = tmp_path / "trace.jsonl"
+    lines.write_text("\n".join(json.dumps(event)
+                               for event in good_doc()["traceEvents"]))
+    assert main([str(lines)]) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [
+        {"name": "s", "ph": "X", "ts": 0, "pid": 0, "tid": 1}]}))
+    assert main([str(bad)]) == 1
+    capsys.readouterr()

@@ -246,3 +246,53 @@ def test_determinism_across_runs():
         return order
 
     assert build() == build()
+
+
+def test_crash_error_names_process_and_chains_cause():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("bug")
+
+    env.process(bad(), name="broken")
+    with pytest.raises(SimulationError) as info:
+        env.run()
+    error = info.value
+    assert "broken" in str(error)
+    assert "RuntimeError: bug" in str(error)
+    assert isinstance(error.__cause__, RuntimeError)
+    assert error.__cause__.__traceback__ is not None
+    assert [process.name for process, _exc in error.crashes] == ["broken"]
+
+
+def test_crash_error_reports_every_crashed_process():
+    """One event firing can crash several waiters; all must be named."""
+    env = Environment()
+    trigger = env.event()
+
+    def boom(tag):
+        yield trigger
+        raise RuntimeError(tag)
+
+    env.process(boom("first"), name="proc-a")
+    env.process(boom("second"), name="proc-b")
+
+    def firer():
+        yield env.timeout(1.0)
+        trigger.succeed()
+
+    env.process(firer(), name="firer")
+    with pytest.raises(SimulationError) as info:
+        env.run()
+    error = info.value
+    message = str(error)
+    assert "2 process(es) crashed" in message
+    assert "proc-a" in message and "proc-b" in message
+    assert isinstance(error.__cause__, RuntimeError)
+    assert str(error.__cause__) == "first"
+    assert len(error.crashes) == 2
+    notes = getattr(error, "__notes__", None)
+    if notes is not None:  # Python >= 3.11: later tracebacks attached
+        assert any("proc-b" in note for note in notes)
+        assert any("RuntimeError: second" in note for note in notes)
