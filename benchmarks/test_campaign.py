@@ -1,0 +1,55 @@
+"""Benchmark: campaign runner scaling and byte-identity.
+
+The sweep's whole value is (a) a 4-worker run is materially faster
+than serial and (b) parallelism never changes the science: the
+aggregated rows must be byte-identical at any ``-j``.  The speedup
+gate needs real cores, so it skips on small CI runners; the identity
+gate runs everywhere with two workers.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign import parse_campaign, run_campaign
+
+# Seed-sensitive simulations dominate so there is real work to spread;
+# two seeds double the task count without touching the slow checkers.
+CAMPAIGN = """
+[campaign]
+name = "bench"
+seeds = [0, 1]
+experiments = ["fig4", "fig11", "fig16", "figA2", "figA6"]
+"""
+
+
+def _rows_blob(artifact):
+    return json.dumps(artifact["experiments"], sort_keys=True)
+
+
+def test_parallel_rows_identical_to_serial():
+    spec = parse_campaign(CAMPAIGN)
+    serial = run_campaign(spec, jobs=1, cache_dir=None)
+    parallel = run_campaign(spec, jobs=2, cache_dir=None,
+                            mp_context="spawn")
+    assert _rows_blob(parallel) == _rows_blob(serial)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup gate needs >= 4 cores")
+def test_four_workers_at_least_3x_serial():
+    spec = parse_campaign(CAMPAIGN)
+    start = time.perf_counter()
+    serial = run_campaign(spec, jobs=1, cache_dir=None)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_campaign(spec, jobs=4, cache_dir=None,
+                            mp_context="spawn")
+    parallel_s = time.perf_counter() - start
+    assert _rows_blob(parallel) == _rows_blob(serial)
+    speedup = serial_s / parallel_s
+    print(f"\nserial {serial_s:.1f}s, 4 workers {parallel_s:.1f}s "
+          f"-> {speedup:.2f}x")
+    assert speedup >= 3.0, f"4-worker speedup only {speedup:.2f}x"

@@ -1,0 +1,57 @@
+"""repro.campaign — declarative parallel experiment sweeps.
+
+A *campaign* expands a spec (experiment ids × seed lists × each
+harness's ``param_grid()``) into independent tasks, executes them
+across a :mod:`multiprocessing` worker pool with deterministic
+per-task seed derivation, caches results content-keyed on (task
+config, source digest), and aggregates the per-task ``rows()`` into a
+single ``BENCH_campaign.json`` artifact plus per-figure series.
+
+On top of the artifact, :mod:`repro.campaign.render` regenerates the
+"Measured" blocks of EXPERIMENTS.md, so the evaluation docs are a
+build product that cannot drift from the code (CI runs
+``render-docs --check``).
+
+Layout:
+
+* :mod:`repro.campaign.spec`   — the campaign file format (TOML);
+* :mod:`repro.campaign.runner` — task expansion, pool, cache,
+  aggregation, MetricsRegistry progress wiring;
+* :mod:`repro.campaign.render` — EXPERIMENTS.md block renderer;
+* :mod:`repro.campaign.validate` — artifact schema validation
+  (also a ``python -m repro.campaign.validate`` entry point).
+
+Determinism contract: a harness's ``rows()`` must be a pure function
+of (task params, seed) — simulated time, states, percentiles are fine;
+wall-clock timings are not and live in the artifact's per-task
+metadata instead.  This is what makes the aggregated rows of a
+parallel run byte-identical to a serial run of the same campaign.
+"""
+
+from .render import render_docs
+from .runner import (
+    CampaignError,
+    Task,
+    derive_seed,
+    expand_tasks,
+    run_campaign,
+    source_digest,
+    write_artifact,
+)
+from .spec import CampaignSpec, load_campaign, parse_campaign
+from .validate import validate_artifact
+
+__all__ = [
+    "CampaignError",
+    "CampaignSpec",
+    "Task",
+    "derive_seed",
+    "expand_tasks",
+    "load_campaign",
+    "parse_campaign",
+    "render_docs",
+    "run_campaign",
+    "source_digest",
+    "validate_artifact",
+    "write_artifact",
+]

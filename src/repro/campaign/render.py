@@ -1,0 +1,125 @@
+"""Regenerate the "Measured" blocks of EXPERIMENTS.md from a campaign.
+
+EXPERIMENTS.md marks each figure's measured section with::
+
+    <!-- campaign:fig11 -->
+    ...generated block...
+    <!-- /campaign:fig11 -->
+
+:func:`render_docs` replaces every marked block whose experiment
+appears in the artifact with a generated markdown table of that
+experiment's aggregated rows, headed by the campaign provenance
+(name, seeds, task count, source digest).  The prose around the
+markers — the paper's claims, the shape commentary — stays hand
+written; the *numbers* become a build product.
+
+``--check`` mode (see :func:`check_docs`) renders in memory and
+reports drift instead of writing, which is what CI runs: if a PR
+shifts a latency without regenerating the campaign artifact and docs,
+the build fails.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+__all__ = ["render_block", "render_docs", "check_docs", "BLOCK_RE"]
+
+#: Matches one marked block, capturing the experiment id and body.
+BLOCK_RE = re.compile(
+    r"<!-- campaign:(?P<exp_id>[^ ]+?) -->\n"
+    r"(?P<body>.*?)"
+    r"<!-- /campaign:(?P=exp_id) -->",
+    re.DOTALL)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _columns(rows: list[dict]) -> list[str]:
+    """Column order: first-seen order across all rows."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def render_block(exp_id: str, artifact: dict) -> str:
+    """The generated measured block for one experiment."""
+    campaign = artifact["campaign"]
+    entry = artifact["experiments"][exp_id]
+    rows = entry["rows"]
+    seeds = campaign["seeds"]
+    head = (f"Measured by campaign `{campaign['name']}` "
+            f"({'quick' if campaign['quick'] else 'full'} mode, "
+            f"seeds {seeds}, {entry['tasks']} task"
+            f"{'s' if entry['tasks'] != 1 else ''}, "
+            f"source `{campaign['source_digest'][:12]}`) — regenerate "
+            f"with `python -m repro sweep` + `render-docs`:")
+    lines = [head, ""]
+    if rows:
+        columns = _columns(rows)
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join("---" for _ in columns) + "|")
+        for row in rows:
+            lines.append("| " + " | ".join(
+                _format_cell(row.get(col)) for col in columns) + " |")
+    else:
+        lines.append("*(no rows)*")
+    failures = entry.get("shape_failures") or []
+    if failures:
+        lines.append("")
+        lines.append("**⚠ shape regressions:** " + "; ".join(failures))
+    else:
+        lines.append("")
+        lines.append("Shape checks: ✓ (see `check_shape()` in the harness).")
+    return "\n".join(lines) + "\n"
+
+
+def render_docs(text: str, artifact: dict) -> tuple[str, list[str]]:
+    """Replace every marked block present in the artifact.
+
+    Returns the new text and the ids whose blocks changed.  Marked
+    blocks for experiments absent from the artifact are left alone.
+    """
+    changed: list[str] = []
+
+    def replace(match: re.Match) -> str:
+        exp_id = match.group("exp_id")
+        if exp_id not in artifact.get("experiments", {}):
+            return match.group(0)
+        body = render_block(exp_id, artifact)
+        if body != match.group("body"):
+            changed.append(exp_id)
+        return (f"<!-- campaign:{exp_id} -->\n{body}"
+                f"<!-- /campaign:{exp_id} -->")
+
+    new_text = BLOCK_RE.sub(replace, text)
+    return new_text, changed
+
+
+def check_docs(text: str, artifact: dict) -> list[str]:
+    """Drifted experiment ids ([] when the docs match the artifact)."""
+    _new_text, changed = render_docs(text, artifact)
+    return changed
+
+
+def marked_experiments(text: str) -> list[str]:
+    """Every experiment id with a marker block in ``text``."""
+    return [m.group("exp_id") for m in BLOCK_RE.finditer(text)]

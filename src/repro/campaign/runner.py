@@ -1,0 +1,359 @@
+"""Campaign execution: expansion, worker pool, cache, aggregation.
+
+The pipeline::
+
+    spec ──expand_tasks──▶ [Task] ──pool──▶ per-task rows ──▶ artifact
+
+* **Expansion** crosses each experiment's ``param_grid(quick)`` with
+  the campaign's seed list.  Experiments that declare
+  ``SEED_SENSITIVE = False`` are swept once.
+* **Seed derivation** is content-based: the seed a task's harness sees
+  is ``derive_seed(base_seed, exp_id, params)``, so every grid point
+  draws from an independent RNG universe and the assignment does not
+  depend on task order or worker placement.
+* **Caching** is content-keyed on (task config, source digest): any
+  change to ``src/repro`` invalidates every cached row, so stale
+  results can never leak into the docs.
+* **Aggregation** collects ``rows()`` per experiment in task order.
+  Rows are deterministic by contract, which makes the artifact's
+  ``experiments`` section byte-identical between serial and parallel
+  runs of the same campaign; wall-clock timings live only in the
+  per-task metadata.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from .spec import CampaignSpec
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "CampaignError",
+    "Task",
+    "derive_seed",
+    "expand_tasks",
+    "run_campaign",
+    "source_digest",
+    "write_artifact",
+]
+
+#: Version tag written into (and required from) every artifact.
+ARTIFACT_SCHEMA = "repro.campaign/v1"
+
+#: Upper bound the heap of any derived seed (fits any RNG).
+_SEED_SPACE = 2 ** 31
+
+
+class CampaignError(Exception):
+    """Raised for campaign misuse (unknown experiment, bad surface)."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """One grid point: an experiment run at specific params and seed."""
+
+    index: int          #: position in deterministic expansion order
+    exp_id: str
+    base_seed: int      #: the campaign-level seed this derives from
+    seed: int           #: derived seed actually passed to the harness
+    quick: bool
+    params: tuple[tuple[str, Any], ...]  #: sorted (key, value) pairs
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def config(self) -> dict[str, Any]:
+        """The identity-bearing task configuration (no index)."""
+        return {
+            "exp_id": self.exp_id,
+            "base_seed": self.base_seed,
+            "seed": self.seed,
+            "quick": self.quick,
+            "params": self.params_dict,
+        }
+
+    def key(self, digest: str) -> str:
+        """Content key of (task config, source digest)."""
+        payload = _canonical({"config": self.config(), "source": digest})
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def label(self) -> str:
+        parts = [self.exp_id, f"seed={self.base_seed}"]
+        parts += [f"{k}={_compact(v)}" for k, v in self.params]
+        return " ".join(parts)
+
+
+def _canonical(obj: Any) -> str:
+    """Canonical JSON for hashing (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _compact(value: Any) -> str:
+    if isinstance(value, (list, tuple, dict)):
+        return _canonical(value)
+    return str(value)
+
+
+def derive_seed(base_seed: int, exp_id: str, params: dict) -> int:
+    """A per-task seed, stable in (base_seed, exp_id, params) only."""
+    payload = _canonical({"base": base_seed, "exp": exp_id,
+                          "params": params})
+    digest = hashlib.sha256(payload.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+# -- experiment surface --------------------------------------------------------
+def _experiment_module(exp_id: str):
+    from ..experiments import EXPERIMENTS, experiment_module
+
+    if exp_id not in EXPERIMENTS:
+        raise CampaignError(
+            f"unknown experiment {exp_id!r}; try: "
+            f"{', '.join(sorted(EXPERIMENTS))}")
+    return experiment_module(exp_id)
+
+
+def _param_grid(exp_id: str, quick: bool) -> list[dict]:
+    module = _experiment_module(exp_id)
+    grid_fn = getattr(module, "param_grid", None)
+    if grid_fn is None:
+        raise CampaignError(
+            f"experiment {exp_id!r} has no param_grid() surface")
+    grid = grid_fn(quick=quick)
+    if not grid or not all(isinstance(p, dict) for p in grid):
+        raise CampaignError(
+            f"{exp_id}.param_grid() must return a non-empty list of dicts")
+    return grid
+
+
+def _seed_sensitive(exp_id: str) -> bool:
+    return bool(getattr(_experiment_module(exp_id), "SEED_SENSITIVE", True))
+
+
+def expand_tasks(spec: CampaignSpec) -> list[Task]:
+    """Expand the campaign into its deterministic task list."""
+    from ..experiments import EXPERIMENTS
+
+    exp_ids = list(spec.experiments) or sorted(EXPERIMENTS)
+    tasks: list[Task] = []
+    for exp_id in exp_ids:
+        grid = _param_grid(exp_id, spec.quick)
+        seeds = spec.seeds_for(exp_id)
+        if not _seed_sensitive(exp_id):
+            seeds = seeds[:1]
+        for params in grid:
+            for base_seed in seeds:
+                tasks.append(Task(
+                    index=len(tasks),
+                    exp_id=exp_id,
+                    base_seed=base_seed,
+                    seed=derive_seed(base_seed, exp_id, params),
+                    quick=spec.quick,
+                    params=tuple(sorted(params.items())),
+                ))
+    return tasks
+
+
+def source_digest(package_root: Optional[Path] = None) -> str:
+    """Content digest of every ``repro`` source file (cache key input)."""
+    if package_root is None:
+        import repro
+
+        package_root = Path(repro.__file__).parent
+    hasher = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        hasher.update(str(path.relative_to(package_root)).encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+# -- task execution (runs inside pool workers; must stay module-level) --------
+def _execute_task(config: dict) -> dict:
+    """Run one task to rows.  ``config`` is ``Task.config()``."""
+    from ..experiments import EXPERIMENTS
+
+    run = EXPERIMENTS[config["exp_id"]]
+    started = time.perf_counter()
+    result = run(quick=config["quick"], seed=config["seed"],
+                 **config["params"])
+    elapsed = time.perf_counter() - started
+    rows_fn = getattr(result, "rows", None)
+    if rows_fn is None:
+        raise CampaignError(
+            f"{config['exp_id']} result has no rows() surface")
+    rows = rows_fn()
+    # Shape checks only make sense on full-figure results; subset tasks
+    # (single system/size/period) legitimately lack the comparison
+    # series, so only parameterless tasks are shape-gated here (the
+    # benchmarks gate every full figure in CI).
+    if config["params"]:
+        shape = None
+    else:
+        try:
+            shape = result.check_shape()
+        except Exception:
+            shape = None
+    return {"rows": rows, "elapsed_s": elapsed, "shape": shape,
+            "pid": os.getpid()}
+
+
+# -- cache --------------------------------------------------------------------
+def _cache_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.json"
+
+
+def _cache_load(cache_dir: Path, key: str) -> Optional[dict]:
+    path = _cache_path(cache_dir, key)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("schema") != ARTIFACT_SCHEMA:
+        return None
+    return payload.get("outcome")
+
+
+def _cache_store(cache_dir: Path, key: str, config: dict,
+                 outcome: dict) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": ARTIFACT_SCHEMA, "config": config,
+               "outcome": outcome}
+    tmp = _cache_path(cache_dir, key).with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(_cache_path(cache_dir, key))
+
+
+# -- the campaign loop --------------------------------------------------------
+def run_campaign(spec: CampaignSpec,
+                 jobs: int = 1,
+                 cache_dir: Optional[str | Path] = ".campaign-cache",
+                 registry=None,
+                 mp_context: str = "spawn",
+                 progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Execute the campaign; returns the aggregated artifact dict.
+
+    ``jobs=1`` runs serially in-process (the reference execution);
+    ``jobs>1`` fans uncached tasks across a process pool.  Passing
+    ``cache_dir=None`` disables the cache entirely.  ``registry`` is a
+    :class:`repro.obs.MetricsRegistry` receiving progress counters,
+    queue depth and per-task wall-time histograms.
+    """
+    tasks = expand_tasks(spec)
+    digest = source_digest()
+    say = progress if progress is not None else (lambda _line: None)
+    cache = Path(cache_dir) if cache_dir is not None else None
+
+    state = {"finished": 0}
+    if registry is not None:
+        registry.counter("campaign.tasks.total").inc(len(tasks))
+        registry.gauge("campaign.queue_depth",
+                       fn=lambda: len(tasks) - state["finished"])
+        registry.gauge("campaign.workers").set(max(1, jobs))
+    outcomes: dict[int, dict] = {}
+
+    def finish(task: Task, outcome: dict, cached: bool) -> None:
+        outcomes[task.index] = dict(outcome, cached=cached)
+        state["finished"] += 1
+        if registry is not None:
+            registry.counter("campaign.tasks.done").inc()
+            if cached:
+                registry.counter("campaign.tasks.cached").inc()
+            else:
+                registry.histogram("campaign.task_wall_s").observe(
+                    outcome["elapsed_s"])
+        status = "cached" if cached else f"{outcome['elapsed_s']:.1f}s"
+        say(f"[{state['finished']}/{len(tasks)}] {task.label()}  ({status})")
+
+    pending: list[Task] = []
+    for task in tasks:
+        outcome = _cache_load(cache, task.key(digest)) if cache else None
+        if outcome is not None:
+            finish(task, outcome, cached=True)
+        else:
+            pending.append(task)
+
+    if pending and jobs > 1:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        ctx = multiprocessing.get_context(mp_context)
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx) as pool:
+            futures = {pool.submit(_execute_task, task.config()): task
+                       for task in pending}
+            for future in as_completed(futures):
+                task = futures[future]
+                outcome = future.result()
+                if cache:
+                    _cache_store(cache, task.key(digest), task.config(),
+                                 outcome)
+                finish(task, outcome, cached=False)
+    else:
+        for task in pending:
+            outcome = _execute_task(task.config())
+            if cache:
+                _cache_store(cache, task.key(digest), task.config(), outcome)
+            finish(task, outcome, cached=False)
+
+    return _aggregate(spec, tasks, outcomes, digest)
+
+
+def _aggregate(spec: CampaignSpec, tasks: list[Task],
+               outcomes: dict[int, dict], digest: str) -> dict:
+    """Fold per-task outcomes into the artifact, in task order."""
+    experiments: dict[str, dict] = {}
+    task_meta: list[dict] = []
+    for task in tasks:
+        outcome = outcomes[task.index]
+        entry = experiments.setdefault(
+            task.exp_id, {"rows": [], "tasks": 0, "shape_failures": []})
+        entry["tasks"] += 1
+        context = {"seed": task.base_seed}
+        for key, value in task.params:
+            context[key] = (value if isinstance(
+                value, (str, int, float, bool, type(None)))
+                else _compact(value))
+        for row in outcome["rows"]:
+            entry["rows"].append({**context, **row})
+        if outcome.get("shape"):
+            entry["shape_failures"].extend(outcome["shape"])
+        task_meta.append({
+            "exp_id": task.exp_id,
+            "base_seed": task.base_seed,
+            "seed": task.seed,
+            "params": task.params_dict,
+            "cached": outcome.get("cached", False),
+            "elapsed_s": round(outcome.get("elapsed_s", 0.0), 3),
+            "shape": outcome.get("shape"),
+        })
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "campaign": {
+            "name": spec.name,
+            "quick": spec.quick,
+            "seeds": list(spec.seeds),
+            "experiments": sorted(experiments),
+            "source_digest": digest,
+        },
+        "experiments": experiments,
+        "tasks": task_meta,
+    }
+
+
+def write_artifact(artifact: dict, path: str | Path) -> None:
+    """Write the artifact as stable, human-diffable JSON."""
+    Path(path).write_text(
+        json.dumps(artifact, indent=1, sort_keys=True) + "\n")

@@ -1,0 +1,138 @@
+"""The campaign file format.
+
+A campaign is declared in a small TOML file::
+
+    [campaign]
+    name = "quick"
+    quick = true
+    seeds = [0, 1, 2]
+    experiments = ["fig3", "fig11", "fig12"]   # omit for "all"
+
+    [experiments.fig11]
+    seeds = [0]            # per-experiment seed override
+
+``[campaign]`` sets the defaults; per-experiment ``[experiments.<id>]``
+tables may narrow the seed list (useful for the expensive figures).
+Experiments whose harness declares ``SEED_SENSITIVE = False`` (the
+deterministic analyses: model checking, line counting, complexity
+scoring) are swept once regardless of the seed list.
+
+Parsing uses :mod:`tomllib` when available (Python ≥ 3.11) and falls
+back to a minimal built-in parser covering exactly the subset above,
+so the runner works on 3.10 without new dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["CampaignSpec", "load_campaign", "parse_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A parsed campaign declaration."""
+
+    name: str
+    quick: bool = True
+    seeds: tuple[int, ...] = (0,)
+    #: Experiment ids to sweep, in declaration order; empty = all.
+    experiments: tuple[str, ...] = ()
+    #: Per-experiment overrides (currently: ``seeds``).
+    overrides: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def seeds_for(self, exp_id: str) -> tuple[int, ...]:
+        """The base-seed list for one experiment."""
+        override = self.overrides.get(exp_id, {})
+        seeds = override.get("seeds", self.seeds)
+        return tuple(int(s) for s in seeds)
+
+
+def load_campaign(path: str | Path) -> CampaignSpec:
+    """Parse the campaign file at ``path``."""
+    path = Path(path)
+    return parse_campaign(path.read_text(), default_name=path.stem)
+
+
+def parse_campaign(text: str, default_name: str = "campaign") -> CampaignSpec:
+    """Parse campaign TOML text into a :class:`CampaignSpec`."""
+    data = _parse_toml(text)
+    campaign = data.get("campaign", {})
+    if not isinstance(campaign, dict):
+        raise ValueError("[campaign] must be a table")
+    seeds = campaign.get("seeds", [0])
+    if not isinstance(seeds, list) or not all(
+            isinstance(s, int) and not isinstance(s, bool) for s in seeds):
+        raise ValueError(f"campaign.seeds must be a list of ints, got {seeds!r}")
+    if not seeds:
+        raise ValueError("campaign.seeds must not be empty")
+    experiments = campaign.get("experiments", [])
+    if not isinstance(experiments, list) or not all(
+            isinstance(e, str) for e in experiments):
+        raise ValueError("campaign.experiments must be a list of ids")
+    overrides: dict[str, dict[str, Any]] = {}
+    for exp_id, table in data.get("experiments", {}).items():
+        if not isinstance(table, dict):
+            raise ValueError(f"[experiments.{exp_id}] must be a table")
+        unknown = set(table) - {"seeds"}
+        if unknown:
+            raise ValueError(
+                f"[experiments.{exp_id}]: unknown keys {sorted(unknown)}")
+        overrides[exp_id] = dict(table)
+    return CampaignSpec(
+        name=str(campaign.get("name", default_name)),
+        quick=bool(campaign.get("quick", True)),
+        seeds=tuple(int(s) for s in seeds),
+        experiments=tuple(experiments),
+        overrides=overrides,
+    )
+
+
+# -- TOML parsing -------------------------------------------------------------
+def _parse_toml(text: str) -> dict:
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python 3.10 fallback
+        return _parse_toml_minimal(text)
+    return tomllib.loads(text)
+
+
+def _parse_toml_minimal(text: str) -> dict:  # pragma: no cover - 3.10 only
+    """Parse the TOML subset campaigns use: tables + scalar/array values."""
+    root: dict[str, Any] = {}
+    table = root
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            table = root
+            for part in line[1:-1].strip().split("."):
+                table = table.setdefault(part.strip(), {})
+            continue
+        if "=" not in line:
+            raise ValueError(f"cannot parse TOML line: {raw!r}")
+        key, _, value = line.partition("=")
+        table[key.strip()] = _parse_toml_value(value.strip())
+    return root
+
+
+def _parse_toml_value(value: str) -> Any:  # pragma: no cover - 3.10 only
+    if "#" in value and not value.startswith('"'):
+        value = value.split("#", 1)[0].strip()
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_toml_value(v.strip()) for v in inner.split(",")
+                if v.strip()]
+    if value.startswith('"') and value.endswith('"'):
+        return value[1:-1]
+    if value in ("true", "false"):
+        return value == "true"
+    try:
+        return int(value)
+    except ValueError:
+        return float(value)

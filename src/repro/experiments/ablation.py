@@ -38,7 +38,15 @@ from ..net.switch import FailureMode
 from ..net.topology import ring
 from .common import build_system, wait_for_stability
 
-__all__ = ["run", "AblationResult"]
+__all__ = ["run", "param_grid", "AblationResult"]
+
+#: Choreography timing and demand placement derive from the seed.
+SEED_SENSITIVE = True
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: the whole ablation (variants share the shape)."""
+    return [{}]
 
 
 # -- the re-broken components ----------------------------------------------------
@@ -227,6 +235,23 @@ class AblationResult:
                 failures.append(f"{name}: expected lint "
                                 f"{'clean' if expected_clean else 'findings'}")
         return failures
+
+    def rows(self) -> list[dict]:
+        """Deterministic per-variant metric and verdict rows."""
+        out = []
+        for variant, metrics in self.metrics.items():
+            out.append({"variant": variant, "kind": "runtime",
+                        "lying_certs": metrics.lying_certifications,
+                        "certifications": metrics.certifications,
+                        "hidden_entry_s": metrics.hidden_entry_time,
+                        "duplicate_installs": metrics.duplicate_installs,
+                        "unconverged": metrics.unconverged,
+                        "ok": None})
+        for name, ok in self.spec_verdicts.items():
+            out.append({"variant": name, "kind": "spec", "ok": ok})
+        for name, clean in self.static_verdicts.items():
+            out.append({"variant": name, "kind": "static", "ok": clean})
+        return out
 
     def render(self) -> str:
         lines = ["== Ablation: signature pathologies of re-broken fixes ==",

@@ -13,7 +13,8 @@ Every figure/table module builds on these harnesses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Optional, Sequence, Type
 
 from ..apps.base import RoutingApp
@@ -324,28 +325,65 @@ def run_failure_workload(controller_cls: Type[ZenithController],
 
 
 class ExperimentTable:
-    """Rows of (label, summary) printed the way the paper reports them."""
+    """Rows of (label, summary) printed the way the paper reports them.
+
+    A series with no finite samples records a ``None`` summary (rendered
+    as such) instead of a NaN-filled one, so tables round-trip through
+    JSON losslessly: ``from_json(table.to_json())`` reproduces every
+    label, float and empty cell exactly.
+    """
 
     def __init__(self, title: str, unit: str = "s"):
         self.title = title
         self.unit = unit
-        self.rows: list[tuple[str, Summary]] = []
+        self.rows: list[tuple[str, Optional[Summary]]] = []
+        #: Per-row count of non-finite samples dropped by :meth:`add`.
+        self.dropped: list[int] = []
 
-    def add(self, label: str, values: Sequence[float]) -> Summary:
+    def add(self, label: str, values: Sequence[float]) -> Optional[Summary]:
         """Summarise and record one series."""
         finite = [v for v in values if v != float("inf")]
-        summary = summarize(finite if finite else [float("nan")])
+        summary = summarize(finite) if finite else None
         self.rows.append((label, summary))
+        self.dropped.append(len(values) - len(finite))
         return summary
 
     def render(self) -> str:
         """The printable table."""
         lines = [f"== {self.title} (unit: {self.unit}) =="]
         width = max((len(label) for label, _ in self.rows), default=10)
-        for label, summary in self.rows:
-            lines.append(f"{label:<{width}}  {summary.row()}")
+        for (label, summary), dropped in zip(self.rows, self.dropped):
+            cell = summary.row() if summary is not None \
+                else "(no finite samples)"
+            suffix = f"  [{dropped} non-finite dropped]" if dropped else ""
+            lines.append(f"{label:<{width}}  {cell}{suffix}")
         return "\n".join(lines)
 
     def print(self) -> None:
         """Print the table to stdout."""
         print(self.render())
+
+    def to_json(self) -> str:
+        """Serialize the table; floats survive via shortest-repr JSON."""
+        return json.dumps({
+            "title": self.title,
+            "unit": self.unit,
+            "rows": [{"label": label,
+                      "dropped": dropped,
+                      "summary": None if summary is None
+                      else asdict(summary)}
+                     for (label, summary), dropped
+                     in zip(self.rows, self.dropped)],
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentTable":
+        """Rebuild a table serialized by :meth:`to_json`."""
+        payload = json.loads(text)
+        table = cls(payload["title"], payload["unit"])
+        for row in payload["rows"]:
+            summary = row["summary"]
+            table.rows.append((row["label"], None if summary is None
+                               else Summary(**summary)))
+            table.dropped.append(row.get("dropped", 0))
+        return table

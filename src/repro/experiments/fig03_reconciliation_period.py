@@ -19,7 +19,16 @@ from ..metrics.percentiles import percentile
 from ..net.topology import kdl, subgraph
 from .common import run_install_workload
 
-__all__ = ["run", "Fig3Result"]
+__all__ = ["run", "param_grid", "Fig3Result"]
+
+#: The workload is stochastic: seeds change paths and failure phases.
+SEED_SENSITIVE = True
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: one per reconciliation period (plus reference)."""
+    periods = [5.0, 15.0, 45.0] if quick else [5.0, 10.0, 20.0, 30.0, 60.0]
+    return [{"periods": [period]} for period in periods]
 
 
 @dataclass
@@ -54,6 +63,19 @@ class Fig3Result:
             failures.append(
                 f"PR tail at period {shortest}s not ≫ ZENITH's")
         return failures
+
+    def rows(self) -> list[dict]:
+        """Deterministic per-series rows for the campaign artifact."""
+        out = []
+        for period in self.periods:
+            out.append({"series": "pr", "period_s": period,
+                        "p99_s": self.tail(period),
+                        "impacted": round(self.collision_fraction(period), 4),
+                        "n": len(self.samples[period])})
+        out.append({"series": "zenith", "period_s": None,
+                    "p99_s": percentile(self.zenith_samples, 99),
+                    "impacted": 0.0, "n": len(self.zenith_samples)})
+        return out
 
     def render(self) -> str:
         lines = [f"== Fig. 3: tail convergence vs reconciliation period "

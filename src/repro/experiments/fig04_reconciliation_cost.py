@@ -20,7 +20,15 @@ from ..net.switch import table_read_time
 from ..net.topology import linear
 from .common import build_system
 
-__all__ = ["run", "Fig4Result"]
+__all__ = ["run", "param_grid", "Fig4Result"]
+
+#: Purely model-driven: the read-time fit and the settle are seedless.
+SEED_SENSITIVE = False
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: the whole figure is one cheap task."""
+    return [{}]
 
 
 @dataclass
@@ -55,6 +63,16 @@ class Fig4Result:
                     f"network growth {last/first:.1f}x too sublinear for "
                     f"{ratio:.0f}x entries")
         return failures
+
+    def rows(self) -> list[dict]:
+        """Deterministic per-point rows for the campaign artifact."""
+        out = [{"panel": "a:single-switch", "entries": entries,
+                "seconds": seconds, "switches": 1}
+               for entries, seconds in self.single_switch]
+        out += [{"panel": "b:network-cycle", "entries": entries,
+                 "seconds": seconds, "switches": self.num_switches}
+                for entries, seconds in self.network]
+        return out
 
     def render(self) -> str:
         lines = ["== Fig. 4(a): single-switch reconciliation time =="]

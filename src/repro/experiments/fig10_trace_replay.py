@@ -20,7 +20,16 @@ from ..metrics.percentiles import percentile
 from ..orchestrator.tracelib import standard_traces
 from .common import ExperimentTable, run_trace_replay
 
-__all__ = ["run", "Fig10Result"]
+__all__ = ["run", "param_grid", "Fig10Result"]
+
+#: Replay phases and trace scheduling are seed-dependent.
+SEED_SENSITIVE = True
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: one per system (traces replay independently)."""
+    return [{"systems": [system]}
+            for system in ("zenith-nr", "zenith-dr", "pr")]
 
 
 @dataclass
@@ -54,6 +63,23 @@ class Fig10Result:
             failures.append(f"unconverged runs: {self.unconverged}")
         return failures
 
+    def rows(self) -> list[dict]:
+        """Deterministic per-(system, trace) rows plus aggregates."""
+        out = []
+        for system, data in self.samples.items():
+            out.append({"series": system, "trace": "*",
+                        "mean_s": sum(data) / max(len(data), 1),
+                        "p99_s": percentile(data, 99) if data
+                        else float("inf"),
+                        "n": len(data),
+                        "unconverged": self.unconverged.get(system, 0)})
+        for (system, trace), data in sorted(self.per_trace.items()):
+            out.append({"series": system, "trace": trace,
+                        "mean_s": sum(data) / max(len(data), 1),
+                        "p99_s": None, "n": len(data),
+                        "unconverged": None})
+        return out
+
     def render(self) -> str:
         table = ExperimentTable("Fig. 10(a): trace-replay convergence", "s")
         for system in ("zenith-nr", "zenith-dr", "pr"):
@@ -77,13 +103,15 @@ _SYSTEMS = {
 
 
 def run(quick: bool = True, seed: int = 0,
-        runs_per_trace: Optional[int] = None) -> Fig10Result:
-    """Replay every trace against every system."""
+        runs_per_trace: Optional[int] = None,
+        systems: Optional[list[str]] = None) -> Fig10Result:
+    """Replay every trace against every (selected) system."""
     if runs_per_trace is None:
         runs_per_trace = 3 if quick else 10
+    selected = {name: _SYSTEMS[name] for name in (systems or _SYSTEMS)}
     traces = standard_traces()
     result = Fig10Result()
-    for system, (controller_cls, overrides) in _SYSTEMS.items():
+    for system, (controller_cls, overrides) in selected.items():
         samples: list[float] = []
         result.unconverged[system] = 0
         for trace in traces:

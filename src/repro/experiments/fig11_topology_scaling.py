@@ -27,13 +27,28 @@ from ..metrics.percentiles import percentile
 from ..net.topology import kdl, subgraph
 from .common import run_install_workload
 
-__all__ = ["run", "Fig11Result"]
+__all__ = ["run", "param_grid", "Fig11Result"]
 
 _SYSTEMS = {
     "zenith": ZenithController,
     "pr": PrController,
     "norec": NoRecController,
 }
+
+#: Workload paths and install phases are seed-dependent.
+SEED_SENSITIVE = True
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: the (size × system) grid, one point per task.
+
+    This is the sweep the paper's Fig. 11 grid wants scaled out: the
+    full-mode endpoint (">500 nodes never converges") is just more
+    grid points on the same surface.
+    """
+    sizes = [40, 80, 120] if quick else [100, 200, 300, 500, 750]
+    return [{"sizes": [size], "systems": [system]}
+            for size in sizes for system in _SYSTEMS]
 
 
 @dataclass
@@ -71,6 +86,18 @@ class Fig11Result:
             failures.append("NoRec p99 grew with size (should be flat)")
         return failures
 
+    def rows(self) -> list[dict]:
+        """Deterministic per-(system, size) rows for the campaign."""
+        out = []
+        for (system, size), samples in sorted(self.samples.items(),
+                                              key=lambda kv: (kv[0][1],
+                                                              kv[0][0])):
+            p50, p99, timeouts = self.row(system, size)
+            out.append({"series": system, "size": size, "p50_s": p50,
+                        "p99_s": p99, "timeouts": timeouts,
+                        "n": len(samples)})
+        return out
+
     def render(self) -> str:
         lines = ["== Fig. 11: convergence vs topology size =="]
         header = f"{'size':>6s}" + "".join(
@@ -89,18 +116,20 @@ class Fig11Result:
 
 def run(quick: bool = True, seed: int = 0,
         sizes: Optional[list[int]] = None,
-        duration: Optional[float] = None) -> Fig11Result:
+        duration: Optional[float] = None,
+        systems: Optional[list[str]] = None) -> Fig11Result:
     """Regenerate the Fig. 11 series."""
     if sizes is None:
         sizes = [40, 80, 120] if quick else [100, 200, 300, 500, 750]
     if duration is None:
         duration = 150.0 if quick else 300.0
+    selected = {name: _SYSTEMS[name] for name in (systems or _SYSTEMS)}
     base = kdl(max(sizes), seed=seed)
     result = Fig11Result()
     result.sizes = sizes
     for size in sizes:
         topo = subgraph(base, size, seed=seed) if size < len(base) else base
-        for system, controller_cls in _SYSTEMS.items():
+        for system, controller_cls in selected.items():
             config = ControllerConfig(reconciliation_period=30.0)
             latencies = run_install_workload(
                 controller_cls, topo, duration=duration, path_length=5,

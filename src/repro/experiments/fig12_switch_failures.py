@@ -10,6 +10,7 @@ ZENITH's p99 ~4.1× lower; under concurrent failures PR's median/p99 are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..baselines import PrController, PrUpController
 from ..core.config import ControllerConfig
@@ -18,13 +19,24 @@ from ..metrics.percentiles import percentile
 from ..net.topology import kdl, subgraph
 from .common import ExperimentTable, run_failure_workload
 
-__all__ = ["run", "Fig12Result"]
+__all__ = ["run", "param_grid", "Fig12Result"]
 
 _SYSTEMS = {
     "zenith": ZenithController,
     "pr": PrController,
     "prup": PrUpController,
 }
+
+_REGIMES = {"single": False, "concurrent": True}
+
+#: Failure schedules and demand placement are seed-dependent.
+SEED_SENSITIVE = True
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: the (system × failure regime) grid."""
+    return [{"systems": [system], "regimes": [regime]}
+            for system in _SYSTEMS for regime in _REGIMES]
 
 
 @dataclass
@@ -58,6 +70,16 @@ class Fig12Result:
             failures.append("concurrent: PRUp not ≤~ PR at the tail")
         return failures
 
+    def rows(self) -> list[dict]:
+        """Deterministic per-(system, regime) rows for the campaign."""
+        out = []
+        for (system, regime), episodes in sorted(self.samples.items()):
+            p50, p99 = self.row(system, regime)
+            out.append({"series": system, "regime": regime,
+                        "size": self.size, "p50_s": p50, "p99_s": p99,
+                        "n": len(episodes)})
+        return out
+
     def render(self) -> str:
         lines = [f"== Fig. 12: random switch failures "
                  f"({self.size}-node KDL subgraph) =="]
@@ -71,7 +93,9 @@ class Fig12Result:
         return "\n".join(lines)
 
 
-def run(quick: bool = True, seed: int = 0) -> Fig12Result:
+def run(quick: bool = True, seed: int = 0,
+        systems: Optional[list[str]] = None,
+        regimes: Optional[list[str]] = None) -> Fig12Result:
     """Regenerate the Fig. 12 comparison."""
     size = 60 if quick else 300
     duration = 120.0 if quick else 300.0
@@ -80,8 +104,10 @@ def run(quick: bool = True, seed: int = 0) -> Fig12Result:
     topo = subgraph(kdl(max(size, 300), seed=seed), size, seed=seed)
     result = Fig12Result()
     result.size = size
-    for system, controller_cls in _SYSTEMS.items():
-        for regime, concurrent in (("single", False), ("concurrent", True)):
+    for system in (systems or _SYSTEMS):
+        controller_cls = _SYSTEMS[system]
+        for regime in (regimes or _REGIMES):
+            concurrent = _REGIMES[regime]
             episodes: list[float] = []
             for run_seed in seeds:
                 config = ControllerConfig(reconciliation_period=30.0)

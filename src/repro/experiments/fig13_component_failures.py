@@ -11,6 +11,7 @@ in-flight work and wait for the deadlock timeout or reconciliation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..baselines import PrController
 from ..core.config import ControllerConfig
@@ -19,9 +20,20 @@ from ..metrics.percentiles import percentile
 from ..net.topology import kdl, subgraph
 from .common import run_failure_workload
 
-__all__ = ["run", "Fig13Result"]
+__all__ = ["run", "param_grid", "Fig13Result"]
 
 _SYSTEMS = {"zenith": ZenithController, "pr": PrController}
+
+_REGIMES = {"single": False, "concurrent": True}
+
+#: Crash schedules, churn and demand placement are seed-dependent.
+SEED_SENSITIVE = True
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: the (system × failure regime) grid."""
+    return [{"systems": [system], "regimes": [regime]}
+            for system in _SYSTEMS for regime in _REGIMES]
 
 
 @dataclass
@@ -49,6 +61,16 @@ class Fig13Result:
                     f"ZENITH {zenith[1]:.2f}s")
         return failures
 
+    def rows(self) -> list[dict]:
+        """Deterministic per-(system, regime) rows for the campaign."""
+        out = []
+        for (system, regime), episodes in sorted(self.samples.items()):
+            p50, p99 = self.row(system, regime)
+            out.append({"series": system, "regime": regime,
+                        "size": self.size, "p50_s": p50, "p99_s": p99,
+                        "n": len(episodes)})
+        return out
+
     def render(self) -> str:
         lines = [f"== Fig. 13: random component failures "
                  f"({self.size}-node KDL subgraph) =="]
@@ -62,7 +84,9 @@ class Fig13Result:
         return "\n".join(lines)
 
 
-def run(quick: bool = True, seed: int = 0) -> Fig13Result:
+def run(quick: bool = True, seed: int = 0,
+        systems: Optional[list[str]] = None,
+        regimes: Optional[list[str]] = None) -> Fig13Result:
     """Regenerate the Fig. 13 comparison."""
     size = 60 if quick else 300
     duration = 120.0 if quick else 300.0
@@ -71,8 +95,10 @@ def run(quick: bool = True, seed: int = 0) -> Fig13Result:
     topo = subgraph(kdl(max(size, 300), seed=seed), size, seed=seed)
     result = Fig13Result()
     result.size = size
-    for system, controller_cls in _SYSTEMS.items():
-        for regime, concurrent in (("single", False), ("concurrent", True)):
+    for system in (systems or _SYSTEMS):
+        controller_cls = _SYSTEMS[system]
+        for regime in (regimes or _REGIMES):
+            concurrent = _REGIMES[regime]
             episodes: list[float] = []
             for run_seed in seeds:
                 # Slower per-stage processing widens the window in which

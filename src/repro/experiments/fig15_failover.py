@@ -26,12 +26,20 @@ from ..orchestrator.tracelib import failover_traces
 from ..sim import ComponentHost
 from .common import ExperimentTable, build_system, wait_for_stability, _stable
 
-__all__ = ["run", "Fig15Result"]
+__all__ = ["run", "param_grid", "Fig15Result"]
 
 _SYSTEMS: dict[str, Type[ZenithController]] = {
     "zenith": ZenithController,
     "pr": PrController,
 }
+
+#: Failover timing offsets and replay schedules are seed-dependent.
+SEED_SENSITIVE = True
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: one per system (traces replay independently)."""
+    return [{"systems": [system]} for system in _SYSTEMS]
 
 
 @dataclass
@@ -60,6 +68,23 @@ class Fig15Result:
         if any(self.unconverged.values()):
             failures.append(f"unconverged: {self.unconverged}")
         return failures
+
+    def rows(self) -> list[dict]:
+        """Deterministic per-(system, trace) rows plus aggregates."""
+        out = []
+        for system, data in self.samples.items():
+            out.append({"series": system, "trace": "*",
+                        "mean_s": sum(data) / max(len(data), 1),
+                        "p99_s": percentile(data, 99) if data
+                        else float("inf"),
+                        "n": len(data),
+                        "unconverged": self.unconverged.get(system, 0)})
+        for (system, trace), data in sorted(self.per_trace.items()):
+            out.append({"series": system, "trace": trace,
+                        "mean_s": sum(data) / max(len(data), 1),
+                        "p99_s": None, "n": len(data),
+                        "unconverged": None})
+        return out
 
     def render(self) -> str:
         table = ExperimentTable("Fig. 15(a): planned-failover convergence",
@@ -105,12 +130,14 @@ def _replay(controller_cls: Type[ZenithController], trace,
 
 
 def run(quick: bool = True, seed: int = 0,
-        runs_per_trace: Optional[int] = None) -> Fig15Result:
+        runs_per_trace: Optional[int] = None,
+        systems: Optional[list[str]] = None) -> Fig15Result:
     """Regenerate the Fig. 15 comparison (paper: 50 runs over 5 traces)."""
     if runs_per_trace is None:
         runs_per_trace = 3 if quick else 10
     result = Fig15Result()
-    for system, controller_cls in _SYSTEMS.items():
+    selected = {name: _SYSTEMS[name] for name in (systems or _SYSTEMS)}
+    for system, controller_cls in selected.items():
         samples: list[float] = []
         result.unconverged[system] = 0
         for trace in failover_traces():

@@ -19,11 +19,24 @@ from ..net.traffic import Flow, TrafficMonitor
 from ..sim import ComponentHost
 from .common import build_system
 
-__all__ = ["run", "Fig16Result"]
+__all__ = ["run", "param_grid", "Fig16Result"]
 
 DRAIN_AT = 20.0
 UNDRAIN_AT = 40.0
 HORIZON = 60.0
+
+#: Demand placement and monitor sampling derive from the seed.
+SEED_SENSITIVE = True
+
+#: The phase windows each row aggregates (label, start, end).
+_PHASES = (("pre-drain", 5.0, DRAIN_AT),
+           ("drained", DRAIN_AT + 5.0, UNDRAIN_AT),
+           ("post-undrain", UNDRAIN_AT + 5.0, HORIZON))
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: a single timeline (one system, one choreography)."""
+    return [{}]
 
 
 @dataclass
@@ -55,12 +68,27 @@ class Fig16Result:
             failures.append("throughput dipped below 60% at some instant")
         return failures
 
+    def rows(self) -> list[dict]:
+        """Deterministic per-phase throughput rows."""
+        out = []
+        for label, start, end in _PHASES:
+            window = self.window(start, end)
+            out.append({"phase": label,
+                        "mean_norm": sum(window) / max(len(window), 1),
+                        "min_norm": min(window, default=0.0),
+                        "drained_switch": self.drained_switch,
+                        "demand_gbps": self.demand_total})
+        out.append({"phase": "overall", "mean_norm": None,
+                    "min_norm": min((thr for _t, thr in self.timeline),
+                                    default=0.0),
+                    "drained_switch": self.drained_switch,
+                    "demand_gbps": self.demand_total})
+        return out
+
     def render(self) -> str:
         lines = [f"== Fig. 16: drain {self.drained_switch} at t={DRAIN_AT:.0f}, "
                  f"undrain at t={UNDRAIN_AT:.0f} (normalized throughput) =="]
-        for label, start, end in (("pre-drain", 5.0, DRAIN_AT),
-                                  ("drained", DRAIN_AT + 5.0, UNDRAIN_AT),
-                                  ("post-undrain", UNDRAIN_AT + 5.0, HORIZON)):
+        for label, start, end in _PHASES:
             window = self.window(start, end)
             lines.append(f"  {label:>13s}: mean "
                          f"{sum(window)/max(len(window),1):.3f}, "

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Type
+from typing import Optional, Type
 
 from ..apps.te import TeApp
 from ..baselines import OdlController
@@ -24,7 +24,7 @@ from ..net.traffic import Flow, TrafficMonitor
 from ..sim import ComponentHost
 from .common import build_system
 
-__all__ = ["run", "FigA2Result"]
+__all__ = ["run", "param_grid", "FigA2Result"]
 
 _SYSTEMS: dict[str, Type[ZenithController]] = {
     "zenith": ZenithController,
@@ -34,6 +34,20 @@ _SYSTEMS: dict[str, Type[ZenithController]] = {
 HORIZON = 45.0
 FAIL_AT = 8.0
 RECOVER_AT = 13.0
+
+#: Path placement and victim selection settle from the seed.
+SEED_SENSITIVE = True
+
+#: The phase windows each row aggregates (label, start, end).
+_PHASES = (("pre-failure", 2.0, FAIL_AT - 0.5),
+           ("incident", FAIL_AT + 0.7, 26.0),
+           ("late", 36.0, HORIZON),
+           ("incident-overall", FAIL_AT, HORIZON))
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: one per controller timeline."""
+    return [{"systems": [system]} for system in _SYSTEMS]
 
 
 @dataclass
@@ -63,6 +77,16 @@ class FigA2Result:
                 f"ZENITH overall {self.overall('zenith'):.1f} not > "
                 f"ODL {self.overall('odl'):.1f}")
         return failures
+
+    def rows(self) -> list[dict]:
+        """Deterministic per-(system, phase) average-throughput rows."""
+        complete, partial = self.failed if len(self.failed) == 2 else ("", "")
+        return [{"series": system, "phase": label,
+                 "gbps": self.phase_average(system, start, end),
+                 "demand_gbps": self.demand_total,
+                 "failed_complete": complete, "failed_partial": partial}
+                for system in self.timelines
+                for label, start, end in _PHASES]
 
     def render(self) -> str:
         lines = [f"== Fig. A.2: ZENITH vs ODL on B4 "
@@ -162,10 +186,12 @@ def _run_one(controller_cls: Type[ZenithController], seed: int):
     return timeline, demand_total, (complete_victim, partial_victim)
 
 
-def run(quick: bool = True, seed: int = 0) -> FigA2Result:
+def run(quick: bool = True, seed: int = 0,
+        systems: Optional[list[str]] = None) -> FigA2Result:
     """Regenerate the Fig. A.2 comparison."""
     result = FigA2Result()
-    for system, controller_cls in _SYSTEMS.items():
+    for system in (systems or _SYSTEMS):
+        controller_cls = _SYSTEMS[system]
         timeline, demand_total, failed = _run_one(controller_cls, seed)
         result.timelines[system] = timeline
         result.demand_total = demand_total

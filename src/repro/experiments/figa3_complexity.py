@@ -26,7 +26,15 @@ from dataclasses import dataclass, field
 from ..core import monitoring, nib_handler, sequencer, topo_handler, worker_pool
 from ..metrics.complexity import ComponentFlow, henry_kafura
 
-__all__ = ["run", "FigA3Result", "SCENARIOS"]
+__all__ = ["run", "param_grid", "FigA3Result", "SCENARIOS"]
+
+#: Static source analysis: nothing here depends on the seed.
+SEED_SENSITIVE = False
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: a single cheap static-analysis pass."""
+    return [{}]
 
 SCENARIOS = (
     "sw-partial",        # 1: switch partial failure
@@ -164,6 +172,12 @@ class FigA3Result:
                                 "sw-complete-trans-nr")]):
             failures.append("ZENITH-DR not more complex than ZENITH-NR")
         return failures
+
+    def rows(self) -> list[dict]:
+        """Deterministic per-(component, scenario) complexity rows."""
+        return [{"component": component, "scenario": scenario,
+                 "hk_score": self.scores[(component, scenario)]}
+                for component in _CLASSES for scenario in SCENARIOS]
 
     def render(self) -> str:
         lines = ["== Fig. A.3: Henry–Kafura complexity by scenario ==",

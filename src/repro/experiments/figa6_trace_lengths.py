@@ -18,7 +18,15 @@ from ..spec.checker import ModelChecker
 from ..spec.specs.controller import controller_spec
 from ..spec.specs.workerpool import worker_pool_spec
 
-__all__ = ["run", "FigA6Result", "counterexample_corpus"]
+__all__ = ["run", "param_grid", "FigA6Result", "counterexample_corpus"]
+
+#: Exhaustive model checking: counterexamples do not depend on the seed.
+SEED_SENSITIVE = False
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: the whole corpus (the figure is a distribution)."""
+    return [{}]
 
 
 @dataclass
@@ -37,6 +45,16 @@ class FigA6Result:
         if max(self.lengths) < 30:
             failures.append("no long (30+ step) counterexample found")
         return failures
+
+    def rows(self) -> list[dict]:
+        """Deterministic per-counterexample rows plus an aggregate."""
+        out = [{"spec": name, "property": prop, "steps": length}
+               for name, prop, length in self.sources]
+        out.append({"spec": "*", "property": "median/min/max",
+                    "steps": percentile(self.lengths, 50),
+                    "min_steps": min(self.lengths, default=0),
+                    "max_steps": max(self.lengths, default=0)})
+        return out
 
     def render(self) -> str:
         lines = ["== Fig. A.6: counterexample trace lengths =="]

@@ -14,24 +14,32 @@ from dataclasses import dataclass, field
 from ..spec.checker import check
 from ..spec.specs.apps import drain_app_spec, failover_app_spec, te_app_spec
 
-__all__ = ["run", "Sec63Result"]
+__all__ = ["run", "param_grid", "Sec63Result"]
+
+#: Exhaustive model checking: the state space does not depend on the seed.
+SEED_SENSITIVE = False
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: the whole comparison (the point is the ratio)."""
+    return [{}]
 
 
 @dataclass
 class Sec63Result:
     """Verification timings and state counts."""
 
-    rows: list = field(default_factory=list)  # (label, seconds, states, ok)
+    entries: list = field(default_factory=list)  # (label, secs, states, ok)
 
     def lookup(self, label: str):
-        for row in self.rows:
+        for row in self.entries:
             if row[0] == label:
                 return row
         raise KeyError(label)
 
     def check_shape(self) -> list[str]:
         failures = []
-        if not all(row[3] for row in self.rows):
+        if not all(row[3] for row in self.entries):
             failures.append("some verification failed")
         full = self.lookup("drain + full core")
         abstract = self.lookup("drain + AbstractCore")
@@ -44,9 +52,14 @@ class Sec63Result:
                 failures.append(f"{label} not verified in seconds")
         return failures
 
+    def rows(self) -> list[dict]:
+        """Deterministic rows: states and verdicts only (no wall time)."""
+        return [{"case": label, "states": states, "ok": ok}
+                for label, _seconds, states, ok in self.entries]
+
     def render(self) -> str:
         lines = ["== §6.3: app verification, decoupled vs composed =="]
-        for label, seconds, states, ok in self.rows:
+        for label, seconds, states, ok in self.entries:
             status = "OK" if ok else "VIOLATION"
             lines.append(f"  {label:28s} {seconds:9.3f}s {states:9d} states"
                          f"  {status}")
@@ -68,6 +81,6 @@ def run(quick: bool = True, seed: int = 0) -> Sec63Result:
     ]
     for label, spec in cases:
         outcome = check(spec)
-        result.rows.append((label, outcome.elapsed,
-                            outcome.distinct_states, outcome.ok))
+        result.entries.append((label, outcome.elapsed,
+                               outcome.distinct_states, outcome.ok))
     return result

@@ -14,7 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["run", "TableA1Result", "PRIOR_SYSTEMS"]
+__all__ = ["run", "param_grid", "TableA1Result", "PRIOR_SYSTEMS"]
+
+#: Line counting: nothing here depends on the seed.
+SEED_SENSITIVE = False
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: a single cheap line-count pass."""
+    return [{}]
 
 #: Line counts quoted by the paper from Newcombe et al. [44].
 PRIOR_SYSTEMS = {
@@ -62,6 +70,17 @@ class TableA1Result:
                 f"our spec layer ({self.total} lines) not larger than "
                 f"the largest prior spec")
         return failures
+
+    def rows(self) -> list[dict]:
+        """Deterministic per-spec line-count rows."""
+        out = [{"spec": name, "lines": count, "source": "prior [44]"}
+               for name, count in self.prior.items()]
+        out += [{"spec": f"zenith-repro/{name}", "lines": count,
+                 "source": "ours"}
+                for name, count in sorted(self.ours.items())]
+        out.append({"spec": "zenith-repro total", "lines": self.total,
+                    "source": "ours"})
+        return out
 
     def render(self) -> str:
         lines = ["== Table A.1: specification sizes =="]

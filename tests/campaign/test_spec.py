@@ -1,0 +1,70 @@
+"""Campaign file parsing."""
+
+import pytest
+
+from repro.campaign import load_campaign, parse_campaign
+from repro.campaign.spec import _parse_toml_minimal
+
+FULL = """
+# comment
+[campaign]
+name = "nightly"
+quick = false
+seeds = [0, 1, 2]
+experiments = ["fig11", "fig12"]
+
+[experiments.fig11]
+seeds = [7]
+"""
+
+
+def test_parse_full_campaign():
+    spec = parse_campaign(FULL)
+    assert spec.name == "nightly"
+    assert spec.quick is False
+    assert spec.seeds == (0, 1, 2)
+    assert spec.experiments == ("fig11", "fig12")
+    assert spec.seeds_for("fig12") == (0, 1, 2)
+    assert spec.seeds_for("fig11") == (7,)
+
+
+def test_defaults_and_name_fallback():
+    spec = parse_campaign("[campaign]\n", default_name="fallback")
+    assert spec.name == "fallback"
+    assert spec.quick is True
+    assert spec.seeds == (0,)
+    assert spec.experiments == ()
+
+
+def test_load_campaign_uses_stem(tmp_path):
+    path = tmp_path / "mini.toml"
+    path.write_text("[campaign]\nseeds = [3]\n")
+    spec = load_campaign(path)
+    assert spec.name == "mini"
+    assert spec.seeds == (3,)
+
+
+@pytest.mark.parametrize("text", [
+    "[campaign]\nseeds = []\n",
+    "[campaign]\nseeds = [true]\n",
+    "[campaign]\nseeds = 5\n",
+    "[campaign]\nexperiments = [1]\n",
+    "[campaign]\n[experiments.fig11]\nquick = true\n",
+])
+def test_rejects_malformed(text):
+    with pytest.raises(ValueError):
+        parse_campaign(text)
+
+
+def test_minimal_toml_parser_matches_subset():
+    # The 3.10 fallback must agree with tomllib on the campaign subset.
+    data = _parse_toml_minimal(FULL)
+    assert data["campaign"]["name"] == "nightly"
+    assert data["campaign"]["quick"] is False
+    assert data["campaign"]["seeds"] == [0, 1, 2]
+    assert data["experiments"]["fig11"]["seeds"] == [7]
+    try:
+        import tomllib
+    except ImportError:
+        return
+    assert tomllib.loads(FULL) == data

@@ -1,0 +1,87 @@
+"""Determinism contracts the campaign runner depends on.
+
+The sweep runner fans tasks out to spawned worker processes and
+byte-compares aggregated rows against a serial run, so the shared
+harnesses must be (a) deterministic in (params, seed) and (b) identical
+whether they run in the parent or a fresh interpreter.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core.controller import ZenithController
+from repro.experiments.common import (
+    ExperimentTable,
+    build_system,
+    run_install_workload,
+)
+from repro.net.topology import ring
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+_WORKLOAD_SNIPPET = """
+import json
+from repro.core.controller import ZenithController
+from repro.experiments.common import run_install_workload
+from repro.net.topology import ring
+
+latencies = run_install_workload(ZenithController, ring(6),
+                                 duration=5.0, path_length=3, seed={seed})
+print(json.dumps(latencies))
+"""
+
+
+def _workload(seed: int) -> list[float]:
+    return run_install_workload(ZenithController, ring(6),
+                                duration=5.0, path_length=3, seed=seed)
+
+
+def test_install_workload_is_seed_deterministic():
+    assert _workload(seed=0) == _workload(seed=0)
+
+
+def test_install_workload_varies_with_seed():
+    # A seed sweep must actually exercise different schedules.
+    assert _workload(seed=0) != _workload(seed=1)
+
+
+def test_install_workload_identical_in_fresh_interpreter():
+    # Same contract a spawned campaign worker relies on: a fresh
+    # interpreter reproduces the parent's latencies bit-for-bit.
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.run(
+        [sys.executable, "-c", _WORKLOAD_SNIPPET.format(seed=0)],
+        capture_output=True, text=True, env=env, check=True)
+    assert json.loads(proc.stdout) == _workload(seed=0)
+
+
+def test_build_system_settles_identically():
+    def fingerprint():
+        system = build_system(ZenithController, ring(6), seed=3,
+                              demands=[("s0", "s3")], background_entries=8)
+        routing = system.network.routing_state()
+        return (system.env.now,
+                sorted((sw, sorted(entries))
+                       for sw, entries in routing.items()))
+
+    assert fingerprint() == fingerprint()
+
+
+def test_experiment_table_round_trips_losslessly():
+    table = ExperimentTable("fig11 quick", unit="ms")
+    table.add("zenith", [0.1, 0.30000000000000004, 2.5])
+    table.add("onos", [1.0, float("inf"), 3.0])     # one dropped sample
+    table.add("stuck", [float("inf")])              # None summary row
+    rebuilt = ExperimentTable.from_json(table.to_json())
+    assert rebuilt.title == table.title
+    assert rebuilt.unit == table.unit
+    assert rebuilt.rows == table.rows
+    assert rebuilt.dropped == table.dropped == [0, 1, 1]
+    assert rebuilt.rows[2][1] is None
+    assert rebuilt.to_json() == table.to_json()
+    assert rebuilt.render() == table.render()
+    assert "(no finite samples)" in rebuilt.render()
+    assert "[1 non-finite dropped]" in rebuilt.render()
