@@ -353,6 +353,10 @@ class DeadlockSweeper(Component):
         self.state = state
         self.config = config
         self.resets = 0
+        registry = getattr(env, "metrics", None)
+        if registry is not None:
+            registry.gauge(f"deadlock-sweeper.{state.ns}.resets",
+                           lambda: self.resets)
 
     def main(self):
         while True:

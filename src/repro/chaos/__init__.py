@@ -1,0 +1,58 @@
+"""repro.chaos — adversarial fault injection for the ZENITH reproduction.
+
+Four pieces, layered on the existing simulation stack:
+
+* :mod:`repro.chaos.plane` — a message-level **fault plane** the
+  :class:`repro.net.SimSwitch` control-channel paths route through:
+  seeded drop/duplicate/delay (delay doubles as reorder, since faulted
+  deliveries bypass the per-direction FIFO clamp) of requests, replies
+  and status announcements, plus timed link partitions.
+* :mod:`repro.chaos.triggers` — **trigger-based injection**: crash a
+  component or fail a switch the moment a predicate over obs tracer
+  events fires (e.g. "worker sent install, ACK not yet processed"),
+  built on the PR-2 tracer hook protocol.
+* :mod:`repro.chaos.monitor` — an **online consistency monitor** that
+  continuously checks control/data-plane invariants (certified intent
+  present in the dataplane, no hidden entries, quiescence ⇒
+  convergence, no orphaned OPs) and records first-violation sim-time.
+* :mod:`repro.chaos.driver` / :mod:`repro.chaos.shrink` — a
+  **search-and-shrink** loop (``zenith-repro chaos``) that samples
+  seeded fault schedules, runs ZENITH and the PR baseline under each,
+  and delta-debugs violating schedules to minimal replayable JSON
+  artifacts (schema ``repro.chaos/v1``, see :mod:`repro.chaos.validate`).
+"""
+
+from .driver import (
+    CONTROLLERS,
+    ChaosReport,
+    dump_artifact,
+    load_artifact,
+    replay,
+    run_schedule,
+    search,
+)
+from .monitor import ConsistencyMonitor, MonitorConfig, Violation
+from .plane import FaultPlane
+from .schedule import ChaosEvent, ChaosSchedule, sample_schedule
+from .shrink import shrink_events
+from .triggers import ChaosActions, TriggerTracer
+
+__all__ = [
+    "CONTROLLERS",
+    "ChaosActions",
+    "ChaosEvent",
+    "ChaosReport",
+    "ChaosSchedule",
+    "ConsistencyMonitor",
+    "FaultPlane",
+    "MonitorConfig",
+    "TriggerTracer",
+    "Violation",
+    "dump_artifact",
+    "load_artifact",
+    "replay",
+    "run_schedule",
+    "sample_schedule",
+    "search",
+    "shrink_events",
+]

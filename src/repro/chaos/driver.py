@@ -1,0 +1,307 @@
+"""Search-and-shrink driver: run schedules, hunt violations, minimize.
+
+Three entry points, all deterministic in the seed:
+
+* :func:`run_schedule` — build a system (controller by registry name),
+  arm the fault plane / triggers / timed injector from one
+  :class:`~repro.chaos.schedule.ChaosSchedule`, run it under the online
+  :class:`~repro.chaos.monitor.ConsistencyMonitor`, return a
+  :class:`ChaosReport`.
+* :func:`search` — sample ``trials`` seeded schedules, run the target
+  (default the PR baseline) and the reference (default ZENITH) under
+  each, mark trials where the target violates and the reference stays
+  clean as *interesting*, and ddmin the first one down to a minimal
+  event list.  Returns the ``repro.chaos/v1`` artifact (see
+  :mod:`repro.chaos.validate` for the schema).
+* :func:`replay` — re-run a committed artifact's shrunk schedule and
+  check the recorded verdicts (violated flag + first-violation
+  sim-time) still hold, which is what the CI chaos-smoke job does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Sequence
+
+from ..baselines import NoRecController, PrController, PrUpController
+from ..core.controller import ZenithController
+from ..experiments.common import build_system
+from ..net.dataplane import Network
+from ..net.topology import Topology, linear, ring
+from ..sim import Environment
+from .monitor import ConsistencyMonitor, MonitorConfig
+from .plane import FaultPlane
+from .schedule import ChaosEvent, ChaosSchedule, sample_schedule
+from .shrink import shrink_events
+from .triggers import ChaosActions, TriggerTracer
+
+__all__ = [
+    "CONTROLLERS",
+    "SCHEMA",
+    "ChaosReport",
+    "component_names",
+    "replay",
+    "run_schedule",
+    "search",
+]
+
+SCHEMA = "repro.chaos/v1"
+
+CONTROLLERS = {
+    "zenith": ZenithController,
+    "pr": PrController,
+    "prup": PrUpController,
+    "norec": NoRecController,
+}
+
+
+def build_topology(spec: dict[str, Any]) -> Topology:
+    """Materialize a schedule's topology spec."""
+    kind = spec.get("kind", "ring")
+    if kind == "ring":
+        return ring(spec.get("n", 6))
+    if kind == "linear":
+        return linear(spec.get("n", 6))
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+def component_names(topology_spec: dict[str, Any]) -> list[str]:
+    """Crashable component names for the standard controller config.
+
+    Builds (but never starts) a throwaway controller so the list always
+    matches the wiring; consumes no randomness.
+    """
+    env = Environment()
+    network = Network(env, build_topology(topology_spec))
+    controller = ZenithController(env, network)
+    return controller.de_component_names() + controller.ofc_component_names()
+
+
+class ChaosReport:
+    """Everything one chaos run produced."""
+
+    def __init__(self, controller: str, monitor: ConsistencyMonitor,
+                 plane: FaultPlane, actions: ChaosActions,
+                 tracer: Optional[TriggerTracer], horizon: float):
+        self.controller = controller
+        self.violations = list(monitor.violations)
+        self.first_violation_at = monitor.first_violation_at()
+        self.fault_counters = dict(plane.counters)
+        self.action_log = list(actions.log)
+        self.action_noops = actions.noops
+        self.fired_triggers = list(tracer.fired) if tracer is not None else []
+        self.horizon = horizon
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.violations)
+
+    def to_json_obj(self, max_violations: int = 10) -> dict[str, Any]:
+        first = self.first_violation_at
+        return {
+            "controller": self.controller,
+            "violated": self.violated,
+            "first_violation_at": None if first is None else round(first, 6),
+            "violation_count": len(self.violations),
+            "violations": [v.to_json_obj()
+                           for v in self.violations[:max_violations]],
+            "fault_counters": {k: self.fault_counters[k]
+                               for k in sorted(self.fault_counters)},
+            "fired_triggers": self.fired_triggers,
+            "action_noops": self.action_noops,
+        }
+
+
+def run_schedule(schedule: ChaosSchedule, controller: str,
+                 monitor_config: Optional[MonitorConfig] = None) -> ChaosReport:
+    """Run one schedule under one controller, monitored throughout."""
+    if controller not in CONTROLLERS:
+        raise ValueError(f"unknown controller {controller!r} "
+                         f"(have {sorted(CONTROLLERS)})")
+    system = build_system(
+        CONTROLLERS[controller], build_topology(schedule.topology),
+        seed=schedule.seed, demands=list(schedule.demands),
+        background_entries=schedule.background_entries,
+        settle=schedule.settle)
+    env = system.env
+    plane = FaultPlane()
+    actions = ChaosActions(env, system.network, system.controller)
+    tracer: Optional[TriggerTracer] = None
+    timed: list[ChaosEvent] = []
+    for index, event in enumerate(schedule.events):
+        if event.kind in ("drop", "duplicate", "delay", "partition"):
+            plane.arm(event)
+        elif event.kind == "trigger":
+            if tracer is None:
+                # Compose with whatever tracer is already installed
+                # (tracing itself never perturbs the sim — PR-2).
+                tracer = TriggerTracer(actions, inner=env.tracer)
+            tracer.arm(index, event.at, event.when or {}, event.action or {})
+        elif event.kind in ("fail_switch", "recover_switch",
+                            "crash_component"):
+            timed.append(event)
+        else:  # pragma: no cover - schedule validates kinds
+            raise ValueError(f"unrunnable event kind {event.kind!r}")
+    system.network.install_fault_plane(plane)
+    if tracer is not None:
+        env.set_tracer(tracer)
+    if timed:
+        env.process(_timed_injector(env, actions, timed),
+                    name="chaos-injector")
+    monitor = ConsistencyMonitor(env, system.controller, system.network,
+                                 monitor_config)
+    env.run(until=schedule.horizon)
+    return ChaosReport(controller, monitor, plane, actions, tracer,
+                       schedule.horizon)
+
+
+def _timed_injector(env: Environment, actions: ChaosActions,
+                    events: Sequence[ChaosEvent]):
+    for event in sorted(events, key=lambda e: (e.at, e.kind, e.switch)):
+        delay = event.at - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        if event.kind == "fail_switch":
+            actions.execute({"kind": "fail_switch", "switch": event.switch,
+                             "mode": event.mode})
+        elif event.kind == "recover_switch":
+            actions.execute({"kind": "recover_switch",
+                             "switch": event.switch})
+        else:
+            actions.execute({"kind": "crash_component",
+                             "component": event.component})
+
+
+def search(seed: int, trials: int = 5,
+           target: str = "pr", reference: str = "zenith",
+           shrink: bool = True, max_shrink_tests: int = 64,
+           monitor_config: Optional[MonitorConfig] = None,
+           **sampler_kwargs: Any) -> dict[str, Any]:
+    """Sample schedules, hunt target-only violations, shrink the first.
+
+    Returns the ``repro.chaos/v1`` artifact as a JSON-ready dict.  A
+    trial is *interesting* when ``target`` violates an invariant and
+    ``reference`` finishes clean under the identical schedule.
+    """
+    topology = dict(sampler_kwargs.pop(
+        "topology", {"kind": "ring", "n": 6}))
+    switches = build_topology(topology).switches
+    components = component_names(topology)
+    runs = []
+    interesting_trials = []
+    first_interesting: Optional[ChaosSchedule] = None
+    for trial in range(trials):
+        schedule = sample_schedule(seed, trial, switches=switches,
+                                   components=components,
+                                   topology=topology, **sampler_kwargs)
+        verdicts = {
+            name: run_schedule(schedule, name, monitor_config)
+            for name in sorted({target, reference})
+        }
+        is_interesting = (verdicts[target].violated
+                          and not verdicts[reference].violated)
+        runs.append({
+            "trial": trial,
+            "events": [e.to_json_obj() for e in schedule.events],
+            "interesting": is_interesting,
+            "verdicts": {name: report.to_json_obj()
+                         for name, report in verdicts.items()},
+        })
+        if is_interesting:
+            interesting_trials.append(trial)
+            if first_interesting is None:
+                first_interesting = schedule
+    artifact: dict[str, Any] = {
+        "schema": SCHEMA,
+        "seed": seed,
+        "trials": trials,
+        "target": target,
+        "reference": reference,
+        "runs": runs,
+        "interesting_trials": interesting_trials,
+        "shrunk": None,
+    }
+    if shrink and first_interesting is not None:
+        artifact["shrunk"] = _shrink_schedule(
+            first_interesting, interesting_trials[0], target, reference,
+            max_shrink_tests, monitor_config)
+    return artifact
+
+
+def _shrink_schedule(schedule: ChaosSchedule, trial: int, target: str,
+                     reference: str, max_tests: int,
+                     monitor_config: Optional[MonitorConfig]) -> dict[str, Any]:
+    def interesting(events: list[ChaosEvent]) -> bool:
+        candidate = schedule.with_events(events)
+        if not run_schedule(candidate, target, monitor_config).violated:
+            return False
+        return not run_schedule(candidate, reference,
+                                monitor_config).violated
+
+    result = shrink_events(schedule.events, interesting,
+                           max_tests=max_tests)
+    minimal = schedule.with_events(result.events)
+    verdicts = {
+        name: run_schedule(minimal, name, monitor_config).to_json_obj()
+        for name in sorted({target, reference})
+    }
+    return {
+        "from_trial": trial,
+        "tests_run": result.tests_run,
+        "budget_exhausted": result.budget_exhausted,
+        "schedule": minimal.to_json_obj(),
+        "events_before": len(schedule.events),
+        "events_after": len(minimal.events),
+        "verdicts": verdicts,
+    }
+
+
+def replay(artifact: dict[str, Any],
+           monitor_config: Optional[MonitorConfig] = None,
+           controllers: Optional[Sequence[str]] = None) -> dict[str, Any]:
+    """Re-run an artifact's shrunk schedule; diff against recorded verdicts.
+
+    Returns ``{"ok": bool, "mismatches": [...], "verdicts": {...}}`` —
+    ``ok`` means every replayed controller reproduced its recorded
+    ``violated`` flag and first-violation sim-time exactly (the sim is
+    deterministic, so equality is exact, not approximate).
+    """
+    shrunk = artifact.get("shrunk")
+    if not shrunk:
+        raise ValueError("artifact has no shrunk schedule to replay")
+    schedule = ChaosSchedule.from_json_obj(shrunk["schedule"])
+    recorded = shrunk["verdicts"]
+    names = list(controllers) if controllers else sorted(recorded)
+    mismatches = []
+    verdicts = {}
+    for name in names:
+        report = run_schedule(schedule, name, monitor_config)
+        verdicts[name] = report.to_json_obj()
+        if name not in recorded:
+            mismatches.append(f"{name}: no recorded verdict to compare")
+            continue
+        want = recorded[name]
+        if report.violated != want["violated"]:
+            mismatches.append(
+                f"{name}: violated={report.violated} "
+                f"(recorded {want['violated']})")
+        got_first = verdicts[name]["first_violation_at"]
+        if got_first != want["first_violation_at"]:
+            mismatches.append(
+                f"{name}: first_violation_at={got_first} "
+                f"(recorded {want['first_violation_at']})")
+    return {"ok": not mismatches, "mismatches": mismatches,
+            "verdicts": verdicts}
+
+
+def dump_artifact(artifact: dict[str, Any], path: str) -> None:
+    """Write an artifact canonically (sorted keys ⇒ byte-stable)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> dict[str, Any]:
+    """Read an artifact written by :func:`dump_artifact`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,124 @@
+"""Message-level fault plane for switch control channels.
+
+The :class:`~repro.net.switch.SimSwitch` send/reply/announce paths ask
+the plane how to deliver each message crossing a channel.  The plane
+answers with a list of ``(extra_delay, fifo)`` deliveries:
+
+* ``[]`` — drop the message;
+* ``[(0.0, True)]`` — normal delivery (the default, and the only
+  answer when no fault is armed, so un-faulted channels behave exactly
+  as before);
+* ``[(0.0, True), (d, False)]`` — duplicate: the original plus a copy
+  delayed by ``d``;
+* ``[(d, False)]`` — delay by ``d``.
+
+``fifo=True`` deliveries go through the per-direction monotone-delivery
+clamp that models the paper's reliable-FIFO channel assumption (P4);
+``fifo=False`` deliveries bypass it *and do not advance the watermark*,
+which is what makes an extra delay double as a **reorder**: the delayed
+message can arrive after messages sent later.
+
+Faults are armed ahead of time from a :class:`~repro.chaos.schedule`
+(drop/duplicate/delay events, each with an arm time) and consumed
+one-shot, in arm-time order, by the first message that crosses the
+channel at or after the arm time.  Partitions are time intervals during
+which a switch's request and reply channels drop everything (status
+announcements still get through — keepalive loss is modeled by
+``fail_switch``, not by the plane, to preserve the paper's
+eventually-reliable failure detection assumption A2).
+
+The plane consumes **no randomness**: all sampling happens at
+schedule-generation time, so a schedule replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .schedule import ChaosEvent
+
+__all__ = ["FaultPlane", "DIRECTIONS"]
+
+#: Channel directions the plane understands: controller→switch
+#: requests, switch→controller replies, and status announcements.
+DIRECTIONS = ("c2s", "s2c", "status")
+
+#: Fault kinds that arm a one-shot channel fault.
+_CHANNEL_KINDS = ("drop", "duplicate", "delay")
+
+NORMAL = ((0.0, True),)
+
+
+class FaultPlane:
+    """Routes control-channel deliveries through armed faults."""
+
+    def __init__(self) -> None:
+        #: (switch, direction) -> armed one-shot faults, arm-time order.
+        self._armed: dict[tuple[str, str], list["ChaosEvent"]] = {}
+        #: switch -> [(start, end)] partition intervals.
+        self._partitions: dict[str, list[tuple[float, float]]] = {}
+        #: Whether any fault is armed; checked on the switch hot path so
+        #: fault-free runs stay on the original code path.
+        self.active = False
+        #: Counters by ``"<kind>.<direction>"`` (collected by the
+        #: driver into the chaos report).
+        self.counters: dict[str, int] = {}
+        #: Chronological application log: (sim_time, kind, switch,
+        #: direction) — used by reports and tests.
+        self.applied: list[tuple[float, str, str, str]] = []
+
+    # -- arming ----------------------------------------------------------------
+    def arm(self, event: "ChaosEvent") -> None:
+        """Arm one schedule event (channel fault or partition)."""
+        if event.kind in _CHANNEL_KINDS:
+            if event.direction not in DIRECTIONS:
+                raise ValueError(
+                    f"bad direction {event.direction!r} for {event.kind}")
+            key = (event.switch, event.direction)
+            queue = self._armed.setdefault(key, [])
+            queue.append(event)
+            queue.sort(key=lambda e: e.at)
+        elif event.kind == "partition":
+            if event.until <= event.at:
+                raise ValueError("partition needs until > at")
+            self._partitions.setdefault(event.switch, []).append(
+                (event.at, event.until))
+        else:
+            raise ValueError(f"fault plane cannot arm {event.kind!r}")
+        self.active = True
+
+    # -- queries ---------------------------------------------------------------
+    def partitioned(self, switch: str, now: float) -> bool:
+        """Whether ``switch``'s control link is partitioned at ``now``."""
+        for start, end in self._partitions.get(switch, ()):
+            if start <= now < end:
+                return True
+        return False
+
+    def deliveries(self, switch: str, direction: str,
+                   now: float) -> tuple[tuple[float, bool], ...]:
+        """Delivery plan for one message crossing a channel at ``now``."""
+        if direction != "status" and self.partitioned(switch, now):
+            self._count("partition_drop", switch, direction, now)
+            return ()
+        queue = self._armed.get((switch, direction))
+        if queue and queue[0].at <= now:
+            fault = queue.pop(0)
+            self._count(fault.kind, switch, direction, now)
+            if fault.kind == "drop":
+                return ()
+            if fault.kind == "duplicate":
+                return ((0.0, True), (fault.delay, False))
+            return ((fault.delay, False),)  # delay (⇒ possible reorder)
+        return NORMAL
+
+    def pending(self) -> int:
+        """Armed channel faults not yet consumed."""
+        return sum(len(q) for q in self._armed.values())
+
+    def _count(self, kind: str, switch: str, direction: str,
+               now: float) -> None:
+        key = f"{kind}.{direction}"
+        self.counters[key] = self.counters.get(key, 0) + 1
+        self.applied.append((now, kind, switch, direction))

@@ -1,0 +1,264 @@
+"""Chaos schedules: serializable fault-event lists + a seeded sampler.
+
+A :class:`ChaosSchedule` is the unit the search-and-shrink driver works
+on: the workload description (topology, demands, background state,
+settle time, horizon) plus a list of :class:`ChaosEvent`\\ s.  All times
+are **absolute sim-times**; the driver settles the system for
+``schedule.settle`` seconds before the event window opens, and runs
+until ``schedule.horizon``.
+
+Schedules round-trip losslessly through JSON (``to_json_obj`` /
+``from_json_obj``) so shrunk repros can be committed and replayed, and
+the sampler draws everything from named :class:`repro.sim.RandomStreams`
+children so the same ``(seed, trial)`` always yields the same schedule.
+
+Event kinds
+-----------
+``drop`` / ``duplicate`` / ``delay``
+    One-shot channel faults consumed by the first message crossing
+    ``(switch, direction)`` at or after ``at`` (see
+    :mod:`repro.chaos.plane`).  ``delay`` doubles as reorder.
+``partition``
+    Switch control link blackholed for ``[at, until)`` (both request
+    and reply directions; status announcements unaffected).
+``fail_switch`` / ``recover_switch``
+    Whole-switch failures (``mode`` complete/partial) and recoveries,
+    executed by the driver's injector process.
+``crash_component``
+    Crash a named controller component at ``at``.
+``trigger``
+    Armed at ``at``: when a predicate over obs tracer events fires,
+    run an action (see :mod:`repro.chaos.triggers`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence
+
+from ..sim import RandomStreams
+from .plane import DIRECTIONS
+
+__all__ = ["ChaosEvent", "ChaosSchedule", "sample_schedule", "EVENT_KINDS"]
+
+EVENT_KINDS = ("drop", "duplicate", "delay", "partition", "fail_switch",
+               "recover_switch", "crash_component", "trigger")
+
+#: Channel fault kinds handled by the fault plane.
+CHANNEL_KINDS = ("drop", "duplicate", "delay", "partition")
+
+#: Kinds executed by the driver's timed injector process.
+TIMED_KINDS = ("fail_switch", "recover_switch", "crash_component")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One fault event.  Only the fields relevant to ``kind`` are set."""
+
+    kind: str
+    at: float
+    switch: str = ""
+    direction: str = ""        # drop/duplicate/delay: c2s|s2c|status
+    delay: float = 0.0         # duplicate/delay: extra seconds
+    until: float = 0.0         # partition: interval end
+    mode: str = "complete"     # fail_switch: complete|partial
+    component: str = ""        # crash_component
+    when: Optional[dict] = None    # trigger predicate
+    action: Optional[dict] = None  # trigger action
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown chaos event kind {self.kind!r}")
+
+    def describe(self) -> str:
+        """One-line human-readable form (for reports and CLI output)."""
+        if self.kind in ("drop", "duplicate", "delay"):
+            extra = f" +{self.delay:.3f}s" if self.kind != "drop" else ""
+            return (f"t={self.at:.3f} {self.kind} {self.switch}"
+                    f"/{self.direction}{extra}")
+        if self.kind == "partition":
+            return (f"t={self.at:.3f} partition {self.switch} "
+                    f"until {self.until:.3f}")
+        if self.kind == "fail_switch":
+            return f"t={self.at:.3f} fail_switch {self.switch} ({self.mode})"
+        if self.kind == "recover_switch":
+            return f"t={self.at:.3f} recover_switch {self.switch}"
+        if self.kind == "crash_component":
+            return f"t={self.at:.3f} crash_component {self.component}"
+        return (f"t={self.at:.3f} trigger when={self.when!r} "
+                f"action={self.action!r}")
+
+    def to_json_obj(self) -> dict[str, Any]:
+        """Minimal JSON form: only fields meaningful for this kind."""
+        obj: dict[str, Any] = {"kind": self.kind, "at": self.at}
+        if self.kind in ("drop", "duplicate", "delay"):
+            obj["switch"] = self.switch
+            obj["direction"] = self.direction
+            if self.kind != "drop":
+                obj["delay"] = self.delay
+        elif self.kind == "partition":
+            obj["switch"] = self.switch
+            obj["until"] = self.until
+        elif self.kind == "fail_switch":
+            obj["switch"] = self.switch
+            obj["mode"] = self.mode
+        elif self.kind == "recover_switch":
+            obj["switch"] = self.switch
+        elif self.kind == "crash_component":
+            obj["component"] = self.component
+        else:  # trigger
+            obj["when"] = self.when
+            obj["action"] = self.action
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: dict[str, Any]) -> "ChaosEvent":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(obj) - known
+        if unknown:
+            raise ValueError(f"unknown chaos event fields {sorted(unknown)}")
+        return cls(**obj)
+
+
+@dataclass
+class ChaosSchedule:
+    """A fault schedule plus the workload it runs against."""
+
+    seed: int
+    events: list[ChaosEvent]
+    topology: dict[str, Any] = field(
+        default_factory=lambda: {"kind": "ring", "n": 6})
+    demands: list[tuple[str, str]] = field(
+        default_factory=lambda: [("s0", "s3"), ("s1", "s4")])
+    background_entries: int = 6
+    #: Sim-seconds the system converges before the event window opens.
+    settle: float = 10.0
+    #: Absolute sim-time the run ends (and the monitor stops).
+    horizon: float = 45.0
+
+    def with_events(self, events: Sequence[ChaosEvent]) -> "ChaosSchedule":
+        """Same workload, different event list (used by the shrinker)."""
+        return replace(self, events=sorted(events, key=_event_order))
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "topology": dict(self.topology),
+            "demands": [list(d) for d in self.demands],
+            "background_entries": self.background_entries,
+            "settle": self.settle,
+            "horizon": self.horizon,
+            "events": [e.to_json_obj() for e in self.events],
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: dict[str, Any]) -> "ChaosSchedule":
+        return cls(
+            seed=obj["seed"],
+            events=[ChaosEvent.from_json_obj(e) for e in obj["events"]],
+            topology=dict(obj["topology"]),
+            demands=[tuple(d) for d in obj["demands"]],
+            background_entries=obj.get("background_entries", 6),
+            settle=obj.get("settle", 10.0),
+            horizon=obj.get("horizon", 45.0),
+        )
+
+
+def _event_order(event: ChaosEvent):
+    return (event.at, event.kind, event.switch, event.component)
+
+
+def sample_schedule(seed: int, trial: int, *,
+                    switches: Sequence[str],
+                    components: Sequence[str],
+                    topology: Optional[dict[str, Any]] = None,
+                    demands: Optional[Sequence[tuple[str, str]]] = None,
+                    background_entries: int = 6,
+                    settle: float = 10.0,
+                    active: float = 20.0,
+                    cooldown: float = 15.0,
+                    n_channel: int = 3,
+                    channel_kinds: Sequence[str] = ("drop", "duplicate",
+                                                    "delay"),
+                    n_outages: int = 1,
+                    n_crashes: int = 1,
+                    n_triggers: int = 1,
+                    mean_delay: float = 0.25,
+                    mean_downtime: float = 2.0) -> ChaosSchedule:
+    """Draw one seeded fault schedule for ``(seed, trial)``.
+
+    Events land in the window ``[settle + 1, settle + 1 + active)``;
+    the horizon leaves ``cooldown`` seconds after the window so both
+    controllers get a fair chance to converge (or be caught out by the
+    monitor).  Channel faults are drawn over the request/reply
+    directions only — status drops would break the paper's
+    eventually-reliable failure-detection assumption (A2) for *both*
+    systems and teach us nothing.
+
+    ``channel_kinds`` controls the channel-fault mix.  The default
+    includes ``drop``, which steps *outside* the paper's reliable-FIFO
+    channel assumption (P4): a dropped message can wedge ZENITH's
+    retry-free pipeline while the PR baseline's deadlock sweeper
+    coincidentally heals it.  Pass ``("duplicate", "delay")`` to stay
+    within the paper's fault model (the chaos experiment does).
+    """
+    stream = RandomStreams(seed).child(f"chaos-trial-{trial}")
+    start = settle + 1.0
+    end = start + active
+    events: list[ChaosEvent] = []
+
+    for _ in range(n_channel):
+        at = stream.uniform(start, end)
+        kind = stream.choice(list(channel_kinds))
+        switch = stream.choice(list(switches))
+        direction = stream.choice(["c2s", "s2c"])
+        delay = stream.expovariate(1.0 / mean_delay) if kind != "drop" else 0.0
+        events.append(ChaosEvent(kind=kind, at=at, switch=switch,
+                                 direction=direction, delay=delay))
+
+    for _ in range(n_outages):
+        at = stream.uniform(start, end)
+        switch = stream.choice(list(switches))
+        mode = "complete" if stream.random() < 0.7 else "partial"
+        downtime = max(0.5, stream.expovariate(1.0 / mean_downtime))
+        events.append(ChaosEvent(kind="fail_switch", at=at, switch=switch,
+                                 mode=mode))
+        events.append(ChaosEvent(kind="recover_switch", at=at + downtime,
+                                 switch=switch))
+
+    for _ in range(n_crashes):
+        at = stream.uniform(start, end)
+        component = stream.choice(list(components))
+        events.append(ChaosEvent(kind="crash_component", at=at,
+                                 component=component))
+
+    for _ in range(n_triggers):
+        at = stream.uniform(start, end)
+        switch = stream.choice(list(switches))
+        component = stream.choice(list(components))
+        # "An OP for this switch was just sent, its ACK not yet
+        # processed — crash a component inside that window."
+        events.append(ChaosEvent(
+            kind="trigger", at=at,
+            when={"event": "op_mark", "stage": "sent", "switch": switch},
+            action={"kind": "crash_component", "component": component}))
+
+    schedule = ChaosSchedule(
+        seed=seed, events=sorted(events, key=_event_order),
+        background_entries=background_entries, settle=settle,
+        horizon=end + cooldown)
+    if topology is not None:
+        schedule.topology = dict(topology)
+    if demands is not None:
+        schedule.demands = [tuple(d) for d in demands]
+    return schedule
+
+
+def validate_directions(events: Sequence[ChaosEvent]) -> None:
+    """Raise on channel events with bad directions (pre-arm check)."""
+    for event in events:
+        if event.kind in ("drop", "duplicate", "delay") \
+                and event.direction not in DIRECTIONS:
+            raise ValueError(
+                f"{event.kind} event needs direction in {DIRECTIONS}, "
+                f"got {event.direction!r}")

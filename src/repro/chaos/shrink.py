@@ -1,0 +1,104 @@
+"""Delta-debugging (ddmin) of failing chaos schedules.
+
+Given a schedule whose event list makes an *interest predicate* true
+(for the headline search: "the PR baseline violates an invariant AND
+ZENITH stays clean"), :func:`shrink_events` finds a 1-minimal event
+sublist — removing any single remaining event makes the predicate
+false.  This is Zeller's classic ddmin over the event list, with a
+bounded test budget since every probe is a full (deterministic)
+simulation pair.
+
+The predicate receives an event sublist in original order; probes are
+memoized on the sublist's identity so re-visited subsets are free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .schedule import ChaosEvent
+
+__all__ = ["shrink_events", "ShrinkResult"]
+
+
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    def __init__(self, events: list[ChaosEvent], tests_run: int,
+                 budget_exhausted: bool):
+        self.events = events
+        self.tests_run = tests_run
+        self.budget_exhausted = budget_exhausted
+
+
+def shrink_events(events: Sequence[ChaosEvent],
+                  interesting: Callable[[list[ChaosEvent]], bool],
+                  max_tests: int = 128) -> ShrinkResult:
+    """ddmin: minimal sublist of ``events`` keeping ``interesting`` true.
+
+    ``interesting(list(events))`` must be true on entry; the result's
+    event list always satisfies the predicate (every accepted reduction
+    was tested).  ``max_tests`` bounds the number of predicate probes;
+    on exhaustion the best reduction so far is returned with
+    ``budget_exhausted=True``.
+    """
+    current = list(events)
+    tests = 0
+    cache: dict[tuple[int, ...], bool] = {}
+
+    def probe(subset: list[ChaosEvent]) -> bool:
+        nonlocal tests
+        key = tuple(id(e) for e in subset)
+        if key in cache:
+            return cache[key]
+        if tests >= max_tests:
+            return False
+        tests += 1
+        verdict = interesting(subset)
+        cache[key] = verdict
+        return verdict
+
+    if not probe(current):
+        raise ValueError("shrink_events needs an interesting input")
+
+    granularity = 2
+    while len(current) >= 2:
+        if tests >= max_tests:
+            return ShrinkResult(current, tests, budget_exhausted=True)
+        chunks = _partition(current, granularity)
+        reduced = False
+        # Try each chunk alone, then each complement.
+        for chunk in chunks:
+            if len(chunk) < len(current) and probe(chunk):
+                current = chunk
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for i in range(len(chunks)):
+                complement = [e for j, chunk in enumerate(chunks)
+                              for e in chunk if j != i]
+                if 0 < len(complement) < len(current) and probe(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break  # 1-minimal
+            granularity = min(granularity * 2, len(current))
+    return ShrinkResult(current, tests, budget_exhausted=tests >= max_tests)
+
+
+def _partition(events: list[ChaosEvent],
+               granularity: int) -> list[list[ChaosEvent]]:
+    n = len(events)
+    granularity = min(granularity, n)
+    size, remainder = divmod(n, granularity)
+    chunks = []
+    start = 0
+    for i in range(granularity):
+        end = start + size + (1 if i < remainder else 0)
+        chunks.append(events[start:end])
+        start = end
+    return [c for c in chunks if c]

@@ -1,0 +1,211 @@
+"""Trigger-based fault injection on top of the obs tracer protocol.
+
+Time-scheduled injection can't hit races: "crash the worker while an
+install is in flight" needs sub-millisecond timing that depends on the
+run itself.  :class:`TriggerTracer` subclasses the PR-2
+:class:`repro.obs.Tracer` hook protocol, so it sees the exact same
+instrumentation stream the trace exporter does — OP lifecycle marks
+(``scheduler → ... → sent → installed → acked → done``) and instants —
+and fires an action at the very hook call where a predicate first
+matches (e.g. "worker sent install to s2, ACK not yet processed").
+
+Install it with ``env.set_tracer(TriggerTracer(actions, inner=...))``;
+it forwards every hook to an optional inner tracer, so triggers compose
+with trace recording.  Tracing itself never perturbs the simulation
+(PR-2 invariant) — only the deliberate trigger *actions* do.
+
+Predicates (the ``when`` dict of a ``trigger`` chaos event):
+
+``{"event": "op_mark", "stage": ..., "switch": ..., "op_id": ...,
+"track": ...}``
+    matches an OP lifecycle mark; omitted keys match anything, and
+    ``track`` is a prefix match.
+``{"event": "instant", "name": ..., "track": ...}``
+    matches an instant annotation by name prefix / track prefix.
+
+Actions (the ``action`` dict): ``{"kind": "crash_component",
+"component": c}``, ``{"kind": "fail_switch", "switch": s, "mode":
+"complete"|"partial"}``, ``{"kind": "recover_switch", "switch": s}``.
+Actions execute synchronously inside the hook, which is exactly the
+in-flight window the predicate identified.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..net.switch import FailureMode
+from ..obs import Tracer
+
+__all__ = ["ChaosActions", "TriggerTracer"]
+
+
+class ChaosActions:
+    """Executes chaos actions against a built system, with counters.
+
+    Shared by the driver's timed injector and by triggers, so every
+    fault application is counted the same way.  Already-down targets
+    are counted no-ops (see :meth:`ComponentHost.crash` /
+    ``SwitchFailureInjector``).
+    """
+
+    def __init__(self, env, network, controller):
+        self.env = env
+        self.network = network
+        self.controller = controller
+        #: Chronological log of (sim_time, description, applied?).
+        self.log: list[tuple[float, str, bool]] = []
+        self.noops = 0
+
+    def execute(self, action: dict[str, Any]) -> bool:
+        """Run one action dict; returns whether it had an effect."""
+        kind = action["kind"]
+        if kind == "crash_component":
+            applied = bool(
+                self.controller.crash_component(action["component"]))
+            label = f"crash_component {action['component']}"
+        elif kind == "fail_switch":
+            switch = self.network[action["switch"]]
+            applied = switch.is_healthy
+            if applied:
+                mode = FailureMode(action.get("mode", "complete"))
+                switch.fail(mode)
+            label = f"fail_switch {action['switch']}"
+        elif kind == "recover_switch":
+            switch = self.network[action["switch"]]
+            applied = not switch.is_healthy
+            if applied:
+                switch.recover()
+            label = f"recover_switch {action['switch']}"
+        else:
+            raise ValueError(f"unknown chaos action kind {kind!r}")
+        if not applied:
+            self.noops += 1
+        self.log.append((self.env.now, label, applied))
+        return applied
+
+
+class _ArmedTrigger:
+    __slots__ = ("index", "at", "when", "action")
+
+    def __init__(self, index: int, at: float, when: dict, action: dict):
+        self.index = index
+        self.at = at
+        self.when = when
+        self.action = action
+
+
+class TriggerTracer(Tracer):
+    """Tracer that fires chaos actions when event predicates match."""
+
+    enabled = True
+
+    def __init__(self, actions: ChaosActions,
+                 inner: Optional[Tracer] = None):
+        self.actions = actions
+        self.inner = inner if (inner is not None and inner.enabled) else None
+        self._armed: list[_ArmedTrigger] = []
+        #: Fired triggers: {"at", "index", "when", "action", "applied"}.
+        self.fired: list[dict[str, Any]] = []
+
+    def arm(self, index: int, at: float, when: dict, action: dict) -> None:
+        """Arm one trigger; it fires at most once, at or after ``at``."""
+        if when.get("event") not in ("op_mark", "instant"):
+            raise ValueError(f"unsupported trigger event {when!r}")
+        if action.get("kind") not in ("crash_component", "fail_switch",
+                                      "recover_switch"):
+            raise ValueError(f"unsupported trigger action {action!r}")
+        self._armed.append(_ArmedTrigger(index, at, when, action))
+
+    @property
+    def pending(self) -> int:
+        """Armed triggers that have not fired."""
+        return len(self._armed)
+
+    # -- predicate evaluation ----------------------------------------------
+    def _fire_matching(self, env, event: str, fields: dict) -> None:
+        if not self._armed:
+            return
+        now = env.now
+        remaining = []
+        for trigger in self._armed:
+            if now >= trigger.at and _matches(trigger.when, event, fields):
+                applied = self.actions.execute(trigger.action)
+                self.fired.append({
+                    "at": now, "index": trigger.index,
+                    "when": trigger.when, "action": trigger.action,
+                    "applied": applied,
+                })
+            else:
+                remaining.append(trigger)
+        self._armed = remaining
+
+    # -- forwarded hooks ----------------------------------------------------
+    def instant(self, env, name, track="sim", ts=None, **args):
+        if self.inner is not None:
+            self.inner.instant(env, name, track=track, ts=ts, **args)
+        self._fire_matching(env, "instant",
+                            {"name": name, "track": track, **args})
+
+    def op_mark(self, env, op_id, stage, track, ts=None, **args):
+        if self.inner is not None:
+            self.inner.op_mark(env, op_id, stage, track, ts=ts, **args)
+        self._fire_matching(env, "op_mark",
+                            {"op_id": op_id, "stage": stage, "track": track,
+                             **args})
+
+    def complete(self, env, name, track, start, duration, **args):
+        if self.inner is not None:
+            self.inner.complete(env, name, track, start, duration, **args)
+
+    def counter(self, env, name, values, ts=None):
+        if self.inner is not None:
+            self.inner.counter(env, name, values, ts=ts)
+
+    def event_scheduled(self, env, event, when, priority):
+        if self.inner is not None:
+            self.inner.event_scheduled(env, event, when, priority)
+
+    def event_fired(self, env, event):
+        if self.inner is not None:
+            self.inner.event_fired(env, event)
+
+    def clock_advanced(self, env, old, new):
+        if self.inner is not None:
+            self.inner.clock_advanced(env, old, new)
+
+    def process_started(self, env, process):
+        if self.inner is not None:
+            self.inner.process_started(env, process)
+
+    def process_finished(self, env, process):
+        if self.inner is not None:
+            self.inner.process_finished(env, process)
+
+    def process_crashed(self, env, process, exc):
+        if self.inner is not None:
+            self.inner.process_crashed(env, process, exc)
+
+
+def _matches(when: dict, event: str, fields: dict) -> bool:
+    if when.get("event") != event:
+        return False
+    if event == "op_mark":
+        if "stage" in when and fields.get("stage") != when["stage"]:
+            return False
+        if "switch" in when and fields.get("switch") != when["switch"]:
+            return False
+        if "op_id" in when and fields.get("op_id") != when["op_id"]:
+            return False
+        if "track" in when and \
+                not str(fields.get("track", "")).startswith(when["track"]):
+            return False
+        return True
+    # instant
+    if "name" in when and \
+            not str(fields.get("name", "")).startswith(when["name"]):
+        return False
+    if "track" in when and \
+            not str(fields.get("track", "")).startswith(when["track"]):
+        return False
+    return True

@@ -1,0 +1,240 @@
+"""``repro.chaos/v1`` violation-artifact schema validation (CI gate).
+
+``python -m repro.chaos.validate artifact.json [--require-shrunk]``
+checks a chaos artifact written by :func:`repro.chaos.search` /
+:func:`repro.chaos.dump_artifact`.
+
+Schema ``repro.chaos/v1`` (sibling of ``repro.campaign/v1`` and the
+obs trace schema)::
+
+    {
+      "schema": "repro.chaos/v1",
+      "seed": int,                      # search seed
+      "trials": int,                    # schedules sampled
+      "target": str,                    # controller hunted for violations
+      "reference": str,                 # controller that must stay clean
+      "runs": [                         # one per trial
+        {
+          "trial": int,
+          "events": [<event>, ...],     # the sampled schedule's events
+          "interesting": bool,          # target violated ∧ reference clean
+          "verdicts": {<controller>: <verdict>, ...}
+        }, ...
+      ],
+      "interesting_trials": [int, ...],
+      "shrunk": null | {
+        "from_trial": int,
+        "tests_run": int,
+        "budget_exhausted": bool,
+        "events_before": int,
+        "events_after": int,
+        "schedule": {                   # full replayable ChaosSchedule
+          "seed": int, "topology": {...}, "demands": [[src, dst], ...],
+          "background_entries": int, "settle": float, "horizon": float,
+          "events": [<event>, ...]
+        },
+        "verdicts": {<controller>: <verdict>, ...}
+      }
+    }
+
+    <verdict> = {
+      "violated": bool,
+      "first_violation_at": null | float,   # sim-time (min over 'since')
+      "violation_count": int,
+      "violations": [ {"invariant": str, "subject": str, "since": float,
+                       "declared_at": float, "detail": {...}}, ... ],
+      "fault_counters": {"<kind>.<direction>": int, ...},
+      "fired_triggers": [...],
+      "action_noops": int
+    }
+
+    <event> = {"kind": one of drop|duplicate|delay|partition|fail_switch
+               |recover_switch|crash_component|trigger, "at": float,
+               + kind-specific fields (see repro.chaos.schedule)}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .schedule import EVENT_KINDS, ChaosEvent, ChaosSchedule
+
+__all__ = ["validate_artifact", "main"]
+
+_TOP_KEYS = ("schema", "seed", "trials", "target", "reference", "runs",
+             "interesting_trials", "shrunk")
+_VERDICT_KEYS = ("violated", "first_violation_at", "violation_count",
+                 "violations", "fault_counters", "fired_triggers",
+                 "action_noops")
+
+
+def validate_artifact(doc: Any, require_shrunk: bool = False) -> list[str]:
+    """Return a list of schema problems (empty when valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != "repro.chaos/v1":
+        problems.append(f"schema must be 'repro.chaos/v1', "
+                        f"got {doc.get('schema')!r}")
+    for key in _TOP_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if problems:
+        return problems
+    if not isinstance(doc["seed"], int):
+        problems.append("'seed' must be an int")
+    runs = doc["runs"]
+    if not isinstance(runs, list):
+        return problems + ["'runs' must be a list"]
+    if isinstance(doc["trials"], int) and len(runs) != doc["trials"]:
+        problems.append(
+            f"'trials' is {doc['trials']} but 'runs' has {len(runs)}")
+    interesting_from_runs = []
+    for run in runs:
+        where = f"runs[{run.get('trial', '?')}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("trial", "events", "interesting", "verdicts"):
+            if key not in run:
+                problems.append(f"{where}: missing {key!r}")
+        problems.extend(_check_events(run.get("events", []), where))
+        for name, verdict in sorted(run.get("verdicts", {}).items()):
+            problems.extend(_check_verdict(verdict, f"{where}.{name}"))
+        if run.get("interesting"):
+            interesting_from_runs.append(run.get("trial"))
+    if sorted(doc["interesting_trials"]) != sorted(interesting_from_runs):
+        problems.append(
+            f"'interesting_trials' {doc['interesting_trials']} does not "
+            f"match runs flagged interesting {interesting_from_runs}")
+    shrunk = doc["shrunk"]
+    if require_shrunk and shrunk is None:
+        problems.append("'shrunk' is null but --require-shrunk was given")
+    if shrunk is not None:
+        problems.extend(_check_shrunk(shrunk, doc))
+    return problems
+
+
+def _check_events(events: Any, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(events, list):
+        return [f"{where}: 'events' must be a list"]
+    last_at = float("-inf")
+    for index, event in enumerate(events):
+        spot = f"{where}.events[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{spot}: not an object")
+            continue
+        kind = event.get("kind")
+        if kind not in EVENT_KINDS:
+            problems.append(f"{spot}: unknown kind {kind!r}")
+            continue
+        at = event.get("at")
+        if not isinstance(at, (int, float)):
+            problems.append(f"{spot}: missing/non-numeric 'at'")
+            continue
+        if at < last_at:
+            problems.append(f"{spot}: events not sorted by 'at'")
+        last_at = at
+        try:
+            ChaosEvent.from_json_obj(event)
+        except (TypeError, ValueError) as exc:
+            problems.append(f"{spot}: {exc}")
+    return problems
+
+
+def _check_verdict(verdict: Any, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(verdict, dict):
+        return [f"{where}: verdict is not an object"]
+    for key in _VERDICT_KEYS:
+        if key not in verdict:
+            problems.append(f"{where}: missing {key!r}")
+    if problems:
+        return problems
+    violated = verdict["violated"]
+    first = verdict["first_violation_at"]
+    if violated and first is None:
+        problems.append(f"{where}: violated but first_violation_at is null")
+    if not violated and (first is not None or verdict["violation_count"]):
+        problems.append(f"{where}: clean verdict carries violation data")
+    for index, violation in enumerate(verdict["violations"]):
+        spot = f"{where}.violations[{index}]"
+        if not isinstance(violation, dict):
+            problems.append(f"{spot}: not an object")
+            continue
+        for key in ("invariant", "subject", "since", "declared_at"):
+            if key not in violation:
+                problems.append(f"{spot}: missing {key!r}")
+        since = violation.get("since")
+        declared = violation.get("declared_at")
+        if isinstance(since, (int, float)) \
+                and isinstance(declared, (int, float)) and declared < since:
+            problems.append(f"{spot}: declared_at before since")
+    return problems
+
+
+def _check_shrunk(shrunk: Any, doc: dict) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(shrunk, dict):
+        return ["'shrunk' must be null or an object"]
+    for key in ("from_trial", "tests_run", "budget_exhausted",
+                "events_before", "events_after", "schedule", "verdicts"):
+        if key not in shrunk:
+            problems.append(f"shrunk: missing {key!r}")
+    if problems:
+        return problems
+    if shrunk["from_trial"] not in doc.get("interesting_trials", []):
+        problems.append("shrunk.from_trial is not an interesting trial")
+    try:
+        schedule = ChaosSchedule.from_json_obj(shrunk["schedule"])
+    except (KeyError, TypeError, ValueError) as exc:
+        return problems + [f"shrunk.schedule does not parse: {exc}"]
+    if len(schedule.events) != shrunk["events_after"]:
+        problems.append(
+            f"shrunk.events_after is {shrunk['events_after']} but the "
+            f"schedule has {len(schedule.events)} events")
+    if shrunk["events_after"] > shrunk["events_before"]:
+        problems.append("shrunk grew: events_after > events_before")
+    target = doc.get("target")
+    reference = doc.get("reference")
+    verdicts = shrunk["verdicts"]
+    for name, verdict in sorted(verdicts.items()):
+        problems.extend(_check_verdict(verdict, f"shrunk.{name}"))
+    if target in verdicts and not verdicts[target].get("violated"):
+        problems.append(f"shrunk: target {target!r} verdict is clean")
+    if reference in verdicts and verdicts[reference].get("violated"):
+        problems.append(f"shrunk: reference {reference!r} verdict violated")
+    return problems
+
+
+def main(argv=None) -> int:
+    """Validate an artifact file; exit 0 when clean, 1 otherwise."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos.validate",
+        description="Validate a repro.chaos/v1 violation artifact")
+    parser.add_argument("artifact", help="artifact file (.json)")
+    parser.add_argument("--require-shrunk", action="store_true",
+                        help="require a shrunk schedule to be present")
+    args = parser.parse_args(argv)
+
+    with open(args.artifact, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    problems = validate_artifact(doc, require_shrunk=args.require_shrunk)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    shrunk = doc.get("shrunk")
+    summary = "no shrunk schedule" if shrunk is None else (
+        f"shrunk {shrunk['events_before']}→{shrunk['events_after']} events")
+    print(f"OK: {args.artifact} ({len(doc['runs'])} trials, "
+          f"{len(doc['interesting_trials'])} interesting, {summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@
 ``python -m repro render-docs --check``
                                     — regenerate (or verify) the
                                       measured blocks of EXPERIMENTS.md
+``python -m repro chaos --seed 0 --out chaos.json``
+                                    — search seeded fault schedules for
+                                      consistency violations and shrink
+                                      the first PR-only failure
+``python -m repro chaos --replay examples/chaos_pr_violation.json``
+                                    — re-run a committed shrunk
+                                      schedule and verify its verdicts
 """
 
 from __future__ import annotations
@@ -248,6 +255,107 @@ def _run_render_docs(argv) -> int:
     return 0
 
 
+def _run_chaos(argv) -> int:
+    """`chaos`: adversarial search-and-shrink, or artifact replay."""
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="sample seeded fault schedules, hunt consistency "
+                    "violations the reference controller survives, and "
+                    "shrink the first one to a minimal replayable repro")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="search seed (same seed ⇒ byte-identical "
+                             "artifact)")
+    parser.add_argument("--trials", type=int, default=5,
+                        help="schedules to sample (default: 5)")
+    parser.add_argument("--target", default="pr",
+                        help="controller hunted for violations "
+                             "(default: pr)")
+    parser.add_argument("--reference", default="zenith",
+                        help="controller that must stay clean "
+                             "(default: zenith)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the repro.chaos/v1 artifact to PATH")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of interesting trials")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter event window + fewer channel "
+                             "faults (the CI chaos-smoke preset)")
+    parser.add_argument("--replay", metavar="ARTIFACT",
+                        help="re-run ARTIFACT's shrunk schedule and "
+                             "verify the recorded verdicts")
+    args = parser.parse_args(argv)
+
+    from .chaos import dump_artifact, load_artifact, replay, search
+    from .chaos.validate import validate_artifact
+
+    if args.replay:
+        try:
+            artifact = load_artifact(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load artifact: {exc}", file=sys.stderr)
+            return 2
+        try:
+            outcome = replay(artifact)
+        except ValueError as exc:
+            print(f"cannot replay: {exc}", file=sys.stderr)
+            return 2
+        for name, verdict in sorted(outcome["verdicts"].items()):
+            first = verdict["first_violation_at"]
+            state = (f"VIOLATED at t={first}" if verdict["violated"]
+                     else "clean")
+            print(f"{name:>8}: {state}")
+        if outcome["ok"]:
+            print("replay OK: recorded verdicts reproduced exactly")
+            return 0
+        for mismatch in outcome["mismatches"]:
+            print(f"REPLAY MISMATCH: {mismatch}", file=sys.stderr)
+        return 1
+
+    sampler_kwargs = {}
+    if args.quick:
+        sampler_kwargs.update(active=8.0, cooldown=12.0, n_channel=2,
+                              n_triggers=0)
+    started = time.perf_counter()
+    artifact = search(args.seed, trials=args.trials, target=args.target,
+                      reference=args.reference, shrink=not args.no_shrink,
+                      **sampler_kwargs)
+    elapsed = time.perf_counter() - started
+    for run in artifact["runs"]:
+        flags = []
+        for name, verdict in sorted(run["verdicts"].items()):
+            first = verdict["first_violation_at"]
+            flags.append(f"{name}={'t=%.3f' % first if verdict['violated'] else 'clean'}")
+        marker = "  <-- interesting" if run["interesting"] else ""
+        print(f"trial {run['trial']}: {'  '.join(flags)}{marker}")
+    shrunk = artifact["shrunk"]
+    if shrunk is not None:
+        print(f"\nshrunk trial {shrunk['from_trial']}: "
+              f"{shrunk['events_before']} -> {shrunk['events_after']} "
+              f"events in {shrunk['tests_run']} probes")
+        from .chaos.schedule import ChaosEvent
+
+        for event in shrunk["schedule"]["events"]:
+            print(f"  {ChaosEvent.from_json_obj(event).describe()}")
+        for name, verdict in sorted(shrunk["verdicts"].items()):
+            first = verdict["first_violation_at"]
+            state = (f"VIOLATED at t={first}" if verdict["violated"]
+                     else "clean")
+            print(f"  {name:>8}: {state}")
+    elif artifact["interesting_trials"]:
+        print("\n(shrink skipped)")
+    else:
+        print(f"\nno {args.target}-only violations in "
+              f"{args.trials} trials")
+    problems = validate_artifact(artifact)
+    for problem in problems:
+        print(f"INVALID ARTIFACT: {problem}", file=sys.stderr)
+    if args.out:
+        dump_artifact(artifact, args.out)
+        print(f"\nwrote {args.out}")
+    print(f"[{elapsed:.1f}s]")
+    return 1 if problems else 0
+
+
 def _print_experiment_lines() -> None:
     from .experiments import EXPERIMENTS, describe
 
@@ -265,6 +373,8 @@ def main(argv=None) -> int:
         return _run_sweep(argv[1:])
     if argv and argv[0] == "render-docs":
         return _run_render_docs(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _run_chaos(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

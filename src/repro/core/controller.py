@@ -125,9 +125,13 @@ class ZenithController:
         """Component hosts by name (for failure injection)."""
         return dict(self._hosts)
 
-    def crash_component(self, name: str, reason: str = "injected") -> None:
-        """Crash one component by name."""
-        self._hosts[name].crash(reason)
+    def crash_component(self, name: str, reason: str = "injected") -> bool:
+        """Crash one component by name.
+
+        Returns ``False`` (a counted no-op) when the component is
+        already down — see :meth:`ComponentHost.crash`.
+        """
+        return self._hosts[name].crash(reason)
 
     def de_component_names(self) -> list[str]:
         """DAG Engine component names."""

@@ -19,6 +19,7 @@ exposes:
 
 from . import (
     ablation,
+    chaos_nemesis,
     fig03_reconciliation_period,
     fig04_reconciliation_cost,
     fig10_trace_replay,
@@ -61,6 +62,7 @@ EXPERIMENTS = {
     "figA6": figa6_trace_lengths.run,
     "tableA1": tablea1_spec_size.run,
     "ablation": ablation.run,
+    "chaos": chaos_nemesis.run,
 }
 
 def experiment_module(exp_id: str):

@@ -65,6 +65,8 @@ class Network:
                                  **switch_kwargs)
             for switch_id in topology.switches
         }
+        #: Optional repro.chaos.FaultPlane shared by every switch.
+        self.fault_plane = None
 
     def __getitem__(self, switch_id: str) -> SimSwitch:
         return self.switches[switch_id]
@@ -76,6 +78,17 @@ class Network:
         return len(self.switches)
 
     # -- failure injection ---------------------------------------------------------
+    def install_fault_plane(self, plane) -> None:
+        """Route every switch's control channels through ``plane``.
+
+        ``plane`` is a :class:`repro.chaos.FaultPlane`; pass ``None``
+        to detach.  Channels behave exactly as before until a fault is
+        armed (the switch hot path checks ``plane.active``).
+        """
+        self.fault_plane = plane
+        for switch in self.switches.values():
+            switch.fault_plane = plane
+
     def fail_switch(self, switch_id: str,
                     mode: FailureMode = FailureMode.COMPLETE) -> None:
         """Fail one switch."""

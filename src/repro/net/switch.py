@@ -103,6 +103,9 @@ class SimSwitch:
         # monotone per direction even with jittered per-message delays.
         self._last_inbound_delivery = 0.0
         self._last_outbound_delivery = 0.0
+        #: Optional repro.chaos.FaultPlane; when armed, control-channel
+        #: deliveries route through it (drop/duplicate/delay/partition).
+        self.fault_plane = None
         registry = getattr(env, "metrics", None)
         if registry is not None:
             registry.register_switch(self)
@@ -153,42 +156,65 @@ class SimSwitch:
             switch=self.switch_id, status=status, at=self.env.now,
             state_lost=state_lost)
 
-        def deliver():
-            yield self.env.timeout(self.detection_delay)
-            for listener in self._status_listeners:
-                listener.put(message)
+        for extra, _fifo in self._delivery_plan("status"):
+            def deliver(extra=extra):
+                yield self.env.timeout(self.detection_delay + extra)
+                for listener in self._status_listeners:
+                    listener.put(message)
 
-        self.env.process(deliver(), name=f"{self.switch_id}-status")
+            self.env.process(deliver(), name=f"{self.switch_id}-status")
 
     # -- control channel -----------------------------------------------------------
     def _channel_delay(self) -> float:
         return self.channel_delay + self.streams.uniform(0.0, self.channel_jitter)
 
+    def _delivery_plan(self, direction: str):
+        """How to deliver one message: ``[(extra_delay, fifo), ...]``.
+
+        Without an armed fault plane this is a single on-time FIFO
+        delivery — the exact pre-chaos behavior, consuming the same
+        randomness.  ``fifo=False`` deliveries (delayed/duplicated
+        copies) bypass the monotone-delivery clamp and do not advance
+        its watermark, so an extra delay can reorder past later sends.
+        """
+        plane = self.fault_plane
+        if plane is None or not plane.active:
+            return ((0.0, True),)
+        return plane.deliveries(self.switch_id, direction, self.env.now)
+
     def send(self, request: SwitchRequest) -> None:
         """Deliver ``request`` after the control-channel one-way delay."""
-        arrival = max(self.env.now + self._channel_delay(),
-                      self._last_inbound_delivery)
-        self._last_inbound_delivery = arrival
+        for extra, fifo in self._delivery_plan("c2s"):
+            raw = self.env.now + self._channel_delay() + extra
+            if fifo:
+                arrival = max(raw, self._last_inbound_delivery)
+                self._last_inbound_delivery = arrival
+            else:
+                arrival = raw
 
-        def deliver():
-            yield self.env.timeout(arrival - self.env.now)
-            if self.is_healthy:
-                self.in_queue.put(request)
-            # Requests to a dead switch are lost silently, like TCP to a
-            # dead host; detection happens via keepalives.
+            def deliver(arrival=arrival):
+                yield self.env.timeout(arrival - self.env.now)
+                if self.is_healthy:
+                    self.in_queue.put(request)
+                # Requests to a dead switch are lost silently, like TCP
+                # to a dead host; detection happens via keepalives.
 
-        self.env.process(deliver(), name=f"{self.switch_id}-deliver")
+            self.env.process(deliver(), name=f"{self.switch_id}-deliver")
 
     def _reply(self, message) -> None:
-        arrival = max(self.env.now + self._channel_delay(),
-                      self._last_outbound_delivery)
-        self._last_outbound_delivery = arrival
+        for extra, fifo in self._delivery_plan("s2c"):
+            raw = self.env.now + self._channel_delay() + extra
+            if fifo:
+                arrival = max(raw, self._last_outbound_delivery)
+                self._last_outbound_delivery = arrival
+            else:
+                arrival = raw
 
-        def deliver():
-            yield self.env.timeout(arrival - self.env.now)
-            self.out_queue.put(message)
+            def deliver(arrival=arrival):
+                yield self.env.timeout(arrival - self.env.now)
+                self.out_queue.put(message)
 
-        self.env.process(deliver(), name=f"{self.switch_id}-reply")
+            self.env.process(deliver(), name=f"{self.switch_id}-reply")
 
     # -- main loop -------------------------------------------------------------------
     def _main(self):

@@ -177,6 +177,7 @@ class MetricsRegistry:
         for prefix, host in self._hosts:
             out[f"{prefix}.crashes"] = host.crash_count
             out[f"{prefix}.restarts"] = host.restart_count
+            out[f"{prefix}.crash_noops"] = host.crash_noop_count
         for prefix, switch in self._switches:
             out[f"{prefix}.installs"] = switch.install_count
             out[f"{prefix}.deletes"] = switch.delete_count

@@ -83,22 +83,36 @@ def random_switch_failures(switches: Sequence[str], streams: RandomStreams,
             recover_after: Optional[float] = None
         else:
             recover_after = stream.expovariate(1.0 / mean_downtime)
-        if not concurrent and recover_after is not None:
-            # Serialise: next failure cannot start before we recover.
-            pass
         events.append(SwitchFailureEvent(at, switch, mode, recover_after))
     if not concurrent:
-        # Enforce one-at-a-time: shift overlapping failures.
-        shifted = []
-        cursor = start
-        for event in sorted(events, key=lambda e: e.at):
-            at = max(event.at, cursor)
-            downtime = event.recover_after if event.recover_after else 0.0
-            cursor = at + downtime + 0.5
-            shifted.append(SwitchFailureEvent(at, event.switch, event.mode,
-                                              event.recover_after))
-        events = shifted
+        # Enforce one-at-a-time: every event (the first included) starts
+        # no earlier than the previous outage's end plus a settle gap.
+        # A permanent outage never ends, so nothing can follow it.
+        events = _serialize_outages(events, start)
     return sorted(events, key=lambda e: e.at)
+
+
+#: Minimum quiet time between one recovery and the next failure in
+#: one-at-a-time schedules.
+_SERIAL_GAP = 0.5
+
+
+def _serialize_outages(events: Sequence[SwitchFailureEvent],
+                       start: float) -> list[SwitchFailureEvent]:
+    """Shift events so at most one switch is ever down at a time."""
+    serialized: list[SwitchFailureEvent] = []
+    cursor = start
+    for event in sorted(events, key=lambda e: e.at):
+        if cursor == float("inf"):
+            break  # an earlier permanent outage never ends
+        at = max(event.at, cursor)
+        serialized.append(SwitchFailureEvent(at, event.switch, event.mode,
+                                             event.recover_after))
+        if event.recover_after is None:
+            cursor = float("inf")
+        else:
+            cursor = at + event.recover_after + _SERIAL_GAP
+    return serialized
 
 
 def random_component_failures(components: Sequence[str],
@@ -130,6 +144,10 @@ class SwitchFailureInjector:
         self.network = network
         self.schedule = sorted(schedule, key=lambda e: e.at)
         self.executed: list[SwitchFailureEvent] = []
+        #: Events skipped because the switch was already down.
+        self.skipped_overlaps = 0
+        #: Recoveries dropped because a later failure owned the outage.
+        self.stale_recoveries_skipped = 0
         self._proc = env.process(self._run(), name="switch-failure-injector")
 
     def _run(self):
@@ -139,16 +157,27 @@ class SwitchFailureInjector:
                 yield self.env.timeout(delay)
             switch = self.network[event.switch]
             if not switch.is_healthy:
+                self.skipped_overlaps += 1
                 continue  # already down via an overlapping event
             switch.fail(event.mode)
             self.executed.append(event)
             if event.recover_after is not None:
+                # failure_count identifies *this* outage: if another
+                # failure hits before our recovery fires, the count
+                # advances and the recovery would bring up a switch a
+                # later (possibly permanent) event deliberately downed.
+                token = switch.failure_count
                 self.env.process(
-                    self._recover_later(event.switch, event.recover_after),
+                    self._recover_later(event.switch, event.recover_after,
+                                        token),
                     name=f"recover-{event.switch}")
 
-    def _recover_later(self, switch_id: str, delay: float):
+    def _recover_later(self, switch_id: str, delay: float, token: int):
         yield self.env.timeout(delay)
+        switch = self.network[switch_id]
+        if switch.failure_count != token:
+            self.stale_recoveries_skipped += 1
+            return
         self.network.recover_switch(switch_id)
 
 
@@ -161,6 +190,8 @@ class ComponentFailureInjector:
         self.controller = controller
         self.schedule = sorted(schedule, key=lambda e: e.at)
         self.executed: list[ComponentFailureEvent] = []
+        #: Crashes that hit an already-down component (counted no-ops).
+        self.noop_crashes = 0
         self._proc = env.process(self._run(), name="component-failure-injector")
 
     def _run(self):
@@ -168,5 +199,7 @@ class ComponentFailureInjector:
             delay = event.at - self.env.now
             if delay > 0:
                 yield self.env.timeout(delay)
-            self.controller.crash_component(event.component)
-            self.executed.append(event)
+            if self.controller.crash_component(event.component):
+                self.executed.append(event)
+            else:
+                self.noop_crashes += 1

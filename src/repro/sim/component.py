@@ -89,6 +89,8 @@ class ComponentHost:
         self.state = HostState.STOPPED
         self.crash_count = 0
         self.restart_count = 0
+        #: Crash calls that found the component already down/stopped.
+        self.crash_noop_count = 0
         self._restart_event: Optional[Event] = None
         self._process: Optional[Process] = None
         self._was_crashed = False
@@ -108,15 +110,23 @@ class ComponentHost:
         self._process = self.env.process(self._lifecycle(), name=self.name)
         return self._process
 
-    def crash(self, reason: str = "injected") -> None:
-        """Inject a failure: the component loses its local state."""
+    def crash(self, reason: str = "injected") -> bool:
+        """Inject a failure: the component loses its local state.
+
+        Crashing a component that is not RUNNING (already crashed,
+        mid-restart, or stopped) is a counted no-op: returns ``False``
+        and bumps :attr:`crash_noop_count` (surfaced as the
+        ``.crash_noops`` gauge in :class:`repro.obs.MetricsRegistry`).
+        """
         if self.state is not HostState.RUNNING or self._process is None:
-            return
+            self.crash_noop_count += 1
+            return False
         self.crash_count += 1
         if self.env._tracing:
             self.env.tracer.instant(self.env, f"crash {self.name}",
                                     track=self.name, reason=reason)
         self._process.interrupt(Crash(reason))
+        return True
 
     def restart(self) -> None:
         """Restart a DOWN component (used by the Watchdog)."""

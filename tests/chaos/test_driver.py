@@ -1,0 +1,171 @@
+"""End-to-end chaos driver: determinism, the committed repro, CI gates."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.chaos import (
+    CONTROLLERS,
+    ChaosSchedule,
+    load_artifact,
+    replay,
+    run_schedule,
+    sample_schedule,
+    search,
+)
+from repro.chaos.driver import build_topology, component_names
+from repro.chaos.validate import validate_artifact
+
+ARTIFACT = pathlib.Path(__file__).resolve().parents[2] \
+    / "examples" / "chaos_pr_violation.json"
+
+QUICK = dict(active=8.0, cooldown=12.0, n_channel=2,
+             channel_kinds=("duplicate", "delay"))
+
+
+def quick_schedule(seed, trial, **overrides):
+    topology = {"kind": "ring", "n": 6}
+    kwargs = {**QUICK, **overrides}
+    return sample_schedule(
+        seed, trial, switches=build_topology(topology).switches,
+        components=component_names(topology), topology=topology, **kwargs)
+
+
+def test_search_is_deterministic_byte_for_byte():
+    kwargs = dict(trials=2, shrink=False, **QUICK)
+    first = json.dumps(search(3, **kwargs), sort_keys=True)
+    second = json.dumps(search(3, **kwargs), sort_keys=True)
+    assert first == second
+    assert json.dumps(search(4, **kwargs), sort_keys=True) != first
+
+
+def test_zenith_survives_the_quick_nemesis_suite():
+    """CI gate: the fixed-seed nemesis suite on ZENITH — zero violations
+    (faults stay inside the paper's model: no drops)."""
+    for trial in range(4):
+        report = run_schedule(quick_schedule(0, trial), "zenith")
+        assert not report.violated, (
+            f"trial {trial}: ZENITH violated "
+            f"{[v.to_json_obj() for v in report.violations]}")
+
+
+def test_run_schedule_counts_faults_and_triggers():
+    schedule = quick_schedule(0, 0)
+    report = run_schedule(schedule, "pr")
+    channel = sum(1 for e in schedule.events
+                  if e.kind in ("duplicate", "delay"))
+    assert sum(report.fault_counters.values()) <= channel
+    # Timed events are logged through ChaosActions.
+    timed = [e for e in schedule.events
+             if e.kind in ("fail_switch", "recover_switch",
+                           "crash_component")]
+    assert len(report.action_log) >= len(timed)
+
+
+def test_run_schedule_rejects_unknown_controller():
+    with pytest.raises(ValueError):
+        run_schedule(quick_schedule(0, 0), "fancy")
+
+
+def test_component_names_match_registry_controllers():
+    names = component_names({"kind": "ring", "n": 6})
+    assert "dag-scheduler" in names
+    assert any(n.startswith("worker-") for n in names)
+    assert set(CONTROLLERS) == {"zenith", "pr", "prup", "norec"}
+
+
+# -- the committed artifact ----------------------------------------------------
+
+def test_committed_artifact_is_schema_valid():
+    artifact = load_artifact(ARTIFACT)
+    assert validate_artifact(artifact, require_shrunk=True) == []
+
+
+def test_committed_artifact_replays_exactly():
+    """The headline repro: the shrunk schedule still makes the PR
+    baseline violate at the recorded sim-time while ZENITH runs clean."""
+    artifact = load_artifact(ARTIFACT)
+    outcome = replay(artifact)
+    assert outcome["ok"], outcome["mismatches"]
+    shrunk = artifact["shrunk"]
+    assert shrunk["events_after"] <= 3
+    assert outcome["verdicts"]["pr"]["violated"] is True
+    assert outcome["verdicts"]["pr"]["first_violation_at"] == \
+        shrunk["verdicts"]["pr"]["first_violation_at"]
+    assert outcome["verdicts"]["zenith"]["violated"] is False
+
+
+def test_replay_requires_a_shrunk_schedule():
+    artifact = load_artifact(ARTIFACT)
+    artifact["shrunk"] = None
+    with pytest.raises(ValueError):
+        replay(artifact)
+
+
+def test_shrunk_schedule_round_trips():
+    artifact = load_artifact(ARTIFACT)
+    schedule = ChaosSchedule.from_json_obj(artifact["shrunk"]["schedule"])
+    assert schedule.to_json_obj() == artifact["shrunk"]["schedule"]
+
+
+# -- validator negative cases --------------------------------------------------
+
+def _valid():
+    return copy.deepcopy(load_artifact(ARTIFACT))
+
+
+def test_validator_rejects_wrong_schema():
+    doc = _valid()
+    doc["schema"] = "repro.chaos/v0"
+    assert any("schema" in p for p in validate_artifact(doc))
+
+
+def test_validator_rejects_missing_top_key():
+    doc = _valid()
+    del doc["runs"]
+    assert any("runs" in p for p in validate_artifact(doc))
+
+
+def test_validator_rejects_trial_count_mismatch():
+    doc = _valid()
+    doc["trials"] += 1
+    assert any("trials" in p for p in validate_artifact(doc))
+
+
+def test_validator_rejects_unsorted_events():
+    doc = _valid()
+    events = doc["runs"][0]["events"]
+    assert len(events) >= 2
+    events[0], events[-1] = events[-1], events[0]
+    assert any("sorted" in p for p in validate_artifact(doc))
+
+
+def test_validator_rejects_inconsistent_interesting_list():
+    doc = _valid()
+    doc["interesting_trials"] = []
+    assert any("interesting" in p for p in validate_artifact(doc))
+
+
+def test_validator_rejects_clean_verdict_with_violation_data():
+    doc = _valid()
+    verdict = doc["shrunk"]["verdicts"]["zenith"]
+    verdict["violation_count"] = 2
+    assert any("violation data" in p for p in validate_artifact(doc))
+
+
+def test_validator_rejects_violating_reference_in_shrunk():
+    doc = _valid()
+    verdict = doc["shrunk"]["verdicts"]["zenith"]
+    verdict["violated"] = True
+    verdict["first_violation_at"] = 1.0
+    assert any("reference" in p for p in validate_artifact(doc))
+
+
+def test_validator_requires_shrunk_when_asked():
+    doc = _valid()
+    doc["shrunk"] = None
+    assert validate_artifact(doc) == []
+    assert any("--require-shrunk" in p
+               for p in validate_artifact(doc, require_shrunk=True))

@@ -1,0 +1,161 @@
+"""FaultPlane semantics, standalone and routed through a SimSwitch."""
+
+import pytest
+
+from repro.chaos import ChaosEvent, FaultPlane
+from repro.net.messages import FlowEntry, MsgKind, SwitchRequest
+from repro.net.switch import SimSwitch
+from repro.sim import Environment, FifoQueue
+
+
+def _install(xid, entry_id):
+    return SwitchRequest(MsgKind.INSTALL, "s0", xid,
+                         entry=FlowEntry(entry_id, "d", "n", 1))
+
+
+# -- pure plane unit tests -----------------------------------------------------
+
+def test_unarmed_plane_is_inactive_and_normal():
+    plane = FaultPlane()
+    assert not plane.active
+    assert plane.deliveries("s0", "c2s", 1.0) == ((0.0, True),)
+    assert plane.counters == {}
+
+
+def test_drop_is_one_shot_and_time_gated():
+    plane = FaultPlane()
+    plane.arm(ChaosEvent(kind="drop", at=5.0, switch="s0", direction="c2s"))
+    assert plane.active
+    # Before the arm time: untouched; fault stays pending.
+    assert plane.deliveries("s0", "c2s", 4.9) == ((0.0, True),)
+    assert plane.pending() == 1
+    # Wrong switch/direction: untouched.
+    assert plane.deliveries("s1", "c2s", 6.0) == ((0.0, True),)
+    assert plane.deliveries("s0", "s2c", 6.0) == ((0.0, True),)
+    # First crossing at/after the arm time consumes it.
+    assert plane.deliveries("s0", "c2s", 5.0) == ()
+    assert plane.pending() == 0
+    assert plane.deliveries("s0", "c2s", 5.1) == ((0.0, True),)
+    assert plane.counters == {"drop.c2s": 1}
+    assert plane.applied == [(5.0, "drop", "s0", "c2s")]
+
+
+def test_duplicate_and_delay_plans():
+    plane = FaultPlane()
+    plane.arm(ChaosEvent(kind="duplicate", at=1.0, switch="s0",
+                         direction="s2c", delay=0.4))
+    plane.arm(ChaosEvent(kind="delay", at=1.0, switch="s0",
+                         direction="c2s", delay=0.2))
+    assert plane.deliveries("s0", "s2c", 2.0) == ((0.0, True), (0.4, False))
+    assert plane.deliveries("s0", "c2s", 2.0) == ((0.2, False),)
+
+
+def test_armed_faults_consumed_in_arm_time_order():
+    plane = FaultPlane()
+    plane.arm(ChaosEvent(kind="delay", at=2.0, switch="s0",
+                         direction="c2s", delay=0.9))
+    plane.arm(ChaosEvent(kind="drop", at=1.0, switch="s0", direction="c2s"))
+    assert plane.deliveries("s0", "c2s", 3.0) == ()          # drop (at=1)
+    assert plane.deliveries("s0", "c2s", 3.0) == ((0.9, False),)
+
+
+def test_partition_drops_requests_not_status():
+    plane = FaultPlane()
+    plane.arm(ChaosEvent(kind="partition", at=1.0, switch="s0", until=2.0))
+    assert plane.partitioned("s0", 1.0)
+    assert not plane.partitioned("s0", 2.0)  # half-open interval
+    assert plane.deliveries("s0", "c2s", 1.5) == ()
+    assert plane.deliveries("s0", "s2c", 1.5) == ()
+    # A2: failure detection stays eventually reliable.
+    assert plane.deliveries("s0", "status", 1.5) == ((0.0, True),)
+    assert plane.deliveries("s0", "c2s", 2.5) == ((0.0, True),)
+    assert plane.counters["partition_drop.c2s"] == 1
+
+
+def test_arm_rejects_bad_events():
+    plane = FaultPlane()
+    with pytest.raises(ValueError):
+        plane.arm(ChaosEvent(kind="drop", at=1.0, switch="s0",
+                             direction="sideways"))
+    with pytest.raises(ValueError):
+        plane.arm(ChaosEvent(kind="partition", at=2.0, switch="s0",
+                             until=2.0))
+    with pytest.raises(ValueError):
+        plane.arm(ChaosEvent(kind="fail_switch", at=1.0, switch="s0"))
+
+
+# -- routed through a SimSwitch ------------------------------------------------
+
+def make_switch(env):
+    switch = SimSwitch(env, "s0", channel_jitter=0.0)
+    plane = FaultPlane()
+    switch.fault_plane = plane
+    return switch, plane
+
+
+def test_switch_drop_loses_the_request():
+    env = Environment()
+    switch, plane = make_switch(env)
+    plane.arm(ChaosEvent(kind="drop", at=0.0, switch="s0", direction="c2s"))
+    switch.send(_install(1, 10))
+    switch.send(_install(2, 11))
+    env.run(until=1.0)
+    assert 10 not in switch.flow_table        # dropped
+    assert 11 in switch.flow_table            # delivered
+    assert plane.counters == {"drop.c2s": 1}
+
+
+def test_switch_duplicate_installs_twice():
+    env = Environment()
+    switch, plane = make_switch(env)
+    plane.arm(ChaosEvent(kind="duplicate", at=0.0, switch="s0",
+                         direction="c2s", delay=0.1))
+    switch.send(_install(1, 10))
+    env.run(until=1.0)
+    assert switch.install_count == 2
+    assert switch.duplicate_installs == 1
+
+
+def test_switch_delay_reorders_past_later_send():
+    """The delayed copy bypasses the FIFO clamp: a message sent first
+    can arrive (and be applied) after one sent later."""
+    env = Environment()
+    switch, plane = make_switch(env)
+    plane.arm(ChaosEvent(kind="delay", at=0.0, switch="s0",
+                         direction="c2s", delay=0.1))
+    switch.send(_install(1, 10))   # delayed ~0.102s
+    switch.send(_install(2, 11))   # normal ~0.002s
+    env.run(until=1.0)
+    order = [entry for _t, op, entry in switch.history if op == "install"]
+    assert order == [11, 10]
+
+
+def test_switch_fifo_clamp_holds_without_faults():
+    """Sanity: un-faulted sends apply in send order (P4)."""
+    env = Environment()
+    switch = SimSwitch(env, "s0")  # jittered, no plane
+    for xid in range(5):
+        switch.send(_install(xid, 100 + xid))
+    env.run(until=1.0)
+    order = [entry for _t, op, entry in switch.history if op == "install"]
+    assert order == [100, 101, 102, 103, 104]
+
+
+def test_switch_status_delay_defers_detection():
+    env = Environment()
+    switch, plane = make_switch(env)
+    listener = FifoQueue(env, "listener")
+    switch.add_status_listener(listener)
+    plane.arm(ChaosEvent(kind="delay", at=0.0, switch="s0",
+                         direction="status", delay=1.0))
+
+    def chaos():
+        yield env.timeout(2.0)
+        switch.fail()
+
+    env.process(chaos())
+    # Default detection delay 0.5 + armed extra 1.0 => lands at 3.5.
+    env.run(until=3.4)
+    assert len(listener) == 0
+    env.run(until=3.6)
+    assert len(listener) == 1

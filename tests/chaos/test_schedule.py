@@ -1,0 +1,108 @@
+"""Schedule sampling determinism and JSON round-trips."""
+
+import pytest
+
+from repro.chaos import ChaosEvent, ChaosSchedule, sample_schedule
+from repro.chaos.schedule import validate_directions
+
+SWITCHES = [f"s{i}" for i in range(6)]
+COMPONENTS = ["worker-0", "sequencer-0", "monitoring-server"]
+
+
+def sample(seed, trial, **kwargs):
+    return sample_schedule(seed, trial, switches=SWITCHES,
+                           components=COMPONENTS, **kwargs)
+
+
+def test_same_seed_trial_is_identical():
+    a = sample(7, 3)
+    b = sample(7, 3)
+    assert a.to_json_obj() == b.to_json_obj()
+
+
+def test_different_trials_differ():
+    assert sample(7, 0).to_json_obj() != sample(7, 1).to_json_obj()
+
+
+def test_events_sorted_and_inside_window():
+    schedule = sample(11, 0, settle=10.0, active=20.0, cooldown=15.0)
+    ats = [e.at for e in schedule.events]
+    assert ats == sorted(ats)
+    window_events = [e for e in schedule.events
+                     if e.kind != "recover_switch"]
+    for event in window_events:
+        assert 11.0 <= event.at < 31.0
+    assert schedule.horizon == pytest.approx(46.0)
+
+
+def test_channel_kinds_restricts_the_mix():
+    for trial in range(6):
+        schedule = sample(5, trial, channel_kinds=("duplicate", "delay"))
+        kinds = {e.kind for e in schedule.events}
+        assert "drop" not in kinds
+
+
+def test_schedule_round_trips_through_json():
+    schedule = ChaosSchedule(seed=4, events=[
+        ChaosEvent(kind="drop", at=12.0, switch="s1", direction="c2s"),
+        ChaosEvent(kind="duplicate", at=13.0, switch="s2",
+                   direction="s2c", delay=0.3),
+        ChaosEvent(kind="delay", at=14.0, switch="s0", direction="c2s",
+                   delay=0.1),
+        ChaosEvent(kind="partition", at=15.0, switch="s3", until=17.0),
+        ChaosEvent(kind="fail_switch", at=16.0, switch="s4",
+                   mode="partial"),
+        ChaosEvent(kind="recover_switch", at=18.0, switch="s4"),
+        ChaosEvent(kind="crash_component", at=19.0, component="worker-0"),
+        ChaosEvent(kind="trigger", at=20.0,
+                   when={"event": "op_mark", "stage": "sent"},
+                   action={"kind": "crash_component",
+                           "component": "worker-0"}),
+    ])
+    restored = ChaosSchedule.from_json_obj(schedule.to_json_obj())
+    assert restored.to_json_obj() == schedule.to_json_obj()
+    assert restored.events == schedule.events
+
+
+def test_event_json_is_minimal_per_kind():
+    drop = ChaosEvent(kind="drop", at=1.0, switch="s0", direction="c2s")
+    assert set(drop.to_json_obj()) == {"kind", "at", "switch", "direction"}
+    crash = ChaosEvent(kind="crash_component", at=1.0, component="w")
+    assert set(crash.to_json_obj()) == {"kind", "at", "component"}
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(ValueError):
+        ChaosEvent(kind="meteor", at=1.0)
+
+
+def test_unknown_json_field_rejected():
+    with pytest.raises(ValueError):
+        ChaosEvent.from_json_obj({"kind": "drop", "at": 1.0,
+                                  "switch": "s0", "direction": "c2s",
+                                  "surprise": True})
+
+
+def test_with_events_resorts():
+    schedule = sample(2, 0)
+    shuffled = list(reversed(schedule.events))
+    again = schedule.with_events(shuffled)
+    assert [e.at for e in again.events] == sorted(e.at for e in shuffled)
+    assert again.seed == schedule.seed
+    assert again.horizon == schedule.horizon
+
+
+def test_validate_directions_catches_bad_channel_events():
+    good = [ChaosEvent(kind="drop", at=1.0, switch="s0", direction="c2s")]
+    validate_directions(good)
+    bad = [ChaosEvent(kind="delay", at=1.0, switch="s0",
+                      direction="upward", delay=0.1)]
+    with pytest.raises(ValueError):
+        validate_directions(bad)
+
+
+def test_describe_is_human_readable():
+    event = ChaosEvent(kind="fail_switch", at=12.5, switch="s3",
+                       mode="partial")
+    assert "fail_switch s3" in event.describe()
+    assert "12.5" in event.describe()

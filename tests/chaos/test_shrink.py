@@ -1,0 +1,73 @@
+"""ddmin event-list shrinking."""
+
+import pytest
+
+from repro.chaos import ChaosEvent, shrink_events
+
+
+def make_events(n):
+    return [ChaosEvent(kind="crash_component", at=float(i),
+                       component=f"c{i}") for i in range(n)]
+
+
+def test_shrinks_to_the_two_culprits():
+    events = make_events(8)
+    culprits = {id(events[2]), id(events[5])}
+
+    def interesting(subset):
+        return culprits <= {id(e) for e in subset}
+
+    result = shrink_events(events, interesting)
+    assert [e.component for e in result.events] == ["c2", "c5"]
+    assert not result.budget_exhausted
+    assert result.tests_run >= 1
+
+
+def test_single_culprit_shrinks_to_one():
+    events = make_events(7)
+    culprit = id(events[3])
+    result = shrink_events(
+        events, lambda subset: culprit in {id(e) for e in subset})
+    assert [e.component for e in result.events] == ["c3"]
+
+
+def test_result_preserves_original_order():
+    events = make_events(6)
+    needed = {id(events[1]), id(events[4])}
+    result = shrink_events(
+        events, lambda s: needed <= {id(e) for e in s})
+    assert [e.at for e in result.events] == sorted(
+        e.at for e in result.events)
+
+
+def test_requires_interesting_input():
+    with pytest.raises(ValueError):
+        shrink_events(make_events(4), lambda subset: False)
+
+
+def test_budget_exhaustion_returns_best_so_far():
+    events = make_events(8)
+    needed = {id(events[0]), id(events[7])}
+
+    def interesting(subset):
+        return needed <= {id(e) for e in subset}
+
+    result = shrink_events(events, interesting, max_tests=2)
+    assert result.budget_exhausted
+    assert result.tests_run <= 2
+    assert interesting(result.events)
+
+
+def test_every_accepted_reduction_stays_interesting():
+    """The returned list satisfies the predicate and is 1-minimal."""
+    events = make_events(10)
+    needed = {id(events[3]), id(events[6]), id(events[9])}
+
+    def interesting(subset):
+        return needed <= {id(e) for e in subset}
+
+    result = shrink_events(events, interesting)
+    assert interesting(result.events)
+    for index in range(len(result.events)):
+        reduced = result.events[:index] + result.events[index + 1:]
+        assert not interesting(reduced)

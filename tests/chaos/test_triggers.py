@@ -1,0 +1,131 @@
+"""TriggerTracer predicates, firing, and inner-tracer forwarding."""
+
+import pytest
+
+from repro.chaos.triggers import ChaosActions, TriggerTracer
+from repro.obs import Tracer
+from repro.sim import Environment
+
+
+class StubActions:
+    """Stands in for ChaosActions: records executes, reports success."""
+
+    def __init__(self, applied=True):
+        self.executed = []
+        self.applied = applied
+
+    def execute(self, action):
+        self.executed.append(dict(action))
+        return self.applied
+
+
+class RecordingTracer(Tracer):
+    enabled = True
+
+    def __init__(self):
+        self.calls = []
+
+    def instant(self, env, name, track="sim", ts=None, **args):
+        self.calls.append(("instant", name))
+
+    def op_mark(self, env, op_id, stage, track, ts=None, **args):
+        self.calls.append(("op_mark", op_id, stage))
+
+
+CRASH = {"kind": "crash_component", "component": "worker-0"}
+
+
+def test_trigger_fires_once_on_matching_op_mark():
+    env = Environment()
+    tracer = TriggerTracer(StubActions())
+    tracer.arm(0, 0.0, {"event": "op_mark", "stage": "sent",
+                        "switch": "s2"}, CRASH)
+    tracer.op_mark(env, 7, "scheduler", "worker-0", switch="s2")
+    assert tracer.pending == 1                  # stage mismatch
+    tracer.op_mark(env, 7, "sent", "worker-0", switch="s1")
+    assert tracer.pending == 1                  # switch mismatch
+    tracer.op_mark(env, 7, "sent", "worker-0", switch="s2")
+    assert tracer.pending == 0
+    assert tracer.actions.executed == [CRASH]
+    assert tracer.fired[0]["applied"] is True
+    # Consumed: an identical mark does not re-fire.
+    tracer.op_mark(env, 8, "sent", "worker-0", switch="s2")
+    assert len(tracer.fired) == 1
+
+
+def test_trigger_respects_arm_time():
+    env = Environment(initial_time=5.0)
+    tracer = TriggerTracer(StubActions())
+    tracer.arm(0, 10.0, {"event": "op_mark", "stage": "sent"}, CRASH)
+    tracer.op_mark(env, 1, "sent", "worker-0", switch="s0")
+    assert tracer.pending == 1                  # now < at: stays armed
+    late = Environment(initial_time=10.0)
+    tracer.op_mark(late, 2, "sent", "worker-0", switch="s0")
+    assert tracer.pending == 0
+
+
+def test_instant_trigger_matches_by_name_prefix():
+    env = Environment()
+    tracer = TriggerTracer(StubActions())
+    tracer.arm(0, 0.0, {"event": "instant", "name": "crash "}, CRASH)
+    tracer.instant(env, "restart worker-0", track="worker-0")
+    assert tracer.pending == 1
+    tracer.instant(env, "crash worker-0", track="worker-0")
+    assert tracer.pending == 0
+
+
+def test_failed_action_recorded_as_unapplied():
+    env = Environment()
+    tracer = TriggerTracer(StubActions(applied=False))
+    tracer.arm(0, 0.0, {"event": "op_mark"}, CRASH)
+    tracer.op_mark(env, 1, "sent", "worker-0")
+    assert tracer.fired[0]["applied"] is False
+
+
+def test_arm_validates_event_and_action():
+    tracer = TriggerTracer(StubActions())
+    with pytest.raises(ValueError):
+        tracer.arm(0, 0.0, {"event": "full_moon"}, CRASH)
+    with pytest.raises(ValueError):
+        tracer.arm(0, 0.0, {"event": "op_mark"}, {"kind": "format_disk"})
+
+
+def test_hooks_forward_to_inner_tracer():
+    env = Environment()
+    inner = RecordingTracer()
+    tracer = TriggerTracer(StubActions(), inner=inner)
+    tracer.arm(0, 0.0, {"event": "op_mark", "stage": "sent"}, CRASH)
+    tracer.instant(env, "hello", track="sim")
+    tracer.op_mark(env, 3, "sent", "worker-0")
+    assert ("instant", "hello") in inner.calls
+    assert ("op_mark", 3, "sent") in inner.calls
+    assert tracer.pending == 0                  # fired despite forwarding
+
+
+def test_disabled_inner_tracer_not_forwarded():
+    class Disabled(RecordingTracer):
+        enabled = False
+
+    tracer = TriggerTracer(StubActions(), inner=Disabled())
+    assert tracer.inner is None
+
+
+def test_chaos_actions_counts_noops():
+    """Real ChaosActions against a network: already-down is a no-op."""
+    from repro.net import Network, linear
+
+    env = Environment()
+    network = Network(env, linear(3))
+    actions = ChaosActions(env, network, controller=None)
+    assert actions.execute({"kind": "fail_switch", "switch": "s1",
+                            "mode": "partial"}) is True
+    assert actions.execute({"kind": "fail_switch", "switch": "s1"}) is False
+    assert actions.execute({"kind": "recover_switch",
+                            "switch": "s1"}) is True
+    assert actions.execute({"kind": "recover_switch",
+                            "switch": "s1"}) is False
+    assert actions.noops == 2
+    assert [applied for _t, _l, applied in actions.log] == \
+        [True, False, True, False]
+    with pytest.raises(ValueError):
+        actions.execute({"kind": "unplug_everything"})

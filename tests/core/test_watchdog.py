@@ -1,0 +1,177 @@
+"""Watchdog restart path: detect, restart, and crash-during-restart."""
+
+from repro.core import ControllerConfig, ZenithController
+from repro.core.watchdog import Watchdog
+from repro.net import Network, linear
+from repro.obs import MetricsRegistry
+from repro.sim import Component, ComponentHost, Environment, HostState
+from repro.workloads.dags import IdAllocator, path_dag
+
+CONFIG = ControllerConfig()  # watchdog_period=0.25, restart_delay=0.2
+
+
+class Idler(Component):
+    """A component that does nothing but stay alive (and count starts)."""
+
+    def __init__(self, env, name="idler"):
+        super().__init__(env, name=name)
+        self.starts = 0
+
+    def setup(self):
+        self.starts += 1
+
+    def main(self):
+        while True:
+            yield self.env.timeout(1.0)
+
+
+def make_watched(env, config=CONFIG):
+    """One watched idler + a running watchdog (controller wiring)."""
+    watchdog = Watchdog(env, config)
+    host = ComponentHost(env, Idler(env), auto_restart=False)
+    watchdog.watch(host)
+    ComponentHost(env, watchdog, auto_restart=True).start()
+    host.start()
+    return watchdog, host
+
+
+def test_crash_is_detected_and_restarted():
+    env = Environment()
+    watchdog, host = make_watched(env)
+
+    def chaos():
+        yield env.timeout(1.1)
+        assert host.crash() is True
+
+    env.process(chaos())
+    env.run(until=1.2)
+    assert host.state is HostState.DOWN
+    # Detection on the 0.25s sweep + 0.2s restart delay.
+    env.run(until=2.0)
+    assert host.state is HostState.RUNNING
+    assert watchdog.restarts_performed == 1
+    assert host.restart_count == 1
+    assert host.component.starts == 2
+
+
+def test_crash_during_pending_restart_is_counted_noop():
+    """A second crash in the detection->restart window must not double
+    the restart, but must be counted."""
+    env = Environment()
+    watchdog, host = make_watched(env)
+
+    def chaos():
+        yield env.timeout(1.1)
+        assert host.crash() is True
+        # Sweep lands at 1.25, restart at 1.45; crash inside that window.
+        yield env.timeout(0.25)
+        assert host.crash() is False
+
+    env.process(chaos())
+    env.run(until=3.0)
+    assert host.state is HostState.RUNNING
+    assert host.crash_noop_count == 1
+    assert host.crash_count == 1
+    assert watchdog.restarts_performed == 1
+    assert host.restart_count == 1
+
+
+def test_second_crash_after_restart_triggers_second_restart():
+    env = Environment()
+    watchdog, host = make_watched(env)
+
+    def chaos():
+        yield env.timeout(1.1)
+        assert host.crash() is True
+        yield env.timeout(2.0)  # well past the first restart
+        assert host.crash() is True
+
+    env.process(chaos())
+    env.run(until=5.0)
+    assert host.state is HostState.RUNNING
+    assert watchdog.restarts_performed == 2
+    assert host.restart_count == 2
+    assert host.component.starts == 3
+
+
+def test_component_recovered_before_restart_fires_is_left_alone():
+    """If something else restarts the host first, the watchdog's pending
+    restart must become a no-op (the DOWN check in ``_restart``)."""
+    env = Environment()
+    watchdog, host = make_watched(env)
+
+    def chaos():
+        yield env.timeout(1.1)
+        host.crash()
+        # After the sweep (1.25) but before the restart fires (1.45).
+        yield env.timeout(0.3)
+        host.restart()
+
+    env.process(chaos())
+    env.run(until=3.0)
+    assert host.state is HostState.RUNNING
+    assert host.restart_count == 1
+    assert watchdog.restarts_performed == 0
+
+
+def test_crash_noops_surface_in_metrics_registry():
+    registry = MetricsRegistry()
+    env = Environment(metrics=registry)
+    watchdog, host = make_watched(env)
+
+    def chaos():
+        yield env.timeout(1.1)
+        host.crash()
+        yield env.timeout(0.05)  # before detection even happens
+        host.crash()
+        host.crash()
+
+    env.process(chaos())
+    env.run(until=3.0)
+    snap = registry.snapshot()
+    assert snap["env0.component.idler.crash_noops"] == 2
+    assert snap["env0.component.idler.crashes"] == 1
+    assert snap["env0.component.idler.restarts"] == 1
+
+
+def test_controller_crash_component_reports_noop():
+    """The controller path returns the crash() verdict."""
+    env = Environment()
+    network = Network(env, linear(3))
+    controller = ZenithController(env, network).start()
+    env.run(until=1.0)
+    assert controller.crash_component("worker-0") is True
+    # The interrupt lands once the sim advances; after that the host is
+    # observably DOWN and a second crash is a no-op until the watchdog
+    # restarts it.
+    env.run(until=1.01)
+    assert controller.crash_component("worker-0") is False
+    env.run(until=3.0)
+    assert controller.crash_component("worker-0") is True
+
+
+def test_dag_converges_despite_crash_during_restart():
+    """Crash a worker mid-install, then crash it *again* while its
+    restart is pending; the DAG must still converge via the watchdog."""
+    config = ControllerConfig(num_workers=1)
+    env = Environment()
+    network = Network(env, linear(4))
+    controller = ZenithController(env, network, config=config).start()
+    alloc = IdAllocator()
+    dag = path_dag(alloc, ["s0", "s1", "s2", "s3"])
+    controller.submit_dag(dag)
+
+    def chaos():
+        yield env.timeout(0.003)
+        assert controller.crash_component("worker-0") is True
+        # Inside the detection + restart-delay window (~0.45s worst).
+        yield env.timeout(0.3)
+        assert controller.crash_component("worker-0") is False
+
+    env.process(chaos())
+    done = controller.wait_for_dag(dag.dag_id)
+    env.run(until=done)
+    assert env.now < 15.0
+    assert network.trace("s0", "s3").ok
+    assert controller.view_matches_dataplane()
+    assert controller.watchdog.restarts_performed >= 1

@@ -1,0 +1,112 @@
+"""Failure-schedule generation and injector ownership semantics."""
+
+import pytest
+
+from repro.net.dataplane import Network
+from repro.net.switch import FailureMode
+from repro.net.topology import ring
+from repro.orchestrator.failures import (
+    SwitchFailureEvent,
+    SwitchFailureInjector,
+    random_switch_failures,
+)
+from repro.sim import Environment, RandomStreams
+
+SWITCHES = [f"s{i}" for i in range(8)]
+
+
+def _outage_intervals(events):
+    """[(start, end)] per event; permanent outages end at +inf."""
+    out = []
+    for event in events:
+        end = (float("inf") if event.recover_after is None
+               else event.at + event.recover_after)
+        out.append((event.at, end))
+    return out
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_one_at_a_time_schedules_never_overlap(seed):
+    """Property: non-concurrent outage intervals are pairwise disjoint."""
+    events = random_switch_failures(
+        SWITCHES, RandomStreams(seed), window=(5.0, 60.0), count=6,
+        mean_downtime=8.0, permanent_fraction=0.3, concurrent=False)
+    intervals = sorted(_outage_intervals(events))
+    for (start_a, end_a), (start_b, _end_b) in zip(intervals, intervals[1:]):
+        assert end_a < start_b, (
+            f"seed {seed}: outage ending {end_a} overlaps one "
+            f"starting {start_b}")
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_serialized_schedules_keep_settle_gap(seed):
+    events = random_switch_failures(
+        SWITCHES, RandomStreams(seed), window=(5.0, 60.0), count=5,
+        mean_downtime=4.0, concurrent=False)
+    for prev, event in zip(events, events[1:]):
+        assert event.at >= prev.at + prev.recover_after + 0.5 - 1e-9
+
+
+def test_nothing_scheduled_after_permanent_outage():
+    for seed in range(10):
+        events = random_switch_failures(
+            SWITCHES, RandomStreams(seed), window=(5.0, 60.0), count=6,
+            permanent_fraction=1.0, concurrent=False)
+        assert len(events) == 1
+        assert events[0].recover_after is None
+
+
+def test_transient_schedules_unchanged_by_serialization_fix():
+    """No permanent events ⇒ the schedule keeps the historical shape:
+    sorted, every event carries a recovery, count preserved."""
+    events = random_switch_failures(
+        SWITCHES, RandomStreams(3), window=(5.0, 60.0), count=6,
+        concurrent=False)
+    assert len(events) == 6
+    assert events == sorted(events, key=lambda e: e.at)
+    assert all(e.recover_after is not None for e in events)
+
+
+def test_stale_recovery_skipped_when_outage_ownership_changes():
+    """A pending transient recovery must not undo a later failure."""
+    env = Environment()
+    network = Network(env, ring(4))
+    schedule = [SwitchFailureEvent(1.0, "s1", FailureMode.COMPLETE, 5.0)]
+    injector = SwitchFailureInjector(env, network, schedule)
+
+    def meddle():
+        # External recovery at t=2, then a *permanent* failure at t=3 —
+        # the injector's t=6 recovery must leave it down.
+        yield env.timeout(2.0)
+        network.recover_switch("s1")
+        yield env.timeout(1.0)
+        network.fail_switch("s1", FailureMode.COMPLETE)
+
+    env.process(meddle())
+    env.run(until=10.0)
+    assert not network["s1"].is_healthy
+    assert injector.stale_recoveries_skipped == 1
+
+
+def test_recovery_applies_when_outage_unchanged():
+    env = Environment()
+    network = Network(env, ring(4))
+    schedule = [SwitchFailureEvent(1.0, "s2", FailureMode.PARTIAL, 2.0)]
+    injector = SwitchFailureInjector(env, network, schedule)
+    env.run(until=5.0)
+    assert network["s2"].is_healthy
+    assert injector.stale_recoveries_skipped == 0
+    assert injector.executed == schedule
+
+
+def test_overlapping_events_counted_as_skips():
+    env = Environment()
+    network = Network(env, ring(4))
+    schedule = [
+        SwitchFailureEvent(1.0, "s0", FailureMode.COMPLETE, 10.0),
+        SwitchFailureEvent(2.0, "s0", FailureMode.COMPLETE, 1.0),
+    ]
+    injector = SwitchFailureInjector(env, network, schedule)
+    env.run(until=5.0)
+    assert injector.skipped_overlaps == 1
+    assert len(injector.executed) == 1
