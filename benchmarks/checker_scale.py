@@ -1,0 +1,162 @@
+"""Benchmark: serial vs parallel model checking (``BENCH_checker.json``).
+
+Runs each benched spec twice — in-process serial, then ``--workers N``
+parallel — and emits the ``repro.spec/v1`` artifact recording state
+counts, states/sec (on exploration time, excluding the one-off worker
+spawn cost, which is reported separately) and the speedup.  The
+``>= min-speedup`` gate is only *enforced* on hosts with at least
+``--gate-cpus`` cores: on a 1-core CI runner the workers timeshare one
+core and a speedup is physically unmeasurable, so the artifact records
+``gate.enforced = false`` and the exit code stays 0.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/checker_scale.py --out BENCH_checker.json
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+
+def _bench_serial(source):
+    from repro.spec import ModelChecker
+
+    checker = ModelChecker(source.build(), stop_at_first_violation=False)
+    start = time.perf_counter()
+    result = checker.run()
+    elapsed = time.perf_counter() - start
+    return result, {
+        "ok": result.ok,
+        "states": result.distinct_states,
+        "transitions": result.transitions,
+        "diameter": result.diameter,
+        "elapsed_s": round(elapsed, 3),
+        "states_per_s": round(result.distinct_states / elapsed, 1)
+        if elapsed > 0 else 0.0,
+    }
+
+
+def _bench_parallel(source, workers, serial_result):
+    from repro.spec import ModelChecker
+
+    checker = ModelChecker(source.build(), workers=workers,
+                           spec_source=source,
+                           stop_at_first_violation=False)
+    result = checker.run()
+    stats = result.stats
+    match = (result.ok == serial_result.ok
+             and result.distinct_states == serial_result.distinct_states
+             and result.transitions == serial_result.transitions
+             and result.diameter == serial_result.diameter)
+    return {
+        "ok": result.ok,
+        "states": result.distinct_states,
+        "transitions": result.transitions,
+        "diameter": result.diameter,
+        "workers": workers,
+        "elapsed_s": round(result.elapsed, 3),
+        "spawn_s": stats["spawn_s"],
+        "explore_s": stats["explore_s"],
+        "states_per_s": stats.get("states_per_s", 0.0),
+        "match": match,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="serial vs parallel checker scaling benchmark")
+    parser.add_argument("--out", default="BENCH_checker.json")
+    parser.add_argument("--specs",
+                        default="controller-large,drain-app-full-core",
+                        help="comma-separated bundled spec names (default: "
+                             "the two largest bundled state spaces)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--gate-cpus", type=int, default=4,
+                        help="enforce the speedup gate only when the host "
+                             "has at least this many cores")
+    args = parser.parse_args(argv)
+
+    from repro.spec.specs import SPEC_SOURCES
+    from repro.spec.validate import ARTIFACT_SCHEMA, validate_artifact
+
+    names = [name.strip() for name in args.specs.split(",") if name.strip()]
+    for name in names:
+        if name not in SPEC_SOURCES:
+            print(f"unknown spec {name!r}; try: "
+                  f"{', '.join(sorted(SPEC_SOURCES))}", file=sys.stderr)
+            return 2
+
+    cpus = os.cpu_count() or 1
+    specs = {}
+    max_states = 0
+    for name in names:
+        source = SPEC_SOURCES[name]
+        print(f"{name}: serial ...", flush=True)
+        serial_result, serial = _bench_serial(source)
+        print(f"{name}: serial {serial['states']} states "
+              f"@ {serial['states_per_s']}/s; "
+              f"{args.workers} workers ...", flush=True)
+        parallel = _bench_parallel(source, args.workers, serial_result)
+        parallel["speedup"] = round(
+            parallel["states_per_s"] / serial["states_per_s"], 3) \
+            if serial["states_per_s"] else 0.0
+        print(f"{name}: parallel {parallel['states']} states "
+              f"@ {parallel['states_per_s']}/s  "
+              f"speedup={parallel['speedup']}x  match={parallel['match']}",
+              flush=True)
+        specs[name] = {"serial": serial, "parallel": parallel}
+        max_states = max(max_states, serial["states"])
+
+    # The gate judges the largest benched state space: small specs are
+    # dominated by the fixed per-round barrier cost.
+    gate_spec = max(names, key=lambda n: specs[n]["serial"]["states"])
+    enforced = cpus >= args.gate_cpus
+    passed = (specs[gate_spec]["parallel"]["speedup"] >= args.min_speedup
+              if enforced else None)
+    artifact = {
+        "schema": ARTIFACT_SCHEMA,
+        "host": {"cpus": cpus, "python": platform.python_version()},
+        "collision_bound": {
+            "bits": 64,
+            "max_states": max_states,
+            # Birthday bound over the largest benched run.
+            "p_any_collision": max_states * (max_states - 1) / 2.0 ** 65,
+        },
+        "specs": specs,
+        "gate": {
+            "min_speedup": args.min_speedup,
+            "spec": gate_spec,
+            "enforced": enforced,
+            "passed": passed,
+        },
+    }
+    problems = validate_artifact(artifact)
+    for problem in problems:
+        print(f"INVALID ARTIFACT: {problem}", file=sys.stderr)
+    with open(args.out, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    if problems:
+        return 1
+    if any(not entry["parallel"]["match"] for entry in specs.values()):
+        print("FAIL: parallel disagreed with serial", file=sys.stderr)
+        return 1
+    if enforced and not passed:
+        print(f"FAIL: {gate_spec} speedup "
+              f"{specs[gate_spec]['parallel']['speedup']}x < "
+              f"{args.min_speedup}x on a {cpus}-core host", file=sys.stderr)
+        return 1
+    if not enforced:
+        print(f"speedup gate not enforced ({cpus} cores < "
+              f"{args.gate_cpus})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,10 @@
                                       https://ui.perfetto.dev)
 ``python -m repro all``             — run every experiment (quick mode)
 ``python -m repro check <spec>``    — model-check a named specification
+``python -m repro check controller-large --workers 4``
+                                    — TLC-style parallel exploration
+                                      (sharded fingerprint store, one
+                                      process per worker)
 ``python -m repro lint [target]``   — static analysis of specs/programs
 ``python -m repro sweep campaigns/quick.toml -j4``
                                     — expand a campaign over a worker
@@ -33,38 +37,11 @@ import time
 
 __all__ = ["main"]
 
-_SPECS = {
-    "workerpool-initial": lambda: __import__(
-        "repro.spec.specs", fromlist=["worker_pool_spec"]
-    ).worker_pool_spec(fixed=False),
-    "workerpool-final": lambda: __import__(
-        "repro.spec.specs", fromlist=["worker_pool_spec"]
-    ).worker_pool_spec(fixed=True),
-    "controller": lambda: __import__(
-        "repro.spec.specs", fromlist=["controller_spec"]
-    ).controller_spec(failures=1),
-    "controller-buggy-recovery": lambda: __import__(
-        "repro.spec.specs", fromlist=["controller_spec"]
-    ).controller_spec(num_switches=1, failures=1, recovery_order="buggy",
-                      stale_protection=False, oneshot_sequencer=True),
-    "core-with-app": lambda: __import__(
-        "repro.spec.specs", fromlist=["core_with_app_spec"]
-    ).core_with_app_spec(failures=2),
-    "core-with-app-naive": lambda: __import__(
-        "repro.spec.specs", fromlist=["core_with_app_spec"]
-    ).core_with_app_spec(failures=1, naive_transition=True),
-    "drain-app": lambda: __import__(
-        "repro.spec.specs", fromlist=["drain_app_spec"]
-    ).drain_app_spec("abstract"),
-    "drain-app-full-core": lambda: __import__(
-        "repro.spec.specs", fromlist=["drain_app_spec"]
-    ).drain_app_spec("full"),
-    "te-app": lambda: __import__(
-        "repro.spec.specs", fromlist=["te_app_spec"]).te_app_spec(),
-    "failover-app": lambda: __import__(
-        "repro.spec.specs", fromlist=["failover_app_spec"]
-    ).failover_app_spec(),
-}
+def _spec_factories() -> dict:
+    """name → zero-arg spec factory, from the bundled-spec registry."""
+    from .spec.specs import SPEC_SOURCES
+
+    return {name: source.build for name, source in SPEC_SOURCES.items()}
 
 
 def _nadir_programs() -> dict:
@@ -81,7 +58,7 @@ def _run_lint(target, as_json: bool, strict: bool) -> int:
     from . import analysis
     from .nadir.ast_nodes import Program
 
-    targets = dict(_SPECS)
+    targets = _spec_factories()
     targets.update(_nadir_programs())
     if target is not None:
         if target not in targets:
@@ -398,6 +375,13 @@ def main(argv=None) -> int:
                              "trace-event JSON; .jsonl suffix for JSONL)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect and print the metrics registry")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="check: explore with N worker processes "
+                             "(default: in-process serial)")
+    parser.add_argument("--exact", action="store_true",
+                        help="check: keep canonical state bytes alongside "
+                             "fingerprints and fail loudly on any 64-bit "
+                             "hash collision")
     parser.add_argument("--list", action="store_true", dest="list_entries",
                         help="with 'run'/'list': one line per experiment")
     args = parser.parse_args(argv)
@@ -414,26 +398,47 @@ def main(argv=None) -> int:
         if args.list_entries:
             _print_experiment_lines()
             return 0
+        specs = _spec_factories()
         print("experiments:", ", ".join(sorted(EXPERIMENTS)))
-        print("specs:      ", ", ".join(sorted(_SPECS)))
+        print("specs:      ", ", ".join(sorted(specs)))
         print("lintable:   ", ", ".join(sorted(
-            list(_SPECS) + list(_nadir_programs()))))
+            list(specs) + list(_nadir_programs()))))
         return 0
 
     if args.command == "lint":
         return _run_lint(args.spec, as_json=args.json, strict=args.strict)
 
     if args.command == "check":
-        if args.spec not in _SPECS:
-            print(f"unknown spec {args.spec!r}; try: "
-                  f"{', '.join(sorted(_SPECS))}", file=sys.stderr)
-            return 2
-        from .spec import check
+        from .spec.specs import SPEC_SOURCES
 
-        result = check(_SPECS[args.spec]())
+        if args.spec not in SPEC_SOURCES:
+            print(f"unknown spec {args.spec!r}; try: "
+                  f"{', '.join(sorted(SPEC_SOURCES))}", file=sys.stderr)
+            return 2
+        from .spec import ModelChecker
+
+        registry = None
+        if args.metrics:
+            from .obs import MetricsRegistry
+
+            registry = MetricsRegistry()
+        source = SPEC_SOURCES[args.spec]
+        checker = ModelChecker(
+            source.build(), workers=args.workers, spec_source=source,
+            exact_fingerprints=args.exact, registry=registry)
+        result = checker.run()
         print(result.summary())
+        stats = dict(result.stats)
+        if stats.get("engine") == "parallel":
+            print(f"engine=parallel workers={stats['workers']} "
+                  f"spawn={stats['spawn_s']}s explore={stats['explore_s']}s "
+                  f"{stats.get('states_per_s', 0.0)} states/s "
+                  f"dedup_hits={stats['dedup_hits']}")
         for violation in result.violations:
             print(violation.describe())
+        if registry is not None:
+            print()
+            print(registry.render(limit=40))
         return 0 if result.ok else 1
 
     if args.command == "all":

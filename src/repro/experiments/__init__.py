@@ -20,6 +20,7 @@ exposes:
 from . import (
     ablation,
     chaos_nemesis,
+    checker_scale,
     fig03_reconciliation_period,
     fig04_reconciliation_cost,
     fig10_trace_replay,
@@ -63,6 +64,7 @@ EXPERIMENTS = {
     "tableA1": tablea1_spec_size.run,
     "ablation": ablation.run,
     "chaos": chaos_nemesis.run,
+    "checkerScale": checker_scale.run,
 }
 
 def experiment_module(exp_id: str):

@@ -1,6 +1,13 @@
 """Formal specification framework: a PlusCal-like DSL + model checker."""
 
 from .checker import CheckResult, ModelChecker, Violation, check
+from .fingerprint import (
+    FingerprintCollisionError,
+    FingerprintStore,
+    canonical_bytes,
+    fingerprint_state,
+)
+from .parallel import ParallelCheckError, SpecSource
 from .lang import (
     NULL,
     Blocked,
@@ -22,19 +29,25 @@ __all__ = [
     "Blocked",
     "CheckResult",
     "Ctx",
+    "FingerprintCollisionError",
+    "FingerprintStore",
     "ModelChecker",
     "NULL",
     "NeedChoice",
+    "ParallelCheckError",
     "QueueDisciplineError",
     "Spec",
     "SpecProcess",
+    "SpecSource",
     "SpecView",
     "State",
     "Step",
     "Violation",
     "ack_pop",
     "ack_read",
+    "canonical_bytes",
     "check",
     "fifo_get",
     "fifo_put",
+    "fingerprint_state",
 ]

@@ -28,10 +28,12 @@ described and are individually switchable for the Table 4 ablation:
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .fingerprint import fingerprint_state
 from .lang import Blocked, Ctx, NeedChoice, Spec, State
 
 __all__ = ["CheckResult", "Violation", "ModelChecker", "check",
@@ -75,6 +77,17 @@ class Violation:
             lines.append(f"  {index:3d}. {action}")
         return "\n".join(lines)
 
+    def to_json_obj(self) -> dict:
+        """Canonical JSON form (states as stable 64-bit fingerprints)."""
+        return {
+            "kind": self.kind,
+            "property": self.property_name,
+            "length": self.length,
+            "trace": [{"action": action,
+                       "state": f"{fingerprint_state(state):016x}"}
+                      for action, state in self.trace],
+        }
+
 
 @dataclass
 class CheckResult:
@@ -86,6 +99,10 @@ class CheckResult:
     diameter: int
     elapsed: float
     violations: list[Violation] = field(default_factory=list)
+    #: Engine-specific extras (worker count, spawn/explore split, dedup
+    #: hit rate).  Wall-clock and machine facts only — deliberately
+    #: excluded from :meth:`to_json`.
+    stats: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line TLC-style summary."""
@@ -94,15 +111,49 @@ class CheckResult:
                 f"{self.transitions} transitions, diameter {self.diameter}, "
                 f"{self.elapsed:.3f}s")
 
+    def to_json(self) -> str:
+        """Canonical serialization of the *deterministic* outcome.
+
+        Contains everything that is a pure function of (spec, checker
+        options) — verdict, counts, diameter, violations with their
+        traces as stable state fingerprints — and nothing that varies
+        between runs (elapsed time, worker placement).  Two runs of the
+        same configuration must produce byte-identical output; the
+        differential suite enforces this across worker counts.
+        """
+        doc = {
+            "ok": self.ok,
+            "distinct_states": self.distinct_states,
+            "transitions": self.transitions,
+            "diameter": self.diameter,
+            "violations": [v.to_json_obj() for v in self.violations],
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
 
 class ModelChecker:
-    """Explores a spec's state space."""
+    """Explores a spec's state space.
+
+    ``workers=None`` (the default) runs the single-process BFS below.
+    ``workers=N`` for N >= 1 runs the TLC-style parallel engine of
+    :mod:`repro.spec.parallel`: spawned worker processes own fingerprint
+    shards and exchange discovered states in batches; it requires
+    ``spec_source`` (a picklable :class:`~repro.spec.parallel.SpecSource`)
+    so each worker can rebuild the spec, and accepts
+    ``exact_fingerprints=True`` to detect hash collisions on small
+    specs.  ``registry`` (a :class:`repro.obs.MetricsRegistry`) receives
+    frontier-depth / states-per-second / per-shard dedup gauges.
+    """
 
     def __init__(self, spec: Spec, symmetry: bool = True, por: bool = True,
                  max_states: int = 2_000_000,
                  stop_at_first_violation: bool = True,
                  check_deadlock: bool = True,
-                 validate_por_hints: bool = True):
+                 validate_por_hints: bool = True,
+                 workers: Optional[int] = None,
+                 spec_source=None,
+                 exact_fingerprints: bool = False,
+                 registry=None):
         self.spec = spec
         self.use_symmetry = symmetry and spec.symmetry is not None
         self.use_por = por
@@ -110,6 +161,12 @@ class ModelChecker:
         self.stop_at_first = stop_at_first_violation
         self.check_deadlock = check_deadlock
         self.validate_por_hints = validate_por_hints
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for serial)")
+        self.workers = workers
+        self.spec_source = spec_source
+        self.exact_fingerprints = exact_fingerprints
+        self.registry = registry
 
     # -- successor computation ---------------------------------------------------
     def _expand_step(self, state: State, proc_index: int) -> list[tuple[str, State]]:
@@ -176,6 +233,10 @@ class ModelChecker:
 
     def run(self) -> CheckResult:
         """Explore the full reachable state space and check properties."""
+        if self.workers is not None:
+            from .parallel import run_parallel
+
+            return run_parallel(self)
         start_time = time.perf_counter()
         spec = self.spec
         if self.use_por and self.validate_por_hints:
@@ -263,15 +324,38 @@ class ModelChecker:
             frontier = next_frontier
 
         if not stop and spec.eventually_always:
-            violations.extend(self._check_liveness(states, edges, trace_to))
+            violations.extend(
+                self._check_liveness(states, edges, depth, trace_to))
 
         elapsed = time.perf_counter() - start_time
-        return CheckResult(not violations, len(states), transitions,
-                           diameter, elapsed, violations)
+        result = CheckResult(not violations, len(states), transitions,
+                             diameter, elapsed, violations,
+                             stats={"engine": "serial"})
+        if self.registry is not None:
+            self._report_metrics(result)
+        return result
+
+    def _report_metrics(self, result: CheckResult) -> None:
+        registry = self.registry
+        registry.counter("checker.states").inc(result.distinct_states)
+        registry.counter("checker.transitions").inc(result.transitions)
+        registry.gauge("checker.frontier_depth").set(result.diameter)
+        if result.elapsed > 0:
+            registry.gauge("checker.states_per_s").set(
+                round(result.distinct_states / result.elapsed, 1))
 
     # -- liveness -----------------------------------------------------------------
-    def _check_liveness(self, states, edges, trace_to) -> list[Violation]:
-        """◇□P: every terminal SCC must satisfy P everywhere."""
+    def _check_liveness(self, states, edges, depth, trace_to) -> list[Violation]:
+        """◇□P: every terminal SCC must satisfy P everywhere.
+
+        The reported witness for a violated property is *canonical*: the
+        failing state with the smallest (BFS depth, state fingerprint)
+        over all terminal SCCs.  Any order-dependent choice here (e.g.
+        "first failing node in Tarjan order") would make counterexample
+        traces depend on exploration order, which the parallel engine
+        does not reproduce; the canonical witness makes serial and
+        parallel runs — and repeated runs — byte-identical.
+        """
         sccs = _tarjan(len(states), edges)
         scc_of = {}
         for scc_id, members in enumerate(sccs):
@@ -284,17 +368,18 @@ class ModelChecker:
                     terminal[scc_of[node]] = False
         violations = []
         for name, predicate in self.spec.eventually_always.items():
+            best = None  # ((depth, fingerprint), node)
             for scc_id, members in enumerate(sccs):
                 if not terminal[scc_id]:
                     continue
                 for node in members:
                     if not predicate(self.spec.view(states[node])):
-                        violations.append(
-                            Violation("liveness", name, trace_to(node)))
-                        break
-                else:
-                    continue
-                break
+                        key = (depth[node], fingerprint_state(states[node]))
+                        if best is None or key < best[0]:
+                            best = (key, node)
+            if best is not None:
+                violations.append(
+                    Violation("liveness", name, trace_to(best[1])))
         return violations
 
 

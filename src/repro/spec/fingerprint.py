@@ -1,0 +1,248 @@
+"""Stable 64-bit state fingerprints and the sharded fingerprint store.
+
+TLC scales past in-memory state sets by storing *fingerprints* — fixed
+width hashes of canonicalized states — instead of the states
+themselves.  This module provides the same mechanism for
+:class:`repro.spec.lang.State`:
+
+* :func:`canonical_bytes` — a deterministic byte encoding of a state
+  that is **equality-faithful** (two states compare equal under Python
+  ``==`` iff they encode to the same bytes) and **stable across
+  interpreter invocations** (no use of ``hash()``, whose string hashing
+  is randomized per process by ``PYTHONHASHSEED``);
+* :func:`fingerprint_state` / :func:`fingerprint_bytes` — the encoding
+  folded through BLAKE2b to a 64-bit integer;
+* :class:`FingerprintStore` — a seen-set of fingerprints sharded by
+  fingerprint prefix, with an optional *exact mode* that keeps the
+  canonical bytes alongside each fingerprint and turns any hash
+  collision into a loud :class:`FingerprintCollisionError` instead of a
+  silently pruned state.
+
+Collision probability
+---------------------
+
+With an ideal 64-bit hash, a run visiting ``n`` distinct states misses
+a state (treats it as seen) only if two distinct canonical encodings
+collide; by the birthday bound the probability of *any* collision is at
+most ``n * (n - 1) / 2**65``.  At the scale this checker reaches in
+Python — 10**7 states — that is under ``3e-6`` per run; at TLC-like
+10**9 states it would be ~3%, which is why exact mode exists as a
+fallback for small specs and why the bound is recorded in
+``BENCH_checker.json`` artifacts.
+
+Equality faithfulness requires the same value identifications Python's
+``==`` makes inside states: ``True == 1``, ``1 == 1.0``.  Numbers are
+therefore canonicalized (bools to ints, integral floats to ints) before
+encoding, so states that a ``dict``-based seen-set would merge also
+share a fingerprint.
+
+Encoding scheme
+---------------
+
+A pure-Python byte encoder costs ~37us per controller state — more
+than generating the state's successors — so the encoder instead
+*normalizes* the value tree in Python (cheap: most nodes pass through
+untouched) and lets C-level ``marshal`` produce the bytes (~2us).
+Normalization maps every state value onto the marshal-canonical subset
+{None, int, non-integral float, str, bytes, tuple, Ellipsis}:
+
+* ``bool`` -> ``int``, integral ``float`` -> ``int`` (``==`` faithful);
+* ``frozenset``/``set`` -> ``(Ellipsis, "fs", sorted elements)``
+  (insertion order must not leak into the encoding);
+* ``FrozenRecord``/``dict`` -> ``(Ellipsis, "d", items sorted by key)``;
+* a literal ``Ellipsis`` leaf -> ``(Ellipsis, "e")`` so the tags above
+  can never collide with user data.
+
+Marshal version 0 is the reference-free format: equal-but-distinct
+strings encode identically (later versions emit id-based back
+references, which would break canonicality).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import marshal
+from typing import Iterable, Optional
+
+from .lang import State
+
+__all__ = [
+    "FingerprintCollisionError",
+    "FingerprintStore",
+    "canonical_bytes",
+    "fingerprint_bytes",
+    "fingerprint_state",
+    "shard_of",
+]
+
+#: Global shard count = 2**_SHARD_BITS; shards are dealt to workers
+#: round-robin so any worker count divides the space evenly.
+_SHARD_BITS = 6
+SHARDS = 1 << _SHARD_BITS
+
+
+class FingerprintCollisionError(Exception):
+    """Two distinct canonical states hashed to the same fingerprint.
+
+    Only detectable (and raised) in exact mode; a hash-only store would
+    silently prune one of the states.
+    """
+
+
+def _marshal_key(value):
+    # Total order over heterogeneous normalized values, for sorting set
+    # elements / dict items whose natural comparison raises TypeError.
+    return marshal.dumps(value, 0)
+
+
+#: Normalized forms of frozensets seen so far.  ``_norm`` is a pure
+#: function, so caching is transparent; frozensets recur heavily across
+#: states (switch tables, installed-rule sets) and their normalization
+#: is the expensive path (sort + rebuild).  Process-local: the cache
+#: key uses in-process ``hash()``, the cached *value* does not.
+_FS_CACHE: dict = {}
+
+
+def _norm(value):
+    cls = value.__class__
+    # Fast path: already marshal-canonical, returned untouched (no
+    # allocation) — the overwhelmingly common case inside states.
+    if cls is int or cls is str:
+        return value
+    if value is None or cls is bytes:
+        return value
+    if cls is bool:
+        return int(value)  # True == 1 inside states
+    if cls is float:
+        # 1.0 == 1 inside states; -0.0 lands on 0 via the same rule.
+        return int(value) if value.is_integer() else value
+    if cls is tuple:
+        # Rebuild only if some element changed.
+        normed = None
+        for index, item in enumerate(value):
+            fixed = _norm(item)
+            if normed is None:
+                if fixed is item:
+                    continue
+                normed = list(value[:index])
+            normed.append(fixed)
+        return value if normed is None else tuple(normed)
+    if cls is frozenset or cls is set or isinstance(value, (frozenset, set)):
+        if cls is frozenset:
+            cached = _FS_CACHE.get(value)
+            if cached is not None:
+                return cached
+        elems = [_norm(item) for item in value]
+        try:
+            elems.sort()
+        except TypeError:
+            elems.sort(key=_marshal_key)
+        normed = (Ellipsis, "fs", tuple(elems))
+        if cls is frozenset:
+            _FS_CACHE[value] = normed
+        return normed
+    if isinstance(value, dict):  # FrozenRecord subclasses dict
+        items = [(_norm(key), _norm(item)) for key, item in value.items()]
+        try:
+            items.sort()
+        except TypeError:
+            items.sort(key=_marshal_key)
+        return (Ellipsis, "d", tuple(items))
+    if isinstance(value, tuple):  # tuple subclass (== a plain tuple)
+        return tuple(_norm(item) for item in value)
+    if isinstance(value, int):  # bool/int subclasses
+        return int(value)
+    if value is Ellipsis:
+        return (Ellipsis, "e")  # keep the structural tags collision-free
+    raise TypeError(
+        f"cannot fingerprint a {type(value).__name__} leaf; states may "
+        "only contain None/bool/int/float/str/bytes, tuples, "
+        "(frozen)sets and FrozenRecords")
+
+
+def canonical_bytes(state: State) -> bytes:
+    """The equality-faithful, cross-interpreter-stable encoding."""
+    return marshal.dumps((_norm(state.globals_), _norm(state.procs)), 0)
+
+
+def fingerprint_bytes(payload: bytes) -> int:
+    """Fold an encoding to a 64-bit fingerprint (BLAKE2b, fixed key)."""
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "big")
+
+
+def fingerprint_state(state: State) -> int:
+    """The 64-bit fingerprint of ``state``."""
+    return fingerprint_bytes(canonical_bytes(state))
+
+
+def shard_of(fp: int) -> int:
+    """The global shard (by fingerprint prefix) owning ``fp``."""
+    return fp >> (64 - _SHARD_BITS)
+
+
+class FingerprintStore:
+    """A seen-set of 64-bit fingerprints, sharded by prefix.
+
+    ``owned`` restricts the store to a subset of the global shards (a
+    parallel worker owns ``shard % nworkers == worker_id``); adding a
+    fingerprint outside the owned shards is a programming error and
+    raises.  In *exact mode* the canonical bytes ride along and any
+    collision raises :class:`FingerprintCollisionError`.
+    """
+
+    def __init__(self, owned: Optional[Iterable[int]] = None,
+                 exact: bool = False):
+        self.exact = exact
+        self._owned = (frozenset(owned) if owned is not None
+                       else frozenset(range(SHARDS)))
+        self._shards: dict[int, set[int]] = {s: set() for s in self._owned}
+        self._payloads: dict[int, bytes] = {} if exact else None
+        self.hits = 0    #: dedup hits (fingerprint already present)
+        self.adds = 0    #: fingerprints accepted as new
+
+    def add(self, fp: int, payload: Optional[bytes] = None) -> bool:
+        """Record ``fp``; True iff it was new.
+
+        ``payload`` (the canonical bytes) is required in exact mode and
+        ignored otherwise.
+        """
+        shard = shard_of(fp)
+        bucket = self._shards.get(shard)
+        if bucket is None:
+            raise ValueError(
+                f"fingerprint {fp:#018x} belongs to shard {shard}, "
+                f"not owned by this store")
+        if fp in bucket:
+            if self.exact and payload is not None \
+                    and self._payloads[fp] != payload:
+                raise FingerprintCollisionError(
+                    f"fingerprint {fp:#018x} shared by two distinct "
+                    "canonical states; rerun with more bits or a "
+                    "smaller model")
+            self.hits += 1
+            return False
+        if self.exact:
+            if payload is None:
+                raise ValueError("exact mode requires the canonical bytes")
+            self._payloads[fp] = payload
+        bucket.add(fp)
+        self.adds += 1
+        return True
+
+    def __contains__(self, fp: int) -> bool:
+        bucket = self._shards.get(shard_of(fp))
+        return bucket is not None and fp in bucket
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._shards.values())
+
+    def shard_sizes(self) -> dict[int, int]:
+        """Occupancy per owned shard (for balance diagnostics)."""
+        return {shard: len(bucket)
+                for shard, bucket in sorted(self._shards.items())}
+
+    def hit_rate(self) -> float:
+        """Fraction of ``add`` calls that were duplicates."""
+        total = self.hits + self.adds
+        return self.hits / total if total else 0.0

@@ -82,6 +82,14 @@ class FrozenRecord(dict):
                 f"(dict/list/set values are frozen automatically): {exc}"
             ) from None
 
+    def __reduce__(self):
+        # dict subclasses normally pickle via SETITEMS, which our
+        # immutability hooks reject; rebuild through the constructor
+        # instead (re-freezing already-frozen values is a no-op), so
+        # records inside states survive the parallel checker's
+        # process-boundary crossings.
+        return (self.__class__, (dict(self),))
+
     def _immutable(self, *args, **kwargs):
         raise TypeError("FrozenRecord is immutable")
 

@@ -1,5 +1,13 @@
-"""Concrete specifications: the controller, worker pool and apps."""
+"""Concrete specifications: the controller, worker pool and apps.
 
+``SPEC_SOURCES`` is the registry of every *bundled* spec configuration:
+name → picklable :class:`~repro.spec.parallel.SpecSource`, so the CLI,
+the parallel checker's worker processes and the differential test suite
+all build byte-identical specs from one place.  ``build_spec(name)`` is
+the convenience constructor.
+"""
+
+from ..parallel import SpecSource
 from .abstract_app import core_with_app_spec
 from .apps import DIAMOND_PATHS, drain_app_spec, failover_app_spec, te_app_spec
 from .controller import CLEAR_OP, controller_spec
@@ -8,6 +16,8 @@ from .workerpool import worker_pool_spec
 __all__ = [
     "CLEAR_OP",
     "DIAMOND_PATHS",
+    "SPEC_SOURCES",
+    "build_spec",
     "controller_spec",
     "core_with_app_spec",
     "drain_app_spec",
@@ -15,3 +25,40 @@ __all__ = [
     "te_app_spec",
     "worker_pool_spec",
 ]
+
+_CONTROLLER = "repro.spec.specs.controller"
+_WORKERPOOL = "repro.spec.specs.workerpool"
+_ABSTRACT = "repro.spec.specs.abstract_app"
+_APPS = "repro.spec.specs.apps"
+
+#: Every bundled spec configuration (checkable, lintable, benchable).
+SPEC_SOURCES = {
+    "workerpool-initial": SpecSource.of(
+        _WORKERPOOL, "worker_pool_spec", fixed=False),
+    "workerpool-final": SpecSource.of(
+        _WORKERPOOL, "worker_pool_spec", fixed=True),
+    "controller": SpecSource.of(
+        _CONTROLLER, "controller_spec", failures=1),
+    "controller-buggy-recovery": SpecSource.of(
+        _CONTROLLER, "controller_spec", num_switches=1, failures=1,
+        recovery_order="buggy", stale_protection=False,
+        oneshot_sequencer=True),
+    #: A parallel-checking benchmark workload (§3.4 at a second
+    #: failure budget): ~83k states, second only to drain-app-full-core
+    #: among the bundled state spaces.
+    "controller-large": SpecSource.of(
+        _CONTROLLER, "controller_spec", failures=2),
+    "core-with-app": SpecSource.of(
+        _ABSTRACT, "core_with_app_spec", failures=2),
+    "core-with-app-naive": SpecSource.of(
+        _ABSTRACT, "core_with_app_spec", failures=1, naive_transition=True),
+    "drain-app": SpecSource.of(_APPS, "drain_app_spec", core="abstract"),
+    "drain-app-full-core": SpecSource.of(_APPS, "drain_app_spec", core="full"),
+    "te-app": SpecSource.of(_APPS, "te_app_spec"),
+    "failover-app": SpecSource.of(_APPS, "failover_app_spec"),
+}
+
+
+def build_spec(name: str):
+    """Build the named bundled spec configuration."""
+    return SPEC_SOURCES[name].build()

@@ -1,0 +1,160 @@
+"""Artifact schema validation (CI gate for ``BENCH_checker.json``).
+
+Usage::
+
+    python -m repro.spec.validate BENCH_checker.json
+
+Checks structure, types and cross-references for the ``repro.spec/v1``
+checker-scaling artifact emitted by ``benchmarks/checker_scale.py``:
+every benched spec is a registered bundled spec, the parallel run
+matched the serial state count, and the speedup gate section is
+coherent (enforced only on hosts with enough cores, pass/fail recorded
+whenever enforced).  Exits non-zero with one line per problem,
+mirroring ``repro.campaign.validate``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+__all__ = ["ARTIFACT_SCHEMA", "validate_artifact", "main"]
+
+ARTIFACT_SCHEMA = "repro.spec/v1"
+
+_RUN_FIELDS = (
+    ("ok", bool),
+    ("states", int),
+    ("transitions", int),
+    ("diameter", int),
+    ("elapsed_s", (int, float)),
+    ("states_per_s", (int, float)),
+)
+_PARALLEL_EXTRA = (
+    ("workers", int),
+    ("spawn_s", (int, float)),
+    ("explore_s", (int, float)),
+    ("speedup", (int, float)),
+    ("match", bool),
+)
+
+
+def _check_run(run: Any, where: str, fields, problems: list[str]) -> None:
+    if not isinstance(run, dict):
+        problems.append(f"{where}: must be an object")
+        return
+    for key, kind in fields:
+        value = run.get(key)
+        if not isinstance(value, kind) or isinstance(value, bool) != (
+                kind is bool):
+            want = kind.__name__ if isinstance(kind, type) else "number"
+            problems.append(f"{where}.{key} must be {want}")
+
+
+def validate_artifact(artifact: Any) -> list[str]:
+    """Schema problems found ([] when the artifact is valid)."""
+    problems: list[str] = []
+    if not isinstance(artifact, dict):
+        return [f"artifact must be an object, got {type(artifact).__name__}"]
+    if artifact.get("schema") != ARTIFACT_SCHEMA:
+        problems.append(
+            f"schema is {artifact.get('schema')!r}, want {ARTIFACT_SCHEMA!r}")
+    host = artifact.get("host")
+    if not isinstance(host, dict):
+        problems.append("missing host section")
+        host = {}
+    if not isinstance(host.get("cpus"), int) or host.get("cpus", 0) < 1:
+        problems.append("host.cpus must be a positive int")
+    if not isinstance(host.get("python"), str):
+        problems.append("host.python must be a string")
+
+    try:
+        from .specs import SPEC_SOURCES
+    except ImportError:  # pragma: no cover
+        SPEC_SOURCES = None
+    specs = artifact.get("specs")
+    if not isinstance(specs, dict) or not specs:
+        problems.append("specs section must be a non-empty object")
+        specs = {}
+    for name, entry in specs.items():
+        where = f"specs.{name}"
+        if SPEC_SOURCES is not None and name not in SPEC_SOURCES:
+            problems.append(f"{where}: not a bundled spec")
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        _check_run(entry.get("serial"), f"{where}.serial",
+                   _RUN_FIELDS, problems)
+        _check_run(entry.get("parallel"), f"{where}.parallel",
+                   _RUN_FIELDS + _PARALLEL_EXTRA, problems)
+        serial, parallel = entry.get("serial"), entry.get("parallel")
+        if isinstance(serial, dict) and isinstance(parallel, dict):
+            if parallel.get("match") is not True:
+                problems.append(
+                    f"{where}.parallel.match must be true (parallel and "
+                    "serial disagreed on the state space)")
+            for key in ("states", "transitions", "diameter", "ok"):
+                if (key in serial and key in parallel
+                        and serial[key] != parallel[key]):
+                    problems.append(
+                        f"{where}: serial.{key}={serial[key]!r} != "
+                        f"parallel.{key}={parallel[key]!r}")
+
+    bound = artifact.get("collision_bound")
+    if not isinstance(bound, dict):
+        problems.append("missing collision_bound section")
+        bound = {}
+    if bound.get("bits") != 64:
+        problems.append("collision_bound.bits must be 64")
+    if not isinstance(bound.get("p_any_collision"), float):
+        problems.append("collision_bound.p_any_collision must be a float")
+
+    gate = artifact.get("gate")
+    if not isinstance(gate, dict):
+        problems.append("missing gate section")
+        gate = {}
+    if not isinstance(gate.get("min_speedup"), (int, float)):
+        problems.append("gate.min_speedup must be a number")
+    enforced = gate.get("enforced")
+    if not isinstance(enforced, bool):
+        problems.append("gate.enforced must be a bool")
+    if isinstance(gate.get("spec"), str) and specs \
+            and gate["spec"] not in specs:
+        problems.append(f"gate.spec {gate['spec']!r} not among benched specs")
+    if enforced is True and not isinstance(gate.get("passed"), bool):
+        problems.append("gate.passed must be a bool when the gate is "
+                        "enforced")
+    if enforced is False and gate.get("passed") is not None:
+        problems.append("gate.passed must be null when the gate is not "
+                        "enforced (too few cores to measure a speedup)")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.spec.validate <artifact.json>",
+              file=sys.stderr)
+        return 2
+    try:
+        artifact = json.loads(open(argv[0]).read())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read artifact: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_artifact(artifact)
+    for problem in problems:
+        print(f"INVALID: {problem}")
+    if not problems:
+        specs = artifact.get("specs", {})
+        gate = artifact.get("gate", {})
+        state = ("PASSED" if gate.get("passed")
+                 else "failed" if gate.get("enforced")
+                 else "not enforced (host too small)")
+        print(f"ok: {len(specs)} specs benched, "
+              f">= {gate.get('min_speedup')}x gate {state}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

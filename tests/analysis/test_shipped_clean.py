@@ -4,13 +4,14 @@
 import pytest
 
 from repro import analysis as A
-from repro.cli import _SPECS, _run_lint
+from repro.cli import _run_lint
+from repro.spec.specs import SPEC_SOURCES
 from repro.nadir.programs import drain_app_program, worker_pool_program
 
 
-@pytest.mark.parametrize("name", sorted(_SPECS))
+@pytest.mark.parametrize("name", sorted(SPEC_SOURCES))
 def test_shipped_spec_is_clean(name):
-    result = A.analyze_spec(_SPECS[name]())
+    result = A.analyze_spec(SPEC_SOURCES[name].build())
     assert result.findings == [], [f.render() for f in result.findings]
 
 

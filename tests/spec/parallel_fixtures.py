@@ -1,0 +1,117 @@
+"""Importable spec factories and state samples for the parallel tests.
+
+Parallel-checker workers rebuild specs by importing ``SpecSource``
+module paths, and the fingerprint stability test re-derives values in
+a freshly spawned interpreter — both need module-level factories (a
+test function's closure cannot cross a spawn boundary).  Keeping them
+here, importable as ``tests.spec.parallel_fixtures``, serves both.
+"""
+
+import os
+import signal
+
+from repro.spec import NULL, Spec, SpecProcess, State, Step
+from repro.spec.lang import FrozenRecord
+
+
+def flipflop_spec():
+    """Two-state cycle violating ``EventuallyAlwaysOne`` (◇□ x == 1).
+
+    The whole reachable graph is one terminal SCC containing ``x == 0``,
+    so both engines must report a liveness violation — and, because the
+    canonical witness is the minimal (depth, fingerprint) failing state,
+    the *same* one.
+    """
+    def flip(ctx):
+        ctx.set("x", 1 - ctx.get("x"))
+        ctx.goto("flip")
+
+    return Spec(
+        "flipflop", {"x": 0},
+        [SpecProcess("toggler", [Step("flip", flip)], daemon=True)],
+        eventually_always={"EventuallyAlwaysOne": lambda v: v["x"] == 1})
+
+
+def branching_spec(width=3, depth=4):
+    """A nondeterministic tree with many equal-length shortest paths.
+
+    Exercises breadcrumb trace reconstruction where the action label
+    alone is ambiguous and the successor fingerprint must disambiguate.
+    """
+    def walk(ctx):
+        level = ctx.get("level")
+        if level >= depth:
+            ctx.goto("walk")
+            return
+        branch = ctx.choose(width)
+        ctx.set("level", level + 1)
+        ctx.set("path", ctx.get("path") + (branch,))
+        ctx.goto("walk")
+
+    return Spec(
+        "branching", {"level": 0, "path": ()},
+        [SpecProcess("walker", [Step("walk", walk)], daemon=True)],
+        invariants={"Shallow": lambda v: v["level"] <= depth})
+
+
+def killer_spec(kill_at=3):
+    """Counts up and SIGKILLs its own process at ``kill_at``.
+
+    Only ever checked with ``workers=N``: the worker that expands the
+    poisoned state dies mid-round, which the coordinator must surface
+    as a loud ``ParallelCheckError`` — never as truncated results.
+    """
+    def tick(ctx):
+        value = ctx.get("count")
+        if value == kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+        ctx.block_unless(value < kill_at + 2)
+        ctx.set("count", value + 1)
+        ctx.goto("tick")
+
+    return Spec(
+        "killer", {"count": 0},
+        [SpecProcess("ticker", [Step("tick", tick)], daemon=True)])
+
+
+def raising_spec(boom_at=2):
+    """An invariant that raises once the counter reaches ``boom_at``."""
+    def tick(ctx):
+        value = ctx.get("count")
+        ctx.block_unless(value < boom_at + 2)
+        ctx.set("count", value + 1)
+        ctx.goto("tick")
+
+    def bad_invariant(view):
+        if view["count"] >= boom_at:
+            raise RuntimeError("invariant exploded (fixture)")
+        return True
+
+    return Spec(
+        "raising", {"count": 0},
+        [SpecProcess("ticker", [Step("tick", tick)], daemon=True)],
+        invariants={"Explosive": bad_invariant})
+
+
+def sample_states():
+    """Deterministically built states covering every encodable leaf type.
+
+    Used for cross-interpreter fingerprint stability: a spawned child
+    (different ``PYTHONHASHSEED``) must derive the same fingerprints.
+    """
+    return [
+        State(globals_=(0, "idle", None, NULL), procs=(("run", (1, 2)),)),
+        State(globals_=(True, 1.0, -0.0, 2.5, b"raw"),
+              procs=((None, ()),)),
+        State(globals_=(frozenset({"b", "a", "c"}),
+                        frozenset({3, 1, 2}),
+                        frozenset()),
+              procs=(("wait", (frozenset({("x", 1), ("y", 2)}),)),)),
+        State(globals_=(FrozenRecord({"zeta": 1, "alpha": (2, 3)}),
+                        FrozenRecord({})),
+              procs=(("s0", ("deep", (("nested",), "tuples"))),
+                     ("s1", (-17, 2 ** 80)))),
+        State(globals_=(("mixed", frozenset({0, 5}),
+                         FrozenRecord({"k": frozenset({"v"})})),),
+              procs=(("pc", ()),)),
+    ]

@@ -1,0 +1,211 @@
+"""Property tests for canonical fingerprints and the sharded store.
+
+The parallel checker is only sound if every process derives the *same*
+fingerprint for the same state: workers dedupe against shards filled by
+other workers, and counterexample traces are rebuilt by matching
+fingerprints recorded in a different process.  Python's builtin
+``hash()`` is randomized per interpreter (``PYTHONHASHSEED``), so these
+tests pin the one property everything rests on — cross-interpreter
+stability — plus equality-faithfulness and sensitivity.
+"""
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.spec import (
+    FingerprintCollisionError,
+    FingerprintStore,
+    ModelChecker,
+    State,
+    canonical_bytes,
+    fingerprint_state,
+)
+from repro.spec.fingerprint import SHARDS, shard_of
+from repro.spec.lang import FrozenRecord
+from repro.spec.specs import SPEC_SOURCES
+
+from .parallel_fixtures import sample_states
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+ROOT = Path(__file__).resolve().parents[2]
+
+_CHILD_SNIPPET = """
+import json
+from tests.spec.parallel_fixtures import sample_states
+from repro.spec import fingerprint_state
+print(json.dumps([f"{fingerprint_state(s):016x}"
+                  for s in sample_states()]))
+"""
+
+
+def _fp(globals_=(0,), procs=(("pc", ()),)):
+    return fingerprint_state(State(globals_=globals_, procs=procs))
+
+
+# -- cross-interpreter stability ----------------------------------------------
+def test_fingerprints_stable_in_fresh_interpreter():
+    """A spawned interpreter (different hash seed) derives the same
+    fingerprints — the exact contract parallel workers rely on."""
+    env = dict(os.environ, PYTHONPATH=f"{SRC}{os.pathsep}{ROOT}",
+               PYTHONHASHSEED="12345")  # force a different string hash seed
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SNIPPET],
+        capture_output=True, text=True, env=env, check=True, cwd=ROOT)
+    parent = [f"{fingerprint_state(s):016x}" for s in sample_states()]
+    assert json.loads(proc.stdout) == parent
+
+
+def test_serial_counterexample_byte_stable_in_fresh_interpreter():
+    """Regression: CheckResult.to_json() (trace states as fingerprints)
+    is byte-identical in a fresh interpreter."""
+    snippet = """
+from repro.spec import ModelChecker
+from repro.spec.specs import SPEC_SOURCES
+spec = SPEC_SOURCES["workerpool-initial"].build()
+print(ModelChecker(spec, stop_at_first_violation=False).run().to_json())
+"""
+    env = dict(os.environ, PYTHONPATH=f"{SRC}{os.pathsep}{ROOT}",
+               PYTHONHASHSEED="54321")
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True, text=True, env=env, check=True, cwd=ROOT)
+    spec = SPEC_SOURCES["workerpool-initial"].build()
+    here = ModelChecker(spec, stop_at_first_violation=False).run().to_json()
+    assert proc.stdout.strip() == here
+
+
+# -- equality faithfulness ----------------------------------------------------
+def test_equal_states_share_fingerprints():
+    # Python == identifies these inside states; fingerprints must too.
+    assert _fp((True,)) == _fp((1,))
+    assert _fp((1.0,)) == _fp((1,))
+    assert _fp((-0.0,)) == _fp((0,))
+    assert _fp((frozenset({1, 2, 3}),)) == _fp((frozenset({3, 2, 1}),))
+    assert _fp((FrozenRecord({"a": 1, "b": 2}),)) == \
+        _fp((FrozenRecord({"b": 2, "a": 1}),))
+
+
+def test_distinct_values_get_distinct_fingerprints():
+    assert _fp((1,)) != _fp((1.5,))
+    assert _fp((1,)) != _fp(("1",))
+    assert _fp(("ab",)) != _fp((b"ab",))
+    assert _fp(((1, 2),)) != _fp((frozenset({1, 2}),))
+    assert _fp((None,)) != _fp((0,))
+    assert _fp(((),)) != _fp(("",))
+
+
+def test_set_tag_cannot_be_forged_by_tuples():
+    # A tuple that *looks like* the internal frozenset encoding tag
+    # must not collide with an actual frozenset.
+    forged = (Ellipsis, "fs", (1, 2))
+    assert _fp((forged,)) != _fp((frozenset({1, 2}),))
+
+
+def test_sensitive_to_every_field():
+    """Changing any single slot of a state changes the fingerprint."""
+    for state in sample_states():
+        base = fingerprint_state(state)
+        for i, value in enumerate(state.globals_):
+            mutated = list(state.globals_)
+            mutated[i] = ("<mutated>", value)
+            changed = State(globals_=tuple(mutated), procs=state.procs)
+            assert fingerprint_state(changed) != base, (state, i)
+        for i, (pc, locals_) in enumerate(state.procs):
+            mutated = list(state.procs)
+            mutated[i] = (f"{pc}<mutated>", locals_)
+            changed = State(globals_=state.globals_, procs=tuple(mutated))
+            assert fingerprint_state(changed) != base, (state, i)
+    # Position matters, not just the multiset of leaves: the same
+    # values in swapped slots are a different state.
+    assert _fp((1, 2), (("pc", ()),)) != _fp((2, 1), (("pc", ()),))
+    assert _fp((1,), (("pc", (2,)),)) != _fp((2,), (("pc", (1,)),))
+
+
+def test_unencodable_leaf_raises():
+    with pytest.raises(TypeError, match="fingerprint"):
+        fingerprint_state(State(globals_=(object(),), procs=()))
+
+
+def test_no_collisions_across_bundled_spec():
+    """Exact mode re-checks every fingerprint against canonical bytes;
+    a clean run is a collision-freeness proof for this state space."""
+    source = SPEC_SOURCES["controller"]
+    result = ModelChecker(source.build(), workers=2, spec_source=source,
+                          stop_at_first_violation=False,
+                          exact_fingerprints=True).run()
+    assert result.ok
+
+
+# -- FrozenRecord pickling (states must cross spawn boundaries) ---------------
+def test_frozen_record_pickle_roundtrip():
+    record = FrozenRecord({"a": 1, "b": (2, 3)})
+    clone = pickle.loads(pickle.dumps(record))
+    assert clone == record
+    with pytest.raises(TypeError):
+        clone["c"] = 4
+
+
+def test_state_pickle_preserves_fingerprint():
+    for state in sample_states():
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone == state
+        assert fingerprint_state(clone) == fingerprint_state(state)
+
+
+# -- the sharded store --------------------------------------------------------
+def test_store_dedupes_and_counts():
+    store = FingerprintStore()
+    fp = _fp((42,))
+    assert store.add(fp) is True
+    assert store.add(fp) is False
+    assert fp in store
+    assert len(store) == 1
+    assert store.hits == 1 and store.adds == 1
+    assert store.hit_rate() == 0.5
+    assert sum(store.shard_sizes().values()) == 1
+
+
+def test_store_rejects_unowned_shards():
+    fp = _fp((7,))
+    owned = [s for s in range(SHARDS) if s != shard_of(fp)]
+    store = FingerprintStore(owned=owned)
+    with pytest.raises(ValueError, match="not owned"):
+        store.add(fp)
+    assert fp not in store
+
+
+def test_exact_mode_detects_collisions():
+    store = FingerprintStore(exact=True)
+    fp = _fp((9,))
+    store.add(fp, payload=b"first-canonical-bytes")
+    # Same fingerprint, same bytes: a legitimate duplicate.
+    assert store.add(fp, payload=b"first-canonical-bytes") is False
+    with pytest.raises(FingerprintCollisionError):
+        store.add(fp, payload=b"DIFFERENT-canonical-bytes")
+    with pytest.raises(ValueError, match="exact"):
+        store.add(_fp((10,)))
+
+
+def test_shards_cover_all_prefixes():
+    assert shard_of(0) == 0
+    assert shard_of(2 ** 64 - 1) == SHARDS - 1
+    # Round-robin dealing covers every shard at any worker count.
+    for nworkers in (1, 2, 3, 4, 5):
+        dealt = {s % nworkers for s in range(SHARDS)}
+        assert dealt == set(range(nworkers))
+
+
+def test_canonical_bytes_equal_iff_states_equal():
+    states = sample_states()
+    for i, a in enumerate(states):
+        for j, b in enumerate(states):
+            if i == j:
+                assert canonical_bytes(a) == canonical_bytes(b)
+            else:
+                assert canonical_bytes(a) != canonical_bytes(b)

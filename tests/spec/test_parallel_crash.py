@@ -1,0 +1,79 @@
+"""Crash safety: a dying worker must never silently truncate results.
+
+Mirrors the watchdog tests' contract: the failure is loud, names the
+failing component, and carries enough context (exit code or the remote
+traceback) to debug — a parallel run either completes with exact
+results or raises ``ParallelCheckError``.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.spec import ModelChecker, ParallelCheckError, SpecSource
+
+FIXTURES = "tests.spec.parallel_fixtures"
+
+
+def _run(source, workers=2):
+    return ModelChecker(source.build(), workers=workers, spec_source=source,
+                        stop_at_first_violation=False).run()
+
+
+def _assert_no_leaked_workers():
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        alive = [p for p in multiprocessing.active_children()
+                 if p.name.startswith("spec-check-")]
+        if not alive:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"leaked checker workers: {alive}")
+
+
+@pytest.mark.skipif(os.name != "posix", reason="SIGKILL is POSIX-only")
+def test_sigkilled_worker_raises_loudly():
+    source = SpecSource.of(FIXTURES, "killer_spec", kill_at=3)
+    with pytest.raises(ParallelCheckError) as excinfo:
+        _run(source)
+    message = str(excinfo.value)
+    assert "died mid-exploration" in message
+    assert "exit code" in message
+    assert "NOT fully explored" in message
+    _assert_no_leaked_workers()
+
+
+def test_raising_invariant_carries_remote_traceback():
+    source = SpecSource.of(FIXTURES, "raising_spec", boom_at=2)
+    with pytest.raises(ParallelCheckError) as excinfo:
+        _run(source)
+    message = str(excinfo.value)
+    assert "raised during exploration" in message
+    # The worker's traceback rides along, naming the real cause.
+    assert "invariant exploded (fixture)" in message
+    assert "RuntimeError" in message
+    _assert_no_leaked_workers()
+
+
+def test_serial_and_single_worker_raise_the_same_invariant_error():
+    # The raising spec is not a parallel artifact: the serial engine
+    # hits the same RuntimeError, just without the process indirection.
+    source = SpecSource.of(FIXTURES, "raising_spec", boom_at=2)
+    with pytest.raises(RuntimeError, match="invariant exploded"):
+        ModelChecker(source.build(), stop_at_first_violation=False).run()
+
+
+def test_bad_worker_side_source_fails_loudly():
+    # The coordinator has a perfectly good spec, but the source the
+    # workers would rebuild from does not import: the worker's failure
+    # surfaces as ParallelCheckError, not a hang or partial result.
+    from repro.spec.specs import SPEC_SOURCES
+
+    spec = SPEC_SOURCES["te-app"].build()
+    bogus = SpecSource.of("tests.spec.no_such_module", "nope")
+    with pytest.raises(ParallelCheckError, match="ModuleNotFoundError"):
+        ModelChecker(spec, workers=2, spec_source=bogus,
+                     stop_at_first_violation=False).run()
+    _assert_no_leaked_workers()

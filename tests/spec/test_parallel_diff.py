@@ -1,0 +1,202 @@
+"""Differential suite: the parallel engine must reproduce the serial one.
+
+For every bundled spec, serial and parallel (1, 2 and 4 workers) runs
+must agree on state counts, transition counts, diameter, verdict and —
+for violating specs — trace-equivalent counterexamples.  Exploration
+runs with ``stop_at_first_violation=False`` so both engines see the
+complete reachable graph (early exit legitimately stops at different
+frontier cuts).  The two ~100k-state specs are exercised only when
+``REPRO_CHECKER_FULL=1`` (the CI checker-smoke job sets it) to keep the
+default suite fast on small machines.
+"""
+
+import os
+
+import pytest
+
+from repro.spec import ModelChecker, SpecSource
+from repro.spec.specs import SPEC_SOURCES
+
+LARGE = ("controller-large", "drain-app-full-core")
+SMALL = [name for name in SPEC_SOURCES if name not in LARGE]
+WORKER_COUNTS = (1, 2, 4)
+VIOLATING = ("workerpool-initial", "controller-buggy-recovery",
+             "core-with-app-naive")
+
+_FULL = os.environ.get("REPRO_CHECKER_FULL") == "1"
+_serial_cache = {}
+
+FIXTURES = "tests.spec.parallel_fixtures"
+
+
+def _serial(name):
+    if name not in _serial_cache:
+        spec = SPEC_SOURCES[name].build()
+        _serial_cache[name] = ModelChecker(
+            spec, stop_at_first_violation=False).run()
+    return _serial_cache[name]
+
+
+def _parallel(name, workers, **kwargs):
+    source = SPEC_SOURCES[name]
+    return ModelChecker(source.build(), workers=workers, spec_source=source,
+                        stop_at_first_violation=False, **kwargs).run()
+
+
+def _violation_summary(result):
+    return sorted((v.kind, v.property_name, v.length)
+                  for v in result.violations)
+
+
+def _assert_equivalent(serial, parallel):
+    assert parallel.ok == serial.ok
+    assert parallel.distinct_states == serial.distinct_states
+    assert parallel.transitions == serial.transitions
+    assert parallel.diameter == serial.diameter
+    assert _violation_summary(parallel) == _violation_summary(serial)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("name", SMALL)
+def test_parallel_matches_serial(name, workers):
+    _assert_equivalent(_serial(name), _parallel(name, workers))
+
+
+@pytest.mark.skipif(not _FULL, reason="set REPRO_CHECKER_FULL=1 "
+                    "(CI checker-smoke) for the ~100k-state specs")
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("name", LARGE)
+def test_parallel_matches_serial_large(name, workers):
+    _assert_equivalent(_serial(name), _parallel(name, workers))
+
+
+@pytest.mark.parametrize("name", VIOLATING)
+def test_counterexample_traces_replay(name):
+    """Every parallel counterexample is a valid run of the spec."""
+    result = _parallel(name, 2)
+    assert not result.ok
+    replayer = ModelChecker(SPEC_SOURCES[name].build())
+    for violation in result.violations:
+        action0, state = violation.trace[0]
+        assert action0 == "<init>"
+        assert state == replayer._canonical(replayer.spec.initial_state())
+        for action, succ in violation.trace[1:]:
+            candidates = [replayer._canonical(s)
+                          for a, s in replayer._successors(state)
+                          if a == action]
+            assert succ in candidates, (
+                f"{name}: step {action!r} does not follow from the "
+                "previous trace state")
+            state = succ
+
+
+@pytest.mark.parametrize("name", ("workerpool-initial", "te-app",
+                                  "controller-buggy-recovery"))
+def test_repeated_runs_byte_identical(name):
+    """Same configuration twice ⇒ byte-identical CheckResult.to_json()."""
+    first = _parallel(name, 2).to_json()
+    second = _parallel(name, 2).to_json()
+    assert first == second
+    # And the serial engine agrees with itself, too.
+    spec_a = SPEC_SOURCES[name].build()
+    spec_b = SPEC_SOURCES[name].build()
+    serial_a = ModelChecker(spec_a, stop_at_first_violation=False).run()
+    serial_b = ModelChecker(spec_b, stop_at_first_violation=False).run()
+    assert serial_a.to_json() == serial_b.to_json()
+
+
+@pytest.mark.parametrize("name", ("workerpool-initial", "controller",
+                                  "drain-app"))
+def test_exact_mode_agrees(name):
+    """Exact fingerprints (collision detection on) change nothing."""
+    _assert_equivalent(_serial(name), _parallel(name, 2,
+                                                exact_fingerprints=True))
+
+
+def test_stop_at_first_violation_parallel():
+    """Early-exit mode: one violation, at the same minimal depth."""
+    source = SPEC_SOURCES["workerpool-initial"]
+    serial = ModelChecker(source.build()).run()
+    parallel = ModelChecker(source.build(), workers=2,
+                            spec_source=source).run()
+    assert not serial.ok and not parallel.ok
+    assert len(serial.violations) == len(parallel.violations) == 1
+    assert parallel.violations[0].length == serial.violations[0].length
+
+
+def test_liveness_witness_identical_across_engines():
+    """The canonical (depth, fingerprint) liveness witness matches."""
+    source = SpecSource.of(FIXTURES, "flipflop_spec")
+    serial = ModelChecker(source.build(),
+                          stop_at_first_violation=False).run()
+    parallel = ModelChecker(source.build(), workers=2, spec_source=source,
+                            stop_at_first_violation=False).run()
+    assert not serial.ok and not parallel.ok
+    assert [v.kind for v in serial.violations] == ["liveness"]
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_ambiguous_action_labels_reconstruct():
+    """Same action label, many successors: fingerprints disambiguate."""
+    source = SpecSource.of(FIXTURES, "branching_spec", width=3, depth=3)
+    serial = ModelChecker(source.build(),
+                          stop_at_first_violation=False).run()
+    parallel = ModelChecker(source.build(), workers=4, spec_source=source,
+                            stop_at_first_violation=False).run()
+    _assert_equivalent(serial, parallel)
+
+
+def test_por_ample_choice_is_worker_count_independent():
+    """The ample-set decision is a pure function of the state alone.
+
+    Two checkers built from the same source (as two different workers
+    would) must produce identical successor lists for every reachable
+    state — this is what makes POR sound under any shard assignment.
+    """
+    source = SPEC_SOURCES["controller"]
+    a = ModelChecker(source.build(), validate_por_hints=False)
+    b = ModelChecker(source.build(), validate_por_hints=False)
+    state = a._canonical(a.spec.initial_state())
+    frontier, seen, sampled = [state], {state}, 0
+    while frontier and sampled < 300:
+        state = frontier.pop()
+        sampled += 1
+        succ_a = [(act, s) for act, s in a._successors(state)]
+        succ_b = [(act, s) for act, s in b._successors(state)]
+        assert succ_a == succ_b
+        for _action, succ in succ_a:
+            canon = a._canonical(succ)
+            if canon not in seen:
+                seen.add(canon)
+                frontier.append(canon)
+
+
+def test_workers_require_spec_source():
+    spec = SPEC_SOURCES["te-app"].build()
+    with pytest.raises(ValueError, match="spec_source"):
+        ModelChecker(spec, workers=2).run()
+
+
+def test_invalid_worker_count_rejected():
+    spec = SPEC_SOURCES["te-app"].build()
+    with pytest.raises(ValueError, match="workers"):
+        ModelChecker(spec, workers=0)
+
+
+def test_parallel_stats_and_metrics():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    source = SPEC_SOURCES["drain-app"]
+    result = ModelChecker(source.build(), workers=2, spec_source=source,
+                          stop_at_first_violation=False,
+                          registry=registry).run()
+    assert result.stats["engine"] == "parallel"
+    assert result.stats["workers"] == 2
+    assert result.stats["spawn_s"] >= 0
+    assert registry.counter("checker.states").value == result.distinct_states
+    assert registry.counter(
+        "checker.transitions").value == result.transitions
+    rendered = registry.render()
+    assert "checker.frontier_depth" in rendered
+    assert "checker.shard0.states" in rendered
