@@ -1,13 +1,18 @@
 """Benchmark: serial vs parallel model checking (``BENCH_checker.json``).
 
-Runs each benched spec twice — in-process serial, then ``--workers N``
-parallel — and emits the ``repro.spec/v1`` artifact recording state
-counts, states/sec (on exploration time, excluding the one-off worker
-spawn cost, which is reported separately) and the speedup.  The
-``>= min-speedup`` gate is only *enforced* on hosts with at least
-``--gate-cpus`` cores: on a 1-core CI runner the workers timeshare one
-core and a speedup is physically unmeasurable, so the artifact records
-``gate.enforced = false`` and the exit code stays 0.
+Runs each benched spec four ways — in-process serial, ``--workers N``
+parallel, and the two serial fingerprint-dedup modes (``full`` and
+``incremental``) — and emits the ``repro.spec/v1`` artifact recording
+state counts, states/sec (on exploration time, excluding the one-off
+worker spawn cost, which is reported separately) and the speedups.  The
+parallel ``>= min-speedup`` gate is only *enforced* on hosts with at
+least ``--gate-cpus`` cores: on a 1-core CI runner the workers
+timeshare one core and a speedup is physically unmeasurable, so the
+artifact records ``gate.enforced = false`` and the exit code stays 0.
+The incremental-fingerprint gate (``fp_gate``, ``>= --min-fp-speedup``
+incremental vs full re-encoding, judged on the largest benched spec)
+is always enforced — both runs are serial, so one core measures it
+fine.
 
 Usage::
 
@@ -40,6 +45,33 @@ def _bench_serial(source):
     }
 
 
+def _match(result, serial_result):
+    return (result.ok == serial_result.ok
+            and result.distinct_states == serial_result.distinct_states
+            and result.transitions == serial_result.transitions
+            and result.diameter == serial_result.diameter)
+
+
+def _bench_serial_fp(source, mode, serial_result):
+    from repro.spec import ModelChecker
+
+    checker = ModelChecker(source.build(), stop_at_first_violation=False,
+                           fingerprint_mode=mode)
+    start = time.perf_counter()
+    result = checker.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "ok": result.ok,
+        "states": result.distinct_states,
+        "transitions": result.transitions,
+        "diameter": result.diameter,
+        "elapsed_s": round(elapsed, 3),
+        "states_per_s": round(result.distinct_states / elapsed, 1)
+        if elapsed > 0 else 0.0,
+        "match": _match(result, serial_result),
+    }
+
+
 def _bench_parallel(source, workers, serial_result):
     from repro.spec import ModelChecker
 
@@ -48,10 +80,7 @@ def _bench_parallel(source, workers, serial_result):
                            stop_at_first_violation=False)
     result = checker.run()
     stats = result.stats
-    match = (result.ok == serial_result.ok
-             and result.distinct_states == serial_result.distinct_states
-             and result.transitions == serial_result.transitions
-             and result.diameter == serial_result.diameter)
+    match = _match(result, serial_result)
     return {
         "ok": result.ok,
         "states": result.distinct_states,
@@ -79,6 +108,10 @@ def main(argv=None):
     parser.add_argument("--gate-cpus", type=int, default=4,
                         help="enforce the speedup gate only when the host "
                              "has at least this many cores")
+    parser.add_argument("--min-fp-speedup", type=float, default=1.5,
+                        help="required incremental-vs-full fingerprinting "
+                             "speedup on the largest benched spec "
+                             "(always enforced: both runs are serial)")
     args = parser.parse_args(argv)
 
     from repro.spec.specs import SPEC_SOURCES
@@ -109,7 +142,21 @@ def main(argv=None):
               f"@ {parallel['states_per_s']}/s  "
               f"speedup={parallel['speedup']}x  match={parallel['match']}",
               flush=True)
-        specs[name] = {"serial": serial, "parallel": parallel}
+        print(f"{name}: fingerprint modes ...", flush=True)
+        fp_full = _bench_serial_fp(source, "full", serial_result)
+        fp_incremental = _bench_serial_fp(source, "incremental",
+                                          serial_result)
+        fp_incremental["speedup_vs_full"] = round(
+            fp_incremental["states_per_s"] / fp_full["states_per_s"], 3) \
+            if fp_full["states_per_s"] else 0.0
+        print(f"{name}: fp full @ {fp_full['states_per_s']}/s, "
+              f"incremental @ {fp_incremental['states_per_s']}/s  "
+              f"speedup={fp_incremental['speedup_vs_full']}x  "
+              f"match={fp_full['match'] and fp_incremental['match']}",
+              flush=True)
+        specs[name] = {"serial": serial, "parallel": parallel,
+                       "serial_fp": {"full": fp_full,
+                                     "incremental": fp_incremental}}
         max_states = max(max_states, serial["states"])
 
     # The gate judges the largest benched state space: small specs are
@@ -118,6 +165,8 @@ def main(argv=None):
     enforced = cpus >= args.gate_cpus
     passed = (specs[gate_spec]["parallel"]["speedup"] >= args.min_speedup
               if enforced else None)
+    fp_speedup = specs[gate_spec]["serial_fp"]["incremental"][
+        "speedup_vs_full"]
     artifact = {
         "schema": ARTIFACT_SCHEMA,
         "host": {"cpus": cpus, "python": platform.python_version()},
@@ -134,6 +183,12 @@ def main(argv=None):
             "enforced": enforced,
             "passed": passed,
         },
+        "fp_gate": {
+            "min_speedup": args.min_fp_speedup,
+            "spec": gate_spec,
+            "enforced": True,
+            "passed": fp_speedup >= args.min_fp_speedup,
+        },
     }
     problems = validate_artifact(artifact)
     for problem in problems:
@@ -147,6 +202,12 @@ def main(argv=None):
     if any(not entry["parallel"]["match"] for entry in specs.values()):
         print("FAIL: parallel disagreed with serial", file=sys.stderr)
         return 1
+    if any(not mode["match"]
+           for entry in specs.values()
+           for mode in entry["serial_fp"].values()):
+        print("FAIL: a fingerprint mode disagreed with the default serial "
+              "engine", file=sys.stderr)
+        return 1
     if enforced and not passed:
         print(f"FAIL: {gate_spec} speedup "
               f"{specs[gate_spec]['parallel']['speedup']}x < "
@@ -155,6 +216,10 @@ def main(argv=None):
     if not enforced:
         print(f"speedup gate not enforced ({cpus} cores < "
               f"{args.gate_cpus})")
+    if not artifact["fp_gate"]["passed"]:
+        print(f"FAIL: {gate_spec} incremental-fingerprint speedup "
+              f"{fp_speedup}x < {args.min_fp_speedup}x", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,93 @@
+"""Differential gate: footprint-derived POR vs hint-based POR.
+
+For every bundled spec, model-checks twice — once with the ample set
+taken from validated ``Step.local=True`` hints (the default) and once
+with ``por_deps=True`` (ample labels derived from static+dynamic
+footprint independence, unioned with the hints) — and requires the
+:meth:`CheckResult.to_json` outcomes to be byte-identical.  That is the
+soundness currency of the dependence analysis: the derived reduction
+must certify exactly the state graph the trusted reduction certifies,
+on every spec we ship, in both the serial and the parallel engine.
+
+Serial runs cover every spec; the parallel cross-check runs 2 workers
+on the small specs (the two ~100k-state specs would take minutes on a
+1-core CI runner — the serial differential already exercises their
+ample sets).  Each comparison holds the engine fixed and varies only
+the ample-set source: serial-hints vs serial-deps, and 2-worker-hints
+vs 2-worker-deps.  (Serial and parallel runs of a *multi*-violation
+spec legitimately pick different equal-length counterexample paths, so
+cross-engine pairs are compared by the existing differential suite's
+coarser equivalence, not byte equality.)
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/deps_differential.py
+"""
+
+import argparse
+import sys
+import time
+
+#: Specs excluded from the 2-worker cross-check (state spaces ~100k;
+#: the serial differential still covers them).
+LARGE = ("controller-large", "drain-app-full-core")
+
+
+def _result(source, por_deps, workers=None):
+    from repro.spec import ModelChecker
+
+    checker = ModelChecker(
+        source.build(), stop_at_first_violation=False,
+        workers=workers, spec_source=source if workers else None,
+        por_deps=por_deps)
+    return checker.run()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="hints-POR vs deps-POR differential over the bundled "
+                    "specs")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count for the parallel cross-check "
+                             "(default: 2)")
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="serial differential only")
+    args = parser.parse_args(argv)
+
+    from repro.spec.specs import SPEC_SOURCES
+
+    failures = []
+    for name in sorted(SPEC_SOURCES):
+        source = SPEC_SOURCES[name]
+        start = time.perf_counter()
+        hinted = _result(source, por_deps=False)
+        derived = _result(source, por_deps=True)
+        same = hinted.to_json() == derived.to_json()
+        verdicts = [f"serial={'ok' if same else 'MISMATCH'}"]
+        if not same:
+            failures.append(f"{name} (serial)")
+        if not args.skip_parallel and name not in LARGE:
+            par_hinted = _result(source, por_deps=False,
+                                 workers=args.workers)
+            par_derived = _result(source, por_deps=True,
+                                  workers=args.workers)
+            psame = par_hinted.to_json() == par_derived.to_json()
+            verdicts.append(
+                f"{args.workers}-worker={'ok' if psame else 'MISMATCH'}")
+            if not psame:
+                failures.append(f"{name} ({args.workers}-worker)")
+        elapsed = time.perf_counter() - start
+        print(f"{name}: {hinted.distinct_states} states  "
+              f"{'  '.join(verdicts)}  [{elapsed:.1f}s]", flush=True)
+
+    if failures:
+        print(f"FAIL: deps-POR diverged from hint-POR on: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"deps-POR byte-identical to hint-POR on all "
+          f"{len(SPEC_SOURCES)} bundled specs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,15 +21,31 @@ from __future__ import annotations
 
 from ..nadir.ast_nodes import Program
 from ..spec.lang import Spec
-from .effects import EffectCtx, EffectReport, StepEffect, infer_effects
+from .deps import (
+    Footprint,
+    FootprintReport,
+    cross_process_races,
+    footprints_from_report,
+    independent,
+    spec_footprints,
+)
+from .effects import (
+    EffectCtx,
+    EffectReport,
+    StepEffect,
+    infer_effects,
+    infer_effects_cached,
+)
 from .nadir_rules import analyze_program
 from .report import (
     ACK_READ_WITHOUT_POP,
     ALL_RULES,
     ATOMICITY_RACE,
+    CROSS_PROCESS_RACE,
     DESTRUCTIVE_GET_ON_ACK_QUEUE,
     ERROR,
     GOTO_UNDEFINED_LABEL,
+    INCOMPLETE_EFFECTS,
     NONDAEMON_NO_TERMINATION,
     POP_WITHOUT_PEEK,
     POR_UNSOUND_LOCAL,
@@ -49,6 +65,13 @@ __all__ = [
     "analyze_program",
     "verify_por_hints",
     "infer_effects",
+    "infer_effects_cached",
+    "spec_footprints",
+    "footprints_from_report",
+    "cross_process_races",
+    "independent",
+    "Footprint",
+    "FootprintReport",
     "EffectCtx",
     "EffectReport",
     "StepEffect",
@@ -64,21 +87,28 @@ __all__ = [
     "POP_WITHOUT_PEEK",
     "DESTRUCTIVE_GET_ON_ACK_QUEUE",
     "ATOMICITY_RACE",
+    "CROSS_PROCESS_RACE",
     "GOTO_UNDEFINED_LABEL",
     "UNREACHABLE_LABEL",
     "NONDAEMON_NO_TERMINATION",
     "UNDECLARED_VARIABLE",
     "UNUSED_VARIABLE",
+    "INCOMPLETE_EFFECTS",
     "SPEC_PASSES",
 ]
 
 
-def analyze_spec(spec: Spec, max_states: int = 4000) -> AnalysisResult:
-    """Infer effects for a spec and run the full lint pass pipeline."""
-    report = infer_effects(spec, max_states=max_states)
+def analyze_spec(spec: Spec, max_states: int = 4000,
+                 deps: bool = False) -> AnalysisResult:
+    """Infer effects for a spec and run the full lint pass pipeline.
+
+    ``deps=True`` adds the footprint-based cross-process race detector
+    (``lint --deps``).
+    """
+    report = infer_effects_cached(spec, max_states=max_states)
     return AnalysisResult(
         target=spec.name,
-        findings=run_spec_passes(report),
+        findings=run_spec_passes(report, deps=deps),
         complete=report.complete,
         states_explored=report.states_explored,
     )
@@ -90,9 +120,11 @@ def verify_por_hints(spec: Spec, max_states: int = 4000) -> list:
     Called by :class:`repro.spec.checker.ModelChecker` before it trusts
     the hints: POR with an unsound hint silently drops interleavings,
     so the hints must be validated against observed effects first.
+    Inference is memoized per spec object, so repeated ``check()``
+    calls on the same spec pay for it once.
     """
     if not any(step.local for process in spec.processes
                for step in process.steps):
         return []
-    report = infer_effects(spec, max_states=max_states)
+    report = infer_effects_cached(spec, max_states=max_states)
     return check_por_soundness(report)

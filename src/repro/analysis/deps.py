@@ -1,0 +1,418 @@
+"""Static dependence analysis: per-label footprints and what they buy.
+
+A **footprint** summarizes everything one labeled atomic step can touch
+in shared state: globals read and written (queue macros included),
+pseudo-resources for control state (``<pc:P>``) and whole-process local
+frames (``<locals:P>``), queue operations, and crash (reset) targets.
+Footprints are built by *unioning* two sources:
+
+* the dynamic observations of :mod:`repro.analysis.effects` — exact
+  for what was seen, but absence is trustworthy only when the bounded
+  exploration completed (``EffectReport.complete``);
+* a static AST pass over NADIR programs
+  (:func:`repro.analysis.nadir_rules.block_effects`) — an
+  over-approximation of every path, complete by construction.
+
+A footprint is **sound** (its *absence* information may be trusted)
+when either source certifies it: the dynamic report completed, or the
+step came from a NADIR block the static pass covered.  Unsound
+footprints never license a reduction — they only ever defer to the
+validated ``Step.local=True`` hints.
+
+Three consumers:
+
+* :meth:`FootprintReport.ample_labels` derives partial-order-reduction
+  ample sets from pairwise footprint **independence** (disjoint
+  write/access sets), subsuming the hand-written hints;
+* :class:`repro.spec.fingerprint.IncrementalFingerprinter` re-encodes
+  only a transition's written slots (the write footprint made exact
+  per-transition by the successor's slot-identity diff);
+* :func:`cross_process_races` generalizes the §3.9 race rules to any
+  conflicting cross-label W/W / R/W pair on shared globals outside the
+  ack-queue discipline.
+
+Shared-resource encoding
+------------------------
+
+Independence must account for *all* inter-process interaction, not
+just named globals.  Each footprint therefore reads/writes a set of
+resources:
+
+* a global variable by its name (queue macros read and write the queue
+  global they touch);
+* ``<pc:P>`` — process P's program counter.  Every step writes its own
+  pc (it may change it); reading a peer's pc via ``Ctx.peer_pc`` reads
+  that resource; resetting P writes it.
+* ``<locals:P>`` — process P's local frame.  A step reading/writing
+  its own locals reads/writes its own frame; resetting P wipes P's
+  frame (a write).
+
+Two steps of different processes are **independent** when neither
+writes a resource the other reads or writes — they commute and
+preserve each other's enabledness, which is conditions C1 of the ample
+method.  Invisibility (C2) is checked against the resources properties
+were observed reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..spec.lang import Spec
+from .effects import EffectReport, infer_effects_cached
+
+__all__ = [
+    "Footprint",
+    "FootprintReport",
+    "cross_process_races",
+    "footprints_from_report",
+    "independent",
+    "program_footprints",
+    "spec_footprints",
+]
+
+
+def _pc_resource(process: str) -> str:
+    return f"<pc:{process}>"
+
+
+def _locals_resource(process: str) -> str:
+    return f"<locals:{process}>"
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """What one (process, label) step can touch in shared state."""
+
+    process: str
+    label: str
+    #: Shared resources read/written: global names plus the ``<pc:P>``
+    #: / ``<locals:P>`` pseudo-resources described in the module doc.
+    reads: frozenset
+    writes: frozenset
+    #: Plain global variables only (no pseudo-resources) — the race
+    #: detector's view.
+    global_reads: frozenset
+    global_writes: frozenset
+    #: Own-process local variables by name.
+    local_reads: frozenset
+    local_writes: frozenset
+    #: (kind, queue) pairs ever performed by this label.
+    queue_ops: frozenset
+    #: Peer processes this label can reset (crash).
+    crash_targets: frozenset
+    blocked: bool
+    chooses: bool
+    executed: bool
+    #: Touched undeclared variables — all bets off.
+    tainted: bool
+    #: Absence information is trustworthy (dynamic inference completed
+    #: or a static NADIR pass covered the label).
+    sound: bool
+    provenance: str  # "dynamic" | "static" | "dynamic+static"
+
+    @property
+    def key(self) -> tuple:
+        return (self.process, self.label)
+
+    def queues(self, *kinds: str) -> frozenset:
+        return frozenset(q for kind, q in self.queue_ops if kind in kinds)
+
+
+def independent(a: Footprint, b: Footprint) -> bool:
+    """Do the two steps commute (disjoint write/access footprints)?
+
+    Neither may write a resource the other reads or writes.  Sound as
+    an independence verdict only when both footprints are sound —
+    callers must check; the predicate itself is just disjointness.
+    """
+    if a.writes & (b.reads | b.writes):
+        return False
+    if b.writes & (a.reads | a.writes):
+        return False
+    return True
+
+
+@dataclass
+class FootprintReport:
+    """All footprints of one spec plus property visibility data."""
+
+    spec: Optional[Spec]
+    target: str
+    #: (process, label) -> Footprint
+    footprints: dict
+    #: Globals (and ``<pc:P>`` pseudo-resources) properties read.
+    property_reads: frozenset = frozenset()
+    #: (process, local) pairs properties read.
+    property_local_reads: frozenset = frozenset()
+    #: Processes whose pc a property observed.
+    property_pc_reads: frozenset = frozenset()
+    #: Queues under the ack discipline (declared or observed).
+    ack_queues: frozenset = frozenset()
+    complete: bool = True
+    states_explored: int = 0
+
+    def footprint(self, process: str, label: str) -> Footprint:
+        return self.footprints[(process, label)]
+
+    def _invisible(self, fp: Footprint) -> bool:
+        """C2: no property can observe this step's writes."""
+        if fp.global_writes & self.property_reads:
+            return False
+        if fp.process in self.property_pc_reads:
+            return False  # the step writes its own pc
+        if any((fp.process, name) in self.property_local_reads
+               for name in fp.local_writes):
+            return False
+        return True
+
+    def ample_labels(self) -> frozenset:
+        """(process, label) keys safe to expand alone (ample set of 1).
+
+        A label qualifies when its footprint is sound and shows it to
+        be deterministic (no choice), non-blocking, executed at least
+        once, crash-free and untainted; invisible to every property
+        (C2); and pairwise independent of **every** label of every
+        other process — each of which must itself have a sound
+        footprint, since independence is disjointness of *complete*
+        access sets.  This derives the ``Step.local=True`` contract
+        from first principles instead of trusting the hint.
+        """
+        fps = list(self.footprints.values())
+        ample = set()
+        for fp in fps:
+            if not (fp.sound and fp.executed):
+                continue
+            if fp.blocked or fp.chooses or fp.crash_targets or fp.tainted:
+                continue
+            if not self._invisible(fp):
+                continue
+            ok = True
+            for other in fps:
+                if other.process == fp.process:
+                    continue
+                if not other.sound or not independent(fp, other):
+                    ok = False
+                    break
+            if ok:
+                ample.add(fp.key)
+        return frozenset(ample)
+
+
+def _resources(process: str, global_reads, global_writes, local_reads,
+               local_writes, resets) -> tuple:
+    """Map raw effect sets onto the shared-resource encoding."""
+    reads = set(global_reads)
+    writes = set(global_writes)
+    # Every step may rewrite its own pc; own-local traffic is its own
+    # frame resource (peers reach it only through reset_peer).
+    writes.add(_pc_resource(process))
+    if local_reads:
+        reads.add(_locals_resource(process))
+    if local_writes:
+        writes.add(_locals_resource(process))
+    for target in resets:
+        writes.add(_pc_resource(target))
+        writes.add(_locals_resource(target))
+    return frozenset(reads), frozenset(writes)
+
+
+def footprints_from_report(report: EffectReport,
+                           program=None) -> FootprintReport:
+    """Build footprints by unioning dynamic effects with a static pass.
+
+    ``program`` is the NADIR :class:`~repro.nadir.ast_nodes.Program`
+    the spec was interpreted from, when there is one (specs built by
+    :func:`repro.nadir.interp.program_to_spec` carry it as
+    ``spec.nadir_program``).  Static block effects are an
+    over-approximation of every path, so a label they cover is sound
+    even when the dynamic exploration was truncated.
+    """
+    spec = report.spec
+    if program is None:
+        program = getattr(spec, "nadir_program", None)
+    static = program_footprints(program) if program is not None else {}
+
+    footprints = {}
+    for (process, label), effect in report.effects.items():
+        s = static.get((process, label))
+        global_reads = {n for n in effect.global_reads
+                        if not n.startswith("<")}
+        pc_reads = {n for n in effect.global_reads if n.startswith("<")}
+        global_writes = set(effect.global_writes)
+        local_reads = set(effect.local_reads)
+        local_writes = set(effect.local_writes)
+        queue_ops = set(effect.queue_ops)
+        resets = {target for target, _pc in effect.resets}
+        blocked = effect.blocked
+        chooses = bool(effect.choice_arities)
+        executed = effect.executed
+        provenance = "dynamic"
+        if s is not None:
+            global_reads |= s.global_reads
+            global_writes |= s.global_writes
+            local_reads |= s.local_reads
+            local_writes |= s.local_writes
+            queue_ops |= s.queue_ops
+            blocked = blocked or s.blocking
+            # A statically covered block can always be attempted (its
+            # guard may refuse, which ``blocked`` records).
+            executed = True
+            provenance = "dynamic+static"
+        reads, writes = _resources(process, global_reads, global_writes,
+                                   local_reads, local_writes, resets)
+        reads |= pc_reads
+        footprints[(process, label)] = Footprint(
+            process=process, label=label,
+            reads=reads, writes=writes,
+            global_reads=frozenset(global_reads),
+            global_writes=frozenset(global_writes),
+            local_reads=frozenset(local_reads),
+            local_writes=frozenset(local_writes),
+            queue_ops=frozenset(queue_ops),
+            crash_targets=frozenset(resets),
+            blocked=blocked, chooses=chooses, executed=executed,
+            tainted=bool(effect.undeclared),
+            sound=report.complete or s is not None,
+            provenance=provenance)
+
+    return FootprintReport(
+        spec=spec, target=spec.name, footprints=footprints,
+        property_reads=frozenset(report.property_reads),
+        property_local_reads=frozenset(report.property_local_reads),
+        property_pc_reads=frozenset(report.property_pc_reads),
+        ack_queues=report.ack_queues(),
+        complete=report.complete,
+        states_explored=report.states_explored)
+
+
+def spec_footprints(spec: Spec, max_states: int = 4000,
+                    program=None) -> FootprintReport:
+    """Infer effects (cached per spec object) and derive footprints."""
+    report = infer_effects_cached(spec, max_states=max_states)
+    return footprints_from_report(report, program=program)
+
+
+def program_footprints(program) -> dict:
+    """(process, label) -> static :class:`BlockEffect` for a program.
+
+    NADIR has no peer-pc reads, peer resets or nondeterministic choice
+    at the AST level, so the static effects are exactly the block's
+    global/local accesses and queue ops over every syntactic path.
+    """
+    from .nadir_rules import block_effects
+
+    effects = {}
+    for process in program.processes:
+        for block, default_next in process.blocks_with_default_next():
+            effects[(process.name, block.label)] = block_effects(
+                process, block, default_next)
+    return effects
+
+
+def program_footprint_report(program) -> FootprintReport:
+    """A purely static FootprintReport for a NADIR program.
+
+    Used by the AST-level lint pipeline, where no dynamic observations
+    exist; every footprint is sound (the walk covers all paths).
+    """
+    footprints = {}
+    for (process, label), s in program_footprints(program).items():
+        reads, writes = _resources(process, s.global_reads,
+                                   s.global_writes, s.local_reads,
+                                   s.local_writes, ())
+        footprints[(process, label)] = Footprint(
+            process=process, label=label, reads=reads, writes=writes,
+            global_reads=frozenset(s.global_reads),
+            global_writes=frozenset(s.global_writes),
+            local_reads=frozenset(s.local_reads),
+            local_writes=frozenset(s.local_writes),
+            queue_ops=frozenset(s.queue_ops),
+            crash_targets=frozenset(),
+            blocked=s.blocking, chooses=False, executed=True,
+            tainted=False, sound=True, provenance="static")
+    return FootprintReport(
+        spec=None, target=program.name, footprints=footprints,
+        ack_queues=frozenset(program.ack_queues))
+
+
+# -- race detection -----------------------------------------------------------------
+@dataclass(frozen=True)
+class Race:
+    """A conflicting cross-process access pair on a shared global."""
+
+    global_name: str
+    #: The blind writer (process, label).
+    writer: tuple
+    #: The conflicting access (process, label, "read"|"write").
+    other: tuple
+    kind: str  # "write-write" | "read-write"
+
+
+def _macro_mediated(fp: Footprint, name: str) -> bool:
+    """Did every access of ``name`` by this label go through a queue
+    macro?  Queue macros read/write the queue global internally, so a
+    label whose only contact with ``name`` is via its own queue ops is
+    synchronized by the queue discipline, not racing on raw state."""
+    return name in {queue for _kind, queue in fp.queue_ops}
+
+
+def cross_process_races(report: FootprintReport) -> list:
+    """Conflicting cross-label W/W and R/W pairs on shared globals.
+
+    Generalizes the §3.9 hand-enumerated race rules: a label that
+    **blindly** writes a global (no same-label read — so the write
+    cannot be a guarded read-modify-write) while some *other* process
+    also reads or writes it is flagged, unless one of the recognized
+    synchronization disciplines applies:
+
+    * the global is an ack-discipline queue, or both sides only touch
+      it through queue macros (the queue protocol orders them);
+    * the writer re-reads the global in the same atomic step (RMW —
+      the §3.9 pattern the shipped specs use);
+    * the pair is *reset-synchronized*: one label crashes the other's
+      process (the reset itself establishes the ordering the blind
+      write relies on — e.g. a failure daemon wiping a worker's slot
+      while resetting the worker).
+    """
+    races = []
+    fps = list(report.footprints.values())
+    accesses: dict = {}
+    for fp in fps:
+        for name in fp.global_reads | fp.global_writes:
+            accesses.setdefault(name, []).append(fp)
+
+    for name in sorted(accesses):
+        if name in report.ack_queues:
+            continue
+        users = accesses[name]
+        for fp in users:
+            if name not in fp.global_writes or name in fp.global_reads:
+                continue  # not a write, or an RMW — not blind
+            if _macro_mediated(fp, name):
+                continue
+            for other in users:
+                if other.process == fp.process:
+                    continue
+                if _macro_mediated(other, name):
+                    continue
+                # Reset-synchronized pairs: the crash orders them.
+                if (other.process in fp.crash_targets
+                        or fp.process in other.crash_targets):
+                    continue
+                if name in other.global_writes:
+                    kind = "write-write"
+                elif name in other.global_reads:
+                    kind = "read-write"
+                else:  # pragma: no cover - accesses index guarantees one
+                    continue
+                races.append(Race(
+                    global_name=name,
+                    writer=(fp.process, fp.label),
+                    other=(other.process, other.label,
+                           "write" if name in other.global_writes
+                           else "read"),
+                    kind=kind))
+    races.sort(key=lambda r: (r.global_name, r.writer, r.other))
+    return races

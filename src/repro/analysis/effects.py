@@ -18,6 +18,7 @@ rules that reason from absence must check that flag.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -31,7 +32,8 @@ from ..spec.lang import (
     State,
 )
 
-__all__ = ["EffectCtx", "StepEffect", "EffectReport", "infer_effects"]
+__all__ = ["EffectCtx", "StepEffect", "EffectReport", "infer_effects",
+           "infer_effects_cached"]
 
 
 class UndeclaredVariable(Exception):
@@ -192,6 +194,7 @@ class RecordingView(SpecView):
         super().__init__(spec, state)
         self.rec_global_reads: set = set()
         self.rec_local_reads: set = set()
+        self.rec_pc_reads: set = set()
 
     def __getitem__(self, name):
         self.rec_global_reads.add(name)
@@ -200,6 +203,12 @@ class RecordingView(SpecView):
     def local(self, process, name):
         self.rec_local_reads.add((process, name))
         return super().local(process, name)
+
+    def pc(self, process):
+        # A property observing a pc makes that process's control state
+        # *visible*: any step of that process changes it.
+        self.rec_pc_reads.add(process)
+        return super().pc(process)
 
 
 @dataclass
@@ -221,6 +230,8 @@ class EffectReport:
     property_local_reads: set
     complete: bool
     states_explored: int
+    #: Process names whose pc some property observed.
+    property_pc_reads: set = field(default_factory=set)
 
     def effect(self, process: str, label: str) -> StepEffect:
         return self.effects[(process, label)]
@@ -316,6 +327,7 @@ def infer_effects(spec: Spec, max_states: int = 4000,
 
     property_reads: set = set()
     property_local_reads: set = set()
+    property_pc_reads: set = set()
     properties = list(spec.invariants.values())
     properties += list(spec.eventually_always.values())
     if properties:
@@ -331,9 +343,39 @@ def infer_effects(spec: Spec, max_states: int = 4000,
                     pass
                 property_reads |= view.rec_global_reads
                 property_local_reads |= view.rec_local_reads
+                property_pc_reads |= view.rec_pc_reads
 
     return EffectReport(spec=spec, effects=effects, cfg=cfg,
                         reachable_labels=reachable, terminates=terminates,
                         property_reads=property_reads,
                         property_local_reads=property_local_reads,
-                        complete=complete, states_explored=len(seen))
+                        complete=complete, states_explored=len(seen),
+                        property_pc_reads=property_pc_reads)
+
+
+#: Spec object -> (inference budget, EffectReport).  Weak keys: cached
+#: reports must not keep dead spec objects (and their closures) alive.
+_EFFECT_CACHE: "weakref.WeakKeyDictionary[Spec, tuple]" = \
+    weakref.WeakKeyDictionary()
+
+
+def infer_effects_cached(spec: Spec, max_states: int = 4000,
+                         property_samples: int = 200) -> EffectReport:
+    """:func:`infer_effects`, memoized per spec *object*.
+
+    The checker re-validates POR hints on every ``check()`` call and
+    the footprint analysis re-uses the same observations; both would
+    otherwise pay the full bounded-frontier exploration each time for
+    the same (immutable-by-convention) spec object.  A cached report is
+    reused when it was inferred with at least the requested budget, or
+    when it completed (a complete exploration subsumes any budget).
+    """
+    entry = _EFFECT_CACHE.get(spec)
+    if entry is not None:
+        budget, report = entry
+        if report.complete or budget >= max_states:
+            return report
+    report = infer_effects(spec, max_states=max_states,
+                           property_samples=property_samples)
+    _EFFECT_CACHE[spec] = (max_states, report)
+    return report

@@ -180,12 +180,9 @@ def _program_cfgs(program: Program):
     """Per-process: effects by label + successor graph."""
     per_process = {}
     for process in program.processes:
-        labels = [block.label for block in process.blocks]
         effects = {}
         cfg = {}
-        for index, block in enumerate(process.blocks):
-            default_next = (labels[index + 1]
-                            if index + 1 < len(labels) else _DONE)
+        for block, default_next in process.blocks_with_default_next():
             effect = block_effects(process, block, default_next)
             effects[block.label] = effect
             cfg[block.label] = set(effect.next_labels)
@@ -193,8 +190,35 @@ def _program_cfgs(program: Program):
     return per_process
 
 
-def analyze_program(program: Program) -> R.AnalysisResult:
-    """Run every static rule class over a NADIR program."""
+def _check_static_races(program: Program) -> list:
+    """The footprint-based race detector over purely static effects."""
+    from .deps import cross_process_races, program_footprint_report
+
+    findings = []
+    seen = set()
+    for race in cross_process_races(program_footprint_report(program)):
+        writer_process, writer_label = race.writer
+        other_process, other_label, access = race.other
+        key = (race.global_name, race.writer, other_process)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(R.Finding(
+            R.CROSS_PROCESS_RACE, R.WARNING, program.name,
+            writer_process, writer_label,
+            f"blind write of shared global {race.global_name!r} "
+            f"conflicts with {access} in {other_process}.{other_label} "
+            f"({race.kind}) with no queue, RMW or reset "
+            "synchronization between the two processes"))
+    return findings
+
+
+def analyze_program(program: Program, deps: bool = False) -> R.AnalysisResult:
+    """Run every static rule class over a NADIR program.
+
+    ``deps=True`` adds the footprint-based cross-process race detector
+    computed from the same static block effects.
+    """
     result = R.AnalysisResult(target=program.name)
     findings = result.findings
     per_process = _program_cfgs(program)
@@ -332,6 +356,9 @@ def analyze_program(program: Program) -> R.AnalysisResult:
             findings.append(R.Finding(
                 R.UNUSED_VARIABLE, R.WARNING, program.name, "", "",
                 f"global variable {g!r} is never used"))
+
+    if deps:
+        findings.extend(_check_static_races(program))
     return result
 
 

@@ -26,11 +26,13 @@ ACK_READ_WITHOUT_POP = "ack-read-without-pop"
 POP_WITHOUT_PEEK = "pop-without-peek"
 DESTRUCTIVE_GET_ON_ACK_QUEUE = "destructive-get-on-ack-queue"
 ATOMICITY_RACE = "cross-label-atomicity-race"
+CROSS_PROCESS_RACE = "cross-process-race"
 GOTO_UNDEFINED_LABEL = "goto-undefined-label"
 UNREACHABLE_LABEL = "unreachable-label"
 NONDAEMON_NO_TERMINATION = "nondaemon-no-termination"
 UNDECLARED_VARIABLE = "undeclared-variable"
 UNUSED_VARIABLE = "unused-variable"
+INCOMPLETE_EFFECTS = "incomplete-effects"
 
 ALL_RULES = (
     POR_UNSOUND_LOCAL,
@@ -38,11 +40,13 @@ ALL_RULES = (
     POP_WITHOUT_PEEK,
     DESTRUCTIVE_GET_ON_ACK_QUEUE,
     ATOMICITY_RACE,
+    CROSS_PROCESS_RACE,
     GOTO_UNDEFINED_LABEL,
     UNREACHABLE_LABEL,
     NONDAEMON_NO_TERMINATION,
     UNDECLARED_VARIABLE,
     UNUSED_VARIABLE,
+    INCOMPLETE_EFFECTS,
 )
 
 

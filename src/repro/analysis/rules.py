@@ -30,7 +30,9 @@ __all__ = [
     "check_por_soundness",
     "check_queue_discipline",
     "check_atomicity_races",
+    "check_cross_process_races",
     "check_control_flow",
+    "check_effect_completeness",
     "run_spec_passes",
 ]
 
@@ -360,18 +362,78 @@ def check_control_flow(report: EffectReport) -> list:
     return findings
 
 
+# -- footprint-based cross-process races --------------------------------------------
+def check_cross_process_races(report: EffectReport) -> list:
+    """Generalized race pass over dependence footprints (``lint --deps``).
+
+    Conflicting cross-label W/W and R/W pairs on shared globals outside
+    the ack-queue discipline — the :mod:`repro.analysis.deps` rule, a
+    superset of the hand-enumerated §3.9 cases.  Warning severity: a
+    flagged pair is unsynchronized shared-state traffic, which is
+    suspicious but may still be correct under spec-level reasoning the
+    analyzer cannot see (strict mode treats it as a failure).
+    """
+    from .deps import cross_process_races, footprints_from_report
+
+    findings = []
+    fr = footprints_from_report(report)
+    seen = set()
+    for race in cross_process_races(fr):
+        writer_process, writer_label = race.writer
+        other_process, other_label, access = race.other
+        key = (race.global_name, race.writer, other_process)
+        if key in seen:
+            continue  # one finding per (global, writer, peer process)
+        seen.add(key)
+        findings.append(R.Finding(
+            R.CROSS_PROCESS_RACE, R.WARNING, report.spec.name,
+            writer_process, writer_label,
+            f"blind write of shared global {race.global_name!r} "
+            f"conflicts with {access} in {other_process}.{other_label} "
+            f"({race.kind}) with no queue, RMW or reset "
+            "synchronization between the two processes"))
+    return findings
+
+
+# -- inference coverage -------------------------------------------------------------
+def check_effect_completeness(report: EffectReport) -> list:
+    """Make truncated inference loud instead of silently weaker.
+
+    When the bounded exploration stops early, every absence-based rule
+    (unreachable/unused/termination, and soundness verdicts derived
+    from *not* observing an effect) is silently skipped or weakened.
+    Strict lint runs must fail in that situation rather than report a
+    clean bill of health they cannot back.
+    """
+    if report.complete:
+        return []
+    return [R.Finding(
+        R.INCOMPLETE_EFFECTS, R.WARNING, report.spec.name, "", "",
+        f"effect inference stopped at {report.states_explored} states "
+        "without exhausting the reachable space: absence-based rules "
+        "were skipped and footprints are not sound — rerun with a "
+        "larger --max-states for full coverage")]
+
+
 #: The default pass pipeline, in reporting order.
 SPEC_PASSES = (
     check_por_soundness,
     check_queue_discipline,
     check_atomicity_races,
     check_control_flow,
+    check_effect_completeness,
 )
 
 
-def run_spec_passes(report: EffectReport) -> list:
-    """Run every pass; findings in pipeline order."""
+def run_spec_passes(report: EffectReport, deps: bool = False) -> list:
+    """Run every pass; findings in pipeline order.
+
+    ``deps=True`` additionally runs the footprint-based cross-process
+    race detector (the ``lint --deps`` pipeline).
+    """
     findings = []
     for pass_fn in SPEC_PASSES:
         findings.extend(pass_fn(report))
+    if deps:
+        findings.extend(check_cross_process_races(report))
     return findings

@@ -53,7 +53,15 @@ def _nadir_programs() -> dict:
     }
 
 
-def _run_lint(target, as_json: bool, strict: bool) -> int:
+#: Default effect-inference budget for `lint`.  Large enough that every
+#: bundled spec's inference runs to completion (the two biggest need
+#: ~100k raw states), so footprints are sound and the incomplete-effects
+#: warning only fires on genuinely truncated runs.
+LINT_MAX_STATES = 200_000
+
+
+def _run_lint(target, as_json: bool, strict: bool, deps: bool = False,
+              max_states: int = LINT_MAX_STATES) -> int:
     """`lint`: run speclint over specs and NADIR programs."""
     from . import analysis
     from .nadir.ast_nodes import Program
@@ -71,9 +79,10 @@ def _run_lint(target, as_json: bool, strict: bool) -> int:
     for _name, factory in targets.items():
         artifact = factory()
         if isinstance(artifact, Program):
-            results.append(analysis.analyze_program(artifact))
+            results.append(analysis.analyze_program(artifact, deps=deps))
         else:
-            results.append(analysis.analyze_spec(artifact))
+            results.append(analysis.analyze_spec(
+                artifact, max_states=max_states, deps=deps))
 
     if as_json:
         print(analysis.render_json(results))
@@ -370,18 +379,34 @@ def main(argv=None) -> int:
                         help="machine-readable lint output")
     parser.add_argument("--strict", action="store_true",
                         help="lint: fail on warnings too, not just errors")
+    parser.add_argument("--deps", action="store_true",
+                        help="lint: also run the footprint-based "
+                             "cross-process race detector")
+    parser.add_argument("--max-states", type=int, default=None, metavar="N",
+                        help="lint: effect-inference state budget "
+                             f"(default: {LINT_MAX_STATES})")
     parser.add_argument("--trace", metavar="PATH",
                         help="record a sim-time trace to PATH (Chrome "
                              "trace-event JSON; .jsonl suffix for JSONL)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect and print the metrics registry")
-    parser.add_argument("--workers", type=int, default=None, metavar="N",
-                        help="check: explore with N worker processes "
-                             "(default: in-process serial)")
+    parser.add_argument("--workers", default=None, metavar="N",
+                        help="check: explore with N worker processes, or "
+                             "'auto' to pick serial vs parallel from the "
+                             "host's core count (default: in-process "
+                             "serial)")
     parser.add_argument("--exact", action="store_true",
                         help="check: keep canonical state bytes alongside "
                              "fingerprints and fail loudly on any 64-bit "
                              "hash collision")
+    parser.add_argument("--por-deps", action="store_true",
+                        help="check: derive POR ample sets from static+"
+                             "dynamic footprint independence instead of "
+                             "only Step.local hints")
+    parser.add_argument("--incremental-fp", action="store_true",
+                        help="check: serial fingerprint-dedup engine with "
+                             "incremental per-slot digests (re-encodes "
+                             "only each step's write footprint)")
     parser.add_argument("--list", action="store_true", dest="list_entries",
                         help="with 'run'/'list': one line per experiment")
     args = parser.parse_args(argv)
@@ -406,7 +431,10 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "lint":
-        return _run_lint(args.spec, as_json=args.json, strict=args.strict)
+        return _run_lint(args.spec, as_json=args.json, strict=args.strict,
+                         deps=args.deps,
+                         max_states=(LINT_MAX_STATES if args.max_states
+                                     is None else args.max_states))
 
     if args.command == "check":
         from .spec.specs import SPEC_SOURCES
@@ -417,6 +445,14 @@ def main(argv=None) -> int:
             return 2
         from .spec import ModelChecker
 
+        workers = args.workers
+        if workers is not None and workers != "auto":
+            try:
+                workers = int(workers)
+            except ValueError:
+                print(f"--workers must be an integer or 'auto', "
+                      f"got {workers!r}", file=sys.stderr)
+                return 2
         registry = None
         if args.metrics:
             from .obs import MetricsRegistry
@@ -424,16 +460,24 @@ def main(argv=None) -> int:
             registry = MetricsRegistry()
         source = SPEC_SOURCES[args.spec]
         checker = ModelChecker(
-            source.build(), workers=args.workers, spec_source=source,
-            exact_fingerprints=args.exact, registry=registry)
+            source.build(), workers=workers, spec_source=source,
+            exact_fingerprints=args.exact, registry=registry,
+            por_deps=args.por_deps,
+            fingerprint_mode="incremental" if args.incremental_fp else None)
         result = checker.run()
         print(result.summary())
         stats = dict(result.stats)
+        if stats.get("workers_requested") == "auto":
+            resolved = stats.get("workers")
+            print(f"workers=auto on {stats.get('host_cpus')} cpus -> "
+                  f"{'serial' if resolved is None else f'{resolved} workers'}")
         if stats.get("engine") == "parallel":
             print(f"engine=parallel workers={stats['workers']} "
                   f"spawn={stats['spawn_s']}s explore={stats['explore_s']}s "
                   f"{stats.get('states_per_s', 0.0)} states/s "
                   f"dedup_hits={stats['dedup_hits']}")
+        elif stats.get("fingerprint_mode"):
+            print(f"engine=serial fingerprint_mode={stats['fingerprint_mode']}")
         for violation in result.violations:
             print(violation.describe())
         if registry is not None:

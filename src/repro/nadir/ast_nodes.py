@@ -247,6 +247,19 @@ class ProcessDef:
     #: effects before they are trusted.
     local_labels: frozenset = frozenset()
 
+    def blocks_with_default_next(self):
+        """(block, program-order fallthrough label) pairs, in order.
+
+        The fallthrough of the last block is ``None`` (termination) —
+        the same convention :class:`repro.spec.lang.SpecProcess` uses
+        for its ``default_next``.  Shared by the static lint passes and
+        the footprint analysis so both derive identical successor sets.
+        """
+        labels = [block.label for block in self.blocks]
+        for index, block in enumerate(self.blocks):
+            nxt = labels[index + 1] if index + 1 < len(labels) else None
+            yield block, nxt
+
 
 @dataclass
 class Program:

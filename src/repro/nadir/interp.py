@@ -137,6 +137,11 @@ def program_to_spec(program: Program,
         processes.append(SpecProcess(
             definition.name, steps, locals_=dict(definition.locals_),
             fair=definition.fair, daemon=definition.daemon))
-    return Spec(program.name, dict(program.globals_), processes,
+    spec = Spec(program.name, dict(program.globals_), processes,
                 invariants=invariants, eventually_always=eventually_always,
                 symmetry=symmetry, ack_queues=program.ack_queues)
+    # The footprint analysis (repro.analysis.deps) statically confirms
+    # effects for interpreted specs by walking the program they came
+    # from, so labels stay sound even when dynamic inference truncates.
+    spec.nadir_program = program
+    return spec

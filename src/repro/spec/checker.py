@@ -29,6 +29,7 @@ described and are individually switchable for the Table 4 ablation:
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -37,7 +38,30 @@ from .fingerprint import fingerprint_state
 from .lang import Blocked, Ctx, NeedChoice, Spec, State
 
 __all__ = ["CheckResult", "Violation", "ModelChecker", "check",
-           "UnsoundPORHintError"]
+           "UnsoundPORHintError", "resolve_auto_workers",
+           "AUTO_WORKERS_MIN_CPUS", "AUTO_WORKERS"]
+
+#: ``workers="auto"``: below this core count the parallel engine is a
+#: slowdown (BENCH_checker.json records 0.21x on a 1-CPU host — the
+#: workers timeshare one core and pay spawn + routing on top), so auto
+#: picks the serial engine; at or above it, this many workers.
+AUTO_WORKERS_MIN_CPUS = 4
+AUTO_WORKERS = 4
+
+
+def resolve_auto_workers(cpus: Optional[int] = None,
+                         has_spec_source: bool = True) -> Optional[int]:
+    """The worker count ``workers="auto"`` resolves to (None = serial).
+
+    Serial on hosts below :data:`AUTO_WORKERS_MIN_CPUS` cores, or when
+    no ``spec_source`` was provided (worker processes cannot rebuild
+    the spec without one); :data:`AUTO_WORKERS` workers otherwise.
+    """
+    if cpus is None:
+        cpus = os.cpu_count() or 1
+    if cpus < AUTO_WORKERS_MIN_CPUS or not has_spec_source:
+        return None
+    return AUTO_WORKERS
 
 
 class UnsoundPORHintError(Exception):
@@ -150,10 +174,12 @@ class ModelChecker:
                  stop_at_first_violation: bool = True,
                  check_deadlock: bool = True,
                  validate_por_hints: bool = True,
-                 workers: Optional[int] = None,
+                 workers=None,
                  spec_source=None,
                  exact_fingerprints: bool = False,
-                 registry=None):
+                 registry=None,
+                 por_deps: bool = False,
+                 fingerprint_mode: Optional[str] = None):
         self.spec = spec
         self.use_symmetry = symmetry and spec.symmetry is not None
         self.use_por = por
@@ -161,12 +187,39 @@ class ModelChecker:
         self.stop_at_first = stop_at_first_violation
         self.check_deadlock = check_deadlock
         self.validate_por_hints = validate_por_hints
-        if workers is not None and workers < 1:
-            raise ValueError("workers must be >= 1 (or None for serial)")
+        self.workers_requested = workers
+        self.auto_host_cpus: Optional[int] = None
+        if workers == "auto":
+            self.auto_host_cpus = os.cpu_count() or 1
+            workers = resolve_auto_workers(
+                self.auto_host_cpus, has_spec_source=spec_source is not None)
+        elif workers is not None and (not isinstance(workers, int)
+                                      or isinstance(workers, bool)
+                                      or workers < 1):
+            raise ValueError(
+                "workers must be >= 1, 'auto', or None for serial")
         self.workers = workers
         self.spec_source = spec_source
         self.exact_fingerprints = exact_fingerprints
         self.registry = registry
+        #: Derive ample sets from footprint independence
+        #: (repro.analysis.deps) instead of only Step.local hints.
+        self.use_por_deps = por_deps
+        self._deps_ample_keys = None
+        if fingerprint_mode not in (None, "full", "incremental"):
+            raise ValueError(
+                "fingerprint_mode must be None, 'full' or 'incremental'")
+        if fingerprint_mode is not None and self.workers is not None:
+            raise ValueError(
+                "fingerprint_mode is a serial-engine option; the parallel "
+                "engine already dedupes through its sharded fingerprint "
+                "store (drop workers=N)")
+        if fingerprint_mode is not None and exact_fingerprints:
+            raise ValueError(
+                "exact_fingerprints keeps full canonical encodings, which "
+                "defeats fingerprint_mode; use the default engine for "
+                "exact collision detection")
+        self.fingerprint_mode = fingerprint_mode
 
     # -- successor computation ---------------------------------------------------
     def _expand_step(self, state: State, proc_index: int) -> list[tuple[str, State]]:
@@ -194,19 +247,49 @@ class ModelChecker:
                                ctx._successor(default_next)))
         return successors
 
+    def _deps_ample(self) -> frozenset:
+        """(process, label) keys expandable alone, from footprints.
+
+        The footprint-derived ample labels unioned with the (validated)
+        ``Step.local=True`` hints: a sound footprint proves a label
+        independent of everything else from first principles, and an
+        unsound one simply defers to the hint — so deps-POR reduces at
+        least as much as hint-POR and never trusts unproven absence.
+        Computed once per checker from the spec alone (a pure function
+        of the spec), so parallel workers all derive the same set and
+        the ample choice stays worker-count independent.
+        """
+        if self._deps_ample_keys is None:
+            # Local import: repro.analysis drives Ctx/Spec (circular at
+            # module level), same as _reject_unsound_hints.
+            from ..analysis.deps import spec_footprints
+
+            hinted = {(process.name, step.label)
+                      for process in self.spec.processes
+                      for step in process.steps if step.local}
+            derived = spec_footprints(self.spec).ample_labels()
+            self._deps_ample_keys = frozenset(derived | hinted)
+        return self._deps_ample_keys
+
     def _successors(self, state: State) -> list[tuple[str, State]]:
         """Successors under the (optionally ample-set reduced) relation."""
         if self.use_por:
             # Ample set: a process whose current step is declared local
             # commutes with every other step; expanding it alone is a
             # sound reduction (it is also deterministic & non-blocking
-            # by convention, preserving enabledness elsewhere).
+            # by convention, preserving enabledness elsewhere).  With
+            # por_deps the same property is derived from footprint
+            # independence instead of trusted from the hint.
+            ample = self._deps_ample() if self.use_por_deps else None
             for proc_index, process in enumerate(self.spec.processes):
                 pc = state.procs[proc_index][0]
                 if pc is None:
                     continue
-                step = process.step_by_label[pc]
-                if step.local:
+                if ample is None:
+                    is_ample = process.step_by_label[pc].local
+                else:
+                    is_ample = (process.name, pc) in ample
+                if is_ample:
                     expanded = self._expand_step(state, proc_index)
                     if expanded:
                         return expanded
@@ -237,6 +320,8 @@ class ModelChecker:
             from .parallel import run_parallel
 
             return run_parallel(self)
+        if self.fingerprint_mode is not None:
+            return self._run_serial_fp()
         start_time = time.perf_counter()
         spec = self.spec
         if self.use_por and self.validate_por_hints:
@@ -328,9 +413,157 @@ class ModelChecker:
                 self._check_liveness(states, edges, depth, trace_to))
 
         elapsed = time.perf_counter() - start_time
+        stats = {"engine": "serial"}
+        self._record_auto_choice(stats)
         result = CheckResult(not violations, len(states), transitions,
-                             diameter, elapsed, violations,
-                             stats={"engine": "serial"})
+                             diameter, elapsed, violations, stats=stats)
+        if self.registry is not None:
+            self._report_metrics(result)
+        return result
+
+    def _record_auto_choice(self, stats: dict) -> None:
+        """Record what ``workers="auto"`` resolved to (satellite of §3.7).
+
+        The choice is machine-dependent, so it lives in ``stats`` (which
+        :meth:`CheckResult.to_json` excludes) rather than the canonical
+        outcome.
+        """
+        if self.workers_requested == "auto":
+            stats["workers_requested"] = "auto"
+            stats["host_cpus"] = self.auto_host_cpus
+            stats["workers"] = self.workers
+
+    def _run_serial_fp(self) -> CheckResult:
+        """Serial BFS deduplicating by 64-bit fingerprint only.
+
+        The TLC-style memory regime: ``seen`` maps fingerprint ints to
+        state indices instead of keeping every canonical state hashable
+        in a dict (and no raw-successor memo — every successor is
+        re-fingerprinted, which is exactly the cost the incremental mode
+        attacks).  ``fingerprint_mode="full"`` re-encodes the entire
+        canonical state per successor; ``"incremental"`` re-digests only
+        the slots the step wrote (per :func:`~repro.spec.lang.changed_slots`)
+        against the parent's cached digest vector, falling back to a full
+        vector when symmetry canonicalization replaced the state.  Both
+        produce the same fingerprints as :func:`fingerprint_state`, so
+        the :meth:`CheckResult.to_json` outcome is byte-identical to the
+        default engine's (the differential tests enforce this).
+        """
+        from .fingerprint import IncrementalFingerprinter
+
+        start_time = time.perf_counter()
+        spec = self.spec
+        if self.use_por and self.validate_por_hints:
+            self._reject_unsound_hints()
+        incremental = self.fingerprint_mode == "incremental"
+        fper = IncrementalFingerprinter(spec) if incremental else None
+        init = self._canonical(spec.initial_state())
+        if incremental:
+            init_vec = fper.vector(init)
+            init_fp = fper.fingerprint(init_vec)
+        else:
+            init_vec = None
+            init_fp = fingerprint_state(init)
+        seen: dict[int, int] = {init_fp: 0}
+        states: list[State] = [init]
+        #: Per-state digest vectors (incremental mode only), parallel to
+        #: ``states`` — the cache the update path diffs against.
+        vectors: list = [init_vec]
+        parent: list[tuple[int, str]] = [(-1, "<init>")]
+        depth: list[int] = [0]
+        edges: dict[int, list[int]] = {}
+        violations: list[Violation] = []
+        diameter = 0
+        transitions = 0
+
+        def trace_to(index: int) -> list[tuple[str, State]]:
+            path = []
+            while index >= 0:
+                pred, action = parent[index]
+                path.append((action, states[index]))
+                index = pred
+            return list(reversed(path))
+
+        def check_invariants(index: int) -> bool:
+            view = spec.view(states[index])
+            for name, predicate in spec.invariants.items():
+                if not predicate(view):
+                    violations.append(
+                        Violation("invariant", name, trace_to(index)))
+                    return False
+            return True
+
+        if not check_invariants(0) and self.stop_at_first:
+            return CheckResult(False, 1, 0, 0,
+                               time.perf_counter() - start_time, violations)
+
+        frontier = [0]
+        stop = False
+        while frontier and not stop:
+            next_frontier = []
+            for index in frontier:
+                state = states[index]
+                successors = self._successors(state)
+                edges[index] = []
+                if (self.check_deadlock and not successors
+                        and any(pc is not None and not process.daemon
+                                for process, (pc, _) in zip(
+                                    spec.processes, state.procs))):
+                    violations.append(
+                        Violation("deadlock", "no-enabled-step",
+                                  trace_to(index)))
+                    if self.stop_at_first:
+                        stop = True
+                        break
+                for action, succ in successors:
+                    transitions += 1
+                    canon = self._canonical(succ)
+                    if incremental:
+                        if canon is succ:
+                            # Step semantics copy the parent's slot tuples
+                            # and replace only written slots, so the
+                            # identity diff against the parent's cached
+                            # vector touches just the write footprint.
+                            vec = fper.update(vectors[index], state, succ)
+                        else:
+                            vec = fper.vector(canon)
+                        fp = fper.fingerprint(vec)
+                    else:
+                        vec = None
+                        fp = fingerprint_state(canon)
+                    existing = seen.get(fp)
+                    if existing is not None:
+                        edges[index].append(existing)
+                        continue
+                    new_index = len(states)
+                    seen[fp] = new_index
+                    states.append(canon)
+                    vectors.append(vec)
+                    parent.append((index, action))
+                    depth.append(depth[index] + 1)
+                    diameter = max(diameter, depth[new_index])
+                    edges[index].append(new_index)
+                    if not check_invariants(new_index) and self.stop_at_first:
+                        stop = True
+                        break
+                    next_frontier.append(new_index)
+                    if len(states) > self.max_states:
+                        raise MemoryError(
+                            f"state space exceeds {self.max_states} states")
+                if stop:
+                    break
+            frontier = next_frontier
+
+        if not stop and spec.eventually_always:
+            violations.extend(
+                self._check_liveness(states, edges, depth, trace_to))
+
+        elapsed = time.perf_counter() - start_time
+        stats = {"engine": "serial",
+                 "fingerprint_mode": self.fingerprint_mode}
+        self._record_auto_choice(stats)
+        result = CheckResult(not violations, len(states), transitions,
+                             diameter, elapsed, violations, stats=stats)
         if self.registry is not None:
             self._report_metrics(result)
         return result

@@ -64,11 +64,12 @@ import hashlib
 import marshal
 from typing import Iterable, Optional
 
-from .lang import State
+from .lang import State, changed_slots
 
 __all__ = [
     "FingerprintCollisionError",
     "FingerprintStore",
+    "IncrementalFingerprinter",
     "canonical_bytes",
     "fingerprint_bytes",
     "fingerprint_state",
@@ -179,6 +180,89 @@ def fingerprint_state(state: State) -> int:
 def shard_of(fp: int) -> int:
     """The global shard (by fingerprint prefix) owning ``fp``."""
     return fp >> (64 - _SHARD_BITS)
+
+
+class IncrementalFingerprinter:
+    """Fingerprints via per-slot digests, updated along transitions.
+
+    Re-encoding a whole state per successor costs ~20us on controller
+    states; a step typically writes one or two slots.  This fingerprint
+    represents a state as the concatenation of one 8-byte BLAKE2b
+    digest per *slot* (each global variable, then each process's
+    (pc, locals) pair) and hashes that fixed-width **vector** to the
+    64-bit fingerprint.  A successor's vector is the parent's with only
+    the transition's written slots re-digested — the dirty set comes
+    from :func:`repro.spec.lang.changed_slots`, the slot-identity diff
+    that is exact for the step's write footprint.
+
+    Equality faithfulness: slot digests go through the same ``_norm``
+    canonicalization as :func:`canonical_bytes`, so two states equal
+    under Python ``==`` (slot-wise, by construction of ``State``)
+    produce identical vectors; distinct states produce distinct vectors
+    up to 64-bit digest collisions — the same collision model as full
+    fingerprints, property-tested against them in the spec suite.  The
+    incremental fingerprint *value* differs from ``fingerprint_state``
+    (different encoding); only equality structure is shared, which is
+    all a seen-set needs.
+
+    Slot values recur massively across states (a queue tail, a settled
+    switch table), so digests are memoized by value up to
+    ``cache_limit`` entries; past the limit the fingerprinter keeps
+    working, just without new memo entries.
+    """
+
+    _DIGEST_SIZE = 8
+
+    def __init__(self, spec, cache_limit: int = 1 << 17):
+        self.nglobals = len(spec.global_names)
+        self.nprocs = len(spec.processes)
+        self.cache_limit = cache_limit
+        self._cache: dict = {}
+
+    def _digest(self, value) -> bytes:
+        cache = self._cache
+        digest = cache.get(value)
+        if digest is None:
+            digest = hashlib.blake2b(
+                marshal.dumps(_norm(value), 0),
+                digest_size=self._DIGEST_SIZE).digest()
+            if len(cache) < self.cache_limit:
+                cache[value] = digest
+        return digest
+
+    def vector(self, state: State) -> bytes:
+        """The full per-slot digest vector of ``state`` (from scratch)."""
+        digest = self._digest
+        parts = [digest(value) for value in state.globals_]
+        parts.extend(digest(slot) for slot in state.procs)
+        return b"".join(parts)
+
+    def update(self, parent_vector: bytes, parent: State,
+               successor: State) -> bytes:
+        """``successor``'s vector from its parent's, re-digesting only
+        the transition's written slots.  ``successor`` must be the raw
+        successor produced from ``parent`` (see ``changed_slots``)."""
+        dirty_globals, dirty_procs = changed_slots(parent, successor)
+        if not dirty_globals and not dirty_procs:
+            return parent_vector
+        size = self._DIGEST_SIZE
+        vec = bytearray(parent_vector)
+        for index in dirty_globals:
+            vec[index * size:(index + 1) * size] = \
+                self._digest(successor.globals_[index])
+        base = self.nglobals
+        for index in dirty_procs:
+            offset = (base + index) * size
+            vec[offset:offset + size] = self._digest(successor.procs[index])
+        return bytes(vec)
+
+    def fingerprint(self, vector: bytes) -> int:
+        """Fold a digest vector to the 64-bit fingerprint."""
+        return fingerprint_bytes(vector)
+
+    def fingerprint_state(self, state: State) -> int:
+        """Convenience: the incremental-scheme fingerprint of a state."""
+        return self.fingerprint(self.vector(state))
 
 
 class FingerprintStore:

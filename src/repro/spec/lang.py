@@ -37,6 +37,7 @@ __all__ = [
     "State",
     "ack_pop",
     "ack_read",
+    "changed_slots",
     "fifo_put",
     "fifo_get",
     "NULL",
@@ -128,6 +129,29 @@ class State:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"State(g={self.globals_}, p={self.procs})"
+
+
+def changed_slots(parent: State, successor: State) -> tuple[list, list]:
+    """Slot indices where ``successor`` differs from ``parent``.
+
+    This is the per-transition write footprint, made exact by object
+    identity: :class:`Ctx` copies the parent's slot tuples and only
+    replaces what the step wrote (``_successor`` rebuilds the executing
+    process's slot and ``reset_peer`` the crashed peers'), so a slot
+    holding a *different object* is exactly a slot the step may have
+    changed.  Identity is an over-approximation of inequality — a step
+    rewriting an equal value yields a fresh object — which is safe for
+    the incremental fingerprinter (it just re-digests an unchanged
+    value).  Only valid for a raw successor against the very state its
+    Ctx was built from; unrelated states share no slot objects.
+    """
+    dirty_globals = [index for index, (a, b)
+                     in enumerate(zip(parent.globals_, successor.globals_))
+                     if a is not b]
+    dirty_procs = [index for index, (a, b)
+                   in enumerate(zip(parent.procs, successor.procs))
+                   if a is not b]
+    return dirty_globals, dirty_procs
 
 
 class Ctx:

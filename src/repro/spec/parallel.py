@@ -107,7 +107,8 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
         checker = ModelChecker(
             spec, symmetry=options["symmetry"], por=options["por"],
             check_deadlock=options["check_deadlock"],
-            validate_por_hints=False)
+            validate_por_hints=False,
+            por_deps=options.get("por_deps", False))
         exact = options["exact"]
         need_liveness = bool(spec.eventually_always)
         live_predicates = list(spec.eventually_always.values())
@@ -382,6 +383,7 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
         "por": checker.use_por,
         "check_deadlock": checker.check_deadlock,
         "exact": checker.exact_fingerprints,
+        "por_deps": checker.use_por_deps,
     }
     pool = _Pool(nworkers, source, options)
     try:
@@ -499,6 +501,7 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
             "dedup_hits": total_duplicates,
             "exact": checker.exact_fingerprints,
         })
+    checker._record_auto_choice(result.stats)
     if explore_s > 0:
         result.stats["states_per_s"] = round(total_states / explore_s, 1)
     return result

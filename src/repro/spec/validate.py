@@ -38,6 +38,8 @@ _PARALLEL_EXTRA = (
     ("speedup", (int, float)),
     ("match", bool),
 )
+_FP_EXTRA = (("match", bool),)
+_FP_INCREMENTAL_EXTRA = _FP_EXTRA + (("speedup_vs_full", (int, float)),)
 
 
 def _check_run(run: Any, where: str, fields, problems: list[str]) -> None:
@@ -100,6 +102,22 @@ def validate_artifact(artifact: Any) -> list[str]:
                     problems.append(
                         f"{where}: serial.{key}={serial[key]!r} != "
                         f"parallel.{key}={parallel[key]!r}")
+        serial_fp = entry.get("serial_fp")
+        if not isinstance(serial_fp, dict):
+            problems.append(f"{where}.serial_fp section must be an object")
+            serial_fp = {}
+        _check_run(serial_fp.get("full"), f"{where}.serial_fp.full",
+                   _RUN_FIELDS + _FP_EXTRA, problems)
+        _check_run(serial_fp.get("incremental"),
+                   f"{where}.serial_fp.incremental",
+                   _RUN_FIELDS + _FP_INCREMENTAL_EXTRA, problems)
+        for mode in ("full", "incremental"):
+            run = serial_fp.get(mode)
+            if isinstance(run, dict) and run.get("match") is not True:
+                problems.append(
+                    f"{where}.serial_fp.{mode}.match must be true "
+                    "(fingerprint-dedup run disagreed with the default "
+                    "serial engine)")
 
     bound = artifact.get("collision_bound")
     if not isinstance(bound, dict):
@@ -128,6 +146,22 @@ def validate_artifact(artifact: Any) -> list[str]:
     if enforced is False and gate.get("passed") is not None:
         problems.append("gate.passed must be null when the gate is not "
                         "enforced (too few cores to measure a speedup)")
+
+    fp_gate = artifact.get("fp_gate")
+    if not isinstance(fp_gate, dict):
+        problems.append("missing fp_gate section")
+        fp_gate = {}
+    if not isinstance(fp_gate.get("min_speedup"), (int, float)):
+        problems.append("fp_gate.min_speedup must be a number")
+    if fp_gate.get("enforced") is not True:
+        problems.append("fp_gate.enforced must be true (fingerprint-mode "
+                        "runs are serial; one core measures them)")
+    if not isinstance(fp_gate.get("passed"), bool):
+        problems.append("fp_gate.passed must be a bool")
+    if isinstance(fp_gate.get("spec"), str) and specs \
+            and fp_gate["spec"] not in specs:
+        problems.append(
+            f"fp_gate.spec {fp_gate['spec']!r} not among benched specs")
     return problems
 
 
@@ -148,11 +182,14 @@ def main(argv=None) -> int:
     if not problems:
         specs = artifact.get("specs", {})
         gate = artifact.get("gate", {})
+        fp_gate = artifact.get("fp_gate", {})
         state = ("PASSED" if gate.get("passed")
                  else "failed" if gate.get("enforced")
                  else "not enforced (host too small)")
+        fp_state = "PASSED" if fp_gate.get("passed") else "failed"
         print(f"ok: {len(specs)} specs benched, "
-              f">= {gate.get('min_speedup')}x gate {state}")
+              f">= {gate.get('min_speedup')}x gate {state}, "
+              f">= {fp_gate.get('min_speedup')}x fp gate {fp_state}")
     return 1 if problems else 0
 
 

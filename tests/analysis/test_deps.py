@@ -1,0 +1,321 @@
+"""Unit tests for the static dependence analysis (repro.analysis.deps)."""
+
+import pytest
+
+from repro.analysis import analyze_spec, spec_footprints
+from repro.analysis.deps import (
+    Footprint,
+    cross_process_races,
+    footprints_from_report,
+    independent,
+    program_footprint_report,
+    program_footprints,
+)
+from repro.analysis.effects import infer_effects
+from repro.analysis.report import CROSS_PROCESS_RACE
+from repro.spec import NULL, Spec, SpecProcess, Step
+from repro.spec.lang import ack_pop, ack_read, fifo_get, fifo_put
+from repro.spec.specs import SPEC_SOURCES
+
+from .fixtures import clean_spec, duplicate_claim_spec
+
+
+def _footprint(**overrides):
+    base = dict(process="p", label="s",
+                reads=frozenset(), writes=frozenset(),
+                global_reads=frozenset(), global_writes=frozenset(),
+                local_reads=frozenset(), local_writes=frozenset(),
+                queue_ops=frozenset(), crash_targets=frozenset(),
+                blocked=False, chooses=False, executed=True,
+                tainted=False, sound=True, provenance="dynamic")
+    base.update(overrides)
+    return Footprint(**base)
+
+
+# -- footprint construction ---------------------------------------------------------
+def test_footprints_map_onto_shared_resources():
+    report = spec_footprints(clean_spec())
+    work = report.footprint("worker", "work")
+    # A purely local step: writes its own pc + locals frame, reads its
+    # own locals, touches no plain global.
+    assert work.writes == frozenset({"<pc:worker>", "<locals:worker>"})
+    assert work.global_reads == work.global_writes == frozenset()
+    assert "cur" in work.local_reads and "cur" in work.local_writes
+    finish = report.footprint("worker", "finish")
+    assert "out" in finish.global_reads and "out" in finish.global_writes
+    assert ("ack_pop", "q") in finish.queue_ops
+    # Queue macros read/write the queue global.
+    assert "q" in finish.writes
+    assert report.complete
+    assert all(fp.sound for fp in report.footprints.values())
+
+
+def test_peer_pc_read_and_reset_enter_the_footprint():
+    def watch(ctx):
+        ctx.lset("seen", ctx.peer_pc("victim"))
+
+    def kill(ctx):
+        ctx.block_unless(ctx.get("fuel") > 0)
+        ctx.set("fuel", ctx.get("fuel") - 1)
+        ctx.reset_peer("victim", "spin")
+
+    def spin(ctx):
+        ctx.goto("spin")
+
+    spec = Spec("reset-fixture", {"fuel": 1}, [
+        SpecProcess("watcher", [Step("watch", watch)],
+                    locals_={"seen": NULL}, daemon=True),
+        SpecProcess("killer", [Step("kill", kill)], daemon=True),
+        SpecProcess("victim", [Step("spin", spin)], daemon=True),
+    ])
+    report = spec_footprints(spec)
+    watch = report.footprint("watcher", "watch")
+    assert "<pc:victim>" in watch.reads
+    kill = report.footprint("killer", "kill")
+    assert kill.crash_targets == frozenset({"victim"})
+    assert "<pc:victim>" in kill.writes
+    assert "<locals:victim>" in kill.writes
+    # Reset targets are never ample (crash interleavings must stay).
+    assert ("killer", "kill") not in report.ample_labels()
+
+
+# -- independence -------------------------------------------------------------------
+def test_independent_is_write_disjointness():
+    a = _footprint(process="a", reads=frozenset({"x"}),
+                   writes=frozenset({"<pc:a>"}))
+    b = _footprint(process="b", reads=frozenset({"x"}),
+                   writes=frozenset({"<pc:b>"}))
+    assert independent(a, b)  # read-read sharing commutes
+    c = _footprint(process="b", writes=frozenset({"x", "<pc:b>"}))
+    assert not independent(a, c)  # c writes what a reads
+    assert not independent(c, a)  # symmetric
+
+
+def test_ample_labels_cover_hinted_locals_on_bundled_specs():
+    for name, source in sorted(SPEC_SOURCES.items()):
+        spec = source.build()
+        report = spec_footprints(spec)
+        if not report.complete:
+            continue  # unsound footprints defer to hints by design
+        hinted = {(p.name, s.label) for p in spec.processes
+                  for s in p.steps if s.local}
+        ample = report.ample_labels()
+        assert hinted <= ample, (
+            f"{name}: validated hints {hinted - ample} not derived")
+
+
+def test_property_visibility_blocks_ample():
+    def bump(ctx):
+        ctx.set("x", min(ctx.get("x") + 1, 2))
+        ctx.goto("bump")
+
+    def other(ctx):
+        ctx.done()
+
+    spec = Spec("visible", {"x": 0}, [
+        SpecProcess("bumper", [Step("bump", bump)], daemon=True),
+        SpecProcess("p2", [Step("fin", other)], daemon=True),
+    ], invariants={"Low": lambda view: view["x"] <= 2})
+    report = spec_footprints(spec)
+    assert "x" in report.property_reads
+    # bump writes x, which the invariant reads: C2 fails.
+    assert ("bumper", "bump") not in report.ample_labels()
+
+
+def test_incomplete_inference_yields_unsound_footprints_and_no_ample():
+    report = infer_effects(clean_spec(), max_states=2)
+    assert not report.complete
+    fps = footprints_from_report(report)
+    assert not fps.complete
+    assert all(not fp.sound for fp in fps.footprints.values())
+    assert fps.ample_labels() == frozenset()
+
+
+# -- static NADIR pass --------------------------------------------------------------
+def test_static_pass_keeps_footprints_sound_when_dynamic_truncates():
+    from repro.nadir.interp import program_to_spec
+    from repro.nadir.programs import worker_pool_program
+
+    program = worker_pool_program()
+    spec = program_to_spec(program)
+    assert getattr(spec, "nadir_program", None) is program
+    report = infer_effects(spec, max_states=1)
+    assert not report.complete
+    fps = footprints_from_report(report)
+    assert all(fp.sound for fp in fps.footprints.values())
+    assert all(fp.provenance == "dynamic+static"
+               for fp in fps.footprints.values())
+
+
+def test_program_footprints_match_block_labels():
+    from repro.nadir.programs import worker_pool_program
+
+    program = worker_pool_program()
+    static = program_footprints(program)
+    expected = {(process.name, block.label)
+                for process in program.processes
+                for block in process.blocks}
+    assert set(static) == expected
+    report = program_footprint_report(program)
+    assert set(report.footprints) == expected
+    assert all(fp.sound and fp.provenance == "static"
+               for fp in report.footprints.values())
+
+
+# -- race detection -----------------------------------------------------------------
+def race_wr_spec() -> Spec:
+    """Blind write vs read of the same global, no synchronization."""
+
+    def publish(ctx):
+        ctx.set("slot", 1)
+        ctx.done()
+
+    def consume(ctx):
+        ctx.lset("got", ctx.get("slot"))
+        ctx.done()
+
+    return Spec("race-wr", {"slot": 0}, [
+        SpecProcess("writer", [Step("publish", publish)], daemon=True),
+        SpecProcess("reader", [Step("consume", consume)],
+                    locals_={"got": NULL}, daemon=True),
+    ])
+
+
+def race_ww_spec() -> Spec:
+    """Two blind writers, last write wins nondeterministically."""
+
+    def set_a(ctx):
+        ctx.set("slot", "a")
+        ctx.done()
+
+    def set_b(ctx):
+        ctx.set("slot", "b")
+        ctx.done()
+
+    return Spec("race-ww", {"slot": NULL}, [
+        SpecProcess("pa", [Step("seta", set_a)], daemon=True),
+        SpecProcess("pb", [Step("setb", set_b)], daemon=True),
+    ])
+
+
+def test_detects_blind_write_read_race():
+    races = cross_process_races(spec_footprints(race_wr_spec()))
+    assert [(r.global_name, r.writer, r.kind) for r in races] == [
+        ("slot", ("writer", "publish"), "read-write")]
+
+
+def test_detects_write_write_race_both_directions():
+    races = cross_process_races(spec_footprints(race_ww_spec()))
+    kinds = {(r.writer, r.kind) for r in races}
+    assert kinds == {(("pa", "seta"), "write-write"),
+                     (("pb", "setb"), "write-write")}
+
+
+def test_rmw_exemption():
+    """A same-label read makes the write a guarded RMW, not blind."""
+
+    def rmw(ctx):
+        if ctx.get("slot") is NULL:
+            ctx.set("slot", 1)
+        ctx.done()
+
+    def consume(ctx):
+        ctx.lset("got", ctx.get("slot"))
+        ctx.done()
+
+    spec = Spec("race-rmw", {"slot": NULL}, [
+        SpecProcess("writer", [Step("rmw", rmw)], daemon=True),
+        SpecProcess("reader", [Step("consume", consume)],
+                    locals_={"got": NULL}, daemon=True),
+    ])
+    assert cross_process_races(spec_footprints(spec)) == []
+
+
+def test_queue_macro_exemption():
+    """fifo traffic is ordered by the queue protocol, never a race."""
+
+    def put(ctx):
+        fifo_put(ctx, "q", 1)
+        ctx.done()
+
+    def get(ctx):
+        ctx.block_unless(len(ctx.get("q")) > 0)
+        ctx.lset("got", fifo_get(ctx, "q"))
+        ctx.done()
+
+    spec = Spec("queue-sync", {"q": ()}, [
+        SpecProcess("producer", [Step("put", put)], daemon=True),
+        SpecProcess("consumer", [Step("get", get)],
+                    locals_={"got": NULL}, daemon=True),
+    ])
+    assert cross_process_races(spec_footprints(spec)) == []
+
+
+def test_ack_queue_exemption():
+    """Declared ack-discipline queues have their own lint rules."""
+
+    def read(ctx):
+        ctx.lset("cur", ack_read(ctx, "q"))
+        ack_pop(ctx, "q")
+        ctx.done()
+
+    def refill(ctx):
+        ctx.set("q", (9,))
+        ctx.done()
+
+    spec = Spec("ack-sync", {"q": (1,)}, [
+        SpecProcess("worker", [Step("read", read)],
+                    locals_={"cur": NULL}, daemon=True),
+        SpecProcess("refiller", [Step("refill", refill)], daemon=True),
+    ], ack_queues=frozenset({"q"}))
+    assert cross_process_races(spec_footprints(spec)) == []
+
+
+def test_reset_synchronized_exemption():
+    """A crash daemon blind-writing its victim's slot is not a race."""
+
+    def crash(ctx):
+        ctx.block_unless(ctx.get("fuel") > 0)
+        ctx.set("fuel", ctx.get("fuel") - 1)
+        ctx.set("victim_state", "down")
+        ctx.reset_peer("victim", "boot")
+
+    def boot(ctx):
+        ctx.set("victim_state", "up")
+        ctx.goto("serve")
+
+    def serve(ctx):
+        ctx.lset("seen", ctx.get("victim_state"))
+        ctx.goto("serve")
+
+    spec = Spec("reset-sync", {"fuel": 1, "victim_state": "up"}, [
+        SpecProcess("failure", [Step("crash", crash)], daemon=True),
+        SpecProcess("victim", [Step("boot", boot), Step("serve", serve)],
+                    locals_={"seen": NULL}, daemon=True),
+    ])
+    races = cross_process_races(spec_footprints(spec))
+    assert [r for r in races if r.global_name == "victim_state"] == []
+
+
+def test_sec39_duplicate_claim_race_found_and_fix_clean():
+    buggy = cross_process_races(spec_footprints(duplicate_claim_spec(False)))
+    assert any(r.global_name == "claim"
+               and r.writer == ("dispatcher", "assign") for r in buggy)
+    fixed = cross_process_races(spec_footprints(duplicate_claim_spec(True)))
+    assert not any(r.writer == ("dispatcher", "assign") for r in fixed)
+
+
+def test_analyze_spec_deps_reports_race_findings():
+    result = analyze_spec(race_wr_spec(), deps=True)
+    races = [f for f in result.findings if f.rule == CROSS_PROCESS_RACE]
+    assert len(races) == 1
+    assert "slot" in races[0].message
+    # Without deps the pass does not run.
+    result = analyze_spec(race_wr_spec(), deps=False)
+    assert not [f for f in result.findings if f.rule == CROSS_PROCESS_RACE]
+
+
+def test_bundled_specs_race_clean():
+    for name, source in sorted(SPEC_SOURCES.items()):
+        report = spec_footprints(source.build())
+        assert cross_process_races(report) == [], name

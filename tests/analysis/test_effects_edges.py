@@ -1,0 +1,199 @@
+"""Edge-path coverage for effect inference (repro.analysis.effects).
+
+Covers the paths the main effects suite leaves dark: undeclared
+variables in both scopes, property recording through
+``RecordingView.local`` / ``.pc``, ``StepEffect.merge_run`` semantics
+on incomplete runs, the per-spec inference cache, and the
+incomplete-effects lint finding.
+"""
+
+import pytest
+
+from repro.analysis import analyze_spec
+from repro.analysis.effects import (
+    EffectCtx,
+    RecordingView,
+    UndeclaredVariable,
+    infer_effects,
+    infer_effects_cached,
+)
+from repro.analysis.report import INCOMPLETE_EFFECTS
+from repro.spec import NULL, Spec, SpecProcess, Step
+
+
+def _spec(steps, globals_=None, locals_=None, **kwargs):
+    return Spec("edge-fixture", dict(globals_ or {}), [
+        SpecProcess("p", steps, locals_=dict(locals_ or {}), daemon=True),
+    ], **kwargs)
+
+
+# -- undeclared variables -----------------------------------------------------------
+def test_undeclared_global_read_recorded_and_raised():
+    def step(ctx):
+        ctx.get("ghost")
+
+    report = infer_effects(_spec([Step("s", step)]))
+    effect = report.effect("p", "s")
+    assert ("global", "ghost") in effect.undeclared
+    assert not effect.executed  # the run died before completing
+
+
+def test_undeclared_global_write_recorded():
+    def step(ctx):
+        ctx.set("ghost", 1)
+
+    report = infer_effects(_spec([Step("s", step)]))
+    assert ("global", "ghost") in report.effect("p", "s").undeclared
+
+
+def test_undeclared_local_both_directions_recorded():
+    def reader(ctx):
+        ctx.lget("phantom")
+
+    def writer(ctx):
+        ctx.lset("phantom", 1)
+
+    for fn in (reader, writer):
+        report = infer_effects(_spec([Step("s", fn)]))
+        assert ("local", "phantom") in report.effect("p", "s").undeclared
+
+
+def test_undeclared_variable_exception_carries_scope_and_name():
+    with pytest.raises(UndeclaredVariable) as exc_info:
+        raise UndeclaredVariable("local", "phantom")
+    assert exc_info.value.scope == "local"
+    assert exc_info.value.name == "phantom"
+    assert "phantom" in str(exc_info.value)
+
+
+# -- merge_run on incomplete runs ---------------------------------------------------
+def test_merge_run_incomplete_keeps_reads_but_not_queue_sequence():
+    """A blocked attempt's reads count; its op sequence does not."""
+
+    def step(ctx):
+        ctx.get("gate")
+        ctx.block_unless(ctx.get("gate"))
+        ctx.set("out", 1)
+
+    report = infer_effects(_spec([Step("s", step)],
+                                 globals_={"gate": False, "out": 0}))
+    effect = report.effect("p", "s")
+    assert "gate" in effect.global_reads
+    assert effect.blocked
+    # The write never happened on any completed run.
+    assert "out" not in effect.global_writes
+    assert not effect.executed
+    assert effect.queue_sequences == set()
+
+
+def test_partial_writes_before_blocking_are_recorded():
+    """Writes on the failed path are real evidence (Ctx is discarded,
+    but the *effect* — what the step can touch — must include them)."""
+
+    def step(ctx):
+        ctx.set("scratch", 1)
+        ctx.block_unless(ctx.get("gate"))
+
+    report = infer_effects(_spec([Step("s", step)],
+                                 globals_={"scratch": 0, "gate": False}))
+    effect = report.effect("p", "s")
+    assert "scratch" in effect.global_writes
+    assert effect.blocked
+
+
+# -- RecordingView ------------------------------------------------------------------
+def test_recording_view_records_local_and_pc_reads():
+    def idle(ctx):
+        ctx.goto("s")
+
+    def watching_locals(view):
+        return view.local("p", "x") == 0
+
+    def watching_pc(view):
+        return view.pc("p") is not None
+
+    spec = _spec([Step("s", idle)], locals_={"x": 0},
+                 invariants={"Locals": watching_locals,
+                             "Pc": watching_pc})
+    report = infer_effects(spec)
+    assert ("p", "x") in report.property_local_reads
+    assert "p" in report.property_pc_reads
+
+
+def test_recording_view_survives_property_exceptions():
+    def idle(ctx):
+        ctx.goto("s")
+
+    def exploding(view):
+        view["x"]
+        raise RuntimeError("boom")
+
+    spec = _spec([Step("s", idle)], globals_={"x": 0},
+                 invariants={"Boom": exploding})
+    report = infer_effects(spec)
+    assert "x" in report.property_reads  # reads before the raise count
+
+
+# -- inference cache ----------------------------------------------------------------
+def test_infer_effects_cached_reuses_complete_reports():
+    def idle(ctx):
+        ctx.goto("s")
+
+    spec = _spec([Step("s", idle)])
+    first = infer_effects_cached(spec, max_states=100)
+    assert first.complete
+    # A complete report subsumes any budget, even a larger one.
+    assert infer_effects_cached(spec, max_states=10_000) is first
+    # A distinct spec object gets its own inference.
+    other = _spec([Step("s", idle)])
+    assert infer_effects_cached(other, max_states=100) is not first
+
+
+def test_infer_effects_cached_reruns_when_budget_grows():
+    source = __import__("repro.spec.specs",
+                        fromlist=["SPEC_SOURCES"]).SPEC_SOURCES["controller"]
+    spec = source.build()
+    small = infer_effects_cached(spec, max_states=2)
+    assert not small.complete
+    # Same or smaller budget: reuse despite incompleteness.
+    assert infer_effects_cached(spec, max_states=2) is small
+    bigger = infer_effects_cached(spec, max_states=10_000)
+    assert bigger is not small
+    assert bigger.complete
+
+
+def test_checker_revalidation_uses_the_cache(monkeypatch):
+    """Two check() calls on one spec object infer effects only once."""
+    from repro.analysis import effects as effects_module
+    from repro.spec.checker import ModelChecker
+    from repro.spec.specs import SPEC_SOURCES
+
+    calls = []
+    real = effects_module.infer_effects
+
+    def counting(spec, **kwargs):
+        calls.append(spec)
+        return real(spec, **kwargs)
+
+    monkeypatch.setattr(effects_module, "infer_effects", counting)
+    spec = SPEC_SOURCES["te-app"].build()
+    ModelChecker(spec).run()
+    ModelChecker(spec, por_deps=True).run()
+    assert len(calls) == 1
+
+
+# -- the incomplete-effects finding -------------------------------------------------
+def test_incomplete_effects_warning_and_strict_failure():
+    from repro.spec.specs import SPEC_SOURCES
+
+    spec = SPEC_SOURCES["controller"].build()
+    result = analyze_spec(spec, max_states=2)
+    findings = [f for f in result.findings
+                if f.rule == INCOMPLETE_EFFECTS]
+    assert len(findings) == 1
+    assert findings[0].severity == "warning"
+    assert "--max-states" in findings[0].message
+    # A completed inference produces no such finding.
+    clean = analyze_spec(SPEC_SOURCES["te-app"].build())
+    assert not [f for f in clean.findings
+                if f.rule == INCOMPLETE_EFFECTS]

@@ -9,23 +9,40 @@ from repro.spec.specs import SPEC_SOURCES
 from repro.nadir.programs import drain_app_program, worker_pool_program
 
 
+#: Enough for every bundled spec's effect inference to complete (the
+#: two ~100k-state specs included), so soundness-dependent passes run
+#: and no incomplete-effects warning fires — the same budget the lint
+#: CLI defaults to.
+FULL_BUDGET = 200_000
+
+
 @pytest.mark.parametrize("name", sorted(SPEC_SOURCES))
 def test_shipped_spec_is_clean(name):
-    result = A.analyze_spec(SPEC_SOURCES[name].build())
+    result = A.analyze_spec(SPEC_SOURCES[name].build(),
+                            max_states=FULL_BUDGET, deps=True)
     assert result.findings == [], [f.render() for f in result.findings]
 
 
 @pytest.mark.parametrize("program_factory",
                          [drain_app_program, worker_pool_program])
 def test_shipped_nadir_program_is_clean(program_factory):
-    result = A.analyze_program(program_factory())
+    result = A.analyze_program(program_factory(), deps=True)
     assert result.findings == [], [f.render() for f in result.findings]
 
 
 def test_cli_lint_strict_passes(capsys):
-    assert _run_lint(None, as_json=False, strict=True) == 0
+    assert _run_lint(None, as_json=False, strict=True, deps=True) == 0
     out = capsys.readouterr().out
     assert "0 error(s), 0 warning(s)" in out
+
+
+def test_cli_lint_truncated_budget_fails_strict(capsys):
+    """A budget too small to complete inference must surface as an
+    incomplete-effects warning — and fail the strict gate."""
+    assert _run_lint("controller-large", as_json=False, strict=True,
+                     max_states=50) == 1
+    out = capsys.readouterr().out
+    assert "incomplete-effects" in out
 
 
 def test_cli_lint_single_target_json(capsys):
