@@ -51,7 +51,12 @@ Two steps of different processes are **independent** when neither
 writes a resource the other reads or writes — they commute and
 preserve each other's enabledness, which is conditions C1 of the ample
 method.  Invisibility (C2) is checked against the resources properties
-were observed reading.
+were observed reading — trustworthy only when properties were
+evaluated on *every* reachable state
+(``FootprintReport.property_visibility_sound``); otherwise no label is
+derived and POR falls back to the validated hints.  The cycle proviso
+(C3) drops candidates on ample-only control-flow cycles so the reduced
+search cannot ignore other processes forever.
 """
 
 from __future__ import annotations
@@ -111,6 +116,12 @@ class Footprint:
     #: or a static NADIR pass covered the label).
     sound: bool
     provenance: str  # "dynamic" | "static" | "dynamic+static"
+    #: Global accesses made *outside* queue macros — the subset of
+    #: ``global_reads``/``global_writes`` the queue discipline does not
+    #: mediate.  The race detector exempts a label's contact with a
+    #: queue global only when these are empty for it.
+    raw_global_reads: frozenset = frozenset()
+    raw_global_writes: frozenset = frozenset()
 
     @property
     def key(self) -> tuple:
@@ -152,6 +163,20 @@ class FootprintReport:
     ack_queues: frozenset = frozenset()
     complete: bool = True
     states_explored: int = 0
+    #: (process, label) -> frozenset of successor labels (None = the
+    #: process terminates).  Over-approximate for sound footprints:
+    #: exact from a completed dynamic exploration, all-syntactic-paths
+    #: from the static pass, unioned when both exist.
+    successors: dict = field(default_factory=dict)
+    #: The property read sets below are exhaustive (properties were
+    #: evaluated on every reachable state).  Short-circuiting
+    #: properties read different variables on different states, so
+    #: sampled or truncated evaluation under-approximates them — and a
+    #: missed read would let :meth:`ample_labels` judge a writing step
+    #: invisible (C2) and prune property-visible interleavings.  When
+    #: False, no label is derived ample; POR defers to the validated
+    #: ``Step.local=True`` hints.
+    property_visibility_sound: bool = False
 
     def footprint(self, process: str, label: str) -> Footprint:
         return self.footprints[(process, label)]
@@ -178,7 +203,22 @@ class FootprintReport:
         footprint, since independence is disjointness of *complete*
         access sets.  This derives the ``Step.local=True`` contract
         from first principles instead of trusting the hint.
+
+        Two report-level gates guard the per-label conditions:
+
+        * C2 is checked against observed property read sets, which are
+          trustworthy only when ``property_visibility_sound`` — i.e.
+          properties were evaluated on every reachable state.  If not,
+          *no* label is derived (POR falls back to validated hints).
+        * C3 (cycle proviso): a control-flow cycle consisting solely of
+          derived-ample labels would let the reduced search expand one
+          process forever and ignore the others' transitions from every
+          state on the cycle.  Candidates lying on an ample-only cycle
+          of their process's successor graph are therefore dropped, so
+          every cycle retains at least one fully expanded label.
         """
+        if not self.property_visibility_sound:
+            return frozenset()
         fps = list(self.footprints.values())
         ample = set()
         for fp in fps:
@@ -197,7 +237,44 @@ class FootprintReport:
                     break
             if ok:
                 ample.add(fp.key)
-        return frozenset(ample)
+        return frozenset(ample - self._ample_only_cycles(ample))
+
+    def _ample_only_cycles(self, ample: set) -> set:
+        """Candidates on a same-process cycle made only of candidates.
+
+        Any cycle of the reduced state graph is, per participating
+        process, a cycle in that process's label successor graph with
+        every executed label ample — so keeping the candidate-restricted
+        successor graphs acyclic guarantees every reduced-graph cycle
+        contains a fully expanded state (condition C3).  A candidate
+        with no recorded successor set is treated as potentially cyclic.
+        """
+        doomed = set()
+        by_process: dict = {}
+        for process, label in ample:
+            by_process.setdefault(process, set()).add(label)
+        for process, labels in by_process.items():
+            graph = {}
+            for label in labels:
+                succ = self.successors.get((process, label))
+                if succ is None:
+                    doomed.add((process, label))
+                    continue
+                graph[label] = {s for s in succ if s in labels}
+            for label in graph:
+                # DFS: can ``label`` reach itself through candidates?
+                stack = list(graph[label])
+                seen = set()
+                while stack:
+                    node = stack.pop()
+                    if node == label:
+                        doomed.add((process, label))
+                        break
+                    if node in seen or node not in graph:
+                        continue
+                    seen.add(node)
+                    stack.extend(graph[node])
+        return doomed
 
 
 def _resources(process: str, global_reads, global_writes, local_reads,
@@ -235,12 +312,16 @@ def footprints_from_report(report: EffectReport,
     static = program_footprints(program) if program is not None else {}
 
     footprints = {}
+    successors: dict = {}
     for (process, label), effect in report.effects.items():
         s = static.get((process, label))
         global_reads = {n for n in effect.global_reads
                         if not n.startswith("<")}
         pc_reads = {n for n in effect.global_reads if n.startswith("<")}
         global_writes = set(effect.global_writes)
+        raw_global_reads = {n for n in effect.raw_global_reads
+                            if not n.startswith("<")}
+        raw_global_writes = set(effect.raw_global_writes)
         local_reads = set(effect.local_reads)
         local_writes = set(effect.local_writes)
         queue_ops = set(effect.queue_ops)
@@ -249,13 +330,20 @@ def footprints_from_report(report: EffectReport,
         chooses = bool(effect.choice_arities)
         executed = effect.executed
         provenance = "dynamic"
+        # Successor labels: observed next pcs and goto targets (exact
+        # when the exploration completed), unioned with the static
+        # all-paths successors when the label is statically covered.
+        succ = set(effect.next_labels) | set(effect.goto_targets)
         if s is not None:
             global_reads |= s.global_reads
             global_writes |= s.global_writes
+            raw_global_reads |= s.raw_global_reads
+            raw_global_writes |= s.raw_global_writes
             local_reads |= s.local_reads
             local_writes |= s.local_writes
             queue_ops |= s.queue_ops
             blocked = blocked or s.blocking
+            succ |= s.next_labels | s.goto_targets
             # A statically covered block can always be attempted (its
             # guard may refuse, which ``blocked`` records).
             executed = True
@@ -263,6 +351,7 @@ def footprints_from_report(report: EffectReport,
         reads, writes = _resources(process, global_reads, global_writes,
                                    local_reads, local_writes, resets)
         reads |= pc_reads
+        successors[(process, label)] = frozenset(succ)
         footprints[(process, label)] = Footprint(
             process=process, label=label,
             reads=reads, writes=writes,
@@ -275,7 +364,9 @@ def footprints_from_report(report: EffectReport,
             blocked=blocked, chooses=chooses, executed=executed,
             tainted=bool(effect.undeclared),
             sound=report.complete or s is not None,
-            provenance=provenance)
+            provenance=provenance,
+            raw_global_reads=frozenset(raw_global_reads),
+            raw_global_writes=frozenset(raw_global_writes))
 
     return FootprintReport(
         spec=spec, target=spec.name, footprints=footprints,
@@ -284,13 +375,23 @@ def footprints_from_report(report: EffectReport,
         property_pc_reads=frozenset(report.property_pc_reads),
         ack_queues=report.ack_queues(),
         complete=report.complete,
-        states_explored=report.states_explored)
+        states_explored=report.states_explored,
+        successors=successors,
+        property_visibility_sound=report.property_reads_complete)
 
 
 def spec_footprints(spec: Spec, max_states: int = 4000,
-                    program=None) -> FootprintReport:
-    """Infer effects (cached per spec object) and derive footprints."""
-    report = infer_effects_cached(spec, max_states=max_states)
+                    program=None,
+                    property_samples: Optional[int] = None
+                    ) -> FootprintReport:
+    """Infer effects (cached per spec object) and derive footprints.
+
+    ``property_samples`` defaults to ``None`` — evaluate properties on
+    every explored state — because a sampled property pass makes C2
+    untrustworthy and disables ample-set derivation entirely.
+    """
+    report = infer_effects_cached(spec, max_states=max_states,
+                                  property_samples=property_samples)
     return footprints_from_report(report, program=program)
 
 
@@ -315,13 +416,19 @@ def program_footprint_report(program) -> FootprintReport:
     """A purely static FootprintReport for a NADIR program.
 
     Used by the AST-level lint pipeline, where no dynamic observations
-    exist; every footprint is sound (the walk covers all paths).
+    exist; every footprint is sound (the walk covers all paths).  No
+    property was ever evaluated here, so ``property_visibility_sound``
+    stays False and the report never licenses ample-set derivation —
+    it only feeds the race detector.
     """
     footprints = {}
+    successors = {}
     for (process, label), s in program_footprints(program).items():
         reads, writes = _resources(process, s.global_reads,
                                    s.global_writes, s.local_reads,
                                    s.local_writes, ())
+        successors[(process, label)] = frozenset(s.next_labels
+                                                 | s.goto_targets)
         footprints[(process, label)] = Footprint(
             process=process, label=label, reads=reads, writes=writes,
             global_reads=frozenset(s.global_reads),
@@ -331,10 +438,13 @@ def program_footprint_report(program) -> FootprintReport:
             queue_ops=frozenset(s.queue_ops),
             crash_targets=frozenset(),
             blocked=s.blocking, chooses=False, executed=True,
-            tainted=False, sound=True, provenance="static")
+            tainted=False, sound=True, provenance="static",
+            raw_global_reads=frozenset(s.raw_global_reads),
+            raw_global_writes=frozenset(s.raw_global_writes))
     return FootprintReport(
         spec=None, target=program.name, footprints=footprints,
-        ack_queues=frozenset(program.ack_queues))
+        ack_queues=frozenset(program.ack_queues),
+        successors=successors)
 
 
 # -- race detection -----------------------------------------------------------------
@@ -350,14 +460,6 @@ class Race:
     kind: str  # "write-write" | "read-write"
 
 
-def _macro_mediated(fp: Footprint, name: str) -> bool:
-    """Did every access of ``name`` by this label go through a queue
-    macro?  Queue macros read/write the queue global internally, so a
-    label whose only contact with ``name`` is via its own queue ops is
-    synchronized by the queue discipline, not racing on raw state."""
-    return name in {queue for _kind, queue in fp.queue_ops}
-
-
 def cross_process_races(report: FootprintReport) -> list:
     """Conflicting cross-label W/W and R/W pairs on shared globals.
 
@@ -367,20 +469,29 @@ def cross_process_races(report: FootprintReport) -> list:
     also reads or writes it is flagged, unless one of the recognized
     synchronization disciplines applies:
 
-    * the global is an ack-discipline queue, or both sides only touch
-      it through queue macros (the queue protocol orders them);
+    * the global is an ack-discipline queue, or the access went through
+      a queue macro (the queue protocol orders macro traffic);
     * the writer re-reads the global in the same atomic step (RMW —
       the §3.9 pattern the shipped specs use);
     * the pair is *reset-synchronized*: one label crashes the other's
       process (the reset itself establishes the ordering the blind
       write relies on — e.g. a failure daemon wiping a worker's slot
       while resetting the worker).
+
+    All checks run over the **raw** access sets — the accesses made
+    outside queue macros.  For plain globals these equal the full sets;
+    for queue globals they exclude the macro-internal traffic, so a
+    macro-only label is never a blind writer (nor a conflicting other),
+    while a label mixing a queue op with a raw unsynchronized access to
+    the same queue global still participates with that raw access (the
+    macro's internal read does not guard, and its discipline does not
+    mediate, a raw write alongside it).
     """
     races = []
     fps = list(report.footprints.values())
     accesses: dict = {}
     for fp in fps:
-        for name in fp.global_reads | fp.global_writes:
+        for name in fp.raw_global_reads | fp.raw_global_writes:
             accesses.setdefault(name, []).append(fp)
 
     for name in sorted(accesses):
@@ -388,22 +499,19 @@ def cross_process_races(report: FootprintReport) -> list:
             continue
         users = accesses[name]
         for fp in users:
-            if name not in fp.global_writes or name in fp.global_reads:
-                continue  # not a write, or an RMW — not blind
-            if _macro_mediated(fp, name):
-                continue
+            if (name not in fp.raw_global_writes
+                    or name in fp.raw_global_reads):
+                continue  # not a raw write, or a raw RMW — not blind
             for other in users:
                 if other.process == fp.process:
-                    continue
-                if _macro_mediated(other, name):
                     continue
                 # Reset-synchronized pairs: the crash orders them.
                 if (other.process in fp.crash_targets
                         or fp.process in other.crash_targets):
                     continue
-                if name in other.global_writes:
+                if name in other.raw_global_writes:
                     kind = "write-write"
-                elif name in other.global_reads:
+                elif name in other.raw_global_reads:
                     kind = "read-write"
                 else:  # pragma: no cover - accesses index guarantees one
                     continue
@@ -411,7 +519,7 @@ def cross_process_races(report: FootprintReport) -> list:
                     global_name=name,
                     writer=(fp.process, fp.label),
                     other=(other.process, other.label,
-                           "write" if name in other.global_writes
+                           "write" if name in other.raw_global_writes
                            else "read"),
                     kind=kind))
     races.sort(key=lambda r: (r.global_name, r.writer, r.other))

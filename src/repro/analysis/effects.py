@@ -53,6 +53,12 @@ class StepEffect:
     label: str
     global_reads: set = field(default_factory=set)
     global_writes: set = field(default_factory=set)
+    #: Global accesses made outside queue macros — ``global_reads`` /
+    #: ``global_writes`` minus the macro-internal queue traffic.  The
+    #: race detector exempts macro-mediated contact with a queue global
+    #: only when no raw access accompanies it.
+    raw_global_reads: set = field(default_factory=set)
+    raw_global_writes: set = field(default_factory=set)
     local_reads: set = field(default_factory=set)
     local_writes: set = field(default_factory=set)
     #: Distinct ordered queue-op sequences observed on completed runs,
@@ -94,6 +100,8 @@ class StepEffect:
         """Fold one execution attempt's recording into the aggregate."""
         self.global_reads |= ctx.rec_global_reads
         self.global_writes |= ctx.rec_global_writes
+        self.raw_global_reads |= ctx.rec_raw_global_reads
+        self.raw_global_writes |= ctx.rec_raw_global_writes
         self.local_reads |= ctx.rec_local_reads
         self.local_writes |= ctx.rec_local_writes
         self.choice_arities |= ctx.rec_choices
@@ -112,6 +120,9 @@ class EffectCtx(Ctx):
         super().__init__(spec, state, proc_index, oracle)
         self.rec_global_reads: set = set()
         self.rec_global_writes: set = set()
+        self.rec_raw_global_reads: set = set()
+        self.rec_raw_global_writes: set = set()
+        self._macro_depth = 0
         self.rec_local_reads: set = set()
         self.rec_local_writes: set = set()
         self.rec_queue_ops: list = []
@@ -127,6 +138,8 @@ class EffectCtx(Ctx):
             self.rec_undeclared.add(("global", name))
             raise UndeclaredVariable("global", name)
         self.rec_global_reads.add(name)
+        if not self._macro_depth:
+            self.rec_raw_global_reads.add(name)
         return super().get(name)
 
     def set(self, name, value):
@@ -134,7 +147,23 @@ class EffectCtx(Ctx):
             self.rec_undeclared.add(("global", name))
             raise UndeclaredVariable("global", name)
         self.rec_global_writes.add(name)
+        if not self._macro_depth:
+            self.rec_raw_global_writes.add(name)
         super().set(name, value)
+
+    def _macro_get(self, queue):
+        self._macro_depth += 1
+        try:
+            return super()._macro_get(queue)
+        finally:
+            self._macro_depth -= 1
+
+    def _macro_set(self, queue, value):
+        self._macro_depth += 1
+        try:
+            super()._macro_set(queue, value)
+        finally:
+            self._macro_depth -= 1
 
     def lget(self, name):
         process = self.spec.processes[self.proc_index]
@@ -232,6 +261,13 @@ class EffectReport:
     states_explored: int
     #: Process names whose pc some property observed.
     property_pc_reads: set = field(default_factory=set)
+    #: The property read sets are *exhaustive*: every reachable state
+    #: was explored AND properties were evaluated on all of them (or
+    #: the spec has no properties).  Short-circuiting properties read
+    #: different variables on different states, so sampled or truncated
+    #: evaluation under-approximates the read sets — absence reasoning
+    #: (e.g. POR invisibility, C2) must check this flag.
+    property_reads_complete: bool = False
 
     def effect(self, process: str, label: str) -> StepEffect:
         return self.effects[(process, label)]
@@ -250,12 +286,19 @@ class EffectReport:
 
 
 def infer_effects(spec: Spec, max_states: int = 4000,
-                  property_samples: int = 200) -> EffectReport:
+                  property_samples: Optional[int] = None) -> EffectReport:
     """Exhaustively execute every step over a bounded reachable frontier.
 
     Explores the raw interleaving semantics (no symmetry, no POR — the
     reductions are what the analyzer validates) breadth-first until the
     space is exhausted or ``max_states`` distinct states were expanded.
+
+    ``property_samples`` bounds how many explored states properties are
+    evaluated on (a strided sample).  The default ``None`` evaluates on
+    *every* explored state — the only regime in which the property read
+    sets are exhaustive (``property_reads_complete``) and may license
+    reductions; pass a finite budget only when the read sets are used
+    as presence evidence.
     """
     effects = {(process.name, step.label): StepEffect(process.name, step.label)
                for process in spec.processes for step in process.steps}
@@ -330,8 +373,10 @@ def infer_effects(spec: Spec, max_states: int = 4000,
     property_pc_reads: set = set()
     properties = list(spec.invariants.values())
     properties += list(spec.eventually_always.values())
+    stride = 1
     if properties:
-        stride = max(1, len(states) // max(1, property_samples))
+        if property_samples is not None:
+            stride = max(1, len(states) // max(1, property_samples))
         for state in states[::stride]:
             for predicate in properties:
                 view = RecordingView(spec, state)
@@ -350,32 +395,44 @@ def infer_effects(spec: Spec, max_states: int = 4000,
                         property_reads=property_reads,
                         property_local_reads=property_local_reads,
                         complete=complete, states_explored=len(seen),
-                        property_pc_reads=property_pc_reads)
+                        property_pc_reads=property_pc_reads,
+                        property_reads_complete=(
+                            not properties or (complete and stride == 1)))
 
 
-#: Spec object -> (inference budget, EffectReport).  Weak keys: cached
-#: reports must not keep dead spec objects (and their closures) alive.
+#: Spec object -> (state budget, property-sample budget, EffectReport).
+#: Weak keys: cached reports must not keep dead spec objects (and
+#: their closures) alive.
 _EFFECT_CACHE: "weakref.WeakKeyDictionary[Spec, tuple]" = \
     weakref.WeakKeyDictionary()
 
 
 def infer_effects_cached(spec: Spec, max_states: int = 4000,
-                         property_samples: int = 200) -> EffectReport:
+                         property_samples: Optional[int] = None
+                         ) -> EffectReport:
     """:func:`infer_effects`, memoized per spec *object*.
 
     The checker re-validates POR hints on every ``check()`` call and
     the footprint analysis re-uses the same observations; both would
     otherwise pay the full bounded-frontier exploration each time for
     the same (immutable-by-convention) spec object.  A cached report is
-    reused when it was inferred with at least the requested budget, or
-    when it completed (a complete exploration subsumes any budget).
+    reused only when both budgets cover the request: the state budget
+    was at least the requested one (or the exploration completed, which
+    subsumes any budget), and the property-sample budget was at least
+    the requested one (or the cached run evaluated properties on every
+    reachable state, which subsumes any sampling request).
     """
     entry = _EFFECT_CACHE.get(spec)
     if entry is not None:
-        budget, report = entry
-        if report.complete or budget >= max_states:
+        budget, sample_budget, report = entry
+        states_covered = report.complete or budget >= max_states
+        samples_covered = (report.property_reads_complete
+                           or sample_budget is None
+                           or (property_samples is not None
+                               and sample_budget >= property_samples))
+        if states_covered and samples_covered:
             return report
     report = infer_effects(spec, max_states=max_states,
                            property_samples=property_samples)
-    _EFFECT_CACHE[spec] = (max_states, report)
+    _EFFECT_CACHE[spec] = (max_states, property_samples, report)
     return report

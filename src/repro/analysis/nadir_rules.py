@@ -53,6 +53,11 @@ class BlockEffect:
     label: str
     global_reads: set = field(default_factory=set)
     global_writes: set = field(default_factory=set)
+    #: Accesses made by non-queue statements (expressions, SetGlobal) —
+    #: ``global_reads``/``global_writes`` minus the queue-statement
+    #: traffic.  Mirrors :class:`repro.analysis.effects.StepEffect`.
+    raw_global_reads: set = field(default_factory=set)
+    raw_global_writes: set = field(default_factory=set)
     local_reads: set = field(default_factory=set)
     local_writes: set = field(default_factory=set)
     #: One ordered queue-op tuple per static path through the block.
@@ -72,18 +77,19 @@ class BlockEffect:
         return {q for kind, q in self.queue_ops if kind in kinds}
 
 
-def _expr_reads(expr: Expr, reads: set, local_reads: set) -> None:
+def _expr_reads(expr: Expr, effect: BlockEffect) -> None:
     if isinstance(expr, Const):
         return
     if isinstance(expr, Global):
-        reads.add(expr.name)
+        effect.global_reads.add(expr.name)
+        effect.raw_global_reads.add(expr.name)  # expressions never macro
         return
     if isinstance(expr, LocalVar):
-        local_reads.add(expr.name)
+        effect.local_reads.add(expr.name)
         return
     if isinstance(expr, (Prim, HelperCall)):
         for arg in expr.args:
-            _expr_reads(arg, reads, local_reads)
+            _expr_reads(arg, effect)
         return
     raise TypeError(f"unknown expression {expr!r}")
 
@@ -103,24 +109,20 @@ def _walk(stmts, effect: BlockEffect, paths: list) -> list:
                              FifoPutStmt)):
             if isinstance(stmt, SetGlobal):
                 effect.global_writes.add(stmt.name)
-                _expr_reads(stmt.value, effect.global_reads,
-                            effect.local_reads)
+                effect.raw_global_writes.add(stmt.name)
+                _expr_reads(stmt.value, effect)
             elif isinstance(stmt, SetLocal):
                 effect.local_writes.add(stmt.name)
-                _expr_reads(stmt.value, effect.global_reads,
-                            effect.local_reads)
+                _expr_reads(stmt.value, effect)
             elif isinstance(stmt, CallStmt):
-                _expr_reads(stmt.call, effect.global_reads,
-                            effect.local_reads)
+                _expr_reads(stmt.call, effect)
             elif isinstance(stmt, AwaitStmt):
                 effect.blocking = True
-                _expr_reads(stmt.condition, effect.global_reads,
-                            effect.local_reads)
+                _expr_reads(stmt.condition, effect)
             else:  # FifoPutStmt
                 effect.global_reads.add(stmt.queue)
                 effect.global_writes.add(stmt.queue)
-                _expr_reads(stmt.value, effect.global_reads,
-                            effect.local_reads)
+                _expr_reads(stmt.value, effect)
                 live = [(ops + (("fifo_put", stmt.queue),), jump)
                         for ops, jump in live]
             paths = ended + live
@@ -155,8 +157,7 @@ def _walk(stmts, effect: BlockEffect, paths: list) -> list:
             paths = ended + [(ops, _DONE) for ops, _ in live]
             continue
         if isinstance(stmt, IfStmt):
-            _expr_reads(stmt.condition, effect.global_reads,
-                        effect.local_reads)
+            _expr_reads(stmt.condition, effect)
             then_paths = _walk(stmt.then, effect, list(live))
             else_paths = _walk(stmt.orelse, effect, list(live))
             paths = ended + then_paths + else_paths

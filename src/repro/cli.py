@@ -459,11 +459,19 @@ def main(argv=None) -> int:
 
             registry = MetricsRegistry()
         source = SPEC_SOURCES[args.spec]
-        checker = ModelChecker(
-            source.build(), workers=workers, spec_source=source,
-            exact_fingerprints=args.exact, registry=registry,
-            por_deps=args.por_deps,
-            fingerprint_mode="incremental" if args.incremental_fp else None)
+        try:
+            checker = ModelChecker(
+                source.build(), workers=workers, spec_source=source,
+                exact_fingerprints=args.exact, registry=registry,
+                por_deps=args.por_deps,
+                fingerprint_mode="incremental" if args.incremental_fp
+                                 else None)
+        except ValueError as error:
+            # Incompatible option combinations (e.g. --workers N with
+            # --incremental-fp, or --exact with --incremental-fp) are
+            # user errors, not tracebacks.
+            print(error, file=sys.stderr)
+            return 2
         result = checker.run()
         print(result.summary())
         stats = dict(result.stats)

@@ -269,6 +269,19 @@ class Ctx:
         it to record per-step queue disciplines for the static analyzer.
         """
 
+    def _macro_get(self, queue: str) -> Any:
+        """``get`` on behalf of a queue macro.
+
+        Plain delegation here; :class:`EffectCtx` overrides it so
+        recorders can tell macro-internal queue-global accesses apart
+        from raw ones (the race detector exempts only the former).
+        """
+        return self.get(queue)
+
+    def _macro_set(self, queue: str, value: Any) -> None:
+        """``set`` on behalf of a queue macro (see :meth:`_macro_get`)."""
+        self.set(queue, value)
+
     # -- result assembly ----------------------------------------------------------------
     def _successor(self, default_next: Optional[str]) -> State:
         pc = self._next_pc if self._jumped else default_next
@@ -388,22 +401,22 @@ class SpecView:
 def fifo_put(ctx: Ctx, queue: str, item: Any) -> None:
     """Append ``item`` to the tuple-valued global ``queue``."""
     ctx._on_queue_op("fifo_put", queue)
-    ctx.set(queue, ctx.get(queue) + (item,))
+    ctx._macro_set(queue, ctx._macro_get(queue) + (item,))
 
 
 def fifo_get(ctx: Ctx, queue: str) -> Any:
     """Destructively dequeue; blocks (awaits) when empty."""
     ctx._on_queue_op("fifo_get", queue)
-    value = ctx.get(queue)
+    value = ctx._macro_get(queue)
     ctx.block_unless(len(value) > 0)
-    ctx.set(queue, value[1:])
+    ctx._macro_set(queue, value[1:])
     return value[0]
 
 
 def ack_read(ctx: Ctx, queue: str) -> Any:
     """Peek the head without removing it (AckQueueRead of Listing 3)."""
     ctx._on_queue_op("ack_read", queue)
-    value = ctx.get(queue)
+    value = ctx._macro_get(queue)
     ctx.block_unless(len(value) > 0)
     return value[0]
 
@@ -417,9 +430,9 @@ def ack_pop(ctx: Ctx, queue: str) -> None:
     bugs the static analyzer now also catches).
     """
     ctx._on_queue_op("ack_pop", queue)
-    value = ctx.get(queue)
+    value = ctx._macro_get(queue)
     if not value:
         raise QueueDisciplineError(
             f"ack_pop on empty queue {queue!r}: no peeked head to remove "
             "(pop-without-peek)")
-    ctx.set(queue, value[1:])
+    ctx._macro_set(queue, value[1:])

@@ -122,6 +122,59 @@ def test_property_visibility_blocks_ample():
     assert ("bumper", "bump") not in report.ample_labels()
 
 
+def test_sampled_property_reads_block_ample_derivation():
+    """C2 is trustworthy only when properties saw every state.
+
+    Short-circuiting properties read different variables on different
+    states, so a strided sample under-approximates the read sets; a
+    report built from one must not license any ample derivation.
+    """
+    report = infer_effects(clean_spec(), property_samples=1)
+    assert report.complete
+    assert not report.property_reads_complete
+    fps = footprints_from_report(report)
+    assert not fps.property_visibility_sound
+    assert fps.ample_labels() == frozenset()
+    # The default (evaluate on every explored state) is sound.
+    full = footprints_from_report(infer_effects(clean_spec()))
+    assert full.property_visibility_sound
+
+
+def test_cycle_proviso_excludes_self_looping_local_label():
+    """C3: an ample-only control-flow cycle would ignore other
+    processes forever (the classic ignoring problem)."""
+
+    def spin(ctx):
+        ctx.lset("n", 1)
+        ctx.goto("spin")  # deterministic local self-loop
+
+    def bump(ctx):
+        ctx.block_unless(ctx.get("x") < 1)
+        ctx.set("x", ctx.get("x") + 1)
+
+    spec = Spec("c3-fixture", {"x": 0}, [
+        SpecProcess("spinner", [Step("spin", spin)],
+                    locals_={"n": 0}, daemon=True),
+        SpecProcess("bumper", [Step("bump", bump)], daemon=True),
+    ])
+    report = spec_footprints(spec)
+    assert report.complete
+    fp = report.footprint("spinner", "spin")
+    # Every per-label condition holds — only the cycle proviso bars it.
+    assert fp.sound and not (fp.blocked or fp.chooses or fp.crash_targets)
+    assert ("spinner", "spin") not in report.ample_labels()
+
+
+def test_cycle_proviso_keeps_labels_off_ample_only_cycles():
+    """A local label whose cycle passes through a non-ample label is
+    still derived (C3 prunes only ample-only cycles)."""
+    report = spec_footprints(clean_spec())
+    assert report.complete
+    # work -> finish -> read -> work, but finish/read do queue ops and
+    # are not candidates, so the cycle keeps a fully expanded label.
+    assert ("worker", "work") in report.ample_labels()
+
+
 def test_incomplete_inference_yields_unsound_footprints_and_no_ample():
     report = infer_effects(clean_spec(), max_states=2)
     assert not report.complete
@@ -249,6 +302,35 @@ def test_queue_macro_exemption():
                     locals_={"got": NULL}, daemon=True),
     ])
     assert cross_process_races(spec_footprints(spec)) == []
+
+
+def test_raw_write_alongside_queue_macro_still_races():
+    """A queue op does not launder a raw write to the same global.
+
+    The writer's fifo_put is macro-mediated, but the raw ctx.set on the
+    queue global right next to it is unsynchronized — the macro's
+    internal read must not count as an RMW guard, and the macro
+    discipline must not exempt the raw access.
+    """
+
+    def put_and_clobber(ctx):
+        fifo_put(ctx, "q", 1)
+        ctx.set("q", ())  # raw blind write to the queue global
+        ctx.done()
+
+    def watch(ctx):
+        ctx.lset("n", len(ctx.get("q")))  # raw read
+        ctx.done()
+
+    spec = Spec("mixed-access", {"q": ()}, [
+        SpecProcess("writer", [Step("clobber", put_and_clobber)],
+                    daemon=True),
+        SpecProcess("watcher", [Step("watch", watch)],
+                    locals_={"n": 0}, daemon=True),
+    ])
+    races = cross_process_races(spec_footprints(spec))
+    assert [(r.global_name, r.writer, r.kind) for r in races] == [
+        ("q", ("writer", "clobber"), "read-write")]
 
 
 def test_ack_queue_exemption():

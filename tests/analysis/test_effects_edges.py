@@ -20,6 +20,8 @@ from repro.analysis.effects import (
 from repro.analysis.report import INCOMPLETE_EFFECTS
 from repro.spec import NULL, Spec, SpecProcess, Step
 
+from .fixtures import clean_spec
+
 
 def _spec(steps, globals_=None, locals_=None, **kwargs):
     return Spec("edge-fixture", dict(globals_ or {}), [
@@ -160,6 +162,23 @@ def test_infer_effects_cached_reruns_when_budget_grows():
     bigger = infer_effects_cached(spec, max_states=10_000)
     assert bigger is not small
     assert bigger.complete
+
+
+def test_infer_effects_cached_respects_property_sample_budget():
+    """A report cached under a small property-sample budget must not
+    serve a caller asking for a larger (or exhaustive) one."""
+    spec = clean_spec()
+    sampled = infer_effects_cached(spec, property_samples=1)
+    assert sampled.complete and not sampled.property_reads_complete
+    # Same or smaller sample budget: reuse.
+    assert infer_effects_cached(spec, property_samples=1) is sampled
+    # Exhaustive evaluation requested: the sampled report cannot serve.
+    full = infer_effects_cached(spec)
+    assert full is not sampled
+    assert full.property_reads_complete
+    # An exhaustive report subsumes any sampling request.
+    assert infer_effects_cached(spec, property_samples=1) is full
+    assert infer_effects_cached(spec) is full
 
 
 def test_checker_revalidation_uses_the_cache(monkeypatch):

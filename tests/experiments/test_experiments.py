@@ -127,3 +127,14 @@ def test_cli_rejects_unknown(capsys):
 
     assert main(["no-such-experiment"]) == 2
     assert main(["check", "no-such-spec"]) == 2
+
+
+def test_cli_rejects_workers_with_incremental_fp(capsys):
+    """Incompatible engine options exit 2 with a message, no traceback."""
+    from repro.cli import main
+
+    assert main(["check", "te-app", "--workers", "2",
+                 "--incremental-fp"]) == 2
+    captured = capsys.readouterr()
+    assert "serial-engine option" in captured.err
+    assert main(["check", "te-app", "--exact", "--incremental-fp"]) == 2
