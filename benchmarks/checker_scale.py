@@ -1,18 +1,23 @@
 """Benchmark: serial vs parallel model checking (``BENCH_checker.json``).
 
-Runs each benched spec four ways — in-process serial, ``--workers N``
-parallel, and the two serial fingerprint-dedup modes (``full`` and
-``incremental``) — and emits the ``repro.spec/v1`` artifact recording
-state counts, states/sec (on exploration time, excluding the one-off
-worker spawn cost, which is reported separately) and the speedups.  The
-parallel ``>= min-speedup`` gate is only *enforced* on hosts with at
-least ``--gate-cpus`` cores: on a 1-core CI runner the workers
-timeshare one core and a speedup is physically unmeasurable, so the
-artifact records ``gate.enforced = false`` and the exit code stays 0.
-The incremental-fingerprint gate (``fp_gate``, ``>= --min-fp-speedup``
-incremental vs full re-encoding, judged on the largest benched spec)
-is always enforced — both runs are serial, so one core measures it
-fine.
+Runs each benched spec five ways — in-process serial, ``--workers N``
+parallel, the two serial fingerprint-dedup modes (``full`` and
+``incremental``) and a *profiled* serial run — and emits the
+``repro.spec/v1`` artifact recording state counts, states/sec (on
+exploration time, excluding the one-off worker spawn cost, which is
+reported separately), the speedups, and each spec's ``repro.prof/v1``
+phase/label breakdown.  The parallel ``>= min-speedup`` gate is only
+*enforced* on hosts with at least ``--gate-cpus`` cores: on a 1-core
+CI runner the workers timeshare one core and a speedup is physically
+unmeasurable, so the artifact records ``gate.enforced = false`` and
+the exit code stays 0.  The incremental-fingerprint gate (``fp_gate``,
+``>= --min-fp-speedup`` incremental vs full re-encoding, judged on the
+largest benched spec) is always enforced — both runs are serial, so
+one core measures it fine.  The profiling gate (``prof_gate``) is also
+always enforced: the largest benched spec's phase breakdown must cover
+``>= --min-coverage`` of exploration wall time, and the disabled-path
+overhead (measured by :mod:`prof_overhead`'s bare-vs-instrumented
+comparison) must stay under ``--max-prof-overhead``.
 
 Usage::
 
@@ -25,6 +30,8 @@ import os
 import platform
 import sys
 import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 
 def _bench_serial(source):
@@ -95,6 +102,23 @@ def _bench_parallel(source, workers, serial_result):
     }
 
 
+def _bench_profiled(source, serial_result):
+    """One profiled serial run; returns its repro.prof/v1 artifact.
+
+    The profile rides in ``stats`` (excluded from ``to_json``), so the
+    canonical outcome is still comparable against the plain serial run
+    — ``match`` below is the same cross-engine check the other modes
+    get.
+    """
+    from repro.spec import ModelChecker
+
+    checker = ModelChecker(source.build(), stop_at_first_violation=False,
+                           profile=True)
+    result = checker.run()
+    doc = result.stats["profile"]
+    return doc, _match(result, serial_result)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="serial vs parallel checker scaling benchmark")
@@ -112,8 +136,19 @@ def main(argv=None):
                         help="required incremental-vs-full fingerprinting "
                              "speedup on the largest benched spec "
                              "(always enforced: both runs are serial)")
+    parser.add_argument("--min-coverage", type=float, default=0.9,
+                        help="required phase-breakdown coverage of "
+                             "exploration wall time on the largest "
+                             "benched spec")
+    parser.add_argument("--max-prof-overhead", type=float, default=0.05,
+                        help="maximum tolerated disabled-profiler "
+                             "overhead (bare vs instrumented)")
+    parser.add_argument("--prof-overhead-repeat", type=int, default=3,
+                        help="runs per variant for the overhead "
+                             "measurement (minimum is compared)")
     args = parser.parse_args(argv)
 
+    from prof_overhead import measure as measure_prof_overhead
     from repro.spec.specs import SPEC_SOURCES
     from repro.spec.validate import ARTIFACT_SCHEMA, validate_artifact
 
@@ -154,9 +189,18 @@ def main(argv=None):
               f"speedup={fp_incremental['speedup_vs_full']}x  "
               f"match={fp_full['match'] and fp_incremental['match']}",
               flush=True)
+        print(f"{name}: profiled serial ...", flush=True)
+        profile_doc, profile_match = _bench_profiled(source, serial_result)
+        top = sorted(profile_doc["phases"].items(),
+                     key=lambda item: -item[1]["wall_s"])[:3]
+        print(f"{name}: coverage={profile_doc['coverage']}  "
+              f"hot={', '.join(phase for phase, _ in top)}  "
+              f"match={profile_match}", flush=True)
         specs[name] = {"serial": serial, "parallel": parallel,
                        "serial_fp": {"full": fp_full,
-                                     "incremental": fp_incremental}}
+                                     "incremental": fp_incremental},
+                       "profile": profile_doc,
+                       "profile_match": profile_match}
         max_states = max(max_states, serial["states"])
 
     # The gate judges the largest benched state space: small specs are
@@ -167,6 +211,10 @@ def main(argv=None):
               if enforced else None)
     fp_speedup = specs[gate_spec]["serial_fp"]["incremental"][
         "speedup_vs_full"]
+    print(f"prof overhead: bare vs instrumented "
+          f"({args.prof_overhead_repeat} runs each) ...", flush=True)
+    overhead = measure_prof_overhead(repeat=args.prof_overhead_repeat)
+    gate_coverage = specs[gate_spec]["profile"]["coverage"]
     artifact = {
         "schema": ARTIFACT_SCHEMA,
         "host": {"cpus": cpus, "python": platform.python_version()},
@@ -188,6 +236,16 @@ def main(argv=None):
             "spec": gate_spec,
             "enforced": True,
             "passed": fp_speedup >= args.min_fp_speedup,
+        },
+        "prof_gate": {
+            "min_coverage": args.min_coverage,
+            "coverage": gate_coverage,
+            "max_overhead": args.max_prof_overhead,
+            "overhead": overhead,
+            "spec": gate_spec,
+            "enforced": True,
+            "passed": (gate_coverage >= args.min_coverage
+                       and overhead["overhead"] <= args.max_prof_overhead),
         },
     }
     problems = validate_artifact(artifact)
@@ -219,6 +277,16 @@ def main(argv=None):
     if not artifact["fp_gate"]["passed"]:
         print(f"FAIL: {gate_spec} incremental-fingerprint speedup "
               f"{fp_speedup}x < {args.min_fp_speedup}x", file=sys.stderr)
+        return 1
+    if any(not entry["profile_match"] for entry in specs.values()):
+        print("FAIL: a profiled run disagreed with the unprofiled serial "
+              "engine", file=sys.stderr)
+        return 1
+    if not artifact["prof_gate"]["passed"]:
+        print(f"FAIL: prof_gate — coverage {gate_coverage} "
+              f"(need >= {args.min_coverage}) or disabled-path overhead "
+              f"{overhead['overhead']} (need <= {args.max_prof_overhead})",
+              file=sys.stderr)
         return 1
     return 0
 

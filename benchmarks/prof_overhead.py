@@ -1,0 +1,218 @@
+"""Disabled-profiler overhead check (CI gate for checker observability).
+
+The phase/label profiling hooks in the checker's exploration loops are
+gated behind ``prof is None`` checks on locals hoisted outside the hot
+loops (plus one dispatch check at the top of ``_successors``).  This
+script quantifies what an unprofiled run pays for those checks by
+timing the same full-exploration workload twice:
+
+* **instrumented** — the real :class:`repro.spec.ModelChecker` with
+  ``profile=False`` (the default);
+* **bare** — a subclass whose ``_successors``/``run`` are the
+  pre-instrumentation hot loops with every profiling, tracing and
+  progress branch removed.
+
+Each variant runs ``--repeat`` times interleaved and the minimum is
+compared (minimum-of-N is the standard noise-robust estimator for
+CPU-bound microbenchmarks).  Exits non-zero when the relative overhead
+exceeds ``--threshold`` (default 5%), mirroring
+``benchmarks/obs_overhead.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/prof_overhead.py
+    PYTHONPATH=src python benchmarks/prof_overhead.py --repeat 7 --threshold 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.spec import ModelChecker  # noqa: E402
+from repro.spec.checker import CheckResult, Violation  # noqa: E402
+from repro.spec.specs import SPEC_SOURCES  # noqa: E402
+
+
+class BareChecker(ModelChecker):
+    """The pre-instrumentation hot loops: no profiling hooks at all."""
+
+    def _successors(self, state):
+        if self.use_por:
+            ample = self._deps_ample() if self.use_por_deps else None
+            for proc_index, process in enumerate(self.spec.processes):
+                pc = state.procs[proc_index][0]
+                if pc is None:
+                    continue
+                if ample is None:
+                    is_ample = process.step_by_label[pc].local
+                else:
+                    is_ample = (process.name, pc) in ample
+                if is_ample:
+                    expanded = self._expand_step(state, proc_index)
+                    if expanded:
+                        return expanded
+        result = []
+        for proc_index in range(len(self.spec.processes)):
+            result.extend(self._expand_step(state, proc_index))
+        return result
+
+    def run(self):
+        start_time = time.perf_counter()
+        spec = self.spec
+        if self.use_por and self.validate_por_hints:
+            self._reject_unsound_hints()
+        init = self._canonical(spec.initial_state())
+        seen = {init: 0}
+        raw_memo = {}
+        states = [init]
+        parent = [(-1, "<init>")]
+        depth = [0]
+        edges = {}
+        violations = []
+        diameter = 0
+        transitions = 0
+
+        def trace_to(index):
+            path = []
+            while index >= 0:
+                pred, action = parent[index]
+                path.append((action, states[index]))
+                index = pred
+            return list(reversed(path))
+
+        def check_invariants(index):
+            view = spec.view(states[index])
+            for name, predicate in spec.invariants.items():
+                if not predicate(view):
+                    violations.append(
+                        Violation("invariant", name, trace_to(index)))
+                    return False
+            return True
+
+        if not check_invariants(0) and self.stop_at_first:
+            elapsed = time.perf_counter() - start_time
+            return CheckResult(False, 1, 0, 0, elapsed, violations,
+                               stats={"engine": "serial"})
+
+        frontier = [0]
+        stop = False
+        while frontier and not stop:
+            next_frontier = []
+            for index in frontier:
+                successors = self._successors(states[index])
+                edges[index] = []
+                if (self.check_deadlock and not successors
+                        and any(pc is not None and not process.daemon
+                                for process, (pc, _) in zip(
+                                    spec.processes, states[index].procs))):
+                    violations.append(
+                        Violation("deadlock", "no-enabled-step",
+                                  trace_to(index)))
+                    if self.stop_at_first:
+                        stop = True
+                        break
+                for action, succ in successors:
+                    transitions += 1
+                    cached = raw_memo.get(succ)
+                    if cached is not None:
+                        edges[index].append(cached)
+                        continue
+                    canon = self._canonical(succ)
+                    existing = seen.get(canon)
+                    if existing is not None:
+                        raw_memo[succ] = existing
+                        edges[index].append(existing)
+                        continue
+                    new_index = len(states)
+                    seen[canon] = new_index
+                    raw_memo[succ] = new_index
+                    states.append(canon)
+                    parent.append((index, action))
+                    depth.append(depth[index] + 1)
+                    diameter = max(diameter, depth[new_index])
+                    edges[index].append(new_index)
+                    if not check_invariants(new_index) and self.stop_at_first:
+                        stop = True
+                        break
+                    next_frontier.append(new_index)
+                    if len(states) > self.max_states:
+                        raise MemoryError(
+                            f"state space exceeds {self.max_states} states")
+                if stop:
+                    break
+            frontier = next_frontier
+
+        if not stop and spec.eventually_always:
+            violations.extend(
+                self._check_liveness(states, edges, depth, trace_to))
+
+        elapsed = time.perf_counter() - start_time
+        return CheckResult(not violations, len(states), transitions,
+                           diameter, elapsed, violations,
+                           stats={"engine": "serial"})
+
+
+def _time_run(checker_cls, source) -> float:
+    checker = checker_cls(source.build(), stop_at_first_violation=False)
+    started = time.perf_counter()
+    checker.run()
+    return time.perf_counter() - started
+
+
+def measure(spec: str = "controller", repeat: int = 5) -> dict:
+    """Interleaved min-of-N timing; importable by checker_scale.
+
+    Returns ``{"bare_s", "instrumented_s", "overhead"}`` where
+    ``overhead`` is the relative disabled-path cost.
+    """
+    source = SPEC_SOURCES[spec]
+    bare_times, instr_times = [], []
+    for _ in range(repeat):
+        bare_times.append(_time_run(BareChecker, source))
+        instr_times.append(_time_run(ModelChecker, source))
+    bare = min(bare_times)
+    instrumented = min(instr_times)
+    return {
+        "spec": spec,
+        "repeat": repeat,
+        "bare_s": round(bare, 4),
+        "instrumented_s": round(instrumented, 4),
+        "overhead": round((instrumented - bare) / bare, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default="controller",
+                        help="bundled spec to explore (default: controller)")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="runs per variant (minimum is compared)")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="maximum tolerated relative overhead")
+    args = parser.parse_args(argv)
+
+    if args.spec not in SPEC_SOURCES:
+        print(f"unknown spec {args.spec!r}; try: "
+              f"{', '.join(sorted(SPEC_SOURCES))}", file=sys.stderr)
+        return 2
+    sample = measure(args.spec, repeat=args.repeat)
+    print(f"spec:         {sample['spec']}")
+    print(f"bare:         {sample['bare_s'] * 1e3:8.2f} ms")
+    print(f"instrumented: {sample['instrumented_s'] * 1e3:8.2f} ms")
+    print(f"overhead:     {sample['overhead'] * 100:+.2f}%  "
+          f"(threshold {args.threshold * 100:.0f}%)")
+    if sample["overhead"] > args.threshold:
+        print("FAIL: disabled-profiler overhead above threshold",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

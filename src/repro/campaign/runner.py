@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+from ..obs.prof import eta_from_samples
 from .spec import CampaignSpec
 
 __all__ = [
@@ -262,6 +263,10 @@ def run_campaign(spec: CampaignSpec,
                        fn=lambda: len(tasks) - state["finished"])
         registry.gauge("campaign.workers").set(max(1, jobs))
     outcomes: dict[int, dict] = {}
+    #: Executed-task wall times: the same samples the registry's
+    #: ``campaign.task_wall_s`` histogram sees, kept locally so the ETA
+    #: works without a registry too.
+    wall_samples: list[float] = []
 
     def finish(task: Task, outcome: dict, cached: bool) -> None:
         outcomes[task.index] = dict(outcome, cached=cached)
@@ -273,8 +278,14 @@ def run_campaign(spec: CampaignSpec,
             else:
                 registry.histogram("campaign.task_wall_s").observe(
                     outcome["elapsed_s"])
+        if not cached:
+            wall_samples.append(outcome["elapsed_s"])
         status = "cached" if cached else f"{outcome['elapsed_s']:.1f}s"
-        say(f"[{state['finished']}/{len(tasks)}] {task.label()}  ({status})")
+        eta = eta_from_samples(wall_samples, len(tasks) - state["finished"],
+                               parallelism=max(1, jobs))
+        suffix = "" if eta is None else f"  eta ~{eta:.0f}s"
+        say(f"[{state['finished']}/{len(tasks)}] {task.label()}  "
+            f"({status}){suffix}")
 
     pending: list[Task] = []
     for task in tasks:

@@ -176,12 +176,18 @@ def search(seed: int, trials: int = 5,
            target: str = "pr", reference: str = "zenith",
            shrink: bool = True, max_shrink_tests: int = 64,
            monitor_config: Optional[MonitorConfig] = None,
+           progress: Optional[Any] = None,
            **sampler_kwargs: Any) -> dict[str, Any]:
     """Sample schedules, hunt target-only violations, shrink the first.
 
     Returns the ``repro.chaos/v1`` artifact as a JSON-ready dict.  A
     trial is *interesting* when ``target`` violates an invariant and
     ``reference`` finishes clean under the identical schedule.
+
+    ``progress`` is an optional callable invoked after every trial with
+    ``(done, total, interesting_count)`` — a pure observer (stderr
+    heartbeats, ETA); it sees no schedule data and cannot perturb the
+    deterministic artifact.
     """
     topology = dict(sampler_kwargs.pop(
         "topology", {"kind": "ring", "n": 6}))
@@ -211,6 +217,8 @@ def search(seed: int, trials: int = 5,
             interesting_trials.append(trial)
             if first_interesting is None:
                 first_interesting = schedule
+        if progress is not None:
+            progress(trial + 1, trials, len(interesting_trials))
     artifact: dict[str, Any] = {
         "schema": SCHEMA,
         "seed": seed,

@@ -158,6 +158,8 @@ def _run_sweep(argv) -> int:
                         help="multiprocessing start method")
     parser.add_argument("--metrics", action="store_true",
                         help="print the campaign metrics registry")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the per-task progress lines")
     args = parser.parse_args(argv)
 
     from .campaign import (load_campaign, run_campaign, validate_artifact,
@@ -174,10 +176,17 @@ def _run_sweep(argv) -> int:
 
         registry = MetricsRegistry()
     jobs = 1 if args.serial else max(1, args.jobs)
+
+    def stderr_progress(line: str) -> None:
+        # Progress is a heartbeat, not output: stderr only, so piping
+        # stdout stays clean and `--quiet` can drop it entirely.
+        print(line, file=sys.stderr)
+
     artifact = run_campaign(
         spec, jobs=jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
-        registry=registry, mp_context=args.mp_context, progress=print)
+        registry=registry, mp_context=args.mp_context,
+        progress=None if args.quiet else stderr_progress)
     problems = validate_artifact(artifact)
     for problem in problems:
         print(f"INVALID ARTIFACT: {problem}", file=sys.stderr)
@@ -269,6 +278,9 @@ def _run_chaos(argv) -> int:
     parser.add_argument("--replay", metavar="ARTIFACT",
                         help="re-run ARTIFACT's shrunk schedule and "
                              "verify the recorded verdicts")
+    parser.add_argument("--progress", action="store_true",
+                        help="stderr heartbeat after every trial "
+                             "(interesting count, ETA)")
     args = parser.parse_args(argv)
 
     from .chaos import dump_artifact, load_artifact, replay, search
@@ -301,10 +313,24 @@ def _run_chaos(argv) -> int:
     if args.quick:
         sampler_kwargs.update(active=8.0, cooldown=12.0, n_channel=2,
                               n_triggers=0)
+    progress_cb = None
+    if args.progress:
+        from .obs.prof import Progress
+
+        heartbeat = Progress(label=f"chaos seed={args.seed}")
+        trial_t0 = time.perf_counter()
+
+        def progress_cb(done: int, total: int, interesting: int) -> None:
+            elapsed = time.perf_counter() - trial_t0
+            eta = (elapsed / done) * (total - done) if done else None
+            heartbeat.update(force=(done == total), eta_s=eta,
+                             trials=f"{done}/{total}",
+                             interesting=interesting)
+
     started = time.perf_counter()
     artifact = search(args.seed, trials=args.trials, target=args.target,
                       reference=args.reference, shrink=not args.no_shrink,
-                      **sampler_kwargs)
+                      progress=progress_cb, **sampler_kwargs)
     elapsed = time.perf_counter() - started
     for run in artifact["runs"]:
         flags = []
@@ -407,6 +433,20 @@ def main(argv=None) -> int:
                         help="check: serial fingerprint-dedup engine with "
                              "incremental per-slot digests (re-encodes "
                              "only each step's write footprint)")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="check: write a repro.prof/v1 phase/label "
+                             "profile artifact to PATH (timing rides in "
+                             "stats; canonical output stays byte-identical)")
+    parser.add_argument("--profile-report", action="store_true",
+                        help="check: print the phase breakdown and top "
+                             "hot labels after the run (implies profiling)")
+    parser.add_argument("--progress", action="store_true",
+                        help="check: stderr heartbeat per BFS round "
+                             "(states/s, frontier depth, dedup rate, ETA)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="check: write a Chrome trace of worker "
+                             "utilization (explore/serialize/relay/idle "
+                             "spans; .jsonl suffix for JSONL)")
     parser.add_argument("--list", action="store_true", dest="list_entries",
                         help="with 'run'/'list': one line per experiment")
     args = parser.parse_args(argv)
@@ -459,13 +499,16 @@ def main(argv=None) -> int:
 
             registry = MetricsRegistry()
         source = SPEC_SOURCES[args.spec]
+        profile = bool(args.profile or args.profile_report)
         try:
             checker = ModelChecker(
                 source.build(), workers=workers, spec_source=source,
                 exact_fingerprints=args.exact, registry=registry,
                 por_deps=args.por_deps,
                 fingerprint_mode="incremental" if args.incremental_fp
-                                 else None)
+                                 else None,
+                profile=profile, progress=args.progress,
+                trace_out=args.trace_out)
         except ValueError as error:
             # Incompatible option combinations (e.g. --workers N with
             # --incremental-fp, or --exact with --incremental-fp) are
@@ -488,6 +531,24 @@ def main(argv=None) -> int:
             print(f"engine=serial fingerprint_mode={stats['fingerprint_mode']}")
         for violation in result.violations:
             print(violation.describe())
+        if profile:
+            from .obs.prof import dump_prof, render_report
+
+            doc = result.stats.get("profile")
+            if doc is None:
+                print("no profile collected (engine returned no stats)",
+                      file=sys.stderr)
+            else:
+                if args.profile:
+                    dump_prof(doc, args.profile)
+                    print(f"profile: {args.profile}  "
+                          f"(repro.prof/v1, coverage {doc['coverage']})")
+                if args.profile_report:
+                    print()
+                    print(render_report(doc))
+        if args.trace_out:
+            print(f"trace: {args.trace_out} — load in "
+                  f"https://ui.perfetto.dev")
         if registry is not None:
             print()
             print(registry.render(limit=40))

@@ -12,7 +12,13 @@ simulation kernel and the controller:
 * :func:`observe` / :func:`install` — process-wide telemetry defaults
   picked up by every new :class:`~repro.sim.Environment`
   (:mod:`repro.obs.context`);
-* :mod:`repro.obs.validate` — Chrome-trace schema validation (CI gate).
+* :mod:`repro.obs.prof` — verification observability: checker
+  phase/label profiling (``repro.prof/v1`` artifacts), stderr progress
+  heartbeats and per-worker utilization traces
+  (:class:`CheckProfiler` / :class:`Progress` /
+  :class:`CheckerTraceBuilder`);
+* :mod:`repro.obs.validate` — Chrome-trace and profile-artifact schema
+  validation (CI gates).
 
 Typical use::
 
@@ -28,6 +34,16 @@ Typical use::
 
 from .context import default_metrics, default_tracer, install, observe, uninstall
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .prof import (
+    PHASES,
+    PROF_SCHEMA,
+    CheckerTraceBuilder,
+    CheckProfiler,
+    Progress,
+    dump_prof,
+    eta_from_samples,
+    render_report,
+)
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -35,9 +51,11 @@ from .tracer import (
     RecordingTracer,
     Tracer,
 )
-from .validate import validate_chrome_trace
+from .validate import validate_chrome_trace, validate_prof_artifact
 
 __all__ = [
+    "CheckProfiler",
+    "CheckerTraceBuilder",
     "Counter",
     "Gauge",
     "Histogram",
@@ -45,12 +63,19 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "OP_STAGES",
+    "PHASES",
+    "PROF_SCHEMA",
+    "Progress",
     "RecordingTracer",
     "Tracer",
     "default_metrics",
     "default_tracer",
+    "dump_prof",
+    "eta_from_samples",
     "install",
     "observe",
+    "render_report",
     "uninstall",
     "validate_chrome_trace",
+    "validate_prof_artifact",
 ]

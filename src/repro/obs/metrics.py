@@ -104,6 +104,7 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._envs: dict[int, int] = {}
+        self._checkers: dict[int, int] = {}
         self._queues: list[tuple[str, Any]] = []
         self._hosts: list[tuple[str, Any]] = []
         self._switches: list[tuple[str, Any]] = []
@@ -134,6 +135,19 @@ class MetricsRegistry:
         if key not in self._envs:
             self._envs[key] = len(self._envs)
         return f"env{self._envs[key]}"
+
+    def checker_prefix(self, checker) -> str:
+        """``checker<N>`` namespace for a model-checker run.
+
+        The env-style first-seen numbering, but over checker instances:
+        two checker runs against one registry (a sweep, a differential
+        test) get distinct ``checker0.*`` / ``checker1.*`` metric
+        families instead of silently overwriting each other.
+        """
+        key = id(checker)
+        if key not in self._checkers:
+            self._checkers[key] = len(self._checkers)
+        return f"checker{self._checkers[key]}"
 
     def register_queue(self, queue) -> None:
         """Track a queue: depth/counter gauges + a wait-time histogram.

@@ -124,11 +124,24 @@ NULL_TRACER = NullTracer()
 
 
 class RecordingTracer(Tracer):
-    """Records telemetry into memory for Chrome-trace / JSONL export."""
+    """Records telemetry into memory for Chrome-trace / JSONL export.
+
+    ``stream_path`` switches on the bounded-memory mode for hours-long
+    soak runs: every event is flushed to the JSONL file as it is
+    recorded instead of being held in RAM (only the per-OP stage marks
+    stay resident, which is what lets :meth:`close` synthesize the OP
+    lifecycle spans at the end).  Call :meth:`close` — or use the
+    tracer as a context manager — to append the synthesized spans and
+    track metadata and close the file; the result validates with
+    ``python -m repro.obs.validate out.jsonl`` exactly like an
+    in-memory trace written by :meth:`write`.  In-memory mode (the
+    default) is unchanged.
+    """
 
     enabled = True
 
-    def __init__(self, kernel_events: bool = False):
+    def __init__(self, kernel_events: bool = False,
+                 stream_path: Optional[str] = None):
         #: When True, kernel-level hooks are logged to :attr:`kernel_log`.
         self.kernel_events = kernel_events
         #: Raw kernel hook log: (kind, pid, payload...) tuples.
@@ -141,6 +154,38 @@ class RecordingTracer(Tracer):
         # trace equality).
         self._envs: dict[int, int] = {}
         self._tracks: dict[tuple[int, str], int] = {}
+        #: Streaming JSONL sink (None = in-memory mode).
+        self.stream_path = stream_path
+        self._stream = (open(stream_path, "w", encoding="utf-8")
+                        if stream_path else None)
+        #: Events flushed to the stream so far (for progress/tests).
+        self.streamed_events = 0
+
+    def __enter__(self) -> "RecordingTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _emit(self, event: dict) -> None:
+        if self._stream is None:
+            self._events.append(event)
+        else:
+            self._stream.write(json.dumps(event, sort_keys=True) + "\n")
+            self.streamed_events += 1
+
+    def close(self) -> None:
+        """Finish a streaming trace: append OP spans + metadata, close.
+
+        No-op in in-memory mode, and idempotent.
+        """
+        if self._stream is None:
+            return
+        for event in self._synthesized_events():
+            self._stream.write(json.dumps(event, sort_keys=True) + "\n")
+            self.streamed_events += 1
+        self._stream.close()
+        self._stream = None
 
     # -- id assignment ------------------------------------------------------
     def _pid(self, env) -> int:
@@ -204,7 +249,7 @@ class RecordingTracer(Tracer):
         if args:
             event["args"] = args
         event.update(extra)
-        self._events.append(event)
+        self._emit(event)
 
     def instant(self, env, name, track="sim", ts=None, **args):
         when = env.now if ts is None else ts
@@ -218,7 +263,7 @@ class RecordingTracer(Tracer):
     def counter(self, env, name, values, ts=None):
         when = env.now if ts is None else ts
         pid = self._pid(env)
-        self._events.append({
+        self._emit({
             "name": name,
             "cat": "counter",
             "ph": "C",
@@ -256,7 +301,15 @@ class RecordingTracer(Tracer):
     # -- export ----------------------------------------------------------------
     def chrome_events(self) -> list[dict]:
         """All trace events, including synthesized OP spans and metadata."""
-        events = list(self._events)
+        if self.stream_path is not None:
+            raise RuntimeError(
+                "streaming tracer does not keep events in memory; call "
+                f"close() and read the JSONL file ({self.stream_path})")
+        return list(self._events) + self._synthesized_events()
+
+    def _synthesized_events(self) -> list[dict]:
+        """OP lifecycle spans + track metadata (appended at export)."""
+        events: list[dict] = []
         for (pid, op_id), marks in sorted(self._op_marks.items()):
             first_ts = marks[0][0]
             last_ts = marks[-1][0]
@@ -299,6 +352,10 @@ class RecordingTracer(Tracer):
 
     def write(self, path: str) -> None:
         """Write the trace; ``.jsonl`` suffix selects JSONL, else Chrome."""
+        if self.stream_path is not None:
+            raise RuntimeError(
+                "streaming tracer already writes to its stream_path; call "
+                "close() instead of write()")
         with open(path, "w", encoding="utf-8") as handle:
             if str(path).endswith(".jsonl"):
                 for line in self.jsonl_lines():

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.prof import CheckerTraceBuilder, CheckProfiler, Progress
 from .fingerprint import fingerprint_state
 from .lang import Blocked, Ctx, NeedChoice, Spec, State
 
@@ -179,7 +180,10 @@ class ModelChecker:
                  exact_fingerprints: bool = False,
                  registry=None,
                  por_deps: bool = False,
-                 fingerprint_mode: Optional[str] = None):
+                 fingerprint_mode: Optional[str] = None,
+                 profile: bool = False,
+                 progress=None,
+                 trace_out: Optional[str] = None):
         self.spec = spec
         self.use_symmetry = symmetry and spec.symmetry is not None
         self.use_por = por
@@ -220,6 +224,15 @@ class ModelChecker:
                 "defeats fingerprint_mode; use the default engine for "
                 "exact collision detection")
         self.fingerprint_mode = fingerprint_mode
+        #: Phase/label profiling (repro.obs.prof).  All timing lands in
+        #: ``CheckResult.stats["profile"]`` — never in ``to_json`` — so
+        #: profiled runs stay byte-identical to unprofiled ones.
+        self.profile = bool(profile)
+        self.profiler = CheckProfiler() if self.profile else None
+        if progress is True:
+            progress = Progress(label=getattr(spec, "name", "check"))
+        self.progress = progress or None
+        self.trace_out = trace_out
 
     # -- successor computation ---------------------------------------------------
     def _expand_step(self, state: State, proc_index: int) -> list[tuple[str, State]]:
@@ -273,6 +286,8 @@ class ModelChecker:
 
     def _successors(self, state: State) -> list[tuple[str, State]]:
         """Successors under the (optionally ample-set reduced) relation."""
+        if self.profiler is not None:
+            return self._successors_profiled(state)
         if self.use_por:
             # Ample set: a process whose current step is declared local
             # commutes with every other step; expanding it alone is a
@@ -297,6 +312,120 @@ class ModelChecker:
         for proc_index in range(len(self.spec.processes)):
             result.extend(self._expand_step(state, proc_index))
         return result
+
+    def _successors_profiled(self, state: State) -> list[tuple[str, State]]:
+        """:meth:`_successors` with phase/label timing.
+
+        Identical exploration semantics.  Timestamps are *chained* —
+        each ``perf_counter`` read closes one region and opens the next
+        — so the profiler's own bookkeeping cost is attributed to a
+        phase instead of leaking out of the breakdown (which is what
+        lets the phase sum cover ≥90% of exploration wall time).  The
+        ample-eligibility scan is charged to ``por_ample``; each
+        ``_expand_step`` (plus its label bookkeeping) to its (process,
+        label) pair, which also feeds the ``successor_gen`` phase.
+        """
+        prof = self.profiler
+        phase_s = prof.phase_s
+        phase_calls = prof.phase_calls
+        labels = prof.labels
+        perf = time.perf_counter
+        procs = self.spec.processes
+        t = perf()
+        if self.use_por:
+            ample = self._deps_ample() if self.use_por_deps else None
+            for proc_index, process in enumerate(procs):
+                pc = state.procs[proc_index][0]
+                if pc is None:
+                    continue
+                if ample is None:
+                    is_ample = process.step_by_label[pc].local
+                else:
+                    is_ample = (process.name, pc) in ample
+                if is_ample:
+                    now = perf()
+                    phase_s["por_ample"] += now - t
+                    phase_calls["por_ample"] += 1
+                    t = now
+                    expanded = self._expand_step(state, proc_index)
+                    now = perf()
+                    dt = now - t
+                    t = now
+                    entry = labels.get((process.name, pc))
+                    if entry is None:
+                        entry = labels[(process.name, pc)] = [0, 0, 0.0]
+                    entry[0] += 1
+                    entry[1] += len(expanded)
+                    entry[2] += dt
+                    phase_s["successor_gen"] += dt
+                    phase_calls["successor_gen"] += 1
+                    if expanded:
+                        return expanded
+            now = perf()
+            phase_s["por_ample"] += now - t
+            phase_calls["por_ample"] += 1
+            t = now
+        result = []
+        for proc_index, process in enumerate(procs):
+            pc = state.procs[proc_index][0]
+            if pc is None:
+                continue
+            expanded = self._expand_step(state, proc_index)
+            now = perf()
+            dt = now - t
+            t = now
+            entry = labels.get((process.name, pc))
+            if entry is None:
+                entry = labels[(process.name, pc)] = [0, 0, 0.0]
+            entry[0] += 1
+            entry[1] += len(expanded)
+            entry[2] += dt
+            phase_s["successor_gen"] += dt
+            phase_calls["successor_gen"] += 1
+            result.extend(expanded)
+        return result
+
+    def _profile_options(self) -> dict:
+        """The deterministic option fields of the profile artifact."""
+        return {
+            "symmetry": self.use_symmetry,
+            "por": self.use_por,
+            "por_deps": self.use_por_deps,
+            "fingerprint_mode": self.fingerprint_mode,
+            "exact_fingerprints": self.exact_fingerprints,
+        }
+
+    def _profile_artifact(self, prof: CheckProfiler, engine: str,
+                          total_s: float, exploration_s: float, counts: dict,
+                          workers=None, busy_s=None) -> dict:
+        """The ``repro.prof/v1`` document for ``stats["profile"]``."""
+        return prof.artifact(
+            spec=getattr(self.spec, "name", "spec"), engine=engine,
+            workers=workers, options=self._profile_options(),
+            total_s=total_s, exploration_s=exploration_s, busy_s=busy_s,
+            counts=counts)
+
+    def _progress_round(self, bfs_round: int, n_states: int,
+                        frontier_len: int, prev_len: int, transitions: int,
+                        start_time: float) -> None:
+        """One heartbeat line per BFS round (stderr only).
+
+        The ETA assumes geometric frontier decay once the frontier
+        shrinks round-over-round (sum of the remaining geometric series
+        over the current states/s); while the frontier still grows no
+        honest estimate exists and the field is omitted.
+        """
+        elapsed = time.perf_counter() - start_time
+        rate = n_states / elapsed if elapsed > 0 else 0.0
+        hit = 1.0 - n_states / transitions if transitions else 0.0
+        eta = None
+        if rate > 0 and 0 < frontier_len < prev_len:
+            ratio = frontier_len / prev_len
+            eta = frontier_len / (1.0 - ratio) / rate
+        self.progress.update(round=bfs_round, states=n_states,
+                             frontier=frontier_len,
+                             states_per_s=round(rate, 1),
+                             dedup_hit=round(hit, 3), eta_s=eta)
 
     def _canonical(self, state: State) -> State:
         if self.use_symmetry:
@@ -323,6 +452,11 @@ class ModelChecker:
         if self.fingerprint_mode is not None:
             return self._run_serial_fp()
         start_time = time.perf_counter()
+        prof = self.profiler
+        perf = time.perf_counter
+        tracer = (CheckerTraceBuilder(
+                      label=f"check {getattr(self.spec, 'name', 'spec')}")
+                  if self.trace_out else None)
         spec = self.spec
         if self.use_por and self.validate_por_hints:
             self._reject_unsound_hints()
@@ -356,13 +490,36 @@ class ModelChecker:
                     return False
             return True
 
-        if not check_invariants(0) and self.stop_at_first:
-            return CheckResult(False, 1, 0, 0,
-                               time.perf_counter() - start_time, violations)
+        if prof is not None:
+            _plain_invariants = check_invariants
 
+            def check_invariants(index: int) -> bool:
+                t0 = perf()
+                ok = _plain_invariants(index)
+                prof.add("property_eval", perf() - t0)
+                return ok
+
+        explore_t0 = perf()
+        if not check_invariants(0) and self.stop_at_first:
+            elapsed = time.perf_counter() - start_time
+            stats = {"engine": "serial"}
+            if prof is not None:
+                prof.busy_s = perf() - explore_t0
+                stats["profile"] = self._profile_artifact(
+                    prof, engine="serial", total_s=elapsed,
+                    exploration_s=prof.busy_s,
+                    counts={"states": 1, "transitions": 0, "diameter": 0})
+            return CheckResult(False, 1, 0, 0, elapsed, violations,
+                               stats=stats)
+
+        if prof is not None:
+            phase_s = prof.phase_s
+            phase_calls = prof.phase_calls
         frontier = [0]
         stop = False
+        bfs_round = 0
         while frontier and not stop:
+            round_t0 = perf()
             next_frontier = []
             for index in frontier:
                 successors = self._successors(states[index])
@@ -379,12 +536,29 @@ class ModelChecker:
                         break
                 for action, succ in successors:
                     transitions += 1
-                    cached = raw_memo.get(succ)
+                    if prof is None:
+                        cached = raw_memo.get(succ)
+                    else:
+                        t0 = perf()
+                        cached = raw_memo.get(succ)
+                        t1 = perf()
+                        phase_s["dedup"] += t1 - t0
+                        phase_calls["dedup"] += 1
                     if cached is not None:
                         edges[index].append(cached)
                         continue
-                    canon = self._canonical(succ)
-                    existing = seen.get(canon)
+                    if prof is None:
+                        canon = self._canonical(succ)
+                        existing = seen.get(canon)
+                    else:
+                        canon = self._canonical(succ)
+                        t2 = perf()
+                        phase_s["canonicalize"] += t2 - t1
+                        phase_calls["canonicalize"] += 1
+                        existing = seen.get(canon)
+                        t3 = perf()
+                        phase_s["dedup"] += t3 - t2
+                        phase_calls["dedup"] += 1
                     if existing is not None:
                         raw_memo[succ] = existing
                         edges[index].append(existing)
@@ -397,6 +571,11 @@ class ModelChecker:
                     depth.append(depth[index] + 1)
                     diameter = max(diameter, depth[new_index])
                     edges[index].append(new_index)
+                    if prof is not None:
+                        # Seen-store insertion rides with the lookup:
+                        # chained continuation of the dedup region.
+                        t4 = perf()
+                        phase_s["dedup"] += t4 - t3
                     if not check_invariants(new_index) and self.stop_at_first:
                         stop = True
                         break
@@ -406,15 +585,51 @@ class ModelChecker:
                             f"state space exceeds {self.max_states} states")
                 if stop:
                     break
+            prev_len = len(frontier)
             frontier = next_frontier
+            bfs_round += 1
+            if tracer is not None:
+                now = perf() - start_time
+                tracer.round_span("serial", bfs_round - 1,
+                                  round_t0 - start_time, now,
+                                  frontier=prev_len)
+                tracer.counter("frontier depth", now,
+                               {"states": len(frontier)})
+                if transitions:
+                    tracer.counter("dedup", now, {
+                        "hit_rate": round(1 - len(states) / transitions, 4)})
+            if self.progress is not None:
+                self._progress_round(bfs_round, len(states), len(frontier),
+                                     prev_len, transitions, start_time)
 
+        explore_end = perf()
         if not stop and spec.eventually_always:
-            violations.extend(
-                self._check_liveness(states, edges, depth, trace_to))
+            if prof is None:
+                violations.extend(
+                    self._check_liveness(states, edges, depth, trace_to))
+            else:
+                t0 = perf()
+                violations.extend(
+                    self._check_liveness(states, edges, depth, trace_to))
+                prof.add("liveness", perf() - t0)
 
         elapsed = time.perf_counter() - start_time
         stats = {"engine": "serial"}
         self._record_auto_choice(stats)
+        if prof is not None:
+            exploration_s = explore_end - explore_t0
+            prof.busy_s = exploration_s
+            stats["profile"] = self._profile_artifact(
+                prof, engine="serial", total_s=elapsed,
+                exploration_s=exploration_s,
+                counts={"states": len(states), "transitions": transitions,
+                        "diameter": diameter})
+        if tracer is not None:
+            tracer.write(self.trace_out)
+        if self.progress is not None:
+            self.progress.done(states=len(states), transitions=transitions,
+                               diameter=diameter,
+                               elapsed_s=round(elapsed, 2))
         result = CheckResult(not violations, len(states), transitions,
                              diameter, elapsed, violations, stats=stats)
         if self.registry is not None:
@@ -452,6 +667,11 @@ class ModelChecker:
         from .fingerprint import IncrementalFingerprinter
 
         start_time = time.perf_counter()
+        prof = self.profiler
+        perf = time.perf_counter
+        tracer = (CheckerTraceBuilder(
+                      label=f"check {getattr(self.spec, 'name', 'spec')}")
+                  if self.trace_out else None)
         spec = self.spec
         if self.use_por and self.validate_por_hints:
             self._reject_unsound_hints()
@@ -493,13 +713,37 @@ class ModelChecker:
                     return False
             return True
 
-        if not check_invariants(0) and self.stop_at_first:
-            return CheckResult(False, 1, 0, 0,
-                               time.perf_counter() - start_time, violations)
+        if prof is not None:
+            _plain_invariants = check_invariants
 
+            def check_invariants(index: int) -> bool:
+                t0 = perf()
+                ok = _plain_invariants(index)
+                prof.add("property_eval", perf() - t0)
+                return ok
+
+        explore_t0 = perf()
+        if not check_invariants(0) and self.stop_at_first:
+            elapsed = time.perf_counter() - start_time
+            stats = {"engine": "serial",
+                     "fingerprint_mode": self.fingerprint_mode}
+            if prof is not None:
+                prof.busy_s = perf() - explore_t0
+                stats["profile"] = self._profile_artifact(
+                    prof, engine="serial-fp", total_s=elapsed,
+                    exploration_s=prof.busy_s,
+                    counts={"states": 1, "transitions": 0, "diameter": 0})
+            return CheckResult(False, 1, 0, 0, elapsed, violations,
+                               stats=stats)
+
+        if prof is not None:
+            phase_s = prof.phase_s
+            phase_calls = prof.phase_calls
         frontier = [0]
         stop = False
+        bfs_round = 0
         while frontier and not stop:
+            round_t0 = perf()
             next_frontier = []
             for index in frontier:
                 state = states[index]
@@ -517,7 +761,14 @@ class ModelChecker:
                         break
                 for action, succ in successors:
                     transitions += 1
-                    canon = self._canonical(succ)
+                    if prof is None:
+                        canon = self._canonical(succ)
+                    else:
+                        t0 = perf()
+                        canon = self._canonical(succ)
+                        t1 = perf()
+                        phase_s["canonicalize"] += t1 - t0
+                        phase_calls["canonicalize"] += 1
                     if incremental:
                         if canon is succ:
                             # Step semantics copy the parent's slot tuples
@@ -531,7 +782,16 @@ class ModelChecker:
                     else:
                         vec = None
                         fp = fingerprint_state(canon)
-                    existing = seen.get(fp)
+                    if prof is None:
+                        existing = seen.get(fp)
+                    else:
+                        t2 = perf()
+                        phase_s["fingerprint"] += t2 - t1
+                        phase_calls["fingerprint"] += 1
+                        existing = seen.get(fp)
+                        t3 = perf()
+                        phase_s["dedup"] += t3 - t2
+                        phase_calls["dedup"] += 1
                     if existing is not None:
                         edges[index].append(existing)
                         continue
@@ -543,6 +803,11 @@ class ModelChecker:
                     depth.append(depth[index] + 1)
                     diameter = max(diameter, depth[new_index])
                     edges[index].append(new_index)
+                    if prof is not None:
+                        # Seen-store insertion rides with the lookup:
+                        # chained continuation of the dedup region.
+                        t4 = perf()
+                        phase_s["dedup"] += t4 - t3
                     if not check_invariants(new_index) and self.stop_at_first:
                         stop = True
                         break
@@ -552,16 +817,52 @@ class ModelChecker:
                             f"state space exceeds {self.max_states} states")
                 if stop:
                     break
+            prev_len = len(frontier)
             frontier = next_frontier
+            bfs_round += 1
+            if tracer is not None:
+                now = perf() - start_time
+                tracer.round_span("serial", bfs_round - 1,
+                                  round_t0 - start_time, now,
+                                  frontier=prev_len)
+                tracer.counter("frontier depth", now,
+                               {"states": len(frontier)})
+                if transitions:
+                    tracer.counter("dedup", now, {
+                        "hit_rate": round(1 - len(states) / transitions, 4)})
+            if self.progress is not None:
+                self._progress_round(bfs_round, len(states), len(frontier),
+                                     prev_len, transitions, start_time)
 
+        explore_end = perf()
         if not stop and spec.eventually_always:
-            violations.extend(
-                self._check_liveness(states, edges, depth, trace_to))
+            if prof is None:
+                violations.extend(
+                    self._check_liveness(states, edges, depth, trace_to))
+            else:
+                t0 = perf()
+                violations.extend(
+                    self._check_liveness(states, edges, depth, trace_to))
+                prof.add("liveness", perf() - t0)
 
         elapsed = time.perf_counter() - start_time
         stats = {"engine": "serial",
                  "fingerprint_mode": self.fingerprint_mode}
         self._record_auto_choice(stats)
+        if prof is not None:
+            exploration_s = explore_end - explore_t0
+            prof.busy_s = exploration_s
+            stats["profile"] = self._profile_artifact(
+                prof, engine="serial-fp", total_s=elapsed,
+                exploration_s=exploration_s,
+                counts={"states": len(states), "transitions": transitions,
+                        "diameter": diameter})
+        if tracer is not None:
+            tracer.write(self.trace_out)
+        if self.progress is not None:
+            self.progress.done(states=len(states), transitions=transitions,
+                               diameter=diameter,
+                               elapsed_s=round(elapsed, 2))
         result = CheckResult(not violations, len(states), transitions,
                              diameter, elapsed, violations, stats=stats)
         if self.registry is not None:
@@ -570,11 +871,15 @@ class ModelChecker:
 
     def _report_metrics(self, result: CheckResult) -> None:
         registry = self.registry
-        registry.counter("checker.states").inc(result.distinct_states)
-        registry.counter("checker.transitions").inc(result.transitions)
-        registry.gauge("checker.frontier_depth").set(result.diameter)
+        # Per-run "checker<N>" namespacing (the env-style registry
+        # pattern): two checker runs against one registry must not
+        # silently overwrite each other's gauges.
+        prefix = registry.checker_prefix(self)
+        registry.counter(f"{prefix}.states").inc(result.distinct_states)
+        registry.counter(f"{prefix}.transitions").inc(result.transitions)
+        registry.gauge(f"{prefix}.frontier_depth").set(result.diameter)
         if result.elapsed > 0:
-            registry.gauge("checker.states_per_s").set(
+            registry.gauge(f"{prefix}.states_per_s").set(
                 round(result.distinct_states / result.elapsed, 1))
 
     # -- liveness -----------------------------------------------------------------

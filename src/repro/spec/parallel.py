@@ -51,6 +51,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..obs.prof import CheckerTraceBuilder
 from .checker import CheckResult, ModelChecker, Violation
 from .fingerprint import (
     SHARDS,
@@ -108,7 +109,15 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
             spec, symmetry=options["symmetry"], por=options["por"],
             check_deadlock=options["check_deadlock"],
             validate_por_hints=False,
-            por_deps=options.get("por_deps", False))
+            por_deps=options.get("por_deps", False),
+            profile=options.get("profile", False))
+        # Worker-local phase/label profiler; snapshots ship back on
+        # finalize and the coordinator merges them (repro.obs.prof).
+        prof = checker.profiler
+        perf = time.perf_counter
+        if prof is not None:
+            phase_s = prof.phase_s
+            phase_calls = prof.phase_calls
         exact = options["exact"]
         need_liveness = bool(spec.eventually_always)
         live_predicates = list(spec.eventually_always.values())
@@ -137,17 +146,31 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
                 local_next = []
                 for _src, blob in blobs:
                     candidates.extend(pickle.loads(blob))
+                # Explore/serialize split, reported every round: the
+                # coordinator derives relay and idle spans from it for
+                # the --trace-out worker-utilization tracks.
+                explore_t0 = perf()
                 accepted = duplicates = transitions = 0
                 violations: list[tuple] = []
                 outbox: dict[int, list] = {}
                 for state, fp, parent_fp, action in candidates:
                     payload = canonical_bytes(state) if exact else None
-                    if not store.add(fp, payload):
+                    if prof is None:
+                        added = store.add(fp, payload)
+                    else:
+                        t0 = perf()
+                        added = store.add(fp, payload)
+                        t1 = perf()
+                        phase_s["dedup"] += t1 - t0
+                        phase_calls["dedup"] += 1
+                    if not added:
                         duplicates += 1
                         continue
                     accepted += 1
                     breadcrumbs[fp] = (parent_fp, action)
                     depth_of[fp] = depth
+                    if prof is not None:
+                        t0 = perf()
                     view = spec.view(state)
                     for name, predicate in spec.invariants.items():
                         if not predicate(view):
@@ -156,6 +179,13 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
                     if need_liveness:
                         live_bits[fp] = tuple(
                             bool(p(view)) for p in live_predicates)
+                    if prof is not None:
+                        t1 = perf()
+                        phase_s["property_eval"] += t1 - t0
+                        phase_calls["property_eval"] += 1
+                        # _successors dispatches to the profiled variant
+                        # (por_ample + per-label successor_gen) because
+                        # checker.profiler is set.
                     successors = checker._successors(state)
                     if (options["check_deadlock"] and not successors
                             and any(pc is not None and not process.daemon
@@ -165,16 +195,31 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
                             ("deadlock", "no-enabled-step", depth, fp))
                     for succ_action, successor in successors:
                         transitions += 1
+                        if prof is not None:
+                            rt = perf()
                         memo = fp_memo.get(successor)
                         if memo is None:
-                            canon = checker._canonical(successor)
-                            succ_fp = fingerprint_state(canon)
+                            if prof is None:
+                                canon = checker._canonical(successor)
+                                succ_fp = fingerprint_state(canon)
+                            else:
+                                canon = checker._canonical(successor)
+                                t1 = perf()
+                                phase_s["canonicalize"] += t1 - rt
+                                phase_calls["canonicalize"] += 1
+                                succ_fp = fingerprint_state(canon)
+                                rt = perf()
+                                phase_s["fingerprint"] += rt - t1
+                                phase_calls["fingerprint"] += 1
                             fp_memo[successor] = (canon, succ_fp)
                         else:
                             canon, succ_fp = memo
                         if need_liveness:
                             edges.append((fp, succ_fp))
                         if succ_fp in routed:
+                            if prof is not None:
+                                phase_s["dedup"] += perf() - rt
+                                phase_calls["dedup"] += 1
                             continue
                         routed.add(succ_fp)
                         owner = shard_of(succ_fp) % nworkers
@@ -183,16 +228,29 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
                             local_next.append(candidate)
                         else:
                             outbox.setdefault(owner, []).append(candidate)
+                        if prof is not None:
+                            # Routed-filter membership + routing rides
+                            # the dedup phase (it is the cross-worker
+                            # half of deduplication).
+                            phase_s["dedup"] += perf() - rt
+                            phase_calls["dedup"] += 1
+                serialize_t0 = perf()
+                outbox_blobs = {dest: pickle.dumps(batch)
+                                for dest, batch in outbox.items()}
+                serialize_end = perf()
+                if prof is not None:
+                    prof.busy_s += serialize_end - explore_t0
                 conn.send(("expanded", {
                     "accepted": accepted,
                     "duplicates": duplicates,
                     "transitions": transitions,
                     "violations": violations,
-                    "outbox": {dest: pickle.dumps(batch)
-                               for dest, batch in outbox.items()},
+                    "outbox": outbox_blobs,
                     "self_pending": len(local_next),
                     "store_len": len(store),
                     "hit_rate": round(store.hit_rate(), 6),
+                    "explore_s": serialize_t0 - explore_t0,
+                    "serialize_s": serialize_end - serialize_t0,
                 }))
             elif tag == "finalize":
                 need = message[1]
@@ -203,6 +261,8 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
                 if "liveness" in need:
                     reply["edges"] = edges
                     reply["live_bits"] = live_bits
+                if "prof" in need and prof is not None:
+                    reply["prof"] = prof.snapshot()
                 conn.send(("finalized", reply))
             elif tag == "stop":
                 conn.send(("stopped", worker_id))
@@ -378,12 +438,19 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
     if checker.use_por and checker.validate_por_hints:
         checker._reject_unsound_hints()
     registry = checker.registry
+    prefix = (registry.checker_prefix(checker)
+              if registry is not None else None)
+    tracer = (CheckerTraceBuilder(
+                  label=f"check {getattr(spec, 'name', 'spec')} "
+                        f"({nworkers} workers)")
+              if checker.trace_out else None)
     options = {
         "symmetry": checker.use_symmetry,
         "por": checker.use_por,
         "check_deadlock": checker.check_deadlock,
         "exact": checker.exact_fingerprints,
         "por_deps": checker.use_por_deps,
+        "profile": checker.profile,
     }
     pool = _Pool(nworkers, source, options)
     try:
@@ -401,14 +468,20 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
         total_states = total_transitions = total_duplicates = 0
         diameter = 0
         raw_violations: list[tuple] = []  # (kind, name, depth, fp)
+        prev_accepted = 1
         while True:
+            dispatch_t = time.perf_counter()
             for wid in range(nworkers):
                 pool.send(wid, ("round", depth, pending[wid]))
             pending = {wid: [] for wid in range(nworkers)}
             round_accepted = round_transitions = 0
             self_pending = 0
+            round_stats: list = [None] * nworkers
+            reply_at: list = [0.0] * nworkers
             for wid in range(nworkers):
                 _tag, stats = pool.recv(wid)
+                reply_at[wid] = time.perf_counter()
+                round_stats[wid] = stats
                 round_accepted += stats["accepted"]
                 round_transitions += stats["transitions"]
                 total_duplicates += stats["duplicates"]
@@ -417,25 +490,49 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
                 for dest, blob in sorted(stats["outbox"].items()):
                     pending[dest].append((wid, blob))
                 if registry is not None:
-                    registry.gauge(f"checker.shard{wid}.states").set(
+                    registry.gauge(f"{prefix}.shard{wid}.states").set(
                         stats["store_len"])
-                    registry.gauge(f"checker.shard{wid}.dedup_hit_rate").set(
+                    registry.gauge(
+                        f"{prefix}.shard{wid}.dedup_hit_rate").set(
                         stats["hit_rate"])
             total_states += round_accepted
             total_transitions += round_transitions
+            if tracer is not None:
+                barrier = max(reply_at) - explore_start
+                t0 = dispatch_t - explore_start
+                for wid in range(nworkers):
+                    stats = round_stats[wid]
+                    tracer.round_spans(
+                        f"worker{wid}", depth, t0,
+                        reply_at[wid] - explore_start, barrier,
+                        stats["explore_s"], stats["serialize_s"],
+                        accepted=stats["accepted"],
+                        duplicates=stats["duplicates"])
+                tracer.counter("frontier depth", barrier,
+                               {"states": round_accepted})
+                if total_transitions:
+                    tracer.counter("dedup", barrier, {
+                        "hit_rate": round(
+                            1 - total_states / total_transitions, 4)})
             if round_accepted:
                 diameter = depth
             if registry is not None:
-                registry.gauge("checker.frontier_depth").set(depth)
-                registry.counter("checker.states").inc(round_accepted)
-                registry.counter("checker.transitions").inc(round_transitions)
-                registry.counter("checker.dedup_hits").inc(
+                registry.gauge(f"{prefix}.frontier_depth").set(depth)
+                registry.counter(f"{prefix}.states").inc(round_accepted)
+                registry.counter(
+                    f"{prefix}.transitions").inc(round_transitions)
+                registry.counter(f"{prefix}.dedup_hits").inc(
                     total_duplicates - registry.counter(
-                        "checker.dedup_hits").value)
+                        f"{prefix}.dedup_hits").value)
                 elapsed_so_far = time.perf_counter() - explore_start
                 if elapsed_so_far > 0:
-                    registry.gauge("checker.states_per_s").set(
+                    registry.gauge(f"{prefix}.states_per_s").set(
                         round(total_states / elapsed_so_far, 1))
+            if checker.progress is not None:
+                checker._progress_round(
+                    depth + 1, total_states, round_accepted, prev_accepted,
+                    total_transitions, explore_start)
+            prev_accepted = round_accepted
             if total_states > checker.max_states:
                 raise MemoryError(
                     f"state space exceeds {checker.max_states} states")
@@ -461,6 +558,8 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
             need.add("traces")
         if check_liveness:
             need.update(("traces", "liveness"))
+        if checker.profile:
+            need.add("prof")
         breadcrumbs: dict = {}
         depth_of: dict = {}
         edges: list = []
@@ -474,17 +573,24 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
                 depth_of.update(reply.get("depth_of", {}))
                 edges.extend(reply.get("edges", []))
                 live_bits.update(reply.get("live_bits", {}))
+                if "prof" in reply:
+                    checker.profiler.merge(reply["prof"])
 
         violations = [
             Violation(kind, name,
                       _reconstruct_trace(checker, breadcrumbs, fp))
             for kind, name, _depth, fp in raw_violations]
         if check_liveness:
+            live_t0 = time.perf_counter()
+            witnesses = _check_liveness_parallel(
+                checker, breadcrumbs, depth_of, edges, live_bits)
+            if checker.profiler is not None:
+                checker.profiler.add(
+                    "liveness", time.perf_counter() - live_t0)
             violations.extend(
                 Violation("liveness", name,
                           _reconstruct_trace(checker, breadcrumbs, fp))
-                for name, fp in _check_liveness_parallel(
-                    checker, breadcrumbs, depth_of, edges, live_bits))
+                for name, fp in witnesses)
     finally:
         pool.shutdown()
 
@@ -504,4 +610,19 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
     checker._record_auto_choice(result.stats)
     if explore_s > 0:
         result.stats["states_per_s"] = round(total_states / explore_s, 1)
+    if checker.profile:
+        result.stats["profile"] = checker._profile_artifact(
+            checker.profiler, engine="parallel", workers=nworkers,
+            total_s=elapsed, exploration_s=explore_s,
+            busy_s=checker.profiler.busy_s,
+            counts={"states": total_states,
+                    "transitions": total_transitions,
+                    "diameter": diameter})
+    if tracer is not None:
+        tracer.write(checker.trace_out)
+    if checker.progress is not None:
+        checker.progress.done(states=total_states,
+                              transitions=total_transitions,
+                              diameter=diameter,
+                              elapsed_s=round(elapsed, 2))
     return result

@@ -118,6 +118,19 @@ def validate_artifact(artifact: Any) -> list[str]:
                     f"{where}.serial_fp.{mode}.match must be true "
                     "(fingerprint-dedup run disagreed with the default "
                     "serial engine)")
+        profile = entry.get("profile")
+        if profile is None:
+            problems.append(f"{where}.profile section missing (run a "
+                            "profiled serial pass)")
+        else:
+            from ..obs.validate import validate_prof_artifact
+
+            problems.extend(f"{where}.profile: {problem}"
+                            for problem in validate_prof_artifact(profile))
+        if entry.get("profile_match") is not True:
+            problems.append(f"{where}.profile_match must be true (profiled "
+                            "run disagreed with the unprofiled serial "
+                            "engine)")
 
     bound = artifact.get("collision_bound")
     if not isinstance(bound, dict):
@@ -162,6 +175,39 @@ def validate_artifact(artifact: Any) -> list[str]:
             and fp_gate["spec"] not in specs:
         problems.append(
             f"fp_gate.spec {fp_gate['spec']!r} not among benched specs")
+
+    prof_gate = artifact.get("prof_gate")
+    if not isinstance(prof_gate, dict):
+        problems.append("missing prof_gate section")
+        prof_gate = {}
+    for key in ("min_coverage", "coverage", "max_overhead"):
+        if not isinstance(prof_gate.get(key), (int, float)) \
+                or isinstance(prof_gate.get(key), bool):
+            problems.append(f"prof_gate.{key} must be a number")
+    overhead = prof_gate.get("overhead")
+    if not isinstance(overhead, dict) or not isinstance(
+            overhead.get("overhead"), (int, float)):
+        problems.append("prof_gate.overhead must be the measurement object "
+                        "from benchmarks/prof_overhead.py")
+        overhead = None
+    if prof_gate.get("enforced") is not True:
+        problems.append("prof_gate.enforced must be true (profiled runs "
+                        "are serial; one core measures them)")
+    if not isinstance(prof_gate.get("passed"), bool):
+        problems.append("prof_gate.passed must be a bool")
+    elif (overhead is not None
+          and isinstance(prof_gate.get("coverage"), (int, float))
+          and isinstance(prof_gate.get("min_coverage"), (int, float))
+          and isinstance(prof_gate.get("max_overhead"), (int, float))):
+        expected = (prof_gate["coverage"] >= prof_gate["min_coverage"]
+                    and overhead["overhead"] <= prof_gate["max_overhead"])
+        if prof_gate["passed"] != expected:
+            problems.append("prof_gate.passed is inconsistent with its "
+                            "coverage/overhead thresholds")
+    if isinstance(prof_gate.get("spec"), str) and specs \
+            and prof_gate["spec"] not in specs:
+        problems.append(
+            f"prof_gate.spec {prof_gate['spec']!r} not among benched specs")
     return problems
 
 
@@ -183,13 +229,17 @@ def main(argv=None) -> int:
         specs = artifact.get("specs", {})
         gate = artifact.get("gate", {})
         fp_gate = artifact.get("fp_gate", {})
+        prof_gate = artifact.get("prof_gate", {})
         state = ("PASSED" if gate.get("passed")
                  else "failed" if gate.get("enforced")
                  else "not enforced (host too small)")
         fp_state = "PASSED" if fp_gate.get("passed") else "failed"
+        prof_state = "PASSED" if prof_gate.get("passed") else "failed"
         print(f"ok: {len(specs)} specs benched, "
               f">= {gate.get('min_speedup')}x gate {state}, "
-              f">= {fp_gate.get('min_speedup')}x fp gate {fp_state}")
+              f">= {fp_gate.get('min_speedup')}x fp gate {fp_state}, "
+              f">= {prof_gate.get('min_coverage')} coverage prof gate "
+              f"{prof_state}")
     return 1 if problems else 0
 
 

@@ -134,3 +134,24 @@ def test_write_artifact_stable(fast_artifact, tmp_path):
     write_artifact(fast_artifact, path)
     write_artifact(json.loads(path.read_text()), tmp_path / "again.json")
     assert path.read_text() == (tmp_path / "again.json").read_text()
+
+
+def test_progress_lines_carry_eta_and_cache_label(tmp_path):
+    spec = parse_campaign(
+        "[campaign]\nexperiments = ['figA3', 'tableA1']\n")
+    lines = []
+    run_campaign(spec, jobs=1, cache_dir=tmp_path / "cache",
+                 progress=lines.append)
+    assert len(lines) == 2
+    assert lines[0].startswith("[1/2] ")
+    assert lines[-1].startswith("[2/2] ")
+    # Executed tasks report wall time; every line but the last carries
+    # a histogram-derived ETA (nothing remains after the final task).
+    assert all("eta ~" in line for line in lines[:-1])
+    assert "eta ~" not in lines[-1]
+    assert all("s)" in line for line in lines)
+    # A warm second sweep labels every hit as cached.
+    cached_lines = []
+    run_campaign(spec, jobs=1, cache_dir=tmp_path / "cache",
+                 progress=cached_lines.append)
+    assert all("(cached)" in line for line in cached_lines)

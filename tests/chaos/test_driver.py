@@ -169,3 +169,20 @@ def test_validator_requires_shrunk_when_asked():
     assert validate_artifact(doc) == []
     assert any("--require-shrunk" in p
                for p in validate_artifact(doc, require_shrunk=True))
+
+
+def test_search_progress_callback_observes_without_perturbing():
+    """The per-trial progress hook sees (done, total, interesting) and
+    leaves the deterministic artifact byte-identical."""
+    kwargs = dict(trials=3, shrink=False, **QUICK)
+    calls = []
+    plain = json.dumps(search(3, **kwargs), sort_keys=True)
+    observed = json.dumps(
+        search(3, progress=lambda *args: calls.append(args), **kwargs),
+        sort_keys=True)
+    assert observed == plain
+    assert [call[:2] for call in calls] == [(1, 3), (2, 3), (3, 3)]
+    # The interesting count is monotone and ends at the artifact's total.
+    counts = [call[2] for call in calls]
+    assert counts == sorted(counts)
+    assert counts[-1] == len(json.loads(plain)["interesting_trials"])

@@ -1,0 +1,247 @@
+"""Unit tests for the verification-profiling primitives (repro.obs.prof)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.prof import (PHASES, PROF_SCHEMA, CheckerTraceBuilder,
+                            CheckProfiler, Progress, dump_prof,
+                            eta_from_samples, render_report)
+from repro.obs.validate import validate_chrome_trace, validate_prof_artifact
+
+
+def _sample_profiler():
+    prof = CheckProfiler()
+    prof.add("successor_gen", 0.5)
+    prof.add("dedup", 0.2)
+    prof.add("property_eval", 0.1)
+    prof.add_label("worker", "step", 0.3, successors=4)
+    prof.add_label("worker", "step", 0.1, successors=2)
+    prof.add_label("monitor", "mon", 0.05, successors=1)
+    return prof
+
+
+class TestCheckProfiler:
+    def test_add_accumulates(self):
+        prof = _sample_profiler()
+        assert prof.phase_s["dedup"] == pytest.approx(0.2)
+        assert prof.phase_calls["dedup"] == 1
+        # add_label feeds both the label entry and successor_gen.
+        assert prof.labels[("worker", "step")] == [2, 6, pytest.approx(0.4)]
+        # 1 direct add() + 3 add_label() calls all feed successor_gen.
+        assert prof.phase_calls["successor_gen"] == 4
+        assert prof.phase_s["successor_gen"] == pytest.approx(0.95)
+
+    def test_snapshot_merge_roundtrip(self):
+        a, b = _sample_profiler(), _sample_profiler()
+        b.busy_s = 1.5
+        a.merge(b.snapshot())
+        assert a.phase_s["successor_gen"] == pytest.approx(1.9)
+        assert a.labels[("worker", "step")] == [4, 12, pytest.approx(0.8)]
+        assert a.labels[("monitor", "mon")] == [2, 2, pytest.approx(0.1)]
+        assert a.busy_s == pytest.approx(1.5)
+        # Snapshots survive a JSON round trip (pickle-adjacent contract
+        # for the spawn-safe parallel workers).
+        snap = json.loads(json.dumps(a.snapshot()))
+        fresh = CheckProfiler()
+        fresh.merge(snap)
+        assert fresh.phase_s == pytest.approx(a.phase_s)
+
+    def test_artifact_schema_and_coverage(self):
+        prof = _sample_profiler()
+        doc = prof.artifact(spec="demo", engine="serial",
+                            options={"symmetry": False},
+                            total_s=2.0, exploration_s=1.0,
+                            counts={"states": 10, "transitions": 20,
+                                    "diameter": 3})
+        assert doc["schema"] == PROF_SCHEMA
+        assert set(doc["phases"]) == set(PHASES)
+        # 0.95 successor_gen + 0.2 dedup + 0.1 property_eval / 1.0s busy.
+        assert doc["coverage"] == pytest.approx(1.25)
+        assert doc["labels"]["worker.step"]["expansions"] == 2
+        assert validate_prof_artifact(doc) == []
+
+    def test_artifact_busy_s_override(self):
+        prof = _sample_profiler()
+        doc = prof.artifact(spec="demo", engine="parallel", workers=2,
+                            total_s=3.0, exploration_s=2.0, busy_s=2.5,
+                            counts={"states": 5, "transitions": 9,
+                                    "diameter": 2})
+        assert doc["wall_s"]["busy"] == pytest.approx(2.5)
+        assert doc["coverage"] == pytest.approx(1.25 / 2.5, abs=1e-4)
+        assert validate_prof_artifact(doc) == []
+
+    def test_liveness_excluded_from_coverage(self):
+        prof = CheckProfiler()
+        prof.add("successor_gen", 0.5)
+        prof.add("liveness", 10.0)
+        doc = prof.artifact(spec="demo", engine="serial",
+                            total_s=1.0, exploration_s=1.0)
+        assert doc["coverage"] == pytest.approx(0.5)
+
+    def test_dump_prof_is_stable(self, tmp_path):
+        doc = _sample_profiler().artifact(spec="demo", engine="serial",
+                                          total_s=1.0, exploration_s=1.0)
+        path = tmp_path / "out.prof.json"
+        dump_prof(doc, str(path))
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == doc
+        dump_prof(doc, str(path))
+        assert path.read_text() == text
+
+    def test_render_report_names_hot_phases(self):
+        doc = _sample_profiler().artifact(spec="demo", engine="serial",
+                                          total_s=1.0, exploration_s=1.0)
+        report = render_report(doc, top=1)
+        assert "repro.prof/v1: demo (serial)" in report
+        lines = report.splitlines()
+        phase_lines = [l for l in lines if l.strip().split()[0] in PHASES]
+        # Hottest first: successor_gen (0.9s) leads.
+        assert phase_lines[0].split()[0] == "successor_gen"
+        assert "worker.step" in report
+        assert "(1 more labels)" in report
+
+
+class TestValidateProfArtifact:
+    def _doc(self, **overrides):
+        doc = _sample_profiler().artifact(
+            spec="demo", engine="serial", total_s=1.0, exploration_s=1.0,
+            counts={"states": 1, "transitions": 0, "diameter": 0})
+        doc.update(overrides)
+        return doc
+
+    def test_rejects_wrong_schema(self):
+        problems = validate_prof_artifact(self._doc(schema="nope"))
+        assert any("schema" in p for p in problems)
+
+    def test_rejects_unknown_engine(self):
+        problems = validate_prof_artifact(self._doc(engine="gpu"))
+        assert any("engine" in p for p in problems)
+
+    def test_parallel_requires_workers(self):
+        problems = validate_prof_artifact(self._doc(engine="parallel"))
+        assert any("workers" in p for p in problems)
+
+    def test_rejects_missing_phase(self):
+        doc = self._doc()
+        del doc["phases"]["dedup"]
+        problems = validate_prof_artifact(doc)
+        assert any("dedup" in p for p in problems)
+
+    def test_rejects_unknown_phase(self):
+        doc = self._doc()
+        doc["phases"]["warp"] = {"calls": 1, "wall_s": 0.1}
+        problems = validate_prof_artifact(doc)
+        assert any("warp" in p for p in problems)
+
+    def test_min_coverage_gate(self):
+        doc = self._doc(coverage=0.5)
+        assert validate_prof_artifact(doc, min_coverage=0.9)
+        assert not validate_prof_artifact(doc, min_coverage=0.4)
+
+
+class TestProgress:
+    def test_throttles_and_forces(self):
+        out = io.StringIO()
+        progress = Progress(label="demo", stream=out, min_interval_s=3600)
+        assert progress.update(states=1000) is True
+        assert progress.update(states=2000) is False
+        assert progress.update(force=True, states=3000) is True
+        assert progress.lines_emitted == 2
+        text = out.getvalue()
+        assert "[demo] states=1,000" in text
+        assert "states=2,000" not in text
+        assert "states=3,000" in text
+
+    def test_eta_and_float_formatting(self):
+        out = io.StringIO()
+        progress = Progress(stream=out, min_interval_s=0.0)
+        progress.update(rate=1234.567, eta_s=42.4)
+        line = out.getvalue()
+        assert "rate=1,234.6" in line
+        assert "eta ~42s" in line
+
+    def test_done_always_emits(self):
+        out = io.StringIO()
+        progress = Progress(stream=out, min_interval_s=3600)
+        progress.update(a=1)
+        progress.done(b=2)
+        assert "b=2" in out.getvalue()
+
+
+class TestCheckerTraceBuilder:
+    def test_round_spans_partition_the_round(self):
+        builder = CheckerTraceBuilder(label="demo")
+        builder.round_spans("worker0", 0, t0=0.0, reply_at=0.9,
+                            barrier_at=1.0, explore_s=0.5, serialize_s=0.2)
+        doc = builder.to_doc()
+        assert validate_chrome_trace(doc) == []
+        spans = {e["name"]: e for e in doc["traceEvents"]
+                 if e.get("ph") == "X"}
+        assert spans["round 0"]["dur"] == pytest.approx(1.0e6)
+        # relay = (0.9 - 0.0) - 0.7 = 0.2s; idle = 1.0 - 0.9 = 0.1s.
+        assert spans["relay"]["dur"] == pytest.approx(0.2e6)
+        assert spans["explore"]["ts"] == pytest.approx(0.2e6)
+        assert spans["idle"]["dur"] == pytest.approx(0.1e6, abs=1)
+
+    def test_tracks_get_stable_tids(self):
+        builder = CheckerTraceBuilder()
+        builder.span("coordinator", "x", 0.0, 1.0)
+        builder.span("worker0", "y", 0.0, 1.0)
+        builder.span("coordinator", "z", 1.0, 1.0)
+        events = builder.to_doc()["traceEvents"]
+        names = {e["tid"]: e["args"]["name"] for e in events
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert names == {1: "coordinator", 2: "worker0"}
+
+    def test_jsonl_write(self, tmp_path):
+        builder = CheckerTraceBuilder()
+        builder.counter("frontier depth", 0.5, {"states": 7})
+        path = tmp_path / "trace.jsonl"
+        builder.write(str(path))
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert any(e.get("ph") == "C" for e in lines)
+        assert any(e.get("ph") == "M" for e in lines)
+
+
+class TestStreamingTracer:
+    def test_streams_events_to_jsonl(self, tmp_path):
+        from repro.obs import RecordingTracer
+        from repro.sim import Environment
+
+        path = tmp_path / "sim.jsonl"
+        with RecordingTracer(stream_path=str(path)) as tracer:
+            env = Environment(tracer=tracer)
+            tracer.instant(env, "hello", track="sim")
+            tracer.complete(env, "work", "sim", start=0.0, duration=1.0)
+            tracer.counter(env, "queue", {"depth": 3})
+            assert tracer.streamed_events == 3
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) >= tracer.streamed_events
+        assert any(e.get("ph") == "M" for e in lines)
+
+    def test_streaming_mode_rejects_in_memory_reads(self, tmp_path):
+        from repro.obs import RecordingTracer
+
+        tracer = RecordingTracer(stream_path=str(tmp_path / "t.jsonl"))
+        with pytest.raises(RuntimeError):
+            tracer.chrome_events()
+        with pytest.raises(RuntimeError):
+            tracer.write(str(tmp_path / "o.json"))
+        tracer.close()
+
+    def test_in_memory_default_unchanged(self):
+        from repro.obs import RecordingTracer
+
+        tracer = RecordingTracer()
+        tracer.close()  # idempotent no-op in memory
+        assert tracer.chrome_events() is not None
+
+
+def test_eta_from_samples():
+    assert eta_from_samples([], 5) is None
+    assert eta_from_samples([2.0, 4.0], 0) is None
+    assert eta_from_samples([2.0, 4.0], 10) == pytest.approx(30.0)
+    assert eta_from_samples([2.0, 4.0], 10, parallelism=4) == pytest.approx(7.5)

@@ -194,9 +194,26 @@ def test_parallel_stats_and_metrics():
     assert result.stats["engine"] == "parallel"
     assert result.stats["workers"] == 2
     assert result.stats["spawn_s"] >= 0
-    assert registry.counter("checker.states").value == result.distinct_states
+    assert registry.counter("checker0.states").value == result.distinct_states
     assert registry.counter(
-        "checker.transitions").value == result.transitions
+        "checker0.transitions").value == result.transitions
     rendered = registry.render()
-    assert "checker.frontier_depth" in rendered
-    assert "checker.shard0.states" in rendered
+    assert "checker0.frontier_depth" in rendered
+    assert "checker0.shard0.states" in rendered
+
+
+def test_two_checker_runs_do_not_share_metric_namespaces():
+    """Env-style checker<N> namespacing: a second run against the same
+    registry gets its own metric family instead of overwriting."""
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    source = SPEC_SOURCES["te-app"]
+    first = ModelChecker(source.build(), workers=2, spec_source=source,
+                         registry=registry).run()
+    second = ModelChecker(source.build(), registry=registry).run()
+    assert registry.counter("checker0.states").value == first.distinct_states
+    assert registry.counter("checker1.states").value == second.distinct_states
+    rendered = registry.render()
+    assert "checker0.shard1.states" in rendered
+    assert "checker1.frontier_depth" in rendered
