@@ -1,0 +1,68 @@
+"""repro.ablation — the automated ablation registry and driver.
+
+The paper argues for its verification pipeline by showing what each
+piece buys (Table 4's optimization stacks, §3.4's guard bugs, §3.9's
+lint classes).  This package turns that argument into a build product:
+
+* :mod:`repro.ablation.registry` — the declarative registry: every
+  toggleable component of the pipeline with its on/off kwarg
+  overrides, its measuring workload and its declared metric
+  expectations;
+* :mod:`repro.ablation.lintable` — the seeded-defect spec the lint
+  workload analyzes (bundled specs are lint-clean by design);
+* :mod:`repro.ablation.driver` — plan parsing, baseline-plus-one-off
+  expansion with stable content-derived run ids, execution through
+  :func:`repro.campaign.run_tasks` (cache, derived seeds,
+  serial/parallel byte-identity), and importance scoring into the
+  ``repro.ablation/v1`` artifact;
+* :mod:`repro.ablation.validate` — artifact schema validation (also a
+  ``python -m repro.ablation.validate`` entry point).
+
+``zenith-repro ablate campaigns/ablation.toml`` runs the quick plan;
+``render-docs`` turns the artifact into the component-importance table
+in EXPERIMENTS.md.
+"""
+
+from .driver import (
+    ABLATION_SCHEMA,
+    AblationPlan,
+    RunSpec,
+    expand_runs,
+    load_plan,
+    parse_plan,
+    run_ablation,
+)
+from .registry import (
+    COMPONENTS,
+    WORKLOADS,
+    Component,
+    Metric,
+    Workload,
+    component,
+    components_for,
+    merge_scopes,
+    resolve_config,
+    workload,
+)
+from .validate import validate_artifact
+
+__all__ = [
+    "ABLATION_SCHEMA",
+    "AblationPlan",
+    "COMPONENTS",
+    "Component",
+    "Metric",
+    "RunSpec",
+    "WORKLOADS",
+    "Workload",
+    "component",
+    "components_for",
+    "expand_runs",
+    "load_plan",
+    "merge_scopes",
+    "parse_plan",
+    "resolve_config",
+    "run_ablation",
+    "validate_artifact",
+    "workload",
+]

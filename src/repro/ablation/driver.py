@@ -1,0 +1,374 @@
+"""Ablation driver: expand the registry into runs, score importance.
+
+The pipeline::
+
+    plan ──expand_runs──▶ [RunSpec] ──campaign.run_tasks──▶ metrics
+         ──score──▶ BENCH_ablation.json (repro.ablation/v1)
+
+Execution rides the campaign runner's :func:`~repro.campaign.run_tasks`
+core, so content-keyed caching, derived per-task seeds and
+serial/parallel byte-identity are inherited rather than reimplemented:
+every run becomes a ``componentAblation`` task whose params are just
+``{workload, off}`` — the registry (covered by the cache's source
+digest) resolves the rest.
+
+**Run identity.**  Each run's ``run_id`` is the first 12 hex digits of
+the SHA-256 of its *resolved* configuration (workload, effective
+scoped kwargs, seed, quick) — stable across machines and task order,
+and automatically refreshed when a registry edit changes a run's
+effective kwargs.
+
+**Scoring.**  For every component the driver compares its one-off run
+against the workload baseline on the component's *declared* metrics:
+
+* ``delta_rel`` — ``(off − base) / max(|base|, 1)`` (counts, so the
+  guard against a zero baseline keeps violations-from-zero finite);
+* ``importance`` — the largest ``|delta_rel|`` across declared
+  metrics, averaged over seeds;
+* ``met`` — whether the metric moved in the declared direction;
+* ``harmful`` — some declared metric moved *against* its declaration:
+  an "up" metric that improved when the component was removed (the
+  component hurts the thing it was supposed to buy), or a "flat"
+  metric that moved at all (a pure observer perturbed the search).
+
+The artifact's deterministic sections contain no wall-clock values;
+per-run timings and cache hits are returned separately for display, so
+``BENCH_ablation.json`` is byte-identical across repeated, serial and
+parallel sweeps of the same source tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from ..campaign.runner import Task, derive_seed, run_tasks, source_digest
+from ..campaign.spec import _parse_toml
+from .registry import (
+    Component,
+    components_for,
+    resolve_config,
+    workload as get_workload,
+)
+
+__all__ = [
+    "ABLATION_SCHEMA",
+    "AblationPlan",
+    "RunSpec",
+    "expand_runs",
+    "load_plan",
+    "parse_plan",
+    "run_ablation",
+]
+
+#: Version tag of the ablation artifact.
+ABLATION_SCHEMA = "repro.ablation/v1"
+
+#: Experiment id every ablation run executes under.
+EXP_ID = "componentAblation"
+
+#: Default workload sweep of a plan that names none.
+DEFAULT_WORKLOADS = ("table4", "compose", "guards", "lint")
+
+
+@dataclass(frozen=True)
+class AblationPlan:
+    """A parsed ablation plan (the ``[ablation]`` table of a TOML file)."""
+
+    name: str
+    quick: bool = True
+    seeds: tuple[int, ...] = (0,)
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS
+    #: Restrict to these component ids (empty = all participating).
+    components: tuple[str, ...] = ()
+    #: Also run leave-one-in sets (all participants off but one).
+    leave_one_in: bool = False
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One resolved ablation run."""
+
+    run_id: str
+    workload: str
+    off: tuple[str, ...]
+    seed: int
+    quick: bool
+    config: dict = field(compare=False)
+
+
+def load_plan(path: str | Path) -> AblationPlan:
+    """Parse the ablation plan file at ``path``."""
+    path = Path(path)
+    return parse_plan(path.read_text(), default_name=path.stem)
+
+
+def parse_plan(text: str, default_name: str = "ablation") -> AblationPlan:
+    """Parse ablation TOML text into an :class:`AblationPlan`."""
+    data = _parse_toml(text)
+    table = data.get("ablation", {})
+    if not isinstance(table, dict):
+        raise ValueError("[ablation] must be a table")
+    unknown = set(table) - {"name", "quick", "seeds", "workloads",
+                            "components", "leave_one_in"}
+    if unknown:
+        raise ValueError(f"[ablation]: unknown keys {sorted(unknown)}")
+    seeds = table.get("seeds", [0])
+    if (not isinstance(seeds, list) or not seeds or not all(
+            isinstance(s, int) and not isinstance(s, bool) for s in seeds)):
+        raise ValueError(
+            f"ablation.seeds must be a non-empty list of ints, got {seeds!r}")
+    workloads = table.get("workloads", list(DEFAULT_WORKLOADS))
+    if not isinstance(workloads, list) or not all(
+            isinstance(w, str) for w in workloads):
+        raise ValueError("ablation.workloads must be a list of ids")
+    components = table.get("components", [])
+    if not isinstance(components, list) or not all(
+            isinstance(c, str) for c in components):
+        raise ValueError("ablation.components must be a list of ids")
+    for wl_id in workloads:
+        get_workload(wl_id)   # raises on unknown ids
+    return AblationPlan(
+        name=str(table.get("name", default_name)),
+        quick=bool(table.get("quick", True)),
+        seeds=tuple(int(s) for s in seeds),
+        workloads=tuple(workloads),
+        components=tuple(components),
+        leave_one_in=bool(table.get("leave_one_in", False)),
+    )
+
+
+def _canonical(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _run_id(config: dict, seed: int, quick: bool) -> str:
+    payload = _canonical({"config": config, "seed": seed, "quick": quick})
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def _participants(plan: AblationPlan, wl_id: str) -> tuple[Component, ...]:
+    subset = plan.components or None
+    return components_for(wl_id, quick=plan.quick, subset=subset)
+
+
+def expand_runs(plan: AblationPlan) -> list[RunSpec]:
+    """Expand a plan into its deterministic run list.
+
+    Per workload: the baseline (all participants on), one one-off per
+    participating component, and — with ``leave_one_in`` — one run per
+    component with every *other* participant off.  Workloads whose
+    kind is deterministic in the seed (check, lint) collapse the seed
+    list to its first entry; chaos workloads sweep every seed.
+    """
+    runs: list[RunSpec] = []
+    seen: set[tuple] = set()
+    for wl_id in plan.workloads:
+        wl = get_workload(wl_id)
+        comps = _participants(plan, wl_id)
+        if not comps:
+            continue
+        ids = tuple(c.id for c in comps)
+        off_sets: list[tuple[str, ...]] = [()]
+        off_sets += [(cid,) for cid in ids]
+        if plan.leave_one_in and len(ids) > 1:
+            off_sets += [tuple(i for i in ids if i != keep)
+                         for keep in ids]
+        seeds = plan.seeds if wl.kind == "chaos" else plan.seeds[:1]
+        for off in off_sets:
+            for seed in seeds:
+                key = (wl_id, off, seed)
+                if key in seen:
+                    continue
+                seen.add(key)
+                config = resolve_config(
+                    wl_id, off, quick=plan.quick,
+                    subset=plan.components or None)
+                runs.append(RunSpec(
+                    run_id=_run_id(config, seed, plan.quick),
+                    workload=wl_id,
+                    off=off,
+                    seed=seed,
+                    quick=plan.quick,
+                    config=config,
+                ))
+    return runs
+
+
+def _to_task(run: RunSpec, index: int) -> Task:
+    params = {"workload": run.workload, "off": list(run.off)}
+    return Task(
+        index=index,
+        exp_id=EXP_ID,
+        base_seed=run.seed,
+        seed=derive_seed(run.seed, EXP_ID, params),
+        quick=run.quick,
+        params=tuple(sorted(params.items())),
+    )
+
+
+# -- scoring ------------------------------------------------------------------
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _metric_values(outcomes: list[dict], name: str) -> Optional[float]:
+    """Seed-mean of one metric across a run group (None if absent)."""
+    values = []
+    for metrics in outcomes:
+        value = metrics.get(name)
+        if value is None:
+            return None
+        values.append(float(value))
+    return _mean(values) if values else None
+
+
+def _score_component(comp: Component, base: list[dict],
+                     off: list[dict]) -> dict:
+    deltas: dict[str, dict] = {}
+    importance = 0.0
+    harmful = False
+    for metric in comp.metrics:
+        base_v = _metric_values(base, metric.name)
+        off_v = _metric_values(off, metric.name)
+        if base_v is None or off_v is None:
+            deltas[metric.name] = {"expected": metric.when_off,
+                                   "missing": True}
+            continue
+        delta_abs = off_v - base_v
+        delta_rel = delta_abs / max(abs(base_v), 1.0)
+        met = {"up": delta_rel > 0,
+               "down": delta_rel < 0,
+               "flat": delta_rel == 0}[metric.when_off]
+        against = {"up": delta_rel < 0,
+                   "down": delta_rel > 0,
+                   "flat": delta_rel != 0}[metric.when_off]
+        deltas[metric.name] = {
+            "base": base_v,
+            "off": off_v,
+            "delta_abs": delta_abs,
+            "delta_rel": round(delta_rel, 6),
+            "expected": metric.when_off,
+            "met": met,
+        }
+        importance = max(importance, abs(delta_rel))
+        harmful = harmful or against
+    return {"deltas": deltas, "importance": round(importance, 6),
+            "harmful": harmful}
+
+
+def run_ablation(plan: AblationPlan,
+                 jobs: int = 1,
+                 cache_dir: Optional[str | Path] = ".campaign-cache",
+                 registry=None,
+                 mp_context: str = "spawn",
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> tuple[dict, list[dict]]:
+    """Execute a plan; return ``(artifact, run_meta)``.
+
+    ``artifact`` is the deterministic ``repro.ablation/v1`` dict (no
+    wall-clock content); ``run_meta`` carries per-run ``elapsed_s`` and
+    ``cached`` for display.  Execution semantics (jobs, cache,
+    registry, mp_context, progress) are those of
+    :func:`repro.campaign.run_tasks`.
+    """
+    runs = expand_runs(plan)
+    tasks = [_to_task(run, i) for i, run in enumerate(runs)]
+    digest = source_digest()
+    outcomes = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir,
+                         registry=registry, mp_context=mp_context,
+                         progress=progress, digest=digest)
+
+    run_rows: list[dict] = []
+    metrics_by_run: dict[str, dict] = {}
+    run_meta: list[dict] = []
+    for run, task in zip(runs, tasks):
+        outcome = outcomes[task.index]
+        row = dict(outcome["rows"][0])
+        metrics = {k: v for k, v in row.items()
+                   if k not in ("workload", "off")}
+        metrics_by_run[run.run_id] = metrics
+        run_rows.append({
+            "run_id": run.run_id,
+            "workload": run.workload,
+            "kind": run.config["kind"],
+            "off": list(run.off),
+            "seed": run.seed,
+            "scopes": run.config["scopes"],
+            "metrics": metrics,
+        })
+        run_meta.append({
+            "run_id": run.run_id,
+            "label": task.label(),
+            "cached": outcome.get("cached", False),
+            "elapsed_s": round(outcome.get("elapsed_s", 0.0), 3),
+        })
+
+    def group(wl_id: str, off: tuple[str, ...]) -> list[dict]:
+        return [metrics_by_run[r.run_id] for r in runs
+                if r.workload == wl_id and r.off == off]
+
+    workload_entries: dict[str, dict] = {}
+    component_entries: dict[str, dict] = {}
+    for wl_id in plan.workloads:
+        comps = _participants(plan, wl_id)
+        if not comps:
+            continue
+        wl = get_workload(wl_id)
+        baseline = group(wl_id, ())
+        baseline_ok = _metric_values(baseline, "ok")
+        workload_entries[wl_id] = {
+            "kind": wl.kind,
+            "description": wl.description,
+            "components": [c.id for c in comps],
+            "baseline_runs": [r.run_id for r in runs
+                              if r.workload == wl_id and r.off == ()],
+            "baseline_metrics": {
+                name: _metric_values(baseline, name)
+                for name in sorted(baseline[0])
+                if _metric_values(baseline, name) is not None},
+        }
+        for comp in comps:
+            one_off = group(wl_id, (comp.id,))
+            if not one_off:
+                continue
+            entry = _score_component(comp, baseline, one_off)
+            off_ok = _metric_values(one_off, "ok")
+            entry.update({
+                "layer": comp.layer,
+                "workload": wl_id,
+                "description": comp.description,
+                "runs": [r.run_id for r in runs
+                         if r.workload == wl_id and r.off == (comp.id,)],
+                "verdict_changed": (baseline_ok is not None
+                                    and off_ok is not None
+                                    and baseline_ok != off_ok),
+            })
+            component_entries[comp.id] = entry
+
+    ranking = sorted(component_entries,
+                     key=lambda cid: (-component_entries[cid]["importance"],
+                                      cid))
+    for rank, cid in enumerate(ranking, start=1):
+        component_entries[cid]["rank"] = rank
+
+    artifact = {
+        "schema": ABLATION_SCHEMA,
+        "plan": {
+            "name": plan.name,
+            "quick": plan.quick,
+            "seeds": list(plan.seeds),
+            "workloads": list(plan.workloads),
+            "components": list(plan.components),
+            "leave_one_in": plan.leave_one_in,
+            "source_digest": digest,
+        },
+        "workloads": workload_entries,
+        "runs": run_rows,
+        "components": component_entries,
+        "ranking": ranking,
+    }
+    return artifact, run_meta

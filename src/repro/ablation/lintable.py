@@ -1,0 +1,74 @@
+"""The lint ablation workload: a spec with *seeded* hygiene defects.
+
+Every bundled spec is speclint-clean (that is the point of the §3.9
+hardening), so ablating a lint pass against them would measure nothing
+— each toggle would be "flat" and the detector components could never
+rank.  Instead the lint workload analyzes this deliberately unhygienic
+mini-spec, which plants one defect per detector under ablation:
+
+* ``worker`` peeks the ``jobs`` ack queue and loops back without ever
+  popping — the queue-discipline pass must report
+  ``ACK_READ_WITHOUT_POP`` (§3.9: the head never leaves, so a crash
+  retries work that was already externalized).
+* ``writer``/``reader`` touch the ``slot`` global with no blocking
+  hand-off — the footprint-based race detector (``lint --deps``)
+  must report cross-process races on ``slot``.
+
+Disabling a detector therefore *reduces* the finding count by a known
+amount; a detector whose one-off run does not move the count is either
+broken or redundant, which is exactly what the importance ranking in
+``BENCH_ablation.json`` is meant to surface.
+
+The spec is fully explorable (a few hundred states) and deterministic,
+so the lint metrics are a pure function of the toggle set.
+"""
+
+from __future__ import annotations
+
+from ..spec import NULL, Spec, SpecProcess, Step
+from ..spec.lang import ack_read
+
+__all__ = ["lint_workload_spec"]
+
+
+def lint_workload_spec() -> Spec:
+    """Build the seeded-defect spec the lint ablation workload analyzes."""
+
+    # Defect 1: ack-discipline violation — peek with no balancing pop.
+    def read(ctx):
+        ctx.lset("cur", ack_read(ctx, "jobs"))
+
+    def forward(ctx):
+        ctx.set("out", ctx.lget("cur"))
+        ctx.goto("read")  # loops back without ever popping the head
+
+    worker = SpecProcess("worker", [
+        Step("read", read),
+        Step("forward", forward),
+    ], locals_={"cur": NULL}, daemon=True)
+
+    # Defect 2: blind cross-process write/read on a shared global.
+    def publish(ctx):
+        ctx.set("slot", ctx.get("slot") + 1)
+        ctx.done()
+
+    def consume(ctx):
+        ctx.lset("got", ctx.get("slot"))
+        ctx.done()
+
+    writer = SpecProcess("writer", [Step("publish", publish)],
+                         daemon=True)
+    reader = SpecProcess("reader", [Step("consume", consume)],
+                         locals_={"got": NULL}, daemon=True)
+
+    def observe(ctx):
+        ctx.block_unless(ctx.get("out") is not None)
+        ctx.done()
+
+    observer = SpecProcess("observer", [Step("observe", observe)],
+                           daemon=True)
+
+    return Spec("lint-ablation-fixture",
+                {"jobs": (1,), "out": NULL, "slot": 0},
+                [worker, writer, reader, observer],
+                ack_queues=frozenset({"jobs"}))

@@ -1,0 +1,431 @@
+"""The ablation registry: toggleable components and their workloads.
+
+The paper's Table 4 reads optimization stacks off a hand-maintained
+list; this registry is the declarative replacement.  Every entry names
+one *component* of the verification pipeline — a §3.7 checker
+optimization, a §3.4 spec-level guard, a speclint detector, a chaos
+nemesis — together with
+
+* how to switch it **on** (its contribution to the baseline) and
+  **off** (its one-off ablation run), as kwarg overrides scoped to the
+  surface that consumes them (``"spec"`` → spec factory kwargs,
+  ``"checker"`` → :class:`~repro.spec.checker.ModelChecker` kwargs,
+  ``"lint"`` → :func:`~repro.analysis.analyze_spec` kwargs,
+  ``"chaos"`` → :func:`~repro.chaos.driver.search` kwargs);
+* which **workload** exercises it; and
+* which **metrics** its removal is declared to move, and in which
+  direction (``"up"``/``"down"``/``"flat"`` when the component is
+  off).  The ablation driver scores importance and flags *harmful*
+  components against these declarations: a toggle that improves a
+  metric it was supposed to pay for is a contract violation, not a
+  win.
+
+A *workload* is a fixed verification task (model-check this spec, lint
+that spec, fuzz this target) whose baseline runs with every
+participating component's ``on`` override applied; each one-off run
+re-applies exactly one component's ``off`` override on top.  The
+registry is ordinary code, so it is covered by the campaign cache's
+source digest — editing a declaration invalidates every cached run.
+
+Components with measurable state-space effects deliberately live on
+different workloads: POR only bites on specs with local-hinted steps
+(the core+app composition, §3.6 — the bundled controller specs have
+none), while symmetry/abstraction/fingerprinting are measured on the
+Table-4 controller workload they were built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "Component",
+    "Metric",
+    "Workload",
+    "COMPONENTS",
+    "WORKLOADS",
+    "component",
+    "components_for",
+    "merge_scopes",
+    "resolve_config",
+    "workload",
+]
+
+#: Override scopes a component may target.
+SCOPES = ("spec", "checker", "lint", "chaos")
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One declared expectation: what a metric does when the component
+    is switched off."""
+
+    name: str
+    when_off: str           #: "up" | "down" | "flat"
+    note: str = ""
+
+    def __post_init__(self):
+        if self.when_off not in ("up", "down", "flat"):
+            raise ValueError(f"bad direction {self.when_off!r}")
+
+
+@dataclass(frozen=True)
+class Component:
+    """One toggleable component of the verification pipeline."""
+
+    id: str
+    layer: str              #: "checker" | "spec" | "lint" | "chaos"
+    workload: str           #: id of the workload that measures it
+    description: str
+    off: Mapping[str, Mapping[str, Any]]   #: scope → kwarg overrides
+    on: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    metrics: tuple[Metric, ...] = ()
+    quick: bool = True      #: participates in quick-mode plans
+
+    def __post_init__(self):
+        for overrides in (self.on, self.off):
+            for scope in overrides:
+                if scope not in SCOPES:
+                    raise ValueError(
+                        f"{self.id}: unknown override scope {scope!r}")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A fixed verification task the ablation runs against."""
+
+    id: str
+    kind: str               #: "check" | "lint" | "chaos"
+    description: str
+    #: Bundled spec name (``repro.spec.specs.SPEC_SOURCES``) for check
+    #: workloads built from the registry; None for factory-built ones.
+    spec: str | None = None
+    #: Spec factory (module:function) + base kwargs, for check/lint
+    #: workloads whose spec is parameterized by component overrides.
+    factory: str | None = None
+    base: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in ("check", "lint", "chaos"):
+            raise ValueError(f"bad workload kind {self.kind!r}")
+        for scope in self.base:
+            if scope not in SCOPES:
+                raise ValueError(
+                    f"{self.id}: unknown base scope {scope!r}")
+
+
+# -- workloads ----------------------------------------------------------------
+WORKLOADS: tuple[Workload, ...] = (
+    Workload(
+        id="table4",
+        kind="check",
+        description=("Table-4 controller workload: two independent OPs, "
+                     "two switches, one failure — the spec the §3.7 "
+                     "optimization stack was measured on"),
+        factory="repro.spec.specs.controller:controller_spec",
+        base={"spec": {"num_ops": 2, "edges": (), "num_switches": 2,
+                       "failures": 1}},
+    ),
+    Workload(
+        id="compose",
+        kind="check",
+        description=("§3.6 composition workload: full core driving the "
+                     "AbstractApp — the only bundled state space with "
+                     "local-hinted steps, where POR measurably prunes"),
+        spec="core-with-app",
+    ),
+    Workload(
+        id="guards",
+        kind="check",
+        description=("§3.4 guard workload: single-switch controller with "
+                     "a one-shot sequencer, where each correctness guard "
+                     "alone stands between the spec and a violation"),
+        factory="repro.spec.specs.controller:controller_spec",
+        base={"spec": {"num_ops": 2, "failures": 1, "num_switches": 1,
+                       "oneshot_sequencer": True}},
+    ),
+    Workload(
+        id="lint",
+        kind="lint",
+        description=("speclint workload: a seeded-defect spec "
+                     "(repro.ablation.lintable) with one planted "
+                     "violation per detector under ablation"),
+        factory="repro.ablation.lintable:lint_workload_spec",
+        base={"lint": {"max_states": 4000}},
+    ),
+    Workload(
+        id="chaos",
+        kind="chaos",
+        description=("chaos workload: schedule search against the PR "
+                     "controller with the ZENITH reference, full "
+                     "nemesis mix"),
+        base={"chaos": {"target": "pr", "reference": "zenith",
+                        "shrink": False}},
+    ),
+)
+
+
+# -- components ---------------------------------------------------------------
+COMPONENTS: tuple[Component, ...] = (
+    # §3.7 checker optimizations, measured on the Table-4 workload.
+    Component(
+        id="symmetry",
+        layer="checker",
+        workload="table4",
+        description="switch-identity symmetry reduction (§3.7)",
+        on={"checker": {"symmetry": True}},
+        off={"checker": {"symmetry": False}},
+        metrics=(Metric("states", "up", "orbit representatives collapse "
+                        "permuted switch states"),
+                 Metric("transitions", "up")),
+    ),
+    Component(
+        id="abstraction",
+        layer="spec",
+        workload="table4",
+        description="abstract switch model (§3.7 state abstraction)",
+        on={"spec": {"abstract_switch": True}},
+        off={"spec": {"abstract_switch": False}},
+        metrics=(Metric("states", "up"),
+                 Metric("diameter", "up", "concrete switches add "
+                        "message-shuffling depth")),
+    ),
+    Component(
+        id="coarse-atomicity",
+        layer="spec",
+        workload="table4",
+        description="coarsened atomic blocks (§3.7 partial-order "
+                    "commutativity argument applied at the spec level)",
+        on={"spec": {"coarse_atomicity": True}},
+        off={"spec": {"coarse_atomicity": False}},
+        metrics=(Metric("states", "up"),
+                 Metric("diameter", "up")),
+    ),
+    Component(
+        id="incremental-fp",
+        layer="checker",
+        workload="table4",
+        description="incremental fingerprint maintenance (dirty-slot "
+                    "re-digest instead of full-vector rehash)",
+        on={"checker": {"fingerprint_mode": "incremental"}},
+        off={"checker": {"fingerprint_mode": "full"}},
+        metrics=(Metric("fp_slots", "up", "full mode re-digests every "
+                        "slot of every state"),
+                 Metric("states", "flat", "a fingerprint engine must "
+                        "never change the verdict or the state count")),
+    ),
+    Component(
+        id="fingerprint-dedup",
+        layer="checker",
+        workload="table4",
+        description="fingerprint-based state store (64-bit digests "
+                    "instead of full canonical states)",
+        on={},   # the engine is selected by incremental-fp's override
+        off={"checker": {"fingerprint_mode": None}},
+        metrics=(Metric("store_bytes", "up", "the seen-set stores whole "
+                        "canonical encodings instead of 8-byte digests"),
+                 Metric("states", "flat")),
+    ),
+    Component(
+        id="tracing",
+        layer="checker",
+        workload="table4",
+        description="exploration tracing (PR 7 observability); must be "
+                    "a pure observer of the search",
+        on={"checker": {"trace": True}},
+        off={"checker": {"trace": False}},
+        metrics=(Metric("states", "flat", "tracing must not perturb "
+                        "exploration"),
+                 Metric("transitions", "flat")),
+    ),
+    # POR, measured where it has teeth (local-hinted steps, §3.6).
+    Component(
+        id="por",
+        layer="checker",
+        workload="compose",
+        description="partial-order reduction via local-step ample sets "
+                    "(§3.7)",
+        on={"checker": {"por": True}},
+        off={"checker": {"por": False}},
+        metrics=(Metric("transitions", "up", "every interleaving of the "
+                        "sequencer's local steps is explored"),
+                 Metric("states", "up")),
+    ),
+    Component(
+        id="por-deps",
+        layer="checker",
+        workload="compose",
+        description="footprint-derived ample sets on top of the hints "
+                    "(PR 6 static dependence analysis)",
+        on={"checker": {"por_deps": True}},
+        off={"checker": {"por_deps": False}},
+        metrics=(Metric("states", "flat", "deps-derived ample sets are "
+                        "byte-identical to hint-POR on every bundled "
+                        "spec — the analysis buys soundness checking, "
+                        "not extra pruning"),
+                 Metric("transitions", "flat")),
+    ),
+    # §3.4 correctness guards, measured on the guards workload.
+    Component(
+        id="stale-protection",
+        layer="spec",
+        workload="guards",
+        description="stale-event protection in the event handler (§3.4)",
+        on={"spec": {"stale_protection": True}},
+        off={"spec": {"stale_protection": False}},
+        metrics=(Metric("violations", "up", "stale switch reports "
+                        "overwrite fresher state"),),
+    ),
+    Component(
+        id="atomic-recovery",
+        layer="spec",
+        workload="guards",
+        description="atomic recovery ordering in the failover path "
+                    "(§3.4)",
+        on={"spec": {"recovery_order": "atomic"}},
+        off={"spec": {"recovery_order": "buggy"}},
+        metrics=(Metric("violations", "up"),),
+    ),
+    # speclint detectors, measured against seeded defects.
+    Component(
+        id="queue-discipline-lint",
+        layer="lint",
+        workload="lint",
+        description="ack-queue discipline pass (§3.9 peek-then-pop)",
+        on={},
+        off={"lint": {"skip": ("check_queue_discipline",)}},
+        metrics=(Metric("findings", "down", "the planted "
+                        "ack-read-without-pop defect goes unreported"),),
+    ),
+    Component(
+        id="race-detector",
+        layer="lint",
+        workload="lint",
+        description="footprint-based cross-process race detector "
+                    "(lint --deps, PR 6)",
+        on={"lint": {"deps": True}},
+        off={"lint": {"deps": False}},
+        metrics=(Metric("findings", "down", "the planted blind "
+                        "write/read race goes unreported"),),
+    ),
+    # chaos nemeses (full plans only: seed-sensitive, slower).
+    Component(
+        id="nemesis-duplicate",
+        layer="chaos",
+        workload="chaos",
+        description="duplicate-delivery nemesis in the schedule sampler",
+        on={"chaos": {"channel_kinds": ("drop", "duplicate", "delay")}},
+        off={"chaos": {"channel_kinds": ("drop", "delay")}},
+        metrics=(Metric("interesting", "down", "a weaker fault model "
+                        "should find at most as many target-only "
+                        "violations"),),
+        quick=False,
+    ),
+    Component(
+        id="nemesis-delay",
+        layer="chaos",
+        workload="chaos",
+        description="delay nemesis in the schedule sampler",
+        on={"chaos": {"channel_kinds": ("drop", "duplicate", "delay")}},
+        off={"chaos": {"channel_kinds": ("drop", "duplicate")}},
+        metrics=(Metric("interesting", "down"),),
+        quick=False,
+    ),
+)
+
+_BY_ID = {c.id: c for c in COMPONENTS}
+_WL_BY_ID = {w.id: w for w in WORKLOADS}
+if len(_BY_ID) != len(COMPONENTS):
+    raise RuntimeError("duplicate component ids in registry")
+if len(_WL_BY_ID) != len(WORKLOADS):
+    raise RuntimeError("duplicate workload ids in registry")
+for _c in COMPONENTS:
+    if _c.workload not in _WL_BY_ID:
+        raise RuntimeError(f"{_c.id}: unknown workload {_c.workload!r}")
+
+
+def component(comp_id: str) -> Component:
+    """Look up a component by id."""
+    try:
+        return _BY_ID[comp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown component {comp_id!r}; known: "
+            f"{', '.join(sorted(_BY_ID))}") from None
+
+
+def workload(workload_id: str) -> Workload:
+    """Look up a workload by id."""
+    try:
+        return _WL_BY_ID[workload_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {workload_id!r}; known: "
+            f"{', '.join(sorted(_WL_BY_ID))}") from None
+
+
+def components_for(workload_id: str, quick: bool = True,
+                   subset: tuple[str, ...] | None = None
+                   ) -> tuple[Component, ...]:
+    """Participating components of a workload, in registry order.
+
+    ``quick=True`` drops components declared ``quick=False``;
+    ``subset`` (component ids) restricts further, preserving registry
+    order.  The participating set defines the *baseline*: every
+    member's ``on`` override is applied to it.
+    """
+    comps = tuple(
+        c for c in COMPONENTS
+        if c.workload == workload_id
+        and (c.quick or not quick)
+        and (subset is None or c.id in subset))
+    return comps
+
+
+def merge_scopes(*override_maps: Mapping[str, Mapping[str, Any]]
+                 ) -> dict[str, dict[str, Any]]:
+    """Left-to-right shallow merge of scope → kwargs override maps."""
+    merged: dict[str, dict[str, Any]] = {}
+    for overrides in override_maps:
+        for scope, kwargs in overrides.items():
+            merged.setdefault(scope, {}).update(kwargs)
+    return merged
+
+
+def resolve_config(workload_id: str, off: tuple[str, ...],
+                   quick: bool = True,
+                   subset: tuple[str, ...] | None = None) -> dict:
+    """The fully resolved, content-bearing configuration of one run.
+
+    Baseline semantics: the workload's base kwargs, then every
+    participating component's ``on`` override (registry order), then
+    the ``off`` override of each ablated component — last writer wins,
+    so a one-off run differs from the baseline in exactly that
+    component's contribution.
+
+    The returned dict is canonical-JSON-serializable and is what the
+    driver hashes into the stable run id, so any registry edit that
+    changes a run's effective kwargs changes its identity.
+    """
+    wl = workload(workload_id)
+    comps = components_for(workload_id, quick=quick, subset=subset)
+    known = {c.id for c in comps}
+    for comp_id in off:
+        if comp_id not in known:
+            raise KeyError(
+                f"component {comp_id!r} does not participate in "
+                f"workload {workload_id!r}")
+    scopes = merge_scopes(
+        wl.base,
+        *(c.on for c in comps),
+        *(component(comp_id).off for comp_id in off))
+    return {
+        "workload": wl.id,
+        "kind": wl.kind,
+        "spec": wl.spec,
+        "factory": wl.factory,
+        "off": sorted(off),
+        "scopes": {scope: dict(sorted(kwargs.items()))
+                   for scope, kwargs in sorted(scopes.items())},
+    }

@@ -1,0 +1,217 @@
+"""Schema validation for ``repro.ablation/v1`` artifacts.
+
+Mirrors :mod:`repro.campaign.validate`: a dependency-free structural
+validator that CI runs right after a sweep (and that the e2e tests run
+on freshly generated artifacts), plus a ``python -m
+repro.ablation.validate BENCH_ablation.json`` entry point.
+
+Beyond structure, the validator enforces the artifact's determinism
+contract (no wall-clock keys anywhere) and its internal cross
+references: every run a component or workload points at exists, every
+ranked component exists, ranks are a 1..N permutation ordered by
+importance.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+from .driver import ABLATION_SCHEMA
+
+__all__ = ["validate_artifact", "main"]
+
+#: Keys that must never appear in the deterministic artifact.
+_FORBIDDEN_KEYS = ("elapsed", "elapsed_s", "wall", "wall_s", "pid",
+                   "cached")
+
+_DIRECTIONS = ("up", "down", "flat")
+
+
+def _check_plan(plan: Any, problems: list[str]) -> None:
+    if not isinstance(plan, dict):
+        problems.append("plan: must be a table")
+        return
+    for key, types in (("name", str), ("quick", bool),
+                       ("leave_one_in", bool), ("source_digest", str)):
+        if not isinstance(plan.get(key), types):
+            problems.append(f"plan.{key}: missing or wrong type")
+    for key in ("seeds", "workloads", "components"):
+        if not isinstance(plan.get(key), list):
+            problems.append(f"plan.{key}: must be a list")
+    seeds = plan.get("seeds")
+    if isinstance(seeds, list) and (not seeds or not all(
+            isinstance(s, int) and not isinstance(s, bool) for s in seeds)):
+        problems.append("plan.seeds: must be a non-empty list of ints")
+
+
+def _check_runs(runs: Any, problems: list[str]) -> set[str]:
+    run_ids: set[str] = set()
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs: must be a non-empty list")
+        return run_ids
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where}: must be a table")
+            continue
+        run_id = run.get("run_id")
+        if not (isinstance(run_id, str) and len(run_id) == 12):
+            problems.append(f"{where}.run_id: must be a 12-hex-char id")
+        elif run_id in run_ids:
+            problems.append(f"{where}.run_id: duplicate {run_id!r}")
+        else:
+            run_ids.add(run_id)
+        if run.get("kind") not in ("check", "lint", "chaos"):
+            problems.append(f"{where}.kind: bad kind {run.get('kind')!r}")
+        if not isinstance(run.get("workload"), str):
+            problems.append(f"{where}.workload: missing")
+        if not isinstance(run.get("off"), list):
+            problems.append(f"{where}.off: must be a list")
+        if not isinstance(run.get("seed"), int):
+            problems.append(f"{where}.seed: must be an int")
+        metrics = run.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            problems.append(f"{where}.metrics: must be a non-empty table")
+            continue
+        for name, value in metrics.items():
+            if not isinstance(value,
+                              (int, float, bool, type(None))):
+                problems.append(
+                    f"{where}.metrics.{name}: non-scalar value")
+    return run_ids
+
+
+def _check_components(components: Any, run_ids: set[str],
+                      problems: list[str]) -> None:
+    if not isinstance(components, dict) or not components:
+        problems.append("components: must be a non-empty table")
+        return
+    for cid, entry in components.items():
+        where = f"components.{cid}"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be a table")
+            continue
+        for key, types in (("layer", str), ("workload", str),
+                           ("description", str),
+                           ("importance", (int, float)),
+                           ("rank", int), ("harmful", bool),
+                           ("verdict_changed", bool)):
+            if not isinstance(entry.get(key), types) or isinstance(
+                    entry.get(key), bool) and key in ("importance", "rank"):
+                problems.append(f"{where}.{key}: missing or wrong type")
+        if isinstance(entry.get("importance"), (int, float)) and not (
+                isinstance(entry["importance"], bool)) and (
+                entry["importance"] < 0):
+            problems.append(f"{where}.importance: must be >= 0")
+        for run_id in entry.get("runs", []):
+            if run_id not in run_ids:
+                problems.append(f"{where}: unknown run {run_id!r}")
+        deltas = entry.get("deltas")
+        if not isinstance(deltas, dict) or not deltas:
+            problems.append(f"{where}.deltas: must be a non-empty table")
+            continue
+        for metric, delta in deltas.items():
+            dw = f"{where}.deltas.{metric}"
+            if not isinstance(delta, dict):
+                problems.append(f"{dw}: must be a table")
+                continue
+            if delta.get("expected") not in _DIRECTIONS:
+                problems.append(f"{dw}.expected: bad direction")
+            if delta.get("missing"):
+                continue
+            for key in ("base", "off", "delta_abs", "delta_rel"):
+                value = delta.get(key)
+                if not isinstance(value, (int, float)) or isinstance(
+                        value, bool):
+                    problems.append(f"{dw}.{key}: must be a number")
+            if not isinstance(delta.get("met"), bool):
+                problems.append(f"{dw}.met: must be a bool")
+
+
+def _check_ranking(artifact: dict, problems: list[str]) -> None:
+    ranking = artifact.get("ranking")
+    components = artifact.get("components")
+    if not isinstance(ranking, list) or not isinstance(components, dict):
+        problems.append("ranking: must be a list")
+        return
+    if sorted(ranking) != sorted(components):
+        problems.append("ranking: must be a permutation of components")
+        return
+    last = None
+    for rank, cid in enumerate(ranking, start=1):
+        entry = components[cid]
+        if entry.get("rank") != rank:
+            problems.append(
+                f"ranking: {cid} listed at {rank} but rank="
+                f"{entry.get('rank')}")
+        importance = entry.get("importance", 0)
+        if last is not None and importance > last + 1e-12:
+            problems.append(
+                f"ranking: importance not non-increasing at {cid}")
+        last = importance
+
+
+def _check_deterministic(obj: Any, path: str, problems: list[str]) -> None:
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if key in _FORBIDDEN_KEYS:
+                problems.append(
+                    f"{path}.{key}: wall-clock/machine key in the "
+                    f"deterministic artifact")
+            _check_deterministic(value, f"{path}.{key}", problems)
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            _check_deterministic(value, f"{path}[{i}]", problems)
+
+
+def validate_artifact(artifact: Any) -> list[str]:
+    """Validate an ablation artifact; returns problems ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(artifact, dict):
+        return ["artifact: must be a JSON object"]
+    if artifact.get("schema") != ABLATION_SCHEMA:
+        problems.append(
+            f"schema: expected {ABLATION_SCHEMA!r}, "
+            f"got {artifact.get('schema')!r}")
+    _check_plan(artifact.get("plan"), problems)
+    run_ids = _check_runs(artifact.get("runs"), problems)
+    _check_components(artifact.get("components"), run_ids, problems)
+    _check_ranking(artifact, problems)
+    workloads = artifact.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        problems.append("workloads: must be a non-empty table")
+    else:
+        for wl_id, entry in workloads.items():
+            for run_id in entry.get("baseline_runs", []):
+                if run_id not in run_ids:
+                    problems.append(
+                        f"workloads.{wl_id}: unknown baseline run "
+                        f"{run_id!r}")
+    _check_deterministic(artifact, "artifact", problems)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.ablation.validate "
+              "BENCH_ablation.json", file=sys.stderr)
+        return 2
+    try:
+        artifact = json.loads(open(argv[0]).read())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {argv[0]}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_artifact(artifact)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: valid {ABLATION_SCHEMA}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -99,16 +99,17 @@ __all__ = [
 
 
 def analyze_spec(spec: Spec, max_states: int = 4000,
-                 deps: bool = False) -> AnalysisResult:
+                 deps: bool = False, skip: tuple = ()) -> AnalysisResult:
     """Infer effects for a spec and run the full lint pass pipeline.
 
     ``deps=True`` adds the footprint-based cross-process race detector
-    (``lint --deps``).
+    (``lint --deps``); ``skip`` drops named passes (the ablation
+    registry's lint toggle surface — see ``run_spec_passes``).
     """
     report = infer_effects_cached(spec, max_states=max_states)
     return AnalysisResult(
         target=spec.name,
-        findings=run_spec_passes(report, deps=deps),
+        findings=run_spec_passes(report, deps=deps, skip=skip),
         complete=report.complete,
         states_explored=report.states_explored,
     )

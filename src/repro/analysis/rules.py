@@ -425,15 +425,21 @@ SPEC_PASSES = (
 )
 
 
-def run_spec_passes(report: EffectReport, deps: bool = False) -> list:
+def run_spec_passes(report: EffectReport, deps: bool = False,
+                    skip: tuple = ()) -> list:
     """Run every pass; findings in pipeline order.
 
     ``deps=True`` additionally runs the footprint-based cross-process
-    race detector (the ``lint --deps`` pipeline).
+    race detector (the ``lint --deps`` pipeline).  ``skip`` names
+    passes (function ``__name__``s, e.g. ``check_queue_discipline``)
+    to leave out — the toggle surface the ablation registry uses to
+    measure what each pass alone contributes.
     """
     findings = []
     for pass_fn in SPEC_PASSES:
+        if pass_fn.__name__ in skip:
+            continue
         findings.extend(pass_fn(report))
-    if deps:
+    if deps and "check_cross_process_races" not in skip:
         findings.extend(check_cross_process_races(report))
     return findings

@@ -35,6 +35,7 @@ from .runner import (
     derive_seed,
     expand_tasks,
     run_campaign,
+    run_tasks,
     source_digest,
     write_artifact,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "parse_campaign",
     "render_docs",
     "run_campaign",
+    "run_tasks",
     "source_digest",
     "validate_artifact",
     "write_artifact",

@@ -24,13 +24,21 @@ from __future__ import annotations
 import re
 from typing import Any, Optional
 
-__all__ = ["render_block", "render_docs", "check_docs", "BLOCK_RE"]
+__all__ = ["render_block", "render_ablation_block", "render_docs",
+           "check_docs", "BLOCK_RE", "ABLATION_BLOCK_RE"]
 
 #: Matches one marked block, capturing the experiment id and body.
 BLOCK_RE = re.compile(
     r"<!-- campaign:(?P<exp_id>[^ ]+?) -->\n"
     r"(?P<body>.*?)"
     r"<!-- /campaign:(?P=exp_id) -->",
+    re.DOTALL)
+
+#: Matches one ablation block (rendered from BENCH_ablation.json).
+ABLATION_BLOCK_RE = re.compile(
+    r"<!-- ablation:(?P<name>[^ ]+?) -->\n"
+    r"(?P<body>.*?)"
+    r"<!-- /ablation:(?P=name) -->",
     re.DOTALL)
 
 
@@ -92,11 +100,88 @@ def render_block(exp_id: str, artifact: dict) -> str:
     return "\n".join(lines) + "\n"
 
 
-def render_docs(text: str, artifact: dict) -> tuple[str, list[str]]:
-    """Replace every marked block present in the artifact.
+def _delta_pct(delta: dict) -> str:
+    rel = delta.get("delta_rel")
+    if rel is None:
+        return "—"
+    return f"{rel * 100:+.1f}%"
 
+
+def _top_delta(entry: dict) -> tuple[str, Optional[dict]]:
+    """The declared metric with the largest observed |delta_rel|."""
+    best_name, best = "", None
+    for name, delta in sorted(entry.get("deltas", {}).items()):
+        rel = delta.get("delta_rel")
+        if rel is None:
+            continue
+        if best is None or abs(rel) > abs(best.get("delta_rel", 0.0)):
+            best_name, best = name, delta
+    return best_name, best
+
+
+def render_ablation_block(name: str, artifact: dict) -> str:
+    """The generated body for one ``<!-- ablation:NAME -->`` block.
+
+    ``importance`` (the only block name so far) renders the ranked
+    component table of a ``repro.ablation/v1`` artifact.
+    """
+    if name != "importance":
+        raise ValueError(f"unknown ablation block {name!r}")
+    plan = artifact["plan"]
+    components = artifact["components"]
+    head = (f"Measured by ablation plan `{plan['name']}` "
+            f"({'quick' if plan['quick'] else 'full'} mode, "
+            f"seeds {plan['seeds']}, {len(artifact['runs'])} runs, "
+            f"source `{plan['source_digest'][:12]}`) — regenerate "
+            f"with `zenith-repro ablate` + `render-docs`:")
+    lines = [head, ""]
+    lines.append("| rank | component | layer | workload | top metric "
+                 "(off vs. baseline) | Δ | importance | flags |")
+    lines.append("|---|---|---|---|---|---|---|---|")
+    for cid in artifact["ranking"]:
+        entry = components[cid]
+        metric, delta = _top_delta(entry)
+        if delta is None:
+            movement, pct = "—", "—"
+        else:
+            movement = (f"{metric} "
+                        f"{_format_cell(delta['base'])} → "
+                        f"{_format_cell(delta['off'])}")
+            pct = _delta_pct(delta)
+        flags = []
+        if entry.get("harmful"):
+            flags.append("⚠ harmful")
+        if entry.get("verdict_changed"):
+            flags.append("verdict flips")
+        lines.append(
+            f"| {entry['rank']} | `{cid}` | {entry['layer']} "
+            f"| {entry['workload']} | {movement} | {pct} "
+            f"| {_format_cell(entry['importance'])} "
+            f"| {', '.join(flags) or '—'} |")
+    harmful = [cid for cid in artifact["ranking"]
+               if components[cid].get("harmful")]
+    lines.append("")
+    if harmful:
+        lines.append("**⚠ harmful components:** " + ", ".join(
+            f"`{cid}`" for cid in harmful) + " — a declared metric "
+            "moved *against* its expectation when the component was "
+            "removed.")
+    else:
+        lines.append("No harmful components: every declared metric "
+                     "moved as the registry predicts (or stayed flat "
+                     "where it must).")
+    return "\n".join(lines) + "\n"
+
+
+def render_docs(text: str, artifact: dict,
+                ablation: Optional[dict] = None) -> tuple[str, list[str]]:
+    """Replace every marked block present in the artifacts.
+
+    ``artifact`` feeds the ``campaign:`` blocks, ``ablation`` (a
+    ``repro.ablation/v1`` dict, optional) the ``ablation:`` blocks.
     Returns the new text and the ids whose blocks changed.  Marked
-    blocks for experiments absent from the artifact are left alone.
+    blocks whose experiment — or whose whole artifact — is absent are
+    left alone, so the docs render with whatever artifacts exist.
     """
     changed: list[str] = []
 
@@ -111,12 +196,27 @@ def render_docs(text: str, artifact: dict) -> tuple[str, list[str]]:
                 f"<!-- /campaign:{exp_id} -->")
 
     new_text = BLOCK_RE.sub(replace, text)
+
+    if ablation is not None:
+        def replace_ablation(match: re.Match) -> str:
+            name = match.group("name")
+            try:
+                body = render_ablation_block(name, ablation)
+            except ValueError:
+                return match.group(0)
+            if body != match.group("body"):
+                changed.append(f"ablation:{name}")
+            return (f"<!-- ablation:{name} -->\n{body}"
+                    f"<!-- /ablation:{name} -->")
+
+        new_text = ABLATION_BLOCK_RE.sub(replace_ablation, new_text)
     return new_text, changed
 
 
-def check_docs(text: str, artifact: dict) -> list[str]:
-    """Drifted experiment ids ([] when the docs match the artifact)."""
-    _new_text, changed = render_docs(text, artifact)
+def check_docs(text: str, artifact: dict,
+               ablation: Optional[dict] = None) -> list[str]:
+    """Drifted block ids ([] when the docs match the artifacts)."""
+    _new_text, changed = render_docs(text, artifact, ablation=ablation)
     return changed
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "derive_seed",
     "expand_tasks",
     "run_campaign",
+    "run_tasks",
     "source_digest",
     "write_artifact",
 ]
@@ -237,22 +238,28 @@ def _cache_store(cache_dir: Path, key: str, config: dict,
 
 
 # -- the campaign loop --------------------------------------------------------
-def run_campaign(spec: CampaignSpec,
-                 jobs: int = 1,
-                 cache_dir: Optional[str | Path] = ".campaign-cache",
-                 registry=None,
-                 mp_context: str = "spawn",
-                 progress: Optional[Callable[[str], None]] = None) -> dict:
-    """Execute the campaign; returns the aggregated artifact dict.
+def run_tasks(tasks: list[Task],
+              jobs: int = 1,
+              cache_dir: Optional[str | Path] = ".campaign-cache",
+              registry=None,
+              mp_context: str = "spawn",
+              progress: Optional[Callable[[str], None]] = None,
+              digest: Optional[str] = None) -> dict[int, dict]:
+    """Execute an explicit task list; returns ``{task.index: outcome}``.
 
-    ``jobs=1`` runs serially in-process (the reference execution);
-    ``jobs>1`` fans uncached tasks across a process pool.  Passing
-    ``cache_dir=None`` disables the cache entirely.  ``registry`` is a
+    This is the execution core shared by :func:`run_campaign` and the
+    ablation driver (``repro.ablation``), which builds its own task
+    list instead of expanding a campaign file — caching, derived
+    seeds, pool fan-out and serial/parallel byte-identity all live
+    here, so every caller inherits them.  ``jobs=1`` runs serially
+    in-process (the reference execution); ``jobs>1`` fans uncached
+    tasks across a process pool.  Passing ``cache_dir=None`` disables
+    the cache entirely.  ``registry`` is a
     :class:`repro.obs.MetricsRegistry` receiving progress counters,
     queue depth and per-task wall-time histograms.
     """
-    tasks = expand_tasks(spec)
-    digest = source_digest()
+    if digest is None:
+        digest = source_digest()
     say = progress if progress is not None else (lambda _line: None)
     cache = Path(cache_dir) if cache_dir is not None else None
 
@@ -319,6 +326,26 @@ def run_campaign(spec: CampaignSpec,
                 _cache_store(cache, task.key(digest), task.config(), outcome)
             finish(task, outcome, cached=False)
 
+    return outcomes
+
+
+def run_campaign(spec: CampaignSpec,
+                 jobs: int = 1,
+                 cache_dir: Optional[str | Path] = ".campaign-cache",
+                 registry=None,
+                 mp_context: str = "spawn",
+                 progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Execute the campaign; returns the aggregated artifact dict.
+
+    Expansion happens here; execution is delegated to
+    :func:`run_tasks` (see its docstring for the jobs/cache/registry
+    semantics).
+    """
+    tasks = expand_tasks(spec)
+    digest = source_digest()
+    outcomes = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir,
+                         registry=registry, mp_context=mp_context,
+                         progress=progress, digest=digest)
     return _aggregate(spec, tasks, outcomes, digest)
 
 

@@ -27,6 +27,15 @@
 ``python -m repro chaos --replay examples/chaos_pr_violation.json``
                                     — re-run a committed shrunk
                                       schedule and verify its verdicts
+``python -m repro ablate campaigns/ablation.toml``
+                                    — sweep the component-ablation
+                                      registry into BENCH_ablation.json
+                                      (importance ranking, harmful-
+                                      component flags)
+
+Every parser is exposed through a ``build_*_parser()`` function so the
+documentation tests can assert that each flag DESIGN.md documents
+actually exists (and vice versa) without invoking a command.
 """
 
 from __future__ import annotations
@@ -35,7 +44,14 @@ import argparse
 import sys
 import time
 
-__all__ = ["main"]
+__all__ = [
+    "build_ablate_parser",
+    "build_chaos_parser",
+    "build_main_parser",
+    "build_render_docs_parser",
+    "build_sweep_parser",
+    "main",
+]
 
 def _spec_factories() -> dict:
     """name → zero-arg spec factory, from the bundled-spec registry."""
@@ -137,8 +153,8 @@ def _run_experiment(name: str, quick: bool, seed: int,
     return 0
 
 
-def _run_sweep(argv) -> int:
-    """`sweep`: run a campaign file across a worker pool."""
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """The `sweep` subcommand's parser."""
     parser = argparse.ArgumentParser(
         prog="repro sweep",
         description="expand a campaign TOML into tasks and execute them")
@@ -160,7 +176,12 @@ def _run_sweep(argv) -> int:
                         help="print the campaign metrics registry")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the per-task progress lines")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _run_sweep(argv) -> int:
+    """`sweep`: run a campaign file across a worker pool."""
+    args = build_sweep_parser().parse_args(argv)
 
     from .campaign import (load_campaign, run_campaign, validate_artifact,
                            write_artifact)
@@ -207,19 +228,28 @@ def _run_sweep(argv) -> int:
     return 1 if problems else 0
 
 
-def _run_render_docs(argv) -> int:
-    """`render-docs`: regenerate (or verify) the measured doc blocks."""
+def build_render_docs_parser() -> argparse.ArgumentParser:
+    """The `render-docs` subcommand's parser."""
     parser = argparse.ArgumentParser(
         prog="repro render-docs",
-        description="regenerate the campaign-marked blocks of "
-                    "EXPERIMENTS.md from a campaign artifact")
+        description="regenerate the campaign- and ablation-marked "
+                    "blocks of EXPERIMENTS.md from their artifacts")
     parser.add_argument("--artifact", default="BENCH_campaign.json")
+    parser.add_argument("--ablation-artifact", default="BENCH_ablation.json",
+                        help="repro.ablation/v1 artifact feeding the "
+                             "ablation: blocks (skipped when absent)")
     parser.add_argument("--docs", default="EXPERIMENTS.md")
     parser.add_argument("--check", action="store_true",
                         help="fail on drift instead of rewriting")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _run_render_docs(argv) -> int:
+    """`render-docs`: regenerate (or verify) the measured doc blocks."""
+    args = build_render_docs_parser().parse_args(argv)
 
     import json as _json
+    import os as _os
 
     from .campaign import render_docs
 
@@ -228,12 +258,19 @@ def _run_render_docs(argv) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot read artifact: {exc}", file=sys.stderr)
         return 2
+    ablation = None
+    if _os.path.exists(args.ablation_artifact):
+        try:
+            ablation = _json.loads(open(args.ablation_artifact).read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read ablation artifact: {exc}", file=sys.stderr)
+            return 2
     try:
         text = open(args.docs).read()
     except OSError as exc:
         print(f"cannot read docs: {exc}", file=sys.stderr)
         return 2
-    new_text, changed = render_docs(text, artifact)
+    new_text, changed = render_docs(text, artifact, ablation=ablation)
     if args.check:
         if changed:
             print(f"{args.docs} is stale for: {', '.join(changed)} "
@@ -250,8 +287,8 @@ def _run_render_docs(argv) -> int:
     return 0
 
 
-def _run_chaos(argv) -> int:
-    """`chaos`: adversarial search-and-shrink, or artifact replay."""
+def build_chaos_parser() -> argparse.ArgumentParser:
+    """The `chaos` subcommand's parser."""
     parser = argparse.ArgumentParser(
         prog="repro chaos",
         description="sample seeded fault schedules, hunt consistency "
@@ -281,7 +318,12 @@ def _run_chaos(argv) -> int:
     parser.add_argument("--progress", action="store_true",
                         help="stderr heartbeat after every trial "
                              "(interesting count, ETA)")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _run_chaos(argv) -> int:
+    """`chaos`: adversarial search-and-shrink, or artifact replay."""
+    args = build_chaos_parser().parse_args(argv)
 
     from .chaos import dump_artifact, load_artifact, replay, search
     from .chaos.validate import validate_artifact
@@ -368,6 +410,87 @@ def _run_chaos(argv) -> int:
     return 1 if problems else 0
 
 
+def build_ablate_parser() -> argparse.ArgumentParser:
+    """The `ablate` subcommand's parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro ablate",
+        description="sweep the component-ablation registry "
+                    "(baseline plus one-off per component) into a "
+                    "repro.ablation/v1 importance-ranking artifact")
+    parser.add_argument("plan", nargs="?", default="campaigns/ablation.toml",
+                        help="ablation plan TOML "
+                             "(default: campaigns/ablation.toml)")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--out", default="BENCH_ablation.json",
+                        help="artifact output path")
+    parser.add_argument("--cache-dir", default=".campaign-cache",
+                        help="per-task result cache directory (shared "
+                             "with sweep)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the cache")
+    parser.add_argument("--mp-context", default="spawn",
+                        choices=("spawn", "fork", "forkserver"),
+                        help="multiprocessing start method")
+    parser.add_argument("--list", action="store_true", dest="list_runs",
+                        help="print the expanded run set and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the per-run progress lines")
+    return parser
+
+
+def _run_ablate(argv) -> int:
+    """`ablate`: registry sweep → importance-ranked artifact."""
+    args = build_ablate_parser().parse_args(argv)
+
+    from .ablation import load_plan, run_ablation, validate_artifact
+    from .campaign import write_artifact
+
+    try:
+        plan = load_plan(args.plan)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load plan: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list_runs:
+        from .ablation import expand_runs
+
+        for run in expand_runs(plan):
+            off = ",".join(run.off) or "(baseline)"
+            print(f"{run.run_id}  {run.workload:<8} seed={run.seed}  "
+                  f"off={off}")
+        return 0
+
+    def stderr_progress(line: str) -> None:
+        print(line, file=sys.stderr)
+
+    artifact, run_meta = run_ablation(
+        plan, jobs=max(1, args.jobs),
+        cache_dir=None if args.no_cache else args.cache_dir,
+        mp_context=args.mp_context,
+        progress=None if args.quiet else stderr_progress)
+    problems = validate_artifact(artifact)
+    for problem in problems:
+        print(f"INVALID ARTIFACT: {problem}", file=sys.stderr)
+    write_artifact(artifact, args.out)
+    cached = sum(1 for meta in run_meta if meta["cached"])
+    print(f"wrote {args.out}: {len(artifact['runs'])} runs "
+          f"({cached} cached), {len(artifact['components'])} components "
+          f"ranked")
+    for cid in artifact["ranking"]:
+        entry = artifact["components"][cid]
+        flags = []
+        if entry["harmful"]:
+            flags.append("HARMFUL")
+        if entry["verdict_changed"]:
+            flags.append("verdict flips")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"  {entry['rank']:2d}. {cid:<22} importance="
+              f"{entry['importance']:<10g} ({entry['layer']}/"
+              f"{entry['workload']}){suffix}")
+    return 1 if problems else 0
+
+
 def _print_experiment_lines() -> None:
     from .experiments import EXPERIMENTS, describe
 
@@ -387,7 +510,14 @@ def main(argv=None) -> int:
         return _run_render_docs(argv[1:])
     if argv and argv[0] == "chaos":
         return _run_chaos(argv[1:])
+    if argv and argv[0] == "ablate":
+        return _run_ablate(argv[1:])
 
+    return _dispatch_main(argv)
+
+
+def build_main_parser() -> argparse.ArgumentParser:
+    """The main (non-subcommand) parser: experiments, check, lint."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ZENITH (SIGCOMM 2025) reproduction toolkit")
@@ -449,7 +579,11 @@ def main(argv=None) -> int:
                              "spans; .jsonl suffix for JSONL)")
     parser.add_argument("--list", action="store_true", dest="list_entries",
                         help="with 'run'/'list': one line per experiment")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _dispatch_main(argv) -> int:
+    args = build_main_parser().parse_args(argv)
 
     if args.command == "quickstart":
         from . import quickstart

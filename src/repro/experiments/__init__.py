@@ -21,6 +21,7 @@ from . import (
     ablation,
     chaos_nemesis,
     checker_scale,
+    component_ablation,
     fig03_reconciliation_period,
     fig04_reconciliation_cost,
     fig10_trace_replay,
@@ -65,6 +66,7 @@ EXPERIMENTS = {
     "ablation": ablation.run,
     "chaos": chaos_nemesis.run,
     "checkerScale": checker_scale.run,
+    "componentAblation": component_ablation.run,
 }
 
 def experiment_module(exp_id: str):

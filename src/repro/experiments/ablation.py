@@ -136,15 +136,17 @@ _RUNTIME_VARIANTS = {
     "buggy-recovery-order": BuggyRecoveryOrderController,
 }
 
-#: Spec-level ablations: name → (spec factory kwargs, expected verdict).
+#: Spec-level ablations: name → (guard components switched off,
+#: expected verdict).  The spec kwargs are resolved from the ablation
+#: registry's "guards" workload (repro.ablation.registry), so this
+#: experiment and `zenith-repro ablate` re-break the very same guards;
+#: "buggy recovery order" additionally drops stale protection, matching
+#: the §G counterexample configuration.
 _SPEC_VARIANTS = {
-    "spec: final controller": (dict(), True),
-    "spec: no stale-event protection": (
-        dict(stale_protection=False, oneshot_sequencer=True,
-             num_switches=1), False),
+    "spec: final controller": ((), True),
+    "spec: no stale-event protection": (("stale-protection",), False),
     "spec: buggy recovery order": (
-        dict(recovery_order="buggy", stale_protection=False,
-             oneshot_sequencer=True, num_switches=1), False),
+        ("stale-protection", "atomic-recovery"), False),
 }
 
 
@@ -226,7 +228,7 @@ class AblationResult:
                 or buggy.duplicate_installs > stock.duplicate_installs):
             failures.append("buggy-recovery-order shows no extra "
                             "hidden-entry exposure or duplicates")
-        for name, (kwargs, expected_ok) in _SPEC_VARIANTS.items():
+        for name, (_off, expected_ok) in _SPEC_VARIANTS.items():
             if self.spec_verdicts.get(name) != expected_ok:
                 failures.append(f"{name}: expected "
                                 f"{'OK' if expected_ok else 'VIOLATION'}")
@@ -349,8 +351,11 @@ def run(quick: bool = True, seed: int = 0) -> AblationResult:
     result = AblationResult()
     for variant, controller_cls in _RUNTIME_VARIANTS.items():
         result.metrics[variant] = _choreograph(controller_cls, seed, rounds)
-    for name, (kwargs, _expected) in _SPEC_VARIANTS.items():
-        outcome = check(controller_spec(num_ops=2, failures=1, **kwargs))
+    from ..ablation.registry import resolve_config
+
+    for name, (off, _expected) in _SPEC_VARIANTS.items():
+        config = resolve_config("guards", off)
+        outcome = check(controller_spec(**config["scopes"]["spec"]))
         result.spec_verdicts[name] = outcome.ok
     from ..analysis import analyze_spec
 

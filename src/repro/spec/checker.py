@@ -848,6 +848,15 @@ class ModelChecker:
         elapsed = time.perf_counter() - start_time
         stats = {"engine": "serial",
                  "fingerprint_mode": self.fingerprint_mode}
+        # Deterministic hashing-work counter (slot digests consulted):
+        # the full-encoding mode re-digests every slot of every
+        # successor (plus the initial state); incremental mode pays
+        # only for written slots.  Lives in stats — never to_json —
+        # so the canonical outcome stays byte-identical.
+        slot_count = len(spec.global_names) + len(spec.processes)
+        stats["fp_slots_digested"] = (
+            fper.slots_digested if incremental
+            else (transitions + 1) * slot_count)
         self._record_auto_choice(stats)
         if prof is not None:
             exploration_s = explore_end - explore_t0

@@ -218,6 +218,10 @@ class IncrementalFingerprinter:
         self.nprocs = len(spec.processes)
         self.cache_limit = cache_limit
         self._cache: dict = {}
+        #: Slot digests consulted (fresh or memoized) — a deterministic
+        #: work counter the ablation harness compares against the
+        #: full-encoding engine's ``transitions × slot_count``.
+        self.slots_digested = 0
 
     def _digest(self, value) -> bytes:
         cache = self._cache
@@ -233,6 +237,7 @@ class IncrementalFingerprinter:
     def vector(self, state: State) -> bytes:
         """The full per-slot digest vector of ``state`` (from scratch)."""
         digest = self._digest
+        self.slots_digested += self.nglobals + self.nprocs
         parts = [digest(value) for value in state.globals_]
         parts.extend(digest(slot) for slot in state.procs)
         return b"".join(parts)
@@ -245,6 +250,7 @@ class IncrementalFingerprinter:
         dirty_globals, dirty_procs = changed_slots(parent, successor)
         if not dirty_globals and not dirty_procs:
             return parent_vector
+        self.slots_digested += len(dirty_globals) + len(dirty_procs)
         size = self._DIGEST_SIZE
         vec = bytearray(parent_vector)
         for index in dirty_globals:

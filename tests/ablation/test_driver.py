@@ -1,0 +1,160 @@
+"""Driver units: plan parsing, run expansion, importance scoring."""
+
+import pytest
+
+from repro.ablation.driver import (
+    AblationPlan,
+    _score_component,
+    expand_runs,
+    parse_plan,
+)
+from repro.ablation.registry import Component, Metric
+
+
+# -- plan parsing -------------------------------------------------------------
+def test_parse_plan_defaults():
+    plan = parse_plan("[ablation]\n", default_name="smoke")
+    assert plan.name == "smoke"
+    assert plan.quick is True
+    assert plan.seeds == (0,)
+    assert plan.leave_one_in is False
+
+
+def test_parse_plan_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown keys"):
+        parse_plan('[ablation]\nname = "x"\nbudget = 3\n')
+
+
+def test_parse_plan_rejects_bad_seeds():
+    with pytest.raises(ValueError, match="seeds"):
+        parse_plan("[ablation]\nseeds = []\n")
+
+
+def test_parse_plan_rejects_unknown_workloads():
+    with pytest.raises(KeyError, match="no-such"):
+        parse_plan('[ablation]\nworkloads = ["no-such"]\n')
+
+
+# -- expansion ----------------------------------------------------------------
+def test_expansion_is_baseline_plus_one_off_per_participant():
+    plan = AblationPlan(name="t", workloads=("table4",))
+    runs = expand_runs(plan)
+    offs = [run.off for run in runs]
+    participants = [off[0] for off in offs if off]
+    assert offs[0] == ()
+    assert len(offs) == 1 + len(participants)
+    assert sorted(participants) == sorted(
+        ["symmetry", "abstraction", "coarse-atomicity", "incremental-fp",
+         "fingerprint-dedup", "tracing"])
+
+
+def test_run_ids_are_stable_and_unique():
+    plan = AblationPlan(name="t", workloads=("table4", "compose", "lint"))
+    first = expand_runs(plan)
+    second = expand_runs(plan)
+    assert [r.run_id for r in first] == [r.run_id for r in second]
+    assert len({r.run_id for r in first}) == len(first)
+    for run in first:
+        assert len(run.run_id) == 12
+        int(run.run_id, 16)
+
+
+def test_run_ids_track_content():
+    quick = {r.off: r.run_id
+             for r in expand_runs(AblationPlan(name="t",
+                                               workloads=("table4",)))}
+    full = {r.off: r.run_id
+            for r in expand_runs(AblationPlan(name="t", quick=False,
+                                              workloads=("table4",)))}
+    # quick-ness is content; every run's identity moves with it.
+    assert set(quick) == set(full)
+    assert all(quick[off] != full[off] for off in quick)
+
+
+def test_seed_handling_per_kind():
+    plan = AblationPlan(name="t", quick=False, seeds=(0, 1),
+                        workloads=("lint", "chaos"))
+    runs = expand_runs(plan)
+    lint_seeds = {r.seed for r in runs if r.workload == "lint"}
+    chaos_seeds = {r.seed for r in runs if r.workload == "chaos"}
+    assert lint_seeds == {0}      # deterministic kinds collapse the list
+    assert chaos_seeds == {0, 1}  # chaos sweeps every seed
+
+
+def test_leave_one_in_adds_complements_and_dedups():
+    base = expand_runs(AblationPlan(name="t", workloads=("table4",)))
+    loi = expand_runs(AblationPlan(name="t", workloads=("table4",),
+                                   leave_one_in=True))
+    n = len(base) - 1      # participants
+    assert len(loi) == len(base) + n
+    assert all(len(r.off) in (0, 1, n - 1) for r in loi)
+
+    # With two participants the complement of one IS the other's
+    # one-off; the expansion must deduplicate instead of re-running it.
+    guards = expand_runs(AblationPlan(name="t", workloads=("guards",),
+                                      leave_one_in=True))
+    assert len({r.run_id for r in guards}) == len(guards) == 3
+
+
+# -- scoring ------------------------------------------------------------------
+def _score(metrics, base, off):
+    comp = Component(id="x", layer="checker", workload="table4",
+                     description="", off={}, metrics=metrics)
+    return _score_component(comp, [base], [off])
+
+
+def test_up_metric_that_rises_is_met():
+    scored = _score((Metric("states", "up"),),
+                    {"states": 100}, {"states": 150})
+    delta = scored["deltas"]["states"]
+    assert delta["met"] is True
+    assert delta["delta_rel"] == 0.5
+    assert scored["importance"] == 0.5
+    assert scored["harmful"] is False
+
+
+def test_up_metric_that_falls_is_harmful():
+    scored = _score((Metric("states", "up"),),
+                    {"states": 100}, {"states": 80})
+    assert scored["deltas"]["states"]["met"] is False
+    assert scored["harmful"] is True
+
+
+def test_down_metric_directions():
+    assert not _score((Metric("findings", "down"),),
+                      {"findings": 3}, {"findings": 2})["harmful"]
+    assert _score((Metric("findings", "down"),),
+                  {"findings": 3}, {"findings": 4})["harmful"]
+
+
+def test_flat_metric_must_not_move():
+    still = _score((Metric("states", "flat"),),
+                   {"states": 100}, {"states": 100})
+    assert still["deltas"]["states"]["met"] is True
+    assert still["importance"] == 0.0
+    assert not still["harmful"]
+    moved = _score((Metric("states", "flat"),),
+                   {"states": 100}, {"states": 101})
+    assert moved["harmful"] is True
+
+
+def test_importance_is_max_over_declared_metrics():
+    scored = _score((Metric("states", "up"), Metric("transitions", "up")),
+                    {"states": 100, "transitions": 100},
+                    {"states": 110, "transitions": 300})
+    assert scored["importance"] == 2.0
+
+
+def test_zero_baseline_stays_finite():
+    scored = _score((Metric("violations", "up"),),
+                    {"violations": 0}, {"violations": 3})
+    assert scored["deltas"]["violations"]["delta_rel"] == 3.0
+
+
+def test_missing_metric_is_reported_not_scored():
+    scored = _score((Metric("fp_slots", "up"), Metric("states", "up")),
+                    {"fp_slots": None, "states": 100},
+                    {"fp_slots": None, "states": 200})
+    assert scored["deltas"]["fp_slots"] == {"expected": "up",
+                                            "missing": True}
+    assert scored["importance"] == 1.0

@@ -1,0 +1,103 @@
+"""End-to-end: a fixed-seed ablate run is deterministic, valid, ranked.
+
+The plan here is a trimmed version of ``campaigns/ablation.toml``
+(three workloads, five components, 8 runs) so the whole module stays
+fast while still exercising every artifact section, both execution
+paths (serial and a 2-worker pool) and the doc renderer.
+"""
+
+import json
+
+import pytest
+
+from repro.ablation import (
+    ABLATION_SCHEMA,
+    AblationPlan,
+    run_ablation,
+    validate_artifact,
+)
+from repro.campaign.render import render_ablation_block, render_docs
+
+PLAN = AblationPlan(
+    name="e2e", quick=True, seeds=(0,),
+    workloads=("table4", "compose", "lint"),
+    components=("fingerprint-dedup", "tracing", "por",
+                "queue-discipline-lint", "race-detector"),
+)
+
+
+def _canonical(artifact: dict) -> str:
+    return json.dumps(artifact, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    result, _meta = run_ablation(PLAN, jobs=1, cache_dir=None)
+    return result
+
+
+def test_schema_and_validation(artifact):
+    assert artifact["schema"] == ABLATION_SCHEMA
+    assert validate_artifact(artifact) == []
+
+
+def test_double_run_is_byte_identical(artifact):
+    again, _meta = run_ablation(PLAN, jobs=1, cache_dir=None)
+    assert _canonical(again) == _canonical(artifact)
+
+
+def test_parallel_run_is_byte_identical(artifact):
+    parallel, _meta = run_ablation(PLAN, jobs=2, cache_dir=None)
+    assert _canonical(parallel) == _canonical(artifact)
+
+
+def test_artifact_carries_no_wall_clock(artifact):
+    text = _canonical(artifact)
+    for key in ("elapsed", "wall", "pid", "cached"):
+        assert f'"{key}' not in text
+
+
+def test_ranking_places_optimizations_above_observers(artifact):
+    rank = {cid: artifact["components"][cid]["rank"]
+            for cid in artifact["ranking"]}
+    assert rank["fingerprint-dedup"] < rank["tracing"]
+    assert rank["por"] < rank["tracing"]
+    assert artifact["components"]["tracing"]["importance"] == 0.0
+    assert not any(entry["harmful"]
+                   for entry in artifact["components"].values())
+
+
+def test_lint_detectors_score_their_planted_defects(artifact):
+    for cid in ("queue-discipline-lint", "race-detector"):
+        delta = artifact["components"][cid]["deltas"]["findings"]
+        assert delta["met"] is True
+        assert delta["off"] < delta["base"]
+
+
+def test_run_group_cross_references(artifact):
+    run_ids = {run["run_id"] for run in artifact["runs"]}
+    for entry in artifact["workloads"].values():
+        assert set(entry["baseline_runs"]) <= run_ids
+    for entry in artifact["components"].values():
+        assert set(entry["runs"]) <= run_ids
+
+
+def test_rendered_importance_block(artifact):
+    body = render_ablation_block("importance", artifact)
+    assert "| rank | component |" in body
+    assert "`fingerprint-dedup`" in body
+    assert artifact["plan"]["source_digest"][:12] in body
+
+    doc = ("# docs\n\n<!-- ablation:importance -->\nstale\n"
+           "<!-- /ablation:importance -->\n")
+    rendered, changed = render_docs(doc, {"experiments": {}},
+                                    ablation=artifact)
+    assert changed == ["ablation:importance"]
+    assert body in rendered
+    # Idempotent: re-rendering the rendered text reports no drift.
+    _again, changed = render_docs(rendered, {"experiments": {}},
+                                  ablation=artifact)
+    assert changed == []
+    # Without an ablation artifact the block is left untouched.
+    same, changed = render_docs(doc, {"experiments": {}})
+    assert (same, changed) == (doc, [])

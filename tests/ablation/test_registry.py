@@ -1,0 +1,109 @@
+"""Registry invariants: declarations, merging, resolution."""
+
+import pytest
+
+from repro.ablation.registry import (
+    COMPONENTS,
+    WORKLOADS,
+    Component,
+    Metric,
+    Workload,
+    component,
+    components_for,
+    merge_scopes,
+    resolve_config,
+    workload,
+)
+
+
+def test_every_component_names_a_known_workload():
+    ids = {w.id for w in WORKLOADS}
+    for comp in COMPONENTS:
+        assert comp.workload in ids
+
+
+def test_every_workload_has_participants_at_some_mode():
+    for wl in WORKLOADS:
+        assert components_for(wl.id, quick=False), wl.id
+
+
+def test_quick_mode_drops_chaos_nemeses():
+    quick_ids = {c.id for c in components_for("chaos", quick=True)}
+    full_ids = {c.id for c in components_for("chaos", quick=False)}
+    assert quick_ids == set()
+    assert full_ids == {"nemesis-duplicate", "nemesis-delay"}
+
+
+def test_subset_preserves_registry_order():
+    comps = components_for("table4", subset=("tracing", "symmetry"))
+    assert [c.id for c in comps] == ["symmetry", "tracing"]
+
+
+def test_metric_direction_validated():
+    with pytest.raises(ValueError):
+        Metric("states", "sideways")
+
+
+def test_component_scope_validated():
+    with pytest.raises(ValueError):
+        Component(id="x", layer="checker", workload="table4",
+                  description="", off={"nonsense": {}})
+
+
+def test_workload_kind_validated():
+    with pytest.raises(ValueError):
+        Workload(id="x", kind="simulate", description="")
+
+
+def test_lookup_errors_name_the_unknown_id():
+    with pytest.raises(KeyError, match="no-such-component"):
+        component("no-such-component")
+    with pytest.raises(KeyError, match="no-such-workload"):
+        workload("no-such-workload")
+
+
+def test_merge_scopes_is_last_writer_wins():
+    merged = merge_scopes(
+        {"checker": {"por": True, "symmetry": True}},
+        {"checker": {"por": False}, "spec": {"failures": 1}})
+    assert merged == {"checker": {"por": False, "symmetry": True},
+                      "spec": {"failures": 1}}
+
+
+def test_resolve_config_baseline_applies_base_then_ons():
+    config = resolve_config("table4", off=())
+    assert config["kind"] == "check"
+    assert config["factory"] == "repro.spec.specs.controller:controller_spec"
+    # workload base kwargs survive...
+    assert config["scopes"]["spec"]["num_ops"] == 2
+    # ...and every participant's `on` contribution is applied.
+    assert config["scopes"]["checker"]["symmetry"] is True
+    assert config["scopes"]["spec"]["abstract_switch"] is True
+
+
+def test_resolve_config_one_off_differs_only_in_that_component():
+    base = resolve_config("table4", off=())
+    off = resolve_config("table4", off=("symmetry",))
+    assert off["scopes"]["checker"]["symmetry"] is False
+    assert off["off"] == ["symmetry"]
+    # Everything outside the ablated component's contribution matches.
+    patched = {s: dict(kw) for s, kw in off["scopes"].items()}
+    patched["checker"]["symmetry"] = True
+    assert patched == base["scopes"]
+
+
+def test_resolve_config_rejects_non_participants():
+    with pytest.raises(KeyError, match="does not participate"):
+        resolve_config("table4", off=("stale-protection",))
+    # A quick plan must also reject quick=False components.
+    with pytest.raises(KeyError, match="does not participate"):
+        resolve_config("chaos", off=("nemesis-delay",), quick=True)
+    resolve_config("chaos", off=("nemesis-delay",), quick=False)
+
+
+def test_resolve_config_is_canonically_ordered():
+    config = resolve_config("table4", off=("tracing", "symmetry"))
+    assert config["off"] == sorted(config["off"])
+    assert list(config["scopes"]) == sorted(config["scopes"])
+    for kwargs in config["scopes"].values():
+        assert list(kwargs) == sorted(kwargs)

@@ -1,0 +1,77 @@
+"""DESIGN.md's "CLI flag reference" stays in lockstep with the parsers.
+
+Each ``###`` subsection of that DESIGN.md section names its parser
+builder in parentheses (e.g. ``(build_sweep_parser)``) and lists flags
+in the first column of a markdown table.  This test asserts the two
+directions that keep the docs honest:
+
+* every documented flag exists in the named parser, and
+* every long option the parser accepts (except ``--help``) is
+  documented in the table.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro import cli
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DESIGN = REPO / "DESIGN.md"
+
+SECTION_RE = re.compile(
+    r"^### .*?\(`?(?P<builder>build_\w+_parser)`?\)\s*$", re.MULTILINE)
+FLAG_RE = re.compile(r"^\|\s*`(--[a-z][a-z0-9-]*)`", re.MULTILINE)
+
+
+def _flag_reference_sections():
+    """{builder name: set of documented long flags} from DESIGN.md."""
+    text = DESIGN.read_text()
+    start = text.index("## CLI flag reference")
+    end = text.find("\n## ", start + 1)
+    section = text[start:end if end != -1 else len(text)]
+
+    headers = list(SECTION_RE.finditer(section))
+    assert headers, "no parser subsections under 'CLI flag reference'"
+    tables = {}
+    for i, header in enumerate(headers):
+        stop = (headers[i + 1].start() if i + 1 < len(headers)
+                else len(section))
+        body = section[header.end():stop]
+        tables[header.group("builder")] = set(FLAG_RE.findall(body))
+    return tables
+
+
+DOCUMENTED = _flag_reference_sections()
+
+BUILDERS = sorted(name for name in cli.__all__
+                  if name.startswith("build_") and name.endswith("_parser"))
+
+
+def _parser_long_flags(builder_name):
+    parser = getattr(cli, builder_name)()
+    return {opt for opt in parser._option_string_actions
+            if opt.startswith("--") and opt != "--help"}
+
+
+def test_every_exported_builder_has_a_flag_table():
+    assert set(DOCUMENTED) == set(BUILDERS)
+
+
+@pytest.mark.parametrize("builder", BUILDERS)
+def test_documented_flags_exist_in_parser(builder):
+    parser_flags = _parser_long_flags(builder)
+    missing = DOCUMENTED[builder] - parser_flags
+    assert not missing, (
+        f"DESIGN.md documents flags {sorted(missing)} that "
+        f"{builder}() does not define")
+
+
+@pytest.mark.parametrize("builder", BUILDERS)
+def test_parser_flags_are_documented(builder):
+    parser_flags = _parser_long_flags(builder)
+    undocumented = parser_flags - DOCUMENTED[builder]
+    assert not undocumented, (
+        f"{builder}() defines flags {sorted(undocumented)} missing from "
+        f"DESIGN.md's CLI flag reference")
