@@ -163,6 +163,18 @@ WORKLOADS: tuple[Workload, ...] = (
         base={"chaos": {"target": "pr", "reference": "zenith",
                         "shrink": False}},
     ),
+    Workload(
+        id="update",
+        kind="chaos",
+        description=("update-window chaos workload: the naive update "
+                     "scheduler against the consistent reference on the "
+                     "update gadget, full update-nemesis mix (partition "
+                     "mid-round, scheduler crash between rounds, "
+                     "verification-ack delays)"),
+        base={"chaos": {"scenario": "update", "target": "naive",
+                        "reference": "consistent", "shrink": False,
+                        "active": 8.0, "cooldown": 10.0}},
+    ),
 )
 
 
@@ -329,6 +341,47 @@ COMPONENTS: tuple[Component, ...] = (
         description="delay nemesis in the schedule sampler",
         on={"chaos": {"channel_kinds": ("drop", "duplicate", "delay")}},
         off={"chaos": {"channel_kinds": ("drop", "duplicate")}},
+        metrics=(Metric("interesting", "down"),),
+        quick=False,
+    ),
+    # update-window nemeses (full plans only, like the other chaos mixes).
+    Component(
+        id="nemesis-partition-mid-round",
+        layer="chaos",
+        workload="update",
+        description="partition-mid-round nemesis: a control-link "
+                    "partition armed on the app's update-round-start "
+                    "instant, eating the round's installs and acks",
+        on={"chaos": {"n_partitions": 1}},
+        off={"chaos": {"n_partitions": 0}},
+        metrics=(Metric("interesting", "down", "the mid-round partition "
+                        "is the primary driver of naive-only update "
+                        "violations — without it fewer trials separate "
+                        "the schedulers"),),
+        quick=False,
+    ),
+    Component(
+        id="nemesis-crash-between-rounds",
+        layer="chaos",
+        workload="update",
+        description="crash-scheduler-between-rounds nemesis: the update "
+                    "app crashes on its update-round-done instant and "
+                    "must resume from the NIB",
+        on={"chaos": {"n_crashes": 1}},
+        off={"chaos": {"n_crashes": 0}},
+        metrics=(Metric("interesting", "down", "a weaker fault model "
+                        "finds at most as many naive-only violations"),),
+        quick=False,
+    ),
+    Component(
+        id="nemesis-ack-delay",
+        layer="chaos",
+        workload="update",
+        description="delay-verification-acks nemesis: a one-shot s2c "
+                    "delay armed on the victim switch's next sent OP, "
+                    "stalling the round's verification",
+        on={"chaos": {"n_ack_delays": 1}},
+        off={"chaos": {"n_ack_delays": 0}},
         metrics=(Metric("interesting", "down"),),
         quick=False,
     ),

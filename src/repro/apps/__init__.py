@@ -4,13 +4,33 @@ from .base import App, RoutingApp
 from .drain import DrainApp, DrainRejected, DrainRequest
 from .failover import FailoverApp
 from .te import TeApp
+from .update import (
+    ConsistentUpdateApp,
+    NaiveUpdateApp,
+    RuleSpec,
+    SubTransition,
+    UpdateConfig,
+    UpdateDemand,
+    UpdatePlanError,
+    UpdateTracker,
+    plan_transition,
+)
 
 __all__ = [
     "App",
+    "ConsistentUpdateApp",
     "DrainApp",
     "DrainRejected",
     "DrainRequest",
     "FailoverApp",
+    "NaiveUpdateApp",
     "RoutingApp",
+    "RuleSpec",
+    "SubTransition",
     "TeApp",
+    "UpdateConfig",
+    "UpdateDemand",
+    "UpdatePlanError",
+    "UpdateTracker",
+    "plan_transition",
 ]

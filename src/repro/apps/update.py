@@ -1,0 +1,691 @@
+"""Consistent network updates: crash-resumable round-based scheduling.
+
+The classic SDN *update* problem (Reitblatt et al.; Foerster & Schmid):
+transition each demand from an old forwarding path to a new one such
+that every intermediate dataplane state preserves declared properties —
+loop freedom, waypoint enforcement, and (where achievable) per-packet
+consistency.  This module implements the Foerster & Schmid round-based
+*local verification* discipline on ZENITH's DAG-of-operations
+abstraction:
+
+* :func:`plan_transition` decomposes a transition into a chain of
+  **suffix swaps** (sub-transitions).  Each swap installs the new
+  suffix's interior rules destination-backwards (one verified round
+  each, at a strictly higher priority), then flips the branch switch,
+  then deletes the retired rules.  When the new suffix's interior
+  intersects the old path (the reversal gadget), the swap routes
+  through an interior-disjoint intermediate path so no reachable state
+  ever mixes generations.  Waypoint demands are planned as two
+  segments, the segment *after* the waypoint first, so every
+  intermediate path still traverses the waypoint.
+
+* :class:`ConsistentUpdateApp` executes the plan round by round.  A
+  round advances only once the dataplane ground truth (the aggregated
+  ``table_snapshot()`` of the switches — what the paper calls G_d)
+  confirms it; this is the "local verification" that turns per-round
+  checks into the global guarantee.  The robustness core: every round
+  is recorded durably in the NIB *before* submission, so after an app
+  crash the scheduler re-derives the current round from NIB + ground
+  truth and resumes — acknowledged work is never re-issued.  A stalled
+  round (lost message, partitioned switch) is retried with
+  timeout/backoff by re-issuing **only the unapplied OPs** as a fresh
+  DAG with the *same* entry ids (switch installs are idempotent);
+  while a switch stays partitioned the schedule freezes at the current
+  round boundary — a consistent state by construction.
+
+* :class:`NaiveUpdateApp` is the 2-phase-less foil: per demand it
+  submits one flat DAG (all new rules plus deletions of the retired
+  ones, no ordering edges) and keeps no durable round state — on
+  restart it blindly rebuilds and resubmits.  Under update-window
+  nemeses it exhibits exactly the transient loops / waypoint bypasses /
+  mixed-generation paths the consistent scheduler provably avoids.
+
+:class:`UpdateTracker` gives the chaos ConsistencyMonitor a read-only
+view of the update window: which demands are transitioning and which
+entry ids belong to the old vs. new rule generation (derived entirely
+from the durable round records, so classification survives crashes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Sequence
+
+from ..core.controller import ZenithController
+from ..core.types import Dag, Op, OpType
+from ..net.messages import FlowEntry
+from ..net.topology import Topology
+from ..sim import AnyOf, Environment
+from ..workloads.dags import IdAllocator
+from .base import App
+
+__all__ = [
+    "RuleSpec",
+    "UpdateDemand",
+    "UpdatePlanError",
+    "SubTransition",
+    "plan_transition",
+    "UpdateConfig",
+    "UpdateTracker",
+    "ConsistentUpdateApp",
+    "NaiveUpdateApp",
+]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """An abstract forwarding rule: ``switch`` sends demand traffic on."""
+
+    switch: str
+    next_hop: str
+
+
+@dataclass(frozen=True)
+class UpdateDemand:
+    """One old-path → new-path transition with declared properties.
+
+    Every demand claims loop freedom.  A demand with a ``waypoint``
+    claims waypoint enforcement (the waypoint must lie on both paths);
+    a demand without one claims per-packet consistency — the planner
+    must find a mixing-free schedule or fail loudly.
+    """
+
+    src: str
+    dst: str
+    old_path: tuple[str, ...]
+    new_path: tuple[str, ...]
+    waypoint: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "old_path", tuple(self.old_path))
+        object.__setattr__(self, "new_path", tuple(self.new_path))
+        for label, path in (("old", self.old_path), ("new", self.new_path)):
+            if len(path) < 2 or path[0] != self.src or path[-1] != self.dst:
+                raise ValueError(
+                    f"{label} path of {self.src}->{self.dst} must run "
+                    f"src..dst, got {path!r}")
+            if len(set(path)) != len(path):
+                raise ValueError(f"{label} path {path!r} is not simple")
+        if self.waypoint is not None:
+            for label, path in (("old", self.old_path),
+                                ("new", self.new_path)):
+                if self.waypoint not in path[1:-1]:
+                    raise ValueError(
+                        f"waypoint {self.waypoint!r} not interior to the "
+                        f"{label} path {path!r}")
+
+    @property
+    def claims(self) -> tuple[str, ...]:
+        """Invariants this demand declares (monitor condition names)."""
+        claims = ["forwarding-loop"]
+        if self.waypoint is not None:
+            claims.append("waypoint-bypass")
+        else:
+            claims.append("per-packet-inconsistency")
+        return tuple(claims)
+
+    def to_json_obj(self) -> dict:
+        obj = {
+            "src": self.src,
+            "dst": self.dst,
+            "old_path": list(self.old_path),
+            "new_path": list(self.new_path),
+        }
+        if self.waypoint is not None:
+            obj["waypoint"] = self.waypoint
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "UpdateDemand":
+        known = {"src", "dst", "old_path", "new_path", "waypoint"}
+        unknown = set(obj) - known
+        if unknown:
+            raise ValueError(f"unknown update-demand fields {sorted(unknown)}")
+        return cls(src=obj["src"], dst=obj["dst"],
+                   old_path=tuple(obj["old_path"]),
+                   new_path=tuple(obj["new_path"]),
+                   waypoint=obj.get("waypoint"))
+
+
+class UpdatePlanError(ValueError):
+    """No consistent round schedule exists for a demand."""
+
+
+@dataclass(frozen=True)
+class SubTransition:
+    """One suffix swap: verified install rounds, a flip, then deletes.
+
+    ``install_rounds`` are executed in order, each as its own verified
+    round (the last round is the flip at the branch switch — the only
+    rule change that moves live traffic).  ``delete_rules`` are the
+    retired rules removed, as one final round, once the flip is
+    verified.  ``priority`` is the TCAM priority of every installed
+    rule (strictly higher than everything the swap retires).
+    """
+
+    install_rounds: tuple[tuple[RuleSpec, ...], ...]
+    delete_rules: tuple[RuleSpec, ...]
+    priority: int
+
+    @property
+    def installed_rules(self) -> tuple[RuleSpec, ...]:
+        """All rules this swap installs, round order."""
+        return tuple(spec for rnd in self.install_rounds for spec in rnd)
+
+
+def _direct_swap(old: Sequence[str], new: Sequence[str]) -> SubTransition:
+    """Suffix swap for paths whose new-suffix interior avoids ``old``."""
+    branch = _branch_index(old, new)
+    old_suffix = old[branch:]
+    new_suffix = new[branch:]
+    rounds = []
+    # Interior rules destination-backwards, one verified round each, so
+    # a rule is only installed once its downstream segment exists.
+    for i in range(len(new_suffix) - 2, 0, -1):
+        rounds.append((RuleSpec(new_suffix[i], new_suffix[i + 1]),))
+    # The flip: the branch switch joins the new suffix.
+    rounds.append((RuleSpec(old[branch], new_suffix[1]),))
+    deletes = tuple(RuleSpec(old_suffix[i], old_suffix[i + 1])
+                    for i in range(len(old_suffix) - 1))
+    return SubTransition(tuple(rounds), deletes, priority=0)
+
+
+def _branch_index(old: Sequence[str], new: Sequence[str]) -> int:
+    """Index of the last node of the longest common prefix."""
+    limit = min(len(old), len(new))
+    i = 0
+    while i + 1 < limit and old[i + 1] == new[i + 1]:
+        i += 1
+    return i
+
+
+def _plan_segment(topo: Topology, old: Sequence[str],
+                  new: Sequence[str]) -> list[SubTransition]:
+    """Suffix-swap chain taking ``old`` to ``new`` without mixing.
+
+    A swap is *direct* when the new suffix's interior avoids every node
+    of the old path (installing it cannot create a reachable cycle or
+    a mixed path).  Otherwise — the reversal gadget — the segment
+    routes through an intermediate path whose interior is disjoint
+    from both, yielding two direct swaps.
+    """
+    old = list(old)
+    new = list(new)
+    if old == new:
+        return []
+    branch = _branch_index(old, new)
+    new_interior = set(new[branch + 1:-1])
+    if not new_interior & set(old):
+        return [_direct_swap(old, new)]
+    src_side, dst = old[branch], old[-1]
+    banned = (set(old) | set(new)) - {src_side, dst}
+    via = topo.shortest_path(src_side, dst, excluded=banned)
+    if via is None:
+        raise UpdatePlanError(
+            f"no interior-disjoint intermediate path {src_side}->{dst}: "
+            f"per-packet-consistent schedule impossible for old={old!r} "
+            f"new={new!r}")
+    mid = old[:branch] + via
+    return _plan_segment(topo, old, mid) + _plan_segment(topo, mid, new)
+
+
+def plan_transition(topo: Topology,
+                    demand: UpdateDemand) -> tuple[SubTransition, ...]:
+    """Round schedule for one demand, priorities strictly increasing.
+
+    Waypoint demands are split at the waypoint and the downstream
+    segment is updated first, so every intermediate forwarding state
+    still traverses the waypoint.
+    """
+    for label, path in (("old", demand.old_path), ("new", demand.new_path)):
+        for a, b in zip(path, path[1:]):
+            if not topo.graph.has_edge(a, b):
+                raise UpdatePlanError(
+                    f"{label} path hop {a}->{b} is not a link of "
+                    f"{topo.name}")
+    if demand.waypoint is not None:
+        w = demand.waypoint
+        io, in_ = demand.old_path.index(w), demand.new_path.index(w)
+        subs = (_plan_segment(topo, demand.old_path[io:],
+                              demand.new_path[in_:]) +
+                _plan_segment(topo, demand.old_path[:io + 1],
+                              demand.new_path[:in_ + 1]))
+    else:
+        subs = _plan_segment(topo, demand.old_path, demand.new_path)
+    return tuple(replace(sub, priority=k + 1) for k, sub in enumerate(subs))
+
+
+@dataclass(frozen=True)
+class UpdateConfig:
+    """Timing knobs of the update schedulers."""
+
+    #: Sim time at which the old→new transition begins (baselines are
+    #: installed immediately at app start, well before this).
+    update_at: float = 13.0
+    #: Seconds to wait for a round before checking ground truth again.
+    round_timeout: float = 1.5
+    #: Exponential backoff factor between verification attempts.
+    backoff: float = 2.0
+    #: Backoff cap.
+    max_timeout: float = 6.0
+    #: Stalled attempts before re-issuing the round's unapplied OPs.
+    reissue_after: int = 1
+
+
+class UpdateTracker:
+    """Read-only window/generation view for the ConsistencyMonitor.
+
+    Everything is derived from the app's durable NIB round records, so
+    classification keeps working across app crashes and re-issues: an
+    entry id belongs to the *old* generation of demand ``d`` while the
+    active sub-transition lists its rule among the retirees, and to the
+    *new* generation while it lists it among the installs.
+    """
+
+    def __init__(self, app: "UpdateAppBase"):
+        self.app = app
+
+    @property
+    def demands(self) -> list[UpdateDemand]:
+        return self.app.demands
+
+    def in_window(self, demand_index: int) -> bool:
+        """Whether the demand is mid-transition right now."""
+        return self.app.active_sub(demand_index) is not None
+
+    def classify(self, demand_index: int, entry_id: int) -> Optional[str]:
+        """``"old"`` / ``"new"`` generation of an entry id, else None."""
+        sub_index = self.app.active_sub(demand_index)
+        if sub_index is None:
+            return None
+        sub = self.app.plan_for(demand_index)[sub_index]
+        if entry_id in self.app.entry_ids_matching(demand_index,
+                                                   sub.delete_rules):
+            return "old"
+        if entry_id in self.app.entry_ids_matching(demand_index,
+                                                   sub.installed_rules):
+            return "new"
+        return None
+
+
+class UpdateAppBase(App):
+    """Durable round bookkeeping shared by both update schedulers.
+
+    All scheduling state lives in NIB tables (assumption A2: the NIB
+    survives component crashes); the app's in-memory state is reset by
+    ``setup()`` on every (re)start and rebuilt from them:
+
+    ``rounds``    round key → tuple of DAG ids (attempt history)
+    ``dags``      DAG id → the submitted :class:`Dag`
+    ``progress``  markers: active sub per demand, completed subs,
+                  re-issue counter, transition-done
+    """
+
+    def __init__(self, env: Environment, controller: ZenithController,
+                 demands: Sequence[UpdateDemand],
+                 alloc: Optional[IdAllocator] = None,
+                 config: Optional[UpdateConfig] = None,
+                 name: str = "update-app"):
+        super().__init__(env, controller, name)
+        self.demands = list(demands)
+        self.alloc = alloc if alloc is not None else IdAllocator()
+        self.config = config if config is not None else UpdateConfig()
+        ns = f"{controller.name}.app.{name}"
+        self._rounds = controller.nib.table(f"{ns}.rounds")
+        self._dags = controller.nib.table(f"{ns}.dags")
+        self._progress = controller.nib.table(f"{ns}.progress")
+        self.tracker = UpdateTracker(self)
+        self._plans: Optional[list[tuple[SubTransition, ...]]] = None
+
+    # -- plan / durable-state accessors (also used by the tracker) --------
+    def plan_for(self, demand_index: int) -> tuple[SubTransition, ...]:
+        """The demand's round schedule (pure recompute, crash-stable)."""
+        if self._plans is None:
+            topo = self.controller.network.topology
+            self._plans = [self._plan(topo, d) for d in self.demands]
+        return self._plans[demand_index]
+
+    def _plan(self, topo: Topology,
+              demand: UpdateDemand) -> tuple[SubTransition, ...]:
+        return plan_transition(topo, demand)
+
+    def active_sub(self, demand_index: int) -> Optional[int]:
+        """Index of the demand's in-flight sub-transition, if any."""
+        return self._progress.get(("active-sub", demand_index))
+
+    def entry_ids_matching(self, demand_index: int,
+                           specs: Iterable[RuleSpec]) -> frozenset[int]:
+        """Entry ids of recorded installs matching ``specs``.
+
+        Scans every recorded DAG of the demand (all attempts), so ids
+        from re-issued rounds and earlier app incarnations are all
+        classified.
+        """
+        wanted = {(s.switch, s.next_hop) for s in specs}
+        if not wanted:
+            return frozenset()
+        dst = self.demands[demand_index].dst
+        found = set()
+        for key, dag_ids in sorted(self._rounds.items()):
+            if key[1] != demand_index:
+                continue
+            for dag_id in dag_ids:
+                dag = self._dags.get(dag_id)
+                if dag is None:
+                    continue
+                for op in dag.ops.values():
+                    if (op.op_type is OpType.INSTALL
+                            and op.entry.dst == dst
+                            and (op.switch, op.entry.next_hop) in wanted):
+                        found.add(op.entry.entry_id)
+        return frozenset(found)
+
+    @property
+    def transition_done(self) -> bool:
+        """Whether every demand reached its new path (durable marker)."""
+        return bool(self._progress.get(("transition-done",)))
+
+    @property
+    def reissues(self) -> int:
+        """Rounds re-issued after stalls, across app incarnations."""
+        return int(self._progress.get(("reissues",), 0))
+
+    # -- tracing ----------------------------------------------------------
+    def _instant(self, name: str, **args) -> None:
+        if self.env._tracing:
+            self.env.tracer.instant(self.env, name, track=self.name, **args)
+
+    # -- shared round machinery ------------------------------------------
+    def _recorded_dag(self, key: tuple) -> Optional[Dag]:
+        dag_ids = self._rounds.get(key)
+        if not dag_ids:
+            return None
+        return self._dags.get(dag_ids[-1])
+
+    def _record_round(self, key: tuple, dag: Dag) -> None:
+        """Persist a round's DAG *before* submitting it (crash safety)."""
+        self._dags.put(dag.dag_id, dag)
+        history = self._rounds.get(key, ())
+        self._rounds.put(key, tuple(history) + (dag.dag_id,))
+
+    def _applied(self, dag: Dag) -> bool:
+        """Ground truth: every OP of the round took effect on-switch.
+
+        This is the Foerster & Schmid *local verification* step, read
+        from the aggregated ``table_snapshot()`` state (G_d) rather
+        than the controller's view — an acknowledged-but-unrecorded op
+        still counts, a sent-but-dropped one does not.
+        """
+        actual = self.controller.network.routing_state()
+        for op in dag.ops.values():
+            installed = actual.get(op.switch, frozenset())
+            if op.op_type is OpType.INSTALL:
+                if op.entry.entry_id not in installed:
+                    return False
+            elif op.op_type is OpType.DELETE:
+                if op.entry_id in installed:
+                    return False
+        return True
+
+    def _install_dag(self, rules: Iterable[RuleSpec], dst: str,
+                     priority: int) -> Dag:
+        ops = [Op(self.alloc.op_id(), spec.switch, OpType.INSTALL,
+                  entry=FlowEntry(self.alloc.entry_id(), dst,
+                                  spec.next_hop, priority))
+               for spec in rules]
+        return Dag(self.alloc.dag_id(), ops)
+
+    def _baseline_key(self, demand_index: int) -> tuple:
+        return ("base", demand_index)
+
+    def _baseline_dag(self, demand_index: int) -> Dag:
+        """The demand's old-path DAG (round 0), destination-backwards."""
+        demand = self.demands[demand_index]
+        specs = [RuleSpec(a, b) for a, b in zip(demand.old_path,
+                                                demand.old_path[1:])]
+        dag = self._install_dag(specs, demand.dst, priority=0)
+        ops = sorted(dag.ops)
+        for later, earlier in zip(ops, ops[1:]):
+            dag.add_edge(earlier, later)
+        return dag
+
+    def _retired_dag_ids(self, demand_index: int,
+                         specs: Iterable[RuleSpec]) -> list[int]:
+        """Recorded DAGs owning any entry a delete round retires."""
+        targets = self.entry_ids_matching(demand_index, specs)
+        owners = set()
+        for key, dag_ids in sorted(self._rounds.items()):
+            if key[1] != demand_index:
+                continue
+            for dag_id in dag_ids:
+                dag = self._dags.get(dag_id)
+                if dag is None:
+                    continue
+                if any(entry_id in targets
+                       for _, entry_id in dag.install_entries()):
+                    owners.add(dag_id)
+        return sorted(owners)
+
+    def _delete_ops(self, demand_index: int,
+                    specs: Iterable[RuleSpec]) -> list[Op]:
+        """DELETE ops for every recorded entry matching ``specs``."""
+        targets = self.entry_ids_matching(demand_index, specs)
+        entry_switch = {}
+        for key, dag_ids in sorted(self._rounds.items()):
+            if key[1] != demand_index:
+                continue
+            for dag_id in dag_ids:
+                dag = self._dags.get(dag_id)
+                if dag is None:
+                    continue
+                for switch, entry_id in sorted(dag.install_entries()):
+                    if entry_id in targets:
+                        entry_switch[entry_id] = switch
+        return [Op(self.alloc.op_id(), entry_switch[entry_id], OpType.DELETE,
+                   entry_id=entry_id)
+                for entry_id in sorted(entry_switch)]
+
+
+class ConsistentUpdateApp(UpdateAppBase):
+    """Round-based, locally verified, crash-resumable update scheduler.
+
+    ``main()`` is a pure replay of the round script: every round is
+    skipped when its recorded DAG already verifies against ground
+    truth, so a restarted app fast-forwards to exactly the round the
+    previous incarnation was executing and continues — never
+    re-issuing acknowledged work.  A round that cannot verify (message
+    lost, switch partitioned) is retried with timeout/backoff; after
+    ``reissue_after`` stalls the unapplied remainder is re-issued as a
+    fresh DAG with the same entry ids.  Until the round verifies the
+    schedule does not advance: under a partition the dataplane freezes
+    at a consistent round boundary.
+    """
+
+    def main(self):
+        for demand_index in range(len(self.demands)):
+            yield from self._run_round(self._baseline_key(demand_index),
+                                       lambda d=demand_index:
+                                       self._baseline_dag(d))
+        if self.env.now < self.config.update_at:
+            yield self.env.timeout(self.config.update_at - self.env.now)
+        if not self.transition_done:
+            self._instant("update-transition-start")
+        for demand_index, demand in enumerate(self.demands):
+            plan = self.plan_for(demand_index)
+            for sub_index, sub in enumerate(plan):
+                if self._progress.get(("sub-done", demand_index, sub_index)):
+                    continue
+                self._progress.put(("active-sub", demand_index), sub_index)
+                for round_index, rules in enumerate(sub.install_rounds):
+                    key = ("inst", demand_index, sub_index, round_index)
+                    yield from self._run_round(
+                        key,
+                        lambda rules=rules, d=demand_index, p=sub.priority:
+                        self._install_dag(rules, self.demands[d].dst, p))
+                yield from self._run_round(
+                    ("del", demand_index, sub_index),
+                    lambda d=demand_index, sub=sub:
+                    self._build_delete_round(d, sub))
+                self._progress.delete(("active-sub", demand_index))
+                self._progress.put(("sub-done", demand_index, sub_index),
+                                   True)
+                self._instant("update-sub-done", demand=demand_index,
+                              sub=sub_index)
+        if not self.transition_done:
+            self._progress.put(("transition-done",), True)
+            self._instant("update-transition-done")
+        while True:
+            yield self.events.get()
+
+    def recover(self):
+        self._instant("update-resume")
+        return None
+
+    def _build_delete_round(self, demand_index: int,
+                            sub: SubTransition) -> Dag:
+        # Mark the DAGs whose entries are being retired STALE first, so
+        # the monitor's certified-not-installed invariant does not see
+        # a DONE DAG losing entries (the RoutingApp discipline).
+        for dag_id in self._retired_dag_ids(demand_index, sub.delete_rules):
+            self.remove_dag(dag_id, cleanup=False)
+        return Dag(self.alloc.dag_id(),
+                   self._delete_ops(demand_index, sub.delete_rules))
+
+    def _run_round(self, key: tuple, builder):
+        """Execute one round to verified completion (resume-aware)."""
+        dag = self._recorded_dag(key)
+        if dag is None:
+            dag = builder()
+            self._record_round(key, dag)
+        if self._applied(dag):
+            return
+        self._instant("update-round-start", round=_round_label(key))
+        attempt = 0
+        while True:
+            if self.controller.state.dag_status_of(dag.dag_id) is None:
+                self.submit_dag(dag)
+            waiter = self.controller.wait_for_dag(dag.dag_id)
+            timeout = self.env.timeout(self._attempt_timeout(attempt))
+            yield AnyOf(self.env, [waiter, timeout])
+            if self._applied(dag):
+                self._instant("update-round-done", round=_round_label(key))
+                return
+            attempt += 1
+            self._instant("update-round-stalled", round=_round_label(key),
+                          attempt=attempt)
+            if attempt >= self.config.reissue_after:
+                dag = self._reissue(key, dag)
+
+    def _attempt_timeout(self, attempt: int) -> float:
+        return min(self.config.round_timeout * self.config.backoff ** attempt,
+                   self.config.max_timeout)
+
+    def _reissue(self, key: tuple, dag: Dag) -> Dag:
+        """Fresh DAG carrying only the round's unapplied OPs.
+
+        Entry ids are reused — a duplicate install overwrites the same
+        TCAM slot idempotently, and deleting an already-deleted id is a
+        no-op — so a delayed original racing its replacement converges
+        to the same dataplane state.
+        """
+        actual = self.controller.network.routing_state()
+        ops = []
+        for op_id in sorted(dag.ops):
+            op = dag.ops[op_id]
+            installed = actual.get(op.switch, frozenset())
+            if op.op_type is OpType.INSTALL:
+                if op.entry.entry_id not in installed:
+                    ops.append(Op(self.alloc.op_id(), op.switch,
+                                  OpType.INSTALL, entry=op.entry))
+            elif op.entry_id in installed:
+                ops.append(Op(self.alloc.op_id(), op.switch, OpType.DELETE,
+                              entry_id=op.entry_id))
+        if not ops:
+            return dag
+        self.remove_dag(dag.dag_id, cleanup=False)
+        fresh = Dag(self.alloc.dag_id(), ops)
+        self._record_round(key, fresh)
+        self._progress.put(("reissues",), self.reissues + 1)
+        self._instant("update-round-reissue", round=_round_label(key),
+                      dag=fresh.dag_id)
+        self.submit_dag(fresh)
+        return fresh
+
+
+class NaiveUpdateApp(UpdateAppBase):
+    """The 2-phase-less foil: flat unordered DAGs, no durable rounds.
+
+    Per demand, one DAG installs every new-exclusive rule and deletes
+    every old-exclusive one with no ordering edges — the dataplane
+    passes through arbitrary rule interleavings.  The transition DAGs
+    are *recorded* (so the tracker can classify generations and crash
+    restarts are observable) but progress is not: a restarted naive
+    app rebuilds fresh DAGs and blindly resubmits.
+    """
+
+    def main(self):
+        for demand_index in range(len(self.demands)):
+            key = self._baseline_key(demand_index)
+            dag = self._recorded_dag(key)
+            if dag is None:
+                dag = self._baseline_dag(demand_index)
+                self._record_round(key, dag)
+            if not self._applied(dag):
+                if self.controller.state.dag_status_of(dag.dag_id) is None:
+                    self.submit_dag(dag)
+                yield self.controller.wait_for_dag(dag.dag_id)
+        if self.env.now < self.config.update_at:
+            yield self.env.timeout(self.config.update_at - self.env.now)
+        self._instant("update-transition-start")
+        pending = []
+        for demand_index, demand in enumerate(self.demands):
+            (sub,) = self.plan_for(demand_index)
+            retired, added = sub.delete_rules, sub.installed_rules
+            for dag_id in self._retired_dag_ids(demand_index, retired):
+                self.remove_dag(dag_id, cleanup=False)
+            delete_ops = self._delete_ops(demand_index, retired)
+            install_ops = [
+                Op(self.alloc.op_id(), spec.switch, OpType.INSTALL,
+                   entry=FlowEntry(self.alloc.entry_id(), demand.dst,
+                                   spec.next_hop, sub.priority))
+                for spec in added
+            ]
+            flat = Dag(self.alloc.dag_id(), install_ops + delete_ops)
+            self._progress.put(("active-sub", demand_index), 0)
+            # Record under a unique key so tracker classification sees
+            # every incarnation's entry ids.
+            self._record_round(("naive", demand_index, flat.dag_id), flat)
+            self.submit_dag(flat)
+            self._instant("update-round-start",
+                          round=f"naive-{demand_index}")
+            pending.append((demand_index, flat))
+        for demand_index, dag in pending:
+            yield self.controller.wait_for_dag(dag.dag_id)
+            self._instant("update-round-done", round=f"naive-{demand_index}")
+            if self._applied(dag):
+                self._progress.delete(("active-sub", demand_index))
+        self._progress.put(("transition-done",), True)
+        self._instant("update-transition-done")
+        while True:
+            yield self.events.get()
+
+    def recover(self):
+        self._instant("update-resume")
+        return None
+
+    def _plan(self, topo: Topology,
+              demand: UpdateDemand) -> tuple[SubTransition, ...]:
+        """A single pseudo-sub (the whole flat batch) for the tracker."""
+        old = {RuleSpec(a, b)
+               for a, b in zip(demand.old_path, demand.old_path[1:])}
+        new = {RuleSpec(a, b)
+               for a, b in zip(demand.new_path, demand.new_path[1:])}
+        retired = tuple(sorted(old - new,
+                               key=lambda s: (s.switch, s.next_hop)))
+        added = tuple(sorted(new - old,
+                             key=lambda s: (s.switch, s.next_hop)))
+        return (SubTransition((added,), retired, priority=1),)
+
+
+def _round_label(key: tuple) -> str:
+    return "-".join(str(part) for part in key)

@@ -24,6 +24,8 @@ Four pieces, layered on the existing simulation stack:
 
 from .driver import (
     CONTROLLERS,
+    UPDATE_MONITOR_CONFIG,
+    UPDATE_SCHEDULERS,
     ChaosReport,
     dump_artifact,
     load_artifact,
@@ -33,12 +35,21 @@ from .driver import (
 )
 from .monitor import ConsistencyMonitor, MonitorConfig, Violation
 from .plane import FaultPlane
-from .schedule import ChaosEvent, ChaosSchedule, sample_schedule
+from .schedule import (
+    SCHEDULE_VERSION,
+    ChaosEvent,
+    ChaosSchedule,
+    sample_schedule,
+    sample_update_schedule,
+)
 from .shrink import shrink_events
 from .triggers import ChaosActions, TriggerTracer
 
 __all__ = [
     "CONTROLLERS",
+    "SCHEDULE_VERSION",
+    "UPDATE_MONITOR_CONFIG",
+    "UPDATE_SCHEDULERS",
     "ChaosActions",
     "ChaosEvent",
     "ChaosReport",
@@ -53,6 +64,7 @@ __all__ = [
     "replay",
     "run_schedule",
     "sample_schedule",
+    "sample_update_schedule",
     "search",
     "shrink_events",
 ]

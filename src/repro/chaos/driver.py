@@ -23,21 +23,35 @@ from __future__ import annotations
 import json
 from typing import Any, Optional, Sequence
 
+from ..apps.update import (
+    ConsistentUpdateApp,
+    NaiveUpdateApp,
+    UpdateConfig,
+    UpdateDemand,
+)
 from ..baselines import NoRecController, PrController, PrUpController
 from ..core.controller import ZenithController
 from ..experiments.common import build_system
 from ..net.dataplane import Network
-from ..net.topology import Topology, linear, ring
-from ..sim import Environment
+from ..net.topology import Topology, linear, ring, update_gadget
+from ..sim import ComponentHost, Environment, RandomStreams
+from ..workloads.dags import IdAllocator
 from .monitor import ConsistencyMonitor, MonitorConfig
 from .plane import FaultPlane
-from .schedule import ChaosEvent, ChaosSchedule, sample_schedule
+from .schedule import (
+    ChaosEvent,
+    ChaosSchedule,
+    sample_schedule,
+    sample_update_schedule,
+)
 from .shrink import shrink_events
 from .triggers import ChaosActions, TriggerTracer
 
 __all__ = [
     "CONTROLLERS",
     "SCHEMA",
+    "UPDATE_MONITOR_CONFIG",
+    "UPDATE_SCHEDULERS",
     "ChaosReport",
     "component_names",
     "replay",
@@ -54,6 +68,32 @@ CONTROLLERS = {
     "norec": NoRecController,
 }
 
+#: Update-scenario "controllers": both run ZENITH underneath; the
+#: variable under test is the update app's scheduling discipline.
+UPDATE_SCHEDULERS = {
+    "consistent": ConsistentUpdateApp,
+    "naive": NaiveUpdateApp,
+}
+
+#: Monitor tuning for update runs.  The update invariants are
+#: instantaneous (grace 0: the consistent plan holds them at *every*
+#: intermediate state, so even one bad poll is a real violation).
+#: View-consistency invariants get fault-window-sized grace instead:
+#: a partition eats acks for seconds and the app's round-level re-issue
+#: is the repair path — and orphaned-op is disabled outright, because a
+#: partition-wedged OP stays IN_FLIGHT forever under *both* schedulers
+#: (ZENITH's pipeline has no op-level retry; flagging it would say
+#: nothing about update discipline).
+UPDATE_MONITOR_CONFIG = MonitorConfig(
+    orphan_timeout=1e9,
+    grace_overrides=(
+        ("forwarding-loop", 0.0),
+        ("waypoint-bypass", 0.0),
+        ("per-packet-inconsistency", 0.0),
+        ("hidden-entry", 15.0),
+        ("certified-not-installed", 15.0),
+    ))
+
 
 def build_topology(spec: dict[str, Any]) -> Topology:
     """Materialize a schedule's topology spec."""
@@ -62,6 +102,8 @@ def build_topology(spec: dict[str, Any]) -> Topology:
         return ring(spec.get("n", 6))
     if kind == "linear":
         return linear(spec.get("n", 6))
+    if kind == "update-gadget":
+        return update_gadget()
     raise ValueError(f"unknown topology kind {kind!r}")
 
 
@@ -82,7 +124,8 @@ class ChaosReport:
 
     def __init__(self, controller: str, monitor: ConsistencyMonitor,
                  plane: FaultPlane, actions: ChaosActions,
-                 tracer: Optional[TriggerTracer], horizon: float):
+                 tracer: Optional[TriggerTracer], horizon: float,
+                 update_outcome: Optional[dict[str, Any]] = None):
         self.controller = controller
         self.violations = list(monitor.violations)
         self.first_violation_at = monitor.first_violation_at()
@@ -91,6 +134,10 @@ class ChaosReport:
         self.action_noops = actions.noops
         self.fired_triggers = list(tracer.fired) if tracer is not None else []
         self.horizon = horizon
+        #: Update-scenario liveness summary (None for classic runs):
+        #: did the transition finish, how many rounds were re-issued,
+        #: how often was the app crashed/restarted.
+        self.update_outcome = update_outcome
 
     @property
     def violated(self) -> bool:
@@ -98,7 +145,7 @@ class ChaosReport:
 
     def to_json_obj(self, max_violations: int = 10) -> dict[str, Any]:
         first = self.first_violation_at
-        return {
+        obj = {
             "controller": self.controller,
             "violated": self.violated,
             "first_violation_at": None if first is None else round(first, 6),
@@ -110,22 +157,15 @@ class ChaosReport:
             "fired_triggers": self.fired_triggers,
             "action_noops": self.action_noops,
         }
+        if self.update_outcome is not None:
+            obj["update"] = dict(self.update_outcome)
+        return obj
 
 
-def run_schedule(schedule: ChaosSchedule, controller: str,
-                 monitor_config: Optional[MonitorConfig] = None) -> ChaosReport:
-    """Run one schedule under one controller, monitored throughout."""
-    if controller not in CONTROLLERS:
-        raise ValueError(f"unknown controller {controller!r} "
-                         f"(have {sorted(CONTROLLERS)})")
-    system = build_system(
-        CONTROLLERS[controller], build_topology(schedule.topology),
-        seed=schedule.seed, demands=list(schedule.demands),
-        background_entries=schedule.background_entries,
-        settle=schedule.settle)
-    env = system.env
-    plane = FaultPlane()
-    actions = ChaosActions(env, system.network, system.controller)
+def _arm_events(env: Environment, schedule: ChaosSchedule,
+                plane: FaultPlane, actions: ChaosActions,
+                ) -> tuple[Optional[TriggerTracer], list[ChaosEvent]]:
+    """Arm every schedule event; returns (trigger tracer, timed events)."""
     tracer: Optional[TriggerTracer] = None
     timed: list[ChaosEvent] = []
     for index, event in enumerate(schedule.events):
@@ -142,6 +182,32 @@ def run_schedule(schedule: ChaosSchedule, controller: str,
             timed.append(event)
         else:  # pragma: no cover - schedule validates kinds
             raise ValueError(f"unrunnable event kind {event.kind!r}")
+    return tracer, timed
+
+
+def run_schedule(schedule: ChaosSchedule, controller: str,
+                 monitor_config: Optional[MonitorConfig] = None) -> ChaosReport:
+    """Run one schedule under one controller, monitored throughout.
+
+    A schedule carrying an ``update`` workload spec runs the
+    consistent-update scenario instead; ``controller`` then names an
+    update scheduler (see :data:`UPDATE_SCHEDULERS`).
+    """
+    if schedule.update is not None:
+        return _run_update_schedule(schedule, controller, monitor_config)
+    if controller not in CONTROLLERS:
+        raise ValueError(f"unknown controller {controller!r} "
+                         f"(have {sorted(CONTROLLERS)})")
+    system = build_system(
+        CONTROLLERS[controller], build_topology(schedule.topology),
+        seed=schedule.seed, demands=list(schedule.demands),
+        background_entries=schedule.background_entries,
+        settle=schedule.settle)
+    env = system.env
+    plane = FaultPlane()
+    actions = ChaosActions(env, system.network, system.controller,
+                           plane=plane)
+    tracer, timed = _arm_events(env, schedule, plane, actions)
     system.network.install_fault_plane(plane)
     if tracer is not None:
         env.set_tracer(tracer)
@@ -153,6 +219,63 @@ def run_schedule(schedule: ChaosSchedule, controller: str,
     env.run(until=schedule.horizon)
     return ChaosReport(controller, monitor, plane, actions, tracer,
                        schedule.horizon)
+
+
+def _run_update_schedule(schedule: ChaosSchedule, scheduler: str,
+                         monitor_config: Optional[MonitorConfig],
+                         ) -> ChaosReport:
+    """Run one update-scenario schedule under one update scheduler.
+
+    Both schedulers run on an unmodified ZENITH controller; the app is
+    hosted on its own auto-restarting :class:`ComponentHost` (so crash
+    nemeses exercise the resume path) and registered with the action
+    executor as an extra crashable target.  The monitor gets the app's
+    :class:`~repro.apps.update.UpdateTracker` so the update invariants
+    are live, under :data:`UPDATE_MONITOR_CONFIG` unless overridden.
+    """
+    if scheduler not in UPDATE_SCHEDULERS:
+        raise ValueError(f"unknown update scheduler {scheduler!r} "
+                         f"(have {sorted(UPDATE_SCHEDULERS)})")
+    spec = schedule.update or {}
+    env = Environment()
+    streams = RandomStreams(schedule.seed)
+    network = Network(env, build_topology(schedule.topology),
+                      streams=streams.child("net"))
+    controller = ZenithController(env, network)
+    controller.start()
+    demands = [UpdateDemand.from_json_obj(d) for d in spec["demands"]]
+    config = UpdateConfig(update_at=spec.get("update_at", 13.0))
+    app = UPDATE_SCHEDULERS[scheduler](
+        env, controller, demands, alloc=IdAllocator(),
+        config=config, name=spec.get("app", "update-app"))
+    host = ComponentHost(env, app,
+                         restart_delay=spec.get("restart_delay", 0.75),
+                         auto_restart=True)
+    plane = FaultPlane()
+    actions = ChaosActions(env, network, controller, plane=plane,
+                           extra_hosts={app.name: host})
+    tracer, timed = _arm_events(env, schedule, plane, actions)
+    network.install_fault_plane(plane)
+    if tracer is not None:
+        env.set_tracer(tracer)
+    if timed:
+        env.process(_timed_injector(env, actions, timed),
+                    name="chaos-injector")
+    monitor = ConsistencyMonitor(
+        env, controller, network,
+        monitor_config if monitor_config is not None
+        else UPDATE_MONITOR_CONFIG,
+        update_tracker=app.tracker)
+    host.start()
+    env.run(until=schedule.horizon)
+    outcome = {
+        "transition_done": app.transition_done,
+        "reissues": app.reissues,
+        "app_crashes": host.crash_count,
+        "app_restarts": host.restart_count,
+    }
+    return ChaosReport(scheduler, monitor, plane, actions, tracer,
+                       schedule.horizon, update_outcome=outcome)
 
 
 def _timed_injector(env: Environment, actions: ChaosActions,
@@ -177,6 +300,7 @@ def search(seed: int, trials: int = 5,
            shrink: bool = True, max_shrink_tests: int = 64,
            monitor_config: Optional[MonitorConfig] = None,
            progress: Optional[Any] = None,
+           scenario: str = "classic",
            **sampler_kwargs: Any) -> dict[str, Any]:
     """Sample schedules, hunt target-only violations, shrink the first.
 
@@ -184,22 +308,42 @@ def search(seed: int, trials: int = 5,
     trial is *interesting* when ``target`` violates an invariant and
     ``reference`` finishes clean under the identical schedule.
 
+    ``scenario`` picks the sampler and the meaning of the run names:
+    ``"classic"`` compares controllers under background-fault schedules
+    (:func:`~repro.chaos.schedule.sample_schedule`); ``"update"``
+    compares update schedulers (:data:`UPDATE_SCHEDULERS`) under
+    update-window schedules
+    (:func:`~repro.chaos.schedule.sample_update_schedule`) on the
+    update-gadget topology.
+
     ``progress`` is an optional callable invoked after every trial with
     ``(done, total, interesting_count)`` — a pure observer (stderr
     heartbeats, ETA); it sees no schedule data and cannot perturb the
     deterministic artifact.
     """
-    topology = dict(sampler_kwargs.pop(
-        "topology", {"kind": "ring", "n": 6}))
-    switches = build_topology(topology).switches
-    components = component_names(topology)
+    if scenario not in ("classic", "update"):
+        raise ValueError(f"unknown chaos scenario {scenario!r} "
+                         "(have ['classic', 'update'])")
+    if scenario == "update":
+        topology = dict(sampler_kwargs.pop(
+            "topology", {"kind": "update-gadget"}))
+    else:
+        topology = dict(sampler_kwargs.pop(
+            "topology", {"kind": "ring", "n": 6}))
+        switches = build_topology(topology).switches
+        components = component_names(topology)
     runs = []
     interesting_trials = []
     first_interesting: Optional[ChaosSchedule] = None
     for trial in range(trials):
-        schedule = sample_schedule(seed, trial, switches=switches,
-                                   components=components,
-                                   topology=topology, **sampler_kwargs)
+        if scenario == "update":
+            schedule = sample_update_schedule(seed, trial,
+                                              topology=topology,
+                                              **sampler_kwargs)
+        else:
+            schedule = sample_schedule(seed, trial, switches=switches,
+                                       components=components,
+                                       topology=topology, **sampler_kwargs)
         verdicts = {
             name: run_schedule(schedule, name, monitor_config)
             for name in sorted({target, reference})
@@ -223,6 +367,7 @@ def search(seed: int, trials: int = 5,
         "schema": SCHEMA,
         "seed": seed,
         "trials": trials,
+        "scenario": scenario,
         "target": target,
         "reference": reference,
         "runs": runs,

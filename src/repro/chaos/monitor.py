@@ -28,12 +28,29 @@ the paper's ◇□ conditions only bind outside failure windows):
     disagrees with the dataplane.  Quiescence means nothing is left
     that could fix it except a future reconciliation sweep.
 
+When an ``update_tracker`` (see :class:`repro.apps.update`) is
+attached, three *data-plane update* invariants are evaluated per
+declared demand, from packet traces (``Network.trace_detailed``):
+
+``forwarding-loop``
+    A traced packet for the demand cycles — the union of old/new rules
+    actually installed contains a reachable forwarding loop.
+``waypoint-bypass``
+    A delivered trace skips the demand's declared waypoint.
+``per-packet-inconsistency``
+    A delivered trace mixes old-generation and new-generation rules —
+    no single rule version explains the packet's path (Reitblatt
+    et al.'s per-packet consistency).
+
 A condition only becomes a :class:`Violation` after persisting for
 ``grace`` seconds (default 3 s: an order of magnitude above ZENITH's
 observed convergence after faults, and well below the PR baseline's
 30 s reconciliation period), which keeps transient in-flux states from
-counting.  Each violation records both ``since`` (when the condition
-began — the reported first-violation time) and ``declared_at``.
+counting.  ``MonitorConfig.grace_overrides`` tightens or loosens the
+window per invariant — the update invariants run with grace 0 (they
+must hold at every instant).  Each violation records both ``since``
+(when the condition began — the reported first-violation time) and
+``declared_at``.
 """
 
 from __future__ import annotations
@@ -60,6 +77,19 @@ class MonitorConfig:
     orphan_timeout: float = 12.0
     #: Cap on recorded violations (the first ones are the story).
     max_violations: int = 50
+    #: Per-invariant grace windows overriding ``grace``, as a tuple of
+    #: (invariant, seconds) pairs (kept hashable so the config stays
+    #: frozen).  One 3 s window is too coarse once invariants differ in
+    #: kind: loop freedom must hold at *every instant* (grace 0), while
+    #: view-consistency invariants legitimately lag by a fault window.
+    grace_overrides: tuple[tuple[str, float], ...] = ()
+
+    def grace_for(self, invariant: str) -> float:
+        """The grace window for one invariant (override or default)."""
+        for name, seconds in self.grace_overrides:
+            if name == invariant:
+                return seconds
+        return self.grace
 
 
 @dataclass(frozen=True)
@@ -90,12 +120,15 @@ class ConsistencyMonitor:
 
     def __init__(self, env, controller, network,
                  config: Optional[MonitorConfig] = None,
-                 start_at: float = 0.0):
+                 start_at: float = 0.0, update_tracker=None):
         self.env = env
         self.controller = controller
         self.network = network
         self.config = config or MonitorConfig()
         self.start_at = start_at
+        #: Optional :class:`repro.apps.update.UpdateTracker`; when set,
+        #: the update-window invariants below are evaluated too.
+        self.update_tracker = update_tracker
         self.violations: list[Violation] = []
         #: condition key -> (first_seen, detail) for conditions inside
         #: their grace window.
@@ -138,7 +171,7 @@ class ConsistencyMonitor:
                 continue
             first_seen, first_detail = self._pending.setdefault(
                 key, (now, detail))
-            if now - first_seen >= self.config.grace:
+            if now - first_seen >= self.config.grace_for(key[0]):
                 self._declared.add(key)
                 del self._pending[key]
                 if len(self.violations) < self.config.max_violations:
@@ -213,7 +246,54 @@ class ConsistencyMonitor:
         if self._quiescent(state, healthy) \
                 and not self.controller.view_matches_dataplane():
             conditions[("quiescence-divergence", "view != dataplane")] = {}
+
+        if self.update_tracker is not None:
+            self._update_conditions(conditions)
         return conditions
+
+    def _update_conditions(self, conditions: dict) -> None:
+        """Data-plane update invariants (loop/waypoint/per-packet).
+
+        A packet trace is taken per declared demand; the demand's
+        declared claims decide which properties bind.  Loop freedom and
+        waypoint enforcement are properties of the forwarding graph at
+        this instant; per-packet consistency additionally consults the
+        tracker's old/new generation classification of the entries the
+        trace used (Reitblatt et al.: a single packet must see exactly
+        one rule generation end to end).
+        """
+        from ..net.dataplane import PathStatus
+
+        tracker = self.update_tracker
+        for demand_index, demand in enumerate(tracker.demands):
+            trace = self.network.trace_detailed(demand.src, demand.dst)
+            subject = f"{demand.src}->{demand.dst}"
+            claims = demand.claims
+            if trace.status is PathStatus.LOOP:
+                if "forwarding-loop" in claims:
+                    conditions[("forwarding-loop", subject)] = {
+                        "hops": list(trace.hops)}
+                # A looping trace never delivers; the remaining
+                # properties are unjudgeable this instant.
+                continue
+            if trace.status is not PathStatus.DELIVERED:
+                continue
+            if "waypoint-bypass" in claims \
+                    and demand.waypoint not in trace.hops:
+                conditions[("waypoint-bypass", subject)] = {
+                    "waypoint": demand.waypoint, "hops": list(trace.hops)}
+            if "per-packet-inconsistency" in claims:
+                generations = {}
+                for entry_id in trace.entry_ids():
+                    generation = tracker.classify(demand_index, entry_id)
+                    if generation is not None:
+                        generations.setdefault(generation, []).append(
+                            entry_id)
+                if "old" in generations and "new" in generations:
+                    conditions[("per-packet-inconsistency", subject)] = {
+                        "hops": list(trace.hops),
+                        "old_entries": sorted(generations["old"]),
+                        "new_entries": sorted(generations["new"])}
 
     def _quiescent(self, state, healthy) -> bool:
         if len(healthy) != len(self.network.switches):

@@ -39,10 +39,17 @@ from typing import Any, Optional, Sequence
 from ..sim import RandomStreams
 from .plane import DIRECTIONS
 
-__all__ = ["ChaosEvent", "ChaosSchedule", "sample_schedule", "EVENT_KINDS"]
+__all__ = ["ChaosEvent", "ChaosSchedule", "sample_schedule",
+           "sample_update_schedule", "EVENT_KINDS", "SCHEDULE_VERSION"]
 
 EVENT_KINDS = ("drop", "duplicate", "delay", "partition", "fail_switch",
                "recover_switch", "crash_component", "trigger")
+
+#: Serialization version carried by every schedule JSON object.  Bump
+#: when the event vocabulary or schedule fields change incompatibly;
+#: :meth:`ChaosSchedule.from_json_obj` rejects versions it does not
+#: speak rather than misinterpreting them.
+SCHEDULE_VERSION = 1
 
 #: Channel fault kinds handled by the fault plane.
 CHANNEL_KINDS = ("drop", "duplicate", "delay", "partition")
@@ -135,13 +142,22 @@ class ChaosSchedule:
     settle: float = 10.0
     #: Absolute sim-time the run ends (and the monitor stops).
     horizon: float = 45.0
+    #: Optional consistent-update workload spec (scheduler-agnostic):
+    #: ``{"demands": [<UpdateDemand json>, ...], "update_at": float,
+    #: "restart_delay": float}``.  When set, the driver runs the update
+    #: scenario (ZENITH + an update app) instead of the classic
+    #: routing workload.
+    update: Optional[dict[str, Any]] = None
+    #: Schedule serialization version (see :data:`SCHEDULE_VERSION`).
+    version: int = SCHEDULE_VERSION
 
     def with_events(self, events: Sequence[ChaosEvent]) -> "ChaosSchedule":
         """Same workload, different event list (used by the shrinker)."""
         return replace(self, events=sorted(events, key=_event_order))
 
     def to_json_obj(self) -> dict[str, Any]:
-        return {
+        obj = {
+            "version": self.version,
             "seed": self.seed,
             "topology": dict(self.topology),
             "demands": [list(d) for d in self.demands],
@@ -150,9 +166,17 @@ class ChaosSchedule:
             "horizon": self.horizon,
             "events": [e.to_json_obj() for e in self.events],
         }
+        if self.update is not None:
+            obj["update"] = dict(self.update)
+        return obj
 
     @classmethod
     def from_json_obj(cls, obj: dict[str, Any]) -> "ChaosSchedule":
+        version = obj.get("version", SCHEDULE_VERSION)
+        if version != SCHEDULE_VERSION:
+            raise ValueError(
+                f"unsupported chaos schedule version {version!r} "
+                f"(this build speaks {SCHEDULE_VERSION})")
         return cls(
             seed=obj["seed"],
             events=[ChaosEvent.from_json_obj(e) for e in obj["events"]],
@@ -161,6 +185,8 @@ class ChaosSchedule:
             background_entries=obj.get("background_entries", 6),
             settle=obj.get("settle", 10.0),
             horizon=obj.get("horizon", 45.0),
+            update=obj.get("update"),
+            version=version,
         )
 
 
@@ -252,6 +278,118 @@ def sample_schedule(seed: int, trial: int, *,
     if demands is not None:
         schedule.demands = [tuple(d) for d in demands]
     return schedule
+
+
+#: Default demands of the update scenario: the two reversal-gadget
+#: transitions of :func:`repro.net.topology.update_gadget`.
+UPDATE_GADGET_DEMANDS = (
+    {"src": "a0", "dst": "a4",
+     "old_path": ["a0", "a1", "a2", "a3", "a4"],
+     "new_path": ["a0", "a1", "a3", "a2", "a4"]},
+    {"src": "b0", "dst": "b4",
+     "old_path": ["b0", "b1", "b2", "b3", "b4"],
+     "new_path": ["b0", "b1", "b3", "b2", "b4"],
+     "waypoint": "b2"},
+)
+
+
+def sample_update_schedule(seed: int, trial: int, *,
+                           topology: Optional[dict[str, Any]] = None,
+                           demands: Optional[Sequence[dict]] = None,
+                           update_at: float = 13.0,
+                           restart_delay: float = 0.75,
+                           settle: float = 10.0,
+                           active: float = 12.0,
+                           cooldown: float = 20.0,
+                           n_partitions: int = 1,
+                           n_crashes: int = 1,
+                           n_ack_delays: int = 1,
+                           n_channel: int = 1,
+                           mean_delay: float = 2.5,
+                           partition_min: float = 2.0,
+                           partition_max: float = 4.5,
+                           app: str = "update-app") -> ChaosSchedule:
+    """Draw one seeded *update-window* nemesis schedule.
+
+    The scenario: an update app (consistent or naive — the schedule is
+    scheduler-agnostic) installs baselines during ``settle`` and starts
+    its old→new transition at ``update_at``.  All nemeses aim at the
+    transition window:
+
+    * **partition-mid-round** — a trigger on the app's
+      ``update-round-start`` instant arms a control-link partition on a
+      demand-path switch for a few seconds, eating the round's installs
+      and acks mid-flight.
+    * **crash-scheduler-between-rounds** — a trigger on
+      ``update-round-done`` crashes the app component exactly at a
+      round boundary; it restarts after ``restart_delay`` and must
+      resume from durable state.
+    * **delay-verification-acks** — a trigger on the next ``sent`` OP
+      mark for a victim switch arms a one-shot ``s2c`` delay, holding
+      back the installation ack the round's verification waits for.
+    * plain one-shot ``c2s`` delays inside the window, stretching a
+      rule install by seconds (the classic naive-update killer).
+
+    Victim switches are drawn from the demand paths (every node that
+    carries a rule).  ``demands`` are UpdateDemand JSON objects
+    (default: the update-gadget pair).
+    """
+    stream = RandomStreams(seed).child(f"chaos-update-trial-{trial}")
+    demand_objs = [dict(d) for d in (demands if demands is not None
+                                     else UPDATE_GADGET_DEMANDS)]
+    victims = sorted({
+        hop
+        for demand in demand_objs
+        for path in (demand["old_path"], demand["new_path"])
+        for hop in path[:-1]
+    })
+    window_end = update_at + active
+    events: list[ChaosEvent] = []
+
+    for _ in range(n_partitions):
+        at = stream.uniform(settle + 0.5, update_at)
+        switch = stream.choice(victims)
+        duration = stream.uniform(partition_min, partition_max)
+        events.append(ChaosEvent(
+            kind="trigger", at=at,
+            when={"event": "instant", "name": "update-round-start",
+                  "track": app},
+            action={"kind": "partition_switch", "switch": switch,
+                    "duration": round(duration, 6)}))
+
+    for _ in range(n_crashes):
+        at = stream.uniform(settle + 0.5, update_at)
+        events.append(ChaosEvent(
+            kind="trigger", at=at,
+            when={"event": "instant", "name": "update-round-done",
+                  "track": app},
+            action={"kind": "crash_component", "component": app}))
+
+    for _ in range(n_ack_delays):
+        at = stream.uniform(update_at, update_at + active / 2)
+        switch = stream.choice(victims)
+        delay = min(max(stream.expovariate(1.0 / mean_delay), 0.5), 6.0)
+        events.append(ChaosEvent(
+            kind="trigger", at=at,
+            when={"event": "op_mark", "stage": "sent", "switch": switch},
+            action={"kind": "delay_channel", "switch": switch,
+                    "direction": "s2c", "delay": round(delay, 6)}))
+
+    for _ in range(n_channel):
+        at = stream.uniform(update_at, update_at + active / 2)
+        switch = stream.choice(victims)
+        delay = min(max(stream.expovariate(1.0 / mean_delay), 0.5), 6.0)
+        events.append(ChaosEvent(kind="delay", at=at, switch=switch,
+                                 direction="c2s", delay=delay))
+
+    return ChaosSchedule(
+        seed=seed, events=sorted(events, key=_event_order),
+        topology=dict(topology) if topology is not None
+        else {"kind": "update-gadget"},
+        demands=[], background_entries=0, settle=settle,
+        horizon=window_end + cooldown,
+        update={"app": app, "update_at": update_at,
+                "restart_delay": restart_delay, "demands": demand_objs})
 
 
 def validate_directions(events: Sequence[ChaosEvent]) -> None:

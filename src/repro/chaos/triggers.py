@@ -25,9 +25,14 @@ Predicates (the ``when`` dict of a ``trigger`` chaos event):
 
 Actions (the ``action`` dict): ``{"kind": "crash_component",
 "component": c}``, ``{"kind": "fail_switch", "switch": s, "mode":
-"complete"|"partial"}``, ``{"kind": "recover_switch", "switch": s}``.
-Actions execute synchronously inside the hook, which is exactly the
-in-flight window the predicate identified.
+"complete"|"partial"}``, ``{"kind": "recover_switch", "switch": s}``,
+``{"kind": "partition_switch", "switch": s, "duration": d}`` (arm a
+control-link partition ``[now, now+d)`` on the fault plane), and
+``{"kind": "delay_channel", "switch": s, "direction": dir, "delay":
+d}`` (arm a one-shot delay consumed by the next message crossing the
+channel — aimed at ``s2c`` it delays a verification ack).  Actions
+execute synchronously inside the hook, which is exactly the in-flight
+window the predicate identified.
 """
 
 from __future__ import annotations
@@ -49,10 +54,18 @@ class ChaosActions:
     ``SwitchFailureInjector``).
     """
 
-    def __init__(self, env, network, controller):
+    def __init__(self, env, network, controller, plane=None,
+                 extra_hosts=None):
         self.env = env
         self.network = network
         self.controller = controller
+        #: Optional :class:`repro.chaos.FaultPlane` for channel-level
+        #: actions (partition_switch / delay_channel).
+        self.plane = plane
+        #: Extra crashable :class:`ComponentHost`\ s by name — app hosts
+        #: live outside ``controller.hosts`` but update nemeses crash
+        #: them too.
+        self.extra_hosts = dict(extra_hosts or {})
         #: Chronological log of (sim_time, description, applied?).
         self.log: list[tuple[float, str, bool]] = []
         self.noops = 0
@@ -61,9 +74,12 @@ class ChaosActions:
         """Run one action dict; returns whether it had an effect."""
         kind = action["kind"]
         if kind == "crash_component":
-            applied = bool(
-                self.controller.crash_component(action["component"]))
-            label = f"crash_component {action['component']}"
+            name = action["component"]
+            if name in self.extra_hosts:
+                applied = bool(self.extra_hosts[name].crash())
+            else:
+                applied = bool(self.controller.crash_component(name))
+            label = f"crash_component {name}"
         elif kind == "fail_switch":
             switch = self.network[action["switch"]]
             applied = switch.is_healthy
@@ -77,6 +93,30 @@ class ChaosActions:
             if applied:
                 switch.recover()
             label = f"recover_switch {action['switch']}"
+        elif kind == "partition_switch":
+            from .schedule import ChaosEvent
+
+            duration = float(action.get("duration", 2.0))
+            applied = self.plane is not None
+            if applied:
+                self.plane.arm(ChaosEvent(
+                    kind="partition", at=self.env.now,
+                    switch=action["switch"],
+                    until=self.env.now + duration))
+            label = (f"partition_switch {action['switch']} "
+                     f"+{duration:.3f}s")
+        elif kind == "delay_channel":
+            from .schedule import ChaosEvent
+
+            applied = self.plane is not None
+            if applied:
+                self.plane.arm(ChaosEvent(
+                    kind="delay", at=self.env.now,
+                    switch=action["switch"],
+                    direction=action.get("direction", "s2c"),
+                    delay=float(action.get("delay", 1.0))))
+            label = (f"delay_channel {action['switch']}"
+                     f"/{action.get('direction', 's2c')}")
         else:
             raise ValueError(f"unknown chaos action kind {kind!r}")
         if not applied:
@@ -113,7 +153,8 @@ class TriggerTracer(Tracer):
         if when.get("event") not in ("op_mark", "instant"):
             raise ValueError(f"unsupported trigger event {when!r}")
         if action.get("kind") not in ("crash_component", "fail_switch",
-                                      "recover_switch"):
+                                      "recover_switch", "partition_switch",
+                                      "delay_channel"):
             raise ValueError(f"unsupported trigger action {action!r}")
         self._armed.append(_ArmedTrigger(index, at, when, action))
 

@@ -11,6 +11,7 @@ obs trace schema)::
       "schema": "repro.chaos/v1",
       "seed": int,                      # search seed
       "trials": int,                    # schedules sampled
+      "scenario": "classic"|"update",   # optional (absent = classic)
       "target": str,                    # controller hunted for violations
       "reference": str,                 # controller that must stay clean
       "runs": [                         # one per trial
@@ -29,9 +30,10 @@ obs trace schema)::
         "events_before": int,
         "events_after": int,
         "schedule": {                   # full replayable ChaosSchedule
-          "seed": int, "topology": {...}, "demands": [[src, dst], ...],
-          "background_entries": int, "settle": float, "horizon": float,
-          "events": [<event>, ...]
+          "version": int, "seed": int, "topology": {...},
+          "demands": [[src, dst], ...], "background_entries": int,
+          "settle": float, "horizon": float, "events": [<event>, ...],
+          "update": {...}               # present for update-scenario runs
         },
         "verdicts": {<controller>: <verdict>, ...}
       }
@@ -189,6 +191,12 @@ def _check_shrunk(shrunk: Any, doc: dict) -> list[str]:
         return problems
     if shrunk["from_trial"] not in doc.get("interesting_trials", []):
         problems.append("shrunk.from_trial is not an interesting trial")
+    # The shrunk schedule is what CI replays — its events get the same
+    # per-event scrutiny (unknown kinds, ordering, field shapes) as the
+    # trial runs', not just a parse attempt.
+    if isinstance(shrunk["schedule"], dict):
+        problems.extend(_check_events(
+            shrunk["schedule"].get("events", []), "shrunk.schedule"))
     try:
         schedule = ChaosSchedule.from_json_obj(shrunk["schedule"])
     except (KeyError, TypeError, ValueError) as exc:

@@ -299,12 +299,18 @@ def build_chaos_parser() -> argparse.ArgumentParser:
                              "artifact)")
     parser.add_argument("--trials", type=int, default=5,
                         help="schedules to sample (default: 5)")
-    parser.add_argument("--target", default="pr",
+    parser.add_argument("--target", default=None,
                         help="controller hunted for violations "
-                             "(default: pr)")
-    parser.add_argument("--reference", default="zenith",
+                             "(default: pr; update campaign: naive)")
+    parser.add_argument("--reference", default=None,
                         help="controller that must stay clean "
-                             "(default: zenith)")
+                             "(default: zenith; update campaign: "
+                             "consistent)")
+    parser.add_argument("--campaign", choices=("update",), default=None,
+                        help="named scenario preset: 'update' hunts "
+                             "update-window violations (naive vs "
+                             "consistent scheduler on the update-gadget "
+                             "topology)")
     parser.add_argument("--out", metavar="PATH",
                         help="write the repro.chaos/v1 artifact to PATH")
     parser.add_argument("--no-shrink", action="store_true",
@@ -351,10 +357,17 @@ def _run_chaos(argv) -> int:
             print(f"REPLAY MISMATCH: {mismatch}", file=sys.stderr)
         return 1
 
+    scenario = "update" if args.campaign == "update" else "classic"
+    target = args.target or ("naive" if scenario == "update" else "pr")
+    reference = args.reference or (
+        "consistent" if scenario == "update" else "zenith")
     sampler_kwargs = {}
     if args.quick:
-        sampler_kwargs.update(active=8.0, cooldown=12.0, n_channel=2,
-                              n_triggers=0)
+        if scenario == "update":
+            sampler_kwargs.update(active=8.0, cooldown=10.0)
+        else:
+            sampler_kwargs.update(active=8.0, cooldown=12.0, n_channel=2,
+                                  n_triggers=0)
     progress_cb = None
     if args.progress:
         from .obs.prof import Progress
@@ -370,9 +383,10 @@ def _run_chaos(argv) -> int:
                              interesting=interesting)
 
     started = time.perf_counter()
-    artifact = search(args.seed, trials=args.trials, target=args.target,
-                      reference=args.reference, shrink=not args.no_shrink,
-                      progress=progress_cb, **sampler_kwargs)
+    artifact = search(args.seed, trials=args.trials, target=target,
+                      reference=reference, shrink=not args.no_shrink,
+                      progress=progress_cb, scenario=scenario,
+                      **sampler_kwargs)
     elapsed = time.perf_counter() - started
     for run in artifact["runs"]:
         flags = []
@@ -398,7 +412,7 @@ def _run_chaos(argv) -> int:
     elif artifact["interesting_trials"]:
         print("\n(shrink skipped)")
     else:
-        print(f"\nno {args.target}-only violations in "
+        print(f"\nno {target}-only violations in "
               f"{args.trials} trials")
     problems = validate_artifact(artifact)
     for problem in problems:

@@ -37,6 +37,7 @@ from . import (
     sec63_app_verification,
     table4_model_checking,
     tablea1_spec_size,
+    update_chaos,
 )
 from .common import (
     ExperimentTable,
@@ -67,6 +68,7 @@ EXPERIMENTS = {
     "chaos": chaos_nemesis.run,
     "checkerScale": checker_scale.run,
     "componentAblation": component_ablation.run,
+    "update": update_chaos.run,
 }
 
 def experiment_module(exp_id: str):

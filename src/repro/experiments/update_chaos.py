@@ -1,0 +1,161 @@
+"""Update chaos — consistent network updates survive the nemeses.
+
+Not a paper figure: the §4 application-correctness story driven
+adversarially through the data plane.  The :mod:`repro.chaos` driver
+samples seeded *update-window* schedules (control-link partitions
+timed to round starts, scheduler crashes between rounds, delayed
+verification acks) on the update-gadget topology and runs two update
+schedulers — both on an unmodified ZENITH controller — under the
+online monitor's loop-freedom / waypoint / per-packet invariants:
+
+* ``consistent`` — dependency-ordered verified rounds, crash-resumable
+  from NIB + dataplane ground truth (Foerster & Schmid's local
+  verification);
+* ``naive`` — the same rules as one flat unordered batch.
+
+The shape claim: the naive scheduler violates an update invariant on
+at least one schedule while the consistent scheduler stays clean on
+*every* trial **and** still finishes its transition (liveness under
+chaos: crashes are resumed, partition-dropped rounds re-issued).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["run", "param_grid", "UpdateChaosResult"]
+
+#: Schedules are sampled from the seed.
+SEED_SENSITIVE = True
+
+#: The monitor invariants that certify an update-discipline failure.
+UPDATE_INVARIANTS = ("forwarding-loop", "waypoint-bypass",
+                     "per-packet-inconsistency")
+
+
+def param_grid(quick: bool = True) -> list[dict]:
+    """Campaign tasks: one task — trials share the sampled stream."""
+    return [{}]
+
+
+@dataclass
+class UpdateChaosResult:
+    """Per-trial verdicts for the naive/consistent scheduler pair."""
+
+    artifact: dict = field(default_factory=dict)
+
+    def _verdicts(self, name):
+        return [run_entry["verdicts"][name]
+                for run_entry in self.artifact["runs"]]
+
+    def check_shape(self) -> list[str]:
+        failures = []
+        target = self.artifact["target"]
+        reference = self.artifact["reference"]
+        if not self.artifact["interesting_trials"]:
+            failures.append(
+                f"no trial where {target} violates and {reference} "
+                f"stays clean")
+        # The consistent scheduler's gate is absolute: zero violations
+        # on every schedule, not merely fewer than naive.
+        for verdict in self._verdicts(reference):
+            if verdict["violated"]:
+                failures.append(
+                    f"{reference} violated an invariant (first at "
+                    f"t={verdict['first_violation_at']})")
+                break
+        # ... and it must still *finish* the transition: crashes
+        # resumed, partition-dropped rounds re-issued (liveness).
+        for verdict in self._verdicts(reference):
+            if not verdict["update"]["transition_done"]:
+                failures.append(
+                    f"{reference} did not complete its transition")
+                break
+        if not any(v["update"]["app_crashes"] > 0
+                   for v in self._verdicts(reference)):
+            failures.append("no trial crashed the consistent scheduler "
+                            "(resume path unexercised)")
+        if not any(v["update"]["reissues"] > 0
+                   for v in self._verdicts(reference)):
+            failures.append("no trial forced a round re-issue "
+                            "(retry path unexercised)")
+        # Naive must fail for the *update-discipline* reason.
+        naive_kinds = {
+            violation["invariant"]
+            for verdict in self._verdicts(target)
+            for violation in verdict["violations"]}
+        if not naive_kinds & set(UPDATE_INVARIANTS):
+            failures.append(
+                f"{target} never violated an update invariant "
+                f"(saw {sorted(naive_kinds)})")
+        shrunk = self.artifact["shrunk"]
+        if shrunk is not None and shrunk["events_after"] > 3:
+            failures.append(
+                f"shrunk schedule has {shrunk['events_after']} events, "
+                f"expected a 1-3 event repro")
+        return failures
+
+    def rows(self) -> list[dict]:
+        """Deterministic per-trial rows for the campaign."""
+        out = []
+        for run_entry in self.artifact["runs"]:
+            row = {"trial": run_entry["trial"],
+                   "events": len(run_entry["events"]),
+                   "interesting": run_entry["interesting"]}
+            for name, verdict in sorted(run_entry["verdicts"].items()):
+                row[f"{name}_violated"] = verdict["violated"]
+                first = verdict["first_violation_at"]
+                row[f"{name}_first_violation_s"] = \
+                    -1.0 if first is None else first
+                row[f"{name}_done"] = verdict["update"]["transition_done"]
+                row[f"{name}_reissues"] = verdict["update"]["reissues"]
+                row[f"{name}_crashes"] = verdict["update"]["app_crashes"]
+            out.append(row)
+        shrunk = self.artifact["shrunk"]
+        out.append({"trial": -1, "events": (
+            -1 if shrunk is None else shrunk["events_after"]),
+            "interesting": shrunk is not None,
+            "shrink_tests": 0 if shrunk is None else shrunk["tests_run"]})
+        return out
+
+    def render(self) -> str:
+        target = self.artifact["target"]
+        reference = self.artifact["reference"]
+        lines = [f"== Update chaos: consistent vs naive scheduling "
+                 f"({self.artifact['trials']} trials) =="]
+        for run_entry in self.artifact["runs"]:
+            cells = []
+            for name, verdict in sorted(run_entry["verdicts"].items()):
+                first = verdict["first_violation_at"]
+                state = ("t=%.2f" % first if verdict["violated"]
+                         else "clean")
+                done = "done" if verdict["update"]["transition_done"] \
+                    else "wedged"
+                cells.append(f"{name}={state}/{done}")
+            marker = "  <-- interesting" if run_entry["interesting"] else ""
+            lines.append(f"  trial {run_entry['trial']}: "
+                         f"{'  '.join(cells)}{marker}")
+        shrunk = self.artifact["shrunk"]
+        if shrunk is not None:
+            lines.append(
+                f"  shrunk: {shrunk['events_before']} -> "
+                f"{shrunk['events_after']} events "
+                f"({shrunk['tests_run']} probes); {target} violates at "
+                f"t={shrunk['verdicts'][target]['first_violation_at']}, "
+                f"{reference} clean")
+        return "\n".join(lines)
+
+
+def run(quick: bool = True, seed: int = 0) -> UpdateChaosResult:
+    """Run the update-window chaos search as an experiment result."""
+    # Imported here: repro.chaos pulls in experiments.common (for
+    # build_system), which would make a module-level import circular.
+    from ..chaos import search
+
+    kwargs = {}
+    if quick:
+        kwargs.update(active=8.0, cooldown=10.0)
+    trials = 4 if quick else 10
+    artifact = search(seed, trials=trials, scenario="update",
+                      target="naive", reference="consistent", **kwargs)
+    return UpdateChaosResult(artifact=artifact)

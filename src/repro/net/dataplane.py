@@ -20,7 +20,7 @@ from ..sim import Environment, RandomStreams
 from .switch import FailureMode, SimSwitch
 from .topology import Topology
 
-__all__ = ["Network", "PathStatus", "PathResult"]
+__all__ = ["Network", "PathStatus", "PathResult", "PathTrace"]
 
 
 class PathStatus(enum.Enum):
@@ -44,6 +44,35 @@ class PathResult:
     def ok(self) -> bool:
         """Whether the packet reached its destination."""
         return self.status is PathStatus.DELIVERED
+
+
+@dataclass(frozen=True)
+class PathTrace:
+    """A traced path plus the flow entry consulted at every lookup.
+
+    ``entries[i]`` is the entry that forwarded the packet out of the
+    switch that made lookup ``i``.  A DELIVERED trace makes one lookup
+    per hop except the destination (``len(entries) == len(hops) - 1``);
+    a trace that stops because of the entry it just consulted (LOOP,
+    BROKEN_LINK, dead next hop) additionally records that entry
+    (``len(entries) == len(hops)``).  Consistency checkers need the
+    entries, not just the hop sequence: per-packet consistency is a
+    property of *which rule generation* forwarded the packet at each
+    hop (Reitblatt et al.).
+    """
+
+    status: PathStatus
+    hops: tuple[str, ...]
+    entries: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the packet reached its destination."""
+        return self.status is PathStatus.DELIVERED
+
+    def entry_ids(self) -> tuple[int, ...]:
+        """Ids of the entries used, in lookup order."""
+        return tuple(entry.entry_id for entry in self.entries)
 
 
 class Network:
@@ -105,35 +134,47 @@ class Network:
     # -- ground truth ------------------------------------------------------------
     def trace(self, src: str, dst: str, max_hops: int = 64) -> PathResult:
         """Trace a packet for ``dst`` injected at ``src``."""
+        detailed = self.trace_detailed(src, dst, max_hops=max_hops)
+        return PathResult(detailed.status, detailed.hops)
+
+    def trace_detailed(self, src: str, dst: str,
+                       max_hops: int = 64) -> PathTrace:
+        """Trace a packet, recording the flow entry used at each hop."""
         hops = [src]
+        used: list = []
         current = src
         visited = {src}
         while current != dst:
             switch = self.switches[current]
             if not switch.is_healthy:
-                return PathResult(PathStatus.DEAD_SWITCH, tuple(hops))
+                return PathTrace(PathStatus.DEAD_SWITCH, tuple(hops),
+                                 tuple(used))
             if self.local_repair:
                 entry = self._repair_lookup(switch, dst)
                 if entry is None:
                     best = switch.lookup(dst)
                     status = (PathStatus.BLACKHOLE if best is None
                               else PathStatus.DEAD_SWITCH)
-                    return PathResult(status, tuple(hops))
+                    return PathTrace(status, tuple(hops), tuple(used))
             else:
                 entry = switch.lookup(dst)
                 if entry is None:
-                    return PathResult(PathStatus.BLACKHOLE, tuple(hops))
+                    return PathTrace(PathStatus.BLACKHOLE, tuple(hops),
+                                     tuple(used))
             next_hop = entry.next_hop
+            used.append(entry)
             if not self.topology.graph.has_edge(current, next_hop):
-                return PathResult(PathStatus.BROKEN_LINK, tuple(hops))
+                return PathTrace(PathStatus.BROKEN_LINK, tuple(hops),
+                                 tuple(used))
             if not self.switches[next_hop].is_healthy:
-                return PathResult(PathStatus.DEAD_SWITCH, tuple(hops))
+                return PathTrace(PathStatus.DEAD_SWITCH, tuple(hops),
+                                 tuple(used))
             if next_hop in visited or len(hops) > max_hops:
-                return PathResult(PathStatus.LOOP, tuple(hops))
+                return PathTrace(PathStatus.LOOP, tuple(hops), tuple(used))
             hops.append(next_hop)
             visited.add(next_hop)
             current = next_hop
-        return PathResult(PathStatus.DELIVERED, tuple(hops))
+        return PathTrace(PathStatus.DELIVERED, tuple(hops), tuple(used))
 
     def _repair_lookup(self, switch: SimSwitch, dst: str):
         """Best matching entry whose next hop is alive and adjacent."""

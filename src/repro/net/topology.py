@@ -27,7 +27,8 @@ import networkx as nx
 
 from ..sim import RandomStreams
 
-__all__ = ["Topology", "linear", "ring", "b4", "fat_tree", "kdl", "subgraph"]
+__all__ = ["Topology", "linear", "ring", "b4", "fat_tree", "kdl", "subgraph",
+           "update_gadget"]
 
 DEFAULT_CAPACITY_GBPS = 10.0
 DEFAULT_LINK_DELAY_S = 0.001
@@ -216,6 +217,46 @@ def kdl(n: int = 754, seed: int = 0,
         if not topo.graph.has_edge(a, b_):
             topo.add_link(a, b_, capacity=capacity)
             added += 1
+    return topo
+
+
+#: Links of the consistent-update gadget (see :func:`update_gadget`).
+_UPDATE_GADGET_LINKS = [
+    # Demand A: reversal gadget a1→(a2,a3) plus helper a5 for the
+    # mixing-free intermediate path a0,a1,a5,a4.
+    ("a0", "a1"), ("a1", "a2"), ("a2", "a3"), ("a3", "a4"),
+    ("a1", "a3"), ("a2", "a4"), ("a1", "a5"), ("a5", "a4"),
+    # Demand B: the same reversal gadget with b2 as a waypoint.
+    ("b0", "b1"), ("b1", "b2"), ("b2", "b3"), ("b3", "b4"),
+    ("b1", "b3"), ("b2", "b4"),
+    # Keep the topology connected; carries no demand traffic.
+    ("a4", "b0"),
+]
+
+
+def update_gadget(capacity: float = DEFAULT_CAPACITY_GBPS) -> Topology:
+    """The consistent-network-update stress topology (11 switches).
+
+    Two disjoint copies of the classic *path reversal* gadget (Foerster
+    & Schmid: old path s,u,v,w,d vs. new path s,u,w,v,d — the minimal
+    transition where naive rule pushing creates a transient v↔w loop):
+
+    * **Demand A** ``a0→a4``: old ``a0,a1,a2,a3,a4``, new
+      ``a0,a1,a3,a2,a4``.  The helper node ``a5`` provides an
+      intermediate path ``a0,a1,a5,a4`` whose interior is disjoint from
+      both, which is what makes a per-packet-consistent schedule (a
+      chain of suffix swaps) possible at all.
+    * **Demand B** ``b0→b4`` with waypoint ``b2``: same shape, no
+      helper.  Per-packet consistency is unachievable here; the
+      achievable contract is loop freedom + waypoint enforcement via
+      segmented updates (update the segment after the waypoint first).
+    """
+    topo = Topology("update-gadget")
+    for prefix, count in (("a", 6), ("b", 5)):
+        for i in range(count):
+            topo.add_switch(f"{prefix}{i}")
+    for a, b_ in _UPDATE_GADGET_LINKS:
+        topo.add_link(a, b_, capacity=capacity)
     return topo
 
 

@@ -11,18 +11,21 @@ from ..parallel import SpecSource
 from .abstract_app import core_with_app_spec
 from .apps import DIAMOND_PATHS, drain_app_spec, failover_app_spec, te_app_spec
 from .controller import CLEAR_OP, controller_spec
+from .update import UPDATE_ROUNDS, update_app_spec
 from .workerpool import worker_pool_spec
 
 __all__ = [
     "CLEAR_OP",
     "DIAMOND_PATHS",
     "SPEC_SOURCES",
+    "UPDATE_ROUNDS",
     "build_spec",
     "controller_spec",
     "core_with_app_spec",
     "drain_app_spec",
     "failover_app_spec",
     "te_app_spec",
+    "update_app_spec",
     "worker_pool_spec",
 ]
 
@@ -30,6 +33,7 @@ _CONTROLLER = "repro.spec.specs.controller"
 _WORKERPOOL = "repro.spec.specs.workerpool"
 _ABSTRACT = "repro.spec.specs.abstract_app"
 _APPS = "repro.spec.specs.apps"
+_UPDATE = "repro.spec.specs.update"
 
 #: Every bundled spec configuration (checkable, lintable, benchable).
 SPEC_SOURCES = {
@@ -56,6 +60,9 @@ SPEC_SOURCES = {
     "drain-app-full-core": SpecSource.of(_APPS, "drain_app_spec", core="full"),
     "te-app": SpecSource.of(_APPS, "te_app_spec"),
     "failover-app": SpecSource.of(_APPS, "failover_app_spec"),
+    "update-app": SpecSource.of(_UPDATE, "update_app_spec", restarts=1),
+    "update-app-naive": SpecSource.of(
+        _UPDATE, "update_app_spec", naive=True, restarts=1),
 }
 
 

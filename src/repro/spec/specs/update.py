@@ -1,0 +1,208 @@
+"""Consistent network update under route nondeterminism (paper §4).
+
+The concrete :class:`repro.apps.update.ConsistentUpdateApp` decomposes
+an old-path → new-path transition into dependency-ordered rounds and
+re-derives its position from ground truth after a crash.  This spec
+verifies that discipline exhaustively on the abstraction that matters:
+five nodes ``0-1-2-3-4``, old path ``0-1-2-3-4``, new path
+``0-1-3-2-4`` (the 2↔3 reversal gadget), waypoint node ``2``.  Each
+node holds at most one *old*-generation and one *new*-generation rule;
+the effective next hop is the new rule when present (higher priority),
+else the old one — exactly the concrete switch's ``lookup`` semantics.
+
+The **network** applies submitted operations in checker-chosen order
+(route nondeterminism: every interleaving of in-flight installs and
+deletes is explored).  The **scheduler** comes in two flavors:
+
+* *consistent* — emits one dependency-ordered round at a time
+  (destination-backwards installs, then the branch flip, then the
+  deletes) and blocks until the round is acknowledged before
+  continuing.  A budget-bounded **crasher** wipes its local state
+  mid-update; on restart it re-derives the current round from the
+  ``applied`` ground truth and never re-issues acknowledged
+  operations — the crash-resumable discipline of the concrete app.
+* *naive* (``naive=True``) — submits every install and delete as one
+  unordered batch.  The checker refutes it: orderings exist where the
+  reversed edge forms a transient ``2 ↔ 3`` forwarding loop
+  (**LoopFree**), where the early branch flip routes around the
+  waypoint (**WaypointEnforced**), and where a delete lands before the
+  same node's install (**NoBlackhole**).
+
+Properties:
+
+* **LoopFree** (safety) — the walk from node 0 never revisits a node;
+* **WaypointEnforced** (safety) — a delivered walk passes node 2;
+* **NoBlackhole** (safety) — the walk never hits a rule-less node;
+* **Converged** (◇□) — eventually always: every operation applied,
+  nothing in flight, and the walk is exactly the new path.
+"""
+
+from __future__ import annotations
+
+from ..lang import Spec, SpecProcess, Step
+
+__all__ = ["update_app_spec", "UPDATE_ROUNDS"]
+
+#: Per-node old-generation next hop (-1 = no rule): the old path
+#: 0→1→2→3→4.  Node 4 is the destination.
+_OLD_HOPS = (1, 2, 3, 4, -1)
+_SRC, _WAYPOINT, _DST = 0, 2, 4
+_NEW_PATH = (0, 1, 3, 2, 4)
+
+#: The consistent plan: dependency-ordered rounds, destination-
+#: backwards — each install is unreachable from the source until the
+#: final branch flip, then the retired rules are deleted.  Ops are
+#: uniform ``(kind, node, hop)`` triples (hop -1 for deletes).
+UPDATE_ROUNDS = (
+    (("install", 2, 4),),
+    (("install", 3, 2),),
+    (("install", 1, 3),),
+    (("delete", 1, -1), ("delete", 2, -1), ("delete", 3, -1)),
+)
+_ALL_OPS = tuple(op for ops in UPDATE_ROUNDS for op in ops)
+
+
+def update_app_spec(naive: bool = False, restarts: int = 1) -> Spec:
+    """Build the update-scheduler spec (consistent or naive)."""
+    globals_: dict = {
+        "old_hop": _OLD_HOPS,
+        "new_hop": (-1,) * 5,
+        "pending": (),            # submitted, not yet applied
+        "applied": frozenset(),   # ground truth the scheduler re-reads
+        "restart_budget": restarts,
+    }
+
+    # -- the network: applies in-flight ops in nondeterministic order --------
+    def net_apply(ctx):
+        pending = ctx.get("pending")
+        ctx.block_unless(len(pending) > 0)
+        index = ctx.choose_from(tuple(range(len(pending))))
+        kind, node, hop = pending[index]
+        ctx.set("pending", pending[:index] + pending[index + 1:])
+        if kind == "install":
+            rules = list(ctx.get("new_hop"))
+            rules[node] = hop
+            ctx.set("new_hop", tuple(rules))
+        else:
+            rules = list(ctx.get("old_hop"))
+            rules[node] = -1
+            ctx.set("old_hop", tuple(rules))
+        ctx.set("applied", ctx.get("applied") | {(kind, node, hop)})
+        ctx.goto("apply")
+
+    # -- the consistent round-based scheduler ---------------------------------
+    def sched_derive(ctx):
+        applied = ctx.get("applied")
+        index = 0
+        while index < len(UPDATE_ROUNDS) \
+                and all(op in applied for op in UPDATE_ROUNDS[index]):
+            index += 1
+        if index == len(UPDATE_ROUNDS):
+            ctx.done()
+            return
+        ctx.lset("round", index)
+        ctx.goto("emit")
+
+    def sched_emit(ctx):
+        pending = ctx.get("pending")
+        applied = ctx.get("applied")
+        for op in UPDATE_ROUNDS[ctx.lget("round")]:
+            # Idempotent re-issue: acknowledged / in-flight ops are
+            # never duplicated after a crash-restart.
+            if op not in applied and op not in pending:
+                pending = pending + (op,)
+        ctx.set("pending", pending)
+
+    def sched_await(ctx):
+        applied = ctx.get("applied")
+        ctx.block_unless(all(op in applied
+                             for op in UPDATE_ROUNDS[ctx.lget("round")]))
+        ctx.goto("derive")
+
+    # -- the naive scheduler: one flat unordered batch ------------------------
+    def naive_blast(ctx):
+        pending = ctx.get("pending")
+        applied = ctx.get("applied")
+        for op in _ALL_OPS:
+            if op not in applied and op not in pending:
+                pending = pending + (op,)
+        ctx.set("pending", pending)
+
+    def naive_await(ctx):
+        applied = ctx.get("applied")
+        ctx.block_unless(all(op in applied for op in _ALL_OPS))
+        ctx.done()
+
+    if naive:
+        sched_steps = [Step("blast", naive_blast),
+                       Step("await", naive_await)]
+        sched_locals: dict = {}
+    else:
+        sched_steps = [Step("derive", sched_derive),
+                       Step("emit", sched_emit),
+                       Step("await", sched_await)]
+        sched_locals = {"round": 0}
+
+    # -- crasher: wipes the scheduler mid-update, budget-bounded --------------
+    def crash(ctx):
+        budget = ctx.get("restart_budget")
+        applied = ctx.get("applied")
+        ctx.block_unless(budget > 0
+                         and not all(op in applied for op in _ALL_OPS))
+        ctx.set("restart_budget", budget - 1)
+        ctx.reset_peer("updateSched")
+        ctx.goto("crash")
+
+    # -- properties -----------------------------------------------------------
+    def _walk(view):
+        """Follow effective next hops from the source; bounded."""
+        old = view["old_hop"]
+        new = view["new_hop"]
+        visited = []
+        node = _SRC
+        while node not in visited:
+            visited.append(node)
+            if node == _DST:
+                return "delivered", visited
+            hop = new[node] if new[node] != -1 else old[node]
+            if hop == -1:
+                return "blackhole", visited
+            node = hop
+        return "loop", visited
+
+    def loop_free(view) -> bool:
+        return _walk(view)[0] != "loop"
+
+    def waypoint_enforced(view) -> bool:
+        status, visited = _walk(view)
+        return status != "delivered" or _WAYPOINT in visited
+
+    def no_blackhole(view) -> bool:
+        return _walk(view)[0] != "blackhole"
+
+    def converged(view) -> bool:
+        if len(view["pending"]) > 0:
+            return False
+        if not all(op in view["applied"] for op in _ALL_OPS):
+            return False
+        status, visited = _walk(view)
+        return status == "delivered" and tuple(visited) == _NEW_PATH
+
+    return Spec(
+        name=(f"update-app-{'naive' if naive else 'consistent'}"
+              f"-{restarts}r"),
+        globals_=globals_,
+        processes=[
+            SpecProcess("network", [Step("apply", net_apply)], daemon=True),
+            SpecProcess("updateSched", sched_steps, locals_=sched_locals,
+                        daemon=True),
+            SpecProcess("crasher", [Step("crash", crash)],
+                        fair=False, daemon=True),
+        ],
+        invariants={
+            "LoopFree": loop_free,
+            "WaypointEnforced": waypoint_enforced,
+            "NoBlackhole": no_blackhole,
+        },
+        eventually_always={"Converged": converged},
+    )

@@ -1,0 +1,133 @@
+"""Edge cases of the carried-entry machinery in TransitioningApp.
+
+The carried set exists because a transition DAG can itself be replaced
+before its deletion OPs ran (base.py's "correctness subtlety"); these
+tests pin down `_old_install_ops` / `_entry_deleted` behaviour at the
+boundaries — no standing DAG, certified-DONE pruning, back-to-back
+transitions, and an app restart in the middle of a transition.
+"""
+
+from repro.apps import RoutingApp
+from repro.core import ZenithController
+from repro.core.types import DagStatus, Op, OpType
+from repro.net import FailureMode, Network, ring
+from repro.sim import ComponentHost, Environment, HostState
+from repro.workloads.dags import IdAllocator
+
+
+def build(auto_restart=False, restart_delay=0.5):
+    env = Environment()
+    network = Network(env, ring(6))
+    controller = ZenithController(env, network).start()
+    app = RoutingApp(env, controller, [("s0", "s3")], alloc=IdAllocator())
+    host = ComponentHost(env, app, restart_delay=restart_delay,
+                         auto_restart=auto_restart)
+    host.start()
+    return env, network, controller, app, host
+
+
+def install_ids(dag):
+    return sorted(op.op_id for op in dag.ops.values()
+                  if op.op_type is OpType.INSTALL)
+
+
+def test_old_install_ops_empty_before_first_dag():
+    env, network, controller, app, host = build()
+    assert app._old_install_ops() == []
+    # The result is a copy: callers must not be able to mutate the
+    # carried set through it.
+    app._old_install_ops().append(object())
+    assert app._carried_ops == []
+
+
+def test_entry_deleted_vacuous_without_entry():
+    env, network, controller, app, host = build()
+    # A DELETE op carries no FlowEntry; there is nothing to delete from
+    # the dataplane on its behalf, so it counts as already gone.
+    op = Op(999, "s0", OpType.DELETE, entry_id=123)
+    assert app._entry_deleted(op) is True
+
+
+def test_entry_deleted_false_without_matching_delete_op():
+    env, network, controller, app, host = build()
+    env.run(until=5)
+    install = next(op for op in app.current_dag.ops.values()
+                   if op.op_type is OpType.INSTALL)
+    # No transition submitted yet: the current DAG has no DELETE op for
+    # this entry, so the entry cannot be certified gone.
+    assert app._entry_deleted(install) is False
+
+
+def test_transition_prunes_carried_once_done():
+    env, network, controller, app, host = build()
+    env.run(until=5)
+    fresh = app.current_dag
+    assert controller.state.dag_status_of(fresh.dag_id) is DagStatus.DONE
+
+    transition = app.submit_transition([["s0", "s5", "s4", "s3"]])
+    # Before the transition's deletions execute, the old generation's
+    # installs are still live in the dataplane and must stay carried.
+    before = {op.op_id for op in app._old_install_ops()}
+    assert before == set(install_ids(transition)) | set(install_ids(fresh))
+
+    env.run(until=env.now + 15)
+    assert controller.state.dag_status_of(transition.dag_id) is DagStatus.DONE
+    # Certified DONE: deletions provably executed, carried entries drop.
+    after = {op.op_id for op in app._old_install_ops()}
+    assert after == set(install_ids(transition))
+    carried_install = next(op for op in fresh.ops.values()
+                           if op.op_type is OpType.INSTALL)
+    assert app._entry_deleted(carried_install) is True
+
+
+def test_back_to_back_transitions_do_not_snowball():
+    env, network, controller, app, host = build()
+    env.run(until=5)
+    fresh = app.current_dag
+    first = app.submit_transition([["s0", "s5", "s4", "s3"]])
+    # Replace the transition before it completes: its installs AND the
+    # still-undeleted fresh-generation entries must both be deleted by
+    # the second transition.
+    second = app.submit_transition([["s0", "s1", "s2", "s3"]])
+    targeted = {op.entry_id for op in second.ops.values()
+                if op.op_type is OpType.DELETE}
+    live_old = {op.entry.entry_id for dag in (fresh, first)
+                for op in dag.ops.values() if op.op_type is OpType.INSTALL}
+    assert live_old <= targeted
+
+    env.run(until=env.now + 20)
+    assert controller.state.dag_status_of(second.dag_id) is DagStatus.DONE
+    # Carried set collapses back to just the standing DAG's installs.
+    assert ({op.op_id for op in app._old_install_ops()}
+            == set(install_ids(second)))
+    assert network.trace("s0", "s3").ok
+    assert controller.view_matches_dataplane()
+
+
+def test_restart_mid_transition_keeps_dataplane_consistent():
+    env, network, controller, app, host = build(auto_restart=True)
+    env.run(until=5)
+    fresh = app.current_dag
+    transition = app.submit_transition([["s0", "s5", "s4", "s3"]])
+    # Crash the app while the transition is in flight.  The DAG already
+    # lives in the controller, which keeps executing it; the restarted
+    # app must neither re-install an initial DAG nor lose the carried
+    # bookkeeping it needs for the next transition.
+    assert host.crash("mid-transition")
+    env.run(until=env.now + 20)
+    assert host.state is HostState.RUNNING
+    assert host.restart_count == 1
+    assert controller.state.dag_status_of(transition.dag_id) is DagStatus.DONE
+    assert app.current_dag is transition  # no spurious re-install
+    assert ({op.op_id for op in app._old_install_ops()}
+            == set(install_ids(transition)))
+    assert network.trace("s0", "s3").ok
+    assert controller.view_matches_dataplane()
+
+    # The restarted app still reacts to topology events with a correct
+    # transition (old entries from before the crash get deleted too).
+    network.fail_switch("s4", FailureMode.COMPLETE)
+    env.run(until=env.now + 20)
+    result = network.trace("s0", "s3")
+    assert result.ok and "s4" not in result.hops
+    assert controller.view_matches_dataplane()

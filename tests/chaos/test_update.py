@@ -1,0 +1,134 @@
+"""Update-window chaos: the consistent scheduler vs the naive one.
+
+The CI gates for the `update` campaign: the seeded search is
+byte-deterministic, the consistent scheduler survives every
+update-window nemesis AND still finishes the transition (crash-resume
+from the NIB, round re-issue after partitions), the naive scheduler
+violates an update invariant, and the committed minimal repro
+(`examples/chaos_update_violation.json`) validates and replays exactly.
+"""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.chaos import (
+    SCHEDULE_VERSION,
+    UPDATE_SCHEDULERS,
+    ChaosSchedule,
+    load_artifact,
+    replay,
+    run_schedule,
+    sample_update_schedule,
+    search,
+)
+from repro.chaos.validate import validate_artifact
+
+ARTIFACT = pathlib.Path(__file__).resolve().parents[2] \
+    / "examples" / "chaos_update_violation.json"
+
+#: The quick-mode sampler settings shared with the `update` experiment
+#: harness and the committed artifact.
+QUICK = dict(active=8.0, cooldown=10.0)
+
+UPDATE_INVARIANTS = {"forwarding-loop", "waypoint-bypass",
+                     "per-packet-inconsistency"}
+
+
+def quick_update_schedule(seed, trial, **overrides):
+    return sample_update_schedule(seed, trial, **{**QUICK, **overrides})
+
+
+# -- schedule serialization ----------------------------------------------------
+
+def test_update_schedule_round_trips_through_json():
+    schedule = quick_update_schedule(0, 0)
+    obj = schedule.to_json_obj()
+    assert obj["version"] == SCHEDULE_VERSION
+    assert obj["update"] is not None
+    assert ChaosSchedule.from_json_obj(obj).to_json_obj() == obj
+
+
+def test_unknown_schedule_version_rejected():
+    obj = quick_update_schedule(0, 0).to_json_obj()
+    obj["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        ChaosSchedule.from_json_obj(obj)
+
+
+# -- run_schedule dispatch -----------------------------------------------------
+
+def test_update_schedule_rejects_classic_controllers():
+    schedule = quick_update_schedule(0, 0)
+    assert "zenith" not in UPDATE_SCHEDULERS
+    with pytest.raises(ValueError):
+        run_schedule(schedule, "zenith")
+
+
+def test_both_schedulers_finish_fault_free():
+    quiet = quick_update_schedule(0, 0).with_events(())
+    for scheduler in sorted(UPDATE_SCHEDULERS):
+        report = run_schedule(quiet, scheduler)
+        assert not report.violated, scheduler
+        assert report.update_outcome["transition_done"], scheduler
+        assert report.update_outcome["reissues"] == 0
+
+
+def test_consistent_scheduler_survives_the_nemesis_suite():
+    """CI gate: the consistent scheduler stays invariant-clean AND
+    completes the transition under every quick-mode nemesis schedule —
+    crash-resume plus round re-issue is the whole robustness story."""
+    reissues = crashes = 0
+    for trial in range(4):
+        report = run_schedule(quick_update_schedule(0, trial), "consistent")
+        assert not report.violated, (
+            f"trial {trial}: consistent violated "
+            f"{[v.to_json_obj() for v in report.violations]}")
+        assert report.update_outcome["transition_done"], f"trial {trial}"
+        reissues += report.update_outcome["reissues"]
+        crashes += report.update_outcome["app_crashes"]
+    # The suite actually exercised the recovery paths.
+    assert reissues > 0
+    assert crashes > 0
+
+
+def test_naive_scheduler_violates_an_update_invariant():
+    kinds = set()
+    for trial in range(4):
+        report = run_schedule(quick_update_schedule(0, trial), "naive")
+        kinds.update(v.invariant for v in report.violations)
+    assert kinds & UPDATE_INVARIANTS, kinds
+
+
+def test_update_search_is_deterministic_byte_for_byte():
+    kwargs = dict(trials=2, shrink=False, scenario="update",
+                  target="naive", reference="consistent", **QUICK)
+    first = json.dumps(search(7, **kwargs), sort_keys=True)
+    second = json.dumps(search(7, **kwargs), sort_keys=True)
+    assert first == second
+    assert json.dumps(search(8, **kwargs), sort_keys=True) != first
+
+
+# -- the committed artifact ----------------------------------------------------
+
+def test_committed_update_artifact_is_schema_valid():
+    artifact = load_artifact(ARTIFACT)
+    assert artifact["scenario"] == "update"
+    assert validate_artifact(artifact, require_shrunk=True) == []
+
+
+def test_committed_update_artifact_replays_exactly():
+    artifact = load_artifact(ARTIFACT)
+    outcome = replay(artifact)
+    assert outcome["ok"], outcome["mismatches"]
+    assert artifact["shrunk"]["events_after"] <= 3
+    assert outcome["verdicts"]["naive"]["violated"] is True
+    assert outcome["verdicts"]["consistent"]["violated"] is False
+
+
+def test_validator_flags_unknown_event_kind_in_shrunk():
+    doc = copy.deepcopy(load_artifact(ARTIFACT))
+    doc["shrunk"]["schedule"]["events"][0]["kind"] = "frobnicate"
+    assert any("frobnicate" in p for p in validate_artifact(doc))

@@ -21,7 +21,7 @@ def test_registry_covers_every_paper_artifact():
     expected = {"fig3", "fig4", "fig10", "fig11", "fig12", "fig13",
                 "fig14", "fig15", "fig16", "table4", "sec6.3",
                 "figA2", "figA3", "figA6", "tableA1", "ablation",
-                "chaos", "checkerScale", "componentAblation"}
+                "chaos", "checkerScale", "componentAblation", "update"}
     assert set(EXPERIMENTS) == expected
 
 
