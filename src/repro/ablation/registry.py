@@ -128,6 +128,19 @@ WORKLOADS: tuple[Workload, ...] = (
                        "failures": 1}},
     ),
     Workload(
+        id="table4-deep",
+        kind="check",
+        description=("Table-4 controller at failures=3 (op dependency "
+                     "chain): ~1.4M states, 17× the controller-large "
+                     "row and far past every prior sweep — minutes of "
+                     "interpreted time per run, seconds compiled.  "
+                     "Full plans only (campaigns/ablation-deep.toml); "
+                     "the quick CI sweep never pays for it"),
+        factory="repro.spec.specs.controller:controller_spec",
+        base={"spec": {"num_ops": 2, "num_switches": 2, "failures": 3},
+              "checker": {"max_states": 2_500_000}},
+    ),
+    Workload(
         id="compose",
         kind="check",
         description=("§3.6 composition workload: full core driving the "
@@ -250,6 +263,29 @@ COMPONENTS: tuple[Component, ...] = (
         metrics=(Metric("states", "flat", "tracing must not perturb "
                         "exploration"),
                  Metric("transitions", "flat")),
+    ),
+    # The compiled-step engine, measured on the deep Table-4 row it
+    # makes affordable.  It cannot share the "table4" workload: the
+    # baseline there merges incremental-fp's fingerprint_mode
+    # override, and compiled + fingerprint_mode are alternative
+    # serial engines the checker refuses to combine.
+    Component(
+        id="compiled-steps",
+        layer="checker",
+        workload="table4-deep",
+        description="per-label compiled step closures replacing "
+                    "interpreted EffectCtx dispatch on the hot path "
+                    "(check --compiled)",
+        on={"checker": {"compiled": True}},
+        off={"checker": {"compiled": False}},
+        metrics=(Metric("states", "flat", "an engine swap must never "
+                        "move the canonical outcome"),
+                 Metric("transitions", "flat"),
+                 Metric("diameter", "flat"),
+                 Metric("compiled_labels", "down", "the interpreted "
+                        "engine compiles nothing — the counter drops "
+                        "to zero")),
+        quick=False,
     ),
     # POR, measured where it has teeth (local-hinted steps, §3.6).
     Component(

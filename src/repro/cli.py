@@ -13,6 +13,16 @@
                                     — TLC-style parallel exploration
                                       (sharded fingerprint store, one
                                       process per worker)
+``python -m repro check controller-large --compiled``
+                                    — compiled-step engine (per-label
+                                      closures; byte-identical output)
+``python -m repro check controller-large --workers 2 --store-dir /tmp/fp``
+                                    — spill fingerprint shards to mmap
+                                      files under a memory budget
+``python -m repro swarm controller-large --workers 4 --seed 7``
+                                    — seeded randomized-DFS swarm
+                                      bug-finding (workers share only
+                                      the fingerprint store)
 ``python -m repro lint [target]``   — static analysis of specs/programs
 ``python -m repro sweep campaigns/quick.toml -j4``
                                     — expand a campaign over a worker
@@ -49,6 +59,7 @@ __all__ = [
     "build_chaos_parser",
     "build_main_parser",
     "build_render_docs_parser",
+    "build_swarm_parser",
     "build_sweep_parser",
     "main",
 ]
@@ -526,8 +537,76 @@ def main(argv=None) -> int:
         return _run_chaos(argv[1:])
     if argv and argv[0] == "ablate":
         return _run_ablate(argv[1:])
+    if argv and argv[0] == "swarm":
+        return _run_swarm_cmd(argv[1:])
 
     return _dispatch_main(argv)
+
+
+def build_swarm_parser() -> argparse.ArgumentParser:
+    """`swarm`: seeded randomized-DFS bug-finding over a bundled spec."""
+    parser = argparse.ArgumentParser(
+        prog="repro swarm",
+        description="Swarm bug-finding: N seeded randomized-DFS workers "
+                    "sharing only the fingerprint store; --seed "
+                    "reproduces every worker's walk exactly")
+    parser.add_argument("spec", help="bundled specification name")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="randomized-DFS worker processes (default 2)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="swarm seed; worker w shuffles successors "
+                             "with Random(f'{seed}:{w}') (default 0)")
+    parser.add_argument("--max-steps", type=int, default=None, metavar="N",
+                        help="per-worker expansion budget (default: "
+                             "unbounded — every worker's DFS runs to "
+                             "exhaustion, matching the serial verdict "
+                             "and state/transition counts)")
+    parser.add_argument("--store-dir", metavar="DIR",
+                        help="spill shared-store fingerprint shards to "
+                             "mmap files under DIR when a shard exceeds "
+                             "its memory budget (REPRO_FP_SPILL)")
+    parser.add_argument("--compiled", action="store_true",
+                        help="workers step through compiled per-label "
+                             "closures instead of the interpreter")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="collect every violation instead of "
+                             "stopping each worker at its first")
+    return parser
+
+
+def _run_swarm_cmd(argv) -> int:
+    args = build_swarm_parser().parse_args(argv)
+    from .spec.specs import SPEC_SOURCES
+
+    if args.spec not in SPEC_SOURCES:
+        print(f"unknown spec {args.spec!r}; try: "
+              f"{', '.join(sorted(SPEC_SOURCES))}", file=sys.stderr)
+        return 2
+    from .spec.swarm import swarm_check
+
+    try:
+        result = swarm_check(
+            SPEC_SOURCES[args.spec], workers=args.workers, seed=args.seed,
+            max_steps=args.max_steps, store_dir=args.store_dir,
+            compiled=args.compiled,
+            stop_at_first_violation=not args.keep_going)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(result.summary())
+    swarm = result.stats["swarm"]
+    mode = "exhaustive" if swarm["exhaustive"] else \
+        f"budget {swarm['max_steps']} steps/worker"
+    print(f"engine=swarm workers={swarm['workers']} seed={swarm['seed']} "
+          f"({mode}) steps={swarm['steps']} "
+          f"store_bytes={swarm['store_bytes']} spilled={swarm['spilled']}")
+    for worker in swarm["per_worker"]:
+        print(f"  worker {worker['worker']}: {worker['states']} states, "
+              f"depth {worker['max_depth']}, "
+              f"digest {worker['trace_digest']}")
+    for violation in result.violations:
+        print(violation.describe())
+    return 0 if result.ok else 1
 
 
 def build_main_parser() -> argparse.ArgumentParser:
@@ -573,6 +652,16 @@ def build_main_parser() -> argparse.ArgumentParser:
                         help="check: derive POR ample sets from static+"
                              "dynamic footprint independence instead of "
                              "only Step.local hints")
+    parser.add_argument("--compiled", action="store_true",
+                        help="check: compiled-step engine — per-label "
+                             "closures specialized over the flat slot "
+                             "vector (byte-identical canonical output; "
+                             "coverage reported in stats)")
+    parser.add_argument("--store-dir", metavar="DIR",
+                        help="check: with --workers, spill fingerprint "
+                             "shards to open-addressed mmap files under "
+                             "DIR once a shard's in-memory set exceeds "
+                             "the REPRO_FP_SPILL budget")
     parser.add_argument("--incremental-fp", action="store_true",
                         help="check: serial fingerprint-dedup engine with "
                              "incremental per-slot digests (re-encodes "
@@ -655,6 +744,7 @@ def _dispatch_main(argv) -> int:
                 por_deps=args.por_deps,
                 fingerprint_mode="incremental" if args.incremental_fp
                                  else None,
+                compiled=args.compiled, store_dir=args.store_dir,
                 profile=profile, progress=args.progress,
                 trace_out=args.trace_out)
         except ValueError as error:
@@ -677,6 +767,19 @@ def _dispatch_main(argv) -> int:
                   f"dedup_hits={stats['dedup_hits']}")
         elif stats.get("fingerprint_mode"):
             print(f"engine=serial fingerprint_mode={stats['fingerprint_mode']}")
+        coverage = stats.get("compiled")
+        if isinstance(coverage, dict):
+            print(f"engine=compiled "
+                  f"coverage={coverage['covered_fraction']:.3f} "
+                  f"(codegen={coverage['labels_codegen']} "
+                  f"memo={coverage['labels_memo']} "
+                  f"interp={coverage['labels_interp']} "
+                  f"of {coverage['labels']} labels)")
+        if stats.get("store_dir"):
+            print(f"store_dir={stats['store_dir']} "
+                  f"store_bytes={stats.get('store_bytes')} "
+                  f"spilled={stats.get('spilled')} "
+                  f"spills={stats.get('spills')}")
         for violation in result.violations:
             print(violation.describe())
         if profile:

@@ -80,6 +80,7 @@ def _run_check(config: dict) -> dict:
     fp_mode = checker_kwargs.get("fingerprint_mode")
     entry_bytes = (_FP_ENTRY_BYTES if fp_mode in ("full", "incremental")
                    else len(canonical_bytes(spec.initial_state())))
+    compiled = result.stats.get("compiled") or {}
     return {
         "states": result.distinct_states,
         "transitions": result.transitions,
@@ -88,6 +89,11 @@ def _run_check(config: dict) -> dict:
         "violations": len(result.violations),
         "fp_slots": result.stats.get("fp_slots_digested"),
         "store_bytes": result.distinct_states * entry_bytes,
+        # Engine-identity counter: compiled labels in play (codegen +
+        # memo tiers).  Deterministic — a pure function of the spec —
+        # and zero under the interpreted engine.
+        "compiled_labels": (compiled.get("labels_codegen", 0)
+                           + compiled.get("labels_memo", 0)),
     }
 
 

@@ -63,9 +63,11 @@ PROF_SCHEMA = "repro.prof/v1"
 PHASES = (
     "por_ample",       # ample-set eligibility scan (POR)
     "successor_gen",   # Step.run over all oracle branches
+    "compile",         # compiled engine: closure builds + table fills
     "canonicalize",    # symmetry canonicalization of successors
     "fingerprint",     # canonical encode + BLAKE2b fold (fp engines)
     "dedup",           # seen-set / raw-memo / fingerprint-store lookups
+    "spill",           # mmap spill-tier probes/inserts (disk store)
     "property_eval",   # invariant predicates on newly accepted states
     "liveness",        # terminal-SCC ◇□ pass (post-exploration)
 )

@@ -183,7 +183,10 @@ class ModelChecker:
                  fingerprint_mode: Optional[str] = None,
                  profile: bool = False,
                  progress=None,
-                 trace_out: Optional[str] = None):
+                 trace_out: Optional[str] = None,
+                 compiled: bool = False,
+                 store_dir: Optional[str] = None,
+                 uncompiled_labels=()):
         self.spec = spec
         self.use_symmetry = symmetry and spec.symmetry is not None
         self.use_por = por
@@ -224,6 +227,38 @@ class ModelChecker:
                 "defeats fingerprint_mode; use the default engine for "
                 "exact collision detection")
         self.fingerprint_mode = fingerprint_mode
+        #: Compiled-step execution (repro.spec.compile): per-label
+        #: closures over flat interned state vectors.  Serially it runs
+        #: :func:`repro.spec.compile.run_compiled`; with workers each
+        #: worker swaps its ``_successors`` for a CompiledStepper.
+        self.compiled = bool(compiled)
+        #: ``"process.label"`` names forced back to per-visit
+        #: interpretation inside the compiled engine (fallback lever).
+        self.uncompiled_labels = tuple(uncompiled_labels)
+        if self.compiled and fingerprint_mode is not None:
+            raise ValueError(
+                "compiled and fingerprint_mode are alternative serial "
+                "engines; pick one (the compiled engine dedups exact "
+                "interned vectors, not fingerprints)")
+        if self.compiled and profile and workers is not None:
+            raise ValueError(
+                "profile the compiled engine serially: compiled workers "
+                "run an uninstrumented stepper (drop workers=N or "
+                "profile=True)")
+        #: Directory for the fingerprint store's mmap spill tier
+        #: (parallel/swarm engines only — the serial engines keep
+        #: states, not fingerprints, as their seen-set).
+        if store_dir is not None and self.workers is None:
+            raise ValueError(
+                "store_dir spills the sharded fingerprint store, which "
+                "only the parallel engine (workers=N) and the swarm "
+                "driver use; serial engines dedup in memory")
+        if store_dir is not None and exact_fingerprints:
+            raise ValueError(
+                "exact_fingerprints keeps full canonical payloads, which "
+                "do not fit the spill tier's fixed-width slots; drop "
+                "--exact or --store-dir")
+        self.store_dir = store_dir
         #: Phase/label profiling (repro.obs.prof).  All timing lands in
         #: ``CheckResult.stats["profile"]`` — never in ``to_json`` — so
         #: profiled runs stay byte-identical to unprofiled ones.
@@ -284,8 +319,24 @@ class ModelChecker:
             self._deps_ample_keys = frozenset(derived | hinted)
         return self._deps_ample_keys
 
+    _compiled_stepper = None
+
     def _successors(self, state: State) -> list[tuple[str, State]]:
         """Successors under the (optionally ample-set reduced) relation."""
+        if self.compiled and self.profiler is None:
+            # Parallel workers call this entry point directly; under
+            # --compiled they step through the per-label closure tables
+            # (state-boundary adapter, byte-identical successor lists).
+            stepper = self._compiled_stepper
+            if stepper is None:
+                from .compile import CompiledStepper
+
+                stepper = self._compiled_stepper = CompiledStepper(
+                    self.spec, use_por=self.use_por,
+                    ample_keys=(self._deps_ample()
+                                if self.use_por_deps else None),
+                    uncompiled_labels=self.uncompiled_labels)
+            return stepper.successors(state)
         if self.profiler is not None:
             return self._successors_profiled(state)
         if self.use_por:
@@ -449,6 +500,10 @@ class ModelChecker:
             from .parallel import run_parallel
 
             return run_parallel(self)
+        if self.compiled:
+            from .compile import run_compiled
+
+            return run_compiled(self)
         if self.fingerprint_mode is not None:
             return self._run_serial_fp()
         start_time = time.perf_counter()

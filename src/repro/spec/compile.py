@@ -1,0 +1,1224 @@
+"""Compiled-step execution: per-label closures over flat state vectors.
+
+The interpreted engine pays Python's dispatch tax per transition: every
+``_expand_step`` builds a :class:`~repro.spec.lang.Ctx`, every read goes
+through ``global_index`` dict lookups, and every dedup hashes nested
+tuples (``FrozenRecord.__hash__`` rebuilds a frozenset per call).  This
+module removes that tax from the hot path (ROADMAP open item 2):
+
+* **flat state vectors** — a state becomes a tuple of small ints: one
+  slot per global, per process pc, per process local, each holding the
+  *interned id* of its value.  Interning is equality-faithful (ids are
+  assigned by ``==``/``hash``, exactly the identifications a dict-based
+  seen-set makes: ``True == 1``, ``1.0 == 1``), so vector equality is
+  state equality and dedup over int tuples is byte-identical to the
+  interpreted engine's dedup over states.
+* **per-(process, label) compiled closures** — each label owns a
+  transition table mapping the values of the slots the step *reads* to
+  its full expansion: the ordered successor list as (slot, id) write
+  lists plus a write bitmask.  Tables are filled on demand by one of
+  two tiers: a **codegen** tier that translates the label's NADIR AST
+  (the same AST :mod:`repro.analysis.deps` walks) into a specialized
+  Python closure — guard test first, direct slot reads/writes, queue
+  macros inlined — or an **interp** tier that runs the original step
+  once under a read-recording ``Ctx``.  Labels the compiler cannot
+  cover (no NADIR block, unsupported statement, or an explicit
+  ``uncompiled_labels`` override) degrade to interpretation; the tier
+  of every label is recorded in ``CheckResult.stats["compiled"]``.
+* **self-validating read sets** — the memo key is the projection of the
+  vector onto the label's *observed* read slots.  Reads are recorded
+  per fill; discovering a new read slot grows the key and clears the
+  table.  This is sound without any completeness assumption: a table
+  hit means the new state agrees with a previously executed state on
+  every slot that execution read, and step functions are deterministic
+  given those reads (plus the choice oracle, which the fill
+  enumerates), so the cached expansion is the real one.
+* **delta reuse** — a successor differs from its parent only on the
+  transition's write mask; any process whose result's read mask is
+  disjoint from it reuses the parent's cached expansion without even a
+  table lookup.  The same mask logic skips invariant re-evaluation for
+  properties whose read slots were not written.
+
+Byte-identity: ``run_compiled`` mirrors the serial BFS of
+:class:`~repro.spec.checker.ModelChecker` decision for decision — POR
+ample scan order, successor order (the LIFO choice-oracle enumeration),
+dedup-by-equality, deadlock condition, invariant order, the canonical
+(depth, fingerprint) liveness witness, and the ``max_states`` guard —
+so ``CheckResult.to_json`` is identical to the interpreted engine's on
+every spec (the engine differential matrix enforces this).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from operator import itemgetter
+from typing import Optional
+
+from ..obs.prof import CheckerTraceBuilder
+from .checker import CheckResult, Violation
+from .fingerprint import fingerprint_state
+from .lang import Blocked, Ctx, NeedChoice, Spec, SpecView, State
+
+__all__ = ["CompiledSpec", "CompiledStepper", "run_compiled"]
+
+#: Result-tuple fields: (read_mask, action, successors, is_ample, label_key)
+#: where successors is a tuple of (writes, write_mask) pairs and writes
+#: is a tuple of (slot, interned id) assignments in slot order.
+_RMASK, _ACTION, _SUCCS, _AMPLE, _LABEL = range(5)
+
+
+class _RecordingCtx(Ctx):
+    """A :class:`Ctx` that records which parent slots the step reads.
+
+    Only *parent* reads condition the memo key: a read of a slot the
+    same execution path already wrote returns a derived value, not a
+    branch point, so it is excluded (tracked per path via ``_written``).
+    Reads accumulate into a shared set across all oracle paths of one
+    expansion — the whole expansion is one deterministic function of
+    the parent state, so its read trace is well defined.
+    """
+
+    def __init__(self, cs: "CompiledSpec", state: State, proc_index: int,
+                 oracle, reads: set):
+        super().__init__(cs.spec, state, proc_index, oracle)
+        self._cs = cs
+        self._reads = reads
+        self._written: set[int] = set()
+
+    # Global slot == global index (both enumerate ``global_names``), so
+    # one dict lookup serves the read, the write, and the recording.
+    def get(self, name):
+        slot = self.spec.global_index[name]
+        if slot not in self._written:
+            self._reads.add(slot)
+        return self._globals[slot]
+
+    def set(self, name, value):
+        slot = self.spec.global_index[name]
+        self._written.add(slot)
+        self._globals[slot] = value
+
+    def lget(self, name):
+        process = self.spec.processes[self.proc_index]
+        index = process.local_index[name]
+        slot = self._cs.local_slots[self.proc_index][index]
+        if slot not in self._written:
+            self._reads.add(slot)
+        return self._locals[index]
+
+    def lset(self, name, value):
+        process = self.spec.processes[self.proc_index]
+        index = process.local_index[name]
+        self._written.add(self._cs.local_slots[self.proc_index][index])
+        self._locals[index] = value
+
+    def peer_pc(self, process_name):
+        slot = self._cs.pc_slots[self.spec.process_index[process_name]]
+        if slot not in self._written:
+            self._reads.add(slot)
+        return super().peer_pc(process_name)
+
+    def reset_peer(self, process_name, pc=None):
+        index = self.spec.process_index[process_name]
+        self._written.add(self._cs.pc_slots[index])
+        self._written.update(self._cs.local_slots[index])
+        super().reset_peer(process_name, pc)
+
+
+class _LabelEntry:
+    """One (process, label) compiled closure: memo table + fill tier."""
+
+    __slots__ = ("cs", "proc_index", "process", "step", "label", "action",
+                 "label_key", "default_next", "is_ample", "pc_bit", "rmask",
+                 "keyslots", "getter", "memo", "tier", "fills", "codegen_fn")
+
+    def __init__(self, cs: "CompiledSpec", proc_index: int, process, step,
+                 is_ample: bool, tier: str):
+        self.cs = cs
+        self.proc_index = proc_index
+        self.process = process
+        self.step = step
+        self.label = step.label
+        self.action = f"{process.name}.{step.label}"
+        self.label_key = (process.name, step.label)
+        self.default_next = process.default_next(step.label)
+        self.is_ample = is_ample
+        self.pc_bit = 1 << cs.pc_slots[proc_index]
+        #: Own pc rides in the read mask (never the memo key: it is
+        #: constant per entry) — a pc change must invalidate delta reuse.
+        self.rmask = self.pc_bit
+        self.keyslots: list[int] = []
+        self.getter = None
+        #: None = forced interpretation (no memoization at all).
+        self.memo: Optional[dict] = None if tier == "interp" else {}
+        self.tier = tier
+        self.fills = 0
+        self.codegen_fn = None
+
+    # -- fill: run the step once, record reads, intern the writes -----------
+    def fill(self, vec: tuple):
+        """Execute the label on ``vec`` and (unless forced-interp) memoize.
+
+        Replicates ``ModelChecker._expand_step`` exactly: a LIFO stack
+        of choice oracles, one fresh ``Ctx`` per path, successors in
+        completion order — so the compiled successor order is the
+        interpreted one.
+        """
+        cs = self.cs
+        self.fills += 1
+        state = cs.to_state(vec)
+        reads: set[int] = set()
+        succs = []
+        if self.codegen_fn is not None:
+            blocked = self.codegen_fn(cs, vec, state, succs)
+            reads.update(self.keyslots)
+            if blocked:
+                succs = []
+        else:
+            proc_index = self.proc_index
+            pc_slot = cs.pc_slots[proc_index]
+            step_run = self.step.run
+            default_next = self.default_next
+            slot_kind = cs.slot_kind
+            intern = cs.intern
+            stack: list[list[int]] = [[]]
+            while stack:
+                oracle = stack.pop()
+                ctx = _RecordingCtx(cs, state, proc_index, oracle, reads)
+                try:
+                    step_run(ctx)
+                except Blocked:
+                    continue
+                except NeedChoice as need:
+                    for i in range(need.arity):
+                        stack.append(oracle + [i])
+                    continue
+                # Writes are the *assigned* slots (plus the pc), not the
+                # value diff against the fill state: an assignment that
+                # happened to be a no-op here can still change the value
+                # on another state matching the same memo key.  A pair
+                # whose value equals the target's current one applies as
+                # a no-op, so assigned ⊇ changed keeps replay exact and
+                # the write mask a sound over-approximation.  Values are
+                # pulled straight out of the finished ctx via slot_kind —
+                # no successor State or full-vector interning.
+                next_pc = ctx._next_pc if ctx._jumped else default_next
+                ctx_globals = ctx._globals
+                ctx_locals = ctx._locals
+                ctx_procs = ctx._procs
+                wslots = ctx._written
+                wslots.add(pc_slot)
+                writes = []
+                wmask = 0
+                for s in sorted(wslots):
+                    wmask |= 1 << s
+                    kind = slot_kind[s]
+                    if kind is None:
+                        value = ctx_globals[s]
+                    else:
+                        j, k = kind
+                        if k < 0:
+                            value = next_pc if j == proc_index \
+                                else ctx_procs[j][0]
+                        elif j == proc_index:
+                            value = ctx_locals[k]
+                        else:
+                            value = ctx_procs[j][1][k]
+                    writes.append((s, intern(value)))
+                succs.append((tuple(writes), wmask))
+        if self.memo is None:
+            # Forced interpretation: every visit re-executes, nothing is
+            # cached, and the all-slots read mask disables delta reuse.
+            return (cs.all_mask, self.action, tuple(succs), self.is_ample,
+                    self.label_key)
+        new_slots = reads.difference(self.keyslots)
+        if new_slots:
+            # A previously unseen read slot: grow the key and drop the
+            # table.  Live entries always satisfy "reads ⊆ keyslots", so
+            # a key match proves the cached execution path replays.
+            self.keyslots.extend(sorted(new_slots))
+            self.getter = (itemgetter(*self.keyslots)
+                           if len(self.keyslots) > 1
+                           else itemgetter(self.keyslots[0]))
+            for slot in new_slots:
+                self.rmask |= 1 << slot
+            self.memo.clear()
+            cs.keyslot_growths += 1
+        result = (self.rmask, self.action, tuple(succs), self.is_ample,
+                  self.label_key)
+        key = self.getter(vec) if self.getter is not None else None
+        self.memo[key] = result
+        return result
+
+
+class _RecordingView(SpecView):
+    """A :class:`SpecView` that records property reads as slot indices."""
+
+    def __init__(self, cs: "CompiledSpec", state: State, reads: set):
+        super().__init__(cs.spec, state)
+        self._cs = cs
+        self._reads = reads
+
+    def __getitem__(self, name):
+        self._reads.add(self._cs.global_slot[name])
+        return super().__getitem__(name)
+
+    def local(self, process, name):
+        index = self.spec.process_index[process]
+        proc = self.spec.processes[index]
+        self._reads.add(self._cs.local_slots[index][proc.local_index[name]])
+        return super().local(process, name)
+
+    def pc(self, process):
+        self._reads.add(self._cs.pc_slots[self.spec.process_index[process]])
+        return super().pc(process)
+
+
+class _PropEntry:
+    """One property predicate, memoized on its observed read slots.
+
+    Same self-validating scheme as :class:`_LabelEntry`: the memo key is
+    the vector projected onto every slot any evaluation has read; a new
+    read slot grows the key and clears the table.  Predicates are pure
+    functions of the view by the same API convention the effect
+    analyzer relies on.
+    """
+
+    __slots__ = ("cs", "name", "predicate", "keyslots", "getter", "memo",
+                 "rmask", "fills")
+
+    def __init__(self, cs: "CompiledSpec", name: str, predicate):
+        self.cs = cs
+        self.name = name
+        self.predicate = predicate
+        self.keyslots: list[int] = []
+        self.getter = None
+        self.memo: dict = {}
+        self.rmask = 0
+        self.fills = 0
+
+    def fill(self, vec: tuple) -> bool:
+        cs = self.cs
+        self.fills += 1
+        reads: set[int] = set()
+        view = _RecordingView(cs, cs.to_state(vec), reads)
+        verdict = bool(self.predicate(view))
+        new_slots = reads.difference(self.keyslots)
+        if new_slots:
+            self.keyslots.extend(sorted(new_slots))
+            self.getter = (itemgetter(*self.keyslots)
+                           if len(self.keyslots) > 1
+                           else itemgetter(self.keyslots[0]))
+            for slot in new_slots:
+                self.rmask |= 1 << slot
+            self.memo.clear()
+        key = self.getter(vec) if self.getter is not None else None
+        self.memo[key] = verdict
+        return verdict
+
+    def value(self, vec: tuple) -> bool:
+        getter = self.getter
+        if getter is None:
+            if not self.memo:
+                return self.fill(vec)
+            return self.memo[None]
+        verdict = self.memo.get(getter(vec))
+        if verdict is None:
+            verdict = self.fill(vec)
+        return verdict
+
+
+class CompiledSpec:
+    """A spec lowered onto flat interned state vectors.
+
+    ``ample_keys`` (a frozenset of (process name, label) pairs) replaces
+    the ``Step.local`` hint as the ample-set oracle when given — the
+    deps-POR configuration.  ``uncompiled_labels`` forces the named
+    ``"process.label"`` steps back to per-visit interpretation (the
+    honest fallback path, and the lever the forced-fallback tests use).
+    """
+
+    def __init__(self, spec: Spec, ample_keys=None,
+                 uncompiled_labels=()):
+        self.spec = spec
+        nglobals = len(spec.global_names)
+        self.global_slot = {name: i for i, name in enumerate(spec.global_names)}
+        self.pc_slots: list[int] = []
+        self.local_slots: list[tuple[int, ...]] = []
+        slot = nglobals
+        for process in spec.processes:
+            self.pc_slots.append(slot)
+            slot += 1
+            self.local_slots.append(
+                tuple(range(slot, slot + len(process.locals_))))
+            slot += len(process.locals_)
+        self.nslots = slot
+        self.all_mask = (1 << slot) - 1
+        self._ids: dict = {}
+        self._values: list = []
+        self.none_id = self.intern(None)
+        self.keyslot_growths = 0
+        uncompiled = frozenset(uncompiled_labels)
+        known = {f"{process.name}.{step.label}"
+                 for process in spec.processes for step in process.steps}
+        unknown = uncompiled - known
+        if unknown:
+            raise ValueError(
+                f"uncompiled_labels name no step: {sorted(unknown)}; "
+                "expected 'process.label' pairs from this spec")
+        #: Per-process dispatch: interned pc id → label entry.
+        self.dispatch: list[dict] = []
+        self.entries: list[_LabelEntry] = []
+        self.any_ample = False
+        for proc_index, process in enumerate(spec.processes):
+            table: dict = {}
+            for step in process.steps:
+                if ample_keys is None:
+                    is_ample = step.local
+                else:
+                    is_ample = (process.name, step.label) in ample_keys
+                name = f"{process.name}.{step.label}"
+                tier = "interp" if name in uncompiled else "memo"
+                entry = _LabelEntry(self, proc_index, process, step,
+                                    is_ample, tier)
+                if tier != "interp":
+                    _attach_codegen(self, entry)
+                table[self.intern(step.label)] = entry
+                self.entries.append(entry)
+                self.any_ample = self.any_ample or is_ample
+            self.dispatch.append(table)
+        #: Constant result for a terminated process (pc None): reads
+        #: only its own pc, yields nothing, never ample.
+        self.term_results = [(1 << self.pc_slots[i], None, (), False, None)
+                             for i in range(len(spec.processes))]
+        #: Deadlock scan: (pc slot, bit) of every non-daemon process.
+        self.live_pc_slots = tuple(
+            self.pc_slots[i] for i, process in enumerate(spec.processes)
+            if not process.daemon)
+        #: Slot → location map for extracting written values straight out
+        #: of a finished ``Ctx``: ``None`` = global (slot == global
+        #: index), ``(j, -1)`` = pc of process j, ``(j, k)`` = local k of
+        #: process j.
+        self.slot_kind: list = [None] * self.nslots
+        for j in range(len(spec.processes)):
+            self.slot_kind[self.pc_slots[j]] = (j, -1)
+            for k, s in enumerate(self.local_slots[j]):
+                self.slot_kind[s] = (j, k)
+        self._nglobals = nglobals
+        self._proc_slot_pairs = tuple(zip(self.pc_slots, self.local_slots))
+        self._unintern_cache: tuple = (None, None)
+        self.invariant_entries = [
+            _PropEntry(self, name, predicate)
+            for name, predicate in spec.invariants.items()]
+        self.liveness_entries = [
+            _PropEntry(self, name, predicate)
+            for name, predicate in spec.eventually_always.items()]
+
+    # -- interning -----------------------------------------------------------
+    def intern(self, value) -> int:
+        """The small-int id of ``value`` (assigned by ``==`` equality)."""
+        ids = self._ids
+        vid = ids.get(value)
+        if vid is None:
+            vid = len(self._values)
+            ids[value] = vid
+            self._values.append(value)
+        return vid
+
+    def to_vector(self, state: State) -> tuple:
+        """Flatten + intern a state.  Inverse of :meth:`to_state` up to
+        the equality classes interning collapses (``True``/``1``), the
+        same classes a dict seen-set collapses."""
+        intern = self.intern
+        vec = [intern(value) for value in state.globals_]
+        for pc, locals_ in state.procs:
+            vec.append(intern(pc))
+            for value in locals_:
+                vec.append(intern(value))
+        return tuple(vec)
+
+    def to_state(self, vec: tuple) -> State:
+        """Rebuild a :class:`State` from a vector (cached per vector)."""
+        cached_vec, cached_state = self._unintern_cache
+        if cached_vec is vec:
+            return cached_state
+        values = self._values
+        state = State(
+            tuple([values[vid] for vid in vec[:self._nglobals]]),
+            tuple([(values[vec[ps]],
+                    tuple([values[vec[s]] for s in ls]))
+                   for ps, ls in self._proc_slot_pairs]))
+        self._unintern_cache = (vec, state)
+        return state
+
+    # -- coverage ------------------------------------------------------------
+    def coverage(self) -> dict:
+        """Per-tier label counts + memo health for ``stats["compiled"]``."""
+        tiers = {"codegen": 0, "memo": 0, "interp": 0}
+        for entry in self.entries:
+            tiers[entry.tier] += 1
+        total = len(self.entries)
+        return {
+            "labels": total,
+            "labels_codegen": tiers["codegen"],
+            "labels_memo": tiers["memo"],
+            "labels_interp": tiers["interp"],
+            "covered_fraction": round(
+                (tiers["codegen"] + tiers["memo"]) / total, 4) if total else 0.0,
+            "label_fills": sum(entry.fills for entry in self.entries),
+            "property_fills": sum(
+                prop.fills for prop in
+                self.invariant_entries + self.liveness_entries),
+            "keyslot_growths": self.keyslot_growths,
+            "interned_values": len(self._values),
+            "slots": self.nslots,
+        }
+
+
+class CompiledStepper:
+    """State-in, state-out adapter over :class:`CompiledSpec`.
+
+    Drop-in for ``ModelChecker._successors`` — same POR ample-scan
+    semantics, same successor order — used by the parallel workers
+    under ``--compiled`` and by the per-label differential tests.  It
+    pays vector/state conversion per call, so it buys parity and
+    bounded per-label work, not the flat-vector engine's raw speed
+    (that lives in :func:`run_compiled`).
+    """
+
+    def __init__(self, spec: Spec, use_por: bool = True, ample_keys=None,
+                 uncompiled_labels=()):
+        self.cs = CompiledSpec(spec, ample_keys=ample_keys,
+                               uncompiled_labels=uncompiled_labels)
+        self.use_por = use_por
+
+    def expand_label(self, state: State, proc_index: int):
+        """All successors of one process's current step (compiled)."""
+        cs = self.cs
+        vec = cs.to_vector(state)
+        result = self._probe(vec, proc_index)
+        return self._materialize(vec, result)
+
+    def successors(self, state: State):
+        """``ModelChecker._successors`` semantics over the memo tables."""
+        cs = self.cs
+        vec = cs.to_vector(state)
+        nprocs = len(cs.spec.processes)
+        if self.use_por and cs.any_ample:
+            for proc_index in range(nprocs):
+                if vec[cs.pc_slots[proc_index]] == cs.none_id:
+                    continue
+                entry = cs.dispatch[proc_index].get(vec[cs.pc_slots[proc_index]])
+                if entry is None or not entry.is_ample:
+                    continue
+                result = self._probe(vec, proc_index)
+                if result[_SUCCS]:
+                    return self._materialize(vec, result)
+        out = []
+        for proc_index in range(nprocs):
+            out.extend(
+                self._materialize(vec, self._probe(vec, proc_index)))
+        return out
+
+    def _probe(self, vec: tuple, proc_index: int):
+        cs = self.cs
+        pc_id = vec[cs.pc_slots[proc_index]]
+        entry = cs.dispatch[proc_index].get(pc_id)
+        if entry is None:
+            return cs.term_results[proc_index]
+        memo = entry.memo
+        if memo is None:
+            return entry.fill(vec)
+        getter = entry.getter
+        key = getter(vec) if getter is not None else None
+        result = memo.get(key)
+        if result is None:
+            result = entry.fill(vec)
+        return result
+
+    def _materialize(self, vec: tuple, result):
+        action = result[_ACTION]
+        out = []
+        for writes, _wmask in result[_SUCCS]:
+            child = list(vec)
+            for slot, vid in writes:
+                child[slot] = vid
+            out.append((action, self.cs.to_state(tuple(child))))
+        return out
+
+
+def _build_fast_expand(cs: CompiledSpec):
+    """exec-generate the per-state expansion with the process loop unrolled.
+
+    Semantically the textbook full loop of ``run_compiled`` (delta
+    reuse, then dispatch probe, then fill), specialized to this spec:
+    pc slots become literals, per-process dispatch tables and terminal
+    results become closure locals, and the record list is built in one
+    ``BUILD_LIST``.  Only used on the unprofiled no-ample-scan path —
+    the readable loop stays the reference semantics (and the profiled
+    engine), this is its constant-folded twin.
+    """
+    n = len(cs.spec.processes)
+    lines = ["def _make(dispatch, term_results):"]
+    for i in range(n):
+        lines.append(f"    d{i} = dispatch[{i}].get")
+        lines.append(f"    t{i} = term_results[{i}]")
+    lines.append("    def _expand(vec, prec, wm):")
+    lines.append("        delta = 0")
+    lines.append("        probes = 0")
+    for i in range(n):
+        pc_slot = cs.pc_slots[i]
+        lines.extend([
+            f"        r{i} = prec[{i}]",
+            f"        if r{i} is None or wm & r{i}[0]:",
+            f"            e = d{i}(vec[{pc_slot}])",
+            "            if e is None:",
+            f"                r{i} = t{i}",
+            "            else:",
+            "                probes += 1",
+            "                m = e.memo",
+            "                if m is None:",
+            f"                    r{i} = e.fill(vec)",
+            "                else:",
+            "                    g = e.getter",
+            f"                    r{i} = m.get(g(vec)"
+            " if g is not None else None)",
+            f"                    if r{i} is None:",
+            f"                        r{i} = e.fill(vec)",
+            "        else:",
+            "            delta += 1",
+        ])
+    rec = ", ".join(f"r{i}" for i in range(n))
+    lines.append(f"        return [{rec}], delta, probes")
+    lines.append("    return _expand")
+    namespace: dict = {}
+    exec(compile("\n".join(lines), "<compiled-expand>", "exec"), namespace)
+    return namespace["_make"](cs.dispatch, cs.term_results)
+
+
+def run_compiled(checker) -> CheckResult:
+    """Serial BFS over flat vectors; byte-identical to ``ModelChecker.run``.
+
+    ``checker`` is a :class:`~repro.spec.checker.ModelChecker` with
+    ``compiled=True``; this is its serial engine the way
+    ``run_parallel`` is its parallel one.
+    """
+    spec = checker.spec
+    start_time = time.perf_counter()
+    perf = time.perf_counter
+    prof = checker.profiler
+    tracer = (CheckerTraceBuilder(
+                  label=f"check {getattr(spec, 'name', 'spec')} (compiled)")
+              if checker.trace_out else None)
+    if checker.use_por and checker.validate_por_hints:
+        checker._reject_unsound_hints()
+    explore_t0 = perf()
+    ample_keys = checker._deps_ample() if checker.use_por_deps else None
+    cs = CompiledSpec(spec, ample_keys=ample_keys,
+                      uncompiled_labels=getattr(
+                          checker, "uncompiled_labels", ()))
+    if prof is not None:
+        prof.add("compile", perf() - explore_t0)
+
+    use_symmetry = checker.use_symmetry
+    init_state = checker._canonical(spec.initial_state())
+    init_vec = cs.to_vector(init_state)
+    all_mask = cs.all_mask
+    none_id = cs.none_id
+    pc_slots = cs.pc_slots
+    dispatch = cs.dispatch
+    term_results = cs.term_results
+    nprocs = len(spec.processes)
+    proc_range = range(nprocs)
+    use_por = checker.use_por
+    scan_ample = use_por and cs.any_ample
+
+    seen: dict = {init_vec: 0}
+    #: raw successor vector → canonical index (symmetry only), the
+    #: analog of the interpreted engine's raw_memo.
+    raw_memo: dict = {}
+    vecs: list[tuple] = [init_vec]
+    parent: list[tuple[int, str]] = [(-1, "<init>")]
+    depth: list[int] = [0]
+    #: Write mask of the transition that discovered each state
+    #: (all_mask when symmetry replaced the raw successor).
+    wmask_of: list[int] = [all_mask]
+    #: Per-state expansion records for delta reuse (filled at expansion).
+    recs: list = [None]
+    edges: dict[int, list[int]] = {}
+    violations: list[Violation] = []
+    diameter = 0
+    transitions = 0
+    delta_reuses = 0
+    probes = 0
+
+    inv_entries = cs.invariant_entries
+    inv_union_rmask = 0  # grows with the entries' masks
+    #: Per-state "passed every invariant" flags, for the delta skip.
+    inv_ok: list[bool] = []
+
+    def trace_to(index: int) -> list[tuple[str, State]]:
+        path = []
+        while index >= 0:
+            pred, action = parent[index]
+            path.append((action, cs.to_state(vecs[index])))
+            index = pred
+        return list(reversed(path))
+
+    def check_invariants(index: int) -> bool:
+        vec = vecs[index]
+        ok = True
+        for prop in inv_entries:
+            if not prop.value(vec):
+                violations.append(
+                    Violation("invariant", prop.name, trace_to(index)))
+                ok = False
+                break
+        inv_ok.append(ok)
+        return ok
+
+    if prof is not None:
+        t0 = perf()
+    if not check_invariants(0) and checker.stop_at_first:
+        elapsed = time.perf_counter() - start_time
+        stats = {"engine": "compiled", "compiled": cs.coverage()}
+        if prof is not None:
+            prof.add("property_eval", perf() - t0)
+            prof.busy_s = perf() - explore_t0
+            stats["profile"] = checker._profile_artifact(
+                prof, engine="compiled", total_s=elapsed,
+                exploration_s=prof.busy_s,
+                counts={"states": 1, "transitions": 0, "diameter": 0})
+        return CheckResult(False, 1, 0, 0, elapsed, violations, stats=stats)
+    if prof is not None:
+        prof.add("property_eval", perf() - t0)
+        phase_s = prof.phase_s
+        phase_calls = prof.phase_calls
+        prof_labels = prof.labels
+    for prop in inv_entries:
+        inv_union_rmask |= prop.rmask
+
+    max_states = checker.max_states
+    check_deadlock = checker.check_deadlock
+    stop_at_first = checker.stop_at_first
+    live_pc_slots = cs.live_pc_slots
+    frontier = [0]
+    nvecs = 1
+    stop = False
+    bfs_round = 0
+    #: The unrolled expansion twin (see :func:`_build_fast_expand`) —
+    #: only off the profiled path (which owns the phase timestamps) and
+    #: the ample-scan path (whose early exit the loop below encodes).
+    fast_expand = (None if prof is not None or scan_ample
+                   else _build_fast_expand(cs))
+    none_prec = [None] * nprocs
+    vecs_append = vecs.append
+    parent_append = parent.append
+    depth_append = depth.append
+    wmask_append = wmask_of.append
+    recs_append = recs.append
+    inv_ok_append = inv_ok.append
+    # Exploration allocates monotonically (states are never freed), so
+    # cyclic-GC passes over the growing heap are pure overhead — pause
+    # collection for the duration, like TLC's generation-free workers.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while frontier and not stop:
+            round_t0 = perf()
+            next_frontier = []
+            for index in frontier:
+                vec = vecs[index]
+                pidx = parent[index][0]
+                if fast_expand is not None:
+                    rec, d, p = fast_expand(
+                        vec, recs[pidx] if pidx >= 0 else none_prec,
+                        wmask_of[index])
+                    delta_reuses += d
+                    probes += p
+                    expansion = rec
+                    recs[index] = rec
+                    out_edges = edges[index] = []
+                    had_successor = False
+                    parent_inv_ok = inv_ok[index]
+                    child_depth = depth[index] + 1
+                    for r in expansion:
+                        succs = r[_SUCCS]
+                        if not succs:
+                            continue
+                        had_successor = True
+                        action = r[_ACTION]
+                        for writes, wm2 in succs:
+                            transitions += 1
+                            child = list(vec)
+                            for slot, vid in writes:
+                                child[slot] = vid
+                            tvec = tuple(child)
+                            if use_symmetry:
+                                cidx = raw_memo.get(tvec)
+                                if cidx is not None:
+                                    out_edges.append(cidx)
+                                    continue
+                                canon_state = checker._canonical(
+                                    cs.to_state(tvec))
+                                cvec = cs.to_vector(canon_state)
+                                if cvec != tvec:
+                                    wm2 = all_mask
+                                new_index = nvecs
+                                existing = seen.setdefault(cvec, new_index)
+                                if existing != new_index:
+                                    raw_memo[tvec] = existing
+                                    out_edges.append(existing)
+                                    continue
+                                raw_memo[tvec] = new_index
+                                tvec = cvec
+                            else:
+                                new_index = nvecs
+                                existing = seen.setdefault(tvec, new_index)
+                                if existing != new_index:
+                                    out_edges.append(existing)
+                                    continue
+                            nvecs = new_index + 1
+                            vecs_append(tvec)
+                            parent_append((index, action))
+                            depth_append(child_depth)
+                            wmask_append(wm2)
+                            recs_append(None)
+                            if child_depth > diameter:
+                                diameter = child_depth
+                            out_edges.append(new_index)
+                            if parent_inv_ok and not (wm2 & inv_union_rmask):
+                                inv_ok_append(True)
+                            else:
+                                if not check_invariants(new_index) \
+                                        and stop_at_first:
+                                    stop = True
+                                    break
+                                new_union = 0
+                                for prop in inv_entries:
+                                    new_union |= prop.rmask
+                                inv_union_rmask = new_union
+                            next_frontier.append(new_index)
+                            if nvecs > max_states:
+                                raise MemoryError(
+                                    f"state space exceeds {max_states} states")
+                        if stop:
+                            break
+                    if not stop and check_deadlock and not had_successor:
+                        alive = False
+                        for slot in live_pc_slots:
+                            if vec[slot] != none_id:
+                                alive = True
+                                break
+                        if alive:
+                            violations.append(
+                                Violation("deadlock", "no-enabled-step",
+                                          trace_to(index)))
+                            if stop_at_first:
+                                stop = True
+                    if stop:
+                        break
+                    continue
+                prec = recs[pidx] if pidx >= 0 else None
+                wm = wmask_of[index]
+                rec = [None] * nprocs
+                if prof is not None:
+                    t0 = perf()
+                expansion = None  # set by a successful ample probe
+                if scan_ample:
+                    # The interpreted ample scan: first process in order
+                    # whose current step is ample *and* expands non-empty
+                    # is expanded alone.  Probes cache into rec.
+                    for i in proc_range:
+                        r = None
+                        if prec is not None:
+                            pe = prec[i]
+                            if pe is not None and not (wm & pe[0]):
+                                r = pe
+                        if r is None:
+                            pc_id = vec[pc_slots[i]]
+                            if pc_id == none_id:
+                                rec[i] = term_results[i]
+                                continue
+                            entry = dispatch[i].get(pc_id)
+                            if entry is None:
+                                rec[i] = term_results[i]
+                                continue
+                            if not entry.is_ample:
+                                continue
+                            memo = entry.memo
+                            if memo is None:
+                                r = entry.fill(vec)
+                            else:
+                                getter = entry.getter
+                                key = getter(vec) if getter is not None else None
+                                r = memo.get(key)
+                                if r is None:
+                                    if prof is not None:
+                                        tf = perf()
+                                        phase_s["successor_gen"] += tf - t0
+                                        phase_calls["successor_gen"] += 1
+                                        r = entry.fill(vec)
+                                        t0 = perf()
+                                        phase_s["compile"] += t0 - tf
+                                        phase_calls["compile"] += 1
+                                    else:
+                                        r = entry.fill(vec)
+                        rec[i] = r
+                        if prof is not None and r[_AMPLE] \
+                                and r[_LABEL] is not None:
+                            # The interpreted scan expands (and counts)
+                            # every ample process it reaches.
+                            lentry = prof_labels.get(r[_LABEL])
+                            if lentry is None:
+                                lentry = prof_labels[r[_LABEL]] = [0, 0, 0.0]
+                            lentry[0] += 1
+                            lentry[1] += len(r[_SUCCS])
+                        if r[_AMPLE] and r[_SUCCS]:
+                            expansion = (r,)
+                            break
+                if expansion is None:
+                    for i in proc_range:
+                        if rec[i] is None:
+                            if prec is not None:
+                                pe = prec[i]
+                                if pe is not None and not (wm & pe[0]):
+                                    rec[i] = pe
+                                    delta_reuses += 1
+                                    continue
+                            pc_id = vec[pc_slots[i]]
+                            entry = dispatch[i].get(pc_id)
+                            if entry is None:
+                                rec[i] = term_results[i]
+                                continue
+                            probes += 1
+                            memo = entry.memo
+                            if memo is None:
+                                r = entry.fill(vec)
+                            else:
+                                getter = entry.getter
+                                key = getter(vec) if getter is not None else None
+                                r = memo.get(key)
+                                if r is None:
+                                    if prof is not None:
+                                        tf = perf()
+                                        phase_s["successor_gen"] += tf - t0
+                                        phase_calls["successor_gen"] += 1
+                                        r = entry.fill(vec)
+                                        t0 = perf()
+                                        phase_s["compile"] += t0 - tf
+                                        phase_calls["compile"] += 1
+                                    else:
+                                        r = entry.fill(vec)
+                            rec[i] = r
+                    # After the full loop every slot of ``rec`` is set (a
+                    # terminated process contributes its constant empty
+                    # result), so the record doubles as the expansion.
+                    expansion = rec
+                    if prof is not None:
+                        # The interpreted full loop expands (and counts)
+                        # every live process, including ample ones the scan
+                        # already counted.
+                        for r in expansion:
+                            if r[_LABEL] is not None:
+                                lentry = prof_labels.get(r[_LABEL])
+                                if lentry is None:
+                                    lentry = prof_labels[r[_LABEL]] = [0, 0, 0.0]
+                                lentry[0] += 1
+                                lentry[1] += len(r[_SUCCS])
+                recs[index] = rec
+                if prof is not None:
+                    t1 = perf()
+                    phase_s["successor_gen"] += t1 - t0
+                    phase_calls["successor_gen"] += 1
+                    t0 = t1
+                out_edges = edges[index] = []
+                had_successor = False
+                for r in expansion:
+                    succs = r[_SUCCS]
+                    if not succs:
+                        continue
+                    had_successor = True
+                    action = r[_ACTION]
+                    for writes, wm2 in succs:
+                        transitions += 1
+                        child = list(vec)
+                        for slot, vid in writes:
+                            child[slot] = vid
+                        tvec = tuple(child)
+                        if use_symmetry:
+                            cidx = raw_memo.get(tvec)
+                            if cidx is not None:
+                                out_edges.append(cidx)
+                                continue
+                            canon_state = checker._canonical(cs.to_state(tvec))
+                            cvec = cs.to_vector(canon_state)
+                            if cvec != tvec:
+                                wm2 = all_mask
+                            new_index = nvecs
+                            existing = seen.setdefault(cvec, new_index)
+                            if existing != new_index:
+                                raw_memo[tvec] = existing
+                                out_edges.append(existing)
+                                continue
+                            raw_memo[tvec] = new_index
+                            tvec = cvec
+                        else:
+                            new_index = nvecs
+                            existing = seen.setdefault(tvec, new_index)
+                            if existing != new_index:
+                                out_edges.append(existing)
+                                continue
+                        nvecs = new_index + 1
+                        vecs.append(tvec)
+                        parent.append((index, action))
+                        new_depth = depth[index] + 1
+                        depth.append(new_depth)
+                        wmask_of.append(wm2)
+                        recs.append(None)
+                        if new_depth > diameter:
+                            diameter = new_depth
+                        out_edges.append(new_index)
+                        if prof is not None:
+                            t1 = perf()
+                            phase_s["dedup"] += t1 - t0
+                            phase_calls["dedup"] += 1
+                            t0 = t1
+                        # Invariant delta skip: the parent passed and no
+                        # property-read slot was written.
+                        if (inv_ok[index] and not (wm2 & inv_union_rmask)):
+                            inv_ok.append(True)
+                            inv_passed = True
+                        else:
+                            inv_passed = check_invariants(new_index)
+                            new_union = 0
+                            for prop in inv_entries:
+                                new_union |= prop.rmask
+                            inv_union_rmask = new_union
+                        if prof is not None:
+                            t1 = perf()
+                            phase_s["property_eval"] += t1 - t0
+                            phase_calls["property_eval"] += 1
+                            t0 = t1
+                        if not inv_passed and stop_at_first:
+                            stop = True
+                            break
+                        next_frontier.append(new_index)
+                        if nvecs > max_states:
+                            raise MemoryError(
+                                f"state space exceeds {max_states} states")
+                    if stop:
+                        break
+                if not stop and check_deadlock and not had_successor:
+                    alive = False
+                    for slot in live_pc_slots:
+                        if vec[slot] != none_id:
+                            alive = True
+                            break
+                    if alive:
+                        violations.append(
+                            Violation("deadlock", "no-enabled-step",
+                                      trace_to(index)))
+                        if stop_at_first:
+                            stop = True
+                if stop:
+                    break
+            prev_len = len(frontier)
+            frontier = next_frontier
+            bfs_round += 1
+            if tracer is not None:
+                now = perf() - start_time
+                tracer.round_span("compiled", bfs_round - 1,
+                                  round_t0 - start_time, now,
+                                  frontier=prev_len)
+                tracer.counter("frontier depth", now,
+                               {"states": len(frontier)})
+                if transitions:
+                    tracer.counter("dedup", now, {
+                        "hit_rate": round(1 - nvecs / transitions, 4)})
+            if checker.progress is not None:
+                checker._progress_round(bfs_round, nvecs, len(frontier),
+                                        prev_len, transitions, start_time)
+
+        explore_end = perf()
+        if not stop and spec.eventually_always:
+            live_t0 = perf()
+            violations.extend(
+                _check_liveness_compiled(checker, cs, vecs, edges, depth,
+                                         trace_to))
+            if prof is not None:
+                prof.add("liveness", perf() - live_t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    elapsed = time.perf_counter() - start_time
+    stats = {"engine": "compiled", "compiled": cs.coverage()}
+    stats["compiled"]["delta_reuses"] = delta_reuses
+    stats["compiled"]["probes"] = probes
+    checker._record_auto_choice(stats)
+    if prof is not None:
+        exploration_s = explore_end - explore_t0
+        prof.busy_s = exploration_s
+        stats["profile"] = checker._profile_artifact(
+            prof, engine="compiled", total_s=elapsed,
+            exploration_s=exploration_s,
+            counts={"states": len(vecs), "transitions": transitions,
+                    "diameter": diameter})
+    if tracer is not None:
+        tracer.write(checker.trace_out)
+    if checker.progress is not None:
+        checker.progress.done(states=len(vecs), transitions=transitions,
+                              diameter=diameter,
+                              elapsed_s=round(elapsed, 2))
+    result = CheckResult(not violations, len(vecs), transitions,
+                         diameter, elapsed, violations, stats=stats)
+    if checker.registry is not None:
+        checker._report_metrics(result)
+    return result
+
+
+def _tarjan_flat(n: int, edges: dict) -> list[list[int]]:
+    """Iterative Tarjan over 0..n-1, tuned for the compiled engine.
+
+    Computes the same SCC partition as ``checker._tarjan`` (partition
+    identity is all the liveness pass consumes — the witness is the
+    order-independent minimal (depth, fingerprint)), but keeps the DFS
+    work stack in parallel lists instead of repacked tuples and skips
+    the per-edge ``edges.get``.
+    """
+    index = [-1] * n
+    low = [0] * n
+    on_stack = bytearray(n)
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = 0
+    empty: tuple = ()
+    wnode: list[int] = []
+    wpos: list[int] = []
+    wout: list = []
+    edges_get = edges.get
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        wnode.append(root)
+        wpos.append(0)
+        wout.append(edges_get(root, empty))
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = 1
+        while wnode:
+            node = wnode[-1]
+            out = wout[-1]
+            pos = wpos[-1]
+            nout = len(out)
+            advanced = False
+            lown = low[node]
+            while pos < nout:
+                succ = out[pos]
+                pos += 1
+                si = index[succ]
+                if si == -1:
+                    wpos[-1] = pos
+                    low[node] = lown
+                    wnode.append(succ)
+                    wpos.append(0)
+                    wout.append(edges_get(succ, empty))
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = 1
+                    advanced = True
+                    break
+                if on_stack[succ] and si < lown:
+                    lown = si
+            if advanced:
+                continue
+            low[node] = lown
+            wnode.pop()
+            wpos.pop()
+            wout.pop()
+            if wnode:
+                p = wnode[-1]
+                if lown < low[p]:
+                    low[p] = lown
+            if lown == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = 0
+                    component.append(w)
+                    if w == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def _check_liveness_compiled(checker, cs: CompiledSpec, vecs, edges, depth,
+                             trace_to) -> list[Violation]:
+    """◇□ over vectors: same terminal-SCC pass, same canonical witness
+    (minimal (BFS depth, state fingerprint)) as the interpreted engine,
+    with predicate evaluation memoized per property."""
+    sccs = _tarjan_flat(len(vecs), edges)
+    scc_of = [0] * len(vecs)
+    for scc_id, members in enumerate(sccs):
+        for node in members:
+            scc_of[node] = scc_id
+    terminal = [True] * len(sccs)
+    for node, outs in edges.items():
+        own = scc_of[node]
+        for out in outs:
+            if scc_of[out] != own:
+                terminal[own] = False
+    violations = []
+    for prop in cs.liveness_entries:
+        value = prop.value
+        best = None  # ((depth, fingerprint), node)
+        for scc_id, members in enumerate(sccs):
+            if not terminal[scc_id]:
+                continue
+            for node in members:
+                if not value(vecs[node]):
+                    key = (depth[node],
+                           fingerprint_state(cs.to_state(vecs[node])))
+                    if best is None or key < best[0]:
+                        best = (key, node)
+        if best is not None:
+            violations.append(
+                Violation("liveness", prop.name, trace_to(best[1])))
+    return violations
+
+
+# -- NADIR codegen tier -------------------------------------------------------
+def _attach_codegen(cs: CompiledSpec, entry: _LabelEntry) -> None:
+    """Attach a generated closure when the spec carries a NADIR AST.
+
+    The closure becomes the entry's *fill* executor: guard first, direct
+    slot reads/writes, queue macros inlined — and its read set is the
+    statically complete AST footprint, so the memo key never has to
+    grow.  Labels without a block (or with statements outside the
+    supported vocabulary) keep the interpreted fill; that *is* the
+    fallback path the coverage stats report.
+    """
+    program = getattr(cs.spec, "nadir_program", None)
+    if program is None:
+        return
+    try:
+        from .compile_nadir import compile_label
+    except ImportError:  # pragma: no cover - optional tier
+        return
+    compiled = compile_label(cs, entry, program)
+    if compiled is None:
+        return
+    fn, read_slots = compiled
+    entry.codegen_fn = fn
+    entry.tier = "codegen"
+    entry.keyslots = sorted(read_slots)
+    if entry.keyslots:
+        entry.getter = (itemgetter(*entry.keyslots)
+                        if len(entry.keyslots) > 1
+                        else itemgetter(entry.keyslots[0]))
+    for slot in entry.keyslots:
+        entry.rmask |= 1 << slot

@@ -1,0 +1,271 @@
+"""NADIR AST → specialized fill closures (the compiled engine's codegen tier).
+
+:class:`~repro.spec.compile._LabelEntry` normally *learns* a label by
+running it once under a read-recording ``Ctx`` (the memo tier).  When
+the spec was built by :func:`repro.nadir.interp.program_to_spec` it
+carries the annotated :class:`~repro.nadir.ast_nodes.Program` — the
+same AST :mod:`repro.analysis.deps` walks for footprints — and each
+labeled block can instead be translated once into a straight-line
+Python function over the flat slot vector:
+
+* guard tests (``await``, empty-queue blocks) come first on their
+  paths and abort with ``blocked`` before any write is published;
+* every read is a direct ``values[vec[slot]]`` load and every write a
+  local variable assignment — no ``Ctx``, no name→index dict lookups;
+* the queue macros (FIFOPut/FIFOGet and the peek/pop ack discipline of
+  Listing 3) are inlined as tuple slicing, including the
+  pop-without-peek :class:`~repro.spec.lang.QueueDisciplineError`;
+* primitives and helpers call the *same* callables the interpreter
+  uses (``_PRIMS`` entries, ``Program.helpers`` functions), so value
+  semantics — including the eager, non-short-circuiting ``and``/``or``
+  the interpreter implements — cannot drift.
+
+The generated function's read set is the static all-paths footprint of
+the block (reads ∪ writes: a slot assigned on one branch is re-emitted
+from its parent value on the other, so it must be loaded), which means
+the memo key is complete up front and never grows.  Write masks are
+the static assigned-slot superset — sound for delta reuse and
+invariant skipping exactly like the interp tier's assigned ⊇ changed
+over-approximation, and byte-identical in every ``to_json`` field.
+
+Anything outside this vocabulary — an unknown statement or primitive,
+a helper the program does not define, a label the process does not
+declare — makes :func:`compile_label` return ``None`` and the label
+stays on the memo tier: degraded coverage, never a miscompile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nadir.ast_nodes import (
+    AckPopStmt,
+    AckReadStmt,
+    AwaitStmt,
+    CallStmt,
+    Const,
+    DoneStmt,
+    Expr,
+    FifoGetStmt,
+    FifoPutStmt,
+    Global,
+    GotoStmt,
+    HelperCall,
+    IfStmt,
+    LocalVar,
+    Prim,
+    SetGlobal,
+    SetLocal,
+    SkipStmt,
+    _PRIMS,
+)
+from .lang import FrozenRecord, QueueDisciplineError
+
+__all__ = ["compile_label"]
+
+
+class _Unsupported(Exception):
+    """The block uses vocabulary the generator does not cover."""
+
+
+class _Emitter:
+    """Accumulates generated lines plus the slots they read and write."""
+
+    def __init__(self, cs, proc_index: int, program):
+        self.cs = cs
+        self.proc_index = proc_index
+        self.program = program
+        self.local_index = cs.spec.processes[proc_index].local_index
+        self.lines: list[str] = []
+        self.reads: set[int] = set()
+        self.writes: set[int] = set()
+        self.consts: list = []
+
+    # -- slot resolution -----------------------------------------------------
+    def global_slot(self, name: str) -> int:
+        slot = self.cs.global_slot.get(name)
+        if slot is None:
+            raise _Unsupported(f"unknown global {name!r}")
+        return slot
+
+    def local_slot(self, name: str) -> int:
+        index = self.local_index.get(name)
+        if index is None:
+            raise _Unsupported(f"unknown local {name!r}")
+        return self.cs.local_slots[self.proc_index][index]
+
+    def _const(self, value) -> str:
+        if isinstance(value, (bool, int, str, type(None))):
+            return repr(value)
+        self.consts.append(value)
+        return f"C[{len(self.consts) - 1}]"
+
+    # -- expressions ---------------------------------------------------------
+    def expr(self, node: Expr) -> str:
+        if isinstance(node, Const):
+            return self._const(node.value)
+        if isinstance(node, Global):
+            slot = self.global_slot(node.name)
+            self.reads.add(slot)
+            return f"g{slot}"
+        if isinstance(node, LocalVar):
+            slot = self.local_slot(node.name)
+            self.reads.add(slot)
+            return f"g{slot}"
+        if isinstance(node, Prim):
+            if node.op not in _PRIMS:
+                raise _Unsupported(f"unknown primitive {node.op!r}")
+            args = ", ".join(self.expr(a) for a in node.args)
+            call = f"P[{node.op!r}]({args})"
+            if node.op in ("record", "set_field"):
+                # States must be hashable: structs become frozen
+                # records, exactly as the interpreter wraps them.
+                return f"FR({call})"
+            return call
+        if isinstance(node, HelperCall):
+            if node.name not in self.program.helpers:
+                raise _Unsupported(f"unknown helper {node.name!r}")
+            args = ", ".join(self.expr(a) for a in node.args)
+            return f"H[{node.name!r}]({args})"
+        raise _Unsupported(f"unknown expression {type(node).__name__}")
+
+    # -- statements ----------------------------------------------------------
+    def emit(self, stmt, indent: str) -> None:
+        if isinstance(stmt, SkipStmt):
+            self.lines.append(f"{indent}pass")
+            return
+        if isinstance(stmt, CallStmt):
+            self.lines.append(f"{indent}{self.expr(stmt.call)}")
+            return
+        if isinstance(stmt, SetGlobal):
+            value = self.expr(stmt.value)
+            slot = self.global_slot(stmt.name)
+            self.reads.add(slot)  # re-emitted on non-assigning paths
+            self.writes.add(slot)
+            self.lines.append(f"{indent}g{slot} = {value}")
+            return
+        if isinstance(stmt, SetLocal):
+            value = self.expr(stmt.value)
+            slot = self.local_slot(stmt.name)
+            self.reads.add(slot)
+            self.writes.add(slot)
+            self.lines.append(f"{indent}g{slot} = {value}")
+            return
+        if isinstance(stmt, FifoGetStmt):
+            q = self.global_slot(stmt.queue)
+            t = self.local_slot(stmt.target)
+            self.reads.update((q, t))
+            self.writes.update((q, t))
+            self.lines.append(f"{indent}if not g{q}: return True")
+            self.lines.append(f"{indent}g{t} = g{q}[0]")
+            self.lines.append(f"{indent}g{q} = g{q}[1:]")
+            return
+        if isinstance(stmt, FifoPutStmt):
+            value = self.expr(stmt.value)
+            q = self.global_slot(stmt.queue)
+            self.reads.add(q)
+            self.writes.add(q)
+            self.lines.append(f"{indent}g{q} = g{q} + ({value},)")
+            return
+        if isinstance(stmt, AckReadStmt):
+            q = self.global_slot(stmt.queue)
+            t = self.local_slot(stmt.target)
+            self.reads.update((q, t))
+            self.writes.add(t)
+            self.lines.append(f"{indent}if not g{q}: return True")
+            self.lines.append(f"{indent}g{t} = g{q}[0]")
+            return
+        if isinstance(stmt, AckPopStmt):
+            q = self.global_slot(stmt.queue)
+            self.reads.add(q)
+            self.writes.add(q)
+            message = (f"ack_pop on empty queue {stmt.queue!r}: no peeked "
+                       "head to remove (pop-without-peek)")
+            self.lines.append(f"{indent}if not g{q}: raise QDE({message!r})")
+            self.lines.append(f"{indent}g{q} = g{q}[1:]")
+            return
+        if isinstance(stmt, AwaitStmt):
+            self.lines.append(
+                f"{indent}if not ({self.expr(stmt.condition)}): return True")
+            return
+        if isinstance(stmt, IfStmt):
+            self.lines.append(f"{indent}if {self.expr(stmt.condition)}:")
+            self._branch(stmt.then, indent + "    ")
+            if stmt.orelse:
+                self.lines.append(f"{indent}else:")
+                self._branch(stmt.orelse, indent + "    ")
+            return
+        if isinstance(stmt, GotoStmt):
+            self.lines.append(f"{indent}_npc = {stmt.label!r}")
+            return
+        if isinstance(stmt, DoneStmt):
+            self.lines.append(f"{indent}_npc = None")
+            return
+        raise _Unsupported(f"unknown statement {type(stmt).__name__}")
+
+    def _branch(self, body, indent: str) -> None:
+        if not body:
+            self.lines.append(f"{indent}pass")
+            return
+        for inner in body:
+            self.emit(inner, indent)
+
+
+def _find_block(cs, entry, program):
+    for definition in program.processes:
+        if definition.name != entry.process.name:
+            continue
+        for block in definition.blocks:
+            if block.label == entry.label:
+                return block
+    return None
+
+
+def compile_label(cs, entry, program) -> Optional[tuple]:
+    """Translate one labeled block into a fill executor.
+
+    Returns ``(fn, read_slots)`` where ``fn(cs, vec, state, succs)``
+    appends at most one ``(writes, wmask)`` pair (NADIR blocks are
+    deterministic — no ``choose``) and returns True iff the step
+    blocked, or ``None`` when the block is outside the supported
+    vocabulary (the caller keeps the memo tier).
+    """
+    block = _find_block(cs, entry, program)
+    if block is None:
+        return None
+    emitter = _Emitter(cs, entry.proc_index, program)
+    try:
+        for stmt in block.body:
+            emitter.emit(stmt, "        ")
+    except _Unsupported:
+        return None
+
+    pc_slot = cs.pc_slots[entry.proc_index]
+    write_slots = sorted(emitter.writes | {pc_slot})
+    wmask = 0
+    for slot in write_slots:
+        wmask |= 1 << slot
+    read_slots = (emitter.reads | emitter.writes) - {pc_slot}
+
+    lines = ["def _make(cs, C, H, P, FR, QDE):",
+             "    values = cs._values",
+             "    def _step(_cs, vec, state, succs):",
+             "        intern = cs.intern"]
+    for slot in sorted(read_slots):
+        lines.append(f"        g{slot} = values[vec[{slot}]]")
+    lines.append(f"        _npc = {entry.default_next!r}")
+    lines.extend(emitter.lines)
+    pairs = ", ".join(
+        f"({slot}, intern(_npc))" if slot == pc_slot
+        else f"({slot}, intern(g{slot}))"
+        for slot in write_slots)
+    lines.append(f"        succs.append((({pairs},), {wmask}))")
+    lines.append("        return False")
+    lines.append("    return _step")
+    namespace: dict = {}
+    exec(compile("\n".join(lines),                      # noqa: S102
+                 f"<nadir-codegen {entry.action}>", "exec"), namespace)
+    helpers = {name: fn for name, (_p, _s, fn) in program.helpers.items()}
+    fn = namespace["_make"](cs, tuple(emitter.consts), helpers, _PRIMS,
+                            FrozenRecord, QueueDisciplineError)
+    return fn, read_slots

@@ -62,6 +62,9 @@ from __future__ import annotations
 
 import hashlib
 import marshal
+import mmap
+import os
+import struct
 from typing import Iterable, Optional
 
 from .lang import State, changed_slots
@@ -70,10 +73,12 @@ __all__ = [
     "FingerprintCollisionError",
     "FingerprintStore",
     "IncrementalFingerprinter",
+    "ShardFileError",
     "canonical_bytes",
     "fingerprint_bytes",
     "fingerprint_state",
     "shard_of",
+    "spill_threshold_from_env",
 ]
 
 #: Global shard count = 2**_SHARD_BITS; shards are dealt to workers
@@ -88,6 +93,184 @@ class FingerprintCollisionError(Exception):
     Only detectable (and raised) in exact mode; a hash-only store would
     silently prune one of the states.
     """
+
+
+class ShardFileError(Exception):
+    """A spill shard file is corrupt (bad magic, truncated, bad size).
+
+    Raised loudly on open/probe instead of treating a damaged file as
+    an empty seen-set, which would silently re-admit visited states and
+    corrupt dedup counts.
+    """
+
+
+#: Spill shard file layout: a 32-byte header followed by ``capacity``
+#: fixed-width 8-byte little-endian slots, open-addressed by the
+#: fingerprint's low bits with linear probing.  Slot value 0 means
+#: empty (a real fingerprint of 0 stays in the in-memory tier forever).
+_SPILL_MAGIC = b"ZFPS1\0"
+_SPILL_HEADER = struct.Struct("<6s2xQQ8x")  # magic, capacity, count
+_SPILL_HEADER_SIZE = 32
+assert _SPILL_HEADER.size == _SPILL_HEADER_SIZE
+
+#: Default in-memory entries per shard before spilling to disk.
+_SPILL_THRESHOLD = 1 << 16
+#: Initial slot count of a fresh shard file (grows by doubling).
+_SPILL_INITIAL_CAPACITY = 1 << 15
+#: Load factor that triggers a rehash into a doubled file.
+_SPILL_MAX_LOAD = 0.6
+
+
+def spill_threshold_from_env(default: int = _SPILL_THRESHOLD) -> int:
+    """The per-shard spill threshold, overridable via REPRO_FP_SPILL.
+
+    CI uses a tiny value to force the spill path on small specs without
+    burning 10⁷ states; the variable holds the entry count per shard.
+    """
+    raw = os.environ.get("REPRO_FP_SPILL")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_FP_SPILL must be an integer entry count, got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(f"REPRO_FP_SPILL must be >= 1, got {value}")
+    return value
+
+
+class _SpillShard:
+    """One shard's on-disk open-addressed fingerprint table (mmap'd).
+
+    The file is probed in place; growth rewrites into a sibling file
+    and atomically replaces (``os.replace``), so a crash leaves either
+    the old or the new complete table, never a half-written one.  The
+    header ``count`` is updated per insert, making truncation and
+    header/size mismatches detectable on reopen.
+    """
+
+    __slots__ = ("path", "_file", "_mm", "capacity", "count")
+
+    def __init__(self, path: str, capacity: int = _SPILL_INITIAL_CAPACITY):
+        self.path = path
+        if os.path.exists(path):
+            self._open_existing()
+        else:
+            self._create(capacity)
+
+    def _create(self, capacity: int) -> None:
+        size = _SPILL_HEADER_SIZE + capacity * 8
+        with open(self.path, "wb") as handle:
+            handle.write(_SPILL_HEADER.pack(_SPILL_MAGIC, capacity, 0))
+            handle.truncate(size)
+        self._map(capacity, 0)
+
+    def _open_existing(self) -> None:
+        size = os.path.getsize(self.path)
+        if size < _SPILL_HEADER_SIZE:
+            raise ShardFileError(
+                f"spill shard {self.path}: {size} bytes is smaller than "
+                f"the {_SPILL_HEADER_SIZE}-byte header (truncated?)")
+        with open(self.path, "rb") as handle:
+            header = handle.read(_SPILL_HEADER_SIZE)
+        magic, capacity, count = _SPILL_HEADER.unpack(header)
+        if magic != _SPILL_MAGIC:
+            raise ShardFileError(
+                f"spill shard {self.path}: bad magic {magic!r} "
+                f"(not a {_SPILL_MAGIC!r} shard file)")
+        expected = _SPILL_HEADER_SIZE + capacity * 8
+        if size != expected:
+            raise ShardFileError(
+                f"spill shard {self.path}: file is {size} bytes but the "
+                f"header claims capacity {capacity} ({expected} bytes) — "
+                "truncated or partially written; delete the store "
+                "directory to restart from an empty seen-set")
+        if count > capacity:
+            raise ShardFileError(
+                f"spill shard {self.path}: header count {count} exceeds "
+                f"capacity {capacity}")
+        self._map(capacity, count)
+
+    def _map(self, capacity: int, count: int) -> None:
+        self.capacity = capacity
+        self.count = count
+        self._file = open(self.path, "r+b")
+        self._mm = mmap.mmap(self._file.fileno(), 0)
+
+    def __contains__(self, fp: int) -> bool:
+        mm = self._mm
+        mask = self.capacity - 1
+        index = fp & mask
+        while True:
+            offset = _SPILL_HEADER_SIZE + index * 8
+            slot = int.from_bytes(mm[offset:offset + 8], "little")
+            if slot == 0:
+                return False
+            if slot == fp:
+                return True
+            index = (index + 1) & mask
+
+    def insert(self, fp: int) -> bool:
+        """Add ``fp``; True iff it was new.  ``fp`` must be nonzero."""
+        if self.count + 1 > self.capacity * _SPILL_MAX_LOAD:
+            self._grow()
+        mm = self._mm
+        mask = self.capacity - 1
+        index = fp & mask
+        while True:
+            offset = _SPILL_HEADER_SIZE + index * 8
+            slot = int.from_bytes(mm[offset:offset + 8], "little")
+            if slot == 0:
+                mm[offset:offset + 8] = fp.to_bytes(8, "little")
+                self.count += 1
+                _SPILL_HEADER.pack_into(mm, 0, _SPILL_MAGIC, self.capacity,
+                                        self.count)
+                return True
+            if slot == fp:
+                return False
+            index = (index + 1) & mask
+
+    def _grow(self) -> None:
+        old_mm = self._mm
+        old_capacity = self.capacity
+        capacity = old_capacity * 2
+        size = _SPILL_HEADER_SIZE + capacity * 8
+        tmp_path = self.path + ".rehash"
+        with open(tmp_path, "wb") as handle:
+            handle.write(_SPILL_HEADER.pack(_SPILL_MAGIC, capacity,
+                                            self.count))
+            handle.truncate(size)
+        with open(tmp_path, "r+b") as handle:
+            new_mm = mmap.mmap(handle.fileno(), 0)
+            mask = capacity - 1
+            for old_index in range(old_capacity):
+                offset = _SPILL_HEADER_SIZE + old_index * 8
+                raw = old_mm[offset:offset + 8]
+                if raw == b"\0" * 8:
+                    continue
+                fp = int.from_bytes(raw, "little")
+                index = fp & mask
+                while True:
+                    dst = _SPILL_HEADER_SIZE + index * 8
+                    if new_mm[dst:dst + 8] == b"\0" * 8:
+                        new_mm[dst:dst + 8] = raw
+                        break
+                    index = (index + 1) & mask
+            new_mm.flush()
+            new_mm.close()
+        self.close()
+        os.replace(tmp_path, self.path)
+        self._map(capacity, self.count)
+
+    def file_bytes(self) -> int:
+        return _SPILL_HEADER_SIZE + self.capacity * 8
+
+    def close(self) -> None:
+        self._mm.flush()
+        self._mm.close()
+        self._file.close()
 
 
 def _marshal_key(value):
@@ -282,7 +465,9 @@ class FingerprintStore:
     """
 
     def __init__(self, owned: Optional[Iterable[int]] = None,
-                 exact: bool = False):
+                 exact: bool = False,
+                 spill_dir: Optional[str] = None,
+                 spill_threshold: Optional[int] = None):
         self.exact = exact
         self._owned = (frozenset(owned) if owned is not None
                        else frozenset(range(SHARDS)))
@@ -290,6 +475,44 @@ class FingerprintStore:
         self._payloads: dict[int, bytes] = {} if exact else None
         self.hits = 0    #: dedup hits (fingerprint already present)
         self.adds = 0    #: fingerprints accepted as new
+        self.spills = 0  #: shard flushes into the mmap tier
+        if exact and spill_dir is not None:
+            raise ValueError(
+                "exact mode keeps full canonical payloads, which do not "
+                "fit the fixed-width spill slots; drop exact or spill_dir")
+        self.spill_dir = spill_dir
+        self.spill_threshold = (spill_threshold if spill_threshold is not None
+                                else spill_threshold_from_env())
+        self._spill: dict[int, _SpillShard] = {}
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+            # Reopen any existing shard files up front: membership must
+            # survive a close/reopen cycle (crash-resume, swarm rounds),
+            # and a corrupt file must fail loudly now, not mid-run.
+            for shard in self._owned:
+                path = self._spill_path(shard)
+                if os.path.exists(path):
+                    self._spill[shard] = _SpillShard(path)
+
+    def _spill_path(self, shard: int) -> str:
+        return os.path.join(self.spill_dir, f"shard-{shard:02d}.zfp")
+
+    def _spill_shard(self, shard: int) -> None:
+        """Flush a shard's in-memory tier into its mmap file."""
+        tier = self._spill.get(shard)
+        if tier is None:
+            tier = self._spill[shard] = _SpillShard(self._spill_path(shard))
+        bucket = self._shards[shard]
+        keep_zero = 0 in bucket
+        for fp in bucket:
+            if fp:
+                tier.insert(fp)
+        bucket.clear()
+        if keep_zero:
+            # 0 is the empty-slot sentinel on disk; a real fingerprint
+            # of 0 lives in memory forever (one int, once per run).
+            bucket.add(0)
+        self.spills += 1
 
     def add(self, fp: int, payload: Optional[bytes] = None) -> bool:
         """Record ``fp``; True iff it was new.
@@ -312,27 +535,59 @@ class FingerprintStore:
                     "smaller model")
             self.hits += 1
             return False
+        tier = self._spill.get(shard)
+        if tier is not None and fp in tier:
+            self.hits += 1
+            return False
         if self.exact:
             if payload is None:
                 raise ValueError("exact mode requires the canonical bytes")
             self._payloads[fp] = payload
         bucket.add(fp)
         self.adds += 1
+        if (self.spill_dir is not None
+                and len(bucket) >= self.spill_threshold):
+            self._spill_shard(shard)
         return True
 
     def __contains__(self, fp: int) -> bool:
-        bucket = self._shards.get(shard_of(fp))
-        return bucket is not None and fp in bucket
+        shard = shard_of(fp)
+        bucket = self._shards.get(shard)
+        if bucket is None:
+            return False
+        if fp in bucket:
+            return True
+        tier = self._spill.get(shard)
+        return tier is not None and fp in tier
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._shards.values())
+        return (sum(len(bucket) for bucket in self._shards.values())
+                + sum(tier.count for tier in self._spill.values()))
 
     def shard_sizes(self) -> dict[int, int]:
         """Occupancy per owned shard (for balance diagnostics)."""
-        return {shard: len(bucket)
+        return {shard: len(bucket) + (self._spill[shard].count
+                                      if shard in self._spill else 0)
                 for shard, bucket in sorted(self._shards.items())}
 
     def hit_rate(self) -> float:
         """Fraction of ``add`` calls that were duplicates."""
         total = self.hits + self.adds
         return self.hits / total if total else 0.0
+
+    def store_bytes(self) -> int:
+        """Measured seen-set footprint: spill file bytes plus a nominal
+        8 bytes per in-memory fingerprint (the ablation metric the
+        modeled figure approximates)."""
+        return (sum(tier.file_bytes() for tier in self._spill.values())
+                + sum(len(bucket) for bucket in self._shards.values()) * 8)
+
+    def spilled(self) -> int:
+        """Fingerprints currently held by the mmap tier."""
+        return sum(tier.count for tier in self._spill.values())
+
+    def close(self) -> None:
+        """Flush and close spill shard files (memory tiers remain)."""
+        for tier in self._spill.values():
+            tier.close()
+        self._spill.clear()

@@ -110,7 +110,9 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
             check_deadlock=options["check_deadlock"],
             validate_por_hints=False,
             por_deps=options.get("por_deps", False),
-            profile=options.get("profile", False))
+            profile=options.get("profile", False),
+            compiled=options.get("compiled", False),
+            uncompiled_labels=options.get("uncompiled_labels", ()))
         # Worker-local phase/label profiler; snapshots ship back on
         # finalize and the coordinator merges them (repro.obs.prof).
         prof = checker.profiler
@@ -121,9 +123,17 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
         exact = options["exact"]
         need_liveness = bool(spec.eventually_always)
         live_predicates = list(spec.eventually_always.values())
+        # Workers own disjoint shards, and spill shard files are named
+        # by shard index, so every worker can spill into the same
+        # --store-dir without coordination.
+        store_dir = options.get("store_dir")
         store = FingerprintStore(
             owned=[s for s in range(SHARDS) if s % nworkers == worker_id],
-            exact=exact)
+            exact=exact, spill_dir=store_dir)
+        #: Membership probes hit mmap pages once a shard spills; charge
+        #: them to the "spill" phase so the profile separates disk-tier
+        #: dedup from the in-memory sets.
+        dedup_phase = "spill" if store_dir is not None else "dedup"
         breadcrumbs: dict[int, tuple[Optional[int], str]] = {}
         depth_of: dict[int, int] = {}
         live_bits: dict[int, tuple] = {}
@@ -161,8 +171,8 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
                         t0 = perf()
                         added = store.add(fp, payload)
                         t1 = perf()
-                        phase_s["dedup"] += t1 - t0
-                        phase_calls["dedup"] += 1
+                        phase_s[dedup_phase] += t1 - t0
+                        phase_calls[dedup_phase] += 1
                     if not added:
                         duplicates += 1
                         continue
@@ -248,6 +258,9 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
                     "outbox": outbox_blobs,
                     "self_pending": len(local_next),
                     "store_len": len(store),
+                    "store_bytes": store.store_bytes(),
+                    "spilled": store.spilled(),
+                    "spills": store.spills,
                     "hit_rate": round(store.hit_rate(), 6),
                     "explore_s": serialize_t0 - explore_t0,
                     "serialize_s": serialize_end - serialize_t0,
@@ -278,9 +291,16 @@ def _worker_main(conn, worker_id: int, nworkers: int, source: SpecSource,
 
 # -- coordinator side ---------------------------------------------------------
 class _Pool:
-    """The spawned workers plus crash-aware messaging."""
+    """The spawned workers plus crash-aware messaging.
 
-    def __init__(self, nworkers: int, source: SpecSource, options: dict):
+    ``target`` is the module-level worker entry point — the BFS
+    :func:`_worker_main` by default; the swarm driver
+    (:mod:`repro.spec.swarm`) passes its randomized-DFS worker and
+    inherits the same death detection and error relaying.
+    """
+
+    def __init__(self, nworkers: int, source: SpecSource, options: dict,
+                 target=None):
         import multiprocessing
 
         ctx = multiprocessing.get_context("spawn")
@@ -290,7 +310,7 @@ class _Pool:
         for wid in range(nworkers):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
-                target=_worker_main,
+                target=target if target is not None else _worker_main,
                 args=(child_conn, wid, nworkers, source, options),
                 daemon=True, name=f"spec-check-{wid}")
             proc.start()
@@ -451,6 +471,9 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
         "exact": checker.exact_fingerprints,
         "por_deps": checker.use_por_deps,
         "profile": checker.profile,
+        "compiled": checker.compiled,
+        "uncompiled_labels": checker.uncompiled_labels,
+        "store_dir": checker.store_dir,
     }
     pool = _Pool(nworkers, source, options)
     try:
@@ -466,6 +489,9 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
             (-1, pickle.dumps([(init, init_fp, None, "<init>")])))
         depth = 0
         total_states = total_transitions = total_duplicates = 0
+        #: Latest per-worker seen-set footprint (bytes, spilled fps,
+        #: shard flushes) — summed into the result stats.
+        store_gauges: list = [(0, 0, 0)] * nworkers
         diameter = 0
         raw_violations: list[tuple] = []  # (kind, name, depth, fp)
         prev_accepted = 1
@@ -486,6 +512,8 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
                 round_transitions += stats["transitions"]
                 total_duplicates += stats["duplicates"]
                 self_pending += stats["self_pending"]
+                store_gauges[wid] = (stats["store_bytes"],
+                                     stats["spilled"], stats["spills"])
                 raw_violations.extend(stats["violations"])
                 for dest, blob in sorted(stats["outbox"].items()):
                     pending[dest].append((wid, blob))
@@ -606,7 +634,13 @@ def run_parallel(checker: ModelChecker) -> CheckResult:
             "explore_s": round(explore_s, 3),
             "dedup_hits": total_duplicates,
             "exact": checker.exact_fingerprints,
+            "compiled": checker.compiled,
+            "store_bytes": sum(g[0] for g in store_gauges),
+            "spilled": sum(g[1] for g in store_gauges),
+            "spills": sum(g[2] for g in store_gauges),
         })
+    if checker.store_dir is not None:
+        result.stats["store_dir"] = checker.store_dir
     checker._record_auto_choice(result.stats)
     if explore_s > 0:
         result.stats["states_per_s"] = round(total_states / explore_s, 1)

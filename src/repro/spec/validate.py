@@ -36,10 +36,22 @@ _PARALLEL_EXTRA = (
     ("spawn_s", (int, float)),
     ("explore_s", (int, float)),
     ("speedup", (int, float)),
+    ("store_bytes", int),
     ("match", bool),
 )
 _FP_EXTRA = (("match", bool),)
 _FP_INCREMENTAL_EXTRA = _FP_EXTRA + (("speedup_vs_full", (int, float)),)
+_COMPILED_EXTRA = (
+    ("interpreted_elapsed_s", (int, float)),
+    ("repeat", int),
+    ("speedup_vs_interpreted", (int, float)),
+    ("coverage", (int, float)),
+    ("labels_codegen", int),
+    ("labels_memo", int),
+    ("labels_interp", int),
+    ("match", bool),
+    ("byte_identical", bool),
+)
 
 
 def _check_run(run: Any, where: str, fields, problems: list[str]) -> None:
@@ -118,6 +130,19 @@ def validate_artifact(artifact: Any) -> list[str]:
                     f"{where}.serial_fp.{mode}.match must be true "
                     "(fingerprint-dedup run disagreed with the default "
                     "serial engine)")
+        compiled = entry.get("compiled")
+        _check_run(compiled, f"{where}.compiled",
+                   _RUN_FIELDS + _COMPILED_EXTRA, problems)
+        if isinstance(compiled, dict):
+            if compiled.get("match") is not True:
+                problems.append(
+                    f"{where}.compiled.match must be true (compiled run "
+                    "disagreed with the serial engine on the state space)")
+            if compiled.get("byte_identical") is not True:
+                problems.append(
+                    f"{where}.compiled.byte_identical must be true "
+                    "(compiled canonical output must not differ from the "
+                    "interpreted engine by a single byte)")
         profile = entry.get("profile")
         if profile is None:
             problems.append(f"{where}.profile section missing (run a "
@@ -175,6 +200,34 @@ def validate_artifact(artifact: Any) -> list[str]:
             and fp_gate["spec"] not in specs:
         problems.append(
             f"fp_gate.spec {fp_gate['spec']!r} not among benched specs")
+
+    compiled_gate = artifact.get("compiled_gate")
+    if not isinstance(compiled_gate, dict):
+        problems.append("missing compiled_gate section")
+        compiled_gate = {}
+    for key in ("min_speedup", "target_speedup", "speedup"):
+        if not isinstance(compiled_gate.get(key), (int, float)) \
+                or isinstance(compiled_gate.get(key), bool):
+            problems.append(f"compiled_gate.{key} must be a number")
+    if compiled_gate.get("enforced") is not True:
+        problems.append("compiled_gate.enforced must be true (compiled "
+                        "and interpreted runs are both serial; one core "
+                        "measures the ratio)")
+    for key in ("passed", "target_met"):
+        if not isinstance(compiled_gate.get(key), bool):
+            problems.append(f"compiled_gate.{key} must be a bool")
+    if (isinstance(compiled_gate.get("speedup"), (int, float))
+            and isinstance(compiled_gate.get("target_speedup"), (int, float))
+            and isinstance(compiled_gate.get("target_met"), bool)
+            and compiled_gate["target_met"] != (
+                compiled_gate["speedup"]
+                >= compiled_gate["target_speedup"])):
+        problems.append("compiled_gate.target_met is inconsistent with "
+                        "its measured speedup and target")
+    if isinstance(compiled_gate.get("spec"), str) and specs \
+            and compiled_gate["spec"] not in specs:
+        problems.append(f"compiled_gate.spec {compiled_gate['spec']!r} "
+                        "not among benched specs")
 
     prof_gate = artifact.get("prof_gate")
     if not isinstance(prof_gate, dict):
@@ -235,9 +288,16 @@ def main(argv=None) -> int:
                  else "not enforced (host too small)")
         fp_state = "PASSED" if fp_gate.get("passed") else "failed"
         prof_state = "PASSED" if prof_gate.get("passed") else "failed"
+        compiled_gate = artifact.get("compiled_gate", {})
+        compiled_state = "PASSED" if compiled_gate.get("passed") else "failed"
+        target = (f" ({compiled_gate.get('speedup')}x vs "
+                  f"{compiled_gate.get('target_speedup')}x target"
+                  f"{'' if compiled_gate.get('target_met') else ' — unmet'})")
         print(f"ok: {len(specs)} specs benched, "
               f">= {gate.get('min_speedup')}x gate {state}, "
               f">= {fp_gate.get('min_speedup')}x fp gate {fp_state}, "
+              f">= {compiled_gate.get('min_speedup')}x compiled gate "
+              f"{compiled_state}{target}, "
               f">= {prof_gate.get('min_coverage')} coverage prof gate "
               f"{prof_state}")
     return 1 if problems else 0

@@ -1,0 +1,174 @@
+"""Compiled-step engine: per-label parity, fallback honesty, codegen tier.
+
+The compiled engine's contract is byte-identity with the interpreter,
+and these tests pin it at the finest grain available: for every bundled
+spec, every (process, label) pair's compiled expansion must produce the
+*same successor list* as the interpreted ``_expand_step`` on a
+randomized sample of reachable states (fixed seeds — failures replay).
+The whole-run differential lives in ``test_engine_matrix.py``; this
+file is where a miscompile is localized to one label.
+"""
+
+import random
+
+import pytest
+
+from repro.spec import ModelChecker
+from repro.spec.compile import CompiledStepper
+from repro.spec.specs import SPEC_SOURCES
+
+SAMPLED_SPECS = ("controller", "workerpool-initial", "workerpool-final",
+                 "drain-app", "te-app", "core-with-app-naive",
+                 "controller-buggy-recovery")
+
+
+def _reachable_sample(checker, seed, limit=200):
+    """A reproducible random sample of canonical reachable states."""
+    rng = random.Random(seed)
+    init = checker._canonical(checker.spec.initial_state())
+    frontier, seen = [init], {init}
+    while frontier and len(seen) < limit * 4:
+        state = frontier.pop(rng.randrange(len(frontier)))
+        for _action, succ in checker._successors(state):
+            canon = checker._canonical(succ)
+            if canon not in seen:
+                seen.add(canon)
+                frontier.append(canon)
+    states = sorted(seen, key=repr)
+    rng.shuffle(states)
+    return states[:limit]
+
+
+@pytest.mark.parametrize("name", SAMPLED_SPECS)
+def test_per_label_successors_agree(name):
+    """Compiled expand_label == interpreted _expand_step, per process,
+    on randomized reachable states — including blocked (empty) labels,
+    so guard parity is covered by the same sweep."""
+    spec = SPEC_SOURCES[name].build()
+    checker = ModelChecker(spec, validate_por_hints=False)
+    stepper = CompiledStepper(spec)
+    blocked = expanded = 0
+    for state in _reachable_sample(checker, seed=1234):
+        for proc_index in range(len(spec.processes)):
+            interpreted = checker._expand_step(state, proc_index)
+            compiled = stepper.expand_label(state, proc_index)
+            assert compiled == interpreted, (
+                f"{name} proc {proc_index} "
+                f"({spec.processes[proc_index].name}) diverges at {state}")
+            if interpreted:
+                expanded += 1
+            else:
+                blocked += 1
+    # The sweep must have exercised both the fire and the blocked path.
+    assert expanded > 0 and blocked > 0
+
+
+@pytest.mark.parametrize("name", SAMPLED_SPECS)
+def test_whole_state_successor_lists_agree(name):
+    """POR ample-scan order is preserved: full successor lists match."""
+    spec = SPEC_SOURCES[name].build()
+    checker = ModelChecker(spec, validate_por_hints=False)
+    stepper = CompiledStepper(spec)
+    for state in _reachable_sample(checker, seed=99, limit=120):
+        assert stepper.successors(state) == checker._successors(state)
+
+
+def test_forced_fallback_degrades_to_interpretation():
+    """``uncompiled_labels`` pins labels to the interp tier — coverage
+    drops below 1.0 and the canonical result does not move a byte."""
+    source = SPEC_SOURCES["controller"]
+    reference = ModelChecker(source.build(), compiled=True).run()
+    full = reference.stats["compiled"]
+    assert full["covered_fraction"] == 1.0
+    assert full["labels_interp"] == 0
+
+    uncompiled = ("sequencer.schedule", "switch0.op")
+    degraded_checker = ModelChecker(source.build(), compiled=True,
+                                    uncompiled_labels=uncompiled)
+    degraded = degraded_checker.run()
+    stats = degraded.stats["compiled"]
+    assert stats["labels_interp"] == len(uncompiled)
+    assert stats["covered_fraction"] < 1.0
+    assert degraded.to_json() == reference.to_json()
+
+
+def test_unknown_uncompiled_label_rejected():
+    with pytest.raises(ValueError, match="uncompiled_labels"):
+        ModelChecker(SPEC_SOURCES["controller"].build(), compiled=True,
+                     uncompiled_labels=("noSuchProc.noSuchLabel",)).run()
+
+
+def test_compiled_rejects_incompatible_modes():
+    spec = SPEC_SOURCES["te-app"].build()
+    with pytest.raises(ValueError, match="compiled"):
+        ModelChecker(spec, compiled=True, fingerprint_mode="incremental")
+
+
+def test_coverage_stats_shape():
+    result = ModelChecker(SPEC_SOURCES["drain-app"].build(),
+                          compiled=True).run()
+    stats = result.stats["compiled"]
+    assert stats["labels"] == (stats["labels_codegen"]
+                               + stats["labels_memo"]
+                               + stats["labels_interp"])
+    assert 0.0 <= stats["covered_fraction"] <= 1.0
+    assert stats["label_fills"] >= stats["labels_codegen"]
+    assert result.stats["engine"] == "compiled"
+
+
+# -- NADIR codegen tier -------------------------------------------------------
+
+def _nadir_drain_source():
+    """drain-app built *through the NADIR front end*, so the spec
+    carries the AST the codegen tier translates."""
+    from repro.nadir.interp import program_to_spec
+    from repro.nadir.programs import drain_app_program
+
+    program = drain_app_program()
+    spec = program_to_spec(program)
+    index = spec.global_names.index("DrainRequestQueue")
+    initial = list(spec.initial_globals)
+    initial[index] = (1, 2, -1, 2)
+    spec.initial_globals = tuple(initial)
+    return spec
+
+
+def test_nadir_codegen_tier_is_used_and_identical():
+    """Specs with a NADIR AST get generated closures (not just memo
+    tables) and the run stays byte-identical to the interpreter."""
+    compiled = ModelChecker(_nadir_drain_source(), compiled=True).run()
+    interpreted = ModelChecker(_nadir_drain_source()).run()
+    assert compiled.to_json() == interpreted.to_json()
+    stats = compiled.stats["compiled"]
+    assert stats["labels_codegen"] > 0
+    assert stats["covered_fraction"] == 1.0
+
+
+def test_nadir_codegen_read_sets_are_static():
+    """The generated closure's memo key is complete up front: probing
+    states never grows a codegen label's keyslots."""
+    spec = _nadir_drain_source()
+    stepper = CompiledStepper(spec)
+    checker = ModelChecker(_nadir_drain_source())
+    for state in _reachable_sample(checker, seed=7, limit=60):
+        for proc_index in range(len(spec.processes)):
+            stepper.expand_label(state, proc_index)
+            interp = checker._expand_step(state, proc_index)
+            assert stepper.expand_label(state, proc_index) == interp
+    assert stepper.cs.coverage()["keyslot_growths"] == 0
+    assert stepper.cs.coverage()["labels_codegen"] > 0
+
+
+def test_nadir_worker_pool_codegen_partial_coverage():
+    """worker_pool uses vocabulary outside the generator (by design);
+    those labels drop to the memo tier, never to a wrong answer."""
+    from repro.nadir.interp import program_to_spec
+    from repro.nadir.programs import worker_pool_program
+
+    spec = program_to_spec(worker_pool_program())
+    compiled = ModelChecker(spec, compiled=True).run()
+    interpreted = ModelChecker(program_to_spec(worker_pool_program())).run()
+    assert compiled.to_json() == interpreted.to_json()
+    stats = compiled.stats["compiled"]
+    assert stats["labels_codegen"] > 0
+    assert stats["labels_codegen"] + stats["labels_memo"] == stats["labels"]

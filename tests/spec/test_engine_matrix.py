@@ -1,0 +1,150 @@
+"""Cross-engine differential matrix: every bundled spec × every engine.
+
+This is the CI gate for the checker's engine zoo.  Three tiers of
+agreement, each the strongest the engine pair can honestly promise:
+
+* **byte-identical** ``CheckResult.to_json()`` (verdict, counts,
+  diameter, violation traces) against the interpreted serial
+  reference: the compiled engine and both fingerprint-dedup engines
+  explore in BFS order, so *nothing* may differ.  The 2-worker
+  parallel engine has the same contract against itself — compiled
+  workers vs interpreted workers — since breadcrumb reconstruction
+  may pick a different equal-length trace than serial BFS.
+* **equivalent outcome** for parallel vs serial: verdict, state and
+  transition counts, diameter and (kind, property, trace length) of
+  every violation (the contract the parallel differential suite has
+  always enforced).
+* **swarm exhaustive fallback**: randomized DFS visits states in a
+  different order, so traces and diameter differ — but with no early
+  exit the walk covers the full graph, and verdict, violated
+  properties, distinct-state and transition counts must all match;
+  every reported counterexample must replay against the real
+  transition relation.
+
+The two ~100k-state specs join the matrix under ``REPRO_CHECKER_FULL=1``
+(set by the CI checker-smoke job).
+"""
+
+import os
+
+import pytest
+
+from repro.spec import ModelChecker
+from repro.spec.specs import SPEC_SOURCES
+from repro.spec.swarm import swarm_check
+
+LARGE = ("controller-large", "drain-app-full-core")
+SMALL = [name for name in SPEC_SOURCES if name not in LARGE]
+_FULL = os.environ.get("REPRO_CHECKER_FULL") == "1"
+MATRIX_SPECS = SMALL + (list(LARGE) if _FULL else [])
+
+#: name → ModelChecker kwargs for every serial engine with a
+#: byte-identity contract against the interpreted serial reference.
+EXACT_SERIAL_ENGINES = {
+    "compiled": {"compiled": True},
+    "serial-fp": {"fingerprint_mode": "full"},
+    "incremental-fp": {"fingerprint_mode": "incremental"},
+}
+
+_reference_cache = {}
+_parallel_cache = {}
+
+
+def _reference(name):
+    if name not in _reference_cache:
+        _reference_cache[name] = ModelChecker(
+            SPEC_SOURCES[name].build(), stop_at_first_violation=False).run()
+    return _reference_cache[name]
+
+
+def _parallel_reference(name):
+    if name not in _parallel_cache:
+        _parallel_cache[name] = _run_engine(name, {"workers": 2})
+    return _parallel_cache[name]
+
+
+def _run_engine(name, kwargs):
+    source = SPEC_SOURCES[name]
+    return ModelChecker(source.build(), spec_source=source,
+                        stop_at_first_violation=False, **kwargs).run()
+
+
+def _assert_trace_replays(name, violation):
+    replayer = ModelChecker(SPEC_SOURCES[name].build(),
+                            validate_por_hints=False)
+    action0, state = violation.trace[0]
+    assert action0 == "<init>"
+    assert state == replayer._canonical(replayer.spec.initial_state())
+    for action, succ in violation.trace[1:]:
+        candidates = [replayer._canonical(s)
+                      for a, s in replayer._successors(state) if a == action]
+        assert succ in candidates, (
+            f"{name}: step {action!r} does not follow from the previous "
+            "trace state")
+        state = succ
+
+
+@pytest.mark.parametrize("engine", sorted(EXACT_SERIAL_ENGINES))
+@pytest.mark.parametrize("name", MATRIX_SPECS)
+def test_serial_engine_byte_identical(name, engine):
+    result = _run_engine(name, EXACT_SERIAL_ENGINES[engine])
+    assert result.to_json() == _reference(name).to_json(), (
+        f"{engine} diverges from the interpreted serial engine on {name}")
+
+
+@pytest.mark.parametrize("name", MATRIX_SPECS)
+def test_parallel_equivalent_and_compiled_workers_byte_identical(name):
+    """2-worker interpreted: outcome-equivalent to serial.  2-worker
+    compiled: byte-identical to 2-worker interpreted (same breadcrumb
+    graph ⇒ same reconstructed traces)."""
+    reference = _reference(name)
+    parallel = _parallel_reference(name)
+    assert parallel.ok == reference.ok
+    assert parallel.distinct_states == reference.distinct_states
+    assert parallel.transitions == reference.transitions
+    assert parallel.diameter == reference.diameter
+    assert (sorted((v.kind, v.property_name, v.length)
+                   for v in parallel.violations)
+            == sorted((v.kind, v.property_name, v.length)
+                      for v in reference.violations))
+    compiled = _run_engine(name, {"workers": 2, "compiled": True})
+    assert compiled.to_json() == parallel.to_json(), (
+        f"compiled workers diverge from interpreted workers on {name}")
+
+
+@pytest.mark.parametrize("name", MATRIX_SPECS)
+def test_swarm_exhaustive_fallback(name):
+    """Exhaustive swarm: same verdict and violated properties; same
+    state/transition counts when no early exit cut the walk short;
+    every counterexample replays."""
+    reference = _reference(name)
+    swarm = swarm_check(SPEC_SOURCES[name], workers=2, seed=11,
+                        stop_at_first_violation=False)
+    assert swarm.ok == reference.ok
+    assert (sorted({(v.kind, v.property_name) for v in swarm.violations})
+            == sorted({(v.kind, v.property_name)
+                       for v in reference.violations}))
+    assert swarm.distinct_states == reference.distinct_states
+    assert swarm.transitions == reference.transitions
+    for violation in swarm.violations:
+        _assert_trace_replays(name, violation)
+
+
+def test_swarm_liveness_witness_is_a_real_failing_state():
+    """Exhaustive swarm runs the same terminal-SCC analysis over the
+    fully explored graph, but against DFS depths — the witness trace
+    is a (longer) DFS path, so instead of byte-identity we pin the
+    semantics: the ◇□ bug is found, and the witness trace ends in a
+    state where the liveness predicate actually fails."""
+    name = "controller-buggy-recovery"
+    reference = _reference(name)
+    swarm = swarm_check(SPEC_SOURCES[name], workers=2, seed=5,
+                        stop_at_first_violation=False)
+    assert not swarm.ok and not reference.ok
+    assert ({(v.kind, v.property_name) for v in swarm.violations}
+            == {(v.kind, v.property_name) for v in reference.violations}
+            == {("liveness", "ViewMatches")})
+    spec = SPEC_SOURCES[name].build()
+    _action, witness = swarm.violations[0].trace[-1]
+    assert not spec.eventually_always["ViewMatches"](spec.view(witness))
+    _assert_trace_replays(name, swarm.violations[0])

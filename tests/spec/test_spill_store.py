@@ -1,0 +1,184 @@
+"""Spill tier of the sharded FingerprintStore: mmap files under a budget.
+
+Covers the round-trip (in-memory shard → spill file → membership),
+crash-resume (membership survives close/reopen), loud failure on
+corrupt or truncated shard files, and the end-to-end ``--store-dir``
+path through the parallel checker.
+"""
+
+import os
+
+import pytest
+
+from repro.spec import ModelChecker
+from repro.spec.fingerprint import (
+    SHARDS,
+    FingerprintStore,
+    ShardFileError,
+    _SpillShard,
+    shard_of,
+    spill_threshold_from_env,
+)
+from repro.spec.specs import SPEC_SOURCES
+
+
+def _fps_for_shard(shard, count, start=1):
+    """``count`` distinct nonzero fingerprints that land in ``shard``."""
+    out = []
+    fp = start
+    while len(out) < count:
+        if fp != 0 and shard_of(fp) == shard:
+            out.append(fp)
+        fp += SHARDS  # low-bits walk; shard_of is the top-bits prefix
+    return out
+
+
+def _some_shard_fps(count, start=1):
+    shard = shard_of(start) if start else 0
+    return shard_of(start), _fps_for_shard(shard_of(start), count, start)
+
+
+def test_spill_roundtrip_membership_and_counts(tmp_path):
+    store = FingerprintStore(spill_dir=str(tmp_path), spill_threshold=8)
+    shard, fps = _some_shard_fps(20, start=(5 << 56) | 1)
+    for fp in fps:
+        assert store.add(fp)
+    assert store.spills >= 2
+    assert store.spilled() > 0
+    assert len(store) == len(fps)
+    for fp in fps:
+        assert fp in store          # membership spans both tiers
+        assert not store.add(fp)    # and dedup still works
+    assert store.hits == len(fps)
+    assert store.store_bytes() > 0
+    assert sorted(os.listdir(tmp_path)) == [f"shard-{shard:02d}.zfp"]
+    store.close()
+
+
+def test_spill_membership_survives_reopen(tmp_path):
+    first = FingerprintStore(spill_dir=str(tmp_path), spill_threshold=4)
+    _shard, fps = _some_shard_fps(16, start=(9 << 56) | 7)
+    for fp in fps:
+        first.add(fp)
+    first.close()
+
+    second = FingerprintStore(spill_dir=str(tmp_path), spill_threshold=4)
+    for fp in fps:
+        assert not second.add(fp), "reopened store must remember spilled fps"
+    assert second.hits == len(fps)
+    second.close()
+
+
+def test_spill_grow_rehashes_in_place(tmp_path):
+    """Insert past the load factor so the table doubles; nothing lost."""
+    path = str(tmp_path / "shard-00.zfp")
+    tier = _SpillShard(path, capacity=16)
+    fps = [fp for fp in range(1, 64)]
+    for fp in fps:
+        assert tier.insert(fp)
+    assert tier.capacity > 16
+    for fp in fps:
+        assert fp in tier
+        assert not tier.insert(fp)
+    tier.close()
+
+
+def test_truncated_shard_file_fails_loudly(tmp_path):
+    store = FingerprintStore(spill_dir=str(tmp_path), spill_threshold=4)
+    _shard, fps = _some_shard_fps(8, start=(3 << 56) | 11)
+    for fp in fps:
+        store.add(fp)
+    store.close()
+    (path,) = [tmp_path / name for name in os.listdir(tmp_path)]
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) - 16)
+    with pytest.raises(ShardFileError, match="truncated"):
+        FingerprintStore(spill_dir=str(tmp_path))
+
+
+def test_bad_magic_fails_loudly(tmp_path):
+    path = tmp_path / "shard-00.zfp"
+    path.write_bytes(b"NOTAFPS\0" + b"\0" * 64)
+    with pytest.raises(ShardFileError, match="magic"):
+        _SpillShard(str(path))
+
+
+def test_header_count_over_capacity_fails_loudly(tmp_path):
+    from repro.spec.fingerprint import _SPILL_HEADER, _SPILL_MAGIC
+
+    tier = _SpillShard(str(tmp_path / "shard-00.zfp"), capacity=16)
+    tier.insert(12345)
+    capacity = tier.capacity
+    tier.close()
+    with open(tmp_path / "shard-00.zfp", "r+b") as handle:
+        handle.write(_SPILL_HEADER.pack(_SPILL_MAGIC, capacity,
+                                        capacity + 1))
+    with pytest.raises(ShardFileError, match="count"):
+        _SpillShard(str(tmp_path / "shard-00.zfp"))
+
+
+def test_zero_fingerprint_stays_in_memory(tmp_path):
+    """0 is the on-disk empty-slot sentinel; a real 0 must still dedup."""
+    store = FingerprintStore(spill_dir=str(tmp_path), spill_threshold=2)
+    shard = shard_of(0)
+    assert store.add(0)
+    for fp in _fps_for_shard(shard, 6, start=SHARDS):
+        store.add(fp)
+    assert store.spills >= 1
+    assert 0 in store
+    assert not store.add(0)
+    assert len(store) == 7
+    store.close()
+
+
+def test_exact_mode_incompatible_with_spill(tmp_path):
+    with pytest.raises(ValueError, match="exact"):
+        FingerprintStore(exact=True, spill_dir=str(tmp_path))
+
+
+def test_spill_threshold_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FP_SPILL", raising=False)
+    assert spill_threshold_from_env(default=123) == 123
+    monkeypatch.setenv("REPRO_FP_SPILL", "64")
+    assert spill_threshold_from_env() == 64
+    monkeypatch.setenv("REPRO_FP_SPILL", "zero")
+    with pytest.raises(ValueError, match="integer"):
+        spill_threshold_from_env()
+    monkeypatch.setenv("REPRO_FP_SPILL", "0")
+    with pytest.raises(ValueError, match=">= 1"):
+        spill_threshold_from_env()
+
+
+# -- end-to-end through the parallel checker ----------------------------------
+
+def test_parallel_store_dir_matches_serial(tmp_path, monkeypatch):
+    """2 workers under a tiny spill budget: same canonical outcome as
+    the in-memory run, spill files on disk, gauges in stats."""
+    monkeypatch.setenv("REPRO_FP_SPILL", "64")
+    source = SPEC_SOURCES["controller"]
+    serial = ModelChecker(source.build(),
+                          stop_at_first_violation=False).run()
+    spilled = ModelChecker(source.build(), workers=2, spec_source=source,
+                           stop_at_first_violation=False,
+                           store_dir=str(tmp_path)).run()
+    assert spilled.distinct_states == serial.distinct_states
+    assert spilled.transitions == serial.transitions
+    assert spilled.ok == serial.ok
+    assert spilled.stats["spilled"] > 0
+    assert spilled.stats["spills"] > 0
+    assert spilled.stats["store_bytes"] > 0
+    assert spilled.stats["store_dir"] == str(tmp_path)
+    assert any(name.endswith(".zfp") for name in os.listdir(tmp_path))
+
+
+def test_store_dir_requires_workers():
+    spec = SPEC_SOURCES["te-app"].build()
+    with pytest.raises(ValueError, match="store"):
+        ModelChecker(spec, store_dir="/tmp/nope")
+
+
+def test_store_dir_incompatible_with_exact():
+    source = SPEC_SOURCES["te-app"]
+    with pytest.raises(ValueError, match="exact"):
+        ModelChecker(source.build(), workers=2, spec_source=source,
+                     exact_fingerprints=True, store_dir="/tmp/nope")

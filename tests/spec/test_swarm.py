@@ -1,0 +1,129 @@
+"""Swarm engine: seeded determinism, crash loudness, spill integration.
+
+The cross-engine agreement of exhaustive swarm lives in
+``test_engine_matrix.py``; this file pins the swarm-specific
+guarantees — a worker's walk is a pure function of (seed, worker id),
+budgeted runs report honestly, dead workers fail loudly, and the
+shared store spills under a memory budget without changing counts.
+"""
+
+import pytest
+
+from repro.spec import ModelChecker, SpecSource
+from repro.spec.parallel import ParallelCheckError
+from repro.spec.specs import SPEC_SOURCES
+from repro.spec.swarm import swarm_check
+
+FIXTURES = "tests.spec.parallel_fixtures"
+
+
+def _digests(result):
+    return [worker["trace_digest"]
+            for worker in result.stats["swarm"]["per_worker"]]
+
+
+def test_same_seed_same_traces():
+    """Reproducibility: every per-worker digest and count identical."""
+    first = swarm_check(SPEC_SOURCES["controller"], workers=2, seed=3,
+                        max_steps=400)
+    second = swarm_check(SPEC_SOURCES["controller"], workers=2, seed=3,
+                         max_steps=400)
+    assert _digests(first) == _digests(second)
+    assert (first.stats["swarm"]["per_worker"]
+            == second.stats["swarm"]["per_worker"])
+    assert first.distinct_states == second.distinct_states
+    assert first.transitions == second.transitions
+
+
+def test_different_seeds_different_traces():
+    base = swarm_check(SPEC_SOURCES["controller"], workers=2, seed=3,
+                       max_steps=400)
+    other = swarm_check(SPEC_SOURCES["controller"], workers=2, seed=4,
+                        max_steps=400)
+    assert _digests(base) != _digests(other)
+
+
+def test_workers_diverge_from_each_other():
+    """Worker id feeds the seed: two workers walk different traces."""
+    result = swarm_check(SPEC_SOURCES["controller"], workers=2, seed=0,
+                         max_steps=400)
+    digests = _digests(result)
+    assert digests[0] != digests[1]
+
+
+def test_budgeted_run_reports_honestly():
+    """A budgeted swarm must not claim exhaustion or check liveness
+    (◇□ needs the full graph), and combined coverage comes from the
+    shared store, not a per-worker sum."""
+    result = swarm_check(SPEC_SOURCES["controller-buggy-recovery"],
+                         workers=2, seed=1, max_steps=300)
+    swarm = result.stats["swarm"]
+    assert swarm["exhaustive"] is False
+    assert swarm["exhausted"] is False
+    assert swarm["steps"] == 600
+    # The spec's only bug is a liveness violation: a budgeted swarm
+    # cannot see it and must come back clean rather than guess.
+    assert result.ok
+    per_worker_total = sum(w["states"] for w in swarm["per_worker"])
+    assert result.distinct_states <= per_worker_total
+    assert result.distinct_states < 2063  # full graph size
+
+
+def test_swarm_finds_invariant_bug_and_trace_replays():
+    result = swarm_check(SPEC_SOURCES["workerpool-initial"], workers=2,
+                         seed=0)
+    assert not result.ok
+    assert len(result.violations) == 1
+    violation = result.violations[0]
+    assert violation.kind == "invariant"
+    replayer = ModelChecker(SPEC_SOURCES["workerpool-initial"].build())
+    action0, state = violation.trace[0]
+    assert action0 == "<init>"
+    assert state == replayer._canonical(replayer.spec.initial_state())
+    for action, succ in violation.trace[1:]:
+        candidates = [replayer._canonical(s)
+                      for a, s in replayer._successors(state) if a == action]
+        assert succ in candidates
+        state = succ
+
+
+def test_sigkilled_swarm_worker_raises_loudly():
+    source = SpecSource.of(FIXTURES, "killer_spec", kill_at=3)
+    with pytest.raises(ParallelCheckError, match="died"):
+        swarm_check(source, workers=2, seed=0)
+
+
+def test_raising_invariant_surfaces_as_error():
+    source = SpecSource.of(FIXTURES, "raising_spec", boom_at=2)
+    with pytest.raises(ParallelCheckError,
+                       match="invariant exploded"):
+        swarm_check(source, workers=1, seed=0)
+
+
+def test_swarm_store_dir_spills(tmp_path, monkeypatch):
+    import os
+
+    monkeypatch.setenv("REPRO_FP_SPILL", "64")
+    serial = ModelChecker(SPEC_SOURCES["controller"].build()).run()
+    result = swarm_check(SPEC_SOURCES["controller"], workers=2, seed=2,
+                         store_dir=str(tmp_path))
+    assert result.distinct_states == serial.distinct_states
+    assert result.stats["swarm"]["spilled"] > 0
+    assert result.stats["swarm"]["store_bytes"] > 0
+    assert result.stats["swarm"]["store_dir"] == str(tmp_path)
+    assert any(name.endswith(".zfp") for name in os.listdir(tmp_path))
+
+
+def test_swarm_compiled_matches_interpreted():
+    """Compiled workers walk the identical shuffled DFS: same digests."""
+    interpreted = swarm_check(SPEC_SOURCES["drain-app"], workers=2, seed=6)
+    compiled = swarm_check(SPEC_SOURCES["drain-app"], workers=2, seed=6,
+                           compiled=True)
+    assert _digests(compiled) == _digests(interpreted)
+    assert compiled.distinct_states == interpreted.distinct_states
+    assert compiled.transitions == interpreted.transitions
+
+
+def test_invalid_worker_count_rejected():
+    with pytest.raises(ValueError, match="workers"):
+        swarm_check(SPEC_SOURCES["te-app"], workers=0)
